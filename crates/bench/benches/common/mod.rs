@@ -1,0 +1,14 @@
+//! Shared Criterion configuration for every figure bench: short measurement
+//! windows so that the full `cargo bench --workspace` harness (one target per
+//! figure of the paper) completes in a few minutes.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// The Criterion configuration used by all figure benches.
+pub fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}

@@ -1,0 +1,62 @@
+//! E1 — Figure 1: maybe-tables, possible worlds, world-by-world querying.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provsem_bench::report_rows;
+use provsem_core::paper::{section2_query, section2_schema};
+use provsem_incomplete::{MaybeTable, PossibleWorlds};
+use provsem_core::{Schema, Tuple};
+
+fn reproduce_figure1() {
+    let table = MaybeTable::figure1();
+    let worlds = PossibleWorlds::new(table.possible_worlds());
+    let answer = worlds
+        .answer_query("R", &section2_schema(), &section2_query())
+        .unwrap();
+    report_rows(
+        "Figure 1: worlds of q(R) over the maybe-table",
+        &[
+            ("input worlds".into(), worlds.len().to_string()),
+            ("answer worlds".into(), answer.len().to_string()),
+            (
+                "maybe-table representable".into(),
+                answer.representable_by_maybe_table().to_string(),
+            ),
+        ],
+    );
+}
+
+fn maybe_table_with(n: usize) -> MaybeTable {
+    let schema = Schema::new(["a", "b", "c"]);
+    let mut table = MaybeTable::new(schema);
+    for i in 0..n {
+        table.insert_optional(Tuple::new([
+            ("a", format!("x{i}")),
+            ("b", format!("y{}", i % 3)),
+            ("c", format!("z{}", i % 2)),
+        ]));
+    }
+    table
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_figure1();
+    let mut group = c.benchmark_group("fig1_world_by_world_query");
+    for n in [3usize, 6, 9] {
+        let table = maybe_table_with(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &table, |b, table| {
+            b.iter(|| {
+                let worlds = PossibleWorlds::new(table.possible_worlds());
+                worlds
+                    .answer_query("R", &Schema::new(["a", "b", "c"]), &section2_query())
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = common::short(); targets = bench }
+criterion_main!(benches);

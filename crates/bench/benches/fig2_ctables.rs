@@ -1,0 +1,33 @@
+//! E2 — Figure 2: the Imielinski–Lipski computation (RA⁺ at K = PosBool).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provsem_bench::{random_ternary_ctable, report_rows};
+use provsem_core::paper::section2_query;
+use provsem_incomplete::CTable;
+
+fn reproduce_figure2() {
+    let answer = CTable::figure1b().answer_query("R", &section2_query()).unwrap();
+    let rows: Vec<(String, String)> = answer
+        .relation()
+        .iter()
+        .map(|(t, cond)| (format!("{t}"), format!("{cond}")))
+        .collect();
+    report_rows("Figure 2(b): Imielinski–Lipski answer c-table", &rows);
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_figure2();
+    let mut group = c.benchmark_group("fig2_ctable_query");
+    for size in [10usize, 50, 200] {
+        let db = random_ternary_ctable(42, size, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &db, |b, db| {
+            b.iter(|| section2_query().eval(db).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = common::short(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E3 — Figure 3: bag-semantics RA⁺ evaluation.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provsem_bench::{random_ternary_bag, report_rows};
+use provsem_core::paper::{figure3_bag, figure3_expected, section2_query};
+use provsem_core::Tuple;
+
+fn reproduce_figure3() {
+    let out = section2_query().eval(&figure3_bag()).unwrap();
+    let rows: Vec<(String, String)> = figure3_expected()
+        .into_iter()
+        .map(|(a, c, expected)| {
+            let got = out.annotation(&Tuple::new([("a", a), ("c", c)]));
+            (format!("({a},{c})"), format!("measured {got}, paper {expected}"))
+        })
+        .collect();
+    report_rows("Figure 3(b): bag multiplicities", &rows);
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_figure3();
+    let mut group = c.benchmark_group("fig3_bag_query");
+    for size in [10usize, 100, 500] {
+        let db = random_ternary_bag(42, size, 12, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &db, |b, db| {
+            b.iter(|| section2_query().eval(db).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = common::short(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E4 — Figure 4: probabilistic query answering via event tables.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provsem_bench::{random_probabilistic_graph, report_rows};
+use provsem_core::paper::section2_query;
+use provsem_core::RaExpr;
+use provsem_prob::TupleIndependentDb;
+
+fn reproduce_figure4() {
+    let db = TupleIndependentDb::figure4();
+    let rows: Vec<(String, String)> = db
+        .answer_query(&section2_query())
+        .unwrap()
+        .into_iter()
+        .map(|(t, _, p)| (format!("{t}"), format!("P = {p:.3}")))
+        .collect();
+    report_rows("Figure 4(b): output probabilities (paper: .6 .3 .3 .5 .1)", &rows);
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_figure4();
+    let query = RaExpr::relation("R")
+        .rename(provsem_core::Renaming::new([("dst", "mid")]))
+        .join(RaExpr::relation("R").rename(provsem_core::Renaming::new([("src", "mid")])))
+        .project(["src", "dst"]);
+    let mut group = c.benchmark_group("fig4_event_table_query");
+    for tuples in [6usize, 10, 14] {
+        let db = random_probabilistic_graph(42, 5, tuples);
+        group.bench_with_input(BenchmarkId::from_parameter(tuples), &db, |b, db| {
+            b.iter(|| db.answer_query(&query).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = common::short(); targets = bench }
+criterion_main!(benches);

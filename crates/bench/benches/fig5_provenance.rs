@@ -1,0 +1,39 @@
+//! E5 — Figure 5: provenance polynomials, why-provenance, and the
+//! factorization theorem (provenance overhead vs direct evaluation).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provsem_bench::{random_ternary_bag, report_rows};
+use provsem_core::paper::{figure5_tagged, section2_query};
+use provsem_core::provenance::{provenance_of_query, specialize};
+
+fn reproduce_figure5() {
+    let out = section2_query().eval(&figure5_tagged()).unwrap();
+    let rows: Vec<(String, String)> = out
+        .iter()
+        .map(|(t, p)| (format!("{t}"), format!("{p}  (why: {:?})", p.why_provenance())))
+        .collect();
+    report_rows("Figure 5(b)/(c): why-provenance and provenance polynomials", &rows);
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_figure5();
+    let mut group = c.benchmark_group("fig5_provenance_vs_direct");
+    for size in [10usize, 100, 300] {
+        let db = random_ternary_bag(42, size, 10, 5);
+        group.bench_with_input(BenchmarkId::new("direct_bag", size), &db, |b, db| {
+            b.iter(|| section2_query().eval(db).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("provenance_then_eval", size), &db, |b, db| {
+            b.iter(|| {
+                let (prov, valuation) = provenance_of_query(&section2_query(), db).unwrap();
+                specialize(&prov, &valuation).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = common::short(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E6 — Figure 6: conjunctive queries as datalog under bag semantics.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provsem_bench::{random_dag_store, report_rows};
+use provsem_core::paper::figure6_expected;
+use provsem_datalog::{edge_facts, kleene_iterate, Fact, Program};
+use provsem_semiring::Natural;
+
+fn reproduce_figure6() {
+    let program = Program::figure6_query();
+    let edb = edge_facts(
+        "R",
+        &[
+            ("a", "a", Natural::from(2u64)),
+            ("a", "b", Natural::from(3u64)),
+            ("b", "b", Natural::from(4u64)),
+        ],
+    );
+    let out = kleene_iterate(&program, &edb, 4);
+    let rows: Vec<(String, String)> = figure6_expected()
+        .into_iter()
+        .map(|(x, y, expected)| {
+            let got = out.idb.annotation(&Fact::new("Q", [x, y]));
+            (format!("Q({x},{y})"), format!("measured {got}, paper {expected}"))
+        })
+        .collect();
+    report_rows("Figure 6(c): conjunctive query under bag semantics", &rows);
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_figure6();
+    let program = Program::figure6_query();
+    let mut group = c.benchmark_group("fig6_cq_bag_datalog");
+    for width in [3usize, 6, 9] {
+        let edb = random_dag_store(42, 3, width);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &edb, |b, edb| {
+            b.iter(|| kleene_iterate(&program, edb, 4).idb.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = common::short(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E7 — Figure 7: datalog transitive closure over ℕ∞ and its power-series
+//! provenance via the algebraic system.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provsem_bench::{random_dag_store, random_graph_store, report_rows};
+use provsem_core::paper::{figure7_bag, figure7_expected};
+use provsem_datalog::{evaluate_natinf, AlgebraicSystem, Fact, FactStore, Program};
+use provsem_semiring::NatInf;
+
+fn figure7_store() -> FactStore<NatInf> {
+    let mut store = FactStore::new();
+    store.import_relation("R", figure7_bag().get("R").unwrap(), &["src", "dst"]);
+    store
+}
+
+fn reproduce_figure7() {
+    let program = Program::transitive_closure("R", "Q");
+    let out = evaluate_natinf(&program, &figure7_store());
+    let rows: Vec<(String, String)> = figure7_expected()
+        .into_iter()
+        .map(|(s, d, expected)| {
+            let got = out.annotation(&Fact::new("Q", [s, d]));
+            (format!("Q({s},{d})"), format!("measured {got}, paper {expected}"))
+        })
+        .collect();
+    report_rows("Figure 7(b): transitive closure over ℕ∞", &rows);
+    let system = AlgebraicSystem::build_default(&program, &figure7_store());
+    report_rows(
+        "Figure 7(f): algebraic system",
+        &[("equations".into(), system.len().to_string())],
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_figure7();
+    let program = Program::transitive_closure("R", "Q");
+    let mut group = c.benchmark_group("fig7_tc_ninfinity");
+    for (nodes, edges) in [(8usize, 12usize), (16, 30), (24, 50)] {
+        let edb = random_graph_store(42, nodes, edges);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}n_{edges}e")),
+            &edb,
+            |b, edb| b.iter(|| evaluate_natinf(&program, edb).len()),
+        );
+    }
+    // Truncated power-series provenance on an acyclic instance.
+    let dag = random_dag_store(42, 4, 3);
+    group.bench_function("series_solution_dag", |b| {
+        let system = AlgebraicSystem::build_default(&program, &dag);
+        b.iter(|| system.solve_series(4, 4).len())
+    });
+    group.finish();
+}
+
+criterion_group! { name = benches; config = common::short(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E8 — Figure 8: the All-Trees algorithm (polynomial-or-∞ classification).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provsem_bench::{random_dag_store, report_rows};
+use provsem_core::paper::figure7_bag;
+use provsem_datalog::{all_trees, FactStore, Program, TreeProvenance};
+use provsem_semiring::NatInf;
+
+fn reproduce_figure8() {
+    let mut store: FactStore<NatInf> = FactStore::new();
+    store.import_relation("R", figure7_bag().get("R").unwrap(), &["src", "dst"]);
+    let program = Program::transitive_closure("R", "Q");
+    let result = all_trees(&program, &store);
+    let rows: Vec<(String, String)> = result
+        .provenance
+        .iter()
+        .map(|(fact, prov)| {
+            let shown = match prov {
+                TreeProvenance::Polynomial(p) => format!("{p}"),
+                TreeProvenance::Infinite => "∞".to_string(),
+            };
+            (format!("{fact}"), shown)
+        })
+        .collect();
+    report_rows("Figure 8: All-Trees classification of the Figure 7 instance", &rows);
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce_figure8();
+    let program = Program::transitive_closure("R", "Q");
+    let mut group = c.benchmark_group("fig8_all_trees");
+    for layers in [2usize, 3, 4] {
+        let edb = random_dag_store(42, layers, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &edb, |b, edb| {
+            b.iter(|| all_trees(&program, edb).provenance.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = common::short(); targets = bench }
+criterion_main!(benches);

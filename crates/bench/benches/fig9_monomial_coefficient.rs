@@ -1,0 +1,48 @@
+//! E9 — Figure 9: the Monomial-Coefficient algorithm.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provsem_bench::report_rows;
+use provsem_core::paper::figure7_bag;
+use provsem_datalog::{default_edb_variables, monomial_coefficient, Fact, FactStore, Program};
+use provsem_semiring::{Monomial, NatInf};
+
+fn figure7_store() -> FactStore<NatInf> {
+    let mut store = FactStore::new();
+    store.import_relation("R", figure7_bag().get("R").unwrap(), &["src", "dst"]);
+    store
+}
+
+fn bench(c: &mut Criterion) {
+    let program = Program::transitive_closure("R", "Q");
+    let edb = figure7_store();
+    let vars = default_edb_variables(&edb);
+    let s_var = vars.get(&Fact::new("R", ["d", "d"])).unwrap().clone();
+    let v_fact = Fact::new("Q", ["d", "d"]);
+
+    // Reproduce the Catalan coefficients of v = Q(d,d).
+    let rows: Vec<(String, String)> = (1u32..=5)
+        .map(|k| {
+            let mu = Monomial::from_powers([(s_var.clone(), k)]);
+            let coeff = monomial_coefficient(&program, &edb, &vars, &v_fact, &mu);
+            (format!("[s^{k}] v"), format!("{coeff}"))
+        })
+        .collect();
+    report_rows(
+        "Figure 9 / footnote 6: coefficients of v (paper: 1 1 2 5 14)",
+        &rows,
+    );
+
+    let mut group = c.benchmark_group("fig9_monomial_coefficient");
+    for degree in [2u32, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, degree| {
+            let mu = Monomial::from_powers([(s_var.clone(), *degree)]);
+            b.iter(|| monomial_coefficient(&program, &edb, &vars, &v_fact, &mu))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = common::short(); targets = bench }
+criterion_main!(benches);

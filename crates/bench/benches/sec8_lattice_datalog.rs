@@ -1,0 +1,62 @@
+//! E10 — Section 8: terminating datalog for finite distributive lattices
+//! (incomplete and probabilistic databases), fixpoint vs minimal-trees.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provsem_bench::{random_probabilistic_graph, report_rows, rng};
+use provsem_datalog::{evaluate_lattice, evaluate_lattice_via_trees, Fact, FactStore, Program};
+use provsem_prob::evaluate_probabilistic_datalog;
+use provsem_semiring::PosBool;
+use rand::Rng;
+
+fn random_posbool_graph(seed: u64, nodes: usize, edges: usize) -> FactStore<PosBool> {
+    let mut r = rng(seed);
+    let mut store = FactStore::new();
+    for i in 0..edges {
+        let s = r.gen_range(0..nodes);
+        let d = r.gen_range(0..nodes);
+        store.insert(
+            Fact::new("R", [format!("n{s}"), format!("n{d}")]),
+            PosBool::var(format!("e{i}")),
+        );
+    }
+    store
+}
+
+fn bench(c: &mut Criterion) {
+    let program = Program::transitive_closure("R", "Q");
+    // Reproduce the Section 8 claim on a small cyclic probabilistic graph.
+    let prob_db = random_probabilistic_graph(7, 4, 8);
+    let answer = evaluate_probabilistic_datalog(&program, &prob_db, &|_| vec!["src", "dst"]);
+    report_rows(
+        "Section 8: probabilistic datalog terminates on cyclic graphs",
+        &[
+            ("uncertain edges".into(), prob_db.len().to_string()),
+            ("derived facts".into(), answer.facts.len().to_string()),
+        ],
+    );
+
+    let mut group = c.benchmark_group("sec8_lattice_datalog");
+    for edges in [6usize, 10, 14] {
+        let edb = random_posbool_graph(42, 5, edges);
+        group.bench_with_input(BenchmarkId::new("fixpoint", edges), &edb, |b, edb| {
+            b.iter(|| evaluate_lattice(&program, edb, 128).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("minimal_trees", edges), &edb, |b, edb| {
+            b.iter(|| evaluate_lattice_via_trees(&program, edb).len())
+        });
+        group.bench_with_input(BenchmarkId::new("probabilistic", edges), &edges, |b, edges| {
+            let db = random_probabilistic_graph(42, 5, (*edges).min(12));
+            b.iter(|| {
+                evaluate_probabilistic_datalog(&program, &db, &|_| vec!["src", "dst"])
+                    .facts
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = common::short(); targets = bench }
+criterion_main!(benches);

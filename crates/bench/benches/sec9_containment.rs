@@ -1,0 +1,54 @@
+//! E11 — Section 9: conjunctive-query containment (Chandra–Merlin /
+//! Sagiv–Yannakakis) and the Theorem 9.2 instance checks.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use provsem_bench::report_rows;
+use provsem_containment::{check_containment_on_instance, ConjunctiveQuery, UnionOfConjunctiveQueries};
+use provsem_datalog::edge_facts;
+use provsem_semiring::{Natural, PosBool};
+
+/// The k-step path query Q(x0, xk) :- R(x0,x1), …, R(x{k-1},xk).
+fn path_query(k: usize) -> ConjunctiveQuery {
+    let mut body = Vec::new();
+    for i in 0..k {
+        body.push(format!("R(x{i}, x{})", i + 1));
+    }
+    ConjunctiveQuery::parse(&format!("Q(x0, x{k}) :- {}.", body.join(", "))).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    // Reproduce the two headline facts of Section 9.
+    let q1 = UnionOfConjunctiveQueries::parse("Q(x) :- R(x, y), R(x, z).").unwrap();
+    let q2 = UnionOfConjunctiveQueries::parse("Q(x) :- R(x, y).").unwrap();
+    let lattice_edb = edge_facts("R", &[("a", "b", PosBool::var("e1")), ("a", "c", PosBool::var("e2"))]);
+    let bag_edb = edge_facts("R", &[("a", "b", Natural::from(1u64)), ("a", "c", Natural::from(1u64))]);
+    report_rows(
+        "Section 9: containment transfer",
+        &[
+            ("q1 ⊑_B q2".into(), q1.contained_in(&q2).to_string()),
+            (
+                "q1 ⊑_PosBool q2 (instance)".into(),
+                check_containment_on_instance(&q1, &q2, &lattice_edb).to_string(),
+            ),
+            (
+                "q1 ⊑_N q2 (instance)".into(),
+                check_containment_on_instance(&q1, &q2, &bag_edb).to_string(),
+            ),
+        ],
+    );
+
+    let mut group = c.benchmark_group("sec9_containment");
+    for k in [2usize, 4, 6] {
+        let long = path_query(k + 1);
+        let short = path_query(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| (long.contained_in(&short), short.contained_in(&long)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = common::short(); targets = bench }
+criterion_main!(benches);

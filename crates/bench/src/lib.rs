@@ -1,0 +1,199 @@
+//! # provsem-bench
+//!
+//! Workload generators and shared helpers for the benchmark harness. One
+//! Criterion bench target exists per figure / experiment of the paper (see
+//! `benches/` and EXPERIMENTS.md); this library provides the synthetic
+//! workloads they sweep over and the "reproduce the paper's rows" reporting
+//! used by every bench.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use provsem_core::{Database, KRelation, Schema, Tuple};
+use provsem_datalog::{Fact, FactStore};
+use provsem_prob::TupleIndependentDb;
+use provsem_semiring::{NatInf, Natural, PosBool, ProvenancePolynomial, Semiring};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG so benchmark workloads are reproducible run to run.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random ternary relation over the schema `{a, b, c}` (the Section 2
+/// shape) with `size` tuples drawn from a domain of `domain` values and
+/// multiplicities in `1..=max_multiplicity`.
+pub fn random_ternary_bag(
+    seed: u64,
+    size: usize,
+    domain: usize,
+    max_multiplicity: u64,
+) -> Database<Natural> {
+    let mut rng = rng(seed);
+    let schema = Schema::new(["a", "b", "c"]);
+    let mut rel: KRelation<Natural> = KRelation::empty(schema);
+    for _ in 0..size {
+        let t = Tuple::new([
+            ("a", format!("v{}", rng.gen_range(0..domain))),
+            ("b", format!("v{}", rng.gen_range(0..domain))),
+            ("c", format!("v{}", rng.gen_range(0..domain))),
+        ]);
+        rel.insert(t, Natural::from(rng.gen_range(1..=max_multiplicity)));
+    }
+    Database::new().with("R", rel)
+}
+
+/// The same random ternary relation annotated with distinct PosBool
+/// variables (a c-table / maybe-table workload).
+pub fn random_ternary_ctable(seed: u64, size: usize, domain: usize) -> Database<PosBool> {
+    let bag = random_ternary_bag(seed, size, domain, 1);
+    let rel = bag.get("R").expect("generator produced R");
+    let mut annotated: KRelation<PosBool> = KRelation::empty(rel.schema().clone());
+    for (i, (tuple, _)) in rel.iter().enumerate() {
+        annotated.insert(tuple.clone(), PosBool::var(format!("b{i}")));
+    }
+    Database::new().with("R", annotated)
+}
+
+/// The same random ternary relation abstractly tagged with tuple ids
+/// (a provenance workload).
+pub fn random_ternary_tagged(
+    seed: u64,
+    size: usize,
+    domain: usize,
+) -> Database<ProvenancePolynomial> {
+    let bag = random_ternary_bag(seed, size, domain, 1);
+    let rel = bag.get("R").expect("generator produced R");
+    let mut annotated: KRelation<ProvenancePolynomial> = KRelation::empty(rel.schema().clone());
+    for (i, (tuple, _)) in rel.iter().enumerate() {
+        annotated.insert(tuple.clone(), ProvenancePolynomial::var(format!("t{i}")));
+    }
+    Database::new().with("R", annotated)
+}
+
+/// A random directed graph with `nodes` nodes and `edges` edges as an
+/// ℕ∞-annotated datalog edb (predicate `R(src, dst)`).
+pub fn random_graph_store(seed: u64, nodes: usize, edges: usize) -> FactStore<NatInf> {
+    let mut rng = rng(seed);
+    let mut store = FactStore::new();
+    for _ in 0..edges {
+        let s = rng.gen_range(0..nodes);
+        let d = rng.gen_range(0..nodes);
+        store.insert(
+            Fact::new("R", [format!("n{s}"), format!("n{d}")]),
+            NatInf::Fin(rng.gen_range(1..4)),
+        );
+    }
+    store
+}
+
+/// A random *acyclic* layered graph (layers of `width` nodes, edges only
+/// between consecutive layers) — every tuple has finitely many derivations,
+/// so bag-datalog and provenance stay polynomial-sized.
+pub fn random_dag_store(seed: u64, layers: usize, width: usize) -> FactStore<NatInf> {
+    let mut rng = rng(seed);
+    let mut store = FactStore::new();
+    for layer in 0..layers.saturating_sub(1) {
+        for i in 0..width {
+            for j in 0..width {
+                if rng.gen_bool(0.5) {
+                    store.insert(
+                        Fact::new(
+                            "R",
+                            [format!("l{layer}_{i}"), format!("l{}_{j}", layer + 1)],
+                        ),
+                        NatInf::Fin(1),
+                    );
+                }
+            }
+        }
+    }
+    store
+}
+
+/// A random tuple-independent probabilistic edge relation (kept small: the
+/// exact event representation is exponential in the number of tuples).
+pub fn random_probabilistic_graph(seed: u64, nodes: usize, edges: usize) -> TupleIndependentDb {
+    let mut rng = rng(seed);
+    let mut db = TupleIndependentDb::new();
+    for _ in 0..edges {
+        let s = rng.gen_range(0..nodes);
+        let d = rng.gen_range(0..nodes);
+        db.insert(
+            "R",
+            Tuple::new([("src", format!("n{s}")), ("dst", format!("n{d}"))]),
+            rng.gen_range(0.1..0.9),
+        );
+    }
+    db
+}
+
+/// Converts a ℕ-annotated database to any other semiring by mapping the
+/// multiplicity `n` to the `n`-fold sum of 1 (the canonical ℕ → K map).
+pub fn reannotate<K: Semiring>(db: &Database<Natural>) -> Database<K> {
+    db.map_annotations(|n| K::one().repeat(n.value()))
+}
+
+/// Prints a labelled reproduction of one of the paper's figures; used by the
+/// benches so that `cargo bench` output contains the same rows the paper
+/// reports next to the timings.
+pub fn report_rows(title: &str, rows: &[(String, String)]) {
+    eprintln!("--- {title} ---");
+    for (key, value) in rows {
+        eprintln!("    {key:<16} {value}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_ternary_bag(7, 20, 4, 3);
+        let b = random_ternary_bag(7, 20, 4, 3);
+        assert_eq!(a, b);
+        let g1 = random_graph_store(7, 10, 30);
+        let g2 = random_graph_store(7, 10, 30);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn generators_respect_sizes() {
+        let db = random_ternary_bag(1, 50, 10, 2);
+        assert!(db.get("R").unwrap().len() <= 50);
+        assert!(!db.get("R").unwrap().is_empty());
+        let dag = random_dag_store(3, 4, 3);
+        // A layered DAG has no cycles: exact evaluation is all-finite.
+        let out = provsem_datalog::evaluate_natinf(
+            &provsem_datalog::Program::transitive_closure("R", "Q"),
+            &dag,
+        );
+        assert!(out.facts().all(|(_, k)| !k.is_infinite()));
+    }
+
+    #[test]
+    fn probabilistic_generator_stays_small() {
+        let db = random_probabilistic_graph(5, 4, 6);
+        assert!(db.len() <= 6);
+        assert!(db.num_worlds() <= 64);
+    }
+
+    #[test]
+    fn reannotation_maps_multiplicities() {
+        let db = random_ternary_bag(2, 10, 3, 3);
+        let b: Database<provsem_semiring::Bool> = reannotate(&db);
+        assert_eq!(b.get("R").unwrap().len(), db.get("R").unwrap().len());
+    }
+
+    #[test]
+    fn ctable_and_tagged_generators_use_distinct_variables() {
+        let ct = random_ternary_ctable(4, 12, 5);
+        let annotations: std::collections::BTreeSet<PosBool> =
+            ct.get("R").unwrap().iter().map(|(_, k)| k.clone()).collect();
+        assert_eq!(annotations.len(), ct.get("R").unwrap().len());
+        let tagged = random_ternary_tagged(4, 12, 5);
+        assert_eq!(tagged.get("R").unwrap().len(), ct.get("R").unwrap().len());
+    }
+}

@@ -1,0 +1,31 @@
+//! # provsem-containment
+//!
+//! Query containment with respect to K-relation semantics — Section 9 of
+//! *Provenance Semirings*: conjunctive queries, canonical databases,
+//! Chandra–Merlin containment mappings, Sagiv–Yannakakis containment of
+//! unions of conjunctive queries, and the Theorem 9.2 transfer result
+//! (`⊑_K` = `⊑_𝔹` for distributive lattices), together with an empirical
+//! instance-level checker used to exhibit the bag-semantics counterexamples.
+//!
+//! ```
+//! use provsem_containment::prelude::*;
+//!
+//! let q1 = ConjunctiveQuery::parse("Q(x, y) :- R(x, y), R(y, y).").unwrap();
+//! let q2 = ConjunctiveQuery::parse("Q(x, y) :- R(x, y).").unwrap();
+//! assert!(q1.contained_in(&q2));
+//! assert!(!q2.contained_in(&q1));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cq;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::cq::{
+        check_containment_on_instance, ConjunctiveQuery, UnionOfConjunctiveQueries,
+    };
+}
+
+pub use prelude::*;

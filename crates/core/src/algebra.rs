@@ -1,0 +1,362 @@
+//! The positive relational algebra on K-relations (Definition 3.2 of the
+//! paper): empty relation, union, projection, selection, natural join and
+//! renaming.
+//!
+//! Every operation consumes and produces [`KRelation`]s and works for any
+//! semiring `K`; Proposition 3.3 (operations preserve finite support) holds
+//! by construction because only supports are ever materialized.
+
+use crate::predicate::Predicate;
+use crate::relation::KRelation;
+use crate::schema::{Renaming, Schema};
+use crate::tuple::Tuple;
+use provsem_semiring::Semiring;
+
+impl<K: Semiring> KRelation<K> {
+    /// Union (Definition 3.2): `(R₁ ∪ R₂)(t) = R₁(t) + R₂(t)`.
+    ///
+    /// # Panics
+    /// Panics if the two relations have different schemas.
+    pub fn union(&self, other: &KRelation<K>) -> KRelation<K> {
+        assert_eq!(
+            self.schema(),
+            other.schema(),
+            "union requires identical schemas"
+        );
+        let mut result = self.clone();
+        for (t, k) in other.iter() {
+            result.insert(t.clone(), k.clone());
+        }
+        result
+    }
+
+    /// Projection (Definition 3.2):
+    /// `(π_V R)(t) = Σ { R(t') | t = t' on V, R(t') ≠ 0 }`.
+    ///
+    /// # Panics
+    /// Panics if `V` is not a subset of the relation's schema.
+    pub fn project(&self, onto: &Schema) -> KRelation<K> {
+        assert!(
+            self.schema().contains_all(onto),
+            "projection target must be a subset of the schema"
+        );
+        let mut result = KRelation::empty(onto.clone());
+        for (t, k) in self.iter() {
+            result.insert(t.restrict(onto), k.clone());
+        }
+        result
+    }
+
+    /// Projection by attribute names (convenience wrapper around
+    /// [`KRelation::project`]).
+    pub fn project_named<'a, I: IntoIterator<Item = &'a str>>(&self, attrs: I) -> KRelation<K> {
+        self.project(&Schema::new(attrs))
+    }
+
+    /// Selection (Definition 3.2): `(σ_P R)(t) = R(t) · P(t)` where `P(t)` is
+    /// `0` or `1`.
+    pub fn select(&self, predicate: &Predicate) -> KRelation<K> {
+        let mut result = KRelation::empty(self.schema().clone());
+        for (t, k) in self.iter() {
+            if predicate.eval(t) {
+                // R(t) · 1 = R(t)
+                result.insert(t.clone(), k.clone());
+            }
+            // R(t) · 0 = 0: the tuple is simply not inserted.
+        }
+        result
+    }
+
+    /// Natural join (Definition 3.2): the result is over `U₁ ∪ U₂` and
+    /// `(R₁ ⋈ R₂)(t) = R₁(t on U₁) · R₂(t on U₂)`.
+    pub fn join(&self, other: &KRelation<K>) -> KRelation<K> {
+        let joint_schema = self.schema().union(other.schema());
+        let shared = self.schema().intersection(other.schema());
+        let mut result = KRelation::empty(joint_schema);
+
+        // Hash-join on the shared attributes: group the smaller relation's
+        // tuples by their restriction to the shared schema.
+        let (build, probe, build_is_self) = if self.len() <= other.len() {
+            (self, other, true)
+        } else {
+            (other, self, false)
+        };
+        let mut index: std::collections::HashMap<Tuple, Vec<(&Tuple, &K)>> =
+            std::collections::HashMap::new();
+        for (t, k) in build.iter() {
+            index.entry(t.restrict(&shared)).or_default().push((t, k));
+        }
+        for (t2, k2) in probe.iter() {
+            let key = t2.restrict(&shared);
+            if let Some(matches) = index.get(&key) {
+                for (t1, k1) in matches {
+                    // Compatibility on shared attributes is guaranteed by the
+                    // index key; merge is therefore always Some.
+                    let merged = t1
+                        .merge(t2)
+                        .expect("tuples agreeing on shared attributes must merge");
+                    let annotation = if build_is_self {
+                        (*k1).times(k2)
+                    } else {
+                        k2.times(k1)
+                    };
+                    result.insert(merged, annotation);
+                }
+            }
+        }
+        result
+    }
+
+    /// Renaming (Definition 3.2): `(ρ_β R)(t) = R(t ∘ β)`.
+    ///
+    /// # Panics
+    /// Panics if the renaming is not injective on this relation's schema.
+    pub fn rename(&self, renaming: &Renaming) -> KRelation<K> {
+        let new_schema = renaming
+            .apply_schema(self.schema())
+            .expect("renaming must be a bijection on the relation's schema");
+        let mut result = KRelation::empty(new_schema);
+        for (t, k) in self.iter() {
+            result.insert(t.rename(renaming), k.clone());
+        }
+        result
+    }
+
+    /// Intersection, the derived operation `R₁ ∩ R₂ = R₁ ⋈ R₂` for relations
+    /// over the same schema: `(R₁ ∩ R₂)(t) = R₁(t) · R₂(t)`.
+    pub fn intersect(&self, other: &KRelation<K>) -> KRelation<K> {
+        assert_eq!(
+            self.schema(),
+            other.schema(),
+            "intersection requires identical schemas"
+        );
+        self.join(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provsem_semiring::{Bool, Natural, PosBool, Semiring};
+
+    fn nat(n: u64) -> Natural {
+        Natural::from(n)
+    }
+
+    /// The relation R of Figure 3(a): {(a,b,c) ↦ 2, (d,b,e) ↦ 5, (f,g,e) ↦ 1}.
+    fn figure3_r() -> KRelation<Natural> {
+        let schema = Schema::new(["a", "b", "c"]);
+        KRelation::from_tuples(
+            schema,
+            [
+                (Tuple::new([("a", "a"), ("b", "b"), ("c", "c")]), nat(2)),
+                (Tuple::new([("a", "d"), ("b", "b"), ("c", "e")]), nat(5)),
+                (Tuple::new([("a", "f"), ("b", "g"), ("c", "e")]), nat(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn union_adds_annotations() {
+        let schema = Schema::new(["a"]);
+        let r1: KRelation<Natural> =
+            KRelation::from_tuples(schema.clone(), [(Tuple::new([("a", "x")]), nat(2))]);
+        let r2: KRelation<Natural> =
+            KRelation::from_tuples(schema, [(Tuple::new([("a", "x")]), nat(3))]);
+        let u = r1.union(&r2);
+        assert_eq!(u.annotation(&Tuple::new([("a", "x")])), nat(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical schemas")]
+    fn union_requires_same_schema() {
+        let r1: KRelation<Natural> = KRelation::empty(Schema::new(["a"]));
+        let r2: KRelation<Natural> = KRelation::empty(Schema::new(["b"]));
+        let _ = r1.union(&r2);
+    }
+
+    #[test]
+    fn projection_sums_collapsed_tuples() {
+        // π_b of Figure 3(a): b ↦ 2 + 5 = 7, g ↦ 1.
+        let r = figure3_r();
+        let p = r.project_named(["b"]);
+        assert_eq!(p.annotation(&Tuple::new([("b", "b")])), nat(7));
+        assert_eq!(p.annotation(&Tuple::new([("b", "g")])), nat(1));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn projection_onto_empty_schema_counts_everything() {
+        let r = figure3_r();
+        let p = r.project(&Schema::empty());
+        assert_eq!(p.annotation(&Tuple::empty()), nat(8));
+    }
+
+    #[test]
+    fn selection_multiplies_by_predicate() {
+        let r = figure3_r();
+        let s = r.select(&Predicate::eq_value("c", "e"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s.annotation(&Tuple::new([("a", "d"), ("b", "b"), ("c", "e")])),
+            nat(5)
+        );
+        assert!(!s.contains(&Tuple::new([("a", "a"), ("b", "b"), ("c", "c")])));
+        // σ_true and σ_false (required constant predicates).
+        assert_eq!(r.select(&Predicate::True), r);
+        assert!(r.select(&Predicate::False).is_empty());
+    }
+
+    #[test]
+    fn join_multiplies_annotations() {
+        // π_ab(R) ⋈ π_bc(R) over the shared attribute b.
+        let r = figure3_r();
+        let ab = r.project_named(["a", "b"]);
+        let bc = r.project_named(["b", "c"]);
+        let j = ab.join(&bc);
+        // (a,b,c): 2·2 = 4, (a,b,e): 2·5 = 10, (d,b,c): 5·2 = 10,
+        // (d,b,e): 5·5 = 25, (f,g,e): 1·1 = 1.
+        assert_eq!(
+            j.annotation(&Tuple::new([("a", "a"), ("b", "b"), ("c", "c")])),
+            nat(4)
+        );
+        assert_eq!(
+            j.annotation(&Tuple::new([("a", "a"), ("b", "b"), ("c", "e")])),
+            nat(10)
+        );
+        assert_eq!(
+            j.annotation(&Tuple::new([("a", "d"), ("b", "b"), ("c", "e")])),
+            nat(25)
+        );
+        assert_eq!(
+            j.annotation(&Tuple::new([("a", "f"), ("b", "g"), ("c", "e")])),
+            nat(1)
+        );
+        assert_eq!(j.len(), 5);
+    }
+
+    #[test]
+    fn join_on_disjoint_schemas_is_cartesian_product() {
+        let r1: KRelation<Natural> = KRelation::from_tuples(
+            Schema::new(["x"]),
+            [
+                (Tuple::new([("x", "1")]), nat(2)),
+                (Tuple::new([("x", "2")]), nat(3)),
+            ],
+        );
+        let r2: KRelation<Natural> =
+            KRelation::from_tuples(Schema::new(["y"]), [(Tuple::new([("y", "9")]), nat(5))]);
+        let j = r1.join(&r2);
+        assert_eq!(j.len(), 2);
+        assert_eq!(
+            j.annotation(&Tuple::new([("x", "1"), ("y", "9")])),
+            nat(10)
+        );
+    }
+
+    #[test]
+    fn join_annotation_order_is_left_times_right() {
+        // For commutative K this is unobservable, but the implementation must
+        // not depend on which side is used to build the hash index; check a
+        // case where the sides have different sizes.
+        let r1: KRelation<Natural> = KRelation::from_tuples(
+            Schema::new(["x", "y"]),
+            [
+                (Tuple::new([("x", "1"), ("y", "a")]), nat(2)),
+                (Tuple::new([("x", "2"), ("y", "a")]), nat(3)),
+                (Tuple::new([("x", "3"), ("y", "b")]), nat(7)),
+            ],
+        );
+        let r2: KRelation<Natural> = KRelation::from_tuples(
+            Schema::new(["y"]),
+            [(Tuple::new([("y", "a")]), nat(10))],
+        );
+        let j12 = r1.join(&r2);
+        let j21 = r2.join(&r1);
+        assert_eq!(j12, j21);
+        assert_eq!(
+            j12.annotation(&Tuple::new([("x", "2"), ("y", "a")])),
+            nat(30)
+        );
+    }
+
+    #[test]
+    fn renaming_relabels_schema_and_tuples() {
+        let r = figure3_r();
+        let rho = Renaming::new([("a", "x")]);
+        let renamed = r.rename(&rho);
+        assert_eq!(renamed.schema(), &Schema::new(["x", "b", "c"]));
+        assert_eq!(
+            renamed.annotation(&Tuple::new([("x", "a"), ("b", "b"), ("c", "c")])),
+            nat(2)
+        );
+        assert_eq!(renamed.len(), r.len());
+    }
+
+    #[test]
+    fn intersection_multiplies_annotations_pointwise() {
+        let schema = Schema::new(["a"]);
+        let r1: KRelation<Natural> = KRelation::from_tuples(
+            schema.clone(),
+            [
+                (Tuple::new([("a", "x")]), nat(2)),
+                (Tuple::new([("a", "y")]), nat(3)),
+            ],
+        );
+        let r2: KRelation<Natural> =
+            KRelation::from_tuples(schema, [(Tuple::new([("a", "x")]), nat(5))]);
+        let i = r1.intersect(&r2);
+        assert_eq!(i.len(), 1);
+        assert_eq!(i.annotation(&Tuple::new([("a", "x")])), nat(10));
+    }
+
+    #[test]
+    fn boolean_relations_recover_set_semantics() {
+        // With K = 𝔹 the operations are the ordinary set-semantics RA⁺.
+        let schema = Schema::new(["a", "b"]);
+        let r: KRelation<Bool> = KRelation::from_support(
+            schema.clone(),
+            [
+                Tuple::new([("a", "1"), ("b", "2")]),
+                Tuple::new([("a", "1"), ("b", "3")]),
+            ],
+        );
+        let s: KRelation<Bool> =
+            KRelation::from_support(schema, [Tuple::new([("a", "1"), ("b", "2")])]);
+        assert_eq!(r.union(&s).len(), 2);
+        assert_eq!(r.intersect(&s).len(), 1);
+        assert_eq!(r.project_named(["a"]).len(), 1);
+    }
+
+    #[test]
+    fn posbool_join_conjunctions() {
+        // Joining tuples annotated with boolean variables conjoins them, as
+        // in the Imielinski–Lipski computation.
+        let r: KRelation<PosBool> = KRelation::from_tuples(
+            Schema::new(["a", "b"]),
+            [(Tuple::new([("a", "a"), ("b", "b")]), PosBool::var("b1"))],
+        );
+        let s: KRelation<PosBool> = KRelation::from_tuples(
+            Schema::new(["b", "c"]),
+            [(Tuple::new([("b", "b"), ("c", "e")]), PosBool::var("b2"))],
+        );
+        let j = r.join(&s);
+        assert_eq!(
+            j.annotation(&Tuple::new([("a", "a"), ("b", "b"), ("c", "e")])),
+            PosBool::var("b1").times(&PosBool::var("b2"))
+        );
+    }
+
+    #[test]
+    fn operations_preserve_finite_support() {
+        // Proposition 3.3: every operation's result support is finite and in
+        // fact bounded by products/sums of the input support sizes.
+        let r = figure3_r();
+        assert!(r.union(&r).len() <= r.len() * 2);
+        assert!(r.project_named(["a"]).len() <= r.len());
+        assert!(r.select(&Predicate::True).len() <= r.len());
+        let ab = r.project_named(["a", "b"]);
+        let bc = r.project_named(["b", "c"]);
+        assert!(ab.join(&bc).len() <= ab.len() * bc.len());
+    }
+}

@@ -1,0 +1,353 @@
+//! RA⁺ expressions: an AST for positive relational algebra queries and their
+//! evaluation against a [`Database`].
+//!
+//! Having queries as values (rather than only as Rust method chains) is what
+//! lets the same query be run over *different* semirings — the heart of the
+//! paper's message — and lets the provenance machinery (Theorem 4.3) and the
+//! containment tests (Section 9) manipulate queries symbolically.
+
+use crate::database::Database;
+use crate::predicate::Predicate;
+use crate::relation::KRelation;
+use crate::schema::{Renaming, Schema};
+use provsem_semiring::Semiring;
+use std::fmt;
+
+/// A positive relational algebra expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum RaExpr {
+    /// A named base relation.
+    Relation(String),
+    /// The empty relation over a given schema.
+    Empty(Schema),
+    /// Union of two expressions (same schema).
+    Union(Box<RaExpr>, Box<RaExpr>),
+    /// Projection onto a schema.
+    Project(Schema, Box<RaExpr>),
+    /// Selection by a predicate.
+    Select(Predicate, Box<RaExpr>),
+    /// Natural join.
+    Join(Box<RaExpr>, Box<RaExpr>),
+    /// Renaming of attributes.
+    Rename(Renaming, Box<RaExpr>),
+}
+
+/// Errors raised when evaluating an [`RaExpr`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// The expression references a relation that the database does not have.
+    UnknownRelation(String),
+    /// A union combined two sub-expressions with different schemas.
+    SchemaMismatch {
+        /// Schema of the left operand.
+        left: Schema,
+        /// Schema of the right operand.
+        right: Schema,
+    },
+    /// A projection targeted attributes that are not produced by its input.
+    InvalidProjection {
+        /// The requested projection schema.
+        requested: Schema,
+        /// The schema actually produced by the input expression.
+        available: Schema,
+    },
+    /// A renaming was not injective on the input schema.
+    InvalidRenaming(Schema),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownRelation(name) => write!(f, "unknown relation {name}"),
+            EvalError::SchemaMismatch { left, right } => {
+                write!(f, "union schema mismatch: {left:?} vs {right:?}")
+            }
+            EvalError::InvalidProjection {
+                requested,
+                available,
+            } => write!(
+                f,
+                "projection onto {requested:?} not contained in {available:?}"
+            ),
+            EvalError::InvalidRenaming(schema) => {
+                write!(f, "renaming is not a bijection on {schema:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl RaExpr {
+    /// A reference to a named base relation.
+    pub fn relation(name: impl Into<String>) -> Self {
+        RaExpr::Relation(name.into())
+    }
+
+    /// Union with another expression.
+    pub fn union(self, other: RaExpr) -> Self {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Projection onto the named attributes.
+    pub fn project<'a, I: IntoIterator<Item = &'a str>>(self, attrs: I) -> Self {
+        RaExpr::Project(Schema::new(attrs), Box::new(self))
+    }
+
+    /// Selection by a predicate.
+    pub fn select(self, predicate: Predicate) -> Self {
+        RaExpr::Select(predicate, Box::new(self))
+    }
+
+    /// Natural join with another expression.
+    pub fn join(self, other: RaExpr) -> Self {
+        RaExpr::Join(Box::new(self), Box::new(other))
+    }
+
+    /// Renaming of attributes.
+    pub fn rename(self, renaming: Renaming) -> Self {
+        RaExpr::Rename(renaming, Box::new(self))
+    }
+
+    /// The names of the base relations referenced by this expression.
+    pub fn base_relations(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        self.collect_base_relations(&mut names);
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    fn collect_base_relations(&self, out: &mut Vec<String>) {
+        match self {
+            RaExpr::Relation(name) => out.push(name.clone()),
+            RaExpr::Empty(_) => {}
+            RaExpr::Union(a, b) | RaExpr::Join(a, b) => {
+                a.collect_base_relations(out);
+                b.collect_base_relations(out);
+            }
+            RaExpr::Project(_, e) | RaExpr::Select(_, e) | RaExpr::Rename(_, e) => {
+                e.collect_base_relations(out)
+            }
+        }
+    }
+
+    /// Evaluates the expression over a database of K-relations
+    /// (Definition 3.2, applied compositionally).
+    pub fn eval<K: Semiring>(&self, db: &Database<K>) -> Result<KRelation<K>, EvalError> {
+        match self {
+            RaExpr::Relation(name) => db
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EvalError::UnknownRelation(name.clone())),
+            RaExpr::Empty(schema) => Ok(KRelation::empty(schema.clone())),
+            RaExpr::Union(a, b) => {
+                let ra = a.eval(db)?;
+                let rb = b.eval(db)?;
+                if ra.schema() != rb.schema() {
+                    return Err(EvalError::SchemaMismatch {
+                        left: ra.schema().clone(),
+                        right: rb.schema().clone(),
+                    });
+                }
+                Ok(ra.union(&rb))
+            }
+            RaExpr::Project(schema, e) => {
+                let r = e.eval(db)?;
+                if !r.schema().contains_all(schema) {
+                    return Err(EvalError::InvalidProjection {
+                        requested: schema.clone(),
+                        available: r.schema().clone(),
+                    });
+                }
+                Ok(r.project(schema))
+            }
+            RaExpr::Select(p, e) => Ok(e.eval(db)?.select(p)),
+            RaExpr::Join(a, b) => Ok(a.eval(db)?.join(&b.eval(db)?)),
+            RaExpr::Rename(rho, e) => {
+                let r = e.eval(db)?;
+                if rho.apply_schema(r.schema()).is_none() {
+                    return Err(EvalError::InvalidRenaming(r.schema().clone()));
+                }
+                Ok(r.rename(rho))
+            }
+        }
+    }
+
+    /// The output schema of the expression given the schemas of the base
+    /// relations, without evaluating it. Errors mirror those of `eval`.
+    pub fn output_schema<K: Semiring>(&self, db: &Database<K>) -> Result<Schema, EvalError> {
+        match self {
+            RaExpr::Relation(name) => db
+                .schema_of(name)
+                .cloned()
+                .ok_or_else(|| EvalError::UnknownRelation(name.clone())),
+            RaExpr::Empty(schema) => Ok(schema.clone()),
+            RaExpr::Union(a, b) => {
+                let sa = a.output_schema(db)?;
+                let sb = b.output_schema(db)?;
+                if sa != sb {
+                    return Err(EvalError::SchemaMismatch { left: sa, right: sb });
+                }
+                Ok(sa)
+            }
+            RaExpr::Project(schema, e) => {
+                let inner = e.output_schema(db)?;
+                if !inner.contains_all(schema) {
+                    return Err(EvalError::InvalidProjection {
+                        requested: schema.clone(),
+                        available: inner,
+                    });
+                }
+                Ok(schema.clone())
+            }
+            RaExpr::Select(_, e) => e.output_schema(db),
+            RaExpr::Join(a, b) => Ok(a.output_schema(db)?.union(&b.output_schema(db)?)),
+            RaExpr::Rename(rho, e) => {
+                let inner = e.output_schema(db)?;
+                rho.apply_schema(&inner)
+                    .ok_or(EvalError::InvalidRenaming(inner))
+            }
+        }
+    }
+}
+
+/// Builds the running-example query of Section 2 of the paper:
+///
+/// ```text
+/// q(R) = π_ac( π_ab R ⋈ π_bc R  ∪  π_ac R ⋈ π_bc R )
+/// ```
+///
+/// over a base relation named `relation_name` with attributes `a`, `b`, `c`.
+/// (Both join operands produce relations over `{a,b,c}`, so the union is
+/// well-typed and the final projection keeps `a` and `c` — this is the query
+/// used in Figures 1–5.)
+pub fn paper_example_query(relation_name: &str) -> RaExpr {
+    let r = || RaExpr::relation(relation_name);
+    let left = r().project(["a", "b"]).join(r().project(["b", "c"]));
+    let right = r().project(["a", "c"]).join(r().project(["b", "c"]));
+    left.union(right).project(["a", "c"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use provsem_semiring::Natural;
+
+    fn nat(n: u64) -> Natural {
+        Natural::from(n)
+    }
+
+    fn figure3_db() -> Database<Natural> {
+        let schema = Schema::new(["a", "b", "c"]);
+        let r = KRelation::from_tuples(
+            schema,
+            [
+                (Tuple::new([("a", "a"), ("b", "b"), ("c", "c")]), nat(2)),
+                (Tuple::new([("a", "d"), ("b", "b"), ("c", "e")]), nat(5)),
+                (Tuple::new([("a", "f"), ("b", "g"), ("c", "e")]), nat(1)),
+            ],
+        );
+        Database::new().with("R", r)
+    }
+
+    #[test]
+    fn figure3_bag_semantics_result() {
+        // Figure 3(b): q(R) = {(a,c)↦8, (a,e)↦10, (d,c)↦10, (d,e)↦55, (f,e)↦7}.
+        let q = paper_example_query("R");
+        let out = q.eval(&figure3_db()).unwrap();
+        let expect = |a: &str, c: &str, n: u64| {
+            assert_eq!(
+                out.annotation(&Tuple::new([("a", a), ("c", c)])),
+                nat(n),
+                "annotation of ({a},{c})"
+            );
+        };
+        expect("a", "c", 8);
+        expect("a", "e", 10);
+        expect("d", "c", 10);
+        expect("d", "e", 55);
+        expect("f", "e", 7);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn output_schema_matches_evaluation() {
+        let q = paper_example_query("R");
+        let db = figure3_db();
+        assert_eq!(q.output_schema(&db).unwrap(), Schema::new(["a", "c"]));
+        assert_eq!(
+            q.eval(&db).unwrap().schema(),
+            &q.output_schema(&db).unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let q = RaExpr::relation("Missing").project(["a"]);
+        assert_eq!(
+            q.eval(&figure3_db()),
+            Err(EvalError::UnknownRelation("Missing".into()))
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_in_union_is_reported() {
+        let q = RaExpr::relation("R")
+            .project(["a"])
+            .union(RaExpr::relation("R").project(["b"]));
+        match q.eval(&figure3_db()) {
+            Err(EvalError::SchemaMismatch { .. }) => {}
+            other => panic!("expected schema mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_projection_is_reported() {
+        let q = RaExpr::relation("R").project(["z"]);
+        match q.eval(&figure3_db()) {
+            Err(EvalError::InvalidProjection { .. }) => {}
+            other => panic!("expected invalid projection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_expression_evaluates_to_empty_relation() {
+        let q = RaExpr::Empty(Schema::new(["a", "c"]));
+        let out = q.eval(&figure3_db()).unwrap();
+        assert!(out.is_empty());
+        // ∅ is the identity of union (one of the Proposition 3.4 identities).
+        let q2 = paper_example_query("R").union(RaExpr::Empty(Schema::new(["a", "c"])));
+        assert_eq!(
+            q2.eval(&figure3_db()).unwrap(),
+            paper_example_query("R").eval(&figure3_db()).unwrap()
+        );
+    }
+
+    #[test]
+    fn base_relations_are_collected() {
+        let q = paper_example_query("R").join(RaExpr::relation("S"));
+        assert_eq!(q.base_relations(), vec!["R".to_string(), "S".to_string()]);
+    }
+
+    #[test]
+    fn select_true_false_identities() {
+        // Proposition 3.4: σ_false(R) = ∅ and σ_true(R) = R.
+        let db = figure3_db();
+        let r = RaExpr::relation("R");
+        assert!(r.clone().select(Predicate::False).eval(&db).unwrap().is_empty());
+        assert_eq!(
+            r.clone().select(Predicate::True).eval(&db).unwrap(),
+            r.eval(&db).unwrap()
+        );
+    }
+
+    #[test]
+    fn rename_roundtrip_via_expression() {
+        let db = figure3_db();
+        let rho = Renaming::new([("a", "x")]);
+        let q = RaExpr::relation("R").rename(rho.clone()).rename(rho.inverse());
+        assert_eq!(q.eval(&db).unwrap(), RaExpr::relation("R").eval(&db).unwrap());
+    }
+}

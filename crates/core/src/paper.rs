@@ -1,0 +1,257 @@
+//! The paper's running examples, packaged as ready-made instances.
+//!
+//! Every figure of the paper's Sections 2–7 is driven by one of two
+//! instances:
+//!
+//! * the ternary relation `R(a,b,c) = {(a,b,c), (d,b,e), (f,g,e)}` used by
+//!   Figures 1–5 (with `?`, boolean-variable, multiplicity, probabilistic
+//!   event, or tuple-id annotations), queried by
+//!   `q(R) = π_ac(π_ab R ⋈ π_bc R ∪ π_ac R ⋈ π_bc R)`;
+//! * the binary edge relation of Figure 7, queried by datalog transitive
+//!   closure.
+//!
+//! Centralizing them here keeps the tests, examples and benchmarks that
+//! reproduce each figure literally in sync with the paper.
+
+use crate::database::Database;
+use crate::expr::{paper_example_query, RaExpr};
+use crate::relation::KRelation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use provsem_semiring::{
+    Bool, Event, NatInf, Natural, PosBool, ProvenancePolynomial, Semiring, Variable,
+};
+
+/// The three tuples of the Section 2 relation, in the paper's order:
+/// `(a,b,c)`, `(d,b,e)`, `(f,g,e)`.
+pub fn section2_tuples() -> Vec<Tuple> {
+    vec![
+        Tuple::new([("a", "a"), ("b", "b"), ("c", "c")]),
+        Tuple::new([("a", "d"), ("b", "b"), ("c", "e")]),
+        Tuple::new([("a", "f"), ("b", "g"), ("c", "e")]),
+    ]
+}
+
+/// The schema `{a, b, c}` of the Section 2 relation.
+pub fn section2_schema() -> Schema {
+    Schema::new(["a", "b", "c"])
+}
+
+/// The query `q` of Section 2 (used in Figures 1–5), over a relation named
+/// `R`.
+pub fn section2_query() -> RaExpr {
+    paper_example_query("R")
+}
+
+/// Builds the Section 2 database with caller-provided annotations for the
+/// three tuples, in the paper's order.
+pub fn section2_database<K: Semiring>(annotations: [K; 3]) -> Database<K> {
+    let rel = KRelation::from_tuples(
+        section2_schema(),
+        section2_tuples().into_iter().zip(annotations),
+    );
+    Database::new().with("R", rel)
+}
+
+/// Figure 1(b): the maybe-table as a `PosBool`-relation with fresh boolean
+/// variables `b1, b2, b3` (one per optional tuple).
+pub fn figure1_ctable() -> Database<PosBool> {
+    section2_database([
+        PosBool::var("b1"),
+        PosBool::var("b2"),
+        PosBool::var("b3"),
+    ])
+}
+
+/// Figure 3(a): the bag-semantics relation with multiplicities 2, 5, 1.
+pub fn figure3_bag() -> Database<Natural> {
+    section2_database([Natural::from(2u64), Natural::from(5u64), Natural::from(1u64)])
+}
+
+/// Figure 4(a): the probabilistic event table. Worlds are numbered by the
+/// three independent events `x, y, z`: world id `w ∈ 0..8` has bit 0 set iff
+/// `x` holds, bit 1 iff `y` holds, bit 2 iff `z` holds.
+pub fn figure4_events() -> Database<Event> {
+    let x = Event::of_worlds((0u32..8).filter(|w| w & 1 != 0));
+    let y = Event::of_worlds((0u32..8).filter(|w| w & 2 != 0));
+    let z = Event::of_worlds((0u32..8).filter(|w| w & 4 != 0));
+    section2_database([x, y, z])
+}
+
+/// The world probabilities matching [`figure4_events`] with
+/// `P(x)=0.6, P(y)=0.5, P(z)=0.1` and independence: world `w` has probability
+/// `Π P(eᵢ)^{bit} (1-P(eᵢ))^{1-bit}`.
+pub fn figure4_world_probabilities() -> Vec<f64> {
+    let p = [0.6f64, 0.5, 0.1];
+    (0u32..8)
+        .map(|w| {
+            (0..3)
+                .map(|i| {
+                    if w & (1 << i) != 0 {
+                        p[i]
+                    } else {
+                        1.0 - p[i]
+                    }
+                })
+                .product()
+        })
+        .collect()
+}
+
+/// Figure 5(a): the relation abstractly tagged with its own tuple ids
+/// `p, r, s`.
+pub fn figure5_tagged() -> Database<ProvenancePolynomial> {
+    section2_database([
+        ProvenancePolynomial::var("p"),
+        ProvenancePolynomial::var("r"),
+        ProvenancePolynomial::var("s"),
+    ])
+}
+
+/// The set-semantics (𝔹) version of the Section 2 relation, i.e. the
+/// certain tuples of Figure 1 without the `?` marks.
+pub fn section2_boolean() -> Database<Bool> {
+    section2_database([Bool::from(true), Bool::from(true), Bool::from(true)])
+}
+
+/// The schema `{src, dst}` used for the Figure 6/7 graph relations.
+pub fn edge_schema() -> Schema {
+    Schema::new(["src", "dst"])
+}
+
+/// An edge tuple `(src, dst)`.
+pub fn edge(src: &str, dst: &str) -> Tuple {
+    Tuple::new([("src", src), ("dst", dst)])
+}
+
+/// Figure 6(b): the bag relation `{(a,a)↦2, (a,b)↦3, (b,b)↦4}` queried by
+/// `Q(x,y) :- R(x,z), R(z,y)`.
+pub fn figure6_bag() -> Database<Natural> {
+    let rel = KRelation::from_tuples(
+        edge_schema(),
+        [
+            (edge("a", "a"), Natural::from(2u64)),
+            (edge("a", "b"), Natural::from(3u64)),
+            (edge("b", "b"), Natural::from(4u64)),
+        ],
+    );
+    Database::new().with("R", rel)
+}
+
+/// Figure 7(a/b): the ℕ-relation
+/// `{(a,b)↦2, (a,c)↦3, (c,b)↦2, (b,d)↦1, (d,d)↦1}` whose transitive closure
+/// under bag semantics is computed in Figure 7(c).
+pub fn figure7_bag() -> Database<NatInf> {
+    let rel = KRelation::from_tuples(
+        edge_schema(),
+        [
+            (edge("a", "b"), NatInf::Fin(2)),
+            (edge("a", "c"), NatInf::Fin(3)),
+            (edge("c", "b"), NatInf::Fin(2)),
+            (edge("b", "d"), NatInf::Fin(1)),
+            (edge("d", "d"), NatInf::Fin(1)),
+        ],
+    );
+    Database::new().with("R", rel)
+}
+
+/// Figure 7(d): the same edge relation abstractly tagged with the paper's
+/// variable names `m, n, p, r, s`.
+pub fn figure7_tagged() -> Database<ProvenancePolynomial> {
+    let rel = KRelation::from_tuples(
+        edge_schema(),
+        [
+            (edge("a", "b"), ProvenancePolynomial::var("m")),
+            (edge("a", "c"), ProvenancePolynomial::var("n")),
+            (edge("c", "b"), ProvenancePolynomial::var("p")),
+            (edge("b", "d"), ProvenancePolynomial::var("r")),
+            (edge("d", "d"), ProvenancePolynomial::var("s")),
+        ],
+    );
+    Database::new().with("R", rel)
+}
+
+/// The variable names used by [`figure7_tagged`], for building valuations.
+pub fn figure7_variables() -> Vec<Variable> {
+    ["m", "n", "p", "r", "s"].iter().map(Variable::new).collect()
+}
+
+/// The expected output of Figure 3(b), as `(a-value, c-value, multiplicity)`.
+pub fn figure3_expected() -> Vec<(&'static str, &'static str, u64)> {
+    vec![
+        ("a", "c", 8),
+        ("a", "e", 10),
+        ("d", "c", 10),
+        ("d", "e", 55),
+        ("f", "e", 7),
+    ]
+}
+
+/// The expected bag-semantics answers of Figure 6(c):
+/// `(x, y, multiplicity)`.
+pub fn figure6_expected() -> Vec<(&'static str, &'static str, u64)> {
+    vec![("a", "a", 4), ("a", "b", 18), ("b", "b", 16)]
+}
+
+/// The expected ℕ∞ transitive-closure answers for the Figure 7 instance.
+///
+/// The first six entries are exactly the paper's Figure 7(b). The seventh,
+/// `(c,d) ↦ ∞`, is derivable (via `c→b→d` and the `d→d` self-loop) but
+/// omitted from the paper's figure; the full semantics produces it, so it is
+/// part of the expected answer here (see EXPERIMENTS.md, experiment E7).
+pub fn figure7_expected() -> Vec<(&'static str, &'static str, NatInf)> {
+    vec![
+        ("a", "b", NatInf::Fin(8)),
+        ("a", "c", NatInf::Fin(3)),
+        ("c", "b", NatInf::Fin(2)),
+        ("b", "d", NatInf::Inf),
+        ("d", "d", NatInf::Inf),
+        ("a", "d", NatInf::Inf),
+        ("c", "d", NatInf::Inf),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section2_instances_have_three_tuples() {
+        assert_eq!(figure3_bag().get("R").unwrap().len(), 3);
+        assert_eq!(figure1_ctable().get("R").unwrap().len(), 3);
+        assert_eq!(figure4_events().get("R").unwrap().len(), 3);
+        assert_eq!(figure5_tagged().get("R").unwrap().len(), 3);
+        assert_eq!(section2_boolean().get("R").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn figure3_query_result_matches_paper() {
+        let out = section2_query().eval(&figure3_bag()).unwrap();
+        for (a, c, n) in figure3_expected() {
+            assert_eq!(
+                out.annotation(&Tuple::new([("a", a), ("c", c)])),
+                Natural::from(n),
+                "({a},{c})"
+            );
+        }
+        assert_eq!(out.len(), figure3_expected().len());
+    }
+
+    #[test]
+    fn figure4_world_probabilities_form_a_distribution() {
+        let probs = figure4_world_probabilities();
+        assert_eq!(probs.len(), 8);
+        let total: f64 = probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // P(x) recovered from the worlds in which x holds.
+        let x = Event::of_worlds((0u32..8).filter(|w| w & 1 != 0));
+        assert!((x.probability(&probs) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure7_graph_has_five_edges() {
+        assert_eq!(figure7_bag().get("R").unwrap().len(), 5);
+        assert_eq!(figure7_tagged().get("R").unwrap().len(), 5);
+        assert_eq!(figure7_variables().len(), 5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Selection predicates.
+//!
+//! Definition 3.2 leaves open which `{0,1}`-valued functions may be used as
+//! selection predicates, requiring only that the constant predicates `true`
+//! and `false` are available. We provide the usual equality/comparison
+//! predicates on attributes and constants, closed under conjunction and
+//! disjunction (all of which remain `{0,1}`-valued, as required).
+
+use crate::schema::Attribute;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// A selection predicate `P : U-Tup → {0, 1}`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Predicate {
+    /// The constantly-true predicate (`σ_true(R) = R`).
+    True,
+    /// The constantly-false predicate (`σ_false(R) = ∅`).
+    False,
+    /// Attribute equals a constant value.
+    AttrEqValue(Attribute, Value),
+    /// Two attributes are equal.
+    AttrEqAttr(Attribute, Attribute),
+    /// Attribute differs from a constant value.
+    AttrNeValue(Attribute, Value),
+    /// Conjunction of two predicates.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction of two predicates.
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// `attr = value`.
+    pub fn eq_value(attr: impl Into<Attribute>, value: impl Into<Value>) -> Self {
+        Predicate::AttrEqValue(attr.into(), value.into())
+    }
+
+    /// `attr ≠ value`.
+    pub fn ne_value(attr: impl Into<Attribute>, value: impl Into<Value>) -> Self {
+        Predicate::AttrNeValue(attr.into(), value.into())
+    }
+
+    /// `attr₁ = attr₂`.
+    pub fn eq_attrs(a: impl Into<Attribute>, b: impl Into<Attribute>) -> Self {
+        Predicate::AttrEqAttr(a.into(), b.into())
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluates the predicate on a tuple, returning `true` (1) or `false`
+    /// (0). Missing attributes make equality tests fail (return 0) rather
+    /// than panic, so selections over the "wrong" schema are simply empty.
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::AttrEqValue(a, v) => tuple.get(a) == Some(v),
+            Predicate::AttrNeValue(a, v) => match tuple.get(a) {
+                Some(w) => w != v,
+                None => false,
+            },
+            Predicate::AttrEqAttr(a, b) => match (tuple.get(a), tuple.get(b)) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+            Predicate::And(p, q) => p.eval(tuple) && q.eval(tuple),
+            Predicate::Or(p, q) => p.eval(tuple) || q.eval(tuple),
+        }
+    }
+
+    /// Does the predicate only test attribute (in)equality against other
+    /// attributes and constants? (Propositions 5.3 and 6.2 restrict to
+    /// equality-only selections when translating RA⁺ to datalog.)
+    pub fn is_equality_only(&self) -> bool {
+        match self {
+            Predicate::True | Predicate::False => true,
+            Predicate::AttrEqValue(_, _) | Predicate::AttrEqAttr(_, _) => true,
+            Predicate::AttrNeValue(_, _) => false,
+            Predicate::And(p, q) | Predicate::Or(p, q) => {
+                p.is_equality_only() && q.is_equality_only()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::False => write!(f, "false"),
+            Predicate::AttrEqValue(a, v) => write!(f, "{a}={v}"),
+            Predicate::AttrNeValue(a, v) => write!(f, "{a}≠{v}"),
+            Predicate::AttrEqAttr(a, b) => write!(f, "{a}={b}"),
+            Predicate::And(p, q) => write!(f, "({p} ∧ {q})"),
+            Predicate::Or(p, q) => write!(f, "({p} ∨ {q})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tuple {
+        Tuple::new([("a", "1"), ("b", "1"), ("c", "2")])
+    }
+
+    #[test]
+    fn constant_predicates() {
+        assert!(Predicate::True.eval(&t()));
+        assert!(!Predicate::False.eval(&t()));
+    }
+
+    #[test]
+    fn equality_with_value_and_attribute() {
+        assert!(Predicate::eq_value("a", "1").eval(&t()));
+        assert!(!Predicate::eq_value("a", "2").eval(&t()));
+        assert!(Predicate::eq_attrs("a", "b").eval(&t()));
+        assert!(!Predicate::eq_attrs("a", "c").eval(&t()));
+    }
+
+    #[test]
+    fn inequality_and_missing_attributes() {
+        assert!(Predicate::ne_value("c", "1").eval(&t()));
+        assert!(!Predicate::ne_value("c", "2").eval(&t()));
+        // Missing attribute: all comparisons are false.
+        assert!(!Predicate::eq_value("z", "1").eval(&t()));
+        assert!(!Predicate::ne_value("z", "1").eval(&t()));
+        assert!(!Predicate::eq_attrs("a", "z").eval(&t()));
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let p = Predicate::eq_value("a", "1").and(Predicate::eq_value("c", "2"));
+        assert!(p.eval(&t()));
+        let q = Predicate::eq_value("a", "9").or(Predicate::eq_attrs("a", "b"));
+        assert!(q.eval(&t()));
+        let r = Predicate::eq_value("a", "9").and(Predicate::True);
+        assert!(!r.eval(&t()));
+    }
+
+    #[test]
+    fn equality_only_classification() {
+        assert!(Predicate::eq_value("a", "1")
+            .and(Predicate::eq_attrs("a", "b"))
+            .is_equality_only());
+        assert!(!Predicate::ne_value("a", "1").is_equality_only());
+        assert!(!Predicate::eq_value("a", "1")
+            .or(Predicate::ne_value("b", "2"))
+            .is_equality_only());
+        assert!(Predicate::True.is_equality_only());
+    }
+
+    #[test]
+    fn display_renders_infix() {
+        let p = Predicate::eq_value("a", "1").and(Predicate::eq_attrs("b", "c"));
+        assert_eq!(format!("{p}"), "(a=1 ∧ b=c)");
+    }
+}

@@ -1,0 +1,334 @@
+//! Provenance-tracking evaluation: abstract tagging and the factorization
+//! theorem (Section 4 of the paper).
+//!
+//! Given a K-relation `R`, its *abstractly tagged* version `R̄` annotates
+//! every support tuple with its own tuple id, viewed as an ℕ[X]-relation.
+//! Theorem 4.3 states that for every RA⁺ query `q`,
+//! `q(R) = Eval_v ∘ q(R̄)` where `v` maps each tuple id to the original
+//! annotation. In other words: run the query **once** over provenance
+//! polynomials, then specialize to any semiring by evaluation.
+
+use crate::database::Database;
+use crate::expr::{EvalError, RaExpr};
+use crate::relation::KRelation;
+use crate::tuple::Tuple;
+use provsem_semiring::{
+    CommutativeSemiring, Monomial, Natural, Polynomial, ProvenancePolynomial, Semiring, Valuation,
+    Variable,
+};
+
+/// The result of abstractly tagging a K-relation or database: the
+/// ℕ[X]-annotated instance together with the valuation `v : X → K` that maps
+/// each fresh tuple id back to the original annotation.
+#[derive(Clone, Debug)]
+pub struct Tagged<K> {
+    /// The abstractly tagged instance `R̄` (each tuple annotated by its id).
+    pub database: Database<ProvenancePolynomial>,
+    /// The valuation sending tuple ids to the original K annotations.
+    pub valuation: Valuation<K>,
+    /// For reporting: which tuple each id refers to (`(relation, tuple)`).
+    pub id_index: Vec<(Variable, String, Tuple)>,
+}
+
+/// Abstractly tags a single relation, generating ids `prefix_0, prefix_1, …`
+/// for its support tuples (in tuple order, so ids are deterministic).
+pub fn tag_relation<K: Semiring>(
+    name: &str,
+    relation: &KRelation<K>,
+) -> (KRelation<ProvenancePolynomial>, Valuation<K>, Vec<(Variable, String, Tuple)>) {
+    let mut tagged = KRelation::empty(relation.schema().clone());
+    let mut valuation = Valuation::new();
+    let mut index = Vec::new();
+    for (i, (tuple, annotation)) in relation.iter().enumerate() {
+        let id = Variable::indexed(name, i);
+        tagged.insert(tuple.clone(), ProvenancePolynomial::var(id.clone()));
+        valuation.assign(id.clone(), annotation.clone());
+        index.push((id, name.to_string(), tuple.clone()));
+    }
+    (tagged, valuation, index)
+}
+
+/// Abstractly tags every relation of a database (Theorem 4.3's `R̄`,
+/// extended to multi-relation instances).
+pub fn tag_database<K: Semiring>(db: &Database<K>) -> Tagged<K> {
+    let mut database = Database::new();
+    let mut valuation = Valuation::new();
+    let mut id_index = Vec::new();
+    for (name, relation) in db.iter() {
+        let (tagged, v, index) = tag_relation(name, relation);
+        database.insert(name.clone(), tagged);
+        for (var, val) in v.iter() {
+            valuation.assign(var.clone(), val.clone());
+        }
+        id_index.extend(index);
+    }
+    Tagged {
+        database,
+        valuation,
+        id_index,
+    }
+}
+
+/// Tags a database with *caller-provided* variable names per tuple — used to
+/// reproduce the paper's figures literally (`p`, `r`, `s` in Figure 5;
+/// `m, n, p, r, s` in Figure 7).
+pub fn tag_database_with_names<K: Semiring>(
+    db: &Database<K>,
+    names: &dyn Fn(&str, &Tuple) -> Variable,
+) -> Tagged<K> {
+    let mut database = Database::new();
+    let mut valuation = Valuation::new();
+    let mut id_index = Vec::new();
+    for (name, relation) in db.iter() {
+        let mut tagged = KRelation::empty(relation.schema().clone());
+        for (tuple, annotation) in relation.iter() {
+            let id = names(name, tuple);
+            tagged.insert(tuple.clone(), ProvenancePolynomial::var(id.clone()));
+            valuation.assign(id.clone(), annotation.clone());
+            id_index.push((id, name.clone(), tuple.clone()));
+        }
+        database.insert(name.clone(), tagged);
+    }
+    Tagged {
+        database,
+        valuation,
+        id_index,
+    }
+}
+
+/// Evaluates a provenance-polynomial-annotated relation into `K` using the
+/// valuation — tuple-wise `Eval_v`, the right-hand side of Theorem 4.3.
+pub fn specialize<K: CommutativeSemiring>(
+    relation: &KRelation<ProvenancePolynomial>,
+    valuation: &Valuation<K>,
+) -> KRelation<K> {
+    relation.map_annotations(|p| p.eval(valuation))
+}
+
+/// Runs a query with provenance: evaluates `q` over the abstractly tagged
+/// database, returning the ℕ[X]-annotated result (the "how-provenance" of
+/// every output tuple).
+pub fn provenance_of_query<K: Semiring>(
+    query: &RaExpr,
+    db: &Database<K>,
+) -> Result<(KRelation<ProvenancePolynomial>, Valuation<K>), EvalError> {
+    let tagged = tag_database(db);
+    let result = query.eval(&tagged.database)?;
+    Ok((result, tagged.valuation))
+}
+
+/// Checks the factorization theorem (Theorem 4.3) on a concrete query and
+/// database: evaluates directly in K and via provenance + `Eval_v`, and
+/// returns whether the two results agree. Used extensively by tests and by
+/// the benchmark harness as a self-check.
+pub fn factorization_holds<K: CommutativeSemiring>(
+    query: &RaExpr,
+    db: &Database<K>,
+) -> Result<bool, EvalError> {
+    let direct = query.eval(db)?;
+    let (prov, valuation) = provenance_of_query(query, db)?;
+    Ok(specialize(&prov, &valuation) == direct)
+}
+
+/// The total size (number of monomials summed over all output tuples) of a
+/// provenance-annotated result; a useful measure of provenance overhead in
+/// the benchmarks.
+pub fn provenance_size(relation: &KRelation<ProvenancePolynomial>) -> usize {
+    relation.iter().map(|(_, p)| p.num_terms()).sum()
+}
+
+/// Builds a provenance polynomial from an explicit list of
+/// `(coefficient, [variables])` terms; a convenience for writing expected
+/// values in tests that mirror the paper's figures.
+pub fn poly(terms: &[(u64, &[&str])]) -> ProvenancePolynomial {
+    Polynomial::from_terms(terms.iter().map(|(c, vars)| {
+        (
+            Monomial::from_bag(vars.iter().copied()),
+            Natural::from(*c),
+        )
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::paper_example_query;
+    use crate::schema::Schema;
+    use provsem_semiring::{Bool, NatInf, PosBool, Tropical, WhySet};
+
+    fn nat(n: u64) -> Natural {
+        Natural::from(n)
+    }
+
+    /// Figure 5(a): R tagged with ids p, r, s.
+    fn figure5_db() -> Database<Natural> {
+        let schema = Schema::new(["a", "b", "c"]);
+        let r = KRelation::from_tuples(
+            schema,
+            [
+                (Tuple::new([("a", "a"), ("b", "b"), ("c", "c")]), nat(2)),
+                (Tuple::new([("a", "d"), ("b", "b"), ("c", "e")]), nat(5)),
+                (Tuple::new([("a", "f"), ("b", "g"), ("c", "e")]), nat(1)),
+            ],
+        );
+        Database::new().with("R", r)
+    }
+
+    fn paper_names(_rel: &str, t: &Tuple) -> Variable {
+        match t.get_named("a").and_then(|v| v.as_str()) {
+            Some("a") => Variable::new("p"),
+            Some("d") => Variable::new("r"),
+            Some("f") => Variable::new("s"),
+            other => panic!("unexpected tuple {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure5c_provenance_polynomials() {
+        // Figure 5(c): q(R̄) = {(a,c)↦2p², (a,e)↦pr, (d,c)↦pr, (d,e)↦2r²+rs,
+        // (f,e)↦2s²+rs}.
+        let db = figure5_db();
+        let tagged = tag_database_with_names(&db, &paper_names);
+        let q = paper_example_query("R");
+        let out = q.eval(&tagged.database).unwrap();
+        let at = |a: &str, c: &str| out.annotation(&Tuple::new([("a", a), ("c", c)]));
+        assert_eq!(at("a", "c"), poly(&[(2, &["p", "p"])]));
+        assert_eq!(at("a", "e"), poly(&[(1, &["p", "r"])]));
+        assert_eq!(at("d", "c"), poly(&[(1, &["p", "r"])]));
+        assert_eq!(at("d", "e"), poly(&[(2, &["r", "r"]), (1, &["r", "s"])]));
+        assert_eq!(at("f", "e"), poly(&[(2, &["s", "s"]), (1, &["r", "s"])]));
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn theorem_4_3_factorization_into_bag_semantics() {
+        let db = figure5_db();
+        let q = paper_example_query("R");
+        assert!(factorization_holds(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn theorem_4_3_factorization_into_other_semirings() {
+        // The same provenance result specializes into 𝔹, PosBool, Tropical,
+        // ℕ∞ — evaluating directly agrees with evaluating via ℕ[X].
+        let db_nat = figure5_db();
+        let q = paper_example_query("R");
+
+        let db_bool: Database<Bool> = db_nat.map_annotations(|n| Bool::from(!n.is_zero()));
+        assert!(factorization_holds(&q, &db_bool).unwrap());
+
+        let db_ninf: Database<NatInf> = db_nat.map_annotations(|n| NatInf::Fin(n.value()));
+        assert!(factorization_holds(&q, &db_ninf).unwrap());
+
+        let db_trop: Database<Tropical> =
+            db_nat.map_annotations(|n| Tropical::cost(n.value()));
+        assert!(factorization_holds(&q, &db_trop).unwrap());
+
+        let mut db_posbool: Database<PosBool> = Database::new();
+        let schema = Schema::new(["a", "b", "c"]);
+        let rel = KRelation::from_tuples(
+            schema,
+            [
+                (
+                    Tuple::new([("a", "a"), ("b", "b"), ("c", "c")]),
+                    PosBool::var("b1"),
+                ),
+                (
+                    Tuple::new([("a", "d"), ("b", "b"), ("c", "e")]),
+                    PosBool::var("b2"),
+                ),
+                (
+                    Tuple::new([("a", "f"), ("b", "g"), ("c", "e")]),
+                    PosBool::var("b3"),
+                ),
+            ],
+        );
+        db_posbool.insert("R", rel);
+        assert!(factorization_holds(&q, &db_posbool).unwrap());
+    }
+
+    #[test]
+    fn specialization_reproduces_figure2_and_figure3_from_figure5() {
+        // One provenance computation, two specializations: the c-table of
+        // Figure 2(b) (via b1, b2, b3) and the bag result of Figure 3(b)
+        // (via 2, 5, 1).
+        let db = figure5_db();
+        let tagged = tag_database_with_names(&db, &paper_names);
+        let q = paper_example_query("R");
+        let prov = q.eval(&tagged.database).unwrap();
+
+        // Bag specialization.
+        let v_bag = Valuation::from_pairs([("p", nat(2)), ("r", nat(5)), ("s", nat(1))]);
+        let bag = specialize(&prov, &v_bag);
+        assert_eq!(bag.annotation(&Tuple::new([("a", "d"), ("c", "e")])), nat(55));
+        assert_eq!(bag.annotation(&Tuple::new([("a", "f"), ("c", "e")])), nat(7));
+
+        // c-table specialization (Figure 2(b)).
+        let v_ctable = Valuation::from_pairs([
+            ("p", PosBool::var("b1")),
+            ("r", PosBool::var("b2")),
+            ("s", PosBool::var("b3")),
+        ]);
+        let ctable = specialize(&prov, &v_ctable);
+        assert_eq!(
+            ctable.annotation(&Tuple::new([("a", "a"), ("c", "c")])),
+            PosBool::var("b1")
+        );
+        assert_eq!(
+            ctable.annotation(&Tuple::new([("a", "a"), ("c", "e")])),
+            PosBool::var("b1").times(&PosBool::var("b2"))
+        );
+        assert_eq!(
+            ctable.annotation(&Tuple::new([("a", "d"), ("c", "e")])),
+            PosBool::var("b2")
+        );
+        assert_eq!(
+            ctable.annotation(&Tuple::new([("a", "f"), ("c", "e")])),
+            PosBool::var("b3")
+        );
+    }
+
+    #[test]
+    fn why_provenance_from_polynomials_matches_figure5b() {
+        let db = figure5_db();
+        let tagged = tag_database_with_names(&db, &paper_names);
+        let q = paper_example_query("R");
+        let prov = q.eval(&tagged.database).unwrap();
+        let why = prov.map_annotations(ProvenancePolynomial::why_provenance);
+        assert_eq!(
+            why.annotation(&Tuple::new([("a", "a"), ("c", "c")])),
+            WhySet::var("p")
+        );
+        assert_eq!(
+            why.annotation(&Tuple::new([("a", "d"), ("c", "e")])),
+            WhySet::from_vars(["r", "s"])
+        );
+        assert_eq!(
+            why.annotation(&Tuple::new([("a", "f"), ("c", "e")])),
+            WhySet::from_vars(["r", "s"])
+        );
+    }
+
+    #[test]
+    fn automatic_tagging_generates_distinct_ids() {
+        let db = figure5_db();
+        let tagged = tag_database(&db);
+        assert_eq!(tagged.id_index.len(), 3);
+        let ids: std::collections::BTreeSet<_> =
+            tagged.id_index.iter().map(|(v, _, _)| v.clone()).collect();
+        assert_eq!(ids.len(), 3);
+        // The valuation maps each id back to the original annotation.
+        for (id, rel, tuple) in &tagged.id_index {
+            let original = db.get(rel).unwrap().annotation(tuple);
+            assert_eq!(tagged.valuation.get(id), Some(&original));
+        }
+    }
+
+    #[test]
+    fn provenance_size_counts_monomials() {
+        let db = figure5_db();
+        let (prov, _) = provenance_of_query(&paper_example_query("R"), &db).unwrap();
+        // 1 + 1 + 1 + 2 + 2 monomials across the five output tuples.
+        assert_eq!(provenance_size(&prov), 7);
+    }
+}

@@ -1,0 +1,224 @@
+//! Tuples in the named perspective: functions `t : U → D` from attributes to
+//! domain values (Section 3 of the paper).
+
+use crate::schema::{Attribute, Renaming, Schema};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A tuple over some schema `U`: a total map from the attributes of `U` to
+/// values. Stored as a sorted map so tuples are hashable and ordered.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tuple {
+    fields: BTreeMap<Attribute, Value>,
+}
+
+impl Tuple {
+    /// The empty tuple (over the empty schema).
+    pub fn empty() -> Self {
+        Tuple::default()
+    }
+
+    /// Builds a tuple from `(attribute, value)` pairs.
+    pub fn new<I, A, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (A, V)>,
+        A: Into<Attribute>,
+        V: Into<Value>,
+    {
+        Tuple {
+            fields: pairs
+                .into_iter()
+                .map(|(a, v)| (a.into(), v.into()))
+                .collect(),
+        }
+    }
+
+    /// Builds a tuple over `schema` from values listed in the schema's
+    /// (sorted) attribute order. Panics if the lengths differ.
+    pub fn from_values<I, V>(schema: &Schema, values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        let values: Vec<Value> = values.into_iter().map(Into::into).collect();
+        assert_eq!(
+            values.len(),
+            schema.arity(),
+            "value count must match schema arity"
+        );
+        Tuple {
+            fields: schema
+                .attributes()
+                .iter()
+                .cloned()
+                .zip(values)
+                .collect(),
+        }
+    }
+
+    /// The schema this tuple is over.
+    pub fn schema(&self) -> Schema {
+        Schema::new(self.fields.keys().cloned())
+    }
+
+    /// The value of an attribute, if present.
+    pub fn get(&self, attr: &Attribute) -> Option<&Value> {
+        self.fields.get(attr)
+    }
+
+    /// The value of an attribute by name, if present.
+    pub fn get_named(&self, attr: &str) -> Option<&Value> {
+        self.fields.get(&Attribute::new(attr))
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Iterates over `(attribute, value)` pairs in attribute order.
+    pub fn fields(&self) -> impl Iterator<Item = (&Attribute, &Value)> {
+        self.fields.iter()
+    }
+
+    /// The values in attribute order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.fields.values()
+    }
+
+    /// Restriction of the tuple to a sub-schema `V ⊆ U` (written `t` on `V`
+    /// in the paper's projection definition). Attributes outside the tuple
+    /// are ignored.
+    pub fn restrict(&self, schema: &Schema) -> Tuple {
+        Tuple {
+            fields: self
+                .fields
+                .iter()
+                .filter(|(a, _)| schema.contains(a))
+                .map(|(a, v)| (a.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Do two tuples agree on every attribute they share? (The compatibility
+    /// condition of natural join.)
+    pub fn compatible_with(&self, other: &Tuple) -> bool {
+        self.fields.iter().all(|(a, v)| match other.fields.get(a) {
+            Some(w) => v == w,
+            None => true,
+        })
+    }
+
+    /// Merges two compatible tuples into a tuple over the union of their
+    /// schemas. Returns `None` if they disagree on a shared attribute.
+    pub fn merge(&self, other: &Tuple) -> Option<Tuple> {
+        if !self.compatible_with(other) {
+            return None;
+        }
+        let mut fields = self.fields.clone();
+        for (a, v) in &other.fields {
+            fields.insert(a.clone(), v.clone());
+        }
+        Some(Tuple { fields })
+    }
+
+    /// Applies a renaming `β : U → U'`. Following the paper
+    /// (`ρ_β R (t) = R(t ∘ β)`), renaming a tuple relabels its attributes.
+    pub fn rename(&self, renaming: &Renaming) -> Tuple {
+        Tuple {
+            fields: self
+                .fields
+                .iter()
+                .map(|(a, v)| (renaming.apply(a), v.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (a, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}={v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t_abc() -> Tuple {
+        Tuple::new([("a", "1"), ("b", "2"), ("c", "3")])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = t_abc();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get_named("a"), Some(&Value::from("1")));
+        assert_eq!(t.get_named("z"), None);
+        assert_eq!(t.schema(), Schema::new(["a", "b", "c"]));
+    }
+
+    #[test]
+    fn from_values_follows_schema_order() {
+        let schema = Schema::new(["b", "a"]);
+        // Sorted attribute order is a, b.
+        let t = Tuple::from_values(&schema, ["x", "y"]);
+        assert_eq!(t.get_named("a"), Some(&Value::from("x")));
+        assert_eq!(t.get_named("b"), Some(&Value::from("y")));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn from_values_rejects_wrong_arity() {
+        let _ = Tuple::from_values(&Schema::new(["a", "b"]), ["only-one"]);
+    }
+
+    #[test]
+    fn restriction_projects_attributes() {
+        let t = t_abc();
+        let restricted = t.restrict(&Schema::new(["a", "c"]));
+        assert_eq!(restricted, Tuple::new([("a", "1"), ("c", "3")]));
+        assert_eq!(t.restrict(&Schema::empty()), Tuple::empty());
+    }
+
+    #[test]
+    fn compatibility_and_merge() {
+        let t1 = Tuple::new([("a", "1"), ("b", "2")]);
+        let t2 = Tuple::new([("b", "2"), ("c", "3")]);
+        let t3 = Tuple::new([("b", "9")]);
+        assert!(t1.compatible_with(&t2));
+        assert!(!t1.compatible_with(&t3));
+        assert_eq!(t1.merge(&t2), Some(t_abc()));
+        assert_eq!(t1.merge(&t3), None);
+        // Merging with the empty tuple is the identity.
+        assert_eq!(t1.merge(&Tuple::empty()), Some(t1.clone()));
+    }
+
+    #[test]
+    fn renaming_relabels_attributes() {
+        let t = Tuple::new([("a", "1"), ("b", "2")]);
+        let rho = Renaming::new([("b", "b2")]);
+        assert_eq!(t.rename(&rho), Tuple::new([("a", "1"), ("b2", "2")]));
+    }
+
+    #[test]
+    fn tuples_with_mixed_value_types() {
+        let t = Tuple::new([("name", Value::from("alice")), ("age", Value::from(30i64))]);
+        assert_eq!(t.get_named("age"), Some(&Value::Int(30)));
+        assert_eq!(t.get_named("name").unwrap().as_str(), Some("alice"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Domain values.
+//!
+//! The paper fixes an abstract domain `D` of values; we provide a small
+//! concrete domain of strings and integers, which is all the paper's examples
+//! (and realistic relational workloads) need. Values are ordered and hashable
+//! so that tuples can key hash maps and be sorted deterministically for
+//! display and testing.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A value of the domain `D`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A string constant such as `"a"` or `"alice"`.
+    Str(Arc<str>),
+    /// An integer constant.
+    Int(i64),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Creates an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns the string content if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Returns the integer content if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Str(_) => None,
+            Value::Int(i) => Some(*i),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let s = Value::str("a");
+        let i = Value::int(42);
+        assert_eq!(s.as_str(), Some("a"));
+        assert_eq!(s.as_int(), None);
+        assert_eq!(i.as_int(), Some(42));
+        assert_eq!(i.as_str(), None);
+    }
+
+    #[test]
+    fn equality_and_ordering() {
+        assert_eq!(Value::from("a"), Value::str("a"));
+        assert_ne!(Value::from("a"), Value::from("b"));
+        assert_ne!(Value::from("1"), Value::from(1i64));
+        let mut vs = vec![Value::str("b"), Value::str("a"), Value::int(3), Value::int(1)];
+        vs.sort();
+        assert_eq!(vs.len(), 4);
+    }
+
+    #[test]
+    fn display_is_bare() {
+        assert_eq!(format!("{}", Value::str("abc")), "abc");
+        assert_eq!(format!("{}", Value::int(-7)), "-7");
+    }
+}

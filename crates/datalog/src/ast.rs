@@ -1,0 +1,394 @@
+//! Datalog abstract syntax: terms, atoms, rules and programs.
+//!
+//! Following Section 5 of the paper we consider "pure" datalog: all subgoals
+//! are relational atoms (no built-in predicates, no negation), and the
+//! unnamed (positional) perspective is used.
+
+use provsem_core::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A datalog variable (e.g. `x`, `y`, `z`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct DlVar(pub String);
+
+impl DlVar {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DlVar(name.into())
+    }
+}
+
+impl fmt::Display for DlVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A term in an atom: a variable or a constant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A variable, to be bound by a valuation.
+    Var(DlVar),
+    /// A constant domain value.
+    Const(Value),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(DlVar::new(name))
+    }
+
+    /// A constant term.
+    pub fn constant(value: impl Into<Value>) -> Self {
+        Term::Const(value.into())
+    }
+
+    /// Returns the variable if this term is one.
+    pub fn as_var(&self) -> Option<&DlVar> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+/// An atom `P(t₁, …, tₙ)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Atom {
+    /// The predicate (relation) name.
+    pub predicate: String,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom from a predicate name and terms.
+    pub fn new(predicate: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom {
+            predicate: predicate.into(),
+            terms,
+        }
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The set of variables occurring in the atom.
+    pub fn variables(&self) -> BTreeSet<DlVar> {
+        self.terms
+            .iter()
+            .filter_map(Term::as_var)
+            .cloned()
+            .collect()
+    }
+
+    /// Is every term a constant?
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| t.as_var().is_none())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A datalog rule `head :- body₁, …, bodyₙ`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The body atoms (all positive).
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Builds a rule.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Self {
+        Rule { head, body }
+    }
+
+    /// A *fact* is a rule with an empty body and ground head.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty() && self.head.is_ground()
+    }
+
+    /// A *unit rule* has a body consisting of a single atom (the notion used
+    /// by Theorem 6.5: infinite coefficients arise exactly from cycles of
+    /// unit rules over idb predicates).
+    pub fn is_unit(&self) -> bool {
+        self.body.len() == 1
+    }
+
+    /// All variables of the rule.
+    pub fn variables(&self) -> BTreeSet<DlVar> {
+        let mut vars = self.head.variables();
+        for atom in &self.body {
+            vars.extend(atom.variables());
+        }
+        vars
+    }
+
+    /// Is the rule *range-restricted* (safe): every head variable occurs in
+    /// the body? Required for the grounded semantics to be finite.
+    pub fn is_safe(&self) -> bool {
+        let body_vars: BTreeSet<DlVar> = self
+            .body
+            .iter()
+            .flat_map(|a| a.variables())
+            .collect();
+        self.head.variables().is_subset(&body_vars)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, a) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A datalog program: a list of rules. Predicates that appear in some rule
+/// head are *intensional* (idb); all others are *extensional* (edb).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Program {
+    /// The rules, in source order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Builds a program from rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Program { rules }
+    }
+
+    /// The idb predicate names (appearing in rule heads).
+    pub fn idb_predicates(&self) -> BTreeSet<String> {
+        self.rules.iter().map(|r| r.head.predicate.clone()).collect()
+    }
+
+    /// The edb predicate names (appearing only in bodies).
+    pub fn edb_predicates(&self) -> BTreeSet<String> {
+        let idb = self.idb_predicates();
+        self.rules
+            .iter()
+            .flat_map(|r| r.body.iter())
+            .map(|a| a.predicate.clone())
+            .filter(|p| !idb.contains(p))
+            .collect()
+    }
+
+    /// All predicate names mentioned anywhere.
+    pub fn predicates(&self) -> BTreeSet<String> {
+        let mut preds = self.idb_predicates();
+        preds.extend(self.edb_predicates());
+        preds
+    }
+
+    /// Is every rule safe?
+    pub fn is_safe(&self) -> bool {
+        self.rules.iter().all(Rule::is_safe)
+    }
+
+    /// Is the program non-recursive (its predicate dependency graph is
+    /// acyclic)? Non-recursive programs correspond to unions of conjunctive
+    /// queries / RA⁺ (Propositions 5.3 and 6.2).
+    pub fn is_nonrecursive(&self) -> bool {
+        // DFS over the predicate dependency graph: idb P depends on idb Q if
+        // some rule with head P has Q in its body.
+        let idb = self.idb_predicates();
+        let mut deps: std::collections::BTreeMap<&str, BTreeSet<&str>> = Default::default();
+        for r in &self.rules {
+            let entry = deps.entry(r.head.predicate.as_str()).or_default();
+            for a in &r.body {
+                if idb.contains(&a.predicate) {
+                    entry.insert(a.predicate.as_str());
+                }
+            }
+        }
+        // Detect a cycle with the classic three-colour DFS.
+        #[derive(PartialEq, Clone, Copy)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour: std::collections::BTreeMap<&str, Colour> =
+            idb.iter().map(|p| (p.as_str(), Colour::White)).collect();
+        fn visit<'a>(
+            node: &'a str,
+            deps: &std::collections::BTreeMap<&'a str, BTreeSet<&'a str>>,
+            colour: &mut std::collections::BTreeMap<&'a str, Colour>,
+        ) -> bool {
+            match colour.get(node).copied() {
+                Some(Colour::Grey) => return false,
+                Some(Colour::Black) | None => return true,
+                Some(Colour::White) => {}
+            }
+            colour.insert(node, Colour::Grey);
+            if let Some(children) = deps.get(node) {
+                for child in children {
+                    if !visit(child, deps, colour) {
+                        return false;
+                    }
+                }
+            }
+            colour.insert(node, Colour::Black);
+            true
+        }
+        let nodes: Vec<&str> = idb.iter().map(String::as_str).collect();
+        nodes.iter().all(|p| visit(p, &deps, &mut colour))
+    }
+
+    /// The transitive-closure program of Figure 7:
+    /// `Q(x,y) :- R(x,y).  Q(x,y) :- Q(x,z), Q(z,y).`
+    pub fn transitive_closure(edb: &str, idb: &str) -> Program {
+        let q = |a: &str, b: &str| Atom::new(idb, vec![Term::var(a), Term::var(b)]);
+        let r = |a: &str, b: &str| Atom::new(edb, vec![Term::var(a), Term::var(b)]);
+        Program::new(vec![
+            Rule::new(q("x", "y"), vec![r("x", "y")]),
+            Rule::new(q("x", "y"), vec![q("x", "z"), q("z", "y")]),
+        ])
+    }
+
+    /// The "linear" variant of transitive closure:
+    /// `Q(x,y) :- R(x,y).  Q(x,y) :- Q(x,z), R(z,y).`
+    pub fn linear_transitive_closure(edb: &str, idb: &str) -> Program {
+        let q = |a: &str, b: &str| Atom::new(idb, vec![Term::var(a), Term::var(b)]);
+        let r = |a: &str, b: &str| Atom::new(edb, vec![Term::var(a), Term::var(b)]);
+        Program::new(vec![
+            Rule::new(q("x", "y"), vec![r("x", "y")]),
+            Rule::new(q("x", "y"), vec![q("x", "z"), r("z", "y")]),
+        ])
+    }
+
+    /// The conjunctive query of Figure 6: `Q(x,y) :- R(x,z), R(z,y).`
+    pub fn figure6_query() -> Program {
+        Program::new(vec![Rule::new(
+            Atom::new("Q", vec![Term::var("x"), Term::var("y")]),
+            vec![
+                Atom::new("R", vec![Term::var("x"), Term::var("z")]),
+                Atom::new("R", vec![Term::var("z"), Term::var("y")]),
+            ],
+        )])
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_report_variables_and_groundness() {
+        let a = Atom::new("R", vec![Term::var("x"), Term::constant("c")]);
+        assert_eq!(a.arity(), 2);
+        assert_eq!(a.variables().len(), 1);
+        assert!(!a.is_ground());
+        let g = Atom::new("R", vec![Term::constant("a"), Term::constant("b")]);
+        assert!(g.is_ground());
+    }
+
+    #[test]
+    fn rule_classification() {
+        let tc = Program::transitive_closure("R", "Q");
+        assert!(tc.rules[0].is_unit());
+        assert!(!tc.rules[1].is_unit());
+        assert!(tc.rules.iter().all(Rule::is_safe));
+        assert!(!tc.rules[0].is_fact());
+    }
+
+    #[test]
+    fn unsafe_rule_is_detected() {
+        // Q(x, y) :- R(x, x): y does not occur in the body.
+        let r = Rule::new(
+            Atom::new("Q", vec![Term::var("x"), Term::var("y")]),
+            vec![Atom::new("R", vec![Term::var("x"), Term::var("x")])],
+        );
+        assert!(!r.is_safe());
+    }
+
+    #[test]
+    fn idb_edb_classification() {
+        let tc = Program::transitive_closure("R", "Q");
+        assert_eq!(tc.idb_predicates(), ["Q".to_string()].into_iter().collect());
+        assert_eq!(tc.edb_predicates(), ["R".to_string()].into_iter().collect());
+        assert_eq!(tc.predicates().len(), 2);
+    }
+
+    #[test]
+    fn recursion_detection() {
+        assert!(!Program::transitive_closure("R", "Q").is_nonrecursive());
+        assert!(Program::figure6_query().is_nonrecursive());
+        // A two-predicate non-recursive chain: S depends on Q depends on R.
+        let p = Program::new(vec![
+            Rule::new(
+                Atom::new("Q", vec![Term::var("x")]),
+                vec![Atom::new("R", vec![Term::var("x")])],
+            ),
+            Rule::new(
+                Atom::new("S", vec![Term::var("x")]),
+                vec![Atom::new("Q", vec![Term::var("x")])],
+            ),
+        ]);
+        assert!(p.is_nonrecursive());
+        // Mutual recursion: P :- Q, Q :- P.
+        let m = Program::new(vec![
+            Rule::new(
+                Atom::new("P", vec![Term::var("x")]),
+                vec![Atom::new("Q", vec![Term::var("x")])],
+            ),
+            Rule::new(
+                Atom::new("Q", vec![Term::var("x")]),
+                vec![Atom::new("P", vec![Term::var("x")])],
+            ),
+        ]);
+        assert!(!m.is_nonrecursive());
+    }
+
+    #[test]
+    fn display_round_trips_syntax_shape() {
+        let tc = Program::transitive_closure("R", "Q");
+        let text = format!("{tc}");
+        assert!(text.contains("Q(x, y) :- R(x, y)."));
+        assert!(text.contains("Q(x, y) :- Q(x, z), Q(z, y)."));
+    }
+}

@@ -1,0 +1,487 @@
+//! Grounding / instantiation of datalog programs.
+//!
+//! The *instantiation* of a datalog query (used by Theorem 6.5 and by the
+//! algebraic-system construction of Definition 5.5) is the set of ground
+//! rules obtained by considering all satisfying valuations of the rule
+//! variables over the derivable facts. We compute it in two steps:
+//!
+//! 1. [`derivable_facts`] — the set-semantics (𝔹) evaluation of the program,
+//!    i.e. `supp(q(R))` (Proposition 5.4 guarantees this is the right
+//!    support for any K);
+//! 2. [`instantiate`] — all ground rules whose body facts are derivable.
+
+use crate::ast::{Atom, Program, Term};
+use crate::fact::{Fact, FactStore};
+use provsem_core::Value;
+use provsem_semiring::Semiring;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A ground rule: an instantiation of a program rule where every variable
+/// has been substituted by a constant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GroundRule {
+    /// Index of the originating rule in the program.
+    pub rule_index: usize,
+    /// The ground head fact.
+    pub head: Fact,
+    /// The ground body facts, in the rule's body order.
+    pub body: Vec<Fact>,
+}
+
+impl GroundRule {
+    /// Is this an instantiation of a unit rule (single-atom body)?
+    pub fn is_unit(&self) -> bool {
+        self.body.len() == 1
+    }
+}
+
+/// A variable valuation used during rule matching.
+type Binding = BTreeMap<crate::ast::DlVar, Value>;
+
+fn ground_atom(atom: &Atom, binding: &Binding) -> Option<Fact> {
+    let mut values = Vec::with_capacity(atom.terms.len());
+    for term in &atom.terms {
+        match term {
+            Term::Const(v) => values.push(v.clone()),
+            Term::Var(x) => values.push(binding.get(x)?.clone()),
+        }
+    }
+    Some(Fact {
+        predicate: atom.predicate.clone(),
+        values,
+    })
+}
+
+/// Tries to extend `binding` so that `atom` matches `fact`; returns the
+/// extended binding or `None` on mismatch.
+fn match_atom(atom: &Atom, fact: &Fact, binding: &Binding) -> Option<Binding> {
+    if atom.predicate != fact.predicate || atom.terms.len() != fact.values.len() {
+        return None;
+    }
+    let mut extended = binding.clone();
+    for (term, value) in atom.terms.iter().zip(fact.values.iter()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(x) => match extended.get(x) {
+                Some(bound) if bound != value => return None,
+                Some(_) => {}
+                None => {
+                    extended.insert(x.clone(), value.clone());
+                }
+            },
+        }
+    }
+    Some(extended)
+}
+
+/// Enumerates all satisfying valuations of a rule body over the facts in
+/// `lookup` (a map from predicate name to its known facts), calling `emit`
+/// for each complete binding.
+fn match_body(
+    body: &[Atom],
+    lookup: &BTreeMap<&str, Vec<&Fact>>,
+    binding: Binding,
+    emit: &mut dyn FnMut(Binding),
+) {
+    match body.split_first() {
+        None => emit(binding),
+        Some((atom, rest)) => {
+            if let Some(candidates) = lookup.get(atom.predicate.as_str()) {
+                for fact in candidates {
+                    if let Some(extended) = match_atom(atom, fact, &binding) {
+                        match_body(rest, lookup, extended, emit);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Computes the set of facts derivable from the program over the given edb
+/// facts under set semantics — the standard datalog least fixpoint, which by
+/// Proposition 5.4 equals the support of the K-annotated answer for every K.
+/// Returns both edb and idb facts.
+pub fn derivable_facts<K: Semiring>(program: &Program, edb: &FactStore<K>) -> BTreeSet<Fact> {
+    let mut known: BTreeSet<Fact> = edb.facts().map(|(f, _)| f).collect();
+    // Facts asserted directly in the program text also seed the computation.
+    for rule in &program.rules {
+        if rule.is_fact() {
+            if let Some(f) = ground_atom(&rule.head, &Binding::new()) {
+                known.insert(f);
+            }
+        }
+    }
+    loop {
+        let mut lookup: BTreeMap<&str, Vec<&Fact>> = BTreeMap::new();
+        for fact in &known {
+            lookup.entry(fact.predicate.as_str()).or_default().push(fact);
+        }
+        let mut new_facts: Vec<Fact> = Vec::new();
+        for rule in &program.rules {
+            if rule.body.is_empty() {
+                continue;
+            }
+            match_body(&rule.body, &lookup, Binding::new(), &mut |binding| {
+                if let Some(head) = ground_atom(&rule.head, &binding) {
+                    if !known.contains(&head) {
+                        new_facts.push(head);
+                    }
+                }
+            });
+        }
+        if new_facts.is_empty() {
+            break;
+        }
+        known.extend(new_facts);
+    }
+    known
+}
+
+/// The instantiation of the program over the derivable facts: every ground
+/// rule whose body facts are all derivable. Rules that are facts in the
+/// program text become ground rules with an empty body.
+pub fn instantiate<K: Semiring>(program: &Program, edb: &FactStore<K>) -> Vec<GroundRule> {
+    let derivable = derivable_facts(program, edb);
+    instantiate_over(program, &derivable)
+}
+
+/// Like [`instantiate`], but over an explicitly provided set of available
+/// facts (useful for testing and for the Section 8 variants).
+pub fn instantiate_over(program: &Program, facts: &BTreeSet<Fact>) -> Vec<GroundRule> {
+    let mut lookup: BTreeMap<&str, Vec<&Fact>> = BTreeMap::new();
+    for fact in facts {
+        lookup.entry(fact.predicate.as_str()).or_default().push(fact);
+    }
+    let mut ground = Vec::new();
+    for (rule_index, rule) in program.rules.iter().enumerate() {
+        if rule.body.is_empty() {
+            if let Some(head) = ground_atom(&rule.head, &Binding::new()) {
+                ground.push(GroundRule {
+                    rule_index,
+                    head,
+                    body: Vec::new(),
+                });
+            }
+            continue;
+        }
+        match_body(&rule.body, &lookup, Binding::new(), &mut |binding| {
+            if let Some(head) = ground_atom(&rule.head, &binding) {
+                let body: Option<Vec<Fact>> = rule
+                    .body
+                    .iter()
+                    .map(|a| ground_atom(a, &binding))
+                    .collect();
+                if let Some(body) = body {
+                    ground.push(GroundRule {
+                        rule_index,
+                        head,
+                        body,
+                    });
+                }
+            }
+        });
+    }
+    ground.sort();
+    ground.dedup();
+    ground
+}
+
+/// The dependency graph of an instantiation restricted to idb facts: an edge
+/// `head → body_fact` for every idb body fact of every ground rule. Used for
+/// the infinite-multiplicity analysis (a derivable fact has infinitely many
+/// derivation trees iff it can reach a cycle of this graph) and for
+/// Theorem 6.5 (restricting to unit rules).
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    /// Adjacency: for each idb fact, the idb facts its ground rules use.
+    pub edges: BTreeMap<Fact, BTreeSet<Fact>>,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph from an instantiation, where `is_idb`
+    /// decides which predicates are intensional.
+    pub fn build(ground_rules: &[GroundRule], is_idb: &dyn Fn(&str) -> bool) -> Self {
+        let mut edges: BTreeMap<Fact, BTreeSet<Fact>> = BTreeMap::new();
+        for rule in ground_rules {
+            let entry = edges.entry(rule.head.clone()).or_default();
+            for b in &rule.body {
+                if is_idb(&b.predicate) {
+                    entry.insert(b.clone());
+                }
+            }
+        }
+        DependencyGraph { edges }
+    }
+
+    /// Builds the graph using only *unit* ground rules (Theorem 6.5's
+    /// "cycle of unit rules").
+    pub fn build_unit_only(ground_rules: &[GroundRule], is_idb: &dyn Fn(&str) -> bool) -> Self {
+        let unit: Vec<GroundRule> = ground_rules
+            .iter()
+            .filter(|r| r.is_unit())
+            .cloned()
+            .collect();
+        DependencyGraph::build(&unit, is_idb)
+    }
+
+    /// The set of facts that lie on a cycle or can reach a cycle of this
+    /// graph. With the full dependency graph this is exactly the set of
+    /// facts with infinitely many derivation trees.
+    pub fn facts_reaching_cycles(&self) -> BTreeSet<Fact> {
+        // Nodes on cycles: computed by iteratively removing "sinks" (nodes
+        // with no outgoing edges into remaining nodes); what survives are the
+        // nodes that lie on cycles or lead into them.
+        let mut on_or_reaching: BTreeSet<Fact> = self.nodes_on_cycles();
+        // Propagate backwards: any node with an edge into the set joins it.
+        loop {
+            let mut added = false;
+            for (from, tos) in &self.edges {
+                if !on_or_reaching.contains(from)
+                    && tos.iter().any(|t| on_or_reaching.contains(t))
+                {
+                    on_or_reaching.insert(from.clone());
+                    added = true;
+                }
+            }
+            if !added {
+                break;
+            }
+        }
+        on_or_reaching
+    }
+
+    /// The set of facts lying on at least one cycle.
+    pub fn nodes_on_cycles(&self) -> BTreeSet<Fact> {
+        // Tarjan-free approach adequate for our sizes: a node is on a cycle
+        // iff it can reach itself through at least one edge.
+        let mut result = BTreeSet::new();
+        for start in self.edges.keys() {
+            if self.reaches(start, start) {
+                result.insert(start.clone());
+            }
+        }
+        result
+    }
+
+    /// Is `to` reachable from `from` using at least one edge?
+    pub fn reaches(&self, from: &Fact, to: &Fact) -> bool {
+        let mut stack: Vec<&Fact> = self
+            .edges
+            .get(from)
+            .into_iter()
+            .flat_map(|s| s.iter())
+            .collect();
+        let mut seen: BTreeSet<&Fact> = stack.iter().copied().collect();
+        while let Some(node) = stack.pop() {
+            if node == to {
+                return true;
+            }
+            if let Some(next) = self.edges.get(node) {
+                for n in next {
+                    if seen.insert(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// A topological order of the facts **not** reaching any cycle, sinks
+    /// first, so annotations can be computed bottom-up on the acyclic part.
+    pub fn topological_order_acyclic(&self, facts: &BTreeSet<Fact>) -> Vec<Fact> {
+        let blocked = self.facts_reaching_cycles();
+        let mut order = Vec::new();
+        let mut done: BTreeSet<Fact> = BTreeSet::new();
+        // Kahn-style: repeatedly emit facts whose idb dependencies are done.
+        let mut remaining: Vec<&Fact> = facts
+            .iter()
+            .filter(|f| !blocked.contains(*f))
+            .collect();
+        while !remaining.is_empty() {
+            let mut progressed = false;
+            remaining.retain(|fact| {
+                let deps_done = self
+                    .edges
+                    .get(*fact)
+                    .map(|deps| {
+                        deps.iter()
+                            .all(|d| done.contains(d) || blocked.contains(d) || !facts.contains(d))
+                    })
+                    .unwrap_or(true);
+                if deps_done {
+                    order.push((*fact).clone());
+                    done.insert((*fact).clone());
+                    progressed = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if !progressed {
+                // Should not happen on an acyclic restriction; guard against
+                // infinite loops by appending the rest in arbitrary order.
+                order.extend(remaining.iter().map(|f| (*f).clone()));
+                break;
+            }
+        }
+        order
+    }
+}
+
+/// Partition of derivable facts by whether the predicate is intensional.
+pub fn idb_facts<'a>(
+    program: &Program,
+    facts: &'a BTreeSet<Fact>,
+) -> impl Iterator<Item = &'a Fact> + 'a {
+    let idb = program.idb_predicates();
+    facts.iter().filter(move |f| idb.contains(&f.predicate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::edge_facts;
+    use provsem_semiring::{NatInf, Natural};
+
+    fn figure7_edb() -> FactStore<NatInf> {
+        edge_facts(
+            "R",
+            &[
+                ("a", "b", NatInf::Fin(2)),
+                ("a", "c", NatInf::Fin(3)),
+                ("c", "b", NatInf::Fin(2)),
+                ("b", "d", NatInf::Fin(1)),
+                ("d", "d", NatInf::Fin(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn derivable_facts_of_transitive_closure() {
+        let program = Program::transitive_closure("R", "Q");
+        let facts = derivable_facts(&program, &figure7_edb());
+        // Q contains the 6 pairs of Figure 7(b) plus (c,d), which is
+        // derivable via c→b→d but omitted from the paper's figure.
+        let q_facts: Vec<&Fact> = facts.iter().filter(|f| f.predicate == "Q").collect();
+        assert_eq!(q_facts.len(), 7);
+        assert!(facts.contains(&Fact::new("Q", ["c", "d"])));
+        assert!(facts.contains(&Fact::new("Q", ["a", "d"])));
+        assert!(facts.contains(&Fact::new("Q", ["a", "b"])));
+        assert!(!facts.contains(&Fact::new("Q", ["d", "a"])));
+        // edb facts are retained too.
+        assert!(facts.contains(&Fact::new("R", ["a", "b"])));
+    }
+
+    #[test]
+    fn conjunctive_query_derivations() {
+        // Figure 6: Q(a,a), Q(a,b), Q(b,b) are derivable.
+        let program = Program::figure6_query();
+        let edb = edge_facts(
+            "R",
+            &[
+                ("a", "a", Natural::from(2u64)),
+                ("a", "b", Natural::from(3u64)),
+                ("b", "b", Natural::from(4u64)),
+            ],
+        );
+        let facts = derivable_facts(&program, &edb);
+        let q: Vec<&Fact> = facts.iter().filter(|f| f.predicate == "Q").collect();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn instantiation_produces_ground_rules_with_derivable_bodies() {
+        let program = Program::transitive_closure("R", "Q");
+        let ground = instantiate(&program, &figure7_edb());
+        // Every ground rule's head must be a Q fact and its body facts must
+        // be among the derivable facts.
+        let derivable = derivable_facts(&program, &figure7_edb());
+        assert!(!ground.is_empty());
+        for rule in &ground {
+            assert_eq!(rule.head.predicate, "Q");
+            for b in &rule.body {
+                assert!(derivable.contains(b), "body fact {b} not derivable");
+            }
+        }
+        // The base rule instantiates once per edge: 5 unit ground rules over R.
+        let base = ground
+            .iter()
+            .filter(|g| g.rule_index == 0)
+            .count();
+        assert_eq!(base, 5);
+    }
+
+    #[test]
+    fn constants_in_rules_restrict_matching() {
+        // Only paths ending at 'b' : Qb(x) :- R(x, 'b').
+        let program = crate::parser::parse_program("Qb(x) :- R(x, 'b').").unwrap();
+        let facts = derivable_facts(&program, &figure7_edb());
+        let qb: Vec<&Fact> = facts.iter().filter(|f| f.predicate == "Qb").collect();
+        assert_eq!(qb.len(), 2); // from a and from c
+    }
+
+    #[test]
+    fn dependency_graph_detects_cycles_from_self_loop() {
+        let program = Program::transitive_closure("R", "Q");
+        let ground = instantiate(&program, &figure7_edb());
+        let idb = program.idb_predicates();
+        let graph = DependencyGraph::build(&ground, &|p| idb.contains(p));
+        let infinite = graph.facts_reaching_cycles();
+        // Q(d,d) is on a cycle (Q(d,d) :- Q(d,d),Q(d,d)); Q(b,d) and Q(a,d)
+        // reach it. Q(a,b), Q(a,c), Q(c,b) do not.
+        assert!(infinite.contains(&Fact::new("Q", ["d", "d"])));
+        assert!(infinite.contains(&Fact::new("Q", ["b", "d"])));
+        assert!(infinite.contains(&Fact::new("Q", ["a", "d"])));
+        assert!(!infinite.contains(&Fact::new("Q", ["a", "b"])));
+        assert!(!infinite.contains(&Fact::new("Q", ["a", "c"])));
+        assert!(!infinite.contains(&Fact::new("Q", ["c", "b"])));
+    }
+
+    #[test]
+    fn unit_only_graph_has_no_cycles_for_transitive_closure() {
+        // The TC program's only unit rule is the base rule Q :- R, whose body
+        // is an edb fact, so the unit-rule graph over idb facts has no edges
+        // and no cycles — by Theorem 6.5 all provenance series are in ℕ[[X]].
+        let program = Program::transitive_closure("R", "Q");
+        let ground = instantiate(&program, &figure7_edb());
+        let idb = program.idb_predicates();
+        let graph = DependencyGraph::build_unit_only(&ground, &|p| idb.contains(p));
+        assert!(graph.nodes_on_cycles().is_empty());
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let program = Program::transitive_closure("R", "Q");
+        let edb = figure7_edb();
+        let ground = instantiate(&program, &edb);
+        let idb = program.idb_predicates();
+        let graph = DependencyGraph::build(&ground, &|p| idb.contains(p));
+        let derivable = derivable_facts(&program, &edb);
+        let idb_set: BTreeSet<Fact> = idb_facts(&program, &derivable).cloned().collect();
+        let order = graph.topological_order_acyclic(&idb_set);
+        // The acyclic part is {Q(a,b), Q(a,c), Q(c,b)}; Q(a,b) depends on
+        // Q(a,c) and Q(c,b) so it must come after both.
+        let pos = |f: &Fact| order.iter().position(|x| x == f);
+        let ab = pos(&Fact::new("Q", ["a", "b"])).unwrap();
+        let ac = pos(&Fact::new("Q", ["a", "c"])).unwrap();
+        let cb = pos(&Fact::new("Q", ["c", "b"])).unwrap();
+        assert!(ab > ac && ab > cb);
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn program_facts_seed_derivation() {
+        let program = crate::parser::parse_program(
+            "R('x', 'y').\nQ(a, b) :- R(a, b).",
+        )
+        .unwrap();
+        let empty: FactStore<Natural> = FactStore::new();
+        let facts = derivable_facts(&program, &empty);
+        assert!(facts.contains(&Fact::new("Q", ["x", "y"])));
+    }
+}

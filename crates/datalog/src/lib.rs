@@ -1,0 +1,76 @@
+//! # provsem-datalog
+//!
+//! Datalog on K-relations — Sections 5–8 of *Provenance Semirings* (Green,
+//! Karvounarakis, Tannen; PODS 2007):
+//!
+//! * datalog syntax, parser and grounding ([`ast`], [`parser`], [`fact`],
+//!   [`grounding`]);
+//! * the fixpoint semantics over ω-continuous semirings ([`naive`],
+//!   Definition 5.5 / Theorem 5.6) and exact evaluation for ℕ∞ and
+//!   distributive lattices ([`exact`], Section 8);
+//! * derivation trees and the **All-Trees** algorithm ([`all_trees`],
+//!   Figure 8), the **Monomial-Coefficient** algorithm
+//!   ([`monomial_coefficient`], Figure 9);
+//! * algebraic systems and formal-power-series provenance
+//!   ([`algebraic_system`], Definitions 5.5 and 6.1);
+//! * provenance classification per Theorem 6.5 and the datalog factorization
+//!   theorem ([`provenance`], Theorem 6.4).
+//!
+//! ```
+//! use provsem_datalog::prelude::*;
+//! use provsem_semiring::NatInf;
+//!
+//! // Figure 7: transitive closure with bag semantics.
+//! let program = Program::transitive_closure("R", "Q");
+//! let edb = edge_facts("R", &[
+//!     ("a", "b", NatInf::Fin(2)), ("a", "c", NatInf::Fin(3)),
+//!     ("c", "b", NatInf::Fin(2)), ("b", "d", NatInf::Fin(1)),
+//!     ("d", "d", NatInf::Fin(1)),
+//! ]);
+//! let out = evaluate_natinf(&program, &edb);
+//! assert_eq!(out.annotation(&Fact::new("Q", ["a", "b"])), NatInf::Fin(8));
+//! assert_eq!(out.annotation(&Fact::new("Q", ["a", "d"])), NatInf::Inf);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algebraic_system;
+pub mod all_trees;
+pub mod ast;
+pub mod exact;
+pub mod fact;
+pub mod grounding;
+pub mod monomial_coefficient;
+pub mod naive;
+pub mod parser;
+pub mod provenance;
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::algebraic_system::{AlgebraicSystem, Equation};
+    pub use crate::all_trees::{
+        all_trees, all_trees_with_variables, default_edb_variables, evaluate_lattice_via_trees,
+        minimal_trees, AllTreesResult, DerivationChild, DerivationTree, TreeProvenance,
+    };
+    pub use crate::ast::{Atom, DlVar, Program, Rule, Term};
+    pub use crate::exact::{
+        evaluate_lattice, evaluate_natinf, facts_with_infinitely_many_derivations,
+    };
+    pub use crate::fact::{edge_facts, Fact, FactStore};
+    pub use crate::grounding::{
+        derivable_facts, instantiate, instantiate_over, DependencyGraph, GroundRule,
+    };
+    pub use crate::monomial_coefficient::monomial_coefficient;
+    pub use crate::naive::{
+        evaluate_fixpoint, immediate_consequence, kleene_iterate, kleene_iterate_grounded,
+        seminaive_evaluate, FixpointResult,
+    };
+    pub use crate::parser::{parse_program, parse_rule, ParseError};
+    pub use crate::provenance::{
+        classify_series, datalog_provenance, nonrecursive_provenance_is_polynomial,
+        DatalogProvenance, SeriesClass,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,430 @@
+//! Fixpoint (Kleene) evaluation of datalog on K-relations.
+//!
+//! Definition 5.5 / Theorem 5.6 of the paper: the K-annotation of the idb
+//! facts is the least fixed point of the polynomial system
+//! `Q̄ = T_q(R, Q̄)`, computed as `sup_m f^m(0, …, 0)`. This module implements
+//! that iteration directly over the grounded instantiation. The iteration
+//! converges for lattices and other "stabilizing" inputs; for ℕ∞ instances
+//! with infinitely many derivations it grows forever — exact ℕ∞ answers are
+//! produced by [`crate::exact`], and this module's bounded iteration is the
+//! building block and the ablation baseline.
+
+use crate::ast::Program;
+use crate::fact::{Fact, FactStore};
+use crate::grounding::{derivable_facts, instantiate_over, GroundRule};
+use provsem_semiring::{OmegaContinuous, Semiring};
+use std::collections::BTreeSet;
+
+/// The outcome of a bounded fixpoint iteration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixpointResult<K: Semiring> {
+    /// Annotations of the idb facts after the last iteration performed.
+    pub idb: FactStore<K>,
+    /// Number of iterations actually performed.
+    pub iterations: usize,
+    /// Whether the iteration reached a fixed point (`true`) or stopped at the
+    /// iteration bound while still changing (`false`).
+    pub converged: bool,
+}
+
+/// One application of the immediate-consequence operator `T_q` on
+/// annotations: for every ground rule, multiply the annotations of its body
+/// facts (taking edb facts from `edb` and idb facts from `current`) and sum
+/// the contributions per head fact.
+pub fn immediate_consequence<K: Semiring>(
+    ground_rules: &[GroundRule],
+    idb_predicates: &BTreeSet<String>,
+    edb: &FactStore<K>,
+    current: &FactStore<K>,
+) -> FactStore<K> {
+    let mut next = FactStore::new();
+    for rule in ground_rules {
+        let mut product = K::one();
+        let mut zero = false;
+        for body_fact in &rule.body {
+            let ann = if idb_predicates.contains(&body_fact.predicate) {
+                current.annotation(body_fact)
+            } else {
+                edb.annotation(body_fact)
+            };
+            if ann.is_zero() {
+                zero = true;
+                break;
+            }
+            product.times_assign(&ann);
+        }
+        if !zero {
+            next.insert(rule.head.clone(), product);
+        }
+    }
+    next
+}
+
+/// Runs the Kleene iteration `Q₀ = 0, Q_{m+1} = T_q(R, Q_m)` for at most
+/// `max_iterations` steps, stopping early at a fixed point.
+pub fn kleene_iterate<K: Semiring>(
+    program: &Program,
+    edb: &FactStore<K>,
+    max_iterations: usize,
+) -> FixpointResult<K> {
+    let derivable = derivable_facts(program, edb);
+    let ground = instantiate_over(program, &derivable);
+    kleene_iterate_grounded(program, &ground, edb, max_iterations)
+}
+
+/// Like [`kleene_iterate`] but over a pre-computed instantiation (so callers
+/// sweeping iteration counts do not re-ground every time).
+pub fn kleene_iterate_grounded<K: Semiring>(
+    program: &Program,
+    ground: &[GroundRule],
+    edb: &FactStore<K>,
+    max_iterations: usize,
+) -> FixpointResult<K> {
+    let idb_predicates = program.idb_predicates();
+    let mut current: FactStore<K> = FactStore::new();
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < max_iterations {
+        let next = immediate_consequence(ground, &idb_predicates, edb, &current);
+        iterations += 1;
+        if next == current {
+            converged = true;
+            break;
+        }
+        current = next;
+    }
+    FixpointResult {
+        idb: current,
+        iterations,
+        converged,
+    }
+}
+
+/// Evaluates a datalog program over an ω-continuous semiring by iterating to
+/// a fixed point, using the semiring's own convergence bound when it has one
+/// and `fallback_bound` otherwise. Returns `None` when the iteration did not
+/// converge within the bound (which for ℕ∞ signals the presence of tuples
+/// with infinitely many derivations — use [`crate::exact::evaluate_natinf`]).
+pub fn evaluate_fixpoint<K: OmegaContinuous>(
+    program: &Program,
+    edb: &FactStore<K>,
+    fallback_bound: usize,
+) -> Option<FactStore<K>> {
+    let derivable = derivable_facts(program, edb);
+    let ground = instantiate_over(program, &derivable);
+    let num_idb = derivable
+        .iter()
+        .filter(|f| program.idb_predicates().contains(&f.predicate))
+        .count();
+    let bound = K::convergence_bound(num_idb).unwrap_or(fallback_bound).max(2);
+    let result = kleene_iterate_grounded(program, &ground, edb, bound);
+    if result.converged {
+        Some(result.idb)
+    } else {
+        None
+    }
+}
+
+/// Semi-naive evaluation for `+`-idempotent semirings: only derivations that
+/// use at least one "new" fact from the previous round are recomputed.
+///
+/// For idempotent `+` (sets, lattices, tropical) this computes the same
+/// fixpoint as [`kleene_iterate`] while doing much less work per round; for
+/// non-idempotent semirings (ℕ, ℕ[X]) re-derivations change the result, so
+/// this function is deliberately restricted by the
+/// [`provsem_semiring::PlusIdempotent`] bound.
+pub fn seminaive_evaluate<K>(
+    program: &Program,
+    edb: &FactStore<K>,
+    max_rounds: usize,
+) -> FixpointResult<K>
+where
+    K: Semiring + provsem_semiring::PlusIdempotent,
+{
+    let derivable = derivable_facts(program, edb);
+    let ground = instantiate_over(program, &derivable);
+    let idb_predicates = program.idb_predicates();
+
+    let mut current: FactStore<K> = FactStore::new();
+    // Delta: the facts whose annotation changed in the last round.
+    let mut delta: BTreeSet<Fact> = BTreeSet::new();
+    let mut iterations = 0;
+    let mut converged = false;
+
+    // Round 0: rules whose bodies contain no idb facts.
+    let mut first = FactStore::new();
+    for rule in &ground {
+        if rule
+            .body
+            .iter()
+            .any(|b| idb_predicates.contains(&b.predicate))
+        {
+            continue;
+        }
+        let mut product = K::one();
+        let mut zero = false;
+        for b in &rule.body {
+            let ann = edb.annotation(b);
+            if ann.is_zero() {
+                zero = true;
+                break;
+            }
+            product.times_assign(&ann);
+        }
+        if !zero {
+            first.insert(rule.head.clone(), product);
+        }
+    }
+    for (fact, _) in first.facts() {
+        delta.insert(fact);
+    }
+    current = merge_idempotent(&current, &first);
+
+    while iterations < max_rounds {
+        iterations += 1;
+        if delta.is_empty() {
+            converged = true;
+            break;
+        }
+        // Recompute only rules that mention a delta fact in their body.
+        let mut produced = FactStore::new();
+        for rule in &ground {
+            let touches_delta = rule.body.iter().any(|b| delta.contains(b));
+            if !touches_delta {
+                continue;
+            }
+            let mut product = K::one();
+            let mut zero = false;
+            for b in &rule.body {
+                let ann = if idb_predicates.contains(&b.predicate) {
+                    current.annotation(b)
+                } else {
+                    edb.annotation(b)
+                };
+                if ann.is_zero() {
+                    zero = true;
+                    break;
+                }
+                product.times_assign(&ann);
+            }
+            if !zero {
+                produced.insert(rule.head.clone(), product);
+            }
+        }
+        // New delta: facts whose annotation strictly grows.
+        let mut new_delta = BTreeSet::new();
+        let merged = merge_idempotent(&current, &produced);
+        for (fact, ann) in merged.facts() {
+            if current.annotation(&fact) != *ann {
+                new_delta.insert(fact);
+            }
+        }
+        current = merged;
+        delta = new_delta;
+    }
+    if delta.is_empty() {
+        converged = true;
+    }
+    FixpointResult {
+        idb: current,
+        iterations,
+        converged,
+    }
+}
+
+fn merge_idempotent<K: Semiring>(a: &FactStore<K>, b: &FactStore<K>) -> FactStore<K> {
+    let mut out = FactStore::new();
+    for (fact, k) in a.facts() {
+        out.set(fact, k.clone());
+    }
+    for (fact, k) in b.facts() {
+        let merged = out.annotation(&fact).plus(k);
+        out.set(fact, merged);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::edge_facts;
+    use provsem_semiring::{Bool, NatInf, Natural, PosBool, Tropical};
+
+    fn nat(n: u64) -> Natural {
+        Natural::from(n)
+    }
+
+    #[test]
+    fn figure6_conjunctive_query_bag_semantics() {
+        // Figure 6(c): Q(a,a)↦4, Q(a,b)↦18, Q(b,b)↦16.
+        let program = Program::figure6_query();
+        let edb = edge_facts("R", &[("a", "a", nat(2)), ("a", "b", nat(3)), ("b", "b", nat(4))]);
+        let result = kleene_iterate(&program, &edb, 10);
+        assert!(result.converged);
+        assert_eq!(result.idb.annotation(&Fact::new("Q", ["a", "a"])), nat(4));
+        assert_eq!(result.idb.annotation(&Fact::new("Q", ["a", "b"])), nat(18));
+        assert_eq!(result.idb.annotation(&Fact::new("Q", ["b", "b"])), nat(16));
+        assert_eq!(result.idb.facts_of("Q").count(), 3);
+    }
+
+    #[test]
+    fn figure7_two_iterations_match_the_paper() {
+        // The paper: "Calculating its solution we get after two fixed point
+        // iterations x = 8, y = 3, z = 2, u = 2, v = 2, w = 2."
+        let program = Program::transitive_closure("R", "Q");
+        let edb = edge_facts(
+            "R",
+            &[
+                ("a", "b", NatInf::Fin(2)),
+                ("a", "c", NatInf::Fin(3)),
+                ("c", "b", NatInf::Fin(2)),
+                ("b", "d", NatInf::Fin(1)),
+                ("d", "d", NatInf::Fin(1)),
+            ],
+        );
+        let result = kleene_iterate(&program, &edb, 2);
+        let q = |a: &str, b: &str| result.idb.annotation(&Fact::new("Q", [a, b]));
+        assert_eq!(q("a", "b"), NatInf::Fin(8)); // x
+        assert_eq!(q("a", "c"), NatInf::Fin(3)); // y
+        assert_eq!(q("c", "b"), NatInf::Fin(2)); // z
+        assert_eq!(q("b", "d"), NatInf::Fin(2)); // u
+        assert_eq!(q("d", "d"), NatInf::Fin(2)); // v
+        assert_eq!(q("a", "d"), NatInf::Fin(2)); // w
+        assert!(!result.converged);
+    }
+
+    #[test]
+    fn figure7_iteration_does_not_converge_but_stable_entries_stay() {
+        let program = Program::transitive_closure("R", "Q");
+        let edb = edge_facts(
+            "R",
+            &[
+                ("a", "b", NatInf::Fin(2)),
+                ("a", "c", NatInf::Fin(3)),
+                ("c", "b", NatInf::Fin(2)),
+                ("b", "d", NatInf::Fin(1)),
+                ("d", "d", NatInf::Fin(1)),
+            ],
+        );
+        let r5 = kleene_iterate(&program, &edb, 5);
+        let r8 = kleene_iterate(&program, &edb, 8);
+        assert!(!r5.converged && !r8.converged);
+        // x, y, z have stabilized; u, v, w keep growing.
+        let q5 = |a: &str, b: &str| r5.idb.annotation(&Fact::new("Q", [a, b]));
+        let q8 = |a: &str, b: &str| r8.idb.annotation(&Fact::new("Q", [a, b]));
+        assert_eq!(q5("a", "b"), q8("a", "b"));
+        assert_eq!(q5("a", "c"), q8("a", "c"));
+        assert_eq!(q5("c", "b"), q8("c", "b"));
+        assert!(q5("d", "d") < q8("d", "d"));
+        assert!(q5("a", "d") < q8("a", "d"));
+    }
+
+    #[test]
+    fn boolean_transitive_closure_converges() {
+        let program = Program::transitive_closure("R", "Q");
+        let edb = edge_facts(
+            "R",
+            &[
+                ("a", "b", Bool::from(true)),
+                ("b", "c", Bool::from(true)),
+                ("c", "d", Bool::from(true)),
+            ],
+        );
+        let out = evaluate_fixpoint(&program, &edb, 64).expect("𝔹 evaluation converges");
+        assert_eq!(out.annotation(&Fact::new("Q", ["a", "d"])), Bool::from(true));
+        assert_eq!(out.annotation(&Fact::new("Q", ["d", "a"])), Bool::from(false));
+        assert_eq!(out.facts_of("Q").count(), 6);
+    }
+
+    #[test]
+    fn tropical_transitive_closure_computes_shortest_paths() {
+        let program = Program::transitive_closure("R", "Q");
+        let edb = edge_facts(
+            "R",
+            &[
+                ("a", "b", Tropical::cost(1)),
+                ("b", "c", Tropical::cost(2)),
+                ("a", "c", Tropical::cost(5)),
+                ("c", "c", Tropical::cost(0)),
+            ],
+        );
+        let out = evaluate_fixpoint(&program, &edb, 64).expect("tropical evaluation converges");
+        // Shortest a→c path costs 3 (< the direct edge 5).
+        assert_eq!(out.annotation(&Fact::new("Q", ["a", "c"])), Tropical::cost(3));
+        assert_eq!(out.annotation(&Fact::new("Q", ["a", "b"])), Tropical::cost(1));
+    }
+
+    #[test]
+    fn posbool_transitive_closure_converges_despite_cycles() {
+        // Datalog on c-tables (Section 8): PosBool annotations stabilize even
+        // though the graph has a cycle.
+        let program = Program::transitive_closure("R", "Q");
+        let edb = edge_facts(
+            "R",
+            &[
+                ("a", "b", PosBool::var("e1")),
+                ("b", "a", PosBool::var("e2")),
+                ("b", "c", PosBool::var("e3")),
+            ],
+        );
+        let out = evaluate_fixpoint(&program, &edb, 64).expect("PosBool evaluation converges");
+        assert_eq!(
+            out.annotation(&Fact::new("Q", ["a", "c"])),
+            PosBool::var("e1").times(&PosBool::var("e3"))
+        );
+        // a→a requires both e1 and e2.
+        assert_eq!(
+            out.annotation(&Fact::new("Q", ["a", "a"])),
+            PosBool::var("e1").times(&PosBool::var("e2"))
+        );
+    }
+
+    #[test]
+    fn seminaive_agrees_with_naive_on_idempotent_semirings() {
+        let program = Program::transitive_closure("R", "Q");
+        let edb = edge_facts(
+            "R",
+            &[
+                ("a", "b", Bool::from(true)),
+                ("b", "c", Bool::from(true)),
+                ("c", "a", Bool::from(true)),
+                ("c", "d", Bool::from(true)),
+            ],
+        );
+        let naive = evaluate_fixpoint(&program, &edb, 64).unwrap();
+        let semi = seminaive_evaluate(&program, &edb, 64);
+        assert!(semi.converged);
+        for (fact, ann) in naive.facts() {
+            assert_eq!(semi.idb.annotation(&fact), *ann, "{fact}");
+        }
+        assert_eq!(naive.len(), semi.idb.len());
+    }
+
+    #[test]
+    fn seminaive_tropical_shortest_paths() {
+        let program = Program::linear_transitive_closure("R", "Q");
+        let edb = edge_facts(
+            "R",
+            &[
+                ("a", "b", Tropical::cost(4)),
+                ("b", "c", Tropical::cost(1)),
+                ("a", "c", Tropical::cost(10)),
+            ],
+        );
+        let semi = seminaive_evaluate(&program, &edb, 64);
+        assert!(semi.converged);
+        assert_eq!(
+            semi.idb.annotation(&Fact::new("Q", ["a", "c"])),
+            Tropical::cost(5)
+        );
+    }
+
+    #[test]
+    fn immediate_consequence_of_empty_program_is_empty() {
+        let program = Program::new(vec![]);
+        let edb: FactStore<Natural> = edge_facts("R", &[("a", "b", nat(1))]);
+        let result = kleene_iterate(&program, &edb, 4);
+        assert!(result.converged);
+        assert!(result.idb.is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! A small textual parser for pure datalog programs.
+//!
+//! Grammar (whitespace-insensitive, `%` starts a comment until end of line):
+//!
+//! ```text
+//! program  ::= { rule }
+//! rule     ::= atom [ ":-" atom { "," atom } ] "."
+//! atom     ::= IDENT "(" term { "," term } ")"
+//! term     ::= VARIABLE | CONSTANT
+//! VARIABLE ::= identifier starting with a lowercase letter? — no:
+//!              identifiers starting with an uppercase letter or `_` would be
+//!              the Prolog convention; we follow the *datalog/paper*
+//!              convention instead: plain identifiers are variables, quoted
+//!              strings ('abc') and integers are constants.
+//! ```
+//!
+//! This matches how the paper writes rules (`Q(x,y) :- R(x,z), R(z,y)`): the
+//! lowercase identifiers are variables and the data values live in the
+//! instance, not the program text.
+
+use crate::ast::{Atom, Program, Rule, Term};
+use provsem_core::Value;
+use std::fmt;
+
+/// A parse error with a (byte) position and message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(c) if c == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error(format!(
+                "expected '{}', found {:?}",
+                expected as char,
+                other.map(|c| c as char)
+            ))),
+        }
+    }
+
+    fn try_eat_str(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.input[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected an identifier"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("identifier bytes are ASCII")
+            .to_string())
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'\'') => {
+                // Quoted string constant.
+                self.bump();
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'\'' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in constant"))?
+                    .to_string();
+                self.eat(b'\'')?;
+                Ok(Term::constant(text))
+            }
+            Some(c) if c.is_ascii_digit() || c == b'-' => {
+                // Integer constant.
+                let start = self.pos;
+                self.bump();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| self.error(format!("invalid integer '{text}'")))?;
+                Ok(Term::Const(Value::int(n)))
+            }
+            _ => Ok(Term::var(self.identifier()?)),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let predicate = self.identifier()?;
+        self.eat(b'(')?;
+        let mut terms = vec![self.term()?];
+        loop {
+            self.skip_ws();
+            if self.try_eat_str(",") {
+                terms.push(self.term()?);
+            } else {
+                break;
+            }
+        }
+        self.eat(b')')?;
+        Ok(Atom::new(predicate, terms))
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        let head = self.atom()?;
+        let mut body = Vec::new();
+        if self.try_eat_str(":-") {
+            body.push(self.atom()?);
+            loop {
+                self.skip_ws();
+                if self.try_eat_str(",") {
+                    body.push(self.atom()?);
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(b'.')?;
+        Ok(Rule::new(head, body))
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut rules = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek().is_none() {
+                break;
+            }
+            rules.push(self.rule()?);
+        }
+        Ok(Program::new(rules))
+    }
+}
+
+/// Parses a datalog program from text.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    Parser::new(text).program()
+}
+
+/// Parses a single rule (must be terminated by `.`).
+pub fn parse_rule(text: &str) -> Result<Rule, ParseError> {
+    let mut p = Parser::new(text);
+    let rule = p.rule()?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err(p.error("trailing input after rule"));
+    }
+    Ok(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::DlVar;
+
+    #[test]
+    fn parses_the_figure7_program() {
+        let p = parse_program(
+            "Q(x, y) :- R(x, y).\n\
+             Q(x, y) :- Q(x, z), Q(z, y).",
+        )
+        .unwrap();
+        assert_eq!(p, Program::transitive_closure("R", "Q"));
+    }
+
+    #[test]
+    fn parses_the_figure6_query() {
+        let p = parse_program("Q(x,y) :- R(x,z), R(z,y).").unwrap();
+        assert_eq!(p, Program::figure6_query());
+    }
+
+    #[test]
+    fn parses_constants_and_facts() {
+        let p = parse_program("R('a', 'b').\nPath(x, 'b') :- R(x, 'b').").unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.rules[0].is_fact());
+        assert_eq!(
+            p.rules[1].head.terms[1],
+            Term::Const(Value::str("b"))
+        );
+        assert_eq!(p.rules[1].head.terms[0], Term::Var(DlVar::new("x")));
+    }
+
+    #[test]
+    fn parses_integer_constants() {
+        let p = parse_program("Cost(x, 42) :- Edge(x, -7).").unwrap();
+        assert_eq!(p.rules[0].head.terms[1], Term::Const(Value::int(42)));
+        assert_eq!(p.rules[0].body[0].terms[1], Term::Const(Value::int(-7)));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let p = parse_program(
+            "% transitive closure\n  Q(x,y) :- R(x,y). % base\n\nQ(x,y) :- Q(x,z), Q(z,y).",
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+    }
+
+    #[test]
+    fn missing_dot_is_an_error() {
+        let err = parse_program("Q(x,y) :- R(x,y)").unwrap_err();
+        assert!(err.message.contains("expected '.'"), "{err}");
+    }
+
+    #[test]
+    fn unbalanced_parenthesis_is_an_error() {
+        assert!(parse_program("Q(x,y :- R(x,y).").is_err());
+    }
+
+    #[test]
+    fn parse_rule_rejects_trailing_garbage() {
+        assert!(parse_rule("Q(x) :- R(x). extra").is_err());
+        assert!(parse_rule("Q(x) :- R(x).").is_ok());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let tc = Program::transitive_closure("Edge", "Path");
+        let reparsed = parse_program(&format!("{tc}")).unwrap();
+        assert_eq!(tc, reparsed);
+    }
+}

@@ -1,0 +1,332 @@
+//! Datalog provenance: classification of provenance series (Theorem 6.5) and
+//! the factorization theorem for datalog (Theorem 6.4).
+//!
+//! The provenance of a datalog answer tuple lives in ℕ∞[[X]] (Definition
+//! 6.1). For a given instance it falls into one of four classes, which the
+//! paper shows are all decidable:
+//!
+//! | class      | meaning                                              |
+//! |------------|------------------------------------------------------|
+//! | `NPoly`    | finitely many derivation trees — a polynomial in ℕ[X] |
+//! | `NSeries`  | infinitely many monomials, all coefficients finite    |
+//! | `NInfPoly` | finitely many monomials, some coefficient ∞           |
+//! | `NInfSeries` | infinitely many monomials and some coefficient ∞    |
+
+use crate::all_trees::{all_trees_with_variables, AllTreesResult, TreeProvenance};
+use crate::ast::Program;
+use crate::exact::facts_with_infinitely_many_derivations;
+use crate::fact::{Fact, FactStore};
+use crate::grounding::{derivable_facts, instantiate_over, DependencyGraph};
+use provsem_semiring::{
+    OmegaContinuous, ProvenancePolynomial, Semiring, Valuation, Variable,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which fragment of ℕ∞[[X]] a tuple's provenance series lies in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SeriesClass {
+    /// A polynomial with finite coefficients: ℕ[X].
+    NPoly,
+    /// A genuine power series with finite coefficients: ℕ[[X]] \ ℕ[X].
+    NSeries,
+    /// Finitely many monomials but some coefficient is ∞: ℕ∞[X] \ ℕ[X].
+    NInfPoly,
+    /// Infinitely many monomials and some coefficient ∞: the general case.
+    NInfSeries,
+}
+
+impl SeriesClass {
+    /// Is the series a polynomial (finitely many monomials)?
+    pub fn is_polynomial(self) -> bool {
+        matches!(self, SeriesClass::NPoly | SeriesClass::NInfPoly)
+    }
+
+    /// Are all coefficients finite?
+    pub fn has_finite_coefficients(self) -> bool {
+        matches!(self, SeriesClass::NPoly | SeriesClass::NSeries)
+    }
+}
+
+/// Classifies the provenance series of every derivable idb fact.
+///
+/// * The fact has finitely many derivation trees (All-Trees says
+///   "polynomial") ⇒ [`SeriesClass::NPoly`].
+/// * Otherwise, by Theorem 6.5, some coefficient is ∞ **iff** the fact's
+///   derivations involve a cycle of **unit** ground rules; and by the
+///   companion observation in Section 7 the number of distinct monomials is
+///   finite iff no cycle through a **non-unit** rule is involved.
+pub fn classify_series<K: Semiring>(
+    program: &Program,
+    edb: &FactStore<K>,
+) -> BTreeMap<Fact, SeriesClass> {
+    let derivable = derivable_facts(program, edb);
+    let ground = instantiate_over(program, &derivable);
+    let idb_predicates = program.idb_predicates();
+    let is_idb = |p: &str| idb_predicates.contains(p);
+
+    let infinite_trees = facts_with_infinitely_many_derivations(program, &ground);
+
+    // Facts whose derivations can go through a unit-rule cycle: coefficients ∞.
+    let unit_graph = DependencyGraph::build_unit_only(&ground, &is_idb);
+    let unit_cycle_facts = unit_graph.facts_reaching_cycles();
+    // Facts whose derivations can go through a cycle containing a non-unit
+    // rule: infinitely many distinct monomials (each pump adds leaves).
+    let nonunit_ground: Vec<_> = ground.iter().filter(|r| !r.is_unit()).cloned().collect();
+    let full_graph = DependencyGraph::build(&ground, &is_idb);
+    let nonunit_graph = DependencyGraph::build(&nonunit_ground, &is_idb);
+    let nonunit_cycle_nodes: BTreeSet<Fact> = {
+        // A cycle "containing at least one non-unit rule" is a cycle of the
+        // full graph that uses at least one edge contributed by a non-unit
+        // ground rule. We approximate it exactly for our purposes: a fact is
+        // on such a cycle iff it is on a cycle of the full graph that is not
+        // a cycle of the unit-only graph, or it is on a cycle of the
+        // non-unit-only graph. A fact on *some* full-graph cycle but on *no*
+        // unit-only cycle must use a non-unit edge to return to itself.
+        let full_cycles = full_graph.nodes_on_cycles();
+        let unit_cycles = unit_graph.nodes_on_cycles();
+        let nonunit_cycles = nonunit_graph.nodes_on_cycles();
+        full_cycles
+            .into_iter()
+            .filter(|f| nonunit_cycles.contains(f) || !unit_cycles.contains(f))
+            .collect()
+    };
+    // Facts that can reach such a cycle have infinitely many monomials.
+    let mut infinite_monomials: BTreeSet<Fact> = nonunit_cycle_nodes.clone();
+    loop {
+        let mut added = false;
+        for (from, tos) in &full_graph.edges {
+            if !infinite_monomials.contains(from)
+                && tos.iter().any(|t| infinite_monomials.contains(t))
+            {
+                infinite_monomials.insert(from.clone());
+                added = true;
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+
+    let mut result = BTreeMap::new();
+    for fact in derivable.iter().filter(|f| is_idb(&f.predicate)) {
+        let class = if !infinite_trees.contains(fact) {
+            SeriesClass::NPoly
+        } else {
+            let inf_coeff = unit_cycle_facts.contains(fact);
+            let inf_monomials = infinite_monomials.contains(fact);
+            match (inf_coeff, inf_monomials) {
+                (false, _) => SeriesClass::NSeries,
+                (true, false) => SeriesClass::NInfPoly,
+                (true, true) => SeriesClass::NInfSeries,
+            }
+        };
+        result.insert(fact.clone(), class);
+    }
+    result
+}
+
+/// The provenance of a whole datalog answer, as produced by All-Trees plus a
+/// valuation of the edb variables — everything needed to apply the
+/// factorization theorem for datalog (Theorem 6.4).
+#[derive(Clone, Debug)]
+pub struct DatalogProvenance<K> {
+    /// The All-Trees classification and polynomials.
+    pub trees: AllTreesResult,
+    /// The valuation mapping each edb variable to its K annotation.
+    pub valuation: Valuation<K>,
+}
+
+/// Computes the datalog provenance of a program over a K-annotated edb:
+/// abstractly tags the edb facts, runs All-Trees, and remembers the
+/// valuation.
+pub fn datalog_provenance<K: Semiring>(
+    program: &Program,
+    edb: &FactStore<K>,
+) -> DatalogProvenance<K> {
+    let variables = crate::all_trees::default_edb_variables(edb);
+    let mut valuation = Valuation::new();
+    for (fact, var) in &variables {
+        valuation.assign(var.clone(), edb.annotation(fact));
+    }
+    let trees = all_trees_with_variables(program, edb, variables);
+    DatalogProvenance { trees, valuation }
+}
+
+impl<K: OmegaContinuous> DatalogProvenance<K> {
+    /// Specializes the provenance into K (Theorem 6.4): finite provenance
+    /// polynomials are evaluated under the valuation; tuples with infinitely
+    /// many derivations are given `infinity()` (for ℕ∞ this is ∞; for
+    /// lattices the caller should use the Section 8 evaluation instead,
+    /// which never needs it).
+    pub fn specialize(&self, infinity: impl Fn() -> K) -> FactStore<K> {
+        let mut out = FactStore::new();
+        for (fact, prov) in &self.trees.provenance {
+            let value = match prov {
+                TreeProvenance::Polynomial(p) => p.eval(&self.valuation),
+                TreeProvenance::Infinite => infinity(),
+            };
+            out.set(fact.clone(), value);
+        }
+        out
+    }
+
+    /// The provenance polynomial of one fact, if it is finite.
+    pub fn polynomial(&self, fact: &Fact) -> Option<&ProvenancePolynomial> {
+        self.trees
+            .provenance
+            .get(fact)
+            .and_then(TreeProvenance::as_polynomial)
+    }
+}
+
+/// Sanity check for Proposition 6.2 / 5.3: for a **non-recursive** program,
+/// the datalog provenance of every answer is a polynomial.
+pub fn nonrecursive_provenance_is_polynomial<K: Semiring>(
+    program: &Program,
+    edb: &FactStore<K>,
+) -> bool {
+    if !program.is_nonrecursive() {
+        return false;
+    }
+    classify_series(program, edb)
+        .values()
+        .all(|c| *c == SeriesClass::NPoly)
+}
+
+/// The edb variable assigned to each fact by [`datalog_provenance`] — handy
+/// for writing expectations in terms of the paper's variable names.
+pub fn edb_variable_of<K: Semiring>(
+    provenance: &DatalogProvenance<K>,
+    fact: &Fact,
+) -> Option<Variable> {
+    provenance.trees.edb_variables.get(fact).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::edge_facts;
+    use provsem_semiring::{NatInf, Natural};
+
+    fn figure7_edb() -> FactStore<NatInf> {
+        edge_facts(
+            "R",
+            &[
+                ("a", "b", NatInf::Fin(2)),
+                ("a", "c", NatInf::Fin(3)),
+                ("c", "b", NatInf::Fin(2)),
+                ("b", "d", NatInf::Fin(1)),
+                ("d", "d", NatInf::Fin(1)),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure7_series_classes() {
+        // The TC program has no unit-rule cycles (its only unit rule has an
+        // edb body), so by Theorem 6.5 all coefficients are finite: finite
+        // tuples are ℕ[X] polynomials, infinite ones are ℕ[[X]] series.
+        let program = Program::transitive_closure("R", "Q");
+        let classes = classify_series(&program, &figure7_edb());
+        assert_eq!(classes[&Fact::new("Q", ["a", "b"])], SeriesClass::NPoly);
+        assert_eq!(classes[&Fact::new("Q", ["a", "c"])], SeriesClass::NPoly);
+        assert_eq!(classes[&Fact::new("Q", ["c", "b"])], SeriesClass::NPoly);
+        assert_eq!(classes[&Fact::new("Q", ["d", "d"])], SeriesClass::NSeries);
+        assert_eq!(classes[&Fact::new("Q", ["b", "d"])], SeriesClass::NSeries);
+        assert_eq!(classes[&Fact::new("Q", ["a", "d"])], SeriesClass::NSeries);
+        assert!(classes.values().all(|c| c.has_finite_coefficients()));
+    }
+
+    #[test]
+    fn unit_rule_cycle_gives_infinite_coefficients() {
+        // P(x) :- E(x). P(x) :- P(x). — one monomial (e), coefficient ∞.
+        let program = crate::parser::parse_program("P(x) :- E(x).\nP(x) :- P(x).").unwrap();
+        let mut edb: FactStore<Natural> = FactStore::new();
+        edb.insert(Fact::new("E", ["a"]), Natural::from(1u64));
+        let classes = classify_series(&program, &edb);
+        assert_eq!(classes[&Fact::new("P", ["a"])], SeriesClass::NInfPoly);
+        assert!(!classes[&Fact::new("P", ["a"])].has_finite_coefficients());
+        assert!(classes[&Fact::new("P", ["a"])].is_polynomial());
+    }
+
+    #[test]
+    fn mixed_cycles_give_the_general_class() {
+        // P(x) :- E(x). P(x) :- P(x). P(x) :- P(x), P(x).
+        // Unit cycle ⇒ ∞ coefficients; non-unit cycle ⇒ infinitely many
+        // monomials.
+        let program = crate::parser::parse_program(
+            "P(x) :- E(x).\nP(x) :- P(x).\nP(x) :- P(x), P(x).",
+        )
+        .unwrap();
+        let mut edb: FactStore<Natural> = FactStore::new();
+        edb.insert(Fact::new("E", ["a"]), Natural::from(1u64));
+        let classes = classify_series(&program, &edb);
+        assert_eq!(classes[&Fact::new("P", ["a"])], SeriesClass::NInfSeries);
+    }
+
+    #[test]
+    fn nonrecursive_programs_have_polynomial_provenance() {
+        // Proposition 6.2's sanity check.
+        let program = Program::figure6_query();
+        let edb = edge_facts(
+            "R",
+            &[
+                ("a", "a", Natural::from(2u64)),
+                ("a", "b", Natural::from(3u64)),
+                ("b", "b", Natural::from(4u64)),
+            ],
+        );
+        assert!(nonrecursive_provenance_is_polynomial(&program, &edb));
+        // A recursive program is rejected by the helper even if the instance
+        // happens to be acyclic.
+        let tc = Program::transitive_closure("R", "Q");
+        assert!(!nonrecursive_provenance_is_polynomial(&tc, &edb));
+    }
+
+    #[test]
+    fn theorem_6_4_factorization_for_datalog() {
+        // Computing provenance once and evaluating (with ∞ for T∞ tuples)
+        // agrees with the direct exact ℕ∞ evaluation.
+        let program = Program::transitive_closure("R", "Q");
+        let edb = figure7_edb();
+        let prov = datalog_provenance(&program, &edb);
+        let specialized = prov.specialize(|| NatInf::Inf);
+        let direct = crate::exact::evaluate_natinf(&program, &edb);
+        for (fact, ann) in direct.facts() {
+            assert_eq!(specialized.annotation(&fact), *ann, "{fact}");
+        }
+        assert_eq!(specialized.len(), direct.len());
+    }
+
+    #[test]
+    fn figure6_datalog_provenance_matches_bag_multiplicities() {
+        // Proposition 5.3 instance: the conjunctive query of Figure 6
+        // evaluated via provenance + valuation gives 4, 18, 16.
+        let program = Program::figure6_query();
+        let edb = edge_facts(
+            "R",
+            &[
+                ("a", "a", NatInf::Fin(2)),
+                ("a", "b", NatInf::Fin(3)),
+                ("b", "b", NatInf::Fin(4)),
+            ],
+        );
+        let prov = datalog_provenance(&program, &edb);
+        let out = prov.specialize(|| NatInf::Inf);
+        assert_eq!(out.annotation(&Fact::new("Q", ["a", "a"])), NatInf::Fin(4));
+        assert_eq!(out.annotation(&Fact::new("Q", ["a", "b"])), NatInf::Fin(18));
+        assert_eq!(out.annotation(&Fact::new("Q", ["b", "b"])), NatInf::Fin(16));
+    }
+
+    #[test]
+    fn polynomial_accessor_and_variable_lookup() {
+        let program = Program::figure6_query();
+        let edb = edge_facts("R", &[("a", "b", NatInf::Fin(1)), ("b", "c", NatInf::Fin(1))]);
+        let prov = datalog_provenance(&program, &edb);
+        let q_ac = Fact::new("Q", ["a", "c"]);
+        let poly = prov.polynomial(&q_ac).expect("finite provenance");
+        assert_eq!(poly.num_terms(), 1);
+        assert!(edb_variable_of(&prov, &Fact::new("R", ["a", "b"])).is_some());
+        assert!(edb_variable_of(&prov, &Fact::new("R", ["z", "z"])).is_none());
+    }
+}

@@ -1,0 +1,268 @@
+//! Boolean c-tables and the Imielinski–Lipski query answering algorithm
+//! (Figure 2 of the paper).
+//!
+//! A boolean c-table is a relation whose tuples are annotated with positive
+//! boolean *conditions* over a set of variables; it represents one possible
+//! world per truth assignment of the variables (the world containing exactly
+//! the tuples whose condition is satisfied). The key insight reproduced here
+//! is the paper's: **running the generalized RA⁺ of Definition 3.2 over
+//! `PosBool(B)`-relations *is* the Imielinski–Lipski algorithm** — there is
+//! no separate implementation, only [`provsem_core`] evaluated at
+//! `K = PosBool`.
+
+use crate::worlds::PossibleWorlds;
+use provsem_core::{Database, KRelation, RaExpr, Schema, Tuple};
+use provsem_semiring::{PosBool, Semiring, Valuation, Variable};
+use std::collections::BTreeSet;
+
+/// A boolean c-table: a `PosBool`-annotated relation plus the set of
+/// condition variables it mentions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CTable {
+    relation: KRelation<PosBool>,
+    variables: BTreeSet<Variable>,
+}
+
+impl CTable {
+    /// Wraps a `PosBool`-relation as a c-table (collecting its variables).
+    pub fn new(relation: KRelation<PosBool>) -> Self {
+        let variables = relation
+            .iter()
+            .flat_map(|(_, cond)| cond.variables())
+            .collect();
+        CTable {
+            relation,
+            variables,
+        }
+    }
+
+    /// An empty c-table over a schema.
+    pub fn empty(schema: Schema) -> Self {
+        CTable::new(KRelation::empty(schema))
+    }
+
+    /// The underlying `PosBool`-relation.
+    pub fn relation(&self) -> &KRelation<PosBool> {
+        &self.relation
+    }
+
+    /// The condition variables.
+    pub fn variables(&self) -> &BTreeSet<Variable> {
+        &self.variables
+    }
+
+    /// The condition of a tuple (`false` if absent).
+    pub fn condition(&self, tuple: &Tuple) -> PosBool {
+        self.relation.annotation(tuple)
+    }
+
+    /// Adds a tuple with a condition.
+    pub fn insert(&mut self, tuple: Tuple, condition: PosBool) {
+        self.variables.extend(condition.variables());
+        self.relation.insert(tuple, condition);
+    }
+
+    /// The world (set of tuples) selected by a truth assignment, given as the
+    /// set of variables that are `true`.
+    pub fn world(&self, true_vars: &BTreeSet<Variable>) -> BTreeSet<Tuple> {
+        self.relation
+            .iter()
+            .filter(|(_, cond)| cond.evaluate_set(true_vars))
+            .map(|(t, _)| t.clone())
+            .collect()
+    }
+
+    /// Enumerates every possible world (one per truth assignment of the
+    /// variables, deduplicated). Exponential in the number of variables;
+    /// guarded accordingly.
+    pub fn possible_worlds(&self) -> PossibleWorlds {
+        let vars: Vec<&Variable> = self.variables.iter().collect();
+        let n = vars.len();
+        assert!(n < 25, "possible-world enumeration limited to < 2^25 worlds");
+        let mut worlds = Vec::new();
+        for mask in 0u64..(1 << n) {
+            let true_vars: BTreeSet<Variable> = vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << *i) != 0)
+                .map(|(_, v)| (*v).clone())
+                .collect();
+            worlds.push(self.world(&true_vars));
+        }
+        PossibleWorlds::new(worlds)
+    }
+
+    /// Imielinski–Lipski query answering: evaluates an RA⁺ expression over a
+    /// database in which this c-table is the relation named `name`,
+    /// producing the answer c-table. This is exactly Definition 3.2 at
+    /// `K = PosBool(B)` — the computation of Figure 2(a), with the canonical
+    /// form performing the simplification to Figure 2(b).
+    pub fn answer_query(&self, name: &str, query: &RaExpr) -> Result<CTable, provsem_core::EvalError> {
+        let db = Database::new().with(name, self.relation.clone());
+        Ok(CTable::new(query.eval(&db)?))
+    }
+
+    /// Substitutes conditions for variables (e.g. to compose c-tables or to
+    /// specialize some variables to `true`/`false`).
+    pub fn substitute(&self, valuation: &Valuation<PosBool>) -> CTable {
+        CTable::new(
+            self.relation
+                .map_annotations(|cond| cond.substitute(valuation)),
+        )
+    }
+
+    /// The *certain* tuples: tuples present in every possible world
+    /// (condition equivalent to `true`).
+    pub fn certain_tuples(&self) -> Vec<Tuple> {
+        self.relation
+            .iter()
+            .filter(|(_, cond)| cond.is_one())
+            .map(|(t, _)| t.clone())
+            .collect()
+    }
+
+    /// The *possible* tuples: tuples present in at least one world
+    /// (condition not equivalent to `false` — always true for stored tuples
+    /// thanks to the support invariant).
+    pub fn possible_tuples(&self) -> Vec<Tuple> {
+        self.relation.support().cloned().collect()
+    }
+
+    /// The Figure 1(b) c-table: the Section 2 relation with variables
+    /// `b1, b2, b3`.
+    pub fn figure1b() -> CTable {
+        CTable::new(
+            provsem_core::paper::figure1_ctable()
+                .get("R")
+                .expect("paper instance has relation R")
+                .clone(),
+        )
+    }
+}
+
+/// The Figure 2(b) expected answer: the simplified c-table produced by the
+/// Imielinski–Lipski computation on the Figure 1(b) input under the
+/// Section 2 query, as `(a, c, condition)` triples.
+pub fn figure2b_expected() -> Vec<(Tuple, PosBool)> {
+    let b1 = PosBool::var("b1");
+    let b2 = PosBool::var("b2");
+    let b3 = PosBool::var("b3");
+    let t = |a: &str, c: &str| Tuple::new([("a", a), ("c", c)]);
+    vec![
+        (t("a", "c"), b1.clone()),
+        (t("a", "e"), b1.times(&b2)),
+        (t("d", "c"), b1.times(&b2)),
+        (t("d", "e"), b2.clone()),
+        (t("f", "e"), b3.clone()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provsem_core::paper::section2_query;
+
+    #[test]
+    fn figure2_imielinski_lipski_computation() {
+        // Running the Section 2 query over the Figure 1(b) c-table produces
+        // exactly the simplified c-table of Figure 2(b).
+        let ctable = CTable::figure1b();
+        let answer = ctable.answer_query("R", &section2_query()).unwrap();
+        let expected = figure2b_expected();
+        assert_eq!(answer.relation().len(), expected.len());
+        for (tuple, condition) in expected {
+            assert_eq!(answer.condition(&tuple), condition, "{tuple:?}");
+        }
+    }
+
+    #[test]
+    fn figure2a_simplifies_to_figure2b_via_canonical_forms() {
+        // The unsimplified conditions of Figure 2(a), built literally,
+        // normalize to the Figure 2(b) conditions.
+        let b1 = PosBool::var("b1");
+        let b2 = PosBool::var("b2");
+        let b3 = PosBool::var("b3");
+        // (b1 ∧ b1) ∨ (b1 ∧ b1) = b1
+        assert_eq!(b1.times(&b1).plus(&b1.times(&b1)), b1);
+        // (b2 ∧ b2) ∨ (b2 ∧ b2) ∨ (b2 ∧ b3) = b2
+        assert_eq!(
+            b2.times(&b2).plus(&b2.times(&b2)).plus(&b2.times(&b3)),
+            b2
+        );
+        // (b3 ∧ b3) ∨ (b3 ∧ b3) ∨ (b2 ∧ b3) = b3
+        assert_eq!(
+            b3.times(&b3).plus(&b3.times(&b3)).plus(&b2.times(&b3)),
+            b3
+        );
+    }
+
+    #[test]
+    fn worlds_of_the_answer_match_figure1c() {
+        // The answer c-table represents exactly the 8 possible worlds of
+        // Figure 1(c) — including the correlated world where (a,e) and (d,c)
+        // force (a,c) and (d,e), which no maybe-table can express.
+        let ctable = CTable::figure1b();
+        let answer = ctable.answer_query("R", &section2_query()).unwrap();
+        let worlds = answer.possible_worlds();
+        assert_eq!(worlds.len(), 8);
+        let t = |a: &str, c: &str| Tuple::new([("a", a), ("c", c)]);
+        // Figure 1(c) worlds, written as tuple sets.
+        let expected: Vec<Vec<Tuple>> = vec![
+            vec![],
+            vec![t("a", "c")],
+            vec![t("d", "e")],
+            vec![t("f", "e")],
+            vec![t("a", "c"), t("a", "e"), t("d", "c"), t("d", "e")],
+            vec![t("d", "e"), t("f", "e")],
+            vec![t("a", "c"), t("f", "e")],
+            vec![
+                t("a", "c"),
+                t("a", "e"),
+                t("d", "c"),
+                t("d", "e"),
+                t("f", "e"),
+            ],
+        ];
+        for world in expected {
+            let set: BTreeSet<Tuple> = world.into_iter().collect();
+            assert!(worlds.contains(&set), "missing world {set:?}");
+        }
+    }
+
+    #[test]
+    fn certain_and_possible_tuples() {
+        let mut ctable = CTable::empty(Schema::new(["x"]));
+        ctable.insert(Tuple::new([("x", "sure")]), PosBool::tt());
+        ctable.insert(Tuple::new([("x", "maybe")]), PosBool::var("v"));
+        assert_eq!(ctable.certain_tuples().len(), 1);
+        assert_eq!(ctable.possible_tuples().len(), 2);
+        assert_eq!(ctable.variables().len(), 1);
+    }
+
+    #[test]
+    fn substitution_specializes_a_ctable() {
+        let mut ctable = CTable::empty(Schema::new(["x"]));
+        ctable.insert(Tuple::new([("x", "t1")]), PosBool::var("v1"));
+        ctable.insert(
+            Tuple::new([("x", "t2")]),
+            PosBool::var("v1").times(&PosBool::var("v2")),
+        );
+        // Set v1 = true: t1 becomes certain, t2's condition reduces to v2.
+        let mut val = Valuation::new();
+        val.assign(Variable::new("v1"), PosBool::tt());
+        let specialized = ctable.substitute(&val);
+        assert_eq!(specialized.condition(&Tuple::new([("x", "t1")])), PosBool::tt());
+        assert_eq!(
+            specialized.condition(&Tuple::new([("x", "t2")])),
+            PosBool::var("v2")
+        );
+    }
+
+    #[test]
+    fn world_selection_by_assignment() {
+        let ctable = CTable::figure1b();
+        let only_b2: BTreeSet<Variable> = [Variable::new("b2")].into_iter().collect();
+        let world = ctable.world(&only_b2);
+        assert_eq!(world.len(), 1);
+    }
+}

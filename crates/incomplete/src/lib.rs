@@ -1,0 +1,36 @@
+//! # provsem-incomplete
+//!
+//! The incomplete-databases substrate of the *Provenance Semirings*
+//! reproduction: maybe-tables, boolean c-tables, possible-world semantics and
+//! the Imielinski–Lipski query answering algorithm (Figures 1 and 2 of the
+//! paper, plus the Section 8 datalog-on-c-tables semantics via
+//! `provsem-datalog`).
+//!
+//! The central point, reproduced as code: the Imielinski–Lipski algorithm is
+//! *not* a separate implementation — it is the generalized positive
+//! relational algebra of Definition 3.2 instantiated at `K = PosBool(B)`.
+//!
+//! ```
+//! use provsem_incomplete::prelude::*;
+//! use provsem_core::paper::section2_query;
+//!
+//! // Figure 1 → Figure 2: query the c-table form of the maybe-table.
+//! let answer = CTable::figure1b().answer_query("R", &section2_query()).unwrap();
+//! assert_eq!(answer.possible_worlds().len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ctable;
+pub mod maybe;
+pub mod worlds;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::ctable::{figure2b_expected, CTable};
+    pub use crate::maybe::MaybeTable;
+    pub use crate::worlds::PossibleWorlds;
+}
+
+pub use prelude::*;

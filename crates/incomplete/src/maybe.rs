@@ -1,0 +1,174 @@
+//! Maybe-tables: the simple representation system for incomplete databases
+//! used in Figure 1 of the paper.
+//!
+//! A maybe-table is a relation in which some tuples are certain and some are
+//! optional (annotated `?`). It represents the set of possible worlds
+//! obtained by independently keeping or dropping each optional tuple. As the
+//! paper recalls, maybe-tables are *not* closed under RA⁺ queries; c-tables
+//! ([`crate::ctable`]) are.
+
+use provsem_core::{KRelation, Schema, Tuple};
+use provsem_semiring::{PosBool, Variable};
+use std::collections::BTreeSet;
+
+/// A maybe-table: certain tuples plus optional (`?`) tuples.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MaybeTable {
+    schema: Schema,
+    certain: BTreeSet<Tuple>,
+    optional: BTreeSet<Tuple>,
+}
+
+impl MaybeTable {
+    /// An empty maybe-table over the given schema.
+    pub fn new(schema: Schema) -> Self {
+        MaybeTable {
+            schema,
+            certain: BTreeSet::new(),
+            optional: BTreeSet::new(),
+        }
+    }
+
+    /// Adds a certain tuple.
+    pub fn insert_certain(&mut self, tuple: Tuple) -> &mut Self {
+        assert_eq!(tuple.schema(), self.schema, "tuple schema mismatch");
+        self.optional.remove(&tuple);
+        self.certain.insert(tuple);
+        self
+    }
+
+    /// Adds an optional (`?`) tuple.
+    pub fn insert_optional(&mut self, tuple: Tuple) -> &mut Self {
+        assert_eq!(tuple.schema(), self.schema, "tuple schema mismatch");
+        if !self.certain.contains(&tuple) {
+            self.optional.insert(tuple);
+        }
+        self
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The certain tuples.
+    pub fn certain(&self) -> impl Iterator<Item = &Tuple> {
+        self.certain.iter()
+    }
+
+    /// The optional tuples.
+    pub fn optional(&self) -> impl Iterator<Item = &Tuple> {
+        self.optional.iter()
+    }
+
+    /// Number of optional tuples (the number of boolean choices).
+    pub fn num_optional(&self) -> usize {
+        self.optional.len()
+    }
+
+    /// The set of possible worlds: every subset of the optional tuples,
+    /// together with all certain tuples. `2^num_optional` worlds.
+    pub fn possible_worlds(&self) -> Vec<BTreeSet<Tuple>> {
+        let optional: Vec<&Tuple> = self.optional.iter().collect();
+        let n = optional.len();
+        assert!(n < 30, "possible-world enumeration limited to < 2^30 worlds");
+        let mut worlds = Vec::with_capacity(1 << n);
+        for mask in 0u64..(1 << n) {
+            let mut world: BTreeSet<Tuple> = self.certain.clone();
+            for (i, t) in optional.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    world.insert((*t).clone());
+                }
+            }
+            worlds.push(world);
+        }
+        worlds.sort();
+        worlds.dedup();
+        worlds
+    }
+
+    /// Converts the maybe-table into a boolean c-table (Figure 1(b)): each
+    /// optional tuple is annotated with a fresh boolean variable
+    /// `prefix1, prefix2, …` (in tuple order) and certain tuples with `true`.
+    /// Returns the PosBool-annotated K-relation and the variables used.
+    pub fn to_ctable(&self, prefix: &str) -> (KRelation<PosBool>, Vec<Variable>) {
+        let mut rel = KRelation::empty(self.schema.clone());
+        for t in &self.certain {
+            rel.insert(t.clone(), PosBool::tt());
+        }
+        let mut vars = Vec::new();
+        for (i, t) in self.optional.iter().enumerate() {
+            let var = Variable::new(format!("{prefix}{}", i + 1));
+            vars.push(var.clone());
+            rel.insert(t.clone(), PosBool::var(var));
+        }
+        (rel, vars)
+    }
+
+    /// The Figure 1(a) maybe-table: the three tuples of the Section 2
+    /// relation, all optional.
+    pub fn figure1() -> MaybeTable {
+        let schema = provsem_core::paper::section2_schema();
+        let mut table = MaybeTable::new(schema);
+        for t in provsem_core::paper::section2_tuples() {
+            table.insert_optional(t);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provsem_semiring::Semiring;
+
+    #[test]
+    fn figure1_maybe_table_has_eight_worlds() {
+        let table = MaybeTable::figure1();
+        assert_eq!(table.num_optional(), 3);
+        let worlds = table.possible_worlds();
+        assert_eq!(worlds.len(), 8);
+        // The empty world and the full world are both possible.
+        assert!(worlds.iter().any(|w| w.is_empty()));
+        assert!(worlds.iter().any(|w| w.len() == 3));
+    }
+
+    #[test]
+    fn certain_tuples_appear_in_every_world() {
+        let schema = Schema::new(["a"]);
+        let mut table = MaybeTable::new(schema);
+        let sure = Tuple::new([("a", "always")]);
+        let maybe = Tuple::new([("a", "sometimes")]);
+        table.insert_certain(sure.clone());
+        table.insert_optional(maybe.clone());
+        let worlds = table.possible_worlds();
+        assert_eq!(worlds.len(), 2);
+        assert!(worlds.iter().all(|w| w.contains(&sure)));
+        assert!(worlds.iter().filter(|w| w.contains(&maybe)).count() == 1);
+    }
+
+    #[test]
+    fn certain_overrides_optional() {
+        let schema = Schema::new(["a"]);
+        let mut table = MaybeTable::new(schema);
+        let t = Tuple::new([("a", "x")]);
+        table.insert_optional(t.clone());
+        table.insert_certain(t.clone());
+        assert_eq!(table.num_optional(), 0);
+        assert_eq!(table.possible_worlds().len(), 1);
+        // And the other way around: optional after certain is ignored.
+        table.insert_optional(t.clone());
+        assert_eq!(table.num_optional(), 0);
+    }
+
+    #[test]
+    fn to_ctable_matches_figure1b() {
+        let (rel, vars) = MaybeTable::figure1().to_ctable("b");
+        assert_eq!(rel.len(), 3);
+        assert_eq!(vars.len(), 3);
+        // Each optional tuple gets its own distinct variable.
+        let annotations: BTreeSet<PosBool> = rel.iter().map(|(_, k)| k.clone()).collect();
+        assert_eq!(annotations.len(), 3);
+        assert!(annotations.iter().all(|a| !a.is_one() && !a.is_zero()));
+    }
+}

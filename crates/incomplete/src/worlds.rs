@@ -1,0 +1,216 @@
+//! Possible-world semantics and representability checks.
+//!
+//! A representation system (maybe-tables, c-tables, …) denotes a *set of
+//! possible worlds*; query answering is defined world-by-world. This module
+//! provides the world-set abstraction, the world-by-world (certain answer)
+//! semantics, and the representability check that powers the paper's
+//! Figure 1 discussion: the answer world-set of the Section 2 query is not
+//! representable by any maybe-table, but is captured exactly by a c-table.
+
+use provsem_core::{Database, KRelation, RaExpr, Schema, Tuple};
+use provsem_semiring::Bool;
+use std::collections::BTreeSet;
+
+/// A finite set of possible worlds, each a set of tuples over a common
+/// schema.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PossibleWorlds {
+    worlds: BTreeSet<BTreeSet<Tuple>>,
+}
+
+impl PossibleWorlds {
+    /// Builds a world set (deduplicating identical worlds).
+    pub fn new<I>(worlds: I) -> Self
+    where
+        I: IntoIterator<Item = BTreeSet<Tuple>>,
+    {
+        PossibleWorlds {
+            worlds: worlds.into_iter().collect(),
+        }
+    }
+
+    /// Number of distinct worlds.
+    pub fn len(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// Is the world set empty (no world at all — different from containing
+    /// only the empty world)?
+    pub fn is_empty(&self) -> bool {
+        self.worlds.is_empty()
+    }
+
+    /// Does the set contain this exact world?
+    pub fn contains(&self, world: &BTreeSet<Tuple>) -> bool {
+        self.worlds.contains(world)
+    }
+
+    /// Iterates over the worlds.
+    pub fn iter(&self) -> impl Iterator<Item = &BTreeSet<Tuple>> {
+        self.worlds.iter()
+    }
+
+    /// The *certain* tuples: those present in every world.
+    pub fn certain_tuples(&self) -> BTreeSet<Tuple> {
+        let mut iter = self.worlds.iter();
+        let Some(first) = iter.next() else {
+            return BTreeSet::new();
+        };
+        let mut certain = first.clone();
+        for world in iter {
+            certain = certain.intersection(world).cloned().collect();
+        }
+        certain
+    }
+
+    /// The *possible* tuples: those present in at least one world.
+    pub fn possible_tuples(&self) -> BTreeSet<Tuple> {
+        self.worlds.iter().flatten().cloned().collect()
+    }
+
+    /// Applies an RA⁺ query world-by-world: the semantics of queries on
+    /// incomplete databases that representation systems must commute with.
+    pub fn answer_query(
+        &self,
+        relation_name: &str,
+        schema: &Schema,
+        query: &RaExpr,
+    ) -> Result<PossibleWorlds, provsem_core::EvalError> {
+        let mut result = BTreeSet::new();
+        for world in &self.worlds {
+            let rel: KRelation<Bool> = KRelation::from_support(schema.clone(), world.iter().cloned());
+            let db = Database::new().with(relation_name, rel);
+            let out = query.eval(&db)?;
+            result.insert(out.support().cloned().collect::<BTreeSet<Tuple>>());
+        }
+        Ok(PossibleWorlds { worlds: result })
+    }
+
+    /// Is this world set expressible by a maybe-table? A maybe-table's world
+    /// set is exactly: all sets `C ∪ S` with `S ⊆ O`, where `C` is the set of
+    /// certain tuples and `O` the optional ones. Equivalently, the world set
+    /// is closed under union and intersection and contains every set between
+    /// the certain tuples and the possible tuples that is a union of
+    /// {certain} with any subset of {possible ∖ certain}. We check that
+    /// criterion directly (the world count must be `2^|O|` and every such
+    /// subset present).
+    pub fn representable_by_maybe_table(&self) -> bool {
+        if self.worlds.is_empty() {
+            return false;
+        }
+        let certain = self.certain_tuples();
+        let possible = self.possible_tuples();
+        let optional: Vec<Tuple> = possible.difference(&certain).cloned().collect();
+        if optional.len() >= 25 {
+            // Too large to check exhaustively; callers only use this on small
+            // instances (the paper's examples).
+            return false;
+        }
+        let expected: usize = 1usize << optional.len();
+        if self.worlds.len() != expected {
+            return false;
+        }
+        for mask in 0u64..(1 << optional.len()) {
+            let mut world = certain.clone();
+            for (i, t) in optional.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    world.insert(t.clone());
+                }
+            }
+            if !self.worlds.contains(&world) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctable::CTable;
+    use crate::maybe::MaybeTable;
+    use provsem_core::paper::{section2_query, section2_schema};
+
+    #[test]
+    fn figure1_worlds_and_query_answering() {
+        // Evaluate the Section 2 query world-by-world over the 8 worlds of
+        // the Figure 1(a) maybe-table: the result is the 8-world set of
+        // Figure 1(c).
+        let table = MaybeTable::figure1();
+        let worlds = PossibleWorlds::new(table.possible_worlds());
+        assert_eq!(worlds.len(), 8);
+        let answer = worlds
+            .answer_query("R", &section2_schema(), &section2_query())
+            .unwrap();
+        assert_eq!(answer.len(), 8);
+        // The correlated world {(a,c),(a,e),(d,c),(d,e)} of Figure 1(c).
+        let t = |a: &str, c: &str| Tuple::new([("a", a), ("c", c)]);
+        let correlated: BTreeSet<Tuple> =
+            [t("a", "c"), t("a", "e"), t("d", "c"), t("d", "e")].into_iter().collect();
+        assert!(answer.contains(&correlated));
+        // But the "broken" world with (a,e) alone is NOT possible.
+        let broken: BTreeSet<Tuple> = [t("a", "e")].into_iter().collect();
+        assert!(!answer.contains(&broken));
+    }
+
+    #[test]
+    fn figure1_answer_is_not_representable_by_a_maybe_table() {
+        // The paper: "this set of possible worlds cannot itself be
+        // represented by a maybe-table".
+        let table = MaybeTable::figure1();
+        let worlds = PossibleWorlds::new(table.possible_worlds());
+        assert!(worlds.representable_by_maybe_table());
+        let answer = worlds
+            .answer_query("R", &section2_schema(), &section2_query())
+            .unwrap();
+        assert!(!answer.representable_by_maybe_table());
+    }
+
+    #[test]
+    fn ctable_answer_represents_exactly_the_world_by_world_answer() {
+        // Closure of c-tables under RA⁺: the Imielinski–Lipski answer
+        // c-table represents exactly the world-by-world answer set.
+        let maybe = MaybeTable::figure1();
+        let world_answer = PossibleWorlds::new(maybe.possible_worlds())
+            .answer_query("R", &section2_schema(), &section2_query())
+            .unwrap();
+        let ctable_answer = CTable::figure1b()
+            .answer_query("R", &section2_query())
+            .unwrap()
+            .possible_worlds();
+        assert_eq!(world_answer, ctable_answer);
+    }
+
+    #[test]
+    fn certain_and_possible_tuples_across_worlds() {
+        let t1 = Tuple::new([("x", "1")]);
+        let t2 = Tuple::new([("x", "2")]);
+        let worlds = PossibleWorlds::new(vec![
+            [t1.clone()].into_iter().collect(),
+            [t1.clone(), t2.clone()].into_iter().collect(),
+        ]);
+        assert_eq!(worlds.certain_tuples(), [t1.clone()].into_iter().collect());
+        assert_eq!(
+            worlds.possible_tuples(),
+            [t1, t2].into_iter().collect::<BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn representability_edge_cases() {
+        // A single world is always representable (no optional tuples).
+        let t1 = Tuple::new([("x", "1")]);
+        let single = PossibleWorlds::new(vec![[t1.clone()].into_iter().collect()]);
+        assert!(single.representable_by_maybe_table());
+        // Two worlds {t1} and {t2} (exclusive choice) are not representable.
+        let t2 = Tuple::new([("x", "2")]);
+        let exclusive = PossibleWorlds::new(vec![
+            [t1.clone()].into_iter().collect(),
+            [t2.clone()].into_iter().collect(),
+        ]);
+        assert!(!exclusive.representable_by_maybe_table());
+        // The empty world-set is not a valid representation.
+        assert!(!PossibleWorlds::default().representable_by_maybe_table());
+    }
+}

@@ -1,0 +1,33 @@
+//! # provsem-prob
+//!
+//! The probabilistic-databases substrate of the *Provenance Semirings*
+//! reproduction: tuple-independent probabilistic databases, event tables, the
+//! Fuhr–Rölleke–Zimányi query answering algorithm (Figure 4 of the paper —
+//! i.e. Definition 3.2 at `K = P(Ω)`), exact probability computation, and
+//! probabilistic datalog (Section 8).
+//!
+//! ```
+//! use provsem_prob::prelude::*;
+//! use provsem_core::paper::section2_query;
+//! use provsem_core::Tuple;
+//!
+//! // Figure 4: P(x)=0.6, P(y)=0.5, P(z)=0.1; the output tuple (a,e) has
+//! // event x∩y and probability 0.3.
+//! let db = TupleIndependentDb::figure4();
+//! let p = db.tuple_probability(&section2_query(), &Tuple::new([("a", "a"), ("c", "e")])).unwrap();
+//! assert!((p - 0.3).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datalog;
+pub mod event_table;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::datalog::{evaluate_probabilistic_datalog, ProbabilisticAnswer};
+    pub use crate::event_table::{posbool_probability, TupleIndependentDb};
+}
+
+pub use prelude::*;

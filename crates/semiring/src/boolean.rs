@@ -1,0 +1,152 @@
+//! The Boolean semiring `(𝔹, ∨, ∧, false, true)`.
+//!
+//! This is the annotation structure of ordinary set-semantics relations: a
+//! tuple tagged `true` is in the relation, a tuple tagged `false` is not
+//! (Section 3 of the paper).
+
+use crate::traits::{
+    CommutativeSemiring, DistributiveLattice, FiniteSemiring, NaturallyOrdered, OmegaContinuous,
+    PlusIdempotent, Semiring,
+};
+use std::fmt;
+
+/// An element of the Boolean semiring 𝔹.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Bool(pub bool);
+
+impl Bool {
+    /// The element `true` (the multiplicative unit).
+    pub const TRUE: Bool = Bool(true);
+    /// The element `false` (the additive unit).
+    pub const FALSE: Bool = Bool(false);
+
+    /// Returns the wrapped `bool`.
+    pub fn value(self) -> bool {
+        self.0
+    }
+}
+
+impl From<bool> for Bool {
+    fn from(b: bool) -> Self {
+        Bool(b)
+    }
+}
+
+impl From<Bool> for bool {
+    fn from(b: Bool) -> Self {
+        b.0
+    }
+}
+
+impl fmt::Debug for Bool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Bool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Semiring for Bool {
+    fn zero() -> Self {
+        Bool(false)
+    }
+
+    fn one() -> Self {
+        Bool(true)
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        Bool(self.0 || other.0)
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        Bool(self.0 && other.0)
+    }
+
+    fn is_zero(&self) -> bool {
+        !self.0
+    }
+
+    fn is_one(&self) -> bool {
+        self.0
+    }
+}
+
+impl CommutativeSemiring for Bool {}
+impl PlusIdempotent for Bool {}
+
+impl NaturallyOrdered for Bool {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // false ≤ false, false ≤ true, true ≤ true.
+        !self.0 || other.0
+    }
+}
+
+impl OmegaContinuous for Bool {
+    fn star(&self) -> Self {
+        // 1 + a + a² + ⋯ = true in 𝔹 regardless of a.
+        Bool(true)
+    }
+
+    fn convergence_bound(num_variables: usize) -> Option<usize> {
+        // Each variable can only ever flip false → true once.
+        Some(num_variables + 1)
+    }
+}
+
+impl DistributiveLattice for Bool {}
+
+impl FiniteSemiring for Bool {
+    fn enumerate() -> Vec<Self> {
+        vec![Bool(false), Bool(true)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{check_distributive_lattice, check_semiring_laws};
+
+    #[test]
+    fn boolean_semiring_laws() {
+        check_semiring_laws(&Bool::enumerate()).expect("𝔹 must satisfy the semiring laws");
+    }
+
+    #[test]
+    fn boolean_is_a_distributive_lattice() {
+        check_distributive_lattice(&Bool::enumerate()).expect("𝔹 is a distributive lattice");
+    }
+
+    #[test]
+    fn natural_order_is_false_below_true() {
+        assert!(Bool::FALSE.natural_leq(&Bool::TRUE));
+        assert!(!Bool::TRUE.natural_leq(&Bool::FALSE));
+        assert!(Bool::TRUE.natural_leq(&Bool::TRUE));
+        assert!(Bool::FALSE.natural_leq(&Bool::FALSE));
+    }
+
+    #[test]
+    fn star_is_always_true() {
+        assert_eq!(Bool::FALSE.star(), Bool::TRUE);
+        assert_eq!(Bool::TRUE.star(), Bool::TRUE);
+    }
+
+    #[test]
+    fn zero_one_identifications() {
+        assert!(Bool::zero().is_zero());
+        assert!(Bool::one().is_one());
+        assert!(!Bool::one().is_zero());
+        assert_ne!(Bool::zero(), Bool::one());
+    }
+
+    #[test]
+    fn conversion_round_trip() {
+        assert_eq!(bool::from(Bool::from(true)), true);
+        assert_eq!(bool::from(Bool::from(false)), false);
+        assert_eq!(Bool::from(true).value(), true);
+    }
+}

@@ -1,0 +1,239 @@
+//! The event semiring `(P(Ω), ∪, ∩, ∅, Ω)` used by probabilistic event
+//! tables (Fuhr–Rölleke, Zimányi; Figure 4 of the paper).
+//!
+//! `Ω` is a finite sample space of possible worlds; an annotation is the
+//! event (set of worlds) in which the tuple is present. Because `zero()` and
+//! `one()` cannot know Ω, events are represented in a *complement-closed*
+//! form: either an explicit finite set of worlds, or the complement of one.
+//! This makes `(P(Ω), ∪, ∩, ∅, Ω)` expressible without threading Ω through
+//! the semiring operations, while remaining exact once a concrete Ω is fixed.
+
+use crate::traits::{
+    CommutativeSemiring, DistributiveLattice, NaturallyOrdered, OmegaContinuous, PlusIdempotent,
+    Semiring,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A world identifier within the finite sample space Ω.
+pub type WorldId = u32;
+
+/// An event over a finite sample space: a set of possible worlds, stored
+/// either positively (`Include`) or as a complement (`Exclude`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// Exactly these worlds.
+    Include(BTreeSet<WorldId>),
+    /// All worlds except these.
+    Exclude(BTreeSet<WorldId>),
+}
+
+impl Event {
+    /// The impossible event ∅ (the additive unit).
+    pub fn never() -> Self {
+        Event::Include(BTreeSet::new())
+    }
+
+    /// The certain event Ω (the multiplicative unit).
+    pub fn always() -> Self {
+        Event::Exclude(BTreeSet::new())
+    }
+
+    /// An event holding exactly in the given worlds.
+    pub fn of_worlds<I: IntoIterator<Item = WorldId>>(worlds: I) -> Self {
+        Event::Include(worlds.into_iter().collect())
+    }
+
+    /// An event holding in all worlds except the given ones.
+    pub fn excluding<I: IntoIterator<Item = WorldId>>(worlds: I) -> Self {
+        Event::Exclude(worlds.into_iter().collect())
+    }
+
+    /// Does the event hold in world `w`?
+    pub fn contains(&self, w: WorldId) -> bool {
+        match self {
+            Event::Include(s) => s.contains(&w),
+            Event::Exclude(s) => !s.contains(&w),
+        }
+    }
+
+    /// The complement event.
+    pub fn complement(&self) -> Event {
+        match self {
+            Event::Include(s) => Event::Exclude(s.clone()),
+            Event::Exclude(s) => Event::Include(s.clone()),
+        }
+    }
+
+    /// Materializes the event as an explicit set of worlds, given the size of
+    /// the sample space `|Ω| = num_worlds` (worlds are `0..num_worlds`).
+    pub fn worlds(&self, num_worlds: u32) -> BTreeSet<WorldId> {
+        match self {
+            Event::Include(s) => s.iter().copied().filter(|w| *w < num_worlds).collect(),
+            Event::Exclude(s) => (0..num_worlds).filter(|w| !s.contains(w)).collect(),
+        }
+    }
+
+    /// The probability of the event given per-world probabilities
+    /// `world_probs[w]` (which must sum to 1 for a genuine distribution).
+    pub fn probability(&self, world_probs: &[f64]) -> f64 {
+        (0..world_probs.len() as u32)
+            .filter(|w| self.contains(*w))
+            .map(|w| world_probs[w as usize])
+            .sum()
+    }
+
+    fn union(&self, other: &Event) -> Event {
+        match (self, other) {
+            (Event::Include(a), Event::Include(b)) => {
+                Event::Include(a.union(b).copied().collect())
+            }
+            (Event::Exclude(a), Event::Exclude(b)) => {
+                Event::Exclude(a.intersection(b).copied().collect())
+            }
+            (Event::Include(a), Event::Exclude(b)) | (Event::Exclude(b), Event::Include(a)) => {
+                // (Ω \ b) ∪ a = Ω \ (b \ a)
+                Event::Exclude(b.difference(a).copied().collect())
+            }
+        }
+    }
+
+    fn intersection(&self, other: &Event) -> Event {
+        match (self, other) {
+            (Event::Include(a), Event::Include(b)) => {
+                Event::Include(a.intersection(b).copied().collect())
+            }
+            (Event::Exclude(a), Event::Exclude(b)) => {
+                Event::Exclude(a.union(b).copied().collect())
+            }
+            (Event::Include(a), Event::Exclude(b)) | (Event::Exclude(b), Event::Include(a)) => {
+                // a ∩ (Ω \ b) = a \ b
+                Event::Include(a.difference(b).copied().collect())
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Include(s) => write!(f, "worlds{s:?}"),
+            Event::Exclude(s) if s.is_empty() => write!(f, "Ω"),
+            Event::Exclude(s) => write!(f, "Ω∖{s:?}"),
+        }
+    }
+}
+
+impl Semiring for Event {
+    fn zero() -> Self {
+        Event::never()
+    }
+
+    fn one() -> Self {
+        Event::always()
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        self.union(other)
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        self.intersection(other)
+    }
+}
+
+impl CommutativeSemiring for Event {}
+impl PlusIdempotent for Event {}
+
+impl NaturallyOrdered for Event {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // Subset order: a ≤ b ⇔ a ∪ b = b.
+        self.plus(other) == *other
+    }
+}
+
+impl OmegaContinuous for Event {
+    fn star(&self) -> Self {
+        // Ω ∪ a ∪ (a∩a) ∪ ⋯ = Ω.
+        Event::always()
+    }
+}
+
+impl DistributiveLattice for Event {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{check_distributive_lattice, check_semiring_laws};
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::never(),
+            Event::always(),
+            Event::of_worlds([0]),
+            Event::of_worlds([1, 2]),
+            Event::of_worlds([0, 2, 3]),
+            Event::excluding([1]),
+            Event::excluding([0, 3]),
+        ]
+    }
+
+    #[test]
+    fn event_semiring_laws() {
+        check_semiring_laws(&samples()).expect("event semiring laws");
+    }
+
+    #[test]
+    fn event_lattice_laws() {
+        check_distributive_lattice(&samples()).expect("event lattice laws");
+    }
+
+    #[test]
+    fn union_and_intersection_are_plus_and_times() {
+        let a = Event::of_worlds([0, 1]);
+        let b = Event::of_worlds([1, 2]);
+        assert_eq!(a.plus(&b), Event::of_worlds([0, 1, 2]));
+        assert_eq!(a.times(&b), Event::of_worlds([1]));
+    }
+
+    #[test]
+    fn complement_representation_is_exact() {
+        let not1 = Event::excluding([1]);
+        assert!(not1.contains(0));
+        assert!(!not1.contains(1));
+        assert!(not1.contains(2));
+        // (Ω∖{1}) ∩ {0,1} = {0}
+        assert_eq!(not1.times(&Event::of_worlds([0, 1])), Event::of_worlds([0]));
+        // (Ω∖{1}) ∪ {1} = Ω
+        assert_eq!(not1.plus(&Event::of_worlds([1])), Event::always());
+    }
+
+    #[test]
+    fn de_morgan_style_combinations() {
+        let a = Event::excluding([0, 1]);
+        let b = Event::excluding([1, 2]);
+        // (Ω∖{0,1}) ∪ (Ω∖{1,2}) = Ω∖{1}
+        assert_eq!(a.plus(&b), Event::excluding([1]));
+        // (Ω∖{0,1}) ∩ (Ω∖{1,2}) = Ω∖{0,1,2}
+        assert_eq!(a.times(&b), Event::excluding([0, 1, 2]));
+    }
+
+    #[test]
+    fn worlds_materialization_and_probability() {
+        let e = Event::excluding([1]);
+        assert_eq!(e.worlds(4), [0u32, 2, 3].into_iter().collect());
+        // Worlds with probabilities 0.1, 0.2, 0.3, 0.4: P(Ω∖{1}) = 0.8.
+        let p = e.probability(&[0.1, 0.2, 0.3, 0.4]);
+        assert!((p - 0.8).abs() < 1e-12);
+        assert_eq!(Event::never().probability(&[0.5, 0.5]), 0.0);
+        assert_eq!(Event::always().probability(&[0.5, 0.5]), 1.0);
+    }
+
+    #[test]
+    fn natural_order_is_subset() {
+        assert!(Event::of_worlds([1]).natural_leq(&Event::of_worlds([0, 1])));
+        assert!(Event::of_worlds([1]).natural_leq(&Event::always()));
+        assert!(Event::never().natural_leq(&Event::of_worlds([7])));
+        assert!(!Event::always().natural_leq(&Event::of_worlds([7])));
+    }
+}

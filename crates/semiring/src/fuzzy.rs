@@ -1,0 +1,224 @@
+//! The fuzzy semiring `([0,1], max, min, 0, 1)` and the Viterbi semiring
+//! `([0,1], max, ·, 0, 1)`.
+//!
+//! The fuzzy semiring is listed in Section 5 of the paper as an ω-continuous
+//! commutative semiring related to fuzzy set theory; it is also a
+//! distributive lattice, so Theorem 9.2 (containment) and the Section 8
+//! datalog evaluation apply to it. The Viterbi semiring is the standard
+//! "best derivation probability" structure and is included as an extension
+//! (it is ω-continuous but *not* a lattice because `·` is not idempotent).
+
+use crate::traits::{
+    CommutativeSemiring, DistributiveLattice, NaturallyOrdered, OmegaContinuous, PlusIdempotent,
+    Semiring,
+};
+use std::fmt;
+
+fn clamp_unit(x: f64) -> f64 {
+    if x.is_nan() {
+        panic!("fuzzy/Viterbi annotations must not be NaN");
+    }
+    x.clamp(0.0, 1.0)
+}
+
+/// An element of the fuzzy semiring: a membership degree in `[0, 1]`.
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+pub struct Fuzzy(f64);
+
+impl Fuzzy {
+    /// Creates a membership degree, clamping into `[0, 1]`. Panics on NaN.
+    pub fn new(x: f64) -> Self {
+        Fuzzy(clamp_unit(x))
+    }
+
+    /// The wrapped degree.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for Fuzzy {
+    fn from(x: f64) -> Self {
+        Fuzzy::new(x)
+    }
+}
+
+impl fmt::Debug for Fuzzy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Fuzzy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Semiring for Fuzzy {
+    fn zero() -> Self {
+        Fuzzy(0.0)
+    }
+
+    fn one() -> Self {
+        Fuzzy(1.0)
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        Fuzzy(self.0.max(other.0))
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        Fuzzy(self.0.min(other.0))
+    }
+}
+
+impl CommutativeSemiring for Fuzzy {}
+impl PlusIdempotent for Fuzzy {}
+
+impl NaturallyOrdered for Fuzzy {
+    fn natural_leq(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+}
+
+impl OmegaContinuous for Fuzzy {
+    fn star(&self) -> Self {
+        // max(1, a, a∧a, …) = 1.
+        Fuzzy(1.0)
+    }
+}
+
+impl DistributiveLattice for Fuzzy {}
+
+/// An element of the Viterbi semiring: the probability of the single best
+/// derivation. `plus` is `max`, `times` is numeric multiplication.
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+pub struct Viterbi(f64);
+
+impl Viterbi {
+    /// Creates a probability, clamping into `[0, 1]`. Panics on NaN.
+    pub fn new(x: f64) -> Self {
+        Viterbi(clamp_unit(x))
+    }
+
+    /// The wrapped probability.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for Viterbi {
+    fn from(x: f64) -> Self {
+        Viterbi::new(x)
+    }
+}
+
+impl fmt::Debug for Viterbi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Semiring for Viterbi {
+    fn zero() -> Self {
+        Viterbi(0.0)
+    }
+
+    fn one() -> Self {
+        Viterbi(1.0)
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        Viterbi(self.0.max(other.0))
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        Viterbi(self.0 * other.0)
+    }
+}
+
+impl CommutativeSemiring for Viterbi {}
+impl PlusIdempotent for Viterbi {}
+
+impl NaturallyOrdered for Viterbi {
+    fn natural_leq(&self, other: &Self) -> bool {
+        self.0 <= other.0
+    }
+}
+
+impl OmegaContinuous for Viterbi {
+    fn star(&self) -> Self {
+        // max(1, a, a², …) = 1 for a ∈ [0,1].
+        Viterbi(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{check_distributive_lattice, check_semiring_laws};
+
+    fn fuzzy_samples() -> Vec<Fuzzy> {
+        vec![0.0, 0.1, 0.25, 0.5, 0.6, 0.75, 1.0]
+            .into_iter()
+            .map(Fuzzy::new)
+            .collect()
+    }
+
+    fn viterbi_samples() -> Vec<Viterbi> {
+        vec![0.0, 0.125, 0.25, 0.5, 1.0].into_iter().map(Viterbi::new).collect()
+    }
+
+    #[test]
+    fn fuzzy_semiring_laws() {
+        check_semiring_laws(&fuzzy_samples()).expect("fuzzy semiring laws");
+    }
+
+    #[test]
+    fn fuzzy_is_a_distributive_lattice() {
+        check_distributive_lattice(&fuzzy_samples()).expect("fuzzy lattice laws");
+    }
+
+    #[test]
+    fn viterbi_semiring_laws() {
+        // Powers-of-two probabilities keep floating point arithmetic exact so
+        // the associativity/distributivity checks hold with equality.
+        check_semiring_laws(&viterbi_samples()).expect("Viterbi semiring laws");
+    }
+
+    #[test]
+    fn fuzzy_plus_is_max_and_times_is_min() {
+        let a = Fuzzy::new(0.3);
+        let b = Fuzzy::new(0.8);
+        assert_eq!(a.plus(&b), b);
+        assert_eq!(a.times(&b), a);
+    }
+
+    #[test]
+    fn viterbi_times_multiplies_probabilities() {
+        let a = Viterbi::new(0.5);
+        let b = Viterbi::new(0.25);
+        assert_eq!(a.times(&b).value(), 0.125);
+        assert_eq!(a.plus(&b), a);
+    }
+
+    #[test]
+    fn construction_clamps_out_of_range_values() {
+        assert_eq!(Fuzzy::new(1.5).value(), 1.0);
+        assert_eq!(Fuzzy::new(-0.5).value(), 0.0);
+        assert_eq!(Viterbi::new(2.0).value(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = Fuzzy::new(f64::NAN);
+    }
+
+    #[test]
+    fn stars_are_one() {
+        assert_eq!(Fuzzy::new(0.4).star(), Fuzzy::one());
+        assert_eq!(Viterbi::new(0.4).star(), Viterbi::one());
+    }
+}

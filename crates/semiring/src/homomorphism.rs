@@ -1,0 +1,268 @@
+//! A catalogue of standard semiring homomorphisms.
+//!
+//! Proposition 3.5 of the paper makes homomorphisms the key tool: applying a
+//! homomorphism tuple-wise to a K-relation commutes with every RA⁺ query.
+//! Together with the universality of ℕ[X] (Proposition 4.2) this yields the
+//! factorization theorem — one provenance computation specializes to every
+//! other annotation semantics. This module collects the concrete
+//! homomorphisms used throughout the workspace, in particular the
+//! *specialization hierarchy* of provenance semirings:
+//!
+//! ```text
+//!     ℕ[X] ──→ 𝔹[X] ──→ Why(X) = P(P(X)) ──→ PosBool(X) ──→ (P(X),∪,∪)
+//!       │
+//!       └──→ ℕ  ──→ 𝔹        (drop provenance, keep multiplicity / existence)
+//! ```
+
+use crate::boolean::Bool;
+use crate::natural::Natural;
+use crate::ninfinity::NatInf;
+use crate::polynomial::{BoolPolynomial, Polynomial, ProvenancePolynomial};
+use crate::posbool::PosBool;
+use crate::traits::{Semiring, SemiringHomomorphism};
+use crate::tropical::Tropical;
+use crate::why::{Witness, WhySet};
+
+/// The support homomorphism `ℕ → 𝔹`, `n ↦ (n ≠ 0)`; drops multiplicities and
+/// keeps existence (Proposition 5.4's sanity check uses its relational
+/// analogue).
+pub struct NaturalToBool;
+
+impl SemiringHomomorphism<Natural, Bool> for NaturalToBool {
+    fn apply(&self, a: &Natural) -> Bool {
+        Bool::from(!a.is_zero())
+    }
+}
+
+/// The inclusion `ℕ → ℕ∞`.
+pub struct NaturalToNatInf;
+
+impl SemiringHomomorphism<Natural, NatInf> for NaturalToNatInf {
+    fn apply(&self, a: &Natural) -> NatInf {
+        NatInf::Fin(a.value())
+    }
+}
+
+/// The support homomorphism `ℕ∞ → 𝔹`.
+pub struct NatInfToBool;
+
+impl SemiringHomomorphism<NatInf, Bool> for NatInfToBool {
+    fn apply(&self, a: &NatInf) -> Bool {
+        Bool::from(!a.is_zero())
+    }
+}
+
+/// The embedding `𝔹 → K` of the booleans into any semiring: `false ↦ 0`,
+/// `true ↦ 1`. Used in the proof of Theorem 9.2 ("𝔹 can be homomorphically
+/// embedded in K").
+pub struct BoolToSemiring<K>(std::marker::PhantomData<K>);
+
+impl<K> Default for BoolToSemiring<K> {
+    fn default() -> Self {
+        BoolToSemiring(std::marker::PhantomData)
+    }
+}
+
+impl<K> BoolToSemiring<K> {
+    /// Creates the embedding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<K: Semiring> SemiringHomomorphism<Bool, K> for BoolToSemiring<K> {
+    fn apply(&self, a: &Bool) -> K {
+        if a.value() {
+            K::one()
+        } else {
+            K::zero()
+        }
+    }
+}
+
+/// Forgetting coefficients: `ℕ[X] → 𝔹[X]` (how many times a monomial is
+/// derived no longer matters, only whether it is).
+pub struct DropCoefficients;
+
+impl SemiringHomomorphism<ProvenancePolynomial, BoolPolynomial> for DropCoefficients {
+    fn apply(&self, p: &ProvenancePolynomial) -> BoolPolynomial {
+        p.map_coefficients(|c| Bool::from(!c.is_zero()))
+    }
+}
+
+/// Forgetting coefficients *and* exponents: `ℕ[X] → PosBool(X)`. This is the
+/// map under which provenance-polynomial evaluation becomes the
+/// Imielinski–Lipski c-table computation.
+pub struct ToPosBool;
+
+impl SemiringHomomorphism<ProvenancePolynomial, PosBool> for ToPosBool {
+    fn apply(&self, p: &ProvenancePolynomial) -> PosBool {
+        p.to_posbool()
+    }
+}
+
+/// Collapsing each monomial to its witness set: `ℕ[X] → Why(X)`.
+pub struct ToWitnesses;
+
+impl SemiringHomomorphism<ProvenancePolynomial, Witness> for ToWitnesses {
+    fn apply(&self, p: &ProvenancePolynomial) -> Witness {
+        p.witnesses()
+    }
+}
+
+/// Collapsing everything to the set of contributing tuples:
+/// `ℕ[X] → (P(X), ∪, ∪)` — the paper's why-provenance (Figure 5(b)).
+pub struct ToWhySet;
+
+impl SemiringHomomorphism<ProvenancePolynomial, WhySet> for ToWhySet {
+    fn apply(&self, p: &ProvenancePolynomial) -> WhySet {
+        p.why_provenance()
+    }
+}
+
+/// "Cost reading" of a provenance polynomial: evaluating every variable at
+/// cost 1 in the tropical semiring yields the size of the smallest derivation
+/// (number of leaves of the cheapest monomial). Not a homomorphism from ℕ[X]
+/// with a fixed valuation? It is: it is `Eval_v` for `v(x) = cost(1)`,
+/// hence a homomorphism by Proposition 4.2.
+pub struct ToMinimalDerivationSize;
+
+impl SemiringHomomorphism<ProvenancePolynomial, Tropical> for ToMinimalDerivationSize {
+    fn apply(&self, p: &ProvenancePolynomial) -> Tropical {
+        let mut best = Tropical::zero();
+        for (m, c) in p.terms() {
+            if c.is_zero() {
+                continue;
+            }
+            best = best.plus(&Tropical::cost(m.degree() as u64));
+        }
+        best
+    }
+}
+
+/// Generic coefficient-mapping homomorphism `K[X] → K'[X]` induced by a
+/// coefficient homomorphism `K → K'`.
+pub struct MapCoefficients<H> {
+    inner: H,
+}
+
+impl<H> MapCoefficients<H> {
+    /// Wraps a coefficient homomorphism.
+    pub fn new(inner: H) -> Self {
+        MapCoefficients { inner }
+    }
+}
+
+impl<K1, K2, H> SemiringHomomorphism<Polynomial<K1>, Polynomial<K2>> for MapCoefficients<H>
+where
+    K1: Semiring,
+    K2: Semiring,
+    H: SemiringHomomorphism<K1, K2>,
+{
+    fn apply(&self, p: &Polynomial<K1>) -> Polynomial<K2> {
+        p.map_coefficients(|c| self.inner.apply(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monomial::Monomial;
+    use crate::properties::check_homomorphism;
+
+    fn nat_samples() -> Vec<Natural> {
+        (0u64..6).map(Natural::from).collect()
+    }
+
+    fn poly_samples() -> Vec<ProvenancePolynomial> {
+        let p = ProvenancePolynomial::var("p");
+        let r = ProvenancePolynomial::var("r");
+        let s = ProvenancePolynomial::var("s");
+        vec![
+            ProvenancePolynomial::zero(),
+            ProvenancePolynomial::one(),
+            p.clone(),
+            r.clone(),
+            p.plus(&r),
+            p.times(&r).plus(&s.pow(2).repeat(2)),
+            r.times(&s),
+        ]
+    }
+
+    #[test]
+    fn natural_to_bool_is_a_homomorphism() {
+        check_homomorphism(&NaturalToBool, &nat_samples()).unwrap();
+    }
+
+    #[test]
+    fn natural_to_natinf_is_a_homomorphism() {
+        check_homomorphism(&NaturalToNatInf, &nat_samples()).unwrap();
+    }
+
+    #[test]
+    fn natinf_to_bool_is_a_homomorphism() {
+        let samples = vec![NatInf::Fin(0), NatInf::Fin(1), NatInf::Fin(5), NatInf::Inf];
+        check_homomorphism(&NatInfToBool, &samples).unwrap();
+    }
+
+    #[test]
+    fn bool_embeds_into_plus_idempotent_semirings() {
+        // 𝔹 embeds homomorphically exactly into semirings with idempotent +
+        // (the lattice case used in Theorem 9.2); into ℕ it is not a
+        // homomorphism because h(true ∨ true) = 1 ≠ 2 = h(true) + h(true).
+        let samples = vec![Bool::from(false), Bool::from(true)];
+        check_homomorphism(&BoolToSemiring::<PosBool>::new(), &samples).unwrap();
+        check_homomorphism(&BoolToSemiring::<Tropical>::new(), &samples).unwrap();
+        check_homomorphism(&BoolToSemiring::<crate::fuzzy::Fuzzy>::new(), &samples).unwrap();
+        assert!(check_homomorphism(&BoolToSemiring::<Natural>::new(), &samples).is_err());
+    }
+
+    #[test]
+    fn drop_coefficients_is_a_homomorphism() {
+        check_homomorphism(&DropCoefficients, &poly_samples()).unwrap();
+    }
+
+    #[test]
+    fn to_posbool_is_a_homomorphism() {
+        check_homomorphism(&ToPosBool, &poly_samples()).unwrap();
+    }
+
+    #[test]
+    fn to_witnesses_is_a_homomorphism() {
+        check_homomorphism(&ToWitnesses, &poly_samples()).unwrap();
+    }
+
+    #[test]
+    fn map_coefficients_lifts_homomorphisms() {
+        let lifted = MapCoefficients::new(NaturalToBool);
+        check_homomorphism(&lifted, &poly_samples()).unwrap();
+    }
+
+    #[test]
+    fn hierarchy_collapses_figure5_as_expected() {
+        // 2s² + rs (provenance of (f,e) in Figure 5(c)).
+        let fe = ProvenancePolynomial::from_terms([
+            (Monomial::from_powers([("s", 2u32)]), Natural::from(2u64)),
+            (Monomial::from_bag(["r", "s"]), Natural::from(1u64)),
+        ]);
+        // Why-provenance: {r, s} (Figure 5(b)).
+        assert_eq!(ToWhySet.apply(&fe), WhySet::from_vars(["r", "s"]));
+        // Witnesses: {{s}, {r,s}}.
+        assert_eq!(
+            ToWitnesses.apply(&fe),
+            Witness::from_witnesses(vec![vec!["s"], vec!["r", "s"]])
+        );
+        // PosBool: s ∨ (r ∧ s) = s.
+        assert_eq!(ToPosBool.apply(&fe), PosBool::var("s"));
+        // Cheapest derivation uses two leaves.
+        assert_eq!(ToMinimalDerivationSize.apply(&fe), Tropical::cost(2));
+    }
+
+    #[test]
+    fn minimal_derivation_size_of_zero_is_unreachable() {
+        assert_eq!(
+            ToMinimalDerivationSize.apply(&ProvenancePolynomial::zero()),
+            Tropical::unreachable()
+        );
+    }
+}

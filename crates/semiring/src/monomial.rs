@@ -1,0 +1,282 @@
+//! Monomials over provenance variables.
+//!
+//! A monomial is a finite multiset of variables, written multiplicatively
+//! (`x²y` has `x ↦ 2, y ↦ 1`). Monomials form the commutative monoid `X⊕`
+//! from Section 6 of the paper; provenance polynomials map monomials to ℕ
+//! coefficients and formal power series map them to ℕ∞ coefficients.
+
+use crate::variable::Variable;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monomial: a map from variables to positive exponents. The empty map is
+/// the unit monomial ε.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Monomial {
+    exponents: BTreeMap<Variable, u32>,
+}
+
+impl Monomial {
+    /// The unit monomial ε (all exponents zero).
+    pub fn unit() -> Self {
+        Monomial::default()
+    }
+
+    /// The monomial consisting of a single variable with exponent 1.
+    pub fn var(v: impl Into<Variable>) -> Self {
+        let mut exponents = BTreeMap::new();
+        exponents.insert(v.into(), 1);
+        Monomial { exponents }
+    }
+
+    /// Builds a monomial from `(variable, exponent)` pairs; zero exponents
+    /// are dropped, repeated variables have their exponents added.
+    pub fn from_powers<I, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (V, u32)>,
+        V: Into<Variable>,
+    {
+        let mut m = Monomial::unit();
+        for (v, e) in pairs {
+            m.multiply_var(v.into(), e);
+        }
+        m
+    }
+
+    /// Builds a monomial from a bag of variables (each occurrence adds 1 to
+    /// the exponent) — the `fringe(τ)` of a derivation tree in the paper.
+    pub fn from_bag<I, V>(vars: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Variable>,
+    {
+        let mut m = Monomial::unit();
+        for v in vars {
+            m.multiply_var(v.into(), 1);
+        }
+        m
+    }
+
+    /// Multiplies this monomial by `v^e` in place.
+    pub fn multiply_var(&mut self, v: Variable, e: u32) {
+        if e == 0 {
+            return;
+        }
+        *self.exponents.entry(v).or_insert(0) += e;
+    }
+
+    /// Monomial multiplication (exponent-wise addition).
+    pub fn multiply(&self, other: &Monomial) -> Monomial {
+        let mut result = self.clone();
+        for (v, e) in &other.exponents {
+            result.multiply_var(v.clone(), *e);
+        }
+        result
+    }
+
+    /// The exponent of `v` (0 if absent).
+    pub fn exponent(&self, v: &Variable) -> u32 {
+        self.exponents.get(v).copied().unwrap_or(0)
+    }
+
+    /// Total degree: the sum of all exponents.
+    pub fn degree(&self) -> u32 {
+        self.exponents.values().sum()
+    }
+
+    /// Is this the unit monomial ε?
+    pub fn is_unit(&self) -> bool {
+        self.exponents.is_empty()
+    }
+
+    /// The variables occurring with positive exponent.
+    pub fn variables(&self) -> impl Iterator<Item = &Variable> {
+        self.exponents.keys()
+    }
+
+    /// Iterates over `(variable, exponent)` pairs.
+    pub fn powers(&self) -> impl Iterator<Item = (&Variable, u32)> {
+        self.exponents.iter().map(|(v, e)| (v, *e))
+    }
+
+    /// Divisibility: `self` divides `other` iff every exponent of `self` is
+    /// at most the corresponding exponent of `other`. Used by the
+    /// Monomial-Coefficient algorithm (Figure 9) to prune derivation trees
+    /// whose fringe exceeds the target monomial.
+    pub fn divides(&self, other: &Monomial) -> bool {
+        self.exponents
+            .iter()
+            .all(|(v, e)| other.exponent(v) >= *e)
+    }
+
+    /// The quotient `other / self` when `self` divides `other`.
+    pub fn quotient(&self, other: &Monomial) -> Option<Monomial> {
+        if !self.divides(other) {
+            return None;
+        }
+        let mut exponents = BTreeMap::new();
+        for (v, e) in &other.exponents {
+            let rem = e - self.exponent(v);
+            if rem > 0 {
+                exponents.insert(v.clone(), rem);
+            }
+        }
+        Some(Monomial { exponents })
+    }
+
+    /// Drops exponents, keeping just the set of variables used — the
+    /// projection onto "which tuples" that underlies why-provenance.
+    pub fn support(&self) -> std::collections::BTreeSet<Variable> {
+        self.exponents.keys().cloned().collect()
+    }
+}
+
+impl fmt::Debug for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unit() {
+            return write!(f, "ε");
+        }
+        let mut first = true;
+        for (v, e) in &self.exponents {
+            if !first {
+                write!(f, "·")?;
+            }
+            first = false;
+            if *e == 1 {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "{v}^{e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Enumerates all monomials over `vars` with total degree at most
+/// `max_degree`, in a deterministic order. Used for truncated power series
+/// and for exhaustive small-case testing.
+pub fn monomials_up_to_degree(vars: &[Variable], max_degree: u32) -> Vec<Monomial> {
+    let mut result = vec![Monomial::unit()];
+    let mut frontier = vec![Monomial::unit()];
+    for _ in 0..max_degree {
+        let mut next = Vec::new();
+        for m in &frontier {
+            for v in vars {
+                let mut extended = m.clone();
+                extended.multiply_var(v.clone(), 1);
+                next.push(extended);
+            }
+        }
+        next.sort();
+        next.dedup();
+        result.extend(next.iter().cloned());
+        frontier = next;
+    }
+    result.sort();
+    result.dedup();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(name: &str) -> Variable {
+        Variable::new(name)
+    }
+
+    #[test]
+    fn unit_monomial_is_identity() {
+        let m = Monomial::from_powers([("x", 2u32), ("y", 1)]);
+        assert_eq!(Monomial::unit().multiply(&m), m);
+        assert_eq!(m.multiply(&Monomial::unit()), m);
+        assert!(Monomial::unit().is_unit());
+        assert_eq!(Monomial::unit().degree(), 0);
+    }
+
+    #[test]
+    fn multiplication_adds_exponents() {
+        let a = Monomial::from_powers([("x", 2u32)]);
+        let b = Monomial::from_powers([("x", 1u32), ("y", 3)]);
+        let prod = a.multiply(&b);
+        assert_eq!(prod.exponent(&v("x")), 3);
+        assert_eq!(prod.exponent(&v("y")), 3);
+        assert_eq!(prod.degree(), 6);
+    }
+
+    #[test]
+    fn from_bag_counts_occurrences() {
+        // fringe of a derivation tree using r once and s twice: r·s².
+        let m = Monomial::from_bag(["r", "s", "s"]);
+        assert_eq!(m.exponent(&v("r")), 1);
+        assert_eq!(m.exponent(&v("s")), 2);
+        assert_eq!(m, Monomial::from_powers([("r", 1u32), ("s", 2)]));
+    }
+
+    #[test]
+    fn divisibility_and_quotient() {
+        let rs2 = Monomial::from_powers([("r", 1u32), ("s", 2)]);
+        let rs = Monomial::from_powers([("r", 1u32), ("s", 1)]);
+        assert!(rs.divides(&rs2));
+        assert!(!rs2.divides(&rs));
+        assert_eq!(
+            rs.quotient(&rs2),
+            Some(Monomial::from_powers([("s", 1u32)]))
+        );
+        assert_eq!(rs2.quotient(&rs), None);
+        assert!(Monomial::unit().divides(&rs2));
+    }
+
+    #[test]
+    fn zero_exponents_are_normalized_away() {
+        let m = Monomial::from_powers([("x", 0u32), ("y", 2)]);
+        assert_eq!(m.variables().count(), 1);
+        assert_eq!(m.exponent(&v("x")), 0);
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let a = Monomial::var("x");
+        let b = Monomial::var("y");
+        let ab = a.multiply(&b);
+        let mut ms = vec![ab.clone(), b.clone(), Monomial::unit(), a.clone()];
+        ms.sort();
+        assert_eq!(ms[0], Monomial::unit());
+        // The exact order of the rest only needs to be deterministic.
+        assert_eq!(ms.len(), 4);
+    }
+
+    #[test]
+    fn support_drops_exponents() {
+        let m = Monomial::from_powers([("r", 1u32), ("s", 2)]);
+        let supp = m.support();
+        assert!(supp.contains(&v("r")));
+        assert!(supp.contains(&v("s")));
+        assert_eq!(supp.len(), 2);
+    }
+
+    #[test]
+    fn enumeration_up_to_degree_two() {
+        let vars = vec![v("x"), v("y")];
+        let ms = monomials_up_to_degree(&vars, 2);
+        // ε, x, y, x², xy, y² — the prefix of X⊕ listed in Section 6.
+        assert_eq!(ms.len(), 6);
+        assert!(ms.contains(&Monomial::unit()));
+        assert!(ms.contains(&Monomial::from_powers([("x", 2u32)])));
+        assert!(ms.contains(&Monomial::from_powers([("x", 1u32), ("y", 1)])));
+    }
+
+    #[test]
+    fn enumeration_counts_match_stars_and_bars() {
+        let vars = vec![v("x"), v("y"), v("z")];
+        // Number of monomials over 3 variables with degree ≤ 3 is C(6,3) = 20.
+        let ms = monomials_up_to_degree(&vars, 3);
+        assert_eq!(ms.len(), 20);
+    }
+}

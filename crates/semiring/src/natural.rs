@@ -1,0 +1,210 @@
+//! The semiring of natural numbers `(ℕ, +, ·, 0, 1)` — bag (multiset)
+//! semantics.
+//!
+//! A tuple's annotation is its multiplicity (Figure 3 of the paper). ℕ is
+//! naturally ordered but *not* ω-complete: ω-chains such as `1 ≤ 2 ≤ 3 ≤ ⋯`
+//! have no least upper bound, which is why datalog on bags needs the
+//! completion ℕ∞ ([`crate::ninfinity::NatInf`]).
+
+use crate::traits::{CommutativeSemiring, NaturallyOrdered, Semiring};
+use std::fmt;
+use std::ops::{Add, Mul};
+
+/// An element of ℕ (a tuple multiplicity). Arithmetic panics on overflow in
+/// debug builds and is checked explicitly in [`Natural::checked_plus`] /
+/// [`Natural::checked_times`] for callers that need graceful failure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Natural(pub u64);
+
+impl Natural {
+    /// Builds a multiplicity from a `u64`.
+    pub const fn new(n: u64) -> Self {
+        Natural(n)
+    }
+
+    /// The wrapped value.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Overflow-checked addition.
+    pub fn checked_plus(self, other: Self) -> Option<Self> {
+        self.0.checked_add(other.0).map(Natural)
+    }
+
+    /// Overflow-checked multiplication.
+    pub fn checked_times(self, other: Self) -> Option<Self> {
+        self.0.checked_mul(other.0).map(Natural)
+    }
+
+    /// Truncated subtraction (`monus`): `a ∸ b = max(a - b, 0)`. This is the
+    /// "proper subtraction" operation the paper's conclusion mentions as the
+    /// natural candidate for extending the framework with difference.
+    pub fn monus(self, other: Self) -> Self {
+        Natural(self.0.saturating_sub(other.0))
+    }
+}
+
+impl From<u64> for Natural {
+    fn from(n: u64) -> Self {
+        Natural(n)
+    }
+}
+
+impl From<u32> for Natural {
+    fn from(n: u32) -> Self {
+        Natural(n as u64)
+    }
+}
+
+impl From<Natural> for u64 {
+    fn from(n: Natural) -> Self {
+        n.0
+    }
+}
+
+impl fmt::Debug for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Natural {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Add for Natural {
+    type Output = Natural;
+    fn add(self, rhs: Natural) -> Natural {
+        Natural(self.0 + rhs.0)
+    }
+}
+
+impl Mul for Natural {
+    type Output = Natural;
+    fn mul(self, rhs: Natural) -> Natural {
+        Natural(self.0 * rhs.0)
+    }
+}
+
+impl Semiring for Natural {
+    fn zero() -> Self {
+        Natural(0)
+    }
+
+    fn one() -> Self {
+        Natural(1)
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        Natural(
+            self.0
+                .checked_add(other.0)
+                .expect("multiplicity overflow in ℕ; use NatInf for unbounded computations"),
+        )
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        Natural(
+            self.0
+                .checked_mul(other.0)
+                .expect("multiplicity overflow in ℕ; use NatInf for unbounded computations"),
+        )
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    fn is_one(&self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl CommutativeSemiring for Natural {}
+
+impl NaturallyOrdered for Natural {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // a ≤ b ⇔ ∃x. a + x = b ⇔ a ≤ b numerically.
+        self.0 <= other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::check_semiring_laws;
+    use proptest::prelude::*;
+
+    fn samples() -> Vec<Natural> {
+        vec![0u64, 1, 2, 3, 5, 7, 10, 55]
+            .into_iter()
+            .map(Natural::from)
+            .collect()
+    }
+
+    #[test]
+    fn natural_semiring_laws() {
+        check_semiring_laws(&samples()).expect("ℕ must satisfy the semiring laws");
+    }
+
+    #[test]
+    fn plus_is_not_idempotent() {
+        // The paper stresses that idempotence of union fails for bags.
+        let two = Natural::from(2u64);
+        assert_ne!(two.plus(&two), two);
+    }
+
+    #[test]
+    fn natural_order_is_numeric_order() {
+        assert!(Natural::from(3u64).natural_leq(&Natural::from(5u64)));
+        assert!(!Natural::from(5u64).natural_leq(&Natural::from(3u64)));
+    }
+
+    #[test]
+    fn monus_truncates_at_zero() {
+        assert_eq!(Natural::from(5u64).monus(Natural::from(3u64)), Natural::from(2u64));
+        assert_eq!(Natural::from(3u64).monus(Natural::from(5u64)), Natural::zero());
+    }
+
+    #[test]
+    fn checked_operations_detect_overflow() {
+        let big = Natural::from(u64::MAX);
+        assert_eq!(big.checked_plus(Natural::from(1u64)), None);
+        assert_eq!(big.checked_times(Natural::from(2u64)), None);
+        assert_eq!(
+            Natural::from(6u64).checked_times(Natural::from(7u64)),
+            Some(Natural::from(42u64))
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_commutative_and_distributive(a in 0u64..10_000, b in 0u64..10_000, c in 0u64..10_000) {
+            let (a, b, c) = (Natural(a), Natural(b), Natural(c));
+            prop_assert_eq!(a.plus(&b), b.plus(&a));
+            prop_assert_eq!(a.times(&b), b.times(&a));
+            prop_assert_eq!(a.times(&b.plus(&c)), a.times(&b).plus(&a.times(&c)));
+        }
+
+        #[test]
+        fn prop_repeat_matches_multiplication(a in 0u64..1000, n in 0u64..1000) {
+            prop_assert_eq!(Natural(a).repeat(n), Natural(a * n));
+        }
+
+        #[test]
+        fn prop_natural_order_witness(a in 0u64..10_000, b in 0u64..10_000) {
+            // a ≤ b iff there exists x with a + x = b; the witness is b - a.
+            let na = Natural(a);
+            let nb = Natural(b);
+            if na.natural_leq(&nb) {
+                let x = Natural(b - a);
+                prop_assert_eq!(na.plus(&x), nb);
+            } else {
+                prop_assert!(a > b);
+            }
+        }
+    }
+}

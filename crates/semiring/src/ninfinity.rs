@@ -1,0 +1,237 @@
+//! The ω-continuous completion of ℕ: `(ℕ∞, +, ·, 0, 1)` with
+//! `∞ + n = ∞`, `∞ · n = ∞` for `n ≠ 0`, and `∞ · 0 = 0` (Section 5).
+//!
+//! ℕ∞ is the annotation domain for datalog with bag semantics: a tuple with
+//! infinitely many derivation trees gets multiplicity ∞ (Figure 7 of the
+//! paper computes transitive closure annotations `8, 3, 2, ∞, ∞, ∞`).
+
+use crate::natural::Natural;
+use crate::traits::{CommutativeSemiring, NaturallyOrdered, OmegaContinuous, Semiring};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An element of ℕ∞ = ℕ ∪ {∞}.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NatInf {
+    /// A finite multiplicity.
+    Fin(u64),
+    /// The infinite multiplicity, the least upper bound of every unbounded
+    /// ω-chain in ℕ.
+    Inf,
+}
+
+impl NatInf {
+    /// The finite element `n`.
+    pub const fn fin(n: u64) -> Self {
+        NatInf::Fin(n)
+    }
+
+    /// The infinite element ∞.
+    pub const fn inf() -> Self {
+        NatInf::Inf
+    }
+
+    /// Returns `true` iff this is ∞.
+    pub const fn is_infinite(&self) -> bool {
+        matches!(self, NatInf::Inf)
+    }
+
+    /// Returns the finite value, or `None` for ∞.
+    pub const fn finite_value(&self) -> Option<u64> {
+        match self {
+            NatInf::Fin(n) => Some(*n),
+            NatInf::Inf => None,
+        }
+    }
+
+    /// Saturating conversion: values too large for `u64` are mapped to ∞ by
+    /// the arithmetic below, so `checked` variants are not needed.
+    pub fn from_usize(n: usize) -> Self {
+        NatInf::Fin(n as u64)
+    }
+}
+
+impl From<u64> for NatInf {
+    fn from(n: u64) -> Self {
+        NatInf::Fin(n)
+    }
+}
+
+impl From<Natural> for NatInf {
+    fn from(n: Natural) -> Self {
+        NatInf::Fin(n.value())
+    }
+}
+
+impl fmt::Debug for NatInf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NatInf::Fin(n) => write!(f, "{n}"),
+            NatInf::Inf => write!(f, "∞"),
+        }
+    }
+}
+
+impl fmt::Display for NatInf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl PartialOrd for NatInf {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for NatInf {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (NatInf::Fin(a), NatInf::Fin(b)) => a.cmp(b),
+            (NatInf::Fin(_), NatInf::Inf) => Ordering::Less,
+            (NatInf::Inf, NatInf::Fin(_)) => Ordering::Greater,
+            (NatInf::Inf, NatInf::Inf) => Ordering::Equal,
+        }
+    }
+}
+
+impl Semiring for NatInf {
+    fn zero() -> Self {
+        NatInf::Fin(0)
+    }
+
+    fn one() -> Self {
+        NatInf::Fin(1)
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        match (self, other) {
+            (NatInf::Fin(a), NatInf::Fin(b)) => match a.checked_add(*b) {
+                Some(s) => NatInf::Fin(s),
+                // Saturate to ∞; this is sound because ∞ is an upper bound
+                // and the only information callers rely on above u64::MAX is
+                // "unboundedly large".
+                None => NatInf::Inf,
+            },
+            _ => NatInf::Inf,
+        }
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        match (self, other) {
+            (NatInf::Fin(0), _) | (_, NatInf::Fin(0)) => NatInf::Fin(0),
+            (NatInf::Fin(a), NatInf::Fin(b)) => match a.checked_mul(*b) {
+                Some(p) => NatInf::Fin(p),
+                None => NatInf::Inf,
+            },
+            _ => NatInf::Inf,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        matches!(self, NatInf::Fin(0))
+    }
+
+    fn is_one(&self) -> bool {
+        matches!(self, NatInf::Fin(1))
+    }
+}
+
+impl CommutativeSemiring for NatInf {}
+
+impl NaturallyOrdered for NatInf {
+    fn natural_leq(&self, other: &Self) -> bool {
+        self <= other
+    }
+}
+
+impl OmegaContinuous for NatInf {
+    fn star(&self) -> Self {
+        // a* = 1 + a + a² + ⋯: equals 1 when a = 0 and ∞ otherwise
+        // (the paper: "in ℕ∞ we have 1* = ∞").
+        if self.is_zero() {
+            NatInf::Fin(1)
+        } else {
+            NatInf::Inf
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{check_omega_axioms, check_semiring_laws};
+    use proptest::prelude::*;
+
+    fn samples() -> Vec<NatInf> {
+        vec![
+            NatInf::Fin(0),
+            NatInf::Fin(1),
+            NatInf::Fin(2),
+            NatInf::Fin(3),
+            NatInf::Fin(55),
+            NatInf::Inf,
+        ]
+    }
+
+    #[test]
+    fn ninfinity_semiring_laws() {
+        check_semiring_laws(&samples()).expect("ℕ∞ must satisfy the semiring laws");
+    }
+
+    #[test]
+    fn ninfinity_omega_axioms() {
+        check_omega_axioms(&samples()).expect("ℕ∞ must satisfy the ω-continuity sanity axioms");
+    }
+
+    #[test]
+    fn infinity_absorbs_addition_and_nonzero_multiplication() {
+        assert_eq!(NatInf::Inf.plus(&NatInf::Fin(3)), NatInf::Inf);
+        assert_eq!(NatInf::Fin(3).plus(&NatInf::Inf), NatInf::Inf);
+        assert_eq!(NatInf::Inf.times(&NatInf::Fin(3)), NatInf::Inf);
+        // The single exception required by the paper: ∞ · 0 = 0 · ∞ = 0.
+        assert_eq!(NatInf::Inf.times(&NatInf::Fin(0)), NatInf::Fin(0));
+        assert_eq!(NatInf::Fin(0).times(&NatInf::Inf), NatInf::Fin(0));
+    }
+
+    #[test]
+    fn star_of_positive_elements_is_infinite() {
+        assert_eq!(NatInf::Fin(0).star(), NatInf::Fin(1));
+        assert_eq!(NatInf::Fin(1).star(), NatInf::Inf);
+        assert_eq!(NatInf::Fin(7).star(), NatInf::Inf);
+        assert_eq!(NatInf::Inf.star(), NatInf::Inf);
+    }
+
+    #[test]
+    fn order_places_infinity_on_top() {
+        assert!(NatInf::Fin(1_000_000).natural_leq(&NatInf::Inf));
+        assert!(!NatInf::Inf.natural_leq(&NatInf::Fin(1_000_000)));
+        assert!(NatInf::Inf.natural_leq(&NatInf::Inf));
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let big = NatInf::Fin(u64::MAX);
+        assert_eq!(big.plus(&NatInf::Fin(1)), NatInf::Inf);
+        assert_eq!(big.times(&NatInf::Fin(2)), NatInf::Inf);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_agrees_with_natural_on_finite_values(a in 0u64..1000, b in 0u64..1000) {
+            let (na, nb) = (NatInf::Fin(a), NatInf::Fin(b));
+            prop_assert_eq!(na.plus(&nb), NatInf::Fin(a + b));
+            prop_assert_eq!(na.times(&nb), NatInf::Fin(a * b));
+        }
+
+        #[test]
+        fn prop_monotone_in_each_argument(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
+            // + and · are ω-continuous hence monotone.
+            let (na, nb, nc) = (NatInf::Fin(a), NatInf::Fin(b), NatInf::Fin(c));
+            if na.natural_leq(&nb) {
+                prop_assert!(na.plus(&nc).natural_leq(&nb.plus(&nc)));
+                prop_assert!(na.times(&nc).natural_leq(&nb.times(&nc)));
+            }
+        }
+    }
+}

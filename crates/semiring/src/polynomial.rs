@@ -1,0 +1,539 @@
+//! Polynomial semirings `K[X]`, in particular the **provenance polynomials**
+//! `ℕ[X]` of Section 4 of the paper.
+//!
+//! `ℕ[X]` is the free commutative semiring on the variable set X: by
+//! Proposition 4.2, every valuation `v : X → K` into a commutative semiring
+//! extends to a unique homomorphism `Eval_v : ℕ[X] → K`. Theorem 4.3 (the
+//! factorization theorem) then says that RA⁺ evaluation over any K factors
+//! through evaluation over ℕ[X] — computing with provenance polynomials is
+//! computing "in the most general way possible".
+
+use crate::monomial::Monomial;
+use crate::natural::Natural;
+use crate::ninfinity::NatInf;
+use crate::traits::{CommutativeSemiring, NaturallyOrdered, Semiring, SemiringHomomorphism};
+use crate::variable::{Valuation, Variable};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A multivariate polynomial with coefficients in `K`, stored sparsely as a
+/// map from monomials to non-zero coefficients.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Polynomial<K> {
+    terms: BTreeMap<Monomial, K>,
+}
+
+/// The provenance polynomial semiring ℕ[X] (Definition 4.1).
+pub type ProvenancePolynomial = Polynomial<Natural>;
+
+/// Polynomials with ℕ∞ coefficients, the finite-support fragment of the
+/// datalog provenance semiring ℕ∞[[X]] (Section 6).
+pub type NatInfPolynomial = Polynomial<NatInf>;
+
+/// The boolean provenance polynomials 𝔹[X]: polynomials with boolean
+/// coefficients, i.e. finite sets of monomials. An intermediate point of the
+/// provenance-semiring hierarchy (drops multiplicities of derivations but
+/// keeps exponents).
+pub type BoolPolynomial = Polynomial<crate::boolean::Bool>;
+
+impl<K: Semiring> Polynomial<K> {
+    /// The zero polynomial.
+    pub fn new() -> Self {
+        Polynomial {
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The polynomial consisting of a single variable with coefficient 1.
+    pub fn var(v: impl Into<Variable>) -> Self {
+        Polynomial::from_term(Monomial::var(v), K::one())
+    }
+
+    /// A constant polynomial.
+    pub fn constant(value: K) -> Self {
+        Polynomial::from_term(Monomial::unit(), value)
+    }
+
+    /// A single term `coefficient · monomial`.
+    pub fn from_term(monomial: Monomial, coefficient: K) -> Self {
+        let mut p = Polynomial::new();
+        p.add_term(monomial, coefficient);
+        p
+    }
+
+    /// Builds a polynomial from `(monomial, coefficient)` pairs, summing
+    /// duplicate monomials and dropping zero coefficients.
+    pub fn from_terms<I>(terms: I) -> Self
+    where
+        I: IntoIterator<Item = (Monomial, K)>,
+    {
+        let mut p = Polynomial::new();
+        for (m, c) in terms {
+            p.add_term(m, c);
+        }
+        p
+    }
+
+    /// Adds `coefficient · monomial` to this polynomial in place.
+    pub fn add_term(&mut self, monomial: Monomial, coefficient: K) {
+        if coefficient.is_zero() {
+            return;
+        }
+        match self.terms.get_mut(&monomial) {
+            Some(existing) => {
+                existing.plus_assign(&coefficient);
+                if existing.is_zero() {
+                    self.terms.remove(&monomial);
+                }
+            }
+            None => {
+                self.terms.insert(monomial, coefficient);
+            }
+        }
+    }
+
+    /// The coefficient of `monomial` (zero if absent).
+    pub fn coefficient(&self, monomial: &Monomial) -> K {
+        self.terms.get(monomial).cloned().unwrap_or_else(K::zero)
+    }
+
+    /// Iterates over `(monomial, coefficient)` pairs with non-zero
+    /// coefficients, in monomial order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, &K)> {
+        self.terms.iter()
+    }
+
+    /// Number of (non-zero) terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The total degree (0 for the zero polynomial).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// All variables occurring in the polynomial.
+    pub fn variables(&self) -> std::collections::BTreeSet<Variable> {
+        self.terms
+            .keys()
+            .flat_map(|m| m.variables().cloned())
+            .collect()
+    }
+
+    /// Evaluates the polynomial under a valuation `v : X → K'` into any
+    /// commutative semiring `K'` — the unique homomorphism `Eval_v` of
+    /// Proposition 4.2 when `K = ℕ`.
+    ///
+    /// Coefficients are transported along `coeff_embed`, which must be a
+    /// semiring homomorphism `K → K'` (for ℕ coefficients this is the
+    /// canonical embedding `n ↦ 1 + ⋯ + 1`). Unassigned variables evaluate
+    /// to `K'::zero()`.
+    pub fn evaluate_with<K2, F>(&self, valuation: &Valuation<K2>, coeff_embed: F) -> K2
+    where
+        K2: CommutativeSemiring,
+        F: Fn(&K) -> K2,
+    {
+        let mut acc = K2::zero();
+        for (monomial, coeff) in &self.terms {
+            let mut term = coeff_embed(coeff);
+            if term.is_zero() {
+                continue;
+            }
+            for (var, exp) in monomial.powers() {
+                let value = valuation.get(var).cloned().unwrap_or_else(K2::zero);
+                term.times_assign(&value.pow(exp));
+            }
+            acc.plus_assign(&term);
+        }
+        acc
+    }
+
+    /// Maps the coefficients through a function (which should be a semiring
+    /// homomorphism for the result to be meaningful), keeping monomials.
+    pub fn map_coefficients<K2: Semiring, F: Fn(&K) -> K2>(&self, f: F) -> Polynomial<K2> {
+        let mut p = Polynomial::new();
+        for (m, c) in &self.terms {
+            p.add_term(m.clone(), f(c));
+        }
+        p
+    }
+
+    /// Substitutes polynomials for variables: every variable `x` is replaced
+    /// by `valuation(x)` (variables without an assignment stay themselves).
+    /// This is polynomial composition, used when solving algebraic systems
+    /// symbolically.
+    pub fn substitute(&self, valuation: &Valuation<Polynomial<K>>) -> Polynomial<K>
+    where
+        K: CommutativeSemiring,
+    {
+        let mut acc = Polynomial::new();
+        for (monomial, coeff) in &self.terms {
+            let mut term = Polynomial::constant(coeff.clone());
+            for (var, exp) in monomial.powers() {
+                let replacement = valuation
+                    .get(var)
+                    .cloned()
+                    .unwrap_or_else(|| Polynomial::var(var.clone()));
+                term = term.times(&replacement.pow(exp));
+            }
+            acc.plus_assign(&term);
+        }
+        acc
+    }
+
+    /// Truncates the polynomial to terms of total degree at most `max_degree`.
+    pub fn truncate(&self, max_degree: u32) -> Polynomial<K> {
+        Polynomial {
+            terms: self
+                .terms
+                .iter()
+                .filter(|(m, _)| m.degree() <= max_degree)
+                .map(|(m, c)| (m.clone(), c.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl ProvenancePolynomial {
+    /// Evaluates a provenance polynomial in an arbitrary commutative semiring
+    /// via a valuation — `Eval_v : ℕ[X] → K` (Proposition 4.2). Integer
+    /// coefficients are interpreted as repeated addition in K.
+    pub fn eval<K: CommutativeSemiring>(&self, valuation: &Valuation<K>) -> K {
+        self.evaluate_with(valuation, |n| K::one().repeat(n.value()))
+    }
+
+    /// The why-provenance of this polynomial: the union of the supports of
+    /// its monomials — the canonical surjection ℕ[X] → (P(X), ∪, ∪) that
+    /// recovers Figure 5(b) from Figure 5(c) in the paper.
+    pub fn why_provenance(&self) -> crate::why::WhySet {
+        crate::why::WhySet::from_vars(
+            self.terms
+                .keys()
+                .flat_map(|m| m.variables().cloned())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The witness form (set of monomial supports) — the surjection onto
+    /// `Why(X) = P(P(X))`.
+    pub fn witnesses(&self) -> crate::why::Witness {
+        crate::why::Witness::from_witnesses(
+            self.terms
+                .keys()
+                .map(|m| m.support().into_iter().collect::<Vec<_>>()),
+        )
+    }
+
+    /// The positive-boolean reading of the polynomial: coefficients are
+    /// forgotten and exponents flattened, giving the canonical surjection
+    /// ℕ[X] → PosBool(X).
+    pub fn to_posbool(&self) -> crate::posbool::PosBool {
+        crate::posbool::PosBool::from_dnf(
+            self.terms
+                .keys()
+                .map(|m| m.support().into_iter().collect::<Vec<_>>()),
+        )
+    }
+}
+
+impl<K: Semiring> fmt::Debug for Polynomial<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (m, c) in &self.terms {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            if m.is_unit() {
+                write!(f, "{c:?}")?;
+            } else if c.is_one() {
+                write!(f, "{m:?}")?;
+            } else {
+                write!(f, "{c:?}{m:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<K: Semiring> fmt::Display for Polynomial<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<K: Semiring> Semiring for Polynomial<K> {
+    fn zero() -> Self {
+        Polynomial::new()
+    }
+
+    fn one() -> Self {
+        Polynomial::constant(K::one())
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        let mut result = self.clone();
+        for (m, c) in &other.terms {
+            result.add_term(m.clone(), c.clone());
+        }
+        result
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        let mut result = Polynomial::new();
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &other.terms {
+                result.add_term(m1.multiply(m2), c1.times(c2));
+            }
+        }
+        result
+    }
+
+    fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    fn is_one(&self) -> bool {
+        self.terms.len() == 1
+            && self
+                .terms
+                .get(&Monomial::unit())
+                .map(Semiring::is_one)
+                .unwrap_or(false)
+    }
+}
+
+impl<K: CommutativeSemiring> CommutativeSemiring for Polynomial<K> {}
+
+impl<K> NaturallyOrdered for Polynomial<K>
+where
+    K: Semiring + NaturallyOrdered,
+{
+    fn natural_leq(&self, other: &Self) -> bool {
+        // Coefficient-wise order; for ℕ coefficients this is exactly the
+        // natural order of ℕ[X] (the witness is the coefficient-wise
+        // difference).
+        self.terms
+            .iter()
+            .all(|(m, c)| c.natural_leq(&other.coefficient(m)))
+    }
+}
+
+/// The evaluation homomorphism `Eval_v : ℕ[X] → K` of Proposition 4.2,
+/// packaged as a [`SemiringHomomorphism`] object.
+pub struct EvalHom<K: CommutativeSemiring> {
+    valuation: Valuation<K>,
+}
+
+impl<K: CommutativeSemiring> EvalHom<K> {
+    /// Creates the evaluation homomorphism for the given valuation.
+    pub fn new(valuation: Valuation<K>) -> Self {
+        EvalHom { valuation }
+    }
+
+    /// The underlying valuation.
+    pub fn valuation(&self) -> &Valuation<K> {
+        &self.valuation
+    }
+}
+
+impl<K: CommutativeSemiring> SemiringHomomorphism<ProvenancePolynomial, K> for EvalHom<K> {
+    fn apply(&self, p: &ProvenancePolynomial) -> K {
+        p.eval(&self.valuation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool;
+    use crate::posbool::PosBool;
+    use crate::properties::{check_homomorphism, check_semiring_laws};
+    use crate::why::WhySet;
+
+    fn p(v: &str) -> ProvenancePolynomial {
+        Polynomial::var(v)
+    }
+
+    fn nat(n: u64) -> Natural {
+        Natural::from(n)
+    }
+
+    fn samples() -> Vec<ProvenancePolynomial> {
+        vec![
+            Polynomial::zero(),
+            Polynomial::one(),
+            p("p"),
+            p("r"),
+            p("p").plus(&p("r")),
+            p("p").times(&p("r")),
+            p("p").times(&p("p")).plus(&Polynomial::constant(nat(2))),
+            p("r").pow(2).repeat(2).plus(&p("r").times(&p("s"))),
+        ]
+    }
+
+    #[test]
+    fn polynomial_semiring_laws() {
+        check_semiring_laws(&samples()).expect("ℕ[X] semiring laws");
+    }
+
+    #[test]
+    fn figure5c_polynomial_arithmetic() {
+        // Figure 5(c): the provenance of (f,e) is 2s² + rs and of (d,e) is
+        // 2r² + rs. Build them from the query structure:
+        //   (d,e): r·r + r·r + r·s ; (f,e): s·s + s·s + r·s.
+        let de = p("r")
+            .times(&p("r"))
+            .plus(&p("r").times(&p("r")))
+            .plus(&p("r").times(&p("s")));
+        let fe = p("s")
+            .times(&p("s"))
+            .plus(&p("s").times(&p("s")))
+            .plus(&p("r").times(&p("s")));
+        let expected_de = Polynomial::from_terms([
+            (Monomial::from_powers([("r", 2u32)]), nat(2)),
+            (Monomial::from_bag(["r", "s"]), nat(1)),
+        ]);
+        let expected_fe = Polynomial::from_terms([
+            (Monomial::from_powers([("s", 2u32)]), nat(2)),
+            (Monomial::from_bag(["r", "s"]), nat(1)),
+        ]);
+        assert_eq!(de, expected_de);
+        assert_eq!(fe, expected_fe);
+        // Unlike why-provenance, the polynomials distinguish the two tuples.
+        assert_ne!(de, fe);
+    }
+
+    #[test]
+    fn eval_recovers_bag_multiplicities() {
+        // Evaluating 2r² + rs at p=2, r=5, s=1 gives 55, the multiplicity of
+        // (d,e) in Figure 3(b) — the instance of Theorem 4.3 the paper works
+        // out explicitly.
+        let de = Polynomial::from_terms([
+            (Monomial::from_powers([("r", 2u32)]), nat(2)),
+            (Monomial::from_bag(["r", "s"]), nat(1)),
+        ]);
+        let v = Valuation::from_pairs([("p", nat(2)), ("r", nat(5)), ("s", nat(1))]);
+        assert_eq!(de.eval(&v), nat(55));
+    }
+
+    #[test]
+    fn eval_into_posbool_recovers_ctable_annotations() {
+        // Evaluating 2r² + rs in PosBool with r ↦ b2, s ↦ b3 gives b2 ∨ (b2∧b3) = b2,
+        // matching Figure 2(b) for the tuple (d,e).
+        let de = Polynomial::from_terms([
+            (Monomial::from_powers([("r", 2u32)]), nat(2)),
+            (Monomial::from_bag(["r", "s"]), nat(1)),
+        ]);
+        let v = Valuation::from_pairs([
+            ("r", PosBool::var("b2")),
+            ("s", PosBool::var("b3")),
+        ]);
+        assert_eq!(de.eval(&v), PosBool::var("b2"));
+    }
+
+    #[test]
+    fn eval_is_a_homomorphism() {
+        let v = Valuation::from_pairs([("p", nat(2)), ("r", nat(5)), ("s", nat(1))]);
+        let hom = EvalHom::new(v);
+        check_homomorphism(&hom, &samples()).expect("Eval_v is a semiring homomorphism");
+    }
+
+    #[test]
+    fn eval_into_boolean_checks_derivability() {
+        let poly = p("p").times(&p("r")).plus(&p("s"));
+        let v = Valuation::from_pairs([
+            ("p", Bool::from(true)),
+            ("r", Bool::from(false)),
+            ("s", Bool::from(false)),
+        ]);
+        assert_eq!(poly.eval(&v), Bool::from(false));
+        let v2 = Valuation::from_pairs([
+            ("p", Bool::from(true)),
+            ("r", Bool::from(true)),
+            ("s", Bool::from(false)),
+        ]);
+        assert_eq!(poly.eval(&v2), Bool::from(true));
+    }
+
+    #[test]
+    fn why_provenance_projection() {
+        let de = Polynomial::from_terms([
+            (Monomial::from_powers([("r", 2u32)]), nat(2)),
+            (Monomial::from_bag(["r", "s"]), nat(1)),
+        ]);
+        assert_eq!(de.why_provenance(), WhySet::from_vars(["r", "s"]));
+    }
+
+    #[test]
+    fn posbool_projection_flattens_coefficients_and_exponents() {
+        let de = Polynomial::from_terms([
+            (Monomial::from_powers([("r", 2u32)]), nat(2)),
+            (Monomial::from_bag(["r", "s"]), nat(1)),
+        ]);
+        assert_eq!(de.to_posbool(), PosBool::var("r"));
+    }
+
+    #[test]
+    fn coefficients_and_terms_access() {
+        let poly = p("x").repeat(3).plus(&Polynomial::constant(nat(7)));
+        assert_eq!(poly.coefficient(&Monomial::var("x")), nat(3));
+        assert_eq!(poly.coefficient(&Monomial::unit()), nat(7));
+        assert_eq!(poly.coefficient(&Monomial::var("y")), nat(0));
+        assert_eq!(poly.num_terms(), 2);
+        assert_eq!(poly.degree(), 1);
+    }
+
+    #[test]
+    fn substitution_composes_polynomials() {
+        // Substituting x ↦ a + b into x² gives a² + 2ab + b².
+        let square = p("x").times(&p("x"));
+        let mut val: Valuation<ProvenancePolynomial> = Valuation::new();
+        val.assign(Variable::new("x"), p("a").plus(&p("b")));
+        let result = square.substitute(&val);
+        let expected = Polynomial::from_terms([
+            (Monomial::from_powers([("a", 2u32)]), nat(1)),
+            (Monomial::from_bag(["a", "b"]), nat(2)),
+            (Monomial::from_powers([("b", 2u32)]), nat(1)),
+        ]);
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn truncation_keeps_low_degree_terms() {
+        let poly = p("x").pow(3).plus(&p("x")).plus(&Polynomial::one());
+        let t = poly.truncate(1);
+        assert_eq!(t.num_terms(), 2);
+        assert_eq!(t.coefficient(&Monomial::var("x")), nat(1));
+        assert_eq!(t.coefficient(&Monomial::from_powers([("x", 3u32)])), nat(0));
+    }
+
+    #[test]
+    fn zero_coefficients_never_stored() {
+        let mut poly = ProvenancePolynomial::new();
+        poly.add_term(Monomial::var("x"), nat(0));
+        assert!(poly.is_zero());
+        assert_eq!(poly.num_terms(), 0);
+    }
+
+    #[test]
+    fn map_coefficients_to_bool_polynomial() {
+        let poly = p("x").repeat(3).plus(&p("y"));
+        let bp: BoolPolynomial = poly.map_coefficients(|c| Bool::from(!c.is_zero()));
+        assert_eq!(bp.coefficient(&Monomial::var("x")), Bool::from(true));
+        assert_eq!(bp.coefficient(&Monomial::var("y")), Bool::from(true));
+        assert_eq!(bp.num_terms(), 2);
+    }
+
+    #[test]
+    fn natural_order_is_coefficientwise() {
+        let small = p("x").plus(&p("y"));
+        let big = p("x").repeat(2).plus(&p("y")).plus(&p("z"));
+        assert!(small.natural_leq(&big));
+        assert!(!big.natural_leq(&small));
+    }
+}

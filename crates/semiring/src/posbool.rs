@@ -1,0 +1,458 @@
+//! The semiring `PosBool(B)` of positive boolean expressions over a set of
+//! variables `B`, modulo logical equivalence (Section 3 of the paper).
+//!
+//! This is the annotation structure of boolean c-tables in the sense of
+//! Imielinski and Lipski: applying the generalized RA⁺ of Definition 3.2 to
+//! `PosBool(B)`-relations *is* the Imielinski–Lipski query answering
+//! algorithm (Figure 2).
+//!
+//! Elements are kept in a canonical form: an **irredundant monotone DNF**,
+//! i.e. an antichain of minimal clauses (sets of variables). Because positive
+//! boolean functions are in bijection with antichains of variable sets, two
+//! expressions are equal in `PosBool(B)` exactly when their canonical forms
+//! coincide — which is the identification "expressions that yield the same
+//! truth-value for all boolean assignments" required by the paper (its
+//! footnote 2 notes this is the same as applying the distributive-lattice
+//! axioms).
+
+use crate::traits::{
+    CommutativeSemiring, DistributiveLattice, NaturallyOrdered, OmegaContinuous, PlusIdempotent,
+    Semiring,
+};
+use crate::variable::{Valuation, Variable};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A conjunction of variables (a clause of the monotone DNF). The empty
+/// clause is the constant `true`.
+pub type Clause = BTreeSet<Variable>;
+
+/// A positive (monotone) boolean expression in canonical irredundant DNF.
+///
+/// * `clauses` empty ⇒ the constant `false` (no way to satisfy),
+/// * `clauses = { ∅ }` ⇒ the constant `true`,
+/// * otherwise an antichain of non-empty clauses: no clause is a subset of
+///   another.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PosBool {
+    clauses: BTreeSet<Clause>,
+}
+
+impl PosBool {
+    /// The constant `false` (additive unit).
+    pub fn ff() -> Self {
+        PosBool {
+            clauses: BTreeSet::new(),
+        }
+    }
+
+    /// The constant `true` (multiplicative unit).
+    pub fn tt() -> Self {
+        let mut clauses = BTreeSet::new();
+        clauses.insert(Clause::new());
+        PosBool { clauses }
+    }
+
+    /// The expression consisting of a single variable.
+    pub fn var(v: impl Into<Variable>) -> Self {
+        let mut clause = Clause::new();
+        clause.insert(v.into());
+        let mut clauses = BTreeSet::new();
+        clauses.insert(clause);
+        PosBool { clauses }
+    }
+
+    /// A single conjunctive clause `v₁ ∧ ⋯ ∧ vₙ`.
+    pub fn conjunction<I, V>(vars: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Variable>,
+    {
+        let clause: Clause = vars.into_iter().map(Into::into).collect();
+        let mut clauses = BTreeSet::new();
+        clauses.insert(clause);
+        PosBool { clauses }
+    }
+
+    /// Builds an expression from a DNF given as clauses of variables,
+    /// normalizing into canonical form.
+    pub fn from_dnf<I, C, V>(dnf: I) -> Self
+    where
+        I: IntoIterator<Item = C>,
+        C: IntoIterator<Item = V>,
+        V: Into<Variable>,
+    {
+        let mut result = PosBool::ff();
+        for clause in dnf {
+            result = result.plus(&PosBool::conjunction(clause));
+        }
+        result
+    }
+
+    /// The canonical clauses (antichain of minimal clauses).
+    pub fn clauses(&self) -> impl Iterator<Item = &Clause> {
+        self.clauses.iter()
+    }
+
+    /// Number of clauses in the canonical DNF.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// All variables mentioned by the canonical form.
+    pub fn variables(&self) -> BTreeSet<Variable> {
+        self.clauses.iter().flat_map(|c| c.iter().cloned()).collect()
+    }
+
+    /// Is this the constant `true`?
+    pub fn is_true(&self) -> bool {
+        self.clauses.len() == 1 && self.clauses.iter().next().map(|c| c.is_empty()) == Some(true)
+    }
+
+    /// Is this the constant `false`?
+    pub fn is_false(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Evaluates the expression under a total truth assignment. Variables not
+    /// assigned are treated as `false` (monotone functions make this the
+    /// conservative choice).
+    pub fn evaluate(&self, assignment: &Valuation<bool>) -> bool {
+        self.clauses.iter().any(|clause| {
+            clause
+                .iter()
+                .all(|v| assignment.get(v).copied().unwrap_or(false))
+        })
+    }
+
+    /// Evaluates the expression under an assignment given as the set of
+    /// variables that are `true`.
+    pub fn evaluate_set(&self, true_vars: &BTreeSet<Variable>) -> bool {
+        self.clauses
+            .iter()
+            .any(|clause| clause.iter().all(|v| true_vars.contains(v)))
+    }
+
+    /// Substitutes each variable by a `PosBool` expression (a PosBool-valued
+    /// valuation), yielding the composed expression. This is the unique
+    /// lattice homomorphism extending the valuation.
+    pub fn substitute(&self, valuation: &Valuation<PosBool>) -> PosBool {
+        let mut result = PosBool::ff();
+        for clause in &self.clauses {
+            let mut term = PosBool::tt();
+            for v in clause {
+                let replacement = valuation.get(v).cloned().unwrap_or_else(|| PosBool::var(v.clone()));
+                term = term.times(&replacement);
+            }
+            result = result.plus(&term);
+        }
+        result
+    }
+
+    /// Semantic implication check: `self ⇒ other` for all assignments.
+    /// Thanks to monotone canonical forms this reduces to: every clause of
+    /// `self` is a superset of some clause of `other`.
+    pub fn implies(&self, other: &PosBool) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| other.clauses.iter().any(|d| d.is_subset(c)))
+    }
+
+    /// Inserts a clause, maintaining the antichain invariant: the clause is
+    /// dropped if some existing clause is a subset of it, and existing
+    /// clauses that are supersets of it are removed (absorption `a ∨ (a∧b) = a`).
+    fn insert_clause(clauses: &mut BTreeSet<Clause>, clause: Clause) {
+        if clauses.iter().any(|c| c.is_subset(&clause)) {
+            return;
+        }
+        clauses.retain(|c| !clause.is_subset(c));
+        clauses.insert(clause);
+    }
+}
+
+impl fmt::Display for PosBool {
+    /// Prints `false`, `true`, or a DNF such as `(b1 ∧ b2) ∨ b3`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_false() {
+            return write!(f, "false");
+        }
+        if self.is_true() {
+            return write!(f, "true");
+        }
+        let mut first_clause = true;
+        for clause in &self.clauses {
+            if !first_clause {
+                write!(f, " ∨ ")?;
+            }
+            first_clause = false;
+            if clause.len() > 1 {
+                write!(f, "(")?;
+            }
+            let mut first_var = true;
+            for v in clause {
+                if !first_var {
+                    write!(f, " ∧ ")?;
+                }
+                first_var = false;
+                write!(f, "{v}")?;
+            }
+            if clause.len() > 1 {
+                write!(f, ")")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for PosBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl Semiring for PosBool {
+    fn zero() -> Self {
+        PosBool::ff()
+    }
+
+    fn one() -> Self {
+        PosBool::tt()
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        // Disjunction: union of clause sets, re-normalized to an antichain.
+        let mut clauses = BTreeSet::new();
+        for c in self.clauses.iter().chain(other.clauses.iter()) {
+            PosBool::insert_clause(&mut clauses, c.clone());
+        }
+        PosBool { clauses }
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        // Conjunction: pairwise unions of clauses, re-normalized.
+        let mut clauses = BTreeSet::new();
+        for c in &self.clauses {
+            for d in &other.clauses {
+                let merged: Clause = c.union(d).cloned().collect();
+                PosBool::insert_clause(&mut clauses, merged);
+            }
+        }
+        PosBool { clauses }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.is_false()
+    }
+
+    fn is_one(&self) -> bool {
+        self.is_true()
+    }
+}
+
+impl CommutativeSemiring for PosBool {}
+impl PlusIdempotent for PosBool {}
+
+impl NaturallyOrdered for PosBool {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // For an idempotent +, a ≤ b ⇔ a + b = b ⇔ a ⇒ b.
+        self.implies(other)
+    }
+}
+
+impl OmegaContinuous for PosBool {
+    fn star(&self) -> Self {
+        // e* = true for every e (Section 5 of the paper).
+        PosBool::tt()
+    }
+
+    fn convergence_bound(num_variables: usize) -> Option<usize> {
+        // The lattice of monotone functions over n variables has finite
+        // height ≤ number of antichains; a crude but sound bound on strictly
+        // increasing chains of DNFs reachable by fixpoint iteration is
+        // 2^n + 1 clauses additions; we expose n+2 iterations as the usual
+        // practical bound is tiny. Callers needing exactness iterate to
+        // convergence regardless; this is only a hint.
+        Some(num_variables.saturating_mul(num_variables).saturating_add(2))
+    }
+}
+
+impl DistributiveLattice for PosBool {}
+
+/// Evaluates a `PosBool` expression into an arbitrary distributive-lattice
+/// semiring via a valuation (the unique homomorphism extending it). With
+/// `K = Bool` this decides truth under an assignment.
+pub fn eval_posbool<K>(expr: &PosBool, valuation: &Valuation<K>) -> K
+where
+    K: DistributiveLattice,
+{
+    let mut acc = K::zero();
+    for clause in expr.clauses() {
+        let mut term = K::one();
+        for v in clause {
+            let value = valuation
+                .get(v)
+                .cloned()
+                .unwrap_or_else(K::zero);
+            term = term.times(&value);
+        }
+        acc = acc.plus(&term);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool;
+    use crate::properties::{check_distributive_lattice, check_semiring_laws};
+
+    fn b(name: &str) -> PosBool {
+        PosBool::var(name)
+    }
+
+    fn samples() -> Vec<PosBool> {
+        vec![
+            PosBool::ff(),
+            PosBool::tt(),
+            b("b1"),
+            b("b2"),
+            b("b3"),
+            b("b1").times(&b("b2")),
+            b("b1").plus(&b("b2").times(&b("b3"))),
+            b("b2").plus(&b("b3")),
+        ]
+    }
+
+    #[test]
+    fn posbool_semiring_laws() {
+        check_semiring_laws(&samples()).expect("PosBool semiring laws");
+    }
+
+    #[test]
+    fn posbool_is_a_distributive_lattice() {
+        check_distributive_lattice(&samples()).expect("PosBool lattice laws");
+    }
+
+    #[test]
+    fn idempotence_and_absorption_simplify() {
+        // (b1 ∧ b1) ∨ (b1 ∧ b1) = b1 — exactly the simplification from
+        // Figure 2(a) to Figure 2(b) in the paper.
+        let e = b("b1").times(&b("b1")).plus(&b("b1").times(&b("b1")));
+        assert_eq!(e, b("b1"));
+
+        // (b2 ∧ b2) ∨ (b2 ∧ b2) ∨ (b2 ∧ b3) = b2.
+        let e = b("b2")
+            .times(&b("b2"))
+            .plus(&b("b2").times(&b("b2")))
+            .plus(&b("b2").times(&b("b3")));
+        assert_eq!(e, b("b2"));
+
+        // (b3 ∧ b3) ∨ (b3 ∧ b3) ∨ (b2 ∧ b3) = b3.
+        let e = b("b3")
+            .times(&b("b3"))
+            .plus(&b("b3").times(&b("b3")))
+            .plus(&b("b2").times(&b("b3")));
+        assert_eq!(e, b("b3"));
+    }
+
+    #[test]
+    fn true_and_false_behave_as_units() {
+        let x = b("x");
+        assert_eq!(x.plus(&PosBool::ff()), x);
+        assert_eq!(x.times(&PosBool::tt()), x);
+        assert_eq!(x.times(&PosBool::ff()), PosBool::ff());
+        assert_eq!(x.plus(&PosBool::tt()), PosBool::tt());
+    }
+
+    #[test]
+    fn equality_is_logical_equivalence() {
+        // x ∨ (x ∧ y) = x (absorption) and (x ∨ y) ∧ (x ∨ z) = x ∨ (y ∧ z)
+        // (distributivity) hold as equalities of canonical forms.
+        let (x, y, z) = (b("x"), b("y"), b("z"));
+        assert_eq!(x.plus(&x.times(&y)), x);
+        assert_eq!(
+            x.plus(&y).times(&x.plus(&z)),
+            x.plus(&y.times(&z))
+        );
+    }
+
+    #[test]
+    fn evaluate_agrees_with_truth_tables() {
+        let e = b("x").times(&b("y")).plus(&b("z"));
+        let mk = |x: bool, y: bool, z: bool| {
+            Valuation::from_pairs([("x", x), ("y", y), ("z", z)])
+        };
+        assert!(e.evaluate(&mk(true, true, false)));
+        assert!(e.evaluate(&mk(false, false, true)));
+        assert!(!e.evaluate(&mk(true, false, false)));
+        assert!(!e.evaluate(&mk(false, true, false)));
+    }
+
+    #[test]
+    fn exhaustive_equivalence_check_on_three_variables() {
+        // Two syntactically different constructions of the same monotone
+        // function agree on all 2³ assignments and have equal canonical form.
+        let e1 = b("x").times(&b("y").plus(&b("z")));
+        let e2 = b("x").times(&b("y")).plus(&b("x").times(&b("z")));
+        assert_eq!(e1, e2);
+        let vars = ["x", "y", "z"];
+        for mask in 0u8..8 {
+            let mut set = BTreeSet::new();
+            for (i, v) in vars.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    set.insert(Variable::new(*v));
+                }
+            }
+            assert_eq!(e1.evaluate_set(&set), e2.evaluate_set(&set));
+        }
+    }
+
+    #[test]
+    fn implication_and_natural_order() {
+        let (x, y) = (b("x"), b("y"));
+        let xy = x.times(&y);
+        assert!(xy.implies(&x));
+        assert!(!x.implies(&xy));
+        assert!(x.natural_leq(&x.plus(&y)));
+        assert!(xy.natural_leq(&x));
+    }
+
+    #[test]
+    fn substitution_composes_expressions() {
+        // Substituting x ↦ a∧b into x ∨ y gives (a∧b) ∨ y.
+        let e = b("x").plus(&b("y"));
+        let mut val = Valuation::new();
+        val.assign(Variable::new("x"), b("a").times(&b("b")));
+        let sub = e.substitute(&val);
+        assert_eq!(sub, b("a").times(&b("b")).plus(&b("y")));
+    }
+
+    #[test]
+    fn eval_into_bool_lattice() {
+        let e = b("x").times(&b("y")).plus(&b("z"));
+        let v = Valuation::from_pairs([
+            ("x", Bool::from(true)),
+            ("y", Bool::from(false)),
+            ("z", Bool::from(true)),
+        ]);
+        assert_eq!(eval_posbool(&e, &v), Bool::from(true));
+        let v2 = Valuation::from_pairs([
+            ("x", Bool::from(true)),
+            ("y", Bool::from(false)),
+            ("z", Bool::from(false)),
+        ]);
+        assert_eq!(eval_posbool(&e, &v2), Bool::from(false));
+    }
+
+    #[test]
+    fn from_dnf_normalizes() {
+        let e = PosBool::from_dnf(vec![vec!["x", "y"], vec!["x"], vec!["x", "y", "z"]]);
+        assert_eq!(e, b("x"));
+    }
+
+    #[test]
+    fn star_is_true() {
+        assert_eq!(b("x").star(), PosBool::tt());
+        assert_eq!(PosBool::ff().star(), PosBool::tt());
+    }
+}

@@ -1,0 +1,407 @@
+//! Formal power series ℕ∞[[X]] — the datalog provenance semiring
+//! (Definition 6.1 of the paper).
+//!
+//! A formal power series assigns a coefficient in ℕ∞ to *every* monomial in
+//! `X⊕`, so it is in general an infinite object. This module provides the
+//! finite representations the paper itself works with:
+//!
+//! * [`TruncatedSeries`] — the series restricted to monomials of total degree
+//!   `≤ max_degree`, with exact ℕ∞ coefficients. Truncated series are closed
+//!   under `+`, `·`, Kleene star, and least-fixpoint computation of algebraic
+//!   systems, and the truncation of the true solution equals the solution of
+//!   the truncated system (all operations are degree-monotone), so any
+//!   individual coefficient of the paper's provenance series can be computed
+//!   exactly by choosing `max_degree` ≥ the monomial's degree.
+//! * The *algebraic systems* that generate the series (Definition 5.5) live
+//!   in `provsem-datalog::algebraic_system`; the All-Trees and
+//!   Monomial-Coefficient algorithms (Figures 8–9) provide the
+//!   polynomial-or-∞ classification and individual coefficients without any
+//!   truncation.
+
+use crate::monomial::Monomial;
+use crate::natural::Natural;
+use crate::ninfinity::NatInf;
+use crate::polynomial::Polynomial;
+use crate::traits::{CommutativeSemiring, Semiring};
+use crate::variable::{Valuation, Variable};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A formal power series truncated at a maximum total degree.
+///
+/// Coefficients of monomials with degree `> max_degree` are simply not
+/// represented (they are unknown, not zero). Two truncated series are
+/// comparable only at the same `max_degree`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct TruncatedSeries {
+    max_degree: u32,
+    terms: BTreeMap<Monomial, NatInf>,
+}
+
+impl TruncatedSeries {
+    /// The zero series at the given truncation degree.
+    pub fn zero(max_degree: u32) -> Self {
+        TruncatedSeries {
+            max_degree,
+            terms: BTreeMap::new(),
+        }
+    }
+
+    /// The series `1` (coefficient 1 for ε) at the given truncation degree.
+    pub fn one(max_degree: u32) -> Self {
+        let mut s = TruncatedSeries::zero(max_degree);
+        s.add_term(Monomial::unit(), NatInf::Fin(1));
+        s
+    }
+
+    /// The series consisting of a single variable.
+    pub fn var(v: impl Into<Variable>, max_degree: u32) -> Self {
+        let mut s = TruncatedSeries::zero(max_degree);
+        s.add_term(Monomial::var(v), NatInf::Fin(1));
+        s
+    }
+
+    /// Converts a polynomial with ℕ∞ coefficients into a truncated series.
+    pub fn from_polynomial(p: &Polynomial<NatInf>, max_degree: u32) -> Self {
+        let mut s = TruncatedSeries::zero(max_degree);
+        for (m, c) in p.terms() {
+            s.add_term(m.clone(), *c);
+        }
+        s
+    }
+
+    /// Converts an ℕ[X] provenance polynomial into a truncated series (the
+    /// embedding of algebra provenance into datalog provenance described in
+    /// Section 6).
+    pub fn from_provenance_polynomial(p: &Polynomial<Natural>, max_degree: u32) -> Self {
+        let mut s = TruncatedSeries::zero(max_degree);
+        for (m, c) in p.terms() {
+            s.add_term(m.clone(), NatInf::Fin(c.value()));
+        }
+        s
+    }
+
+    /// The truncation degree.
+    pub fn max_degree(&self) -> u32 {
+        self.max_degree
+    }
+
+    /// Adds `coefficient · monomial`, ignoring monomials beyond the
+    /// truncation degree and dropping zero coefficients.
+    pub fn add_term(&mut self, monomial: Monomial, coefficient: NatInf) {
+        if coefficient.is_zero() || monomial.degree() > self.max_degree {
+            return;
+        }
+        let entry = self.terms.entry(monomial).or_insert(NatInf::Fin(0));
+        *entry = entry.plus(&coefficient);
+        if entry.is_zero() {
+            // plus on ℕ∞ never produces 0 from a non-zero operand, but keep
+            // the invariant explicit for robustness.
+            self.terms.retain(|_, c| !c.is_zero());
+        }
+    }
+
+    /// The coefficient of `monomial`. Zero for represented-but-absent
+    /// monomials of degree ≤ `max_degree`; `None` for monomials beyond the
+    /// truncation degree (unknown).
+    pub fn coefficient(&self, monomial: &Monomial) -> Option<NatInf> {
+        if monomial.degree() > self.max_degree {
+            return None;
+        }
+        Some(self.terms.get(monomial).copied().unwrap_or(NatInf::Fin(0)))
+    }
+
+    /// Iterates over the non-zero terms in monomial order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, NatInf)> {
+        self.terms.iter().map(|(m, c)| (m, *c))
+    }
+
+    /// Number of non-zero represented terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Is this the zero series (within the represented degrees)?
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Pointwise sum.
+    pub fn plus(&self, other: &TruncatedSeries) -> TruncatedSeries {
+        let max_degree = self.max_degree.min(other.max_degree);
+        let mut result = TruncatedSeries::zero(max_degree);
+        for (m, c) in self.terms.iter().chain(other.terms.iter()) {
+            result.add_term(m.clone(), *c);
+        }
+        result
+    }
+
+    /// Cauchy product, truncated: `(S₁·S₂)(µ) = Σ_{µ₁µ₂=µ} S₁(µ₁)·S₂(µ₂)`
+    /// (the formula displayed in Section 6 of the paper).
+    pub fn times(&self, other: &TruncatedSeries) -> TruncatedSeries {
+        let max_degree = self.max_degree.min(other.max_degree);
+        let mut result = TruncatedSeries::zero(max_degree);
+        for (m1, c1) in &self.terms {
+            if m1.degree() > max_degree {
+                continue;
+            }
+            for (m2, c2) in &other.terms {
+                if m1.degree() + m2.degree() > max_degree {
+                    continue;
+                }
+                result.add_term(m1.multiply(m2), c1.times(c2));
+            }
+        }
+        result
+    }
+
+    /// Kleene star `S* = 1 + S + S² + ⋯`, truncated.
+    ///
+    /// If the series has a non-zero constant term `c`, the constant term of
+    /// the star is `c* ` in ℕ∞ (∞ unless `c = 0`), and every other
+    /// coefficient reachable through that constant also becomes ∞; this is
+    /// handled by iterating to a fixed point of `T(X) = 1 + S·X`, which
+    /// converges in at most `max_degree + 2` iterations for series with zero
+    /// constant term and is detected as divergent otherwise.
+    pub fn star(&self) -> TruncatedSeries {
+        let constant = self
+            .coefficient(&Monomial::unit())
+            .unwrap_or(NatInf::Fin(0));
+        if !constant.is_zero() {
+            // Split S = c + S₀ with S₀ the positive-degree part. Then
+            // S* = (c + S₀)* = c*·(S₀·c*)*. With c ≥ 1 in ℕ∞, c* = ∞, so
+            // every monomial derivable from S₀* gets coefficient ∞ and the
+            // constant term is ∞.
+            let mut positive = self.clone();
+            positive.terms.remove(&Monomial::unit());
+            let base = positive.star();
+            let mut result = TruncatedSeries::zero(self.max_degree);
+            for (m, c) in base.terms() {
+                if !c.is_zero() {
+                    result.add_term(m.clone(), NatInf::Inf);
+                }
+            }
+            result.add_term(Monomial::unit(), NatInf::Inf);
+            return result;
+        }
+        // Zero constant term: the star is a finite sum of powers up to
+        // max_degree because every factor raises the degree by ≥ 1.
+        let mut result = TruncatedSeries::one(self.max_degree);
+        let mut power = TruncatedSeries::one(self.max_degree);
+        for _ in 0..self.max_degree {
+            power = power.times(self);
+            if power.is_zero() {
+                break;
+            }
+            result = result.plus(&power);
+        }
+        result
+    }
+
+    /// Evaluates the (truncated) series into an ω-continuous-like target by
+    /// substituting the valuation and summing the represented terms. Exact
+    /// when the series is actually a polynomial of degree ≤ `max_degree`.
+    pub fn evaluate_truncated<K: CommutativeSemiring>(
+        &self,
+        valuation: &Valuation<K>,
+        infinity: impl Fn() -> K,
+    ) -> K {
+        let mut acc = K::zero();
+        for (monomial, coeff) in &self.terms {
+            let mut term = match coeff {
+                NatInf::Fin(n) => K::one().repeat(*n),
+                NatInf::Inf => infinity(),
+            };
+            if term.is_zero() {
+                continue;
+            }
+            for (var, exp) in monomial.powers() {
+                let value = valuation.get(var).cloned().unwrap_or_else(K::zero);
+                term.times_assign(&value.pow(exp));
+            }
+            acc.plus_assign(&term);
+        }
+        acc
+    }
+}
+
+impl fmt::Debug for TruncatedSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            write!(f, "0")?;
+        } else {
+            let mut first = true;
+            for (m, c) in &self.terms {
+                if !first {
+                    write!(f, " + ")?;
+                }
+                first = false;
+                if m.is_unit() {
+                    write!(f, "{c:?}")?;
+                } else if c.is_one() {
+                    write!(f, "{m:?}")?;
+                } else {
+                    write!(f, "{c:?}{m:?}")?;
+                }
+            }
+        }
+        write!(f, " + O(deg>{})", self.max_degree)
+    }
+}
+
+impl fmt::Display for TruncatedSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Solves the one-variable algebraic equation `x = rhs(x)` over truncated
+/// series by least-fixpoint iteration from 0, where `rhs` is given as a
+/// function of the current approximation. Converges because coefficients of
+/// each degree stabilize (or are detected as ∞ by saturation) and only
+/// degrees up to the truncation are tracked.
+///
+/// The classic example from Section 6: `v = s + v²` has solution
+/// `v = s + s² + 2s³ + 5s⁴ + 14s⁵ + ⋯` (Catalan numbers).
+pub fn solve_univariate<F>(max_degree: u32, rhs: F) -> TruncatedSeries
+where
+    F: Fn(&TruncatedSeries) -> TruncatedSeries,
+{
+    let mut current = TruncatedSeries::zero(max_degree);
+    // Degree-d coefficients stabilize after at most d+1 iterations for
+    // proper systems; iterate a generous bound and stop early on fixpoint.
+    let bound = (max_degree as usize + 2) * 2;
+    for _ in 0..bound {
+        let next = rhs(&current);
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s_var(max_degree: u32) -> TruncatedSeries {
+        TruncatedSeries::var("s", max_degree)
+    }
+
+    #[test]
+    fn addition_and_multiplication_of_series() {
+        let s = s_var(4);
+        let one = TruncatedSeries::one(4);
+        let sum = one.plus(&s);
+        assert_eq!(sum.coefficient(&Monomial::unit()), Some(NatInf::Fin(1)));
+        assert_eq!(sum.coefficient(&Monomial::var("s")), Some(NatInf::Fin(1)));
+        let sq = sum.times(&sum);
+        // (1 + s)² = 1 + 2s + s².
+        assert_eq!(sq.coefficient(&Monomial::unit()), Some(NatInf::Fin(1)));
+        assert_eq!(sq.coefficient(&Monomial::var("s")), Some(NatInf::Fin(2)));
+        assert_eq!(
+            sq.coefficient(&Monomial::from_powers([("s", 2u32)])),
+            Some(NatInf::Fin(1))
+        );
+    }
+
+    #[test]
+    fn truncation_drops_high_degrees() {
+        let s = s_var(2);
+        let cube = s.times(&s).times(&s);
+        assert!(cube.is_zero());
+        assert_eq!(
+            s.times(&s).coefficient(&Monomial::from_powers([("s", 2u32)])),
+            Some(NatInf::Fin(1))
+        );
+        assert_eq!(
+            s.coefficient(&Monomial::from_powers([("s", 3u32)])),
+            None,
+            "coefficients beyond the truncation degree are unknown, not zero"
+        );
+    }
+
+    #[test]
+    fn star_of_a_variable_is_geometric_series() {
+        let s = s_var(5);
+        let star = s.star();
+        for d in 0..=5u32 {
+            assert_eq!(
+                star.coefficient(&Monomial::from_powers([("s", d)])),
+                Some(NatInf::Fin(1)),
+                "s* should have coefficient 1 at every power of s"
+            );
+        }
+    }
+
+    #[test]
+    fn star_with_nonzero_constant_term_is_infinite() {
+        // 1* = ∞ in ℕ∞ (Section 5); as a series, (1 + s)* has every
+        // coefficient ∞.
+        let one_plus_s = TruncatedSeries::one(3).plus(&s_var(3));
+        let star = one_plus_s.star();
+        assert_eq!(star.coefficient(&Monomial::unit()), Some(NatInf::Inf));
+        assert_eq!(star.coefficient(&Monomial::var("s")), Some(NatInf::Inf));
+    }
+
+    #[test]
+    fn catalan_series_from_v_equals_s_plus_v_squared() {
+        // Figure 7 / footnote 6 of the paper: the v component of the system
+        // solves v = s + v², whose series is s + s² + 2s³ + 5s⁴ + 14s⁵ + ⋯
+        let solution = solve_univariate(6, |v| {
+            s_var(6).plus(&v.times(v))
+        });
+        let expected = [1u64, 1, 2, 5, 14, 42];
+        for (i, coeff) in expected.iter().enumerate() {
+            let degree = (i + 1) as u32;
+            assert_eq!(
+                solution.coefficient(&Monomial::from_powers([("s", degree)])),
+                Some(NatInf::Fin(*coeff)),
+                "coefficient of s^{degree}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_provenance_polynomial_embeds_algebra_provenance() {
+        // 2r² + rs as a power series has the same coefficients (Prop 6.2's
+        // embedding of ℕ[X] into ℕ∞[[X]]).
+        let p: Polynomial<Natural> = Polynomial::from_terms([
+            (Monomial::from_powers([("r", 2u32)]), Natural::from(2u64)),
+            (Monomial::from_bag(["r", "s"]), Natural::from(1u64)),
+        ]);
+        let s = TruncatedSeries::from_provenance_polynomial(&p, 4);
+        assert_eq!(
+            s.coefficient(&Monomial::from_powers([("r", 2u32)])),
+            Some(NatInf::Fin(2))
+        );
+        assert_eq!(
+            s.coefficient(&Monomial::from_bag(["r", "s"])),
+            Some(NatInf::Fin(1))
+        );
+        assert_eq!(s.coefficient(&Monomial::var("r")), Some(NatInf::Fin(0)));
+    }
+
+    #[test]
+    fn evaluate_truncated_into_ninfinity() {
+        // Evaluate s + s² at s = 3: 3 + 9 = 12.
+        let series = s_var(3).plus(&s_var(3).times(&s_var(3)));
+        let v = Valuation::from_pairs([("s", NatInf::Fin(3))]);
+        assert_eq!(
+            series.evaluate_truncated(&v, || NatInf::Inf),
+            NatInf::Fin(12)
+        );
+    }
+
+    #[test]
+    fn zero_and_one_series() {
+        let z = TruncatedSeries::zero(3);
+        let o = TruncatedSeries::one(3);
+        assert!(z.is_zero());
+        assert!(!o.is_zero());
+        assert_eq!(o.coefficient(&Monomial::unit()), Some(NatInf::Fin(1)));
+        assert_eq!(z.plus(&o), o);
+        assert_eq!(o.times(&o), o);
+    }
+}

@@ -1,0 +1,265 @@
+//! A reusable law-checking harness.
+//!
+//! Proposition 3.4 of the paper shows that the expected RA⁺ identities hold
+//! **iff** the annotation structure is a commutative semiring; every
+//! annotation structure shipped by this crate is therefore validated against
+//! the commutative-semiring laws (and, where claimed, the lattice and
+//! ω-continuity axioms) on representative samples. The same functions are
+//! reused by property-based tests that feed randomly generated elements.
+
+use crate::traits::{DistributiveLattice, NaturallyOrdered, OmegaContinuous, Semiring, SemiringHomomorphism};
+
+/// The outcome of a law check: `Ok(())` or a description of the first law
+/// that failed, including the offending elements.
+pub type LawCheck = Result<(), String>;
+
+fn fail<K: std::fmt::Debug>(law: &str, items: &[&K]) -> LawCheck {
+    Err(format!("law violated: {law}; witnesses: {items:?}"))
+}
+
+/// Checks the commutative-semiring laws on every combination (up to triples)
+/// of the provided sample elements.
+///
+/// If `K::zero() == K::one()` the structure is *degenerate* (the paper's
+/// why-provenance semiring `(P(X), ∪, ∪, ∅, ∅)` is the canonical example);
+/// in that case the annihilation law `0·a = 0` and the `0 ≠ 1` requirement
+/// are skipped, and only the monoid/commutativity/distributivity laws are
+/// enforced.
+pub fn check_semiring_laws<K: Semiring>(samples: &[K]) -> LawCheck {
+    let zero = K::zero();
+    let one = K::one();
+    let degenerate = zero == one;
+
+    for a in samples {
+        // Identity laws.
+        if a.plus(&zero) != *a {
+            return fail("a + 0 = a", &[a]);
+        }
+        if zero.plus(a) != *a {
+            return fail("0 + a = a", &[a]);
+        }
+        if a.times(&one) != *a {
+            return fail("a · 1 = a", &[a]);
+        }
+        if one.times(a) != *a {
+            return fail("1 · a = a", &[a]);
+        }
+        if !degenerate {
+            if !a.times(&zero).is_zero() {
+                return fail("a · 0 = 0", &[a]);
+            }
+            if !zero.times(a).is_zero() {
+                return fail("0 · a = 0", &[a]);
+            }
+        }
+    }
+
+    for a in samples {
+        for b in samples {
+            if a.plus(b) != b.plus(a) {
+                return fail("a + b = b + a", &[a, b]);
+            }
+            if a.times(b) != b.times(a) {
+                return fail("a · b = b · a (commutativity of ·)", &[a, b]);
+            }
+        }
+    }
+
+    for a in samples {
+        for b in samples {
+            for c in samples {
+                if a.plus(&b.plus(c)) != a.plus(b).plus(c) {
+                    return fail("(a + b) + c = a + (b + c)", &[a, b, c]);
+                }
+                if a.times(&b.times(c)) != a.times(b).times(c) {
+                    return fail("(a · b) · c = a · (b · c)", &[a, b, c]);
+                }
+                if a.times(&b.plus(c)) != a.times(b).plus(&a.times(c)) {
+                    return fail("a · (b + c) = a·b + a·c", &[a, b, c]);
+                }
+                if b.plus(c).times(a) != b.times(a).plus(&c.times(a)) {
+                    return fail("(b + c) · a = b·a + c·a", &[a, b, c]);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the extra laws of a (bounded) distributive lattice: idempotence of
+/// both operations, absorption in both directions, and that `1` is the top
+/// element (`a + 1 = 1`).
+pub fn check_distributive_lattice<K: DistributiveLattice>(samples: &[K]) -> LawCheck {
+    check_semiring_laws(samples)?;
+    let one = K::one();
+    for a in samples {
+        if a.plus(a) != *a {
+            return fail("a ∨ a = a", &[a]);
+        }
+        if a.times(a) != *a {
+            return fail("a ∧ a = a", &[a]);
+        }
+        if a.plus(&one) != one {
+            return fail("a ∨ 1 = 1 (1 is top)", &[a]);
+        }
+    }
+    for a in samples {
+        for b in samples {
+            if a.plus(&a.times(b)) != *a {
+                return fail("a ∨ (a ∧ b) = a (absorption)", &[a, b]);
+            }
+            if a.times(&a.plus(b)) != *a {
+                return fail("a ∧ (a ∨ b) = a (absorption)", &[a, b]);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sanity axioms for ω-continuous semirings that are checkable on samples:
+/// the natural order is a partial order, `+`/`·` are monotone, `0` is the
+/// least element, and the Kleene star satisfies its defining fixed-point
+/// equation `a* = 1 + a·a*`.
+pub fn check_omega_axioms<K: OmegaContinuous>(samples: &[K]) -> LawCheck {
+    let zero = K::zero();
+    for a in samples {
+        if !zero.natural_leq(a) {
+            return fail("0 ≤ a", &[a]);
+        }
+        if !a.natural_leq(a) {
+            return fail("a ≤ a (reflexivity)", &[a]);
+        }
+        let star = a.star();
+        if star != K::one().plus(&a.times(&star)) {
+            return fail("a* = 1 + a·a*", &[a]);
+        }
+    }
+    for a in samples {
+        for b in samples {
+            if a.natural_leq(b) && b.natural_leq(a) && a != b {
+                return fail("antisymmetry of ≤", &[a, b]);
+            }
+            for c in samples {
+                if a.natural_leq(b) && b.natural_leq(c) && !a.natural_leq(c) {
+                    return fail("transitivity of ≤", &[a, b, c]);
+                }
+                if a.natural_leq(b) {
+                    if !a.plus(c).natural_leq(&b.plus(c)) {
+                        return fail("monotonicity of +", &[a, b, c]);
+                    }
+                    if !a.times(c).natural_leq(&b.times(c)) {
+                        return fail("monotonicity of ·", &[a, b, c]);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `h` behaves as a semiring homomorphism on all the provided
+/// samples: `h(0) = 0`, `h(1) = 1`, `h(a + b) = h(a) + h(b)`,
+/// `h(a · b) = h(a) · h(b)`.
+///
+/// This is the hypothesis of Proposition 3.5 (and 5.7); the RA⁺/datalog
+/// commutation tests in `provsem-core` and `provsem-datalog` use it to
+/// validate the homomorphisms they rely on.
+pub fn check_homomorphism<A, B, H>(h: &H, samples: &[A]) -> LawCheck
+where
+    A: Semiring,
+    B: Semiring,
+    H: SemiringHomomorphism<A, B>,
+{
+    if h.apply(&A::zero()) != B::zero() {
+        return Err("homomorphism violated: h(0) ≠ 0".to_string());
+    }
+    if h.apply(&A::one()) != B::one() {
+        return Err("homomorphism violated: h(1) ≠ 1".to_string());
+    }
+    for a in samples {
+        for b in samples {
+            if h.apply(&a.plus(b)) != h.apply(a).plus(&h.apply(b)) {
+                return fail("h(a + b) = h(a) + h(b)", &[a, b]);
+            }
+            if h.apply(&a.times(b)) != h.apply(a).times(&h.apply(b)) {
+                return fail("h(a · b) = h(a) · h(b)", &[a, b]);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that the natural order reported by [`NaturallyOrdered::natural_leq`]
+/// is consistent with its definition `a ≤ b ⇔ ∃x. a + x = b`, using the
+/// sample set itself as the pool of candidate witnesses `x`. Soundness only:
+/// a reported `a ≤ b` does not require a witness inside the finite sample,
+/// but a witness found in the sample must imply `a ≤ b`.
+pub fn check_natural_order_witnesses<K: NaturallyOrdered>(samples: &[K]) -> LawCheck {
+    for a in samples {
+        for b in samples {
+            let has_witness = samples.iter().any(|x| a.plus(x) == *b);
+            if has_witness && !a.natural_leq(b) {
+                return fail("∃x. a + x = b but natural_leq(a, b) is false", &[a, b]);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool;
+    use crate::natural::Natural;
+    use crate::traits::FnHomomorphism;
+
+    #[test]
+    fn harness_accepts_the_booleans() {
+        check_semiring_laws(&[Bool::from(false), Bool::from(true)]).unwrap();
+    }
+
+    #[test]
+    fn harness_rejects_a_broken_structure() {
+        // Subtraction-like structure: (ℕ, monus, ·, 0, 1) is not a semiring
+        // (monus is not associative); encode it via a wrapper.
+        #[derive(Clone, PartialEq, Debug)]
+        struct Monus(u64);
+        impl Semiring for Monus {
+            fn zero() -> Self {
+                Monus(0)
+            }
+            fn one() -> Self {
+                Monus(1)
+            }
+            fn plus(&self, other: &Self) -> Self {
+                Monus(self.0.saturating_sub(other.0).max(other.0.saturating_sub(self.0)))
+            }
+            fn times(&self, other: &Self) -> Self {
+                Monus(self.0 * other.0)
+            }
+        }
+        let samples = vec![Monus(0), Monus(1), Monus(2), Monus(3)];
+        assert!(check_semiring_laws(&samples).is_err());
+    }
+
+    #[test]
+    fn harness_rejects_a_broken_homomorphism() {
+        // n ↦ n + 1 is not a homomorphism ℕ → ℕ.
+        let h = FnHomomorphism::new(|n: &Natural| Natural::from(n.value() + 1));
+        let samples: Vec<Natural> = (0u64..4).map(Natural::from).collect();
+        assert!(check_homomorphism(&h, &samples).is_err());
+    }
+
+    #[test]
+    fn harness_accepts_the_support_homomorphism() {
+        let h = FnHomomorphism::new(|n: &Natural| Bool::from(!n.is_zero()));
+        let samples: Vec<Natural> = (0u64..6).map(Natural::from).collect();
+        check_homomorphism(&h, &samples).unwrap();
+    }
+
+    #[test]
+    fn natural_order_witness_check_on_naturals() {
+        let samples: Vec<Natural> = (0u64..8).map(Natural::from).collect();
+        check_natural_order_witnesses(&samples).unwrap();
+    }
+}

@@ -1,0 +1,169 @@
+//! The access-control (security clearance) semiring — an *extension* beyond
+//! the paper, included because it is the textbook example of a finite
+//! distributive lattice (in fact a finite total order) to which the paper's
+//! Section 8 datalog evaluation and Theorem 9.2 containment transfer apply.
+//!
+//! Levels are ordered `Public < Confidential < Secret < TopSecret < Never`.
+//! An annotation is the clearance required to see a tuple: joining data
+//! requires the *maximum* of the clearances (`·` = max), while alternative
+//! derivations allow the *minimum* (`+` = min). `0 = Never` (the tuple is
+//! unavailable at any clearance), `1 = Public`.
+
+use crate::traits::{
+    CommutativeSemiring, DistributiveLattice, FiniteSemiring, NaturallyOrdered, OmegaContinuous,
+    PlusIdempotent, Semiring,
+};
+use std::fmt;
+
+/// A security clearance level, ordered from most accessible to least.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Clearance {
+    /// Visible to everyone (the multiplicative unit).
+    Public,
+    /// Requires confidential clearance.
+    Confidential,
+    /// Requires secret clearance.
+    Secret,
+    /// Requires top-secret clearance.
+    TopSecret,
+    /// Never visible (the additive unit / absent tuple).
+    Never,
+}
+
+impl Clearance {
+    /// All levels, most accessible first.
+    pub const ALL: [Clearance; 5] = [
+        Clearance::Public,
+        Clearance::Confidential,
+        Clearance::Secret,
+        Clearance::TopSecret,
+        Clearance::Never,
+    ];
+
+    /// Can a reader with clearance `reader` see data annotated `self`?
+    pub fn visible_to(self, reader: Clearance) -> bool {
+        self != Clearance::Never && self <= reader
+    }
+}
+
+impl fmt::Debug for Clearance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Clearance::Public => "Public",
+            Clearance::Confidential => "Confidential",
+            Clearance::Secret => "Secret",
+            Clearance::TopSecret => "TopSecret",
+            Clearance::Never => "Never",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Clearance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Semiring for Clearance {
+    fn zero() -> Self {
+        Clearance::Never
+    }
+
+    fn one() -> Self {
+        Clearance::Public
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        // Alternative derivations: the more accessible clearance suffices.
+        *std::cmp::min(self, other)
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        // Joint use: need the stricter clearance.
+        *std::cmp::max(self, other)
+    }
+}
+
+impl CommutativeSemiring for Clearance {}
+impl PlusIdempotent for Clearance {}
+
+impl NaturallyOrdered for Clearance {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // a ≤ b ⇔ ∃x. min(a,x) = b ⇔ b ≤ a in the clearance order: more
+        // restricted annotations are lower in the natural (information) order.
+        other <= self
+    }
+}
+
+impl OmegaContinuous for Clearance {
+    fn star(&self) -> Self {
+        // min(Public, a, …) = Public.
+        Clearance::Public
+    }
+
+    fn convergence_bound(num_variables: usize) -> Option<usize> {
+        Some(num_variables.saturating_mul(Clearance::ALL.len()) + 1)
+    }
+}
+
+impl DistributiveLattice for Clearance {}
+
+impl FiniteSemiring for Clearance {
+    fn enumerate() -> Vec<Self> {
+        Clearance::ALL.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{check_distributive_lattice, check_semiring_laws};
+
+    #[test]
+    fn clearance_semiring_laws() {
+        check_semiring_laws(&Clearance::enumerate()).expect("clearance semiring laws");
+    }
+
+    #[test]
+    fn clearance_lattice_laws() {
+        check_distributive_lattice(&Clearance::enumerate()).expect("clearance lattice laws");
+    }
+
+    #[test]
+    fn join_requires_stricter_level() {
+        assert_eq!(
+            Clearance::Confidential.times(&Clearance::Secret),
+            Clearance::Secret
+        );
+        assert_eq!(Clearance::Public.times(&Clearance::Public), Clearance::Public);
+        assert_eq!(
+            Clearance::TopSecret.times(&Clearance::Never),
+            Clearance::Never
+        );
+    }
+
+    #[test]
+    fn union_takes_most_accessible_derivation() {
+        assert_eq!(
+            Clearance::Confidential.plus(&Clearance::Secret),
+            Clearance::Confidential
+        );
+        assert_eq!(Clearance::Never.plus(&Clearance::Secret), Clearance::Secret);
+    }
+
+    #[test]
+    fn visibility_checks() {
+        assert!(Clearance::Public.visible_to(Clearance::Public));
+        assert!(Clearance::Confidential.visible_to(Clearance::Secret));
+        assert!(!Clearance::Secret.visible_to(Clearance::Confidential));
+        assert!(!Clearance::Never.visible_to(Clearance::TopSecret));
+    }
+
+    #[test]
+    fn natural_order_places_never_at_bottom() {
+        assert!(Clearance::Never.natural_leq(&Clearance::TopSecret));
+        assert!(Clearance::TopSecret.natural_leq(&Clearance::Public));
+        assert!(!Clearance::Public.natural_leq(&Clearance::Secret));
+    }
+}

@@ -1,0 +1,313 @@
+//! Core algebraic traits: semirings, commutative semirings, natural order,
+//! ω-continuity, and distributive lattices.
+//!
+//! The paper ("Provenance Semirings", PODS 2007) identifies **commutative
+//! semirings** `(K, +, ·, 0, 1)` as exactly the algebraic structure needed so
+//! that the positive relational algebra on annotated relations satisfies the
+//! expected identities (Proposition 3.4). Datalog additionally requires
+//! **ω-continuous** semirings (Section 5), and the terminating datalog
+//! evaluation of Section 8 requires K to be a **finite distributive
+//! lattice**.
+
+use std::fmt::Debug;
+
+/// A semiring `(K, +, ·, 0, 1)`.
+///
+/// Laws (checked for every implementation in this crate by the harness in
+/// [`crate::properties`]):
+///
+/// * `(K, +, 0)` is a commutative monoid,
+/// * `(K, ·, 1)` is a monoid,
+/// * `·` distributes over `+` on both sides,
+/// * `0 · a = a · 0 = 0` (0 is annihilating).
+///
+/// Elements are passed by reference because several provenance semirings
+/// (polynomials, positive boolean expressions, power series) are not `Copy`.
+pub trait Semiring: Clone + PartialEq + Debug {
+    /// The additive identity, used to tag tuples that are *not* in a
+    /// K-relation.
+    fn zero() -> Self;
+
+    /// The multiplicative identity, used to tag tuples that are *in* the
+    /// relation with "neutral" annotation.
+    fn one() -> Self;
+
+    /// Addition, combining different derivations of the same tuple
+    /// (union, projection).
+    fn plus(&self, other: &Self) -> Self;
+
+    /// Multiplication, combining annotations of joint use
+    /// (natural join, selection).
+    fn times(&self, other: &Self) -> Self;
+
+    /// Returns `true` iff `self` is the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// Returns `true` iff `self` is the multiplicative identity.
+    fn is_one(&self) -> bool {
+        *self == Self::one()
+    }
+
+    /// In-place addition; the default just delegates to [`Semiring::plus`].
+    fn plus_assign(&mut self, other: &Self) {
+        *self = self.plus(other);
+    }
+
+    /// In-place multiplication; the default just delegates to
+    /// [`Semiring::times`].
+    fn times_assign(&mut self, other: &Self) {
+        *self = self.times(other);
+    }
+
+    /// Sums a finite iterator of elements (the empty sum is `0`).
+    fn sum<'a, I>(iter: I) -> Self
+    where
+        Self: 'a,
+        I: IntoIterator<Item = &'a Self>,
+    {
+        let mut acc = Self::zero();
+        for x in iter {
+            acc.plus_assign(x);
+        }
+        acc
+    }
+
+    /// Multiplies a finite iterator of elements (the empty product is `1`).
+    fn product<'a, I>(iter: I) -> Self
+    where
+        Self: 'a,
+        I: IntoIterator<Item = &'a Self>,
+    {
+        let mut acc = Self::one();
+        for x in iter {
+            acc.times_assign(x);
+        }
+        acc
+    }
+
+    /// `n·a`, the sum of `n` copies of `a`. This is the canonical embedding
+    /// of ℕ into any semiring used when evaluating provenance polynomials
+    /// (Section 4 of the paper: "`na` where `n ∈ ℕ` and `a ∈ K` is the sum in
+    /// K of n copies of a").
+    fn repeat(&self, n: u64) -> Self {
+        // Double-and-add so that evaluating polynomials with large integer
+        // coefficients stays logarithmic in the coefficient.
+        let mut result = Self::zero();
+        let mut base = self.clone();
+        let mut k = n;
+        while k > 0 {
+            if k & 1 == 1 {
+                result.plus_assign(&base);
+            }
+            k >>= 1;
+            if k > 0 {
+                base = base.plus(&base);
+            }
+        }
+        result
+    }
+
+    /// `a^n`, the product of `n` copies of `a` (with `a^0 = 1`).
+    fn pow(&self, n: u32) -> Self {
+        let mut result = Self::one();
+        let mut base = self.clone();
+        let mut k = n;
+        while k > 0 {
+            if k & 1 == 1 {
+                result.times_assign(&base);
+            }
+            k >>= 1;
+            if k > 0 {
+                base = base.times(&base);
+            }
+        }
+        result
+    }
+}
+
+/// Marker trait for semirings whose multiplication is commutative.
+///
+/// All the annotation structures used by the paper — 𝔹, ℕ, ℕ∞, PosBool(B),
+/// P(Ω), ℕ[X], ℕ∞[[X]], the tropical and fuzzy semirings — are commutative.
+pub trait CommutativeSemiring: Semiring {}
+
+/// Semirings in which `+` is idempotent (`a + a = a`).
+///
+/// Idempotence of `+` is what makes the semi-naive datalog evaluation an
+/// *exact* optimization; for non-idempotent semirings such as ℕ or ℕ[X] the
+/// naive re-derivation count matters and semi-naive evaluation must be
+/// treated as an approximation of the derivation-tree semantics.
+pub trait PlusIdempotent: Semiring {}
+
+/// A semiring that is *naturally ordered*: the relation
+/// `a ≤ b ⇔ ∃x. a + x = b` is a partial order (Section 5 of the paper).
+///
+/// Implementations must provide a decision procedure for that order.
+pub trait NaturallyOrdered: Semiring {
+    /// Returns `true` iff `self ≤ other` in the natural order.
+    fn natural_leq(&self, other: &Self) -> bool;
+
+    /// Returns `true` iff the two elements are incomparable.
+    fn incomparable(&self, other: &Self) -> bool {
+        !self.natural_leq(other) && !other.natural_leq(self)
+    }
+}
+
+/// An ω-continuous commutative semiring (Section 5): naturally ordered,
+/// ω-chains have least upper bounds, and `+`/`·` are ω-continuous in each
+/// argument. Such semirings admit countable sums and Kleene star, and least
+/// fixed points of polynomial systems exist (Definition 5.5).
+pub trait OmegaContinuous: CommutativeSemiring + NaturallyOrdered {
+    /// Kleene star: `a* = 1 + a + a² + a³ + ⋯` (the least solution of
+    /// `x = a·x + 1`). For example, in ℕ∞ `1* = ∞`, while in PosBool(B)
+    /// `e* = true` for every `e` (Section 5).
+    fn star(&self) -> Self;
+
+    /// An upper bound on the number of fixpoint iterations needed before the
+    /// iteration of a polynomial system over this semiring is guaranteed to
+    /// have converged, if such a bound exists (e.g. finite lattices). `None`
+    /// means no uniform bound (ℕ∞, ℕ∞[[X]]).
+    fn convergence_bound(num_variables: usize) -> Option<usize> {
+        let _ = num_variables;
+        None
+    }
+}
+
+/// A bounded distributive lattice viewed as a semiring: `+` = join `∨`,
+/// `·` = meet `∧`, `0` = bottom, `1` = top. Both operations are idempotent
+/// and absorption holds (`a ∨ (a ∧ b) = a`).
+///
+/// Distributive lattices are the class for which the paper proves both the
+/// terminating datalog evaluation (Section 8) and the containment transfer
+/// theorem (Theorem 9.2). Examples: 𝔹, PosBool(B), P(Ω), the fuzzy semiring.
+pub trait DistributiveLattice: OmegaContinuous + PlusIdempotent {
+    /// Lattice join (identical to [`Semiring::plus`]).
+    fn join(&self, other: &Self) -> Self {
+        self.plus(other)
+    }
+
+    /// Lattice meet (identical to [`Semiring::times`]).
+    fn meet(&self, other: &Self) -> Self {
+        self.times(other)
+    }
+
+    /// The lattice order `a ⊑ b ⇔ a ∨ b = b`; coincides with the natural
+    /// order of the semiring.
+    fn lattice_leq(&self, other: &Self) -> bool {
+        self.plus(other) == *other
+    }
+}
+
+/// A semiring with only finitely many elements. Finite distributive lattices
+/// are the setting of Section 8 (datalog for incomplete and probabilistic
+/// databases); finiteness gives the termination argument.
+pub trait FiniteSemiring: Semiring {
+    /// Enumerates every element of the semiring.
+    fn enumerate() -> Vec<Self>;
+}
+
+/// A homomorphism of semirings `h : A → B`: `h(0)=0`, `h(1)=1`,
+/// `h(a + a') = h(a) + h(a')`, `h(a · a') = h(a) · h(a')`.
+///
+/// Proposition 3.5: transforming K-relations tuple-wise through `h` commutes
+/// with every RA⁺ query **iff** `h` is a semiring homomorphism. The same
+/// holds for datalog when `h` is ω-continuous (Proposition 5.7).
+pub trait SemiringHomomorphism<A: Semiring, B: Semiring> {
+    /// Applies the homomorphism to one annotation.
+    fn apply(&self, a: &A) -> B;
+
+    /// Convenience: applies the homomorphism to a slice of annotations.
+    fn apply_all(&self, xs: &[A]) -> Vec<B> {
+        xs.iter().map(|x| self.apply(x)).collect()
+    }
+}
+
+/// A homomorphism given by a plain Rust closure. Useful for one-off maps and
+/// for testing Proposition 3.5 with both genuine homomorphisms and
+/// deliberately broken maps.
+pub struct FnHomomorphism<A, B, F>
+where
+    F: Fn(&A) -> B,
+{
+    func: F,
+    _marker: std::marker::PhantomData<(A, B)>,
+}
+
+impl<A, B, F> FnHomomorphism<A, B, F>
+where
+    F: Fn(&A) -> B,
+{
+    /// Wraps a closure as a homomorphism object. The caller is responsible
+    /// for the closure actually satisfying the homomorphism laws; the
+    /// [`crate::properties::check_homomorphism`] harness can verify it on
+    /// samples.
+    pub fn new(func: F) -> Self {
+        FnHomomorphism {
+            func,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<A: Semiring, B: Semiring, F> SemiringHomomorphism<A, B> for FnHomomorphism<A, B, F>
+where
+    F: Fn(&A) -> B,
+{
+    fn apply(&self, a: &A) -> B {
+        (self.func)(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool;
+    use crate::natural::Natural;
+
+    #[test]
+    fn repeat_is_iterated_addition() {
+        let three = Natural::from(3u64);
+        assert_eq!(three.repeat(0), Natural::zero());
+        assert_eq!(three.repeat(1), three);
+        assert_eq!(three.repeat(4), Natural::from(12u64));
+        assert_eq!(three.repeat(25), Natural::from(75u64));
+    }
+
+    #[test]
+    fn pow_is_iterated_multiplication() {
+        let two = Natural::from(2u64);
+        assert_eq!(two.pow(0), Natural::one());
+        assert_eq!(two.pow(1), two);
+        assert_eq!(two.pow(10), Natural::from(1024u64));
+    }
+
+    #[test]
+    fn sum_and_product_over_iterators() {
+        let xs = vec![Natural::from(1u64), Natural::from(2u64), Natural::from(3u64)];
+        assert_eq!(Natural::sum(xs.iter()), Natural::from(6u64));
+        assert_eq!(Natural::product(xs.iter()), Natural::from(6u64));
+        let empty: Vec<Natural> = vec![];
+        assert_eq!(Natural::sum(empty.iter()), Natural::zero());
+        assert_eq!(Natural::product(empty.iter()), Natural::one());
+    }
+
+    #[test]
+    fn fn_homomorphism_applies_closure() {
+        // Support homomorphism ℕ → 𝔹 sending n to (n ≠ 0).
+        let h = FnHomomorphism::new(|n: &Natural| Bool::from(!n.is_zero()));
+        assert_eq!(h.apply(&Natural::zero()), Bool::from(false));
+        assert_eq!(h.apply(&Natural::from(7u64)), Bool::from(true));
+        let all = h.apply_all(&[Natural::zero(), Natural::from(2u64)]);
+        assert_eq!(all, vec![Bool::from(false), Bool::from(true)]);
+    }
+
+    #[test]
+    fn repeat_in_boolean_semiring_saturates() {
+        let t = Bool::from(true);
+        assert_eq!(t.repeat(0), Bool::zero());
+        assert_eq!(t.repeat(1), t);
+        assert_eq!(t.repeat(1000), t);
+    }
+}

@@ -1,0 +1,161 @@
+//! The tropical semiring `(ℕ∞, min, +, ∞, 0)` (Section 5 of the paper).
+//!
+//! Under the tropical semiring, RA⁺ / datalog evaluation computes minimum
+//! costs: the annotation of an output tuple is the cost of its cheapest
+//! derivation, where the cost of a derivation is the *sum* of the costs of
+//! the input tuples it uses. Datalog transitive closure over the tropical
+//! semiring is the all-pairs shortest path problem.
+
+use crate::ninfinity::NatInf;
+use crate::traits::{
+    CommutativeSemiring, NaturallyOrdered, OmegaContinuous, PlusIdempotent, Semiring,
+};
+use std::fmt;
+
+/// An element of the tropical semiring: a cost in ℕ∞.
+///
+/// * `plus` is `min` (choosing the cheaper of two alternative derivations),
+/// * `times` is numeric `+` (accumulating cost along a joint derivation),
+/// * `zero` is `∞` (an impossible derivation),
+/// * `one` is `0` (a free derivation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tropical(pub NatInf);
+
+impl Tropical {
+    /// A finite cost.
+    pub const fn cost(n: u64) -> Self {
+        Tropical(NatInf::Fin(n))
+    }
+
+    /// The impossible (infinite) cost — the additive unit.
+    pub const fn unreachable() -> Self {
+        Tropical(NatInf::Inf)
+    }
+
+    /// The underlying ℕ∞ value.
+    pub const fn value(&self) -> NatInf {
+        self.0
+    }
+}
+
+impl From<u64> for Tropical {
+    fn from(n: u64) -> Self {
+        Tropical::cost(n)
+    }
+}
+
+impl fmt::Debug for Tropical {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cost({:?})", self.0)
+    }
+}
+
+impl fmt::Display for Tropical {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Semiring for Tropical {
+    fn zero() -> Self {
+        Tropical(NatInf::Inf)
+    }
+
+    fn one() -> Self {
+        Tropical(NatInf::Fin(0))
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        Tropical(std::cmp::min(self.0, other.0))
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        // Numeric addition on ℕ∞ (∞ + n = ∞).
+        match (self.0, other.0) {
+            (NatInf::Fin(a), NatInf::Fin(b)) => Tropical(NatInf::Fin(a.saturating_add(b))),
+            _ => Tropical(NatInf::Inf),
+        }
+    }
+}
+
+impl CommutativeSemiring for Tropical {}
+impl PlusIdempotent for Tropical {}
+
+impl NaturallyOrdered for Tropical {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // a ≤ b ⇔ ∃x. min(a, x) = b ⇔ b ≤ a numerically: cheaper costs are
+        // *larger* in the natural order of the tropical semiring.
+        other.0 <= self.0
+    }
+}
+
+impl OmegaContinuous for Tropical {
+    fn star(&self) -> Self {
+        // a* = min(0, a, a+a, …) = 0 = one, since all costs are ≥ 0.
+        Tropical::one()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::check_semiring_laws;
+
+    fn samples() -> Vec<Tropical> {
+        vec![
+            Tropical::cost(0),
+            Tropical::cost(1),
+            Tropical::cost(2),
+            Tropical::cost(7),
+            Tropical::unreachable(),
+        ]
+    }
+
+    #[test]
+    fn tropical_semiring_laws() {
+        check_semiring_laws(&samples()).expect("tropical semiring laws");
+    }
+
+    #[test]
+    fn plus_picks_minimum_cost() {
+        assert_eq!(Tropical::cost(3).plus(&Tropical::cost(5)), Tropical::cost(3));
+        assert_eq!(
+            Tropical::cost(3).plus(&Tropical::unreachable()),
+            Tropical::cost(3)
+        );
+    }
+
+    #[test]
+    fn times_adds_costs() {
+        assert_eq!(Tropical::cost(3).times(&Tropical::cost(5)), Tropical::cost(8));
+        assert_eq!(
+            Tropical::cost(3).times(&Tropical::unreachable()),
+            Tropical::unreachable()
+        );
+    }
+
+    #[test]
+    fn units_are_infinity_and_zero_cost() {
+        assert_eq!(Tropical::zero(), Tropical::unreachable());
+        assert_eq!(Tropical::one(), Tropical::cost(0));
+        // 0 annihilates: joining with an unreachable tuple is unreachable.
+        assert_eq!(
+            Tropical::zero().times(&Tropical::cost(9)),
+            Tropical::zero()
+        );
+    }
+
+    #[test]
+    fn natural_order_is_reverse_numeric_order() {
+        // zero (∞) is the least element of the natural order.
+        assert!(Tropical::zero().natural_leq(&Tropical::cost(10)));
+        assert!(Tropical::cost(10).natural_leq(&Tropical::cost(2)));
+        assert!(!Tropical::cost(2).natural_leq(&Tropical::cost(10)));
+    }
+
+    #[test]
+    fn star_is_the_unit() {
+        assert_eq!(Tropical::cost(5).star(), Tropical::one());
+        assert_eq!(Tropical::unreachable().star(), Tropical::one());
+    }
+}

@@ -1,0 +1,163 @@
+//! Provenance variables (tuple identifiers).
+//!
+//! The paper annotates base tuples with "their own ids" (`p`, `r`, `s` in
+//! Figure 5, `m, n, p, r, s` in Figure 7); these ids are the indeterminates
+//! of the provenance polynomials ℕ[X] and the boolean variables of
+//! PosBool(B). [`Variable`] is a cheaply clonable, ordered, hashable symbol
+//! used for both purposes.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A provenance variable / tuple identifier.
+///
+/// Internally an `Arc<str>`, so cloning a variable (which happens a lot when
+/// multiplying polynomials) is a reference-count bump rather than a string
+/// copy. Ordering and equality are by name.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Variable(Arc<str>);
+
+impl Variable {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Variable(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// A fresh variable of the form `prefix_i`, convenient for abstract
+    /// tagging of whole relations (`R̄` in the paper).
+    pub fn indexed(prefix: &str, i: usize) -> Self {
+        Variable::new(format!("{prefix}_{i}"))
+    }
+}
+
+impl fmt::Debug for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Variable {
+    fn from(s: &str) -> Self {
+        Variable::new(s)
+    }
+}
+
+impl From<String> for Variable {
+    fn from(s: String) -> Self {
+        Variable::new(s)
+    }
+}
+
+/// A valuation `v : X → K`, assigning a semiring value to each variable.
+///
+/// Proposition 4.2: for any commutative semiring K and valuation `v` there is
+/// a unique homomorphism `Eval_v : ℕ[X] → K` extending `v`; Proposition 6.3
+/// is the analogue for ℕ∞[[X]]. Valuations drive the factorization theorems
+/// (4.3 and 6.4): evaluate the provenance annotation under `v` to recover the
+/// K-annotation.
+#[derive(Clone, Debug, Default)]
+pub struct Valuation<K> {
+    assignments: std::collections::BTreeMap<Variable, K>,
+}
+
+impl<K: Clone> Valuation<K> {
+    /// The empty valuation.
+    pub fn new() -> Self {
+        Valuation {
+            assignments: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Builds a valuation from `(variable, value)` pairs.
+    pub fn from_pairs<I, V>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (V, K)>,
+        V: Into<Variable>,
+    {
+        let mut v = Valuation::new();
+        for (var, val) in pairs {
+            v.assign(var.into(), val);
+        }
+        v
+    }
+
+    /// Assigns `value` to `var` (overwriting any previous assignment).
+    pub fn assign(&mut self, var: Variable, value: K) -> &mut Self {
+        self.assignments.insert(var, value);
+        self
+    }
+
+    /// Looks up the value of `var`, if assigned.
+    pub fn get(&self, var: &Variable) -> Option<&K> {
+        self.assignments.get(var)
+    }
+
+    /// The number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether no variable is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Iterates over the assignments in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Variable, &K)> {
+        self.assignments.iter()
+    }
+
+    /// The set of assigned variables.
+    pub fn variables(&self) -> impl Iterator<Item = &Variable> {
+        self.assignments.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::natural::Natural;
+
+    #[test]
+    fn variables_compare_by_name() {
+        let p = Variable::new("p");
+        let r = Variable::new("r");
+        assert_ne!(p, r);
+        assert_eq!(p, Variable::new("p"));
+        assert!(p < r);
+    }
+
+    #[test]
+    fn indexed_variables_have_stable_names() {
+        assert_eq!(Variable::indexed("R", 3).name(), "R_3");
+    }
+
+    #[test]
+    fn valuation_assignment_and_lookup() {
+        let mut v: Valuation<Natural> = Valuation::new();
+        assert!(v.is_empty());
+        v.assign(Variable::new("p"), Natural::from(2u64));
+        v.assign(Variable::new("r"), Natural::from(5u64));
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get(&Variable::new("p")), Some(&Natural::from(2u64)));
+        assert_eq!(v.get(&Variable::new("s")), None);
+    }
+
+    #[test]
+    fn valuation_from_pairs_collects_all_pairs() {
+        let v = Valuation::from_pairs([("p", Natural::from(2u64)), ("r", Natural::from(5u64))]);
+        assert_eq!(v.variables().count(), 2);
+        assert_eq!(v.get(&Variable::new("r")), Some(&Natural::from(5u64)));
+    }
+}

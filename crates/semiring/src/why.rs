@@ -1,0 +1,381 @@
+//! Why-provenance semirings.
+//!
+//! * [`WhySet`] is the structure the paper uses in Section 4 to model
+//!   lineage / why-provenance as defined by Cui–Widom–Wiener and
+//!   Buneman–Khanna–Tan: `(P(X), ∪, ∪, ∅, ∅)`, the set of *all contributing
+//!   input tuples*. Note that its 0 and 1 coincide — the paper points out
+//!   this degeneracy as part of why why-provenance is a *coarse* form of
+//!   provenance (Figure 5(b) cannot distinguish how `(f,e)` and `(d,e)` are
+//!   derived).
+//! * [`Witness`] (an extension, `Why(X) = P(P(X))` with `∪` and pairwise
+//!   union) keeps the *witness sets*: which combinations of input tuples
+//!   justify an output tuple. It sits strictly between ℕ[X] and `WhySet` in
+//!   the specialization hierarchy of provenance semirings.
+
+use crate::traits::{
+    CommutativeSemiring, NaturallyOrdered, OmegaContinuous, PlusIdempotent, Semiring,
+    SemiringHomomorphism,
+};
+use crate::variable::Variable;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Lineage / why-provenance as in the paper: a set of contributing tuple ids,
+/// with both `+` and `·` being set union.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct WhySet {
+    tuples: BTreeSet<Variable>,
+}
+
+impl WhySet {
+    /// The empty set (which is simultaneously 0 and 1 of this semiring).
+    pub fn empty() -> Self {
+        WhySet::default()
+    }
+
+    /// The singleton set `{v}`.
+    pub fn var(v: impl Into<Variable>) -> Self {
+        let mut tuples = BTreeSet::new();
+        tuples.insert(v.into());
+        WhySet { tuples }
+    }
+
+    /// Builds a why-set from an iterator of tuple ids.
+    pub fn from_vars<I, V>(vars: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Variable>,
+    {
+        WhySet {
+            tuples: vars.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The contributing tuple ids.
+    pub fn tuples(&self) -> &BTreeSet<Variable> {
+        &self.tuples
+    }
+
+    /// Number of contributing tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: &Variable) -> bool {
+        self.tuples.contains(v)
+    }
+}
+
+impl fmt::Debug for WhySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for WhySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Semiring for WhySet {
+    fn zero() -> Self {
+        WhySet::empty()
+    }
+
+    fn one() -> Self {
+        // The paper's (P(X), ∪, ∪, ∅, ∅): 0 = 1 = ∅. This makes WhySet a
+        // degenerate semiring; `is_zero`/`is_one` both hold for ∅ and the
+        // K-relation machinery treats ∅-annotated tuples as absent, exactly
+        // matching the lineage semantics.
+        WhySet::empty()
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        WhySet {
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        }
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        WhySet {
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    fn is_one(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+impl CommutativeSemiring for WhySet {}
+impl PlusIdempotent for WhySet {}
+
+impl NaturallyOrdered for WhySet {
+    fn natural_leq(&self, other: &Self) -> bool {
+        self.tuples.is_subset(&other.tuples)
+    }
+}
+
+impl OmegaContinuous for WhySet {
+    fn star(&self) -> Self {
+        // 1 + a + a·a + ⋯ = ∅ ∪ a ∪ a ∪ ⋯ = a.
+        self.clone()
+    }
+}
+
+/// A witness: one set of input tuples that jointly derive an output tuple.
+pub type WitnessSet = BTreeSet<Variable>;
+
+/// The witness-based why-provenance semiring `Why(X) = (P(P(X)), ∪, ⋓, ∅, {∅})`
+/// where `A ⋓ B = { a ∪ b | a ∈ A, b ∈ B }`.
+///
+/// Kept as an antichain-free set of witnesses (no minimization), so it
+/// records every distinct witness combination; minimizing witnesses yields
+/// minimal-why-provenance which is a further quotient.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Witness {
+    witnesses: BTreeSet<WitnessSet>,
+}
+
+impl Witness {
+    /// No witnesses (the additive unit: the tuple is underivable).
+    pub fn none() -> Self {
+        Witness::default()
+    }
+
+    /// The single empty witness (the multiplicative unit).
+    pub fn trivial() -> Self {
+        let mut witnesses = BTreeSet::new();
+        witnesses.insert(WitnessSet::new());
+        Witness { witnesses }
+    }
+
+    /// A single witness consisting of exactly the tuple `v`.
+    pub fn var(v: impl Into<Variable>) -> Self {
+        let mut w = WitnessSet::new();
+        w.insert(v.into());
+        let mut witnesses = BTreeSet::new();
+        witnesses.insert(w);
+        Witness { witnesses }
+    }
+
+    /// Builds a witness structure from an iterator of witnesses.
+    pub fn from_witnesses<I, C, V>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = C>,
+        C: IntoIterator<Item = V>,
+        V: Into<Variable>,
+    {
+        Witness {
+            witnesses: iter
+                .into_iter()
+                .map(|c| c.into_iter().map(Into::into).collect())
+                .collect(),
+        }
+    }
+
+    /// The set of witnesses.
+    pub fn witnesses(&self) -> &BTreeSet<WitnessSet> {
+        &self.witnesses
+    }
+
+    /// Flattens to the paper's `WhySet` (union of all witnesses) — the
+    /// canonical surjective homomorphism `Why(X) → (P(X), ∪, ∪)` exhibiting
+    /// `WhySet` as a coarsening.
+    pub fn flatten(&self) -> WhySet {
+        WhySet::from_vars(self.witnesses.iter().flat_map(|w| w.iter().cloned()))
+    }
+}
+
+impl fmt::Debug for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, w) in self.witnesses.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{{")?;
+            for (j, v) in w.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "}}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl Semiring for Witness {
+    fn zero() -> Self {
+        Witness::none()
+    }
+
+    fn one() -> Self {
+        Witness::trivial()
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        Witness {
+            witnesses: self.witnesses.union(&other.witnesses).cloned().collect(),
+        }
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        let mut witnesses = BTreeSet::new();
+        for a in &self.witnesses {
+            for b in &other.witnesses {
+                witnesses.insert(a.union(b).cloned().collect());
+            }
+        }
+        Witness { witnesses }
+    }
+}
+
+impl CommutativeSemiring for Witness {}
+impl PlusIdempotent for Witness {}
+
+impl NaturallyOrdered for Witness {
+    fn natural_leq(&self, other: &Self) -> bool {
+        self.witnesses.is_subset(&other.witnesses)
+    }
+}
+
+/// The homomorphism `Why(X) → (P(X), ∪, ∪)` that forgets witness structure.
+pub struct FlattenWitnesses;
+
+impl SemiringHomomorphism<Witness, WhySet> for FlattenWitnesses {
+    fn apply(&self, a: &Witness) -> WhySet {
+        a.flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::check_semiring_laws;
+
+    fn why_samples() -> Vec<WhySet> {
+        vec![
+            WhySet::empty(),
+            WhySet::var("p"),
+            WhySet::var("r"),
+            WhySet::from_vars(["p", "r"]),
+            WhySet::from_vars(["r", "s"]),
+        ]
+    }
+
+    fn witness_samples() -> Vec<Witness> {
+        vec![
+            Witness::none(),
+            Witness::trivial(),
+            Witness::var("p"),
+            Witness::var("r"),
+            Witness::from_witnesses(vec![vec!["p", "r"], vec!["s"]]),
+        ]
+    }
+
+    #[test]
+    fn why_set_semiring_laws() {
+        check_semiring_laws(&why_samples()).expect("WhySet semiring laws");
+    }
+
+    #[test]
+    fn witness_semiring_laws() {
+        check_semiring_laws(&witness_samples()).expect("Witness semiring laws");
+    }
+
+    #[test]
+    fn why_set_zero_equals_one() {
+        // The degeneracy the paper notes for (P(X), ∪, ∪, ∅, ∅).
+        assert_eq!(WhySet::zero(), WhySet::one());
+    }
+
+    #[test]
+    fn both_operations_are_union() {
+        let pr = WhySet::from_vars(["p", "r"]);
+        let rs = WhySet::from_vars(["r", "s"]);
+        let all = WhySet::from_vars(["p", "r", "s"]);
+        assert_eq!(pr.plus(&rs), all);
+        assert_eq!(pr.times(&rs), all);
+    }
+
+    #[test]
+    fn figure5b_cannot_distinguish_fe_from_de() {
+        // Figure 5(b): (f,e) and (d,e) both get {r, s} — the limitation of
+        // why-provenance motivating provenance polynomials.
+        let de = WhySet::from_vars(["r", "s"]);
+        let fe = WhySet::from_vars(["r", "s"]);
+        assert_eq!(de, fe);
+    }
+
+    #[test]
+    fn witnesses_do_distinguish_fe_from_de() {
+        // Witness-level provenance of (d,e): {{r},{r,s}}; of (f,e): {{s},{r,s}}.
+        let de = Witness::from_witnesses(vec![vec!["r"], vec!["r", "s"]]);
+        let fe = Witness::from_witnesses(vec![vec!["s"], vec!["r", "s"]]);
+        assert_ne!(de, fe);
+        // ... but they flatten to the same why-set.
+        assert_eq!(de.flatten(), fe.flatten());
+    }
+
+    #[test]
+    fn witness_multiplication_is_pairwise_union() {
+        let a = Witness::from_witnesses(vec![vec!["p"], vec!["r"]]);
+        let b = Witness::var("s");
+        let prod = a.times(&b);
+        assert_eq!(
+            prod,
+            Witness::from_witnesses(vec![vec!["p", "s"], vec!["r", "s"]])
+        );
+    }
+
+    #[test]
+    fn flatten_commutes_with_the_operations_on_nonzero_elements() {
+        // Because WhySet is degenerate (0 = 1 = ∅), flattening cannot be a
+        // homomorphism at 0 (flatten(0 · b) = ∅ but flatten(0) ∪ flatten(b)
+        // = flatten(b)); on non-zero witnesses it commutes with both
+        // operations, which is what the coarsening argument needs.
+        let samples: Vec<Witness> = witness_samples()
+            .into_iter()
+            .filter(|w| !w.is_zero())
+            .collect();
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(
+                    FlattenWitnesses.apply(&a.plus(b)),
+                    FlattenWitnesses.apply(a).plus(&FlattenWitnesses.apply(b))
+                );
+                assert_eq!(
+                    FlattenWitnesses.apply(&a.times(b)),
+                    FlattenWitnesses.apply(a).times(&FlattenWitnesses.apply(b))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn natural_order_is_subset_order() {
+        assert!(WhySet::var("p").natural_leq(&WhySet::from_vars(["p", "r"])));
+        assert!(!WhySet::from_vars(["p", "r"]).natural_leq(&WhySet::var("p")));
+    }
+}

@@ -1,0 +1,84 @@
+//! Access control as an annotation semiring.
+//!
+//! Each base tuple carries the clearance required to read it; query answers
+//! are automatically annotated with the clearance required to see them
+//! (joins take the stricter level, unions the more permissive one). This is
+//! an *extension* example beyond the paper: the clearance lattice is a finite
+//! distributive lattice, so everything from Sections 3, 8 and 9 applies to it
+//! unchanged — including recursive datalog.
+//!
+//! Run with: `cargo run --example access_control`
+
+use provenance_semirings::prelude::*;
+
+fn main() {
+    // Employee(name, dept) and Salary(name, band), with per-tuple clearances.
+    let employees = [
+        ("alice", "engineering", Clearance::Public),
+        ("bob", "engineering", Clearance::Public),
+        ("carol", "security", Clearance::Confidential),
+    ];
+    let salaries = [
+        ("alice", "band_3", Clearance::Confidential),
+        ("bob", "band_4", Clearance::Secret),
+        ("carol", "band_5", Clearance::TopSecret),
+    ];
+
+    let mut emp: KRelation<Clearance> = KRelation::empty(Schema::new(["name", "dept"]));
+    for (name, dept, level) in employees {
+        emp.insert(Tuple::new([("name", name), ("dept", dept)]), level);
+    }
+    let mut sal: KRelation<Clearance> = KRelation::empty(Schema::new(["name", "band"]));
+    for (name, band, level) in salaries {
+        sal.insert(Tuple::new([("name", name), ("band", band)]), level);
+    }
+    let db = Database::new().with("Employee", emp).with("Salary", sal);
+
+    // Which salary bands exist per department?
+    let query = RaExpr::relation("Employee")
+        .join(RaExpr::relation("Salary"))
+        .project(["dept", "band"]);
+    let out = query.eval(&db).expect("query evaluates");
+
+    println!("Department/band report with required clearance:");
+    for (tuple, clearance) in out.iter() {
+        println!("  {tuple} ↦ {clearance}");
+    }
+
+    // What each reader is allowed to see, via visibility filtering of the
+    // annotated answer (no per-reader re-evaluation needed).
+    for reader in [Clearance::Public, Clearance::Confidential, Clearance::Secret] {
+        let visible: Vec<String> = out
+            .iter()
+            .filter(|(_, level)| level.visible_to(reader))
+            .map(|(t, _)| format!("{t}"))
+            .collect();
+        println!("\nVisible to a {reader} reader: {visible:?}");
+    }
+
+    // The same annotations work for recursive queries: who can be reached in
+    // the reporting chain, and what clearance is needed to know it?
+    let reports = [
+        ("alice", "bob", Clearance::Public),
+        ("bob", "carol", Clearance::Confidential),
+        ("carol", "dana", Clearance::Secret),
+    ];
+    let mut store: FactStore<Clearance> = FactStore::new();
+    for (mgr, emp, level) in reports {
+        store.insert(Fact::new("ReportsTo", [emp, mgr]), level);
+    }
+    let program = Program::transitive_closure("ReportsTo", "Chain");
+    let chain = evaluate_fixpoint(&program, &store, 64).expect("lattice evaluation converges");
+    println!("\nManagement-chain visibility (recursive datalog):");
+    for (fact, level) in chain.facts() {
+        println!("  {fact} ↦ {level}");
+    }
+
+    // Provenance view: compute once in ℕ[X], then specialize to clearances —
+    // the factorization theorem means the security labelling is consistent
+    // with every other annotation semantics by construction.
+    let (provenance, valuation) = provenance_of_query(&query, &db).expect("query evaluates");
+    let relabelled = provenance.map_annotations(|p| p.eval(&valuation));
+    assert_eq!(relabelled, out);
+    println!("\nTheorem 4.3 check: provenance-then-specialize equals direct labelling. ✓");
+}

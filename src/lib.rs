@@ -1,0 +1,53 @@
+//! # provenance-semirings
+//!
+//! A full reproduction of **"Provenance Semirings"** (Todd J. Green, Grigoris
+//! Karvounarakis, Val Tannen; PODS 2007) as a Rust workspace. This umbrella
+//! crate re-exports the individual crates:
+//!
+//! | crate | contents | paper sections |
+//! |-------|----------|----------------|
+//! | [`semiring`] | commutative / ω-continuous semirings, lattices, homomorphisms, ℕ[X], ℕ∞[[X]] | 3–6 |
+//! | [`core`] | K-relations, positive relational algebra, provenance tracking, factorization theorem | 3–4 |
+//! | [`datalog`] | datalog on K-relations, algebraic systems, All-Trees, Monomial-Coefficient, lattice datalog | 5–8 |
+//! | [`incomplete`] | maybe-tables, c-tables, possible worlds, Imielinski–Lipski | 2, 8 |
+//! | [`prob`] | event tables, tuple-independent DBs, probabilistic datalog | 2, 8 |
+//! | [`containment`] | conjunctive-query containment, Theorem 9.2 | 9 |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use provenance_semirings::prelude::*;
+//!
+//! // The paper's running example: annotate R's three tuples with their ids
+//! // p, r, s, run q(R) = π_ac(π_ab R ⋈ π_bc R ∪ π_ac R ⋈ π_bc R), and read
+//! // off the provenance polynomials of Figure 5(c).
+//! let db = paper::figure5_tagged();
+//! let out = paper::section2_query().eval(&db).unwrap();
+//! let de = out.annotation(&Tuple::new([("a", "d"), ("c", "e")]));
+//! assert_eq!(de, poly(&[(2, &["r", "r"]), (1, &["r", "s"])])); // 2r² + rs
+//!
+//! // Factorization theorem: evaluate the polynomial at r=5, s=1 to recover
+//! // the bag multiplicity 55 of Figure 3(b).
+//! let v = Valuation::from_pairs([("r", Natural::from(5u64)), ("s", Natural::from(1u64))]);
+//! assert_eq!(de.eval(&v), Natural::from(55u64));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use provsem_containment as containment;
+pub use provsem_core as core;
+pub use provsem_datalog as datalog;
+pub use provsem_incomplete as incomplete;
+pub use provsem_prob as prob;
+pub use provsem_semiring as semiring;
+
+/// One-stop prelude combining the preludes of every crate in the workspace.
+pub mod prelude {
+    pub use provsem_containment::prelude::*;
+    pub use provsem_core::prelude::*;
+    pub use provsem_datalog::prelude::*;
+    pub use provsem_incomplete::prelude::*;
+    pub use provsem_prob::prelude::*;
+    pub use provsem_semiring::prelude::*;
+}

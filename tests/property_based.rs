@@ -1,0 +1,165 @@
+//! Property-based integration tests: the paper's theorems checked on
+//! randomly generated instances and queries.
+
+use proptest::prelude::*;
+use provenance_semirings::prelude::*;
+
+/// Strategy: a small random edge relation over `n` nodes with ℕ annotations.
+fn arb_edges(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u8, u8, u64)>> {
+    prop::collection::vec(
+        (
+            0..max_nodes as u8,
+            0..max_nodes as u8,
+            1u64..4,
+        ),
+        1..max_edges,
+    )
+}
+
+fn node(i: u8) -> String {
+    format!("n{i}")
+}
+
+fn edge_db(edges: &[(u8, u8, u64)]) -> Database<Natural> {
+    let schema = Schema::new(["src", "dst"]);
+    let mut rel: KRelation<Natural> = KRelation::empty(schema);
+    for (s, d, w) in edges {
+        rel.insert(
+            Tuple::new([("src", node(*s).as_str()), ("dst", node(*d).as_str())]),
+            Natural::from(*w),
+        );
+    }
+    Database::new().with("R", rel)
+}
+
+fn edge_store(edges: &[(u8, u8, u64)]) -> FactStore<NatInf> {
+    let mut store = FactStore::new();
+    for (s, d, w) in edges {
+        store.insert(Fact::new("R", [node(*s), node(*d)]), NatInf::Fin(*w));
+    }
+    store
+}
+
+/// A small pool of RA⁺ queries over the binary relation R(src, dst).
+fn queries() -> Vec<RaExpr> {
+    let r = || RaExpr::relation("R");
+    vec![
+        // Self-join on dst=src (composition), projected to endpoints.
+        r().rename(Renaming::new([("dst", "mid")]))
+            .join(r().rename(Renaming::new([("src", "mid")])))
+            .project(["src", "dst"]),
+        // Union with the identity-ish selection.
+        r().union(r().select(Predicate::eq_attrs("src", "dst"))),
+        // Out-degree style projection.
+        r().project(["src"]),
+        // Filter then project.
+        r().select(Predicate::ne_value("src", "n0")).project(["dst"]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 4.3 on random instances and queries: direct K evaluation
+    /// equals provenance evaluation followed by Eval_v, for K = ℕ and 𝔹.
+    #[test]
+    fn factorization_theorem_on_random_instances(edges in arb_edges(4, 8), qi in 0usize..4) {
+        let db = edge_db(&edges);
+        let query = &queries()[qi];
+        prop_assert!(factorization_holds(query, &db).unwrap());
+        let db_bool: Database<Bool> = db.map_annotations(|n| Bool::from(!n.is_zero()));
+        prop_assert!(factorization_holds(query, &db_bool).unwrap());
+    }
+
+    /// Proposition 3.5 on random instances: applying the support homomorphism
+    /// ℕ → 𝔹 commutes with the queries.
+    #[test]
+    fn homomorphisms_commute_with_queries(edges in arb_edges(4, 8), qi in 0usize..4) {
+        let db = edge_db(&edges);
+        let query = &queries()[qi];
+        let direct: KRelation<Bool> = query
+            .eval(&db)
+            .unwrap()
+            .map_annotations(|n| Bool::from(!n.is_zero()));
+        let mapped = query
+            .eval(&db.map_annotations(|n| Bool::from(!n.is_zero())))
+            .unwrap();
+        prop_assert_eq!(direct, mapped);
+    }
+
+    /// Proposition 3.4 instances: union is associative/commutative with ∅ as
+    /// identity, join distributes over union — on random K-relations.
+    #[test]
+    fn ra_identities_on_random_relations(e1 in arb_edges(3, 6), e2 in arb_edges(3, 6), e3 in arb_edges(3, 6)) {
+        let r1 = edge_db(&e1).get("R").unwrap().clone();
+        let r2 = edge_db(&e2).get("R").unwrap().clone();
+        let r3 = edge_db(&e3).get("R").unwrap().clone();
+        prop_assert_eq!(r1.union(&r2), r2.union(&r1));
+        prop_assert_eq!(r1.union(&r2).union(&r3), r1.union(&r2.union(&r3)));
+        let empty: KRelation<Natural> = KRelation::empty(r1.schema().clone());
+        prop_assert_eq!(r1.union(&empty), r1.clone());
+        prop_assert_eq!(
+            r1.join(&r2.union(&r3)),
+            r1.join(&r2).union(&r1.join(&r3))
+        );
+        prop_assert_eq!(r1.select(&Predicate::False), empty);
+        prop_assert_eq!(r1.select(&Predicate::True), r1.clone());
+    }
+
+    /// Exact ℕ∞ datalog evaluation agrees with bounded Kleene iteration
+    /// whenever the latter converges, and with All-Trees + Theorem 6.4 always.
+    #[test]
+    fn datalog_evaluations_agree(edges in arb_edges(4, 7)) {
+        let store = edge_store(&edges);
+        let program = Program::transitive_closure("R", "Q");
+        let exact = evaluate_natinf(&program, &store);
+        let iterated = kleene_iterate(&program, &store, 40);
+        if iterated.converged {
+            for (fact, ann) in exact.facts() {
+                prop_assert_eq!(&iterated.idb.annotation(&fact), ann);
+            }
+        }
+        let prov = datalog_provenance(&program, &store);
+        let specialized = prov.specialize(|| NatInf::Inf);
+        for (fact, ann) in exact.facts() {
+            prop_assert_eq!(&specialized.annotation(&fact), ann);
+        }
+    }
+
+    /// Section 8: datalog over PosBool terminates on arbitrary (cyclic)
+    /// graphs and the two algorithms (fixpoint, minimal trees) agree.
+    #[test]
+    fn lattice_datalog_agreement(edges in arb_edges(3, 6)) {
+        let mut store: FactStore<PosBool> = FactStore::new();
+        for (i, (s, d, _)) in edges.iter().enumerate() {
+            store.insert(
+                Fact::new("R", [node(*s), node(*d)]),
+                PosBool::var(format!("e{i}")),
+            );
+        }
+        let program = Program::transitive_closure("R", "Q");
+        let fixpoint = evaluate_lattice(&program, &store, 128).unwrap();
+        let trees = evaluate_lattice_via_trees(&program, &store);
+        prop_assert_eq!(fixpoint.len(), trees.len());
+        for (fact, ann) in fixpoint.facts() {
+            prop_assert_eq!(&trees.annotation(&fact), ann);
+        }
+    }
+
+    /// Theorem 9.2 spot-check: whenever the homomorphism procedure says
+    /// q1 ⊑ q2, the containment holds on random PosBool-annotated instances.
+    #[test]
+    fn lattice_containment_transfers(edges in arb_edges(3, 6)) {
+        let q1 = UnionOfConjunctiveQueries::parse("Q(x, y) :- R(x, z), R(z, y), R(x, y).").unwrap();
+        let q2 = UnionOfConjunctiveQueries::parse("Q(x, y) :- R(x, y).").unwrap();
+        prop_assert!(q1.contained_in(&q2));
+        let mut store: FactStore<PosBool> = FactStore::new();
+        for (i, (s, d, _)) in edges.iter().enumerate() {
+            store.insert(
+                Fact::new("R", [node(*s), node(*d)]),
+                PosBool::var(format!("e{i}")),
+            );
+        }
+        prop_assert!(check_containment_on_instance(&q1, &q2, &store));
+    }
+}
