@@ -43,7 +43,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| section2_query().eval(&posbool_db).unwrap().len())
     });
     group.bench_function("NX_provenance", |b| {
-        b.iter(|| provenance_of_query(&section2_query(), &base).unwrap().0.len())
+        b.iter(|| {
+            provenance_of_query(&section2_query(), &base)
+                .unwrap()
+                .0
+                .len()
+        })
     });
     group.finish();
 
@@ -51,7 +56,8 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_naive_vs_seminaive");
     let program = Program::transitive_closure("R", "Q");
     for (nodes, edges) in [(10usize, 20usize), (20, 40)] {
-        let edb = random_graph_store(42, nodes, edges).map_annotations(|k| Bool::from(!k.is_zero()));
+        let edb =
+            random_graph_store(42, nodes, edges).map_annotations(|k| Bool::from(!k.is_zero()));
         group.bench_with_input(BenchmarkId::new("naive", nodes), &edb, |b, edb| {
             b.iter(|| evaluate_fixpoint(&program, edb, 256).unwrap().len())
         });
@@ -60,9 +66,11 @@ fn bench(c: &mut Criterion) {
         });
         let trop = random_graph_store(42, nodes, edges)
             .map_annotations(|k| Tropical::cost(k.finite_value().unwrap_or(1)));
-        group.bench_with_input(BenchmarkId::new("seminaive_tropical", nodes), &trop, |b, trop| {
-            b.iter(|| seminaive_evaluate(&program, trop, 256).idb.len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("seminaive_tropical", nodes),
+            &trop,
+            |b, trop| b.iter(|| seminaive_evaluate(&program, trop, 256).idb.len()),
+        );
         let _ = NatInf::Fin(0);
     }
     group.finish();

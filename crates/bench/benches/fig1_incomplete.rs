@@ -5,8 +5,8 @@ mod common;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use provsem_bench::report_rows;
 use provsem_core::paper::{section2_query, section2_schema};
-use provsem_incomplete::{MaybeTable, PossibleWorlds};
 use provsem_core::{Schema, Tuple};
+use provsem_incomplete::{MaybeTable, PossibleWorlds};
 
 fn reproduce_figure1() {
     let table = MaybeTable::figure1();

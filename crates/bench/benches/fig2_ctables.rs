@@ -8,7 +8,9 @@ use provsem_core::paper::section2_query;
 use provsem_incomplete::CTable;
 
 fn reproduce_figure2() {
-    let answer = CTable::figure1b().answer_query("R", &section2_query()).unwrap();
+    let answer = CTable::figure1b()
+        .answer_query("R", &section2_query())
+        .unwrap();
     let rows: Vec<(String, String)> = answer
         .relation()
         .iter()

@@ -13,7 +13,10 @@ fn reproduce_figure3() {
         .into_iter()
         .map(|(a, c, expected)| {
             let got = out.annotation(&Tuple::new([("a", a), ("c", c)]));
-            (format!("({a},{c})"), format!("measured {got}, paper {expected}"))
+            (
+                format!("({a},{c})"),
+                format!("measured {got}, paper {expected}"),
+            )
         })
         .collect();
     report_rows("Figure 3(b): bag multiplicities", &rows);

@@ -16,7 +16,10 @@ fn reproduce_figure4() {
         .into_iter()
         .map(|(t, _, p)| (format!("{t}"), format!("P = {p:.3}")))
         .collect();
-    report_rows("Figure 4(b): output probabilities (paper: .6 .3 .3 .5 .1)", &rows);
+    report_rows(
+        "Figure 4(b): output probabilities (paper: .6 .3 .3 .5 .1)",
+        &rows,
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -12,9 +12,17 @@ fn reproduce_figure5() {
     let out = section2_query().eval(&figure5_tagged()).unwrap();
     let rows: Vec<(String, String)> = out
         .iter()
-        .map(|(t, p)| (format!("{t}"), format!("{p}  (why: {:?})", p.why_provenance())))
+        .map(|(t, p)| {
+            (
+                format!("{t}"),
+                format!("{p}  (why: {:?})", p.why_provenance()),
+            )
+        })
         .collect();
-    report_rows("Figure 5(b)/(c): why-provenance and provenance polynomials", &rows);
+    report_rows(
+        "Figure 5(b)/(c): why-provenance and provenance polynomials",
+        &rows,
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -25,12 +33,16 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("direct_bag", size), &db, |b, db| {
             b.iter(|| section2_query().eval(db).unwrap().len())
         });
-        group.bench_with_input(BenchmarkId::new("provenance_then_eval", size), &db, |b, db| {
-            b.iter(|| {
-                let (prov, valuation) = provenance_of_query(&section2_query(), db).unwrap();
-                specialize(&prov, &valuation).len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("provenance_then_eval", size),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    let (prov, valuation) = provenance_of_query(&section2_query(), db).unwrap();
+                    specialize(&prov, &valuation).len()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -23,7 +23,10 @@ fn reproduce_figure6() {
         .into_iter()
         .map(|(x, y, expected)| {
             let got = out.idb.annotation(&Fact::new("Q", [x, y]));
-            (format!("Q({x},{y})"), format!("measured {got}, paper {expected}"))
+            (
+                format!("Q({x},{y})"),
+                format!("measured {got}, paper {expected}"),
+            )
         })
         .collect();
     report_rows("Figure 6(c): conjunctive query under bag semantics", &rows);

@@ -22,7 +22,10 @@ fn reproduce_figure7() {
         .into_iter()
         .map(|(s, d, expected)| {
             let got = out.annotation(&Fact::new("Q", [s, d]));
-            (format!("Q({s},{d})"), format!("measured {got}, paper {expected}"))
+            (
+                format!("Q({s},{d})"),
+                format!("measured {got}, paper {expected}"),
+            )
         })
         .collect();
     report_rows("Figure 7(b): transitive closure over ℕ∞", &rows);

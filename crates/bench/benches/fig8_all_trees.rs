@@ -24,7 +24,10 @@ fn reproduce_figure8() {
             (format!("{fact}"), shown)
         })
         .collect();
-    report_rows("Figure 8: All-Trees classification of the Figure 7 instance", &rows);
+    report_rows(
+        "Figure 8: All-Trees classification of the Figure 7 instance",
+        &rows,
+    );
 }
 
 fn bench(c: &mut Criterion) {

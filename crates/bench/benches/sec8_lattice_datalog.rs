@@ -46,14 +46,18 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("minimal_trees", edges), &edb, |b, edb| {
             b.iter(|| evaluate_lattice_via_trees(&program, edb).len())
         });
-        group.bench_with_input(BenchmarkId::new("probabilistic", edges), &edges, |b, edges| {
-            let db = random_probabilistic_graph(42, 5, (*edges).min(12));
-            b.iter(|| {
-                evaluate_probabilistic_datalog(&program, &db, &|_| vec!["src", "dst"])
-                    .facts
-                    .len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("probabilistic", edges),
+            &edges,
+            |b, edges| {
+                let db = random_probabilistic_graph(42, 5, (*edges).min(12));
+                b.iter(|| {
+                    evaluate_probabilistic_datalog(&program, &db, &|_| vec!["src", "dst"])
+                        .facts
+                        .len()
+                })
+            },
+        );
     }
     group.finish();
 }

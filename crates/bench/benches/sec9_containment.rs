@@ -5,7 +5,9 @@ mod common;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use provsem_bench::report_rows;
-use provsem_containment::{check_containment_on_instance, ConjunctiveQuery, UnionOfConjunctiveQueries};
+use provsem_containment::{
+    check_containment_on_instance, ConjunctiveQuery, UnionOfConjunctiveQueries,
+};
 use provsem_datalog::edge_facts;
 use provsem_semiring::{Natural, PosBool};
 
@@ -22,8 +24,20 @@ fn bench(c: &mut Criterion) {
     // Reproduce the two headline facts of Section 9.
     let q1 = UnionOfConjunctiveQueries::parse("Q(x) :- R(x, y), R(x, z).").unwrap();
     let q2 = UnionOfConjunctiveQueries::parse("Q(x) :- R(x, y).").unwrap();
-    let lattice_edb = edge_facts("R", &[("a", "b", PosBool::var("e1")), ("a", "c", PosBool::var("e2"))]);
-    let bag_edb = edge_facts("R", &[("a", "b", Natural::from(1u64)), ("a", "c", Natural::from(1u64))]);
+    let lattice_edb = edge_facts(
+        "R",
+        &[
+            ("a", "b", PosBool::var("e1")),
+            ("a", "c", PosBool::var("e2")),
+        ],
+    );
+    let bag_edb = edge_facts(
+        "R",
+        &[
+            ("a", "b", Natural::from(1u64)),
+            ("a", "c", Natural::from(1u64)),
+        ],
+    );
     report_rows(
         "Section 9: containment transfer",
         &[

@@ -2,9 +2,14 @@
 //!
 //! Workload generators and shared helpers for the benchmark harness. One
 //! Criterion bench target exists per figure / experiment of the paper (see
-//! `benches/` and EXPERIMENTS.md); this library provides the synthetic
-//! workloads they sweep over and the "reproduce the paper's rows" reporting
-//! used by every bench.
+//! `benches/` here and the benchmark table in the repository README); this
+//! library provides the synthetic workloads they sweep over and the
+//! "reproduce the paper's rows" reporting used by every bench.
+//!
+//! Every generator takes an explicit `seed` and derives all randomness from
+//! [`rng`], so a `(seed, parameters)` pair written down in a bench source or
+//! in a figure caption identifies the workload *exactly* — re-running the
+//! bench on any machine regenerates the same database, byte for byte.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -17,13 +22,27 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A deterministic RNG so benchmark workloads are reproducible run to run.
+///
+/// The stream for a given seed is fixed (SplitMix64 in the vendored `rand`
+/// shim — see `crates/vendor/rand`), so every figure in the benchmark output
+/// is identified completely by the `(seed, parameters)` tuple its bench
+/// passes to the generators below.
 pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
-/// A random ternary relation over the schema `{a, b, c}` (the Section 2
-/// shape) with `size` tuples drawn from a domain of `domain` values and
-/// multiplicities in `1..=max_multiplicity`.
+/// A random ternary bag relation `R` over the schema `{a, b, c}` (the shape
+/// of the paper's Section 2 running example).
+///
+/// Exactly `size` draws are made; each draws the three attribute values
+/// independently and uniformly from `v0 .. v{domain-1}` and a multiplicity
+/// uniformly from `1..=max_multiplicity`. Drawing the same tuple twice *sums*
+/// the multiplicities (bag union), so the resulting relation has at most —
+/// not exactly — `size` distinct tuples; expect collisions once `size`
+/// approaches `domain³`.
+///
+/// Used by `fig3_bag` (sizes 10/100/500, domain 12, multiplicities ≤ 5,
+/// seed 42) and, re-annotated, by most other figure benches.
 pub fn random_ternary_bag(
     seed: u64,
     size: usize,
@@ -72,8 +91,16 @@ pub fn random_ternary_tagged(
     Database::new().with("R", annotated)
 }
 
-/// A random directed graph with `nodes` nodes and `edges` edges as an
-/// ℕ∞-annotated datalog edb (predicate `R(src, dst)`).
+/// A random directed graph as an ℕ∞-annotated datalog edb (predicate
+/// `R(src, dst)`), the workload for the datalog fixpoint benches.
+///
+/// Makes exactly `edges` draws; each picks source and destination
+/// independently and uniformly from the `nodes` vertices `n0 .. n{nodes-1}`
+/// (self-loops allowed) and a finite multiplicity uniformly from `1..=3`.
+/// Re-drawn edges *sum* their multiplicities, so the store holds at most
+/// `edges` distinct facts. Cycles are likely, which is the point: under bag
+/// semantics their tuples have infinitely many derivations, exercising the
+/// ℕ∞ (`NatInf::Inf`) side of exact datalog evaluation.
 pub fn random_graph_store(seed: u64, nodes: usize, edges: usize) -> FactStore<NatInf> {
     let mut rng = rng(seed);
     let mut store = FactStore::new();
@@ -88,9 +115,15 @@ pub fn random_graph_store(seed: u64, nodes: usize, edges: usize) -> FactStore<Na
     store
 }
 
-/// A random *acyclic* layered graph (layers of `width` nodes, edges only
-/// between consecutive layers) — every tuple has finitely many derivations,
-/// so bag-datalog and provenance stay polynomial-sized.
+/// A random *acyclic* layered graph: `layers` layers of `width` nodes each
+/// (vertex `l{layer}_{index}`), where every forward edge between consecutive
+/// layers is included independently with probability ½ at multiplicity 1.
+///
+/// Acyclicity guarantees every tuple has finitely many derivation trees, so
+/// bag-datalog multiplicities stay finite and provenance polynomials stay
+/// polynomial-sized — this is the workload for the All-Trees and datalog
+/// provenance benches (`fig7`, `fig8`), which would diverge on cyclic input.
+/// Expected edge count is `(layers - 1) · width² / 2`.
 pub fn random_dag_store(seed: u64, layers: usize, width: usize) -> FactStore<NatInf> {
     let mut rng = rng(seed);
     let mut store = FactStore::new();
@@ -112,8 +145,14 @@ pub fn random_dag_store(seed: u64, layers: usize, width: usize) -> FactStore<Nat
     store
 }
 
-/// A random tuple-independent probabilistic edge relation (kept small: the
-/// exact event representation is exponential in the number of tuples).
+/// A random tuple-independent probabilistic edge relation `R(src, dst)`,
+/// the workload for the Figure 4 (Fuhr–Rölleke–Zimányi) bench.
+///
+/// Makes exactly `edges` draws; each picks endpoints independently and
+/// uniformly from `n0 .. n{nodes-1}` and a marginal probability uniformly
+/// from `[0.1, 0.9)`. Duplicate endpoint pairs are retained as *separate*
+/// independent tuples. Keep `edges` small: exact event-table evaluation
+/// enumerates all `2^edges` possible worlds.
 pub fn random_probabilistic_graph(seed: u64, nodes: usize, edges: usize) -> TupleIndependentDb {
     let mut rng = rng(seed);
     let mut db = TupleIndependentDb::new();
@@ -138,6 +177,12 @@ pub fn reannotate<K: Semiring>(db: &Database<Natural>) -> Database<K> {
 /// Prints a labelled reproduction of one of the paper's figures; used by the
 /// benches so that `cargo bench` output contains the same rows the paper
 /// reports next to the timings.
+///
+/// Output goes to stderr as a `--- title ---` header followed by one
+/// left-aligned `key value` line per row, e.g. the Figure 3(b) rows printed
+/// by the `fig3_bag` bench alongside its measurements. Checking a figure
+/// against the paper therefore never requires a separate tool: run the bench
+/// and read the rows above the timings.
 pub fn report_rows(title: &str, rows: &[(String, String)]) {
     eprintln!("--- {title} ---");
     for (key, value) in rows {
@@ -190,8 +235,12 @@ mod tests {
     #[test]
     fn ctable_and_tagged_generators_use_distinct_variables() {
         let ct = random_ternary_ctable(4, 12, 5);
-        let annotations: std::collections::BTreeSet<PosBool> =
-            ct.get("R").unwrap().iter().map(|(_, k)| k.clone()).collect();
+        let annotations: std::collections::BTreeSet<PosBool> = ct
+            .get("R")
+            .unwrap()
+            .iter()
+            .map(|(_, k)| k.clone())
+            .collect();
         assert_eq!(annotations.len(), ct.get("R").unwrap().len());
         let tagged = random_ternary_tagged(4, 12, 5);
         assert_eq!(tagged.get("R").unwrap().len(), ct.get("R").unwrap().len());

@@ -54,7 +54,12 @@ impl ConjunctiveQuery {
         }
         let head = Fact::new(
             self.rule.head.predicate.clone(),
-            self.rule.head.terms.iter().map(freeze).collect::<Vec<Value>>(),
+            self.rule
+                .head
+                .terms
+                .iter()
+                .map(freeze)
+                .collect::<Vec<Value>>(),
         );
         (store, head)
     }
@@ -117,7 +122,11 @@ impl UnionOfConjunctiveQueries {
     pub fn parse(text: &str) -> Result<Self, provsem_datalog::ParseError> {
         let program = provsem_datalog::parse_program(text)?;
         Ok(UnionOfConjunctiveQueries::new(
-            program.rules.into_iter().map(ConjunctiveQuery::new).collect(),
+            program
+                .rules
+                .into_iter()
+                .map(ConjunctiveQuery::new)
+                .collect(),
         ))
     }
 
@@ -223,9 +232,7 @@ mod tests {
     fn ucq_containment_sagiv_yannakakis() {
         // Q1 = edges ∪ length-2 paths; Q2 = edges ∪ length-2 paths ∪ loops.
         let q1 = ucq("Q(x, y) :- R(x, y).\nQ(x, y) :- R(x, z), R(z, y).");
-        let q2 = ucq(
-            "Q(x, y) :- R(x, y).\nQ(x, y) :- R(x, z), R(z, y).\nQ(x, x) :- R(x, x).",
-        );
+        let q2 = ucq("Q(x, y) :- R(x, y).\nQ(x, y) :- R(x, z), R(z, y).\nQ(x, x) :- R(x, x).");
         assert!(q1.contained_in(&q2));
         // And q2 ⊑ q1 as well: the loop disjunct is contained in the edge
         // disjunct.

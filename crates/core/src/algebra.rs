@@ -248,10 +248,7 @@ mod tests {
             KRelation::from_tuples(Schema::new(["y"]), [(Tuple::new([("y", "9")]), nat(5))]);
         let j = r1.join(&r2);
         assert_eq!(j.len(), 2);
-        assert_eq!(
-            j.annotation(&Tuple::new([("x", "1"), ("y", "9")])),
-            nat(10)
-        );
+        assert_eq!(j.annotation(&Tuple::new([("x", "1"), ("y", "9")])), nat(10));
     }
 
     #[test]
@@ -267,10 +264,8 @@ mod tests {
                 (Tuple::new([("x", "3"), ("y", "b")]), nat(7)),
             ],
         );
-        let r2: KRelation<Natural> = KRelation::from_tuples(
-            Schema::new(["y"]),
-            [(Tuple::new([("y", "a")]), nat(10))],
-        );
+        let r2: KRelation<Natural> =
+            KRelation::from_tuples(Schema::new(["y"]), [(Tuple::new([("y", "a")]), nat(10))]);
         let j12 = r1.join(&r2);
         let j21 = r2.join(&r1);
         assert_eq!(j12, j21);

@@ -187,7 +187,10 @@ impl RaExpr {
                 let sa = a.output_schema(db)?;
                 let sb = b.output_schema(db)?;
                 if sa != sb {
-                    return Err(EvalError::SchemaMismatch { left: sa, right: sb });
+                    return Err(EvalError::SchemaMismatch {
+                        left: sa,
+                        right: sb,
+                    });
                 }
                 Ok(sa)
             }
@@ -336,7 +339,12 @@ mod tests {
         // Proposition 3.4: σ_false(R) = ∅ and σ_true(R) = R.
         let db = figure3_db();
         let r = RaExpr::relation("R");
-        assert!(r.clone().select(Predicate::False).eval(&db).unwrap().is_empty());
+        assert!(r
+            .clone()
+            .select(Predicate::False)
+            .eval(&db)
+            .unwrap()
+            .is_empty());
         assert_eq!(
             r.clone().select(Predicate::True).eval(&db).unwrap(),
             r.eval(&db).unwrap()
@@ -347,7 +355,12 @@ mod tests {
     fn rename_roundtrip_via_expression() {
         let db = figure3_db();
         let rho = Renaming::new([("a", "x")]);
-        let q = RaExpr::relation("R").rename(rho.clone()).rename(rho.inverse());
-        assert_eq!(q.eval(&db).unwrap(), RaExpr::relation("R").eval(&db).unwrap());
+        let q = RaExpr::relation("R")
+            .rename(rho.clone())
+            .rename(rho.inverse());
+        assert_eq!(
+            q.eval(&db).unwrap(),
+            RaExpr::relation("R").eval(&db).unwrap()
+        );
     }
 }

@@ -47,8 +47,8 @@ pub mod prelude {
     pub use crate::paper;
     pub use crate::predicate::Predicate;
     pub use crate::provenance::{
-        factorization_holds, poly, provenance_of_query, provenance_size, specialize,
-        tag_database, tag_database_with_names, tag_relation, Tagged,
+        factorization_holds, poly, provenance_of_query, provenance_size, specialize, tag_database,
+        tag_database_with_names, tag_relation, Tagged,
     };
     pub use crate::relation::KRelation;
     pub use crate::schema::{Attribute, Renaming, Schema};

@@ -56,16 +56,16 @@ pub fn section2_database<K: Semiring>(annotations: [K; 3]) -> Database<K> {
 /// Figure 1(b): the maybe-table as a `PosBool`-relation with fresh boolean
 /// variables `b1, b2, b3` (one per optional tuple).
 pub fn figure1_ctable() -> Database<PosBool> {
-    section2_database([
-        PosBool::var("b1"),
-        PosBool::var("b2"),
-        PosBool::var("b3"),
-    ])
+    section2_database([PosBool::var("b1"), PosBool::var("b2"), PosBool::var("b3")])
 }
 
 /// Figure 3(a): the bag-semantics relation with multiplicities 2, 5, 1.
 pub fn figure3_bag() -> Database<Natural> {
-    section2_database([Natural::from(2u64), Natural::from(5u64), Natural::from(1u64)])
+    section2_database([
+        Natural::from(2u64),
+        Natural::from(5u64),
+        Natural::from(1u64),
+    ])
 }
 
 /// Figure 4(a): the probabilistic event table. Worlds are numbered by the
@@ -86,13 +86,7 @@ pub fn figure4_world_probabilities() -> Vec<f64> {
     (0u32..8)
         .map(|w| {
             (0..3)
-                .map(|i| {
-                    if w & (1 << i) != 0 {
-                        p[i]
-                    } else {
-                        1.0 - p[i]
-                    }
-                })
+                .map(|i| if w & (1 << i) != 0 { p[i] } else { 1.0 - p[i] })
                 .product()
         })
         .collect()
@@ -173,7 +167,10 @@ pub fn figure7_tagged() -> Database<ProvenancePolynomial> {
 
 /// The variable names used by [`figure7_tagged`], for building valuations.
 pub fn figure7_variables() -> Vec<Variable> {
-    ["m", "n", "p", "r", "s"].iter().map(Variable::new).collect()
+    ["m", "n", "p", "r", "s"]
+        .iter()
+        .map(Variable::new)
+        .collect()
 }
 
 /// The expected output of Figure 3(b), as `(a-value, c-value, multiplicity)`.

@@ -2,7 +2,7 @@
 //! theorem (Section 4 of the paper).
 //!
 //! Given a K-relation `R`, its *abstractly tagged* version `R̄` annotates
-//! every support tuple with its own tuple id, viewed as an ℕ[X]-relation.
+//! every support tuple with its own tuple id, viewed as an ℕ\[X\]-relation.
 //! Theorem 4.3 states that for every RA⁺ query `q`,
 //! `q(R) = Eval_v ∘ q(R̄)` where `v` maps each tuple id to the original
 //! annotation. In other words: run the query **once** over provenance
@@ -18,7 +18,7 @@ use provsem_semiring::{
 };
 
 /// The result of abstractly tagging a K-relation or database: the
-/// ℕ[X]-annotated instance together with the valuation `v : X → K` that maps
+/// ℕ\[X\]-annotated instance together with the valuation `v : X → K` that maps
 /// each fresh tuple id back to the original annotation.
 #[derive(Clone, Debug)]
 pub struct Tagged<K> {
@@ -35,7 +35,11 @@ pub struct Tagged<K> {
 pub fn tag_relation<K: Semiring>(
     name: &str,
     relation: &KRelation<K>,
-) -> (KRelation<ProvenancePolynomial>, Valuation<K>, Vec<(Variable, String, Tuple)>) {
+) -> (
+    KRelation<ProvenancePolynomial>,
+    Valuation<K>,
+    Vec<(Variable, String, Tuple)>,
+) {
     let mut tagged = KRelation::empty(relation.schema().clone());
     let mut valuation = Valuation::new();
     let mut index = Vec::new();
@@ -106,7 +110,7 @@ pub fn specialize<K: CommutativeSemiring>(
 }
 
 /// Runs a query with provenance: evaluates `q` over the abstractly tagged
-/// database, returning the ℕ[X]-annotated result (the "how-provenance" of
+/// database, returning the ℕ\[X\]-annotated result (the "how-provenance" of
 /// every output tuple).
 pub fn provenance_of_query<K: Semiring>(
     query: &RaExpr,
@@ -141,12 +145,11 @@ pub fn provenance_size(relation: &KRelation<ProvenancePolynomial>) -> usize {
 /// `(coefficient, [variables])` terms; a convenience for writing expected
 /// values in tests that mirror the paper's figures.
 pub fn poly(terms: &[(u64, &[&str])]) -> ProvenancePolynomial {
-    Polynomial::from_terms(terms.iter().map(|(c, vars)| {
-        (
-            Monomial::from_bag(vars.iter().copied()),
-            Natural::from(*c),
-        )
-    }))
+    Polynomial::from_terms(
+        terms
+            .iter()
+            .map(|(c, vars)| (Monomial::from_bag(vars.iter().copied()), Natural::from(*c))),
+    )
 }
 
 #[cfg(test)]
@@ -220,8 +223,7 @@ mod tests {
         let db_ninf: Database<NatInf> = db_nat.map_annotations(|n| NatInf::Fin(n.value()));
         assert!(factorization_holds(&q, &db_ninf).unwrap());
 
-        let db_trop: Database<Tropical> =
-            db_nat.map_annotations(|n| Tropical::cost(n.value()));
+        let db_trop: Database<Tropical> = db_nat.map_annotations(|n| Tropical::cost(n.value()));
         assert!(factorization_holds(&q, &db_trop).unwrap());
 
         let mut db_posbool: Database<PosBool> = Database::new();
@@ -260,8 +262,14 @@ mod tests {
         // Bag specialization.
         let v_bag = Valuation::from_pairs([("p", nat(2)), ("r", nat(5)), ("s", nat(1))]);
         let bag = specialize(&prov, &v_bag);
-        assert_eq!(bag.annotation(&Tuple::new([("a", "d"), ("c", "e")])), nat(55));
-        assert_eq!(bag.annotation(&Tuple::new([("a", "f"), ("c", "e")])), nat(7));
+        assert_eq!(
+            bag.annotation(&Tuple::new([("a", "d"), ("c", "e")])),
+            nat(55)
+        );
+        assert_eq!(
+            bag.annotation(&Tuple::new([("a", "f"), ("c", "e")])),
+            nat(7)
+        );
 
         // c-table specialization (Figure 2(b)).
         let v_ctable = Valuation::from_pairs([

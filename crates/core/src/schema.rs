@@ -161,7 +161,10 @@ impl Renaming {
 
     /// Renames one attribute.
     pub fn apply(&self, attr: &Attribute) -> Attribute {
-        self.mapping.get(attr).cloned().unwrap_or_else(|| attr.clone())
+        self.mapping
+            .get(attr)
+            .cloned()
+            .unwrap_or_else(|| attr.clone())
     }
 
     /// Renames every attribute of a schema. Returns `None` if the renaming is
@@ -197,7 +200,10 @@ mod tests {
         let s = Schema::new(["c", "a", "b", "a"]);
         assert_eq!(s.arity(), 3);
         assert_eq!(
-            s.attributes().iter().map(Attribute::name).collect::<Vec<_>>(),
+            s.attributes()
+                .iter()
+                .map(Attribute::name)
+                .collect::<Vec<_>>(),
             vec!["a", "b", "c"]
         );
     }

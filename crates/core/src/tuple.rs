@@ -48,12 +48,7 @@ impl Tuple {
             "value count must match schema arity"
         );
         Tuple {
-            fields: schema
-                .attributes()
-                .iter()
-                .cloned()
-                .zip(values)
-                .collect(),
+            fields: schema.attributes().iter().cloned().zip(values).collect(),
         }
     }
 

@@ -104,7 +104,12 @@ mod tests {
         assert_eq!(Value::from("a"), Value::str("a"));
         assert_ne!(Value::from("a"), Value::from("b"));
         assert_ne!(Value::from("1"), Value::from(1i64));
-        let mut vs = vec![Value::str("b"), Value::str("a"), Value::int(3), Value::int(1)];
+        let mut vs = vec![
+            Value::str("b"),
+            Value::str("a"),
+            Value::int(3),
+            Value::int(1),
+        ];
         vs.sort();
         assert_eq!(vs.len(), 4);
     }

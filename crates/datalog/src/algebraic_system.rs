@@ -22,8 +22,8 @@ use crate::ast::Program;
 use crate::fact::{Fact, FactStore};
 use crate::grounding::{derivable_facts, instantiate_over, GroundRule};
 use provsem_semiring::{
-    Monomial, NatInf, Natural, OmegaContinuous, ProvenancePolynomial, Semiring,
-    TruncatedSeries, Valuation, Variable,
+    Monomial, NatInf, Natural, OmegaContinuous, ProvenancePolynomial, Semiring, TruncatedSeries,
+    Valuation, Variable,
 };
 use std::collections::BTreeMap;
 
@@ -123,7 +123,12 @@ impl AlgebraicSystem {
             program,
             edb,
             &|f: &Fact| Variable::new(format!("{f}")),
-            &|f: &Fact| edb_vars.get(f).cloned().unwrap_or_else(|| Variable::new(format!("{f}"))),
+            &|f: &Fact| {
+                edb_vars
+                    .get(f)
+                    .cloned()
+                    .unwrap_or_else(|| Variable::new(format!("{f}")))
+            },
         )
     }
 
@@ -185,7 +190,7 @@ impl AlgebraicSystem {
     ///
     /// Coefficients of monomials up to the truncation degree are exact for
     /// instances where they are finite; monomials whose coefficient is ∞ in
-    /// ℕ∞[[X]] keep growing with the iteration count, so this solver is
+    /// ℕ∞\[\[X\]\] keep growing with the iteration count, so this solver is
     /// paired with [`crate::exact::facts_with_infinitely_many_derivations`]
     /// and Theorem 6.5's classification when ∞ matters. The iteration count
     /// is `max_degree + extra_iterations`, enough for all coefficients of
@@ -256,7 +261,7 @@ fn evaluate_polynomial_as_series(
     acc
 }
 
-/// Convenience: a [`Polynomial`] restricted to the edb variables obtained by
+/// Convenience: a [`ProvenancePolynomial`] restricted to the edb variables obtained by
 /// substituting the solved series of the *other* idb variables — not needed
 /// for the paper's experiments but handy for inspecting small systems.
 pub fn substitute_solution(
@@ -268,7 +273,11 @@ pub fn substitute_solution(
     let assignment: BTreeMap<Variable, TruncatedSeries> = system
         .equations
         .iter()
-        .filter_map(|e| solution.get(&e.fact).map(|s| (e.variable.clone(), s.clone())))
+        .filter_map(|e| {
+            solution
+                .get(&e.fact)
+                .map(|s| (e.variable.clone(), s.clone()))
+        })
         .collect();
     evaluate_polynomial_as_series(&equation.rhs, &assignment, max_degree)
 }
@@ -314,10 +323,7 @@ mod tests {
             Variable::new(name)
         };
         let edb_names = |f: &Fact| {
-            let name = match (
-                f.values[0].as_str().unwrap(),
-                f.values[1].as_str().unwrap(),
-            ) {
+            let name = match (f.values[0].as_str().unwrap(), f.values[1].as_str().unwrap()) {
                 ("a", "b") => "m",
                 ("a", "c") => "n",
                 ("c", "b") => "p",
@@ -402,10 +408,7 @@ mod tests {
             solution[&Fact::new("Q", ["a", "b"])],
             PosBool::var("m").plus(&PosBool::var("n").times(&PosBool::var("p")))
         );
-        assert_eq!(
-            solution[&Fact::new("Q", ["d", "d"])],
-            PosBool::var("s")
-        );
+        assert_eq!(solution[&Fact::new("Q", ["d", "d"])], PosBool::var("s"));
         // w = xu + wv evaluates to (m ∨ np) ∧ r ∨ … = (m∨np) ∧ r under
         // absorption with s.
         assert_eq!(
@@ -435,10 +438,8 @@ mod tests {
         let solution = system
             .solve_numeric(&valuation, 500)
             .expect("saturating ℕ∞ iteration reaches the fixed point");
-        let exact = crate::exact::evaluate_natinf(
-            &Program::transitive_closure("R", "Q"),
-            &figure7_edb(),
-        );
+        let exact =
+            crate::exact::evaluate_natinf(&Program::transitive_closure("R", "Q"), &figure7_edb());
         for (fact, value) in &solution {
             assert_eq!(exact.annotation(fact), *value, "{fact}");
         }
@@ -519,8 +520,14 @@ mod tests {
         // Check a handful of (fact, monomial) pairs against Figure 9's
         // algorithm.
         let checks = [
-            (Fact::new("Q", ["d", "d"]), Monomial::from_powers([("s", 4u32)])),
-            (Fact::new("Q", ["b", "d"]), Monomial::from_bag(["r", "s", "s"])),
+            (
+                Fact::new("Q", ["d", "d"]),
+                Monomial::from_powers([("s", 4u32)]),
+            ),
+            (
+                Fact::new("Q", ["b", "d"]),
+                Monomial::from_bag(["r", "s", "s"]),
+            ),
             (Fact::new("Q", ["a", "b"]), Monomial::from_bag(["n", "p"])),
         ];
         for (fact, monomial) in checks {
@@ -534,10 +541,8 @@ mod tests {
 
     #[test]
     fn default_build_names_are_usable() {
-        let system = AlgebraicSystem::build_default(
-            &Program::transitive_closure("R", "Q"),
-            &figure7_edb(),
-        );
+        let system =
+            AlgebraicSystem::build_default(&Program::transitive_closure("R", "Q"), &figure7_edb());
         assert_eq!(system.len(), 7);
         assert_eq!(system.edb_variables.len(), 5);
         assert!(system.display().contains(" = "));

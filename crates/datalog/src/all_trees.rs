@@ -1,7 +1,7 @@
 //! Derivation trees and the **All-Trees** algorithm (Figure 8 of the paper).
 //!
 //! All-Trees decides, for every tuple in a datalog answer, whether its
-//! provenance series in ℕ∞[[X]] is actually a *polynomial* (finitely many
+//! provenance series in ℕ∞\[\[X\]\] is actually a *polynomial* (finitely many
 //! derivation trees), and computes that polynomial when it is; tuples with
 //! infinitely many derivation trees are reported as ∞.
 //!
@@ -120,7 +120,7 @@ impl DerivationTree {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum TreeProvenance {
     /// Finitely many derivation trees: the provenance is this polynomial in
-    /// ℕ[X].
+    /// ℕ\[X\].
     Polynomial(ProvenancePolynomial),
     /// Infinitely many derivation trees (`P(t) = ∞` in Figure 8).
     Infinite,
@@ -373,9 +373,7 @@ fn run_tree_engine<K: Semiring>(
             provenance.insert(fact.clone(), TreeProvenance::Infinite);
         } else if let Some(fact_trees) = trees.get(fact) {
             let poly = ProvenancePolynomial::from_terms(
-                fact_trees
-                    .iter()
-                    .map(|t| (t.fringe(), Natural::from(1u64))),
+                fact_trees.iter().map(|t| (t.fringe(), Natural::from(1u64))),
             );
             provenance.insert(fact.clone(), TreeProvenance::Polynomial(poly));
         }
@@ -424,8 +422,7 @@ mod tests {
     #[test]
     fn all_trees_classifies_figure7() {
         let program = Program::transitive_closure("R", "Q");
-        let result =
-            all_trees_with_variables(&program, &figure7_edb(), figure7_variables());
+        let result = all_trees_with_variables(&program, &figure7_edb(), figure7_variables());
         // x = m + np (finite polynomial), y = n, z = p; u, v, w infinite.
         let get = |a: &str, b: &str| result.provenance.get(&Fact::new("Q", [a, b])).unwrap();
         let m = ProvenancePolynomial::var("m");
@@ -471,7 +468,10 @@ mod tests {
             v.assign(var.clone(), Natural::from(1u64));
         }
         assert_eq!(ad.eval(&v), Natural::from(2u64));
-        assert_eq!(result.trees.get(&Fact::new("Q", ["a", "d"])).unwrap().len(), 2);
+        assert_eq!(
+            result.trees.get(&Fact::new("Q", ["a", "d"])).unwrap().len(),
+            2
+        );
     }
 
     #[test]
@@ -534,7 +534,10 @@ mod tests {
         let program = Program::transitive_closure("R", "Q");
         let edb = edge_facts(
             "R",
-            &[("a", "b", PosBool::var("e1")), ("b", "a", PosBool::var("e2"))],
+            &[
+                ("a", "b", PosBool::var("e1")),
+                ("b", "a", PosBool::var("e2")),
+            ],
         );
         let result = minimal_trees(&program, &edb);
         assert!(result.infinite.is_empty());

@@ -153,11 +153,7 @@ impl Rule {
     /// Is the rule *range-restricted* (safe): every head variable occurs in
     /// the body? Required for the grounded semantics to be finite.
     pub fn is_safe(&self) -> bool {
-        let body_vars: BTreeSet<DlVar> = self
-            .body
-            .iter()
-            .flat_map(|a| a.variables())
-            .collect();
+        let body_vars: BTreeSet<DlVar> = self.body.iter().flat_map(|a| a.variables()).collect();
         self.head.variables().is_subset(&body_vars)
     }
 }
@@ -194,7 +190,10 @@ impl Program {
 
     /// The idb predicate names (appearing in rule heads).
     pub fn idb_predicates(&self) -> BTreeSet<String> {
-        self.rules.iter().map(|r| r.head.predicate.clone()).collect()
+        self.rules
+            .iter()
+            .map(|r| r.head.predicate.clone())
+            .collect()
     }
 
     /// The edb predicate names (appearing only in bodies).

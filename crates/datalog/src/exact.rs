@@ -162,9 +162,7 @@ mod tests {
         // Q(a,c) = direct 1 + via b: 2·3 = 7.
         assert_eq!(out.annotation(&Fact::new("Q", ["a", "c"])), NatInf::Fin(7));
         assert_eq!(out.annotation(&Fact::new("Q", ["a", "b"])), NatInf::Fin(2));
-        assert!(out
-            .facts()
-            .all(|(_, k)| !k.is_infinite()));
+        assert!(out.facts().all(|(_, k)| !k.is_infinite()));
     }
 
     #[test]
@@ -193,7 +191,10 @@ mod tests {
         // Two-node cycle a→b→a: every reachability fact has infinitely many
         // derivations under the quadratic TC program.
         let program = Program::transitive_closure("R", "Q");
-        let edb = edge_facts("R", &[("a", "b", NatInf::Fin(1)), ("b", "a", NatInf::Fin(1))]);
+        let edb = edge_facts(
+            "R",
+            &[("a", "b", NatInf::Fin(1)), ("b", "a", NatInf::Fin(1))],
+        );
         let out = evaluate_natinf(&program, &edb);
         for (fact, ann) in out.facts_of("Q") {
             assert_eq!(*ann, NatInf::Inf, "{fact}");

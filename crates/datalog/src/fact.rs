@@ -122,10 +122,7 @@ impl<K: Semiring> FactStore<K> {
     }
 
     /// Iterates over the support facts of one predicate.
-    pub fn facts_of<'a>(
-        &'a self,
-        predicate: &'a str,
-    ) -> impl Iterator<Item = (Fact, &'a K)> + 'a {
+    pub fn facts_of<'a>(&'a self, predicate: &'a str) -> impl Iterator<Item = (Fact, &'a K)> + 'a {
         self.relations
             .get(predicate)
             .into_iter()
@@ -223,13 +220,7 @@ impl<K: Semiring> FactStore<K> {
             let order: Vec<&str> = orders
                 .get(name)
                 .map(|v| v.iter().map(String::as_str).collect())
-                .unwrap_or_else(|| {
-                    rel.schema()
-                        .attributes()
-                        .iter()
-                        .map(|a| a.name())
-                        .collect()
-                });
+                .unwrap_or_else(|| rel.schema().attributes().iter().map(|a| a.name()).collect());
             self.import_relation(name, rel, &order);
         }
     }
@@ -276,10 +267,7 @@ impl<K: Semiring + fmt::Debug> fmt::Debug for FactStore<K> {
 
 /// Builds the edge fact store used by the Figure 6/7 examples from
 /// `(src, dst, annotation)` triples.
-pub fn edge_facts<K: Semiring>(
-    predicate: &str,
-    edges: &[(&str, &str, K)],
-) -> FactStore<K> {
+pub fn edge_facts<K: Semiring>(predicate: &str, edges: &[(&str, &str, K)]) -> FactStore<K> {
     let mut store = FactStore::new();
     for (src, dst, k) in edges {
         store.insert(Fact::new(predicate, [*src, *dst]), k.clone());

@@ -118,7 +118,10 @@ pub fn derivable_facts<K: Semiring>(program: &Program, edb: &FactStore<K>) -> BT
     loop {
         let mut lookup: BTreeMap<&str, Vec<&Fact>> = BTreeMap::new();
         for fact in &known {
-            lookup.entry(fact.predicate.as_str()).or_default().push(fact);
+            lookup
+                .entry(fact.predicate.as_str())
+                .or_default()
+                .push(fact);
         }
         let mut new_facts: Vec<Fact> = Vec::new();
         for rule in &program.rules {
@@ -154,7 +157,10 @@ pub fn instantiate<K: Semiring>(program: &Program, edb: &FactStore<K>) -> Vec<Gr
 pub fn instantiate_over(program: &Program, facts: &BTreeSet<Fact>) -> Vec<GroundRule> {
     let mut lookup: BTreeMap<&str, Vec<&Fact>> = BTreeMap::new();
     for fact in facts {
-        lookup.entry(fact.predicate.as_str()).or_default().push(fact);
+        lookup
+            .entry(fact.predicate.as_str())
+            .or_default()
+            .push(fact);
     }
     let mut ground = Vec::new();
     for (rule_index, rule) in program.rules.iter().enumerate() {
@@ -170,11 +176,8 @@ pub fn instantiate_over(program: &Program, facts: &BTreeSet<Fact>) -> Vec<Ground
         }
         match_body(&rule.body, &lookup, Binding::new(), &mut |binding| {
             if let Some(head) = ground_atom(&rule.head, &binding) {
-                let body: Option<Vec<Fact>> = rule
-                    .body
-                    .iter()
-                    .map(|a| ground_atom(a, &binding))
-                    .collect();
+                let body: Option<Vec<Fact>> =
+                    rule.body.iter().map(|a| ground_atom(a, &binding)).collect();
                 if let Some(body) = body {
                     ground.push(GroundRule {
                         rule_index,
@@ -240,8 +243,7 @@ impl DependencyGraph {
         loop {
             let mut added = false;
             for (from, tos) in &self.edges {
-                if !on_or_reaching.contains(from)
-                    && tos.iter().any(|t| on_or_reaching.contains(t))
+                if !on_or_reaching.contains(from) && tos.iter().any(|t| on_or_reaching.contains(t))
                 {
                     on_or_reaching.insert(from.clone());
                     added = true;
@@ -298,10 +300,7 @@ impl DependencyGraph {
         let mut order = Vec::new();
         let mut done: BTreeSet<Fact> = BTreeSet::new();
         // Kahn-style: repeatedly emit facts whose idb dependencies are done.
-        let mut remaining: Vec<&Fact> = facts
-            .iter()
-            .filter(|f| !blocked.contains(*f))
-            .collect();
+        let mut remaining: Vec<&Fact> = facts.iter().filter(|f| !blocked.contains(*f)).collect();
         while !remaining.is_empty() {
             let mut progressed = false;
             remaining.retain(|fact| {
@@ -409,10 +408,7 @@ mod tests {
             }
         }
         // The base rule instantiates once per edge: 5 unit ground rules over R.
-        let base = ground
-            .iter()
-            .filter(|g| g.rule_index == 0)
-            .count();
+        let base = ground.iter().filter(|g| g.rule_index == 0).count();
         assert_eq!(base, 5);
     }
 
@@ -476,10 +472,7 @@ mod tests {
 
     #[test]
     fn program_facts_seed_derivation() {
-        let program = crate::parser::parse_program(
-            "R('x', 'y').\nQ(a, b) :- R(a, b).",
-        )
-        .unwrap();
+        let program = crate::parser::parse_program("R('x', 'y').\nQ(a, b) :- R(a, b).").unwrap();
         let empty: FactStore<Natural> = FactStore::new();
         let facts = derivable_facts(&program, &empty);
         assert!(facts.contains(&Fact::new("Q", ["x", "y"])));

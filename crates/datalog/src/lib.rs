@@ -8,9 +8,9 @@
 //! * the fixpoint semantics over ω-continuous semirings ([`naive`],
 //!   Definition 5.5 / Theorem 5.6) and exact evaluation for ℕ∞ and
 //!   distributive lattices ([`exact`], Section 8);
-//! * derivation trees and the **All-Trees** algorithm ([`all_trees`],
+//! * derivation trees and the **All-Trees** algorithm ([`all_trees`](mod@crate::all_trees),
 //!   Figure 8), the **Monomial-Coefficient** algorithm
-//!   ([`monomial_coefficient`], Figure 9);
+//!   ([`monomial_coefficient`](mod@crate::monomial_coefficient), Figure 9);
 //! * algebraic systems and formal-power-series provenance
 //!   ([`algebraic_system`], Definitions 5.5 and 6.1);
 //! * provenance classification per Theorem 6.5 and the datalog factorization

@@ -1,6 +1,6 @@
 //! The **Monomial-Coefficient** algorithm (Figure 9 of the paper): computing
 //! the coefficient of a given monomial µ in the provenance power series
-//! `q(I)(t) ∈ ℕ∞[[X]]`, even when that coefficient is ∞.
+//! `q(I)(t) ∈ ℕ∞\[\[X\]\]`, even when that coefficient is ∞.
 //!
 //! The coefficient of µ in `q(I)(t)` is the number of derivation trees of `t`
 //! whose fringe is exactly µ. We compute it by a least-fixpoint iteration of
@@ -147,8 +147,7 @@ fn count_rule_ways(
                         let rest_monomial = nu
                             .quotient(remaining)
                             .expect("divisor must divide the remaining monomial");
-                        let rest_ways =
-                            go(rest, &rest_monomial, edb_variables, counts, is_idb);
+                        let rest_ways = go(rest, &rest_monomial, edb_variables, counts, is_idb);
                         total = total.plus(&sub.times(&rest_ways));
                     }
                     total
@@ -298,8 +297,9 @@ mod tests {
             s.insert(Fact::new("E", ["a"]), NatInf::Fin(1));
             s
         };
-        let vars: BTreeMap<Fact, Variable> =
-            [(Fact::new("E", ["a"]), Variable::new("e"))].into_iter().collect();
+        let vars: BTreeMap<Fact, Variable> = [(Fact::new("E", ["a"]), Variable::new("e"))]
+            .into_iter()
+            .collect();
         let c = monomial_coefficient(
             &program,
             &edb,

@@ -116,7 +116,9 @@ pub fn evaluate_fixpoint<K: OmegaContinuous>(
         .iter()
         .filter(|f| program.idb_predicates().contains(&f.predicate))
         .count();
-    let bound = K::convergence_bound(num_idb).unwrap_or(fallback_bound).max(2);
+    let bound = K::convergence_bound(num_idb)
+        .unwrap_or(fallback_bound)
+        .max(2);
     let result = kleene_iterate_grounded(program, &ground, edb, bound);
     if result.converged {
         Some(result.idb)
@@ -130,7 +132,7 @@ pub fn evaluate_fixpoint<K: OmegaContinuous>(
 ///
 /// For idempotent `+` (sets, lattices, tropical) this computes the same
 /// fixpoint as [`kleene_iterate`] while doing much less work per round; for
-/// non-idempotent semirings (ℕ, ℕ[X]) re-derivations change the result, so
+/// non-idempotent semirings (ℕ, ℕ\[X\]) re-derivations change the result, so
 /// this function is deliberately restricted by the
 /// [`provsem_semiring::PlusIdempotent`] bound.
 pub fn seminaive_evaluate<K>(
@@ -258,7 +260,10 @@ mod tests {
     fn figure6_conjunctive_query_bag_semantics() {
         // Figure 6(c): Q(a,a)↦4, Q(a,b)↦18, Q(b,b)↦16.
         let program = Program::figure6_query();
-        let edb = edge_facts("R", &[("a", "a", nat(2)), ("a", "b", nat(3)), ("b", "b", nat(4))]);
+        let edb = edge_facts(
+            "R",
+            &[("a", "a", nat(2)), ("a", "b", nat(3)), ("b", "b", nat(4))],
+        );
         let result = kleene_iterate(&program, &edb, 10);
         assert!(result.converged);
         assert_eq!(result.idb.annotation(&Fact::new("Q", ["a", "a"])), nat(4));
@@ -331,8 +336,14 @@ mod tests {
             ],
         );
         let out = evaluate_fixpoint(&program, &edb, 64).expect("𝔹 evaluation converges");
-        assert_eq!(out.annotation(&Fact::new("Q", ["a", "d"])), Bool::from(true));
-        assert_eq!(out.annotation(&Fact::new("Q", ["d", "a"])), Bool::from(false));
+        assert_eq!(
+            out.annotation(&Fact::new("Q", ["a", "d"])),
+            Bool::from(true)
+        );
+        assert_eq!(
+            out.annotation(&Fact::new("Q", ["d", "a"])),
+            Bool::from(false)
+        );
         assert_eq!(out.facts_of("Q").count(), 6);
     }
 
@@ -350,8 +361,14 @@ mod tests {
         );
         let out = evaluate_fixpoint(&program, &edb, 64).expect("tropical evaluation converges");
         // Shortest a→c path costs 3 (< the direct edge 5).
-        assert_eq!(out.annotation(&Fact::new("Q", ["a", "c"])), Tropical::cost(3));
-        assert_eq!(out.annotation(&Fact::new("Q", ["a", "b"])), Tropical::cost(1));
+        assert_eq!(
+            out.annotation(&Fact::new("Q", ["a", "c"])),
+            Tropical::cost(3)
+        );
+        assert_eq!(
+            out.annotation(&Fact::new("Q", ["a", "b"])),
+            Tropical::cost(1)
+        );
     }
 
     #[test]

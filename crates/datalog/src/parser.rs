@@ -262,10 +262,7 @@ mod tests {
         let p = parse_program("R('a', 'b').\nPath(x, 'b') :- R(x, 'b').").unwrap();
         assert_eq!(p.rules.len(), 2);
         assert!(p.rules[0].is_fact());
-        assert_eq!(
-            p.rules[1].head.terms[1],
-            Term::Const(Value::str("b"))
-        );
+        assert_eq!(p.rules[1].head.terms[1], Term::Const(Value::str("b")));
         assert_eq!(p.rules[1].head.terms[0], Term::Var(DlVar::new("x")));
     }
 

@@ -1,13 +1,13 @@
 //! Datalog provenance: classification of provenance series (Theorem 6.5) and
 //! the factorization theorem for datalog (Theorem 6.4).
 //!
-//! The provenance of a datalog answer tuple lives in ℕ∞[[X]] (Definition
+//! The provenance of a datalog answer tuple lives in ℕ∞\[\[X\]\] (Definition
 //! 6.1). For a given instance it falls into one of four classes, which the
 //! paper shows are all decidable:
 //!
 //! | class      | meaning                                              |
 //! |------------|------------------------------------------------------|
-//! | `NPoly`    | finitely many derivation trees — a polynomial in ℕ[X] |
+//! | `NPoly`    | finitely many derivation trees — a polynomial in ℕ\[X\] |
 //! | `NSeries`  | infinitely many monomials, all coefficients finite    |
 //! | `NInfPoly` | finitely many monomials, some coefficient ∞           |
 //! | `NInfSeries` | infinitely many monomials and some coefficient ∞    |
@@ -17,19 +17,17 @@ use crate::ast::Program;
 use crate::exact::facts_with_infinitely_many_derivations;
 use crate::fact::{Fact, FactStore};
 use crate::grounding::{derivable_facts, instantiate_over, DependencyGraph};
-use provsem_semiring::{
-    OmegaContinuous, ProvenancePolynomial, Semiring, Valuation, Variable,
-};
+use provsem_semiring::{OmegaContinuous, ProvenancePolynomial, Semiring, Valuation, Variable};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Which fragment of ℕ∞[[X]] a tuple's provenance series lies in.
+/// Which fragment of ℕ∞\[\[X\]\] a tuple's provenance series lies in.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SeriesClass {
-    /// A polynomial with finite coefficients: ℕ[X].
+    /// A polynomial with finite coefficients: ℕ\[X\].
     NPoly,
-    /// A genuine power series with finite coefficients: ℕ[[X]] \ ℕ[X].
+    /// A genuine power series with finite coefficients: ℕ\[\[X\]\] \ ℕ\[X\].
     NSeries,
-    /// Finitely many monomials but some coefficient is ∞: ℕ∞[X] \ ℕ[X].
+    /// Finitely many monomials but some coefficient is ∞: ℕ∞\[X\] \ ℕ\[X\].
     NInfPoly,
     /// Infinitely many monomials and some coefficient ∞: the general case.
     NInfSeries,
@@ -254,10 +252,9 @@ mod tests {
         // P(x) :- E(x). P(x) :- P(x). P(x) :- P(x), P(x).
         // Unit cycle ⇒ ∞ coefficients; non-unit cycle ⇒ infinitely many
         // monomials.
-        let program = crate::parser::parse_program(
-            "P(x) :- E(x).\nP(x) :- P(x).\nP(x) :- P(x), P(x).",
-        )
-        .unwrap();
+        let program =
+            crate::parser::parse_program("P(x) :- E(x).\nP(x) :- P(x).\nP(x) :- P(x), P(x).")
+                .unwrap();
         let mut edb: FactStore<Natural> = FactStore::new();
         edb.insert(Fact::new("E", ["a"]), Natural::from(1u64));
         let classes = classify_series(&program, &edb);
@@ -321,7 +318,10 @@ mod tests {
     #[test]
     fn polynomial_accessor_and_variable_lookup() {
         let program = Program::figure6_query();
-        let edb = edge_facts("R", &[("a", "b", NatInf::Fin(1)), ("b", "c", NatInf::Fin(1))]);
+        let edb = edge_facts(
+            "R",
+            &[("a", "b", NatInf::Fin(1)), ("b", "c", NatInf::Fin(1))],
+        );
         let prov = datalog_provenance(&program, &edb);
         let q_ac = Fact::new("Q", ["a", "c"]);
         let poly = prov.polynomial(&q_ac).expect("finite provenance");

@@ -78,7 +78,10 @@ impl CTable {
     pub fn possible_worlds(&self) -> PossibleWorlds {
         let vars: Vec<&Variable> = self.variables.iter().collect();
         let n = vars.len();
-        assert!(n < 25, "possible-world enumeration limited to < 2^25 worlds");
+        assert!(
+            n < 25,
+            "possible-world enumeration limited to < 2^25 worlds"
+        );
         let mut worlds = Vec::new();
         for mask in 0u64..(1 << n) {
             let true_vars: BTreeSet<Variable> = vars
@@ -97,7 +100,11 @@ impl CTable {
     /// producing the answer c-table. This is exactly Definition 3.2 at
     /// `K = PosBool(B)` — the computation of Figure 2(a), with the canonical
     /// form performing the simplification to Figure 2(b).
-    pub fn answer_query(&self, name: &str, query: &RaExpr) -> Result<CTable, provsem_core::EvalError> {
+    pub fn answer_query(
+        &self,
+        name: &str,
+        query: &RaExpr,
+    ) -> Result<CTable, provsem_core::EvalError> {
         let db = Database::new().with(name, self.relation.clone());
         Ok(CTable::new(query.eval(&db)?))
     }
@@ -185,15 +192,9 @@ mod tests {
         // (b1 ∧ b1) ∨ (b1 ∧ b1) = b1
         assert_eq!(b1.times(&b1).plus(&b1.times(&b1)), b1);
         // (b2 ∧ b2) ∨ (b2 ∧ b2) ∨ (b2 ∧ b3) = b2
-        assert_eq!(
-            b2.times(&b2).plus(&b2.times(&b2)).plus(&b2.times(&b3)),
-            b2
-        );
+        assert_eq!(b2.times(&b2).plus(&b2.times(&b2)).plus(&b2.times(&b3)), b2);
         // (b3 ∧ b3) ∨ (b3 ∧ b3) ∨ (b2 ∧ b3) = b3
-        assert_eq!(
-            b3.times(&b3).plus(&b3.times(&b3)).plus(&b2.times(&b3)),
-            b3
-        );
+        assert_eq!(b3.times(&b3).plus(&b3.times(&b3)).plus(&b2.times(&b3)), b3);
     }
 
     #[test]
@@ -251,7 +252,10 @@ mod tests {
         let mut val = Valuation::new();
         val.assign(Variable::new("v1"), PosBool::tt());
         let specialized = ctable.substitute(&val);
-        assert_eq!(specialized.condition(&Tuple::new([("x", "t1")])), PosBool::tt());
+        assert_eq!(
+            specialized.condition(&Tuple::new([("x", "t1")])),
+            PosBool::tt()
+        );
         assert_eq!(
             specialized.condition(&Tuple::new([("x", "t2")])),
             PosBool::var("v2")

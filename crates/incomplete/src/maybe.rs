@@ -71,7 +71,10 @@ impl MaybeTable {
     pub fn possible_worlds(&self) -> Vec<BTreeSet<Tuple>> {
         let optional: Vec<&Tuple> = self.optional.iter().collect();
         let n = optional.len();
-        assert!(n < 30, "possible-world enumeration limited to < 2^30 worlds");
+        assert!(
+            n < 30,
+            "possible-world enumeration limited to < 2^30 worlds"
+        );
         let mut worlds = Vec::with_capacity(1 << n);
         for mask in 0u64..(1 << n) {
             let mut world: BTreeSet<Tuple> = self.certain.clone();

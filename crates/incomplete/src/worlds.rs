@@ -78,7 +78,8 @@ impl PossibleWorlds {
     ) -> Result<PossibleWorlds, provsem_core::EvalError> {
         let mut result = BTreeSet::new();
         for world in &self.worlds {
-            let rel: KRelation<Bool> = KRelation::from_support(schema.clone(), world.iter().cloned());
+            let rel: KRelation<Bool> =
+                KRelation::from_support(schema.clone(), world.iter().cloned());
             let db = Database::new().with(relation_name, rel);
             let out = query.eval(&db)?;
             result.insert(out.support().cloned().collect::<BTreeSet<Tuple>>());
@@ -146,8 +147,9 @@ mod tests {
         assert_eq!(answer.len(), 8);
         // The correlated world {(a,c),(a,e),(d,c),(d,e)} of Figure 1(c).
         let t = |a: &str, c: &str| Tuple::new([("a", a), ("c", c)]);
-        let correlated: BTreeSet<Tuple> =
-            [t("a", "c"), t("a", "e"), t("d", "c"), t("d", "e")].into_iter().collect();
+        let correlated: BTreeSet<Tuple> = [t("a", "c"), t("a", "e"), t("d", "c"), t("d", "e")]
+            .into_iter()
+            .collect();
         assert!(answer.contains(&correlated));
         // But the "broken" world with (a,e) alone is NOT possible.
         let broken: BTreeSet<Tuple> = [t("a", "e")].into_iter().collect();

@@ -30,7 +30,10 @@ impl ProbabilisticAnswer {
 
     /// The event of a fact, if derivable.
     pub fn event(&self, fact: &Fact) -> Option<&Event> {
-        self.facts.iter().find(|(f, _, _)| f == fact).map(|(_, e, _)| e)
+        self.facts
+            .iter()
+            .find(|(f, _, _)| f == fact)
+            .map(|(_, e, _)| e)
     }
 }
 
@@ -81,8 +84,7 @@ mod tests {
         db.insert("R", edge("a", "b"), 0.5);
         db.insert("R", edge("b", "c"), 0.5);
         let program = Program::transitive_closure("R", "Q");
-        let answer =
-            evaluate_probabilistic_datalog(&program, &db, &|_| vec!["src", "dst"]);
+        let answer = evaluate_probabilistic_datalog(&program, &db, &|_| vec!["src", "dst"]);
         assert!(close(answer.probability(&Fact::new("Q", ["a", "c"])), 0.25));
         assert!(close(answer.probability(&Fact::new("Q", ["a", "b"])), 0.5));
         assert_eq!(answer.probability(&Fact::new("Q", ["c", "a"])), 0.0);
@@ -99,9 +101,11 @@ mod tests {
         db.insert("R", edge("a", "c"), 0.5);
         db.insert("R", edge("c", "d"), 0.5);
         let program = Program::transitive_closure("R", "Q");
-        let answer =
-            evaluate_probabilistic_datalog(&program, &db, &|_| vec!["src", "dst"]);
-        assert!(close(answer.probability(&Fact::new("Q", ["a", "d"])), 0.4375));
+        let answer = evaluate_probabilistic_datalog(&program, &db, &|_| vec!["src", "dst"]);
+        assert!(close(
+            answer.probability(&Fact::new("Q", ["a", "d"])),
+            0.4375
+        ));
     }
 
     #[test]
@@ -112,8 +116,7 @@ mod tests {
         db.insert("R", edge("a", "b"), 0.5);
         db.insert("R", edge("b", "a"), 0.5);
         let program = Program::transitive_closure("R", "Q");
-        let answer =
-            evaluate_probabilistic_datalog(&program, &db, &|_| vec!["src", "dst"]);
+        let answer = evaluate_probabilistic_datalog(&program, &db, &|_| vec!["src", "dst"]);
         assert!(close(answer.probability(&Fact::new("Q", ["a", "a"])), 0.25));
         assert!(close(answer.probability(&Fact::new("Q", ["a", "b"])), 0.5));
         assert!(answer.event(&Fact::new("Q", ["a", "a"])).is_some());
@@ -125,8 +128,7 @@ mod tests {
         db.insert("R", edge("a", "b"), 1.0);
         db.insert("R", edge("b", "c"), 1.0);
         let program = Program::transitive_closure("R", "Q");
-        let answer =
-            evaluate_probabilistic_datalog(&program, &db, &|_| vec!["src", "dst"]);
+        let answer = evaluate_probabilistic_datalog(&program, &db, &|_| vec!["src", "dst"]);
         assert!(close(answer.probability(&Fact::new("Q", ["a", "c"])), 1.0));
     }
 }

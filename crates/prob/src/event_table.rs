@@ -68,7 +68,9 @@ impl TupleIndependentDb {
 
     /// All world probabilities, indexed by world id.
     pub fn world_probabilities(&self) -> Vec<f64> {
-        (0..self.num_worlds()).map(|w| self.world_probability(w)).collect()
+        (0..self.num_worlds())
+            .map(|w| self.world_probability(w))
+            .collect()
     }
 
     /// The event-annotated database: tuple `i` is annotated with the event
@@ -254,12 +256,10 @@ mod tests {
 
     #[test]
     fn posbool_probability_basic_cases() {
-        let marginals: BTreeMap<Variable, f64> = [
-            (Variable::new("x"), 0.5),
-            (Variable::new("y"), 0.5),
-        ]
-        .into_iter()
-        .collect();
+        let marginals: BTreeMap<Variable, f64> =
+            [(Variable::new("x"), 0.5), (Variable::new("y"), 0.5)]
+                .into_iter()
+                .collect();
         let x = PosBool::var("x");
         let y = PosBool::var("y");
         assert!(close(posbool_probability(&PosBool::tt(), &marginals), 1.0));

@@ -85,9 +85,7 @@ impl Event {
 
     fn union(&self, other: &Event) -> Event {
         match (self, other) {
-            (Event::Include(a), Event::Include(b)) => {
-                Event::Include(a.union(b).copied().collect())
-            }
+            (Event::Include(a), Event::Include(b)) => Event::Include(a.union(b).copied().collect()),
             (Event::Exclude(a), Event::Exclude(b)) => {
                 Event::Exclude(a.intersection(b).copied().collect())
             }
@@ -103,9 +101,7 @@ impl Event {
             (Event::Include(a), Event::Include(b)) => {
                 Event::Include(a.intersection(b).copied().collect())
             }
-            (Event::Exclude(a), Event::Exclude(b)) => {
-                Event::Exclude(a.union(b).copied().collect())
-            }
+            (Event::Exclude(a), Event::Exclude(b)) => Event::Exclude(a.union(b).copied().collect()),
             (Event::Include(a), Event::Exclude(b)) | (Event::Exclude(b), Event::Include(a)) => {
                 // a ∩ (Ω \ b) = a \ b
                 Event::Include(a.difference(b).copied().collect())

@@ -167,7 +167,10 @@ mod tests {
     }
 
     fn viterbi_samples() -> Vec<Viterbi> {
-        vec![0.0, 0.125, 0.25, 0.5, 1.0].into_iter().map(Viterbi::new).collect()
+        vec![0.0, 0.125, 0.25, 0.5, 1.0]
+            .into_iter()
+            .map(Viterbi::new)
+            .collect()
     }
 
     #[test]

@@ -2,14 +2,14 @@
 //!
 //! Proposition 3.5 of the paper makes homomorphisms the key tool: applying a
 //! homomorphism tuple-wise to a K-relation commutes with every RA⁺ query.
-//! Together with the universality of ℕ[X] (Proposition 4.2) this yields the
+//! Together with the universality of ℕ\[X\] (Proposition 4.2) this yields the
 //! factorization theorem — one provenance computation specializes to every
 //! other annotation semantics. This module collects the concrete
 //! homomorphisms used throughout the workspace, in particular the
 //! *specialization hierarchy* of provenance semirings:
 //!
 //! ```text
-//!     ℕ[X] ──→ 𝔹[X] ──→ Why(X) = P(P(X)) ──→ PosBool(X) ──→ (P(X),∪,∪)
+//!     ℕ\[X\] ──→ 𝔹\[X\] ──→ Why(X) = P(P(X)) ──→ PosBool(X) ──→ (P(X),∪,∪)
 //!       │
 //!       └──→ ℕ  ──→ 𝔹        (drop provenance, keep multiplicity / existence)
 //! ```
@@ -21,7 +21,7 @@ use crate::polynomial::{BoolPolynomial, Polynomial, ProvenancePolynomial};
 use crate::posbool::PosBool;
 use crate::traits::{Semiring, SemiringHomomorphism};
 use crate::tropical::Tropical;
-use crate::why::{Witness, WhySet};
+use crate::why::{WhySet, Witness};
 
 /// The support homomorphism `ℕ → 𝔹`, `n ↦ (n ≠ 0)`; drops multiplicities and
 /// keeps existence (Proposition 5.4's sanity check uses its relational
@@ -80,7 +80,7 @@ impl<K: Semiring> SemiringHomomorphism<Bool, K> for BoolToSemiring<K> {
     }
 }
 
-/// Forgetting coefficients: `ℕ[X] → 𝔹[X]` (how many times a monomial is
+/// Forgetting coefficients: `ℕ\[X\] → 𝔹\[X\]` (how many times a monomial is
 /// derived no longer matters, only whether it is).
 pub struct DropCoefficients;
 
@@ -90,7 +90,7 @@ impl SemiringHomomorphism<ProvenancePolynomial, BoolPolynomial> for DropCoeffici
     }
 }
 
-/// Forgetting coefficients *and* exponents: `ℕ[X] → PosBool(X)`. This is the
+/// Forgetting coefficients *and* exponents: `ℕ\[X\] → PosBool(X)`. This is the
 /// map under which provenance-polynomial evaluation becomes the
 /// Imielinski–Lipski c-table computation.
 pub struct ToPosBool;
@@ -101,7 +101,7 @@ impl SemiringHomomorphism<ProvenancePolynomial, PosBool> for ToPosBool {
     }
 }
 
-/// Collapsing each monomial to its witness set: `ℕ[X] → Why(X)`.
+/// Collapsing each monomial to its witness set: `ℕ\[X\] → Why(X)`.
 pub struct ToWitnesses;
 
 impl SemiringHomomorphism<ProvenancePolynomial, Witness> for ToWitnesses {
@@ -111,7 +111,7 @@ impl SemiringHomomorphism<ProvenancePolynomial, Witness> for ToWitnesses {
 }
 
 /// Collapsing everything to the set of contributing tuples:
-/// `ℕ[X] → (P(X), ∪, ∪)` — the paper's why-provenance (Figure 5(b)).
+/// `ℕ\[X\] → (P(X), ∪, ∪)` — the paper's why-provenance (Figure 5(b)).
 pub struct ToWhySet;
 
 impl SemiringHomomorphism<ProvenancePolynomial, WhySet> for ToWhySet {
@@ -122,7 +122,7 @@ impl SemiringHomomorphism<ProvenancePolynomial, WhySet> for ToWhySet {
 
 /// "Cost reading" of a provenance polynomial: evaluating every variable at
 /// cost 1 in the tropical semiring yields the size of the smallest derivation
-/// (number of leaves of the cheapest monomial). Not a homomorphism from ℕ[X]
+/// (number of leaves of the cheapest monomial). Not a homomorphism from ℕ\[X\]
 /// with a fixed valuation? It is: it is `Eval_v` for `v(x) = cost(1)`,
 /// hence a homomorphism by Proposition 4.2.
 pub struct ToMinimalDerivationSize;

@@ -3,7 +3,7 @@
 //! The algebraic substrate of the *Provenance Semirings* reproduction
 //! (Green, Karvounarakis, Tannen; PODS 2007): commutative semirings,
 //! ω-continuous semirings, distributive lattices, semiring homomorphisms,
-//! provenance polynomials ℕ[X] and formal power series ℕ∞[[X]].
+//! provenance polynomials ℕ\[X\] and formal power series ℕ∞\[\[X\]\].
 //!
 //! The sibling crates build on this one:
 //!
@@ -70,12 +70,12 @@ pub mod prelude {
     pub use crate::power_series::{solve_univariate, TruncatedSeries};
     pub use crate::security::Clearance;
     pub use crate::traits::{
-        CommutativeSemiring, DistributiveLattice, FiniteSemiring, FnHomomorphism,
-        NaturallyOrdered, OmegaContinuous, PlusIdempotent, Semiring, SemiringHomomorphism,
+        CommutativeSemiring, DistributiveLattice, FiniteSemiring, FnHomomorphism, NaturallyOrdered,
+        OmegaContinuous, PlusIdempotent, Semiring, SemiringHomomorphism,
     };
     pub use crate::tropical::Tropical;
     pub use crate::variable::{Valuation, Variable};
-    pub use crate::why::{Witness, WhySet};
+    pub use crate::why::{WhySet, Witness};
 }
 
 pub use prelude::*;

@@ -104,9 +104,7 @@ impl Monomial {
     /// Monomial-Coefficient algorithm (Figure 9) to prune derivation trees
     /// whose fringe exceeds the target monomial.
     pub fn divides(&self, other: &Monomial) -> bool {
-        self.exponents
-            .iter()
-            .all(|(v, e)| other.exponent(v) >= *e)
+        self.exponents.iter().all(|(v, e)| other.exponent(v) >= *e)
     }
 
     /// The quotient `other / self` when `self` divides `other`.

@@ -165,8 +165,14 @@ mod tests {
 
     #[test]
     fn monus_truncates_at_zero() {
-        assert_eq!(Natural::from(5u64).monus(Natural::from(3u64)), Natural::from(2u64));
-        assert_eq!(Natural::from(3u64).monus(Natural::from(5u64)), Natural::zero());
+        assert_eq!(
+            Natural::from(5u64).monus(Natural::from(3u64)),
+            Natural::from(2u64)
+        );
+        assert_eq!(
+            Natural::from(3u64).monus(Natural::from(5u64)),
+            Natural::zero()
+        );
     }
 
     #[test]

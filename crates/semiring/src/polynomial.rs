@@ -1,11 +1,11 @@
 //! Polynomial semirings `K[X]`, in particular the **provenance polynomials**
-//! `ℕ[X]` of Section 4 of the paper.
+//! `ℕ\[X\]` of Section 4 of the paper.
 //!
-//! `ℕ[X]` is the free commutative semiring on the variable set X: by
+//! `ℕ\[X\]` is the free commutative semiring on the variable set X: by
 //! Proposition 4.2, every valuation `v : X → K` into a commutative semiring
-//! extends to a unique homomorphism `Eval_v : ℕ[X] → K`. Theorem 4.3 (the
+//! extends to a unique homomorphism `Eval_v : ℕ\[X\] → K`. Theorem 4.3 (the
 //! factorization theorem) then says that RA⁺ evaluation over any K factors
-//! through evaluation over ℕ[X] — computing with provenance polynomials is
+//! through evaluation over ℕ\[X\] — computing with provenance polynomials is
 //! computing "in the most general way possible".
 
 use crate::monomial::Monomial;
@@ -23,14 +23,14 @@ pub struct Polynomial<K> {
     terms: BTreeMap<Monomial, K>,
 }
 
-/// The provenance polynomial semiring ℕ[X] (Definition 4.1).
+/// The provenance polynomial semiring ℕ\[X\] (Definition 4.1).
 pub type ProvenancePolynomial = Polynomial<Natural>;
 
 /// Polynomials with ℕ∞ coefficients, the finite-support fragment of the
-/// datalog provenance semiring ℕ∞[[X]] (Section 6).
+/// datalog provenance semiring ℕ∞\[\[X\]\] (Section 6).
 pub type NatInfPolynomial = Polynomial<NatInf>;
 
-/// The boolean provenance polynomials 𝔹[X]: polynomials with boolean
+/// The boolean provenance polynomials 𝔹\[X\]: polynomials with boolean
 /// coefficients, i.e. finite sets of monomials. An intermediate point of the
 /// provenance-semiring hierarchy (drops multiplicities of derivations but
 /// keeps exponents).
@@ -197,14 +197,14 @@ impl<K: Semiring> Polynomial<K> {
 
 impl ProvenancePolynomial {
     /// Evaluates a provenance polynomial in an arbitrary commutative semiring
-    /// via a valuation — `Eval_v : ℕ[X] → K` (Proposition 4.2). Integer
+    /// via a valuation — `Eval_v : ℕ\[X\] → K` (Proposition 4.2). Integer
     /// coefficients are interpreted as repeated addition in K.
     pub fn eval<K: CommutativeSemiring>(&self, valuation: &Valuation<K>) -> K {
         self.evaluate_with(valuation, |n| K::one().repeat(n.value()))
     }
 
     /// The why-provenance of this polynomial: the union of the supports of
-    /// its monomials — the canonical surjection ℕ[X] → (P(X), ∪, ∪) that
+    /// its monomials — the canonical surjection ℕ\[X\] → (P(X), ∪, ∪) that
     /// recovers Figure 5(b) from Figure 5(c) in the paper.
     pub fn why_provenance(&self) -> crate::why::WhySet {
         crate::why::WhySet::from_vars(
@@ -227,7 +227,7 @@ impl ProvenancePolynomial {
 
     /// The positive-boolean reading of the polynomial: coefficients are
     /// forgotten and exponents flattened, giving the canonical surjection
-    /// ℕ[X] → PosBool(X).
+    /// ℕ\[X\] → PosBool(X).
     pub fn to_posbool(&self) -> crate::posbool::PosBool {
         crate::posbool::PosBool::from_dnf(
             self.terms
@@ -323,7 +323,7 @@ where
     }
 }
 
-/// The evaluation homomorphism `Eval_v : ℕ[X] → K` of Proposition 4.2,
+/// The evaluation homomorphism `Eval_v : ℕ\[X\] → K` of Proposition 4.2,
 /// packaged as a [`SemiringHomomorphism`] object.
 pub struct EvalHom<K: CommutativeSemiring> {
     valuation: Valuation<K>,
@@ -429,10 +429,7 @@ mod tests {
             (Monomial::from_powers([("r", 2u32)]), nat(2)),
             (Monomial::from_bag(["r", "s"]), nat(1)),
         ]);
-        let v = Valuation::from_pairs([
-            ("r", PosBool::var("b2")),
-            ("s", PosBool::var("b3")),
-        ]);
+        let v = Valuation::from_pairs([("r", PosBool::var("b2")), ("s", PosBool::var("b3"))]);
         assert_eq!(de.eval(&v), PosBool::var("b2"));
     }
 

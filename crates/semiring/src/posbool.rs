@@ -101,7 +101,10 @@ impl PosBool {
 
     /// All variables mentioned by the canonical form.
     pub fn variables(&self) -> BTreeSet<Variable> {
-        self.clauses.iter().flat_map(|c| c.iter().cloned()).collect()
+        self.clauses
+            .iter()
+            .flat_map(|c| c.iter().cloned())
+            .collect()
     }
 
     /// Is this the constant `true`?
@@ -141,7 +144,10 @@ impl PosBool {
         for clause in &self.clauses {
             let mut term = PosBool::tt();
             for v in clause {
-                let replacement = valuation.get(v).cloned().unwrap_or_else(|| PosBool::var(v.clone()));
+                let replacement = valuation
+                    .get(v)
+                    .cloned()
+                    .unwrap_or_else(|| PosBool::var(v.clone()));
                 term = term.times(&replacement);
             }
             result = result.plus(&term);
@@ -272,7 +278,11 @@ impl OmegaContinuous for PosBool {
         // 2^n + 1 clauses additions; we expose n+2 iterations as the usual
         // practical bound is tiny. Callers needing exactness iterate to
         // convergence regardless; this is only a hint.
-        Some(num_variables.saturating_mul(num_variables).saturating_add(2))
+        Some(
+            num_variables
+                .saturating_mul(num_variables)
+                .saturating_add(2),
+        )
     }
 }
 
@@ -289,10 +299,7 @@ where
     for clause in expr.clauses() {
         let mut term = K::one();
         for v in clause {
-            let value = valuation
-                .get(v)
-                .cloned()
-                .unwrap_or_else(K::zero);
+            let value = valuation.get(v).cloned().unwrap_or_else(K::zero);
             term = term.times(&value);
         }
         acc = acc.plus(&term);
@@ -370,18 +377,13 @@ mod tests {
         // (distributivity) hold as equalities of canonical forms.
         let (x, y, z) = (b("x"), b("y"), b("z"));
         assert_eq!(x.plus(&x.times(&y)), x);
-        assert_eq!(
-            x.plus(&y).times(&x.plus(&z)),
-            x.plus(&y.times(&z))
-        );
+        assert_eq!(x.plus(&y).times(&x.plus(&z)), x.plus(&y.times(&z)));
     }
 
     #[test]
     fn evaluate_agrees_with_truth_tables() {
         let e = b("x").times(&b("y")).plus(&b("z"));
-        let mk = |x: bool, y: bool, z: bool| {
-            Valuation::from_pairs([("x", x), ("y", y), ("z", z)])
-        };
+        let mk = |x: bool, y: bool, z: bool| Valuation::from_pairs([("x", x), ("y", y), ("z", z)]);
         assert!(e.evaluate(&mk(true, true, false)));
         assert!(e.evaluate(&mk(false, false, true)));
         assert!(!e.evaluate(&mk(true, false, false)));

@@ -1,4 +1,4 @@
-//! Formal power series ℕ∞[[X]] — the datalog provenance semiring
+//! Formal power series ℕ∞\[\[X\]\] — the datalog provenance semiring
 //! (Definition 6.1 of the paper).
 //!
 //! A formal power series assigns a coefficient in ℕ∞ to *every* monomial in
@@ -70,7 +70,7 @@ impl TruncatedSeries {
         s
     }
 
-    /// Converts an ℕ[X] provenance polynomial into a truncated series (the
+    /// Converts an ℕ\[X\] provenance polynomial into a truncated series (the
     /// embedding of algebra provenance into datalog provenance described in
     /// Section 6).
     pub fn from_provenance_polynomial(p: &Polynomial<Natural>, max_degree: u32) -> Self {
@@ -312,7 +312,8 @@ mod tests {
         let cube = s.times(&s).times(&s);
         assert!(cube.is_zero());
         assert_eq!(
-            s.times(&s).coefficient(&Monomial::from_powers([("s", 2u32)])),
+            s.times(&s)
+                .coefficient(&Monomial::from_powers([("s", 2u32)])),
             Some(NatInf::Fin(1))
         );
         assert_eq!(
@@ -349,9 +350,7 @@ mod tests {
     fn catalan_series_from_v_equals_s_plus_v_squared() {
         // Figure 7 / footnote 6 of the paper: the v component of the system
         // solves v = s + v², whose series is s + s² + 2s³ + 5s⁴ + 14s⁵ + ⋯
-        let solution = solve_univariate(6, |v| {
-            s_var(6).plus(&v.times(v))
-        });
+        let solution = solve_univariate(6, |v| s_var(6).plus(&v.times(v)));
         let expected = [1u64, 1, 2, 5, 14, 42];
         for (i, coeff) in expected.iter().enumerate() {
             let degree = (i + 1) as u32;

@@ -7,7 +7,9 @@
 //! ω-continuity axioms) on representative samples. The same functions are
 //! reused by property-based tests that feed randomly generated elements.
 
-use crate::traits::{DistributiveLattice, NaturallyOrdered, OmegaContinuous, Semiring, SemiringHomomorphism};
+use crate::traits::{
+    DistributiveLattice, NaturallyOrdered, OmegaContinuous, Semiring, SemiringHomomorphism,
+};
 
 /// The outcome of a law check: `Ok(())` or a description of the first law
 /// that failed, including the offending elements.
@@ -232,7 +234,11 @@ mod tests {
                 Monus(1)
             }
             fn plus(&self, other: &Self) -> Self {
-                Monus(self.0.saturating_sub(other.0).max(other.0.saturating_sub(self.0)))
+                Monus(
+                    self.0
+                        .saturating_sub(other.0)
+                        .max(other.0.saturating_sub(self.0)),
+                )
             }
             fn times(&self, other: &Self) -> Self {
                 Monus(self.0 * other.0)

@@ -136,7 +136,10 @@ mod tests {
             Clearance::Confidential.times(&Clearance::Secret),
             Clearance::Secret
         );
-        assert_eq!(Clearance::Public.times(&Clearance::Public), Clearance::Public);
+        assert_eq!(
+            Clearance::Public.times(&Clearance::Public),
+            Clearance::Public
+        );
         assert_eq!(
             Clearance::TopSecret.times(&Clearance::Never),
             Clearance::Never

@@ -130,13 +130,13 @@ pub trait Semiring: Clone + PartialEq + Debug {
 /// Marker trait for semirings whose multiplication is commutative.
 ///
 /// All the annotation structures used by the paper — 𝔹, ℕ, ℕ∞, PosBool(B),
-/// P(Ω), ℕ[X], ℕ∞[[X]], the tropical and fuzzy semirings — are commutative.
+/// P(Ω), ℕ\[X\], ℕ∞\[\[X\]\], the tropical and fuzzy semirings — are commutative.
 pub trait CommutativeSemiring: Semiring {}
 
 /// Semirings in which `+` is idempotent (`a + a = a`).
 ///
 /// Idempotence of `+` is what makes the semi-naive datalog evaluation an
-/// *exact* optimization; for non-idempotent semirings such as ℕ or ℕ[X] the
+/// *exact* optimization; for non-idempotent semirings such as ℕ or ℕ\[X\] the
 /// naive re-derivation count matters and semi-naive evaluation must be
 /// treated as an approximation of the derivation-tree semantics.
 pub trait PlusIdempotent: Semiring {}
@@ -168,7 +168,7 @@ pub trait OmegaContinuous: CommutativeSemiring + NaturallyOrdered {
     /// An upper bound on the number of fixpoint iterations needed before the
     /// iteration of a polynomial system over this semiring is guaranteed to
     /// have converged, if such a bound exists (e.g. finite lattices). `None`
-    /// means no uniform bound (ℕ∞, ℕ∞[[X]]).
+    /// means no uniform bound (ℕ∞, ℕ∞\[\[X\]\]).
     fn convergence_bound(num_variables: usize) -> Option<usize> {
         let _ = num_variables;
         None
@@ -285,7 +285,11 @@ mod tests {
 
     #[test]
     fn sum_and_product_over_iterators() {
-        let xs = vec![Natural::from(1u64), Natural::from(2u64), Natural::from(3u64)];
+        let xs = vec![
+            Natural::from(1u64),
+            Natural::from(2u64),
+            Natural::from(3u64),
+        ];
         assert_eq!(Natural::sum(xs.iter()), Natural::from(6u64));
         assert_eq!(Natural::product(xs.iter()), Natural::from(6u64));
         let empty: Vec<Natural> = vec![];

@@ -118,7 +118,10 @@ mod tests {
 
     #[test]
     fn plus_picks_minimum_cost() {
-        assert_eq!(Tropical::cost(3).plus(&Tropical::cost(5)), Tropical::cost(3));
+        assert_eq!(
+            Tropical::cost(3).plus(&Tropical::cost(5)),
+            Tropical::cost(3)
+        );
         assert_eq!(
             Tropical::cost(3).plus(&Tropical::unreachable()),
             Tropical::cost(3)
@@ -127,7 +130,10 @@ mod tests {
 
     #[test]
     fn times_adds_costs() {
-        assert_eq!(Tropical::cost(3).times(&Tropical::cost(5)), Tropical::cost(8));
+        assert_eq!(
+            Tropical::cost(3).times(&Tropical::cost(5)),
+            Tropical::cost(8)
+        );
         assert_eq!(
             Tropical::cost(3).times(&Tropical::unreachable()),
             Tropical::unreachable()
@@ -139,10 +145,7 @@ mod tests {
         assert_eq!(Tropical::zero(), Tropical::unreachable());
         assert_eq!(Tropical::one(), Tropical::cost(0));
         // 0 annihilates: joining with an unreachable tuple is unreachable.
-        assert_eq!(
-            Tropical::zero().times(&Tropical::cost(9)),
-            Tropical::zero()
-        );
+        assert_eq!(Tropical::zero().times(&Tropical::cost(9)), Tropical::zero());
     }
 
     #[test]

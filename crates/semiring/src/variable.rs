@@ -2,7 +2,7 @@
 //!
 //! The paper annotates base tuples with "their own ids" (`p`, `r`, `s` in
 //! Figure 5, `m, n, p, r, s` in Figure 7); these ids are the indeterminates
-//! of the provenance polynomials ℕ[X] and the boolean variables of
+//! of the provenance polynomials ℕ\[X\] and the boolean variables of
 //! PosBool(B). [`Variable`] is a cheaply clonable, ordered, hashable symbol
 //! used for both purposes.
 
@@ -62,8 +62,8 @@ impl From<String> for Variable {
 /// A valuation `v : X → K`, assigning a semiring value to each variable.
 ///
 /// Proposition 4.2: for any commutative semiring K and valuation `v` there is
-/// a unique homomorphism `Eval_v : ℕ[X] → K` extending `v`; Proposition 6.3
-/// is the analogue for ℕ∞[[X]]. Valuations drive the factorization theorems
+/// a unique homomorphism `Eval_v : ℕ\[X\] → K` extending `v`; Proposition 6.3
+/// is the analogue for ℕ∞\[\[X\]\]. Valuations drive the factorization theorems
 /// (4.3 and 6.4): evaluate the provenance annotation under `v` to recover the
 /// K-annotation.
 #[derive(Clone, Debug, Default)]

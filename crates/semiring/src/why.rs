@@ -9,7 +9,7 @@
 //!   derived).
 //! * [`Witness`] (an extension, `Why(X) = P(P(X))` with `∪` and pairwise
 //!   union) keeps the *witness sets*: which combinations of input tuples
-//!   justify an output tuple. It sits strictly between ℕ[X] and `WhySet` in
+//!   justify an output tuple. It sits strictly between ℕ\[X\] and `WhySet` in
 //!   the specialization hierarchy of provenance semirings.
 
 use crate::traits::{

@@ -1,0 +1,369 @@
+//! # criterion (vendored shim)
+//!
+//! An offline, dependency-free stand-in for the subset of the [`criterion`
+//! 0.5](https://docs.rs/criterion/0.5) API used by the `provsem-bench`
+//! benchmark targets. The build environment for this repository has no
+//! access to crates.io, so the workspace vendors its three external crates
+//! (`rand`, `criterion`, `proptest`) as minimal in-tree reimplementations
+//! under `crates/vendor/`.
+//!
+//! Covered surface: [`Criterion`] with the `sample_size` /
+//! `measurement_time` / `warm_up_time` builders, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (both the positional and
+//! the `name = ...; config = ...; targets = ...` forms).
+//!
+//! Semantics: each benchmark warms up for `warm_up_time`, then takes
+//! `sample_size` wall-clock samples spread over `measurement_time` and
+//! prints `min / median / max` per-iteration times in Criterion's familiar
+//! `time: [low mid high]` shape. There is no statistical outlier analysis,
+//! no HTML report, and no saved baselines — just honest timings on stderr.
+//!
+//! Harness integration: `cargo bench` passes `--bench` to `harness = false`
+//! targets, which selects full measurement; any other invocation (such as
+//! `cargo test --benches`, which passes no mode flag) runs every benchmark
+//! body exactly once so test runs stay fast — the same detection upstream
+//! Criterion uses. A single positional argument is treated as a substring
+//! filter on benchmark ids, mirroring `cargo bench <filter>`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver: holds measurement configuration and the mode the
+/// binary was invoked in (`cargo bench` vs `cargo test`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror upstream's mode detection: `cargo bench` passes `--bench`
+        // to the target binary and selects full measurement; any other
+        // invocation (`cargo test --benches` passes nothing, or an explicit
+        // `--test`) runs each benchmark once.
+        let mut test_mode = true;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => test_mode = false,
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget over which samples are spread.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets how long each benchmark runs untimed before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.text, f);
+        self
+    }
+
+    fn run<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// A named collection of benchmarks sharing the parent driver's settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `self.name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().text);
+        self.criterion.run(&full, f);
+        self
+    }
+
+    /// Benchmarks `f` under `self.name/id`, passing `input` through.
+    ///
+    /// The shim takes no ownership of the input (upstream moves a reference
+    /// too); the indirection exists purely so bench bodies read the same as
+    /// with real Criterion.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.text);
+        self.criterion.run(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (The shim keeps no per-group state; this exists so
+    /// call sites match upstream.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    ///
+    /// In test mode (`--test`) the routine runs exactly once, untimed.
+    /// Otherwise the routine is warmed up for `warm_up_time`, an iteration
+    /// count per sample is chosen so that `sample_size` samples fill
+    /// `measurement_time`, and per-iteration durations are recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+
+        // Warm-up, also yielding a per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().div_f64(iters_per_sample as f64));
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.test_mode {
+            eprintln!("{id:<48} ... ok (test mode)");
+            return;
+        }
+        if self.samples.is_empty() {
+            return;
+        }
+        self.samples.sort();
+        let min = self.samples[0];
+        let max = self.samples[self.samples.len() - 1];
+        let median = self.samples[self.samples.len() / 2];
+        eprintln!(
+            "{id:<48} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(max),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defines a function that runs a list of benchmark functions, in either the
+/// positional (`criterion_group!(name, target, ...)`) or the keyword
+/// (`criterion_group! { name = ...; config = ...; targets = ... }`) form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target by invoking each
+/// group defined with [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn forced_test_mode() -> Criterion {
+        let mut c = Criterion::default();
+        c.test_mode = true;
+        c
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = forced_test_mode();
+        let mut ran = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("plain", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("with", 7), &3, |b, x| b.iter(|| ran += *x));
+        group.bench_with_input(BenchmarkId::from_parameter(10), &10, |b, x| {
+            b.iter(|| ran += *x)
+        });
+        group.finish();
+        assert_eq!(ran, 1 + 3 + 10);
+    }
+
+    #[test]
+    fn measurement_collects_requested_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        c.test_mode = false;
+        c.filter = None;
+        let mut samples_seen = 0;
+        c.run("probe", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            samples_seen = b.samples.len();
+        });
+        assert_eq!(samples_seen, 5);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = forced_test_mode();
+        c.filter = Some("match_me".to_string());
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("does_match_me_yes", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

@@ -1,0 +1,188 @@
+//! # rand (vendored shim)
+//!
+//! An offline, dependency-free stand-in for the subset of the [`rand`
+//! 0.8](https://docs.rs/rand/0.8) API that this workspace uses. The build
+//! environment for this repository has no access to crates.io, so the
+//! workspace vendors the three external crates it needs (`rand`,
+//! `criterion`, `proptest`) as minimal in-tree reimplementations under
+//! `crates/vendor/`; path dependencies in the root `Cargo.toml` route the
+//! ordinary `use rand::...` imports here.
+//!
+//! Covered surface:
+//!
+//! * [`rngs::StdRng`] — a deterministic 64-bit PRNG (SplitMix64, Steele et
+//!   al., OOPSLA 2014). It does **not** match upstream `StdRng`'s stream,
+//!   but every workload generator in `provsem-bench` only requires a seeded
+//!   generator that is reproducible run-to-run, which this is.
+//! * [`SeedableRng::seed_from_u64`] — the only constructor the workspace
+//!   uses.
+//! * [`Rng::gen_range`] over half-open and inclusive integer ranges and
+//!   half-open `f64` ranges, and [`Rng::gen_bool`].
+//!
+//! Integer sampling uses 128-bit modulo reduction. That carries the usual
+//! modulo bias of at most `span / 2^64`, which is astronomically below
+//! anything observable for the small domains the benchmarks draw from.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A low-level source of 64-bit random words (shim for `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 random bits from the generator.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator that can be constructed from a `u64` seed (shim for
+/// `rand_core::SeedableRng`; only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose output is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`]
+/// (shim for `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Panics if the range is empty, matching upstream behaviour.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`, matching upstream behaviour.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must lie in [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Converts 64 random bits to a uniform `f64` in `[0, 1)` using the top 53
+/// bits (the standard mantissa-filling construction).
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that [`Rng::gen_range`] can sample from (shim for
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from `self`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// Concrete generators (shim for `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: SplitMix64.
+    ///
+    /// Unlike upstream `StdRng` this is *specified* — the stream for a given
+    /// seed is stable across versions of this shim, which is exactly the
+    /// reproducibility property `provsem_bench::rng` documents.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3u64..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(1u64..=5);
+            assert!((1..=5).contains(&y));
+            let f = rng.gen_range(0.1f64..0.9);
+            assert!((0.1..0.9).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "got {heads} heads");
+    }
+}

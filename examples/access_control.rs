@@ -47,7 +47,11 @@ fn main() {
 
     // What each reader is allowed to see, via visibility filtering of the
     // annotated answer (no per-reader re-evaluation needed).
-    for reader in [Clearance::Public, Clearance::Confidential, Clearance::Secret] {
+    for reader in [
+        Clearance::Public,
+        Clearance::Confidential,
+        Clearance::Secret,
+    ] {
         let visible: Vec<String> = out
             .iter()
             .filter(|(_, level)| level.visible_to(reader))

@@ -40,7 +40,9 @@ fn main() {
     // probability — so conditional queries ("given that the relay is down")
     // can be answered from the same annotations.
     let reach = Fact::new("Reach", ["sensor_a", "gateway"]);
-    let event = answer.event(&reach).expect("sensor_a can possibly reach the gateway");
+    let event = answer
+        .event(&reach)
+        .expect("sensor_a can possibly reach the gateway");
     println!("\nEvent annotation of Reach(sensor_a, gateway): {event:?}");
 
     // Cross-check one marginal by brute force over the possible worlds.

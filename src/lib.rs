@@ -6,7 +6,7 @@
 //!
 //! | crate | contents | paper sections |
 //! |-------|----------|----------------|
-//! | [`semiring`] | commutative / ω-continuous semirings, lattices, homomorphisms, ℕ[X], ℕ∞[[X]] | 3–6 |
+//! | [`semiring`] | commutative / ω-continuous semirings, lattices, homomorphisms, ℕ\[X\], ℕ∞\[\[X\]\] | 3–6 |
 //! | [`core`] | K-relations, positive relational algebra, provenance tracking, factorization theorem | 3–4 |
 //! | [`datalog`] | datalog on K-relations, algebraic systems, All-Trees, Monomial-Coefficient, lattice datalog | 5–8 |
 //! | [`incomplete`] | maybe-tables, c-tables, possible worlds, Imielinski–Lipski | 2, 8 |

@@ -118,7 +118,10 @@ fn e6_figure6_datalog_bag() {
     let out = kleene_iterate(&program, &edb, 4);
     assert!(out.converged);
     for (x, y, n) in paper::figure6_expected() {
-        assert_eq!(out.idb.annotation(&Fact::new("Q", [x, y])), Natural::from(n));
+        assert_eq!(
+            out.idb.annotation(&Fact::new("Q", [x, y])),
+            Natural::from(n)
+        );
     }
 }
 
@@ -133,7 +136,11 @@ fn e7_figure7_datalog_provenance() {
     // ℕ∞ answers (including the (c,d) tuple the paper's figure omits).
     let out = evaluate_natinf(&program, &edb);
     for (src, dst, expected) in paper::figure7_expected() {
-        assert_eq!(out.annotation(&Fact::new("Q", [src, dst])), expected, "({src},{dst})");
+        assert_eq!(
+            out.annotation(&Fact::new("Q", [src, dst])),
+            expected,
+            "({src},{dst})"
+        );
     }
 
     // Datalog provenance via All-Trees + Theorem 6.4 factorization.
@@ -222,14 +229,20 @@ fn e11_containment() {
 
     let edb_posbool = edge_facts(
         "R",
-        &[("a", "b", PosBool::var("x1")), ("a", "c", PosBool::var("x2"))],
+        &[
+            ("a", "b", PosBool::var("x1")),
+            ("a", "c", PosBool::var("x2")),
+        ],
     );
     assert!(check_containment_on_instance(&q1, &q2, &edb_posbool));
     assert!(check_containment_on_instance(&q2, &q1, &edb_posbool));
 
     let edb_bag = edge_facts(
         "R",
-        &[("a", "b", Natural::from(1u64)), ("a", "c", Natural::from(1u64))],
+        &[
+            ("a", "b", Natural::from(1u64)),
+            ("a", "c", Natural::from(1u64)),
+        ],
     );
     assert!(!check_containment_on_instance(&q1, &q2, &edb_bag));
 }

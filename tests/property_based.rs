@@ -7,11 +7,7 @@ use provenance_semirings::prelude::*;
 /// Strategy: a small random edge relation over `n` nodes with ℕ annotations.
 fn arb_edges(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Vec<(u8, u8, u64)>> {
     prop::collection::vec(
-        (
-            0..max_nodes as u8,
-            0..max_nodes as u8,
-            1u64..4,
-        ),
+        (0..max_nodes as u8, 0..max_nodes as u8, 1u64..4),
         1..max_edges,
     )
 }
@@ -53,7 +49,8 @@ fn queries() -> Vec<RaExpr> {
         // Out-degree style projection.
         r().project(["src"]),
         // Filter then project.
-        r().select(Predicate::ne_value("src", "n0")).project(["dst"]),
+        r().select(Predicate::ne_value("src", "n0"))
+            .project(["dst"]),
     ]
 }
 
