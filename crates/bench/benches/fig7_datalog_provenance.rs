@@ -1,12 +1,19 @@
 //! E7 — Figure 7: datalog transitive closure over ℕ∞ and its power-series
 //! provenance via the algebraic system.
+//!
+//! The bench bodies run under the semi-naive machinery: `evaluate_natinf`'s
+//! support fixpoint (`derivable_facts`) is a delta-driven, index-probed
+//! iteration, and the `fig7_naive_vs_seminaive` group additionally compares
+//! the two Kleene strategies head-to-head on the bounded ℕ∞ iteration.
 
 mod common;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use provsem_bench::{random_dag_store, random_graph_store, report_rows};
 use provsem_core::paper::{figure7_bag, figure7_expected};
-use provsem_datalog::{evaluate_natinf, AlgebraicSystem, Fact, FactStore, Program};
+use provsem_datalog::{
+    evaluate_natinf, evaluate_with_bound, AlgebraicSystem, EvalStrategy, Fact, FactStore, Program,
+};
 use provsem_semiring::NatInf;
 
 fn figure7_store() -> FactStore<NatInf> {
@@ -55,6 +62,25 @@ fn bench(c: &mut Criterion) {
         b.iter(|| system.solve_series(4, 4).len())
     });
     group.finish();
+
+    // Bounded ℕ∞ Kleene iteration (8 rounds — the instances are cyclic, so
+    // it does not converge): naive re-multiplication of the grounded
+    // instantiation vs the differential evaluator.
+    let mut cmp = c.benchmark_group("fig7_naive_vs_seminaive");
+    for (nodes, edges) in [(16usize, 30usize), (24, 50)] {
+        let edb = random_graph_store(42, nodes, edges);
+        for (label, strategy) in [
+            ("naive", EvalStrategy::Naive),
+            ("seminaive", EvalStrategy::SemiNaive),
+        ] {
+            cmp.bench_with_input(
+                BenchmarkId::new(label, format!("{nodes}n_{edges}e")),
+                &edb,
+                |b, edb| b.iter(|| evaluate_with_bound(&program, edb, strategy, 8).idb.len()),
+            );
+        }
+    }
+    cmp.finish();
 }
 
 criterion_group! { name = benches; config = common::short(); targets = bench }

@@ -21,7 +21,6 @@
 use crate::ast::Program;
 use crate::fact::{Fact, FactStore};
 use crate::grounding::{derivable_facts, instantiate_over, DependencyGraph, GroundRule};
-use crate::naive::kleene_iterate_grounded;
 use provsem_semiring::{DistributiveLattice, NatInf, Semiring};
 use std::collections::BTreeSet;
 
@@ -75,6 +74,11 @@ pub fn evaluate_natinf(program: &Program, edb: &FactStore<NatInf>) -> FactStore<
 /// Datalog evaluation for a distributive lattice K (Section 8 of the paper):
 /// the Kleene iteration converges, and we run it until it does.
 ///
+/// Lattice `+` is idempotent, so this runs the semi-naive delta rewrite
+/// ([`crate::seminaive::seminaive_idempotent`]) — exact for this class, and
+/// it skips both the up-front grounding and the per-round re-derivations of
+/// the naive loop.
+///
 /// `max_rounds` is a safety bound (the number of *distinct annotation values*
 /// reachable is finite for the lattices used in practice — PosBool over the
 /// input variables, P(Ω), 𝔹, fuzzy over the input values — so convergence is
@@ -85,9 +89,7 @@ pub fn evaluate_lattice<K: DistributiveLattice>(
     edb: &FactStore<K>,
     max_rounds: usize,
 ) -> Option<FactStore<K>> {
-    let derivable = derivable_facts(program, edb);
-    let ground = instantiate_over(program, &derivable);
-    let result = kleene_iterate_grounded(program, &ground, edb, max_rounds);
+    let result = crate::seminaive::seminaive_idempotent(program, edb, max_rounds);
     if result.converged {
         Some(result.idb)
     } else {

@@ -4,7 +4,7 @@
 use crate::ast::Atom;
 use provsem_core::{Database, KRelation, Schema, Tuple, Value};
 use provsem_semiring::Semiring;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// A ground fact: a predicate name plus a vector of constant values.
@@ -62,10 +62,27 @@ impl fmt::Display for Fact {
 /// An annotated fact store: per predicate, a finite-support map from value
 /// vectors to K annotations. This is the K-relation notion of Definition 3.1
 /// in the unnamed perspective, used by the datalog engine.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct FactStore<K> {
     relations: BTreeMap<String, BTreeMap<Vec<Value>, K>>,
 }
+
+/// Equality compares the annotated facts only: a predicate entry whose map
+/// is empty (left behind by [`FactStore::clear`], or by
+/// [`FactStore::set`]ting a fact to zero) is indistinguishable from an
+/// absent one. The derived `PartialEq` would tell them apart, which would
+/// make the fixpoint loops' `next == current` checks depend on which
+/// predicates a scratch buffer happened to hold earlier.
+impl<K: PartialEq> PartialEq for FactStore<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.relations
+            .iter()
+            .filter(|(_, rel)| !rel.is_empty())
+            .eq(other.relations.iter().filter(|(_, rel)| !rel.is_empty()))
+    }
+}
+
+impl<K: Eq> Eq for FactStore<K> {}
 
 impl<K: Semiring> FactStore<K> {
     /// An empty store.
@@ -154,9 +171,14 @@ impl<K: Semiring> FactStore<K> {
         })
     }
 
-    /// Predicate names present in the store.
+    /// Predicate names with at least one support fact. Emptied entries left
+    /// behind by [`FactStore::clear`] or a zero [`FactStore::set`] are not
+    /// reported, matching the store's equality semantics.
     pub fn predicates(&self) -> impl Iterator<Item = &String> {
-        self.relations.keys()
+        self.relations
+            .iter()
+            .filter(|(_, rel)| !rel.is_empty())
+            .map(|(pred, _)| pred)
     }
 
     /// Total number of support facts.
@@ -167,6 +189,20 @@ impl<K: Semiring> FactStore<K> {
     /// Is the store empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Removes every fact while keeping the allocated per-predicate maps, so
+    /// fixpoint loops can reuse one store as a scratch buffer instead of
+    /// allocating a fresh one per round.
+    pub fn clear(&mut self) {
+        for rel in self.relations.values_mut() {
+            rel.clear();
+        }
+    }
+
+    /// Builds a [`FactIndex`] over the support facts of this store.
+    pub fn join_index(&self) -> FactIndex {
+        FactIndex::from_facts(self.facts().map(|(f, _)| f))
     }
 
     /// The *active domain*: every constant appearing in any fact.
@@ -265,6 +301,137 @@ impl<K: Semiring + fmt::Debug> fmt::Debug for FactStore<K> {
     }
 }
 
+/// A hash join index over ground facts: by predicate, and — for any
+/// *registered* set of bound column positions — by the values at those
+/// columns.
+///
+/// This is the lookup structure behind the keyed-join path of
+/// [`crate::grounding`] and the semi-naive evaluator
+/// ([`crate::seminaive`]): when a rule body atom is matched with some of its
+/// argument positions already bound (constants, or variables bound by
+/// earlier atoms), the candidate facts are found with one hash probe instead
+/// of a scan over every fact of the predicate.
+///
+/// Masks (bound-column sets) are registered explicitly so that probing can
+/// take `&self`; probing an unregistered mask degrades gracefully to "all
+/// facts of the predicate" (callers always validate candidates with a full
+/// match, so the index is a pure accelerator and never affects results).
+#[derive(Clone, Debug, Default)]
+pub struct FactIndex {
+    /// Arena of distinct facts; all maps store indices into it.
+    facts: Vec<Fact>,
+    /// Dedup / membership set.
+    seen: HashSet<Fact>,
+    /// All facts of a given predicate.
+    by_predicate: HashMap<String, Vec<usize>>,
+    /// For a registered `(predicate, columns)` mask, facts keyed by their
+    /// values at those columns. Nested so probes can look up with borrowed
+    /// `&str` / `&[usize]` keys, keeping the hot join loop allocation-free.
+    masks: HashMap<String, HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<usize>>>>,
+}
+
+impl FactIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        FactIndex::default()
+    }
+
+    /// Builds an index over the given facts.
+    pub fn from_facts(facts: impl IntoIterator<Item = Fact>) -> Self {
+        let mut index = FactIndex::new();
+        for fact in facts {
+            index.add_fact(fact);
+        }
+        index
+    }
+
+    /// Number of distinct facts indexed.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Is the fact present?
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.seen.contains(fact)
+    }
+
+    /// The fact stored at an index returned by [`FactIndex::candidates`].
+    pub fn fact(&self, idx: usize) -> &Fact {
+        &self.facts[idx]
+    }
+
+    /// Iterates over every indexed fact.
+    pub fn facts(&self) -> impl Iterator<Item = &Fact> {
+        self.facts.iter()
+    }
+
+    /// Adds a fact, updating the predicate listing and every registered mask
+    /// for its predicate. Returns `false` if the fact was already present.
+    pub fn add_fact(&mut self, fact: Fact) -> bool {
+        if !self.seen.insert(fact.clone()) {
+            return false;
+        }
+        let idx = self.facts.len();
+        self.by_predicate
+            .entry(fact.predicate.clone())
+            .or_default()
+            .push(idx);
+        if let Some(pred_masks) = self.masks.get_mut(&fact.predicate) {
+            for (columns, buckets) in pred_masks.iter_mut() {
+                let key: Vec<Value> = columns.iter().map(|c| fact.values[*c].clone()).collect();
+                buckets.entry(key).or_default().push(idx);
+            }
+        }
+        self.facts.push(fact);
+        true
+    }
+
+    /// Registers a bound-column mask for a predicate, building its buckets
+    /// from the facts already present. No-op for an empty column set (that
+    /// case is served by the per-predicate listing) or a mask already
+    /// registered.
+    pub fn register_mask(&mut self, predicate: &str, columns: &[usize]) {
+        if columns.is_empty() {
+            return;
+        }
+        let pred_masks = self.masks.entry(predicate.to_string()).or_default();
+        if pred_masks.contains_key(columns) {
+            return;
+        }
+        let mut buckets: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        if let Some(indices) = self.by_predicate.get(predicate) {
+            for &idx in indices {
+                let fact = &self.facts[idx];
+                let key: Vec<Value> = columns.iter().map(|c| fact.values[*c].clone()).collect();
+                buckets.entry(key).or_default().push(idx);
+            }
+        }
+        pred_masks.insert(columns.to_vec(), buckets);
+    }
+
+    /// The candidate facts of `predicate` whose values at `columns` equal
+    /// `key`, as indices into the arena. With an empty mask (or one that was
+    /// never registered) this is every fact of the predicate — a superset the
+    /// caller narrows by matching, so results never depend on which masks are
+    /// registered.
+    pub fn candidates(&self, predicate: &str, columns: &[usize], key: &[Value]) -> &[usize] {
+        if !columns.is_empty() {
+            if let Some(buckets) = self.masks.get(predicate).and_then(|m| m.get(columns)) {
+                return buckets.get(key).map(Vec::as_slice).unwrap_or(&[]);
+            }
+        }
+        self.by_predicate
+            .get(predicate)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
 /// Builds the edge fact store used by the Figure 6/7 examples from
 /// `(src, dst, annotation)` triples.
 pub fn edge_facts<K: Semiring>(predicate: &str, edges: &[(&str, &str, K)]) -> FactStore<K> {
@@ -333,6 +500,75 @@ mod tests {
         assert_eq!(s.facts_of("R").count(), 1);
         assert_eq!(s.facts_of("T").count(), 0);
         assert_eq!(s.predicates().count(), 2);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_store_usable() {
+        let mut s = edge_facts("R", &[("a", "b", nat(2)), ("b", "c", nat(3))]);
+        s.clear();
+        assert!(s.is_empty());
+        s.insert(Fact::new("R", ["x", "y"]), nat(1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn equality_ignores_phantom_empty_predicate_entries() {
+        // A cleared-and-refilled buffer must compare equal to a fresh store
+        // with the same facts, no matter which predicates it held before.
+        let mut recycled = edge_facts("Z", &[("p", "q", nat(7))]);
+        recycled.clear();
+        recycled.insert(Fact::new("R", ["a", "b"]), nat(2));
+        let fresh = edge_facts("R", &[("a", "b", nat(2))]);
+        assert_eq!(recycled, fresh);
+        // `set` to zero leaves an empty entry too; it must also not count.
+        let mut zeroed: FactStore<Natural> = FactStore::new();
+        zeroed.set(Fact::new("S", ["x"]), nat(0));
+        assert_eq!(zeroed, FactStore::new());
+        assert_ne!(fresh, FactStore::new());
+        // The phantom entries are invisible through the API as well.
+        assert_eq!(zeroed.predicates().count(), 0);
+        assert_eq!(
+            recycled.predicates().collect::<Vec<_>>(),
+            [&"R".to_string()]
+        );
+    }
+
+    #[test]
+    fn index_probes_by_bound_columns() {
+        let s = edge_facts(
+            "R",
+            &[("a", "b", nat(1)), ("a", "c", nat(1)), ("b", "c", nat(1))],
+        );
+        let mut index = s.join_index();
+        index.register_mask("R", &[0]);
+        let from_a = index.candidates("R", &[0], &[Value::from("a")]);
+        assert_eq!(from_a.len(), 2);
+        for &i in from_a {
+            assert_eq!(index.fact(i).values[0], Value::from("a"));
+        }
+        assert!(index.candidates("R", &[0], &[Value::from("z")]).is_empty());
+        // Unregistered masks degrade to the full predicate listing.
+        assert_eq!(index.candidates("R", &[1], &[Value::from("c")]).len(), 3);
+        assert!(index.candidates("S", &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn index_add_fact_updates_registered_masks() {
+        let mut index = FactIndex::new();
+        index.register_mask("R", &[1]);
+        assert!(index.add_fact(Fact::new("R", ["a", "b"])));
+        assert!(!index.add_fact(Fact::new("R", ["a", "b"])), "dedup");
+        index.add_fact(Fact::new("R", ["c", "b"]));
+        index.add_fact(Fact::new("R", ["c", "d"]));
+        assert_eq!(index.len(), 3);
+        assert!(index.contains(&Fact::new("R", ["c", "d"])));
+        let to_b = index.candidates("R", &[1], &[Value::from("b")]);
+        assert_eq!(to_b.len(), 2);
+        // Masks registered after the fact see the same buckets.
+        index.register_mask("R", &[0, 1]);
+        let exact = index.candidates("R", &[0, 1], &[Value::from("c"), Value::from("d")]);
+        assert_eq!(exact.len(), 1);
+        assert_eq!(index.fact(exact[0]), &Fact::new("R", ["c", "d"]));
     }
 
     #[test]

@@ -9,12 +9,19 @@
 //!    i.e. `supp(q(R))` (Proposition 5.4 guarantees this is the right
 //!    support for any K);
 //! 2. [`instantiate`] — all ground rules whose body facts are derivable.
+//!
+//! Both steps bind rule bodies through the hash indexes of
+//! [`FactIndex`]: each body atom is matched by probing the index on the
+//! argument positions already bound (constants, or variables bound by
+//! earlier atoms) instead of scanning every fact of the predicate, and
+//! [`derivable_facts`] runs its set fixpoint semi-naively (each round only
+//! joins against the facts discovered in the previous round).
 
-use crate::ast::{Atom, Program, Term};
-use crate::fact::{Fact, FactStore};
+use crate::ast::{Atom, DlVar, Program, Term};
+use crate::fact::{Fact, FactIndex, FactStore};
 use provsem_core::Value;
 use provsem_semiring::Semiring;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A ground rule: an instantiation of a program rule where every variable
 /// has been substituted by a constant.
@@ -36,9 +43,9 @@ impl GroundRule {
 }
 
 /// A variable valuation used during rule matching.
-type Binding = BTreeMap<crate::ast::DlVar, Value>;
+pub(crate) type Binding = BTreeMap<crate::ast::DlVar, Value>;
 
-fn ground_atom(atom: &Atom, binding: &Binding) -> Option<Fact> {
+pub(crate) fn ground_atom(atom: &Atom, binding: &Binding) -> Option<Fact> {
     let mut values = Vec::with_capacity(atom.terms.len());
     for term in &atom.terms {
         match term {
@@ -54,7 +61,7 @@ fn ground_atom(atom: &Atom, binding: &Binding) -> Option<Fact> {
 
 /// Tries to extend `binding` so that `atom` matches `fact`; returns the
 /// extended binding or `None` on mismatch.
-fn match_atom(atom: &Atom, fact: &Fact, binding: &Binding) -> Option<Binding> {
+pub(crate) fn match_atom(atom: &Atom, fact: &Fact, binding: &Binding) -> Option<Binding> {
     if atom.predicate != fact.predicate || atom.terms.len() != fact.values.len() {
         return None;
     }
@@ -78,24 +85,108 @@ fn match_atom(atom: &Atom, fact: &Fact, binding: &Binding) -> Option<Binding> {
     Some(extended)
 }
 
-/// Enumerates all satisfying valuations of a rule body over the facts in
-/// `lookup` (a map from predicate name to its known facts), calling `emit`
-/// for each complete binding.
-fn match_body(
-    body: &[Atom],
-    lookup: &BTreeMap<&str, Vec<&Fact>>,
-    binding: Binding,
-    emit: &mut dyn FnMut(Binding),
-) {
-    match body.split_first() {
-        None => emit(binding),
-        Some((atom, rest)) => {
-            if let Some(candidates) = lookup.get(atom.predicate.as_str()) {
-                for fact in candidates {
-                    if let Some(extended) = match_atom(atom, fact, &binding) {
-                        match_body(rest, lookup, extended, emit);
-                    }
+/// A join plan for one ordering of a rule body: the atoms in join order
+/// plus, for each atom, the argument positions that are already bound when it
+/// is matched (constants, variables bound by earlier atoms in the ordering,
+/// and variables bound before the join starts).
+///
+/// Matching an atom probes a [`FactIndex`] on exactly those positions, so a
+/// rule body binds via hash lookups instead of a scan per atom. Every
+/// candidate returned by a probe is still validated with [`match_atom`]
+/// (which also handles repeated variables within one atom), so plans are an
+/// accelerator only and never change which bindings are found.
+pub(crate) struct JoinPlan<'a> {
+    atoms: Vec<&'a Atom>,
+    bound: Vec<Vec<usize>>,
+}
+
+impl<'a> JoinPlan<'a> {
+    /// Plans the given atoms in order, with `seed_vars` assumed bound before
+    /// the join starts.
+    pub(crate) fn new(atoms: Vec<&'a Atom>, seed_vars: BTreeSet<&'a DlVar>) -> Self {
+        let mut bound_vars = seed_vars;
+        let mut bound = Vec::with_capacity(atoms.len());
+        for atom in &atoms {
+            let cols: Vec<usize> = atom
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| match t {
+                    Term::Const(_) => true,
+                    Term::Var(x) => bound_vars.contains(x),
+                })
+                .map(|(i, _)| i)
+                .collect();
+            bound.push(cols);
+            for t in &atom.terms {
+                if let Term::Var(x) = t {
+                    bound_vars.insert(x);
                 }
+            }
+        }
+        JoinPlan { atoms, bound }
+    }
+
+    /// The left-to-right plan of a whole body, starting from no bindings.
+    pub(crate) fn left_to_right(body: &'a [Atom]) -> Self {
+        JoinPlan::new(body.iter().collect(), BTreeSet::new())
+    }
+
+    /// The plan for the body with atom `first` removed, assuming `first`'s
+    /// variables were bound by matching it against a (delta) fact. This is
+    /// the differential form used by semi-naive evaluation.
+    pub(crate) fn suffix(body: &'a [Atom], first: usize) -> Self {
+        let seed: BTreeSet<&DlVar> = body[first].terms.iter().filter_map(Term::as_var).collect();
+        let atoms = body
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != first)
+            .map(|(_, a)| a)
+            .collect();
+        JoinPlan::new(atoms, seed)
+    }
+
+    /// Registers this plan's probe masks with the index.
+    pub(crate) fn register(&self, index: &mut FactIndex) {
+        for (atom, cols) in self.atoms.iter().zip(&self.bound) {
+            index.register_mask(&atom.predicate, cols);
+        }
+    }
+
+    /// Enumerates all satisfying valuations of the planned atoms over the
+    /// indexed facts, extending `binding` and calling `emit` for each
+    /// complete one.
+    pub(crate) fn join(&self, index: &FactIndex, binding: Binding, emit: &mut dyn FnMut(Binding)) {
+        // One probe-key buffer for the whole join: each depth only needs its
+        // key for the duration of the `candidates` call, so the recursion can
+        // reuse a single allocation.
+        let mut key: Vec<Value> = Vec::new();
+        self.join_from(0, index, binding, &mut key, emit);
+    }
+
+    fn join_from(
+        &self,
+        depth: usize,
+        index: &FactIndex,
+        binding: Binding,
+        key: &mut Vec<Value>,
+        emit: &mut dyn FnMut(Binding),
+    ) {
+        let Some(atom) = self.atoms.get(depth) else {
+            emit(binding);
+            return;
+        };
+        let cols = &self.bound[depth];
+        key.clear();
+        for &c in cols {
+            key.push(match &atom.terms[c] {
+                Term::Const(v) => v.clone(),
+                Term::Var(x) => binding[x].clone(),
+            });
+        }
+        for &fi in index.candidates(&atom.predicate, cols, key) {
+            if let Some(extended) = match_atom(atom, index.fact(fi), &binding) {
+                self.join_from(depth + 1, index, extended, key, emit);
             }
         }
     }
@@ -106,42 +197,58 @@ fn match_body(
 /// Proposition 5.4 equals the support of the K-annotated answer for every K.
 /// Returns both edb and idb facts.
 pub fn derivable_facts<K: Semiring>(program: &Program, edb: &FactStore<K>) -> BTreeSet<Fact> {
-    let mut known: BTreeSet<Fact> = edb.facts().map(|(f, _)| f).collect();
+    let mut index = FactIndex::from_facts(edb.facts().map(|(f, _)| f));
     // Facts asserted directly in the program text also seed the computation.
     for rule in &program.rules {
         if rule.is_fact() {
             if let Some(f) = ground_atom(&rule.head, &Binding::new()) {
-                known.insert(f);
+                index.add_fact(f);
             }
         }
     }
-    loop {
-        let mut lookup: BTreeMap<&str, Vec<&Fact>> = BTreeMap::new();
-        for fact in &known {
-            lookup
+    // One differential join form per (rule, body position): the delta fact is
+    // matched at that position, the rest of the body binds via index probes.
+    let mut forms: Vec<(&Atom, &Atom, JoinPlan)> = Vec::new();
+    for rule in &program.rules {
+        for (j, atom) in rule.body.iter().enumerate() {
+            let plan = JoinPlan::suffix(&rule.body, j);
+            plan.register(&mut index);
+            forms.push((&rule.head, atom, plan));
+        }
+    }
+    let mut delta: Vec<Fact> = index.facts().cloned().collect();
+    while !delta.is_empty() {
+        let mut by_pred: HashMap<&str, Vec<&Fact>> = HashMap::new();
+        for fact in &delta {
+            by_pred
                 .entry(fact.predicate.as_str())
                 .or_default()
                 .push(fact);
         }
-        let mut new_facts: Vec<Fact> = Vec::new();
-        for rule in &program.rules {
-            if rule.body.is_empty() {
+        let mut round: BTreeSet<Fact> = BTreeSet::new();
+        for (head, atom, plan) in &forms {
+            let Some(candidates) = by_pred.get(atom.predicate.as_str()) else {
                 continue;
-            }
-            match_body(&rule.body, &lookup, Binding::new(), &mut |binding| {
-                if let Some(head) = ground_atom(&rule.head, &binding) {
-                    if !known.contains(&head) {
-                        new_facts.push(head);
+            };
+            for fact in candidates {
+                let Some(seed) = match_atom(atom, fact, &Binding::new()) else {
+                    continue;
+                };
+                plan.join(&index, seed, &mut |binding| {
+                    if let Some(new_head) = ground_atom(head, &binding) {
+                        if !index.contains(&new_head) {
+                            round.insert(new_head);
+                        }
                     }
-                }
-            });
+                });
+            }
         }
-        if new_facts.is_empty() {
-            break;
+        delta = round.into_iter().collect();
+        for fact in &delta {
+            index.add_fact(fact.clone());
         }
-        known.extend(new_facts);
     }
-    known
+    index.facts().cloned().collect()
 }
 
 /// The instantiation of the program over the derivable facts: every ground
@@ -155,13 +262,7 @@ pub fn instantiate<K: Semiring>(program: &Program, edb: &FactStore<K>) -> Vec<Gr
 /// Like [`instantiate`], but over an explicitly provided set of available
 /// facts (useful for testing and for the Section 8 variants).
 pub fn instantiate_over(program: &Program, facts: &BTreeSet<Fact>) -> Vec<GroundRule> {
-    let mut lookup: BTreeMap<&str, Vec<&Fact>> = BTreeMap::new();
-    for fact in facts {
-        lookup
-            .entry(fact.predicate.as_str())
-            .or_default()
-            .push(fact);
-    }
+    let mut index = FactIndex::from_facts(facts.iter().cloned());
     let mut ground = Vec::new();
     for (rule_index, rule) in program.rules.iter().enumerate() {
         if rule.body.is_empty() {
@@ -174,7 +275,9 @@ pub fn instantiate_over(program: &Program, facts: &BTreeSet<Fact>) -> Vec<Ground
             }
             continue;
         }
-        match_body(&rule.body, &lookup, Binding::new(), &mut |binding| {
+        let plan = JoinPlan::left_to_right(&rule.body);
+        plan.register(&mut index);
+        plan.join(&index, Binding::new(), &mut |binding| {
             if let Some(head) = ground_atom(&rule.head, &binding) {
                 let body: Option<Vec<Fact>> =
                     rule.body.iter().map(|a| ground_atom(a, &binding)).collect();

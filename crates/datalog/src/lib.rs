@@ -5,8 +5,10 @@
 //!
 //! * datalog syntax, parser and grounding ([`ast`], [`parser`], [`fact`],
 //!   [`grounding`]);
-//! * the fixpoint semantics over ω-continuous semirings ([`naive`],
-//!   Definition 5.5 / Theorem 5.6) and exact evaluation for ℕ∞ and
+//! * the fixpoint semantics over ω-continuous semirings — naive Kleene
+//!   iteration ([`naive`], Definition 5.5 / Theorem 5.6) and the semi-naive
+//!   differential evaluator with indexed joins ([`seminaive`], switched via
+//!   [`EvalStrategy`]) — plus exact evaluation for ℕ∞ and
 //!   distributive lattices ([`exact`], Section 8);
 //! * derivation trees and the **All-Trees** algorithm ([`all_trees`](mod@crate::all_trees),
 //!   Figure 8), the **Monomial-Coefficient** algorithm
@@ -45,6 +47,7 @@ pub mod monomial_coefficient;
 pub mod naive;
 pub mod parser;
 pub mod provenance;
+pub mod seminaive;
 
 /// Convenience prelude re-exporting the most commonly used items.
 pub mod prelude {
@@ -57,19 +60,23 @@ pub mod prelude {
     pub use crate::exact::{
         evaluate_lattice, evaluate_natinf, facts_with_infinitely_many_derivations,
     };
-    pub use crate::fact::{edge_facts, Fact, FactStore};
+    pub use crate::fact::{edge_facts, Fact, FactIndex, FactStore};
     pub use crate::grounding::{
         derivable_facts, instantiate, instantiate_over, DependencyGraph, GroundRule,
     };
     pub use crate::monomial_coefficient::monomial_coefficient;
     pub use crate::naive::{
-        evaluate_fixpoint, immediate_consequence, kleene_iterate, kleene_iterate_grounded,
-        seminaive_evaluate, FixpointResult,
+        evaluate_fixpoint, immediate_consequence, immediate_consequence_into, kleene_iterate,
+        kleene_iterate_grounded, seminaive_evaluate, FixpointResult,
     };
     pub use crate::parser::{parse_program, parse_rule, ParseError};
     pub use crate::provenance::{
         classify_series, datalog_provenance, nonrecursive_provenance_is_polynomial,
         DatalogProvenance, SeriesClass,
+    };
+    pub use crate::seminaive::{
+        evaluate, evaluate_with_bound, seminaive_idempotent, seminaive_iterate, EvalStrategy,
+        DEFAULT_FALLBACK_BOUND,
     };
 }
 

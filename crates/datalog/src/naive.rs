@@ -10,7 +10,7 @@
 //! building block and the ablation baseline.
 
 use crate::ast::Program;
-use crate::fact::{Fact, FactStore};
+use crate::fact::FactStore;
 use crate::grounding::{derivable_facts, instantiate_over, GroundRule};
 use provsem_semiring::{OmegaContinuous, Semiring};
 use std::collections::BTreeSet;
@@ -38,6 +38,22 @@ pub fn immediate_consequence<K: Semiring>(
     current: &FactStore<K>,
 ) -> FactStore<K> {
     let mut next = FactStore::new();
+    immediate_consequence_into(ground_rules, idb_predicates, edb, current, &mut next);
+    next
+}
+
+/// Like [`immediate_consequence`] but writing into a caller-provided store
+/// (cleared first), so the Kleene loop can ping-pong between two buffers
+/// instead of allocating a fresh `FactStore` every round — including the
+/// rounds where nothing changes any more.
+pub fn immediate_consequence_into<K: Semiring>(
+    ground_rules: &[GroundRule],
+    idb_predicates: &BTreeSet<String>,
+    edb: &FactStore<K>,
+    current: &FactStore<K>,
+    next: &mut FactStore<K>,
+) {
+    next.clear();
     for rule in ground_rules {
         let mut product = K::one();
         let mut zero = false;
@@ -57,7 +73,6 @@ pub fn immediate_consequence<K: Semiring>(
             next.insert(rule.head.clone(), product);
         }
     }
-    next
 }
 
 /// Runs the Kleene iteration `Q₀ = 0, Q_{m+1} = T_q(R, Q_m)` for at most
@@ -81,17 +96,33 @@ pub fn kleene_iterate_grounded<K: Semiring>(
     max_iterations: usize,
 ) -> FixpointResult<K> {
     let idb_predicates = program.idb_predicates();
+    // When no rule consumes an idb fact, `T` is a constant function: one
+    // application reaches the fixpoint, and re-applying it (as the loop
+    // below otherwise must, to observe `next == current`) is pure waste.
+    // Deliberately a *syntactic* check (on the program, not the grounded
+    // instantiation) so the `converged` flag agrees with the semi-naive
+    // evaluator at every round bound — see `crate::seminaive`'s docs.
+    let recursive = program
+        .rules
+        .iter()
+        .any(|r| r.body.iter().any(|a| idb_predicates.contains(&a.predicate)));
     let mut current: FactStore<K> = FactStore::new();
+    let mut next: FactStore<K> = FactStore::new();
     let mut iterations = 0;
     let mut converged = false;
     while iterations < max_iterations {
-        let next = immediate_consequence(ground, &idb_predicates, edb, &current);
+        immediate_consequence_into(ground, &idb_predicates, edb, &current, &mut next);
         iterations += 1;
+        if !recursive {
+            std::mem::swap(&mut current, &mut next);
+            converged = true;
+            break;
+        }
         if next == current {
             converged = true;
             break;
         }
-        current = next;
+        std::mem::swap(&mut current, &mut next);
     }
     FixpointResult {
         idb: current,
@@ -135,6 +166,11 @@ pub fn evaluate_fixpoint<K: OmegaContinuous>(
 /// non-idempotent semirings (ℕ, ℕ\[X\]) re-derivations change the result, so
 /// this function is deliberately restricted by the
 /// [`provsem_semiring::PlusIdempotent`] bound.
+///
+/// This is a thin alias for [`crate::seminaive::seminaive_idempotent`],
+/// kept here because the semi-naive evaluator graduated from this module;
+/// see [`crate::seminaive`] for the delta machinery and the general-semiring
+/// variant.
 pub fn seminaive_evaluate<K>(
     program: &Program,
     edb: &FactStore<K>,
@@ -143,113 +179,13 @@ pub fn seminaive_evaluate<K>(
 where
     K: Semiring + provsem_semiring::PlusIdempotent,
 {
-    let derivable = derivable_facts(program, edb);
-    let ground = instantiate_over(program, &derivable);
-    let idb_predicates = program.idb_predicates();
-
-    let mut current: FactStore<K> = FactStore::new();
-    // Delta: the facts whose annotation changed in the last round.
-    let mut delta: BTreeSet<Fact> = BTreeSet::new();
-    let mut iterations = 0;
-    let mut converged = false;
-
-    // Round 0: rules whose bodies contain no idb facts.
-    let mut first = FactStore::new();
-    for rule in &ground {
-        if rule
-            .body
-            .iter()
-            .any(|b| idb_predicates.contains(&b.predicate))
-        {
-            continue;
-        }
-        let mut product = K::one();
-        let mut zero = false;
-        for b in &rule.body {
-            let ann = edb.annotation(b);
-            if ann.is_zero() {
-                zero = true;
-                break;
-            }
-            product.times_assign(&ann);
-        }
-        if !zero {
-            first.insert(rule.head.clone(), product);
-        }
-    }
-    for (fact, _) in first.facts() {
-        delta.insert(fact);
-    }
-    current = merge_idempotent(&current, &first);
-
-    while iterations < max_rounds {
-        iterations += 1;
-        if delta.is_empty() {
-            converged = true;
-            break;
-        }
-        // Recompute only rules that mention a delta fact in their body.
-        let mut produced = FactStore::new();
-        for rule in &ground {
-            let touches_delta = rule.body.iter().any(|b| delta.contains(b));
-            if !touches_delta {
-                continue;
-            }
-            let mut product = K::one();
-            let mut zero = false;
-            for b in &rule.body {
-                let ann = if idb_predicates.contains(&b.predicate) {
-                    current.annotation(b)
-                } else {
-                    edb.annotation(b)
-                };
-                if ann.is_zero() {
-                    zero = true;
-                    break;
-                }
-                product.times_assign(&ann);
-            }
-            if !zero {
-                produced.insert(rule.head.clone(), product);
-            }
-        }
-        // New delta: facts whose annotation strictly grows.
-        let mut new_delta = BTreeSet::new();
-        let merged = merge_idempotent(&current, &produced);
-        for (fact, ann) in merged.facts() {
-            if current.annotation(&fact) != *ann {
-                new_delta.insert(fact);
-            }
-        }
-        current = merged;
-        delta = new_delta;
-    }
-    if delta.is_empty() {
-        converged = true;
-    }
-    FixpointResult {
-        idb: current,
-        iterations,
-        converged,
-    }
-}
-
-fn merge_idempotent<K: Semiring>(a: &FactStore<K>, b: &FactStore<K>) -> FactStore<K> {
-    let mut out = FactStore::new();
-    for (fact, k) in a.facts() {
-        out.set(fact, k.clone());
-    }
-    for (fact, k) in b.facts() {
-        let merged = out.annotation(&fact).plus(k);
-        out.set(fact, merged);
-    }
-    out
+    crate::seminaive::seminaive_idempotent(program, edb, max_rounds)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fact::edge_facts;
+    use crate::fact::{edge_facts, Fact};
     use provsem_semiring::{Bool, NatInf, Natural, PosBool, Tropical};
 
     fn nat(n: u64) -> Natural {
@@ -443,5 +379,47 @@ mod tests {
         let result = kleene_iterate(&program, &edb, 4);
         assert!(result.converged);
         assert!(result.idb.is_empty());
+    }
+
+    #[test]
+    fn nonrecursive_instantiation_converges_after_one_application() {
+        // `T` is constant when no ground rule consumes an idb fact, so the
+        // loop must not burn a second application just to observe the
+        // fixpoint. Pins down the early exit.
+        let program = Program::figure6_query();
+        let edb = edge_facts(
+            "R",
+            &[("a", "a", nat(2)), ("a", "b", nat(3)), ("b", "b", nat(4))],
+        );
+        let result = kleene_iterate(&program, &edb, 10);
+        assert!(result.converged);
+        assert_eq!(result.iterations, 1);
+        assert_eq!(result.idb.annotation(&Fact::new("Q", ["a", "b"])), nat(18));
+        // A recursive instantiation still needs the detecting application.
+        let tc = Program::transitive_closure("R", "Q");
+        let chain = edge_facts("R", &[("a", "b", nat(1)), ("b", "c", nat(1))]);
+        let tc_result = kleene_iterate(&tc, &chain, 10);
+        assert!(tc_result.converged);
+        assert!(tc_result.iterations > 1);
+    }
+
+    #[test]
+    fn immediate_consequence_into_reuses_and_clears_the_buffer() {
+        let program = Program::figure6_query();
+        let edb = edge_facts("R", &[("a", "b", nat(3)), ("b", "c", nat(2))]);
+        let derivable = crate::grounding::derivable_facts(&program, &edb);
+        let ground = crate::grounding::instantiate_over(&program, &derivable);
+        let idb = program.idb_predicates();
+        let current: FactStore<Natural> = FactStore::new();
+        // Pre-populate the buffer with garbage — including a predicate the
+        // program never derives: it must be cleared and must not make the
+        // refilled buffer compare unequal to a fresh computation.
+        let mut buffer = edge_facts("Q", &[("z", "z", nat(9))]);
+        buffer.insert(Fact::new("Zombie", ["w"]), nat(1));
+        immediate_consequence_into(&ground, &idb, &edb, &current, &mut buffer);
+        assert_eq!(buffer, immediate_consequence(&ground, &idb, &edb, &current));
+        assert!(!buffer.contains(&Fact::new("Q", ["z", "z"])));
+        assert!(!buffer.contains(&Fact::new("Zombie", ["w"])));
+        assert_eq!(buffer.annotation(&Fact::new("Q", ["a", "c"])), nat(6));
     }
 }

@@ -1,0 +1,84 @@
+//! Shared random-workload generators for the datalog property suites:
+//! random safe programs (possibly recursive, possibly mutually recursive)
+//! over two binary edb predicates `R`, `S` and two binary idb predicates
+//! `P`, `Q`, plus random small edbs over a four-node domain.
+
+use proptest::prelude::*;
+use provsem_datalog::prelude::*;
+use provsem_semiring::Semiring;
+
+/// Raw draw for one rule: head predicate selector, body atoms as
+/// `(predicate selector, var, var)`, and two selectors picking the head
+/// variables from the body's variables (guaranteeing safety).
+pub type RawRule = (u8, Vec<(u8, u8, u8)>, u8, u8);
+
+/// Raw draw for one edb fact: `(predicate selector, src node, dst node,
+/// weight)`.
+pub type RawFact = (u8, u8, u8, u64);
+
+pub const PREDICATES: [&str; 4] = ["R", "S", "P", "Q"];
+
+/// Strategy for a random program of 1–3 safe rules with 1–3 body atoms each.
+pub fn arb_program() -> impl Strategy<Value = Vec<RawRule>> {
+    prop::collection::vec(
+        (
+            0u8..2,
+            prop::collection::vec((0u8..4, 0u8..4, 0u8..4), 1..4),
+            0u8..8,
+            0u8..8,
+        ),
+        1..4,
+    )
+}
+
+/// Strategy for a random edb of 1–8 facts over four nodes, with weights in
+/// `1..=3`.
+pub fn arb_edb() -> impl Strategy<Value = Vec<RawFact>> {
+    prop::collection::vec((0u8..2, 0u8..4, 0u8..4, 1u64..4), 1..9)
+}
+
+/// Materializes a raw program. Heads draw their variables from the body's
+/// variables, so every generated rule is range-restricted (safe).
+pub fn build_program(raw: &[RawRule]) -> Program {
+    let rules = raw
+        .iter()
+        .map(|(head_pred, body_raw, h1, h2)| {
+            let body: Vec<Atom> = body_raw
+                .iter()
+                .map(|(pred, v1, v2)| {
+                    Atom::new(
+                        PREDICATES[*pred as usize % PREDICATES.len()],
+                        vec![Term::var(format!("v{v1}")), Term::var(format!("v{v2}"))],
+                    )
+                })
+                .collect();
+            let mut body_vars: Vec<DlVar> = Vec::new();
+            for atom in &body {
+                for var in atom.variables() {
+                    if !body_vars.contains(&var) {
+                        body_vars.push(var);
+                    }
+                }
+            }
+            let pick = |sel: u8| Term::Var(body_vars[sel as usize % body_vars.len()].clone());
+            let head_name = if *head_pred == 0 { "P" } else { "Q" };
+            Rule::new(Atom::new(head_name, vec![pick(*h1), pick(*h2)]), body)
+        })
+        .collect();
+    Program::new(rules)
+}
+
+/// Materializes a raw edb, interpreting each fact's weight through
+/// `annotate` (which also receives the fact's index, so provenance-style
+/// semirings can mint one variable per tuple).
+pub fn build_edb<K: Semiring>(raw: &[RawFact], annotate: impl Fn(usize, u64) -> K) -> FactStore<K> {
+    let mut store = FactStore::new();
+    for (i, (pred, src, dst, weight)) in raw.iter().enumerate() {
+        let name = if *pred == 0 { "R" } else { "S" };
+        store.insert(
+            Fact::new(name, [format!("n{src}"), format!("n{dst}")]),
+            annotate(i, *weight),
+        );
+    }
+    store
+}

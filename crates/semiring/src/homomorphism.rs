@@ -112,6 +112,13 @@ impl SemiringHomomorphism<ProvenancePolynomial, Witness> for ToWitnesses {
 
 /// Collapsing everything to the set of contributing tuples:
 /// `ℕ\[X\] → (P(X), ∪, ∪)` — the paper's why-provenance (Figure 5(b)).
+///
+/// **Caveat** (found by the property suite): because the target is the
+/// degenerate why semiring (`0 = 1 = ∅`, so `·` does not annihilate), this
+/// map satisfies the homomorphism laws only away from zero:
+/// `h(0 · q) = ∅` but `h(0) · h(q) = vars(q)`. On non-zero polynomials all
+/// four laws hold, which is the sense in which the specialization hierarchy
+/// of the module docs ends at `(P(X), ∪, ∪)`.
 pub struct ToWhySet;
 
 impl SemiringHomomorphism<ProvenancePolynomial, WhySet> for ToWhySet {
@@ -137,6 +144,42 @@ impl SemiringHomomorphism<ProvenancePolynomial, Tropical> for ToMinimalDerivatio
             best = best.plus(&Tropical::cost(m.degree() as u64));
         }
         best
+    }
+}
+
+/// Composition `second ∘ first` of two homomorphisms. Homomorphisms are
+/// closed under composition, which is how the specialization hierarchy in
+/// the module docs is actually traversed (e.g. `ℕ\[X\] → 𝔹\[X\] → Why(X)`).
+///
+/// The middle semiring `M` is not determined by the two homomorphism types,
+/// so it appears as an explicit type parameter.
+pub struct Compose<H1, H2, M> {
+    first: H1,
+    second: H2,
+    _mid: std::marker::PhantomData<M>,
+}
+
+impl<H1, H2, M> Compose<H1, H2, M> {
+    /// Composes `first : A → M` with `second : M → B`.
+    pub fn new(first: H1, second: H2) -> Self {
+        Compose {
+            first,
+            second,
+            _mid: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<A, M, B, H1, H2> SemiringHomomorphism<A, B> for Compose<H1, H2, M>
+where
+    A: Semiring,
+    M: Semiring,
+    B: Semiring,
+    H1: SemiringHomomorphism<A, M>,
+    H2: SemiringHomomorphism<M, B>,
+{
+    fn apply(&self, a: &A) -> B {
+        self.second.apply(&self.first.apply(a))
     }
 }
 
@@ -236,6 +279,16 @@ mod tests {
     fn map_coefficients_lifts_homomorphisms() {
         let lifted = MapCoefficients::new(NaturalToBool);
         check_homomorphism(&lifted, &poly_samples()).unwrap();
+    }
+
+    #[test]
+    fn composition_of_homomorphisms_is_a_homomorphism() {
+        let composed = Compose::<_, _, NatInf>::new(NaturalToNatInf, NatInfToBool);
+        check_homomorphism(&composed, &nat_samples()).unwrap();
+        // ℕ → ℕ∞ → 𝔹 factors the direct support homomorphism.
+        for n in nat_samples() {
+            assert_eq!(composed.apply(&n), NaturalToBool.apply(&n));
+        }
     }
 
     #[test]

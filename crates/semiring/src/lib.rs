@@ -57,7 +57,7 @@ pub mod prelude {
     pub use crate::events::{Event, WorldId};
     pub use crate::fuzzy::{Fuzzy, Viterbi};
     pub use crate::homomorphism::{
-        BoolToSemiring, DropCoefficients, MapCoefficients, NatInfToBool, NaturalToBool,
+        BoolToSemiring, Compose, DropCoefficients, MapCoefficients, NatInfToBool, NaturalToBool,
         NaturalToNatInf, ToPosBool, ToWhySet, ToWitnesses,
     };
     pub use crate::monomial::{monomials_up_to_degree, Monomial};

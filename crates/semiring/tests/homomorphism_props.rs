@@ -1,0 +1,134 @@
+//! Property tests for the homomorphism catalogue (Proposition 3.5's
+//! hypothesis): every shipped homomorphism must satisfy `h(0) = 0`,
+//! `h(1) = 1`, `h(a + b) = h(a) + h(b)` and `h(a · b) = h(a) · h(b)` on
+//! randomly generated elements — not just on the handful of hand-picked
+//! samples in the unit tests. The datalog-side companion
+//! (`provsem-datalog`'s `homomorphism_commutation` test) then checks the
+//! *conclusion* of Proposition 3.5 / Theorem 5.7: commutation with query and
+//! datalog evaluation on random instances.
+
+use proptest::prelude::*;
+use provsem_semiring::prelude::*;
+use provsem_semiring::properties::check_homomorphism;
+
+const CASES: u32 = 128;
+
+fn var_name(id: u8) -> String {
+    format!("x{id}")
+}
+
+fn arb_natural() -> impl Strategy<Value = Natural> {
+    (0u64..60).prop_map(Natural::from)
+}
+
+fn arb_natinf() -> impl Strategy<Value = NatInf> {
+    (0u64..30, 0u8..8).prop_map(|(n, tag)| {
+        if tag == 0 {
+            NatInf::Inf
+        } else {
+            NatInf::Fin(n)
+        }
+    })
+}
+
+fn arb_monomial() -> impl Strategy<Value = Monomial> {
+    prop::collection::vec((0u8..3, 1u32..3), 0..3)
+        .prop_map(|ps| Monomial::from_powers(ps.into_iter().map(|(v, e)| (var_name(v), e))))
+}
+
+fn arb_provenance_polynomial() -> impl Strategy<Value = ProvenancePolynomial> {
+    prop::collection::vec((arb_monomial(), 0u64..4), 0..4).prop_map(|terms| {
+        ProvenancePolynomial::from_terms(terms.into_iter().map(|(m, c)| (m, Natural::from(c))))
+    })
+}
+
+/// `h(a ∘ b) = h(a) ∘ h(b)` for both operations, on a pair of random
+/// elements (the binary-law half of [`check_homomorphism`], stated directly
+/// so failures name the homomorphism).
+fn commutes_with_ops<A: Semiring, B: Semiring, H: SemiringHomomorphism<A, B>>(
+    h: &H,
+    a: &A,
+    b: &A,
+) -> bool {
+    h.apply(&a.plus(b)) == h.apply(a).plus(&h.apply(b))
+        && h.apply(&a.times(b)) == h.apply(a).times(&h.apply(b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn scalar_homomorphisms_commute_with_ops(a in arb_natural(), b in arb_natural()) {
+        prop_assert!(commutes_with_ops(&NaturalToBool, &a, &b));
+        prop_assert!(commutes_with_ops(&NaturalToNatInf, &a, &b));
+        let composed = Compose::<_, _, NatInf>::new(NaturalToNatInf, NatInfToBool);
+        prop_assert!(commutes_with_ops(&composed, &a, &b));
+    }
+
+    #[test]
+    fn natinf_to_bool_commutes_with_ops(a in arb_natinf(), b in arb_natinf()) {
+        prop_assert!(commutes_with_ops(&NatInfToBool, &a, &b));
+    }
+
+    #[test]
+    fn polynomial_homomorphisms_commute_with_ops(
+        p in arb_provenance_polynomial(),
+        q in arb_provenance_polynomial(),
+    ) {
+        prop_assert!(commutes_with_ops(&DropCoefficients, &p, &q));
+        prop_assert!(commutes_with_ops(&ToPosBool, &p, &q));
+        prop_assert!(commutes_with_ops(&ToWitnesses, &p, &q));
+        prop_assert!(commutes_with_ops(&MapCoefficients::new(NaturalToBool), &p, &q));
+        // Why-provenance targets the degenerate (P(X), ∪, ∪) semiring, where
+        // `·` does not annihilate; the laws hold only away from zero (see
+        // the rustdoc caveat on `ToWhySet`).
+        if !p.is_zero() && !q.is_zero() {
+            prop_assert!(commutes_with_ops(&ToWhySet, &p, &q));
+        } else {
+            prop_assert_eq!(ToWhySet.apply(&ProvenancePolynomial::zero()), WhySet::zero());
+        }
+    }
+
+    #[test]
+    fn catalogue_passes_the_reference_harness_on_random_samples(
+        ns in prop::collection::vec(arb_natural(), 1..5),
+        ps in prop::collection::vec(arb_provenance_polynomial(), 1..4),
+    ) {
+        prop_assert_eq!(check_homomorphism(&NaturalToBool, &ns), Ok(()));
+        prop_assert_eq!(check_homomorphism(&NaturalToNatInf, &ns), Ok(()));
+        prop_assert_eq!(check_homomorphism(&DropCoefficients, &ps), Ok(()));
+        let nonzero: Vec<_> = ps.iter().filter(|p| !p.is_zero()).cloned().collect();
+        prop_assert_eq!(check_homomorphism(&ToWhySet, &nonzero), Ok(()));
+    }
+
+    #[test]
+    fn eval_at_a_valuation_is_a_homomorphism(
+        p in arb_provenance_polynomial(),
+        q in arb_provenance_polynomial(),
+        v0 in 0u64..4, v1 in 0u64..4, v2 in 0u64..4,
+    ) {
+        // Proposition 4.2 (universality of ℕ[X]): evaluation at any
+        // valuation is the unique homomorphism extending it.
+        let valuation = Valuation::from_pairs([
+            ("x0", Natural::from(v0)),
+            ("x1", Natural::from(v1)),
+            ("x2", Natural::from(v2)),
+        ]);
+        prop_assert_eq!(
+            p.plus(&q).eval(&valuation),
+            p.eval(&valuation).plus(&q.eval(&valuation))
+        );
+        prop_assert_eq!(
+            p.times(&q).eval(&valuation),
+            p.eval(&valuation).times(&q.eval(&valuation))
+        );
+    }
+
+    #[test]
+    fn broken_maps_are_rejected_by_the_harness(ns in prop::collection::vec(arb_natural(), 2..6)) {
+        // n ↦ n + 1 preserves neither 0 nor +; the harness must say so for
+        // any sample pool (h(0) = 1 ≠ 0 is checked unconditionally).
+        let broken = FnHomomorphism::new(|n: &Natural| Natural::from(n.value() + 1));
+        prop_assert!(check_homomorphism(&broken, &ns).is_err());
+    }
+}

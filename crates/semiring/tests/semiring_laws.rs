@@ -1,0 +1,291 @@
+//! Property-based semiring law suite.
+//!
+//! Proposition 3.4 of the paper makes the commutative-semiring laws the
+//! load-bearing hypothesis of everything downstream, and the semi-naive
+//! datalog evaluator additionally trusts `+`-idempotence where it is
+//! claimed. This suite proptest-checks, for **every** annotation structure
+//! shipped by the crate, on randomly generated elements:
+//!
+//! * associativity and commutativity of `+` and `·`,
+//! * the `0`/`1` identity laws and annihilation by `0` (skipped for the
+//!   degenerate why-provenance semiring, where `0 = 1`),
+//! * distributivity of `·` over `+` on both sides,
+//! * agreement with the reference harness
+//!   [`provsem_semiring::properties::check_semiring_laws`],
+//! * `a + a = a` for every type claiming [`PlusIdempotent`].
+//!
+//! The floating-point semirings (fuzzy, Viterbi) are sampled from dyadic
+//! values (`k/2ⁿ` with small `n`) so that `max`/`min`/products are exact and
+//! the laws hold on the nose rather than up to rounding.
+
+use proptest::prelude::*;
+use provsem_semiring::prelude::*;
+use provsem_semiring::properties::check_semiring_laws;
+
+/// Cases per property; together with the five properties per semiring every
+/// structure sees several hundred random elements.
+const CASES: u32 = 128;
+
+/// Checks the commutative-semiring laws for one annotation type.
+///
+/// Usage: `semiring_laws!(module_name, Type, strategy_expr)` where
+/// `strategy_expr` is a proptest strategy producing `Type`. Pair with
+/// [`plus_idempotence!`] for types claiming [`PlusIdempotent`].
+macro_rules! semiring_laws {
+    ($name:ident, $ty:ty, $strategy:expr) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+                #[test]
+                fn plus_is_associative_and_commutative(
+                    a in $strategy, b in $strategy, c in $strategy
+                ) {
+                    prop_assert_eq!(a.plus(&b), b.plus(&a));
+                    prop_assert_eq!(a.plus(&b).plus(&c), a.plus(&b.plus(&c)));
+                }
+
+                #[test]
+                fn times_is_associative_and_commutative(
+                    a in $strategy, b in $strategy, c in $strategy
+                ) {
+                    prop_assert_eq!(a.times(&b), b.times(&a));
+                    prop_assert_eq!(a.times(&b).times(&c), a.times(&b.times(&c)));
+                }
+
+                #[test]
+                fn identity_and_annihilation_laws(a in $strategy) {
+                    let zero = <$ty>::zero();
+                    let one = <$ty>::one();
+                    prop_assert_eq!(a.plus(&zero), a.clone());
+                    prop_assert_eq!(zero.plus(&a), a.clone());
+                    prop_assert_eq!(a.times(&one), a.clone());
+                    prop_assert_eq!(one.times(&a), a.clone());
+                    // The degenerate why-provenance structure (0 = 1) has no
+                    // annihilation law; everything else must satisfy it.
+                    if zero != one {
+                        prop_assert!(a.times(&zero).is_zero());
+                        prop_assert!(zero.times(&a).is_zero());
+                    }
+                }
+
+                #[test]
+                fn times_distributes_over_plus(
+                    a in $strategy, b in $strategy, c in $strategy
+                ) {
+                    prop_assert_eq!(a.times(&b.plus(&c)), a.times(&b).plus(&a.times(&c)));
+                    prop_assert_eq!(b.plus(&c).times(&a), b.times(&a).plus(&c.times(&a)));
+                }
+
+                #[test]
+                fn random_samples_pass_the_reference_harness(
+                    xs in prop::collection::vec($strategy, 1..5)
+                ) {
+                    prop_assert_eq!(check_semiring_laws(&xs), Ok(()));
+                }
+            }
+        }
+    };
+}
+
+/// Checks `a + a = a` for a [`PlusIdempotent`] semiring (separate macro so
+/// the trait bound is enforced at compile time).
+macro_rules! plus_idempotence {
+    ($name:ident, $ty:ty, $strategy:expr) => {
+        mod $name {
+            use super::*;
+
+            fn assert_claims_idempotence<K: PlusIdempotent>() {}
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+                #[test]
+                fn plus_is_idempotent(a in $strategy) {
+                    assert_claims_idempotence::<$ty>();
+                    prop_assert_eq!(a.plus(&a), a.clone());
+                }
+            }
+        }
+    };
+}
+
+// ---- element generators ----------------------------------------------------
+
+fn arb_natural() -> impl Strategy<Value = Natural> {
+    (0u64..60).prop_map(Natural::from)
+}
+
+fn arb_bool() -> impl Strategy<Value = Bool> {
+    (0u8..2).prop_map(|b| Bool::from(b == 1))
+}
+
+fn arb_natinf() -> impl Strategy<Value = NatInf> {
+    (0u64..30, 0u8..8).prop_map(|(n, tag)| {
+        if tag == 0 {
+            NatInf::Inf
+        } else {
+            NatInf::Fin(n)
+        }
+    })
+}
+
+fn arb_tropical() -> impl Strategy<Value = Tropical> {
+    (0u64..30, 0u8..8).prop_map(|(n, tag)| {
+        if tag == 0 {
+            Tropical::unreachable()
+        } else {
+            Tropical::cost(n)
+        }
+    })
+}
+
+/// Exactly representable dyadic values in `[0, 1]`, so fuzzy `max`/`min` and
+/// Viterbi products stay exact.
+fn arb_unit_interval() -> impl Strategy<Value = f64> {
+    (0u8..5).prop_map(|i| [0.0, 0.125, 0.25, 0.5, 1.0][i as usize])
+}
+
+fn arb_fuzzy() -> impl Strategy<Value = Fuzzy> {
+    arb_unit_interval().prop_map(Fuzzy::new)
+}
+
+fn arb_viterbi() -> impl Strategy<Value = Viterbi> {
+    arb_unit_interval().prop_map(Viterbi::new)
+}
+
+fn arb_clearance() -> impl Strategy<Value = Clearance> {
+    (0usize..Clearance::enumerate().len()).prop_map(|i| Clearance::enumerate()[i])
+}
+
+fn var_name(id: u8) -> String {
+    format!("x{id}")
+}
+
+fn arb_posbool() -> impl Strategy<Value = PosBool> {
+    // A random DNF over four variables; includes ff (no clauses) and tt
+    // (an empty clause).
+    prop::collection::vec(prop::collection::vec(0u8..4, 0..3), 0..4)
+        .prop_map(|dnf| PosBool::from_dnf(dnf.into_iter().map(|c| c.into_iter().map(var_name))))
+}
+
+fn arb_whyset() -> impl Strategy<Value = WhySet> {
+    prop::collection::vec(0u8..5, 0..4)
+        .prop_map(|vs| WhySet::from_vars(vs.into_iter().map(var_name)))
+}
+
+fn arb_witness() -> impl Strategy<Value = Witness> {
+    prop::collection::vec(prop::collection::vec(0u8..4, 0..3), 0..3)
+        .prop_map(|ws| Witness::from_witnesses(ws.into_iter().map(|w| w.into_iter().map(var_name))))
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (0u8..2, prop::collection::vec(0u32..6, 0..4)).prop_map(|(co, worlds)| {
+        if co == 0 {
+            Event::excluding(worlds)
+        } else {
+            Event::of_worlds(worlds)
+        }
+    })
+}
+
+fn arb_monomial() -> impl Strategy<Value = Monomial> {
+    prop::collection::vec((0u8..3, 1u32..3), 0..3)
+        .prop_map(|ps| Monomial::from_powers(ps.into_iter().map(|(v, e)| (var_name(v), e))))
+}
+
+fn arb_provenance_polynomial() -> impl Strategy<Value = ProvenancePolynomial> {
+    prop::collection::vec((arb_monomial(), 0u64..4), 0..4).prop_map(|terms| {
+        ProvenancePolynomial::from_terms(terms.into_iter().map(|(m, c)| (m, Natural::from(c))))
+    })
+}
+
+fn arb_bool_polynomial() -> impl Strategy<Value = BoolPolynomial> {
+    prop::collection::vec(arb_monomial(), 0..4)
+        .prop_map(|ms| BoolPolynomial::from_terms(ms.into_iter().map(|m| (m, Bool::from(true)))))
+}
+
+fn arb_natinf_polynomial() -> impl Strategy<Value = NatInfPolynomial> {
+    prop::collection::vec((arb_monomial(), arb_natinf()), 0..4)
+        .prop_map(NatInfPolynomial::from_terms)
+}
+
+// ---- the suite: every shipped semiring -------------------------------------
+
+semiring_laws!(natural_laws, Natural, arb_natural());
+semiring_laws!(boolean_laws, Bool, arb_bool());
+semiring_laws!(natinf_laws, NatInf, arb_natinf());
+semiring_laws!(tropical_laws, Tropical, arb_tropical());
+semiring_laws!(fuzzy_laws, Fuzzy, arb_fuzzy());
+semiring_laws!(viterbi_laws, Viterbi, arb_viterbi());
+semiring_laws!(clearance_laws, Clearance, arb_clearance());
+semiring_laws!(posbool_laws, PosBool, arb_posbool());
+semiring_laws!(whyset_laws, WhySet, arb_whyset());
+semiring_laws!(witness_laws, Witness, arb_witness());
+semiring_laws!(event_laws, Event, arb_event());
+semiring_laws!(
+    provenance_polynomial_laws,
+    ProvenancePolynomial,
+    arb_provenance_polynomial()
+);
+semiring_laws!(bool_polynomial_laws, BoolPolynomial, arb_bool_polynomial());
+semiring_laws!(
+    natinf_polynomial_laws,
+    NatInfPolynomial,
+    arb_natinf_polynomial()
+);
+
+plus_idempotence!(boolean_idempotence, Bool, arb_bool());
+plus_idempotence!(tropical_idempotence, Tropical, arb_tropical());
+plus_idempotence!(fuzzy_idempotence, Fuzzy, arb_fuzzy());
+plus_idempotence!(viterbi_idempotence, Viterbi, arb_viterbi());
+plus_idempotence!(clearance_idempotence, Clearance, arb_clearance());
+plus_idempotence!(posbool_idempotence, PosBool, arb_posbool());
+plus_idempotence!(whyset_idempotence, WhySet, arb_whyset());
+plus_idempotence!(witness_idempotence, Witness, arb_witness());
+plus_idempotence!(event_idempotence, Event, arb_event());
+
+// ---- formal power series ----------------------------------------------------
+//
+// `TruncatedSeries` exposes its (quotient-)semiring operations as inherent
+// methods rather than the `Semiring` trait, because its `0`/`1` depend on
+// the truncation degree. The quotient ℕ∞[[X]] / (degree > d) is still a
+// commutative semiring for each fixed `d`, which is what we check here.
+mod truncated_series_laws {
+    use super::*;
+
+    const MAX_DEGREE: u32 = 4;
+
+    fn arb_series() -> impl Strategy<Value = TruncatedSeries> {
+        prop::collection::vec((arb_monomial(), arb_natinf()), 0..4).prop_map(|terms| {
+            let mut s = TruncatedSeries::zero(MAX_DEGREE);
+            for (m, c) in terms {
+                s.add_term(m, c);
+            }
+            s
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+        #[test]
+        fn series_semiring_laws(a in arb_series(), b in arb_series(), c in arb_series()) {
+            let zero = TruncatedSeries::zero(MAX_DEGREE);
+            let one = TruncatedSeries::one(MAX_DEGREE);
+            // Commutative monoids.
+            prop_assert_eq!(a.plus(&b), b.plus(&a));
+            prop_assert_eq!(a.plus(&b).plus(&c), a.plus(&b.plus(&c)));
+            prop_assert_eq!(a.times(&b), b.times(&a));
+            prop_assert_eq!(a.times(&b).times(&c), a.times(&b.times(&c)));
+            // Identities and annihilation.
+            prop_assert_eq!(a.plus(&zero), a.clone());
+            prop_assert_eq!(a.times(&one), a.clone());
+            prop_assert!(a.times(&zero).is_zero());
+            // Distributivity.
+            prop_assert_eq!(a.times(&b.plus(&c)), a.times(&b).plus(&a.times(&c)));
+        }
+    }
+}

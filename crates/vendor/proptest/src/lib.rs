@@ -13,7 +13,7 @@
 //!   `#![proptest_config(...)]` attribute and `arg in strategy` bindings;
 //! * [`Strategy`] (generation only — **no shrinking**), implemented for
 //!   integer ranges, tuples of strategies, and
-//!   [`prop::collection::vec`];
+//!   [`prop::collection::vec`], plus [`Strategy::prop_map`] and [`Just`];
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
 //! * [`ProptestConfig::with_cases`].
 //!
@@ -67,6 +67,47 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f` (shim for upstream's
+    /// `Strategy::prop_map`; no shrinking, so this is a plain map).
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always produces a clone of one fixed value (shim for
+/// upstream's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -157,7 +198,7 @@ pub mod prop {
 pub mod prelude {
     pub use crate::prop;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{ProptestConfig, Strategy};
+    pub use crate::{Just, ProptestConfig, Strategy};
 }
 
 /// Builds the per-test RNG. Public so the [`proptest!`] expansion can call
@@ -254,6 +295,17 @@ mod tests {
         fn unconfigured_form_works(a in 0u64..10, b in 0u64..10) {
             prop_assert_eq!(a + b, b + a);
             prop_assert_ne!(a, a + b + 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// `prop_map` transforms draws and `Just` is constant.
+        #[test]
+        fn map_and_just_strategies(s in (1u64..5).prop_map(|n| n.to_string()), k in Just(7u8)) {
+            prop_assert!(matches!(s.as_str(), "1" | "2" | "3" | "4"));
+            prop_assert_eq!(k, 7);
         }
     }
 
