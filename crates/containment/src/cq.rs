@@ -67,7 +67,29 @@ impl ConjunctiveQuery {
     /// Evaluates the query over a K-annotated fact store (Definition 3.2 /
     /// Section 5 semantics for a single non-recursive rule: sum over
     /// satisfying valuations of the product of body annotations).
+    ///
+    /// The rule is translated to RA⁺ (see [`crate::ra`]) and run on the
+    /// planned K-relation engine; rules the translation does not cover
+    /// (bodyless, or head predicate in the body) fall back to
+    /// [`ConjunctiveQuery::evaluate_datalog`]. All three routes agree on
+    /// every semiring (checked by the differential suite).
     pub fn evaluate<K: Semiring>(&self, edb: &FactStore<K>) -> FactStore<K> {
+        crate::ra::evaluate_rules(&[&self.rule], edb, crate::ra::RaRoute::Planned)
+            .unwrap_or_else(|| self.evaluate_datalog(edb))
+    }
+
+    /// Like [`ConjunctiveQuery::evaluate`], but running the translated RA⁺
+    /// expression on the tree-walking reference interpreter instead of the
+    /// planned engine — the differential/benchmark baseline.
+    pub fn evaluate_interpreted<K: Semiring>(&self, edb: &FactStore<K>) -> FactStore<K> {
+        crate::ra::evaluate_rules(&[&self.rule], edb, crate::ra::RaRoute::Interpreted)
+            .unwrap_or_else(|| self.evaluate_datalog(edb))
+    }
+
+    /// Evaluates the query through the datalog engine (bounded Kleene
+    /// iteration of the one-rule program) — the pre-planner route, kept as
+    /// a second reference implementation and for untranslatable rules.
+    pub fn evaluate_datalog<K: Semiring>(&self, edb: &FactStore<K>) -> FactStore<K> {
         let program = Program::new(vec![self.rule.clone()]);
         provsem_datalog::kleene_iterate(&program, edb, 2).idb
     }
@@ -130,8 +152,27 @@ impl UnionOfConjunctiveQueries {
         ))
     }
 
-    /// Evaluates the UCQ over a K-annotated fact store (sum over disjuncts).
+    /// Evaluates the UCQ over a K-annotated fact store (sum over
+    /// disjuncts), on the planned RA engine — see
+    /// [`ConjunctiveQuery::evaluate`]. Falls back to the datalog route when
+    /// some disjunct is not translatable.
     pub fn evaluate<K: Semiring>(&self, edb: &FactStore<K>) -> FactStore<K> {
+        let rules: Vec<&Rule> = self.disjuncts.iter().map(|d| &d.rule).collect();
+        crate::ra::evaluate_rules(&rules, edb, crate::ra::RaRoute::Planned)
+            .unwrap_or_else(|| self.evaluate_datalog(edb))
+    }
+
+    /// Like [`UnionOfConjunctiveQueries::evaluate`] on the tree-walking RA
+    /// interpreter — the differential/benchmark baseline.
+    pub fn evaluate_interpreted<K: Semiring>(&self, edb: &FactStore<K>) -> FactStore<K> {
+        let rules: Vec<&Rule> = self.disjuncts.iter().map(|d| &d.rule).collect();
+        crate::ra::evaluate_rules(&rules, edb, crate::ra::RaRoute::Interpreted)
+            .unwrap_or_else(|| self.evaluate_datalog(edb))
+    }
+
+    /// Evaluates the UCQ through the datalog engine (the pre-planner
+    /// route).
+    pub fn evaluate_datalog<K: Semiring>(&self, edb: &FactStore<K>) -> FactStore<K> {
         let program = Program::new(self.disjuncts.iter().map(|d| d.rule.clone()).collect());
         provsem_datalog::kleene_iterate(&program, edb, 2).idb
     }

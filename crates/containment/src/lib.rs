@@ -20,12 +20,14 @@
 #![forbid(unsafe_code)]
 
 pub mod cq;
+pub mod ra;
 
 /// Convenience prelude.
 pub mod prelude {
     pub use crate::cq::{
         check_containment_on_instance, ConjunctiveQuery, UnionOfConjunctiveQueries,
     };
+    pub use crate::ra::{rule_to_ra_expr, RaRoute};
 }
 
 pub use prelude::*;

@@ -18,15 +18,8 @@ impl<K: Semiring> KRelation<K> {
     /// # Panics
     /// Panics if the two relations have different schemas.
     pub fn union(&self, other: &KRelation<K>) -> KRelation<K> {
-        assert_eq!(
-            self.schema(),
-            other.schema(),
-            "union requires identical schemas"
-        );
         let mut result = self.clone();
-        for (t, k) in other.iter() {
-            result.insert(t.clone(), k.clone());
-        }
+        result.union_into(other);
         result
     }
 

@@ -133,8 +133,30 @@ impl RaExpr {
     }
 
     /// Evaluates the expression over a database of K-relations
-    /// (Definition 3.2, applied compositionally).
+    /// (Definition 3.2).
+    ///
+    /// This routes through the planned engine
+    /// ([`crate::plan`]): the expression is validated once, optimized
+    /// (selection/projection pushdown, join-input pruning, rename fusion),
+    /// and executed by positional physical operators. Results — including
+    /// errors — are identical to the tree-walking reference interpreter
+    /// [`RaExpr::eval_interpreted`], which the differential test suite
+    /// checks on every supported semiring. Callers that run one query many
+    /// times (or over several semirings) should build a
+    /// [`Plan`](crate::plan::Plan) directly and reuse it.
     pub fn eval<K: Semiring>(&self, db: &Database<K>) -> Result<KRelation<K>, EvalError> {
+        use crate::plan::{Plan, RelationSource};
+        Ok(Plan::new(self, &db.catalog())?.execute(db))
+    }
+
+    /// Evaluates the expression by walking the tree and materializing a
+    /// named [`KRelation`] at every node (Definition 3.2, applied
+    /// compositionally) — the original interpreter, kept as the reference
+    /// implementation the planned engine is differentially tested against.
+    pub fn eval_interpreted<K: Semiring>(
+        &self,
+        db: &Database<K>,
+    ) -> Result<KRelation<K>, EvalError> {
         match self {
             RaExpr::Relation(name) => db
                 .get(name)
@@ -142,18 +164,19 @@ impl RaExpr {
                 .ok_or_else(|| EvalError::UnknownRelation(name.clone())),
             RaExpr::Empty(schema) => Ok(KRelation::empty(schema.clone())),
             RaExpr::Union(a, b) => {
-                let ra = a.eval(db)?;
-                let rb = b.eval(db)?;
+                let mut ra = a.eval_interpreted(db)?;
+                let rb = b.eval_interpreted(db)?;
                 if ra.schema() != rb.schema() {
                     return Err(EvalError::SchemaMismatch {
                         left: ra.schema().clone(),
                         right: rb.schema().clone(),
                     });
                 }
-                Ok(ra.union(&rb))
+                ra.union_into(&rb);
+                Ok(ra)
             }
             RaExpr::Project(schema, e) => {
-                let r = e.eval(db)?;
+                let r = e.eval_interpreted(db)?;
                 if !r.schema().contains_all(schema) {
                     return Err(EvalError::InvalidProjection {
                         requested: schema.clone(),
@@ -162,10 +185,10 @@ impl RaExpr {
                 }
                 Ok(r.project(schema))
             }
-            RaExpr::Select(p, e) => Ok(e.eval(db)?.select(p)),
-            RaExpr::Join(a, b) => Ok(a.eval(db)?.join(&b.eval(db)?)),
+            RaExpr::Select(p, e) => Ok(e.eval_interpreted(db)?.select(p)),
+            RaExpr::Join(a, b) => Ok(a.eval_interpreted(db)?.join(&b.eval_interpreted(db)?)),
             RaExpr::Rename(rho, e) => {
-                let r = e.eval(db)?;
+                let r = e.eval_interpreted(db)?;
                 if rho.apply_schema(r.schema()).is_none() {
                     return Err(EvalError::InvalidRenaming(r.schema().clone()));
                 }

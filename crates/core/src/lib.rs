@@ -8,6 +8,10 @@
 //!   finite support (Definition 3.1);
 //! * the RA⁺ operators ∅, ∪, π, σ, ⋈, ρ on K-relations (Definition 3.2),
 //!   both as methods ([`algebra`]) and as an expression AST ([`expr::RaExpr`]);
+//! * the planned query engine ([`plan`]): logical plan → optimizer →
+//!   positional physical operators, which `RaExpr::eval` routes through
+//!   (the tree-walking interpreter survives as
+//!   `RaExpr::eval_interpreted`);
 //! * provenance-tracking evaluation and the factorization theorem
 //!   ([`provenance`], Theorem 4.3);
 //! * the paper's running examples ([`paper`]).
@@ -33,6 +37,7 @@ pub mod algebra;
 pub mod database;
 pub mod expr;
 pub mod paper;
+pub mod plan;
 pub mod predicate;
 pub mod provenance;
 pub mod relation;
@@ -45,6 +50,7 @@ pub mod prelude {
     pub use crate::database::Database;
     pub use crate::expr::{paper_example_query, EvalError, RaExpr};
     pub use crate::paper;
+    pub use crate::plan::{Catalog, NamedRelation, Plan, RelationSource};
     pub use crate::predicate::Predicate;
     pub use crate::provenance::{
         factorization_holds, poly, provenance_of_query, provenance_size, specialize, tag_database,

@@ -1,0 +1,285 @@
+//! The planned query engine: logical plan → optimizer → positional physical
+//! operators.
+//!
+//! [`RaExpr::eval`](crate::expr::RaExpr::eval) routes through this module:
+//! the expression is validated once against a [`Catalog`] (schemas inferred
+//! for every node up front), rewritten by the optimizer (selection pushdown,
+//! projection pushdown and join-input pruning, rename fusion,
+//! cascaded-projection collapse, `∅` propagation — see
+//! [`logical::optimize`]), and compiled to physical operators that work on
+//! positional rows with attributes resolved to column indices at plan time
+//! (the `physical` module). The original tree-walking interpreter is still
+//! available as [`RaExpr::eval_interpreted`](crate::expr::RaExpr::eval_interpreted)
+//! and serves as the differential-testing reference.
+//!
+//! Plans are independent of the annotation semiring: [`Plan::new`] needs
+//! only schemas and cardinalities, and one plan can be executed over
+//! databases annotated in *different* semirings — which is exactly the shape
+//! of the paper's factorization theorem (run once over ℕ\[X\], specialize
+//! everywhere) and is how
+//! [`factorization_holds`](crate::provenance::factorization_holds) shares a
+//! single plan between the direct and the provenance evaluation.
+//!
+//! ```
+//! use provsem_core::plan::Plan;
+//! use provsem_core::prelude::*;
+//! use provsem_semiring::Natural;
+//!
+//! let db = paper::figure3_bag();
+//! let plan = Plan::new(&paper::section2_query(), &db.catalog()).unwrap();
+//! println!("{}", plan.explain()); // optimized operator tree
+//! let out: KRelation<Natural> = plan.execute(&db);
+//! assert_eq!(out.len(), 5);
+//! ```
+
+pub mod logical;
+mod physical;
+
+use crate::database::Database;
+use crate::expr::{EvalError, RaExpr};
+use crate::relation::KRelation;
+use crate::schema::Schema;
+use provsem_semiring::Semiring;
+use std::collections::BTreeMap;
+
+pub use logical::LogicalPlan;
+
+/// The planner's view of a database: relation names mapped to schemas and
+/// cardinalities. Plans are built against a catalog, never against the data
+/// itself, which keeps them independent of the annotation semiring.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    relations: BTreeMap<String, (Schema, usize)>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a relation.
+    pub fn add(&mut self, name: impl Into<String>, schema: Schema, cardinality: usize) {
+        self.relations.insert(name.into(), (schema, cardinality));
+    }
+
+    /// Builder-style [`Catalog::add`].
+    pub fn with(mut self, name: impl Into<String>, schema: Schema, cardinality: usize) -> Self {
+        self.add(name, schema, cardinality);
+        self
+    }
+
+    /// Looks up a relation's schema and cardinality.
+    pub fn get(&self, name: &str) -> Option<(&Schema, usize)> {
+        self.relations
+            .get(name)
+            .map(|(schema, card)| (schema, *card))
+    }
+}
+
+/// Anything a physical plan can read base relations from.
+///
+/// [`Database`] is the usual source; [`NamedRelation`] lets callers holding
+/// a single relation (such as a c-table) evaluate queries without cloning it
+/// into a temporary database.
+pub trait RelationSource<K> {
+    /// The catalog describing this source (used to build plans against it).
+    fn catalog(&self) -> Catalog;
+
+    /// Resolves a base relation by name.
+    fn relation(&self, name: &str) -> Option<&KRelation<K>>;
+}
+
+impl<K: Semiring> RelationSource<K> for Database<K> {
+    fn catalog(&self) -> Catalog {
+        let mut catalog = Catalog::new();
+        for (name, relation) in self.iter() {
+            catalog.add(name.clone(), relation.schema().clone(), relation.len());
+        }
+        catalog
+    }
+
+    fn relation(&self, name: &str) -> Option<&KRelation<K>> {
+        self.get(name)
+    }
+}
+
+/// A single borrowed relation exposed under a name — the cheapest possible
+/// [`RelationSource`].
+#[derive(Clone, Copy, Debug)]
+pub struct NamedRelation<'a, K: Semiring> {
+    name: &'a str,
+    relation: &'a KRelation<K>,
+}
+
+impl<'a, K: Semiring> NamedRelation<'a, K> {
+    /// Wraps a relation reference under `name`.
+    pub fn new(name: &'a str, relation: &'a KRelation<K>) -> Self {
+        NamedRelation { name, relation }
+    }
+}
+
+impl<K: Semiring> RelationSource<K> for NamedRelation<'_, K> {
+    fn catalog(&self) -> Catalog {
+        Catalog::new().with(
+            self.name,
+            self.relation.schema().clone(),
+            self.relation.len(),
+        )
+    }
+
+    fn relation(&self, name: &str) -> Option<&KRelation<K>> {
+        (name == self.name).then_some(self.relation)
+    }
+}
+
+/// A fully prepared query: the optimized logical plan plus its physical
+/// compilation. Build once with [`Plan::new`], execute any number of times
+/// (over sources annotated in any semiring) with [`Plan::execute`].
+#[derive(Clone, Debug)]
+pub struct Plan {
+    logical: LogicalPlan,
+    physical: physical::PhysOp,
+    schema: Schema,
+}
+
+impl Plan {
+    /// Validates `expr` against `catalog`, optimizes it, and compiles the
+    /// physical operators. Errors are exactly those `RaExpr::eval` would
+    /// report.
+    pub fn new(expr: &RaExpr, catalog: &Catalog) -> Result<Plan, EvalError> {
+        let validated = LogicalPlan::from_expr(expr, catalog)?;
+        let optimized = logical::optimize(validated);
+        let physical = physical::compile(&optimized);
+        let schema = optimized.schema().clone();
+        Ok(Plan {
+            logical: optimized,
+            physical,
+            schema,
+        })
+    }
+
+    /// The plan's output schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The optimized logical plan.
+    pub fn logical(&self) -> &LogicalPlan {
+        &self.logical
+    }
+
+    /// Renders the optimized plan as an indented operator tree, one node per
+    /// line, annotated with schemas, predicates, join keys and hash-join
+    /// build sides.
+    pub fn explain(&self) -> String {
+        self.logical.render()
+    }
+
+    /// Executes the plan against a source.
+    ///
+    /// # Panics
+    /// Panics if `source` is inconsistent with the catalog the plan was
+    /// built against (a scanned relation missing or with a changed schema).
+    pub fn execute<K: Semiring>(&self, source: &impl RelationSource<K>) -> KRelation<K> {
+        physical::execute(&self.physical, &self.schema, source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::paper_example_query;
+    use crate::paper;
+    use crate::predicate::Predicate;
+    use crate::schema::Renaming;
+    use crate::tuple::Tuple;
+    use provsem_semiring::Natural;
+
+    fn plan_for(expr: &RaExpr) -> Plan {
+        Plan::new(expr, &paper::figure3_bag().catalog()).unwrap()
+    }
+
+    #[test]
+    fn planned_execution_matches_interpreter_on_the_paper_query() {
+        let db = paper::figure3_bag();
+        let q = paper_example_query("R");
+        let planned = q.eval(&db).unwrap();
+        let interpreted = q.eval_interpreted(&db).unwrap();
+        assert_eq!(planned, interpreted);
+        assert_eq!(
+            planned.annotation(&Tuple::new([("a", "d"), ("c", "e")])),
+            Natural::from(55u64)
+        );
+    }
+
+    #[test]
+    fn one_plan_executes_over_multiple_semirings() {
+        let db = paper::figure3_bag();
+        let plan = plan_for(&paper_example_query("R"));
+        let bag: KRelation<Natural> = plan.execute(&db);
+        let boolean =
+            plan.execute(&db.map_annotations(|n| provsem_semiring::Bool::from(!n.is_zero())));
+        assert_eq!(bag.len(), 5);
+        assert_eq!(boolean.len(), 5);
+    }
+
+    #[test]
+    fn explain_shows_pushed_projections() {
+        // The Section 2 query projects onto {a, c} at the top; pruning must
+        // narrow the scans to the columns each join input needs.
+        let plan = plan_for(&paper_example_query("R"));
+        let explain = plan.explain();
+        assert!(explain.contains("π {a, b}"), "explain:\n{explain}");
+        assert!(explain.contains("⋈ on {b}"), "explain:\n{explain}");
+    }
+
+    #[test]
+    fn selection_pushdown_through_rename_rewrites_attributes() {
+        let q = RaExpr::relation("R")
+            .rename(Renaming::new([("a", "x")]))
+            .select(Predicate::eq_value("x", "a"));
+        let plan = plan_for(&q);
+        let explain = plan.explain();
+        // The selection must sit below the rename, rewritten to attribute a.
+        let select_line = explain
+            .lines()
+            .position(|l| l.contains("σ a=a"))
+            .expect("pushed selection present");
+        let rename_line = explain
+            .lines()
+            .position(|l| l.contains("ρ a→x"))
+            .expect("rename present");
+        assert!(rename_line < select_line, "explain:\n{explain}");
+        let db = paper::figure3_bag();
+        assert_eq!(q.eval(&db).unwrap(), q.eval_interpreted(&db).unwrap());
+    }
+
+    #[test]
+    fn plan_errors_match_interpreter_errors() {
+        let db = paper::figure3_bag();
+        let catalog = db.catalog();
+        for q in [
+            RaExpr::relation("Missing"),
+            RaExpr::relation("R").project(["z"]),
+            RaExpr::relation("R").union(RaExpr::relation("R").project(["a"])),
+            RaExpr::relation("R").rename(Renaming::new([("a", "b")])),
+        ] {
+            let planned = Plan::new(&q, &catalog).map(|_| ());
+            let interpreted = q.eval_interpreted(&db).map(|_| ());
+            assert_eq!(planned, interpreted, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn named_relation_source_evaluates_without_a_database() {
+        let db = paper::figure3_bag();
+        let relation = db.get("R").unwrap();
+        let source = NamedRelation::new("R", relation);
+        let plan = Plan::new(&paper_example_query("R"), &source.catalog()).unwrap();
+        assert_eq!(
+            plan.execute(&source),
+            paper_example_query("R").eval(&db).unwrap()
+        );
+    }
+}

@@ -1,0 +1,425 @@
+//! Physical operators over *positional* tuples.
+//!
+//! At plan time every attribute is resolved to a column index, so the
+//! operators never touch attribute names: rows are `Box<[Value]>` slices
+//! whose columns follow the node's output schema (attributes in sorted
+//! order, matching [`Schema::attributes`]), and predicates are compiled to
+//! column-index form ([`CompiledPredicate`]).
+//!
+//! Execution is pipelined (iterator-style): selection, projection, renaming
+//! (a column permutation) and union stream rows without materializing
+//! anything. Materialization happens in exactly three places: the **build
+//! side of a hash join** (an index from key columns to rows), a
+//! **pre-join aggregation** on any join input whose subtree contains a
+//! pipelined projection or union (so joins always see distinct,
+//! annotation-summed rows — see [`PhysOp::Aggregate`]), and the **plan
+//! root** (the output [`KRelation`], which performs the final `Σ` of
+//! duplicate rows).
+
+use crate::plan::RelationSource;
+use crate::predicate::Predicate;
+use crate::relation::KRelation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use provsem_semiring::Semiring;
+use std::collections::HashMap;
+
+use super::logical::LogicalPlan;
+
+/// A positional row: one value per output column of the producing operator.
+pub(crate) type Row = Box<[Value]>;
+
+/// Where a hash join output column comes from.
+#[derive(Clone, Debug)]
+pub(crate) enum ColSource {
+    /// Column index into the build-side row.
+    Build(usize),
+    /// Column index into the probe-side row.
+    Probe(usize),
+}
+
+/// A selection predicate compiled to column indices. Attributes missing
+/// from the operator's schema compile to constant `false` comparisons,
+/// mirroring [`Predicate::eval`]'s missing-attribute semantics.
+#[derive(Clone, Debug)]
+pub(crate) enum CompiledPredicate {
+    /// A constant.
+    Const(bool),
+    /// Column equals a constant value.
+    ColEqValue(usize, Value),
+    /// Column differs from a constant value.
+    ColNeValue(usize, Value),
+    /// Two columns are equal.
+    ColEqCol(usize, usize),
+    /// Conjunction.
+    And(Box<CompiledPredicate>, Box<CompiledPredicate>),
+    /// Disjunction.
+    Or(Box<CompiledPredicate>, Box<CompiledPredicate>),
+}
+
+impl CompiledPredicate {
+    /// Compiles a named predicate against a schema, resolving attributes to
+    /// column positions and constant-folding where possible.
+    pub(crate) fn compile(predicate: &Predicate, schema: &Schema) -> CompiledPredicate {
+        use CompiledPredicate as C;
+        match predicate {
+            Predicate::True => C::Const(true),
+            Predicate::False => C::Const(false),
+            Predicate::AttrEqValue(a, v) => match schema.position(a) {
+                Some(i) => C::ColEqValue(i, v.clone()),
+                None => C::Const(false),
+            },
+            Predicate::AttrNeValue(a, v) => match schema.position(a) {
+                Some(i) => C::ColNeValue(i, v.clone()),
+                None => C::Const(false),
+            },
+            Predicate::AttrEqAttr(a, b) => match (schema.position(a), schema.position(b)) {
+                (Some(i), Some(j)) => C::ColEqCol(i, j),
+                _ => C::Const(false),
+            },
+            Predicate::And(p, q) => match (C::compile(p, schema), C::compile(q, schema)) {
+                (C::Const(false), _) | (_, C::Const(false)) => C::Const(false),
+                (C::Const(true), other) | (other, C::Const(true)) => other,
+                (cp, cq) => C::And(Box::new(cp), Box::new(cq)),
+            },
+            Predicate::Or(p, q) => match (C::compile(p, schema), C::compile(q, schema)) {
+                (C::Const(true), _) | (_, C::Const(true)) => C::Const(true),
+                (C::Const(false), other) | (other, C::Const(false)) => other,
+                (cp, cq) => C::Or(Box::new(cp), Box::new(cq)),
+            },
+        }
+    }
+
+    /// Evaluates the compiled predicate on a row.
+    pub(crate) fn eval(&self, row: &[Value]) -> bool {
+        match self {
+            CompiledPredicate::Const(b) => *b,
+            CompiledPredicate::ColEqValue(i, v) => row[*i] == *v,
+            CompiledPredicate::ColNeValue(i, v) => row[*i] != *v,
+            CompiledPredicate::ColEqCol(i, j) => row[*i] == row[*j],
+            CompiledPredicate::And(p, q) => p.eval(row) && q.eval(row),
+            CompiledPredicate::Or(p, q) => p.eval(row) || q.eval(row),
+        }
+    }
+}
+
+/// A physical operator tree, structurally parallel to the optimized
+/// [`LogicalPlan`] it was compiled from.
+#[derive(Clone, Debug)]
+pub(crate) enum PhysOp {
+    /// Scan of a base relation; rows follow the relation's sorted schema.
+    Scan {
+        /// Relation name to resolve against the [`RelationSource`].
+        name: String,
+        /// Expected schema (checked against the source at execution time).
+        schema: Schema,
+    },
+    /// Produces no rows.
+    Empty,
+    /// Pipelined filter.
+    Select {
+        /// Input operator.
+        input: Box<PhysOp>,
+        /// Compiled predicate.
+        predicate: CompiledPredicate,
+    },
+    /// Pipelined column projection: output column `j` is input column
+    /// `keep[j]`. Duplicate rows are *not* summed here — that happens at
+    /// the next materialization point (join build side or plan root).
+    Project {
+        /// Input operator.
+        input: Box<PhysOp>,
+        /// Input column index per output column.
+        keep: Vec<usize>,
+    },
+    /// Pipelined column permutation (the physical form of a renaming:
+    /// renamed attributes sort differently, so columns move).
+    Permute {
+        /// Input operator.
+        input: Box<PhysOp>,
+        /// Input column index per output column.
+        perm: Vec<usize>,
+    },
+    /// Pipelined concatenation; duplicate-row summation happens at the next
+    /// materialization point.
+    Union {
+        /// Left input.
+        left: Box<PhysOp>,
+        /// Right input.
+        right: Box<PhysOp>,
+    },
+    /// Hash aggregation: materializes the input, summing the annotations of
+    /// duplicate rows (the `Σ` of Definition 3.2's projection). Inserted
+    /// below join inputs whose subtree contains a duplicate-producing
+    /// operator (projection or union), so joins always see distinct rows —
+    /// without this, pipelined projections would feed every un-collapsed
+    /// duplicate into the join and the output blows up multiplicatively.
+    Aggregate {
+        /// Input operator.
+        input: Box<PhysOp>,
+    },
+    /// Hash join: materializes the build side indexed by its key columns,
+    /// then streams the probe side.
+    HashJoin {
+        /// Build-side operator (fully materialized into the hash index).
+        build: Box<PhysOp>,
+        /// Probe-side operator (streamed).
+        probe: Box<PhysOp>,
+        /// Key column indices on the build side.
+        build_keys: Vec<usize>,
+        /// Key column indices on the probe side.
+        probe_keys: Vec<usize>,
+        /// Source of each output column.
+        output: Vec<ColSource>,
+        /// `true` when build = the *right* logical input, in which case the
+        /// annotation product is `probe · build` to preserve the
+        /// left-times-right order of Definition 3.2.
+        swapped: bool,
+    },
+}
+
+impl PhysOp {
+    /// Can this operator emit the same row more than once? Scans produce
+    /// distinct rows; selection and permutation preserve distinctness; a
+    /// join of distinct inputs is distinct (the output row determines the
+    /// build/probe pair); projections and unions are the duplicate sources.
+    fn may_produce_duplicates(&self) -> bool {
+        match self {
+            PhysOp::Scan { .. } | PhysOp::Empty | PhysOp::Aggregate { .. } => false,
+            PhysOp::Project { .. } | PhysOp::Union { .. } => true,
+            PhysOp::Select { input, .. } | PhysOp::Permute { input, .. } => {
+                input.may_produce_duplicates()
+            }
+            PhysOp::HashJoin { build, probe, .. } => {
+                build.may_produce_duplicates() || probe.may_produce_duplicates()
+            }
+        }
+    }
+
+    /// Wraps a join input in an [`PhysOp::Aggregate`] when it could stream
+    /// duplicate rows.
+    fn collapsed(self) -> PhysOp {
+        if self.may_produce_duplicates() {
+            PhysOp::Aggregate {
+                input: Box::new(self),
+            }
+        } else {
+            self
+        }
+    }
+}
+
+/// Compiles an optimized logical plan into a physical operator tree.
+pub(crate) fn compile(plan: &LogicalPlan) -> PhysOp {
+    match plan {
+        LogicalPlan::Scan { name, schema, .. } => PhysOp::Scan {
+            name: name.clone(),
+            schema: schema.clone(),
+        },
+        LogicalPlan::Empty { .. } => PhysOp::Empty,
+        LogicalPlan::Union { left, right } => PhysOp::Union {
+            left: Box::new(compile(left)),
+            right: Box::new(compile(right)),
+        },
+        LogicalPlan::Select { predicate, input } => PhysOp::Select {
+            predicate: CompiledPredicate::compile(predicate, input.schema()),
+            input: Box::new(compile(input)),
+        },
+        LogicalPlan::Project { schema, input } => {
+            let source = input.schema();
+            let keep = schema
+                .attributes()
+                .iter()
+                .map(|a| {
+                    source
+                        .position(a)
+                        .expect("validated projection targets exist in the input schema")
+                })
+                .collect();
+            PhysOp::Project {
+                input: Box::new(compile(input)),
+                keep,
+            }
+        }
+        LogicalPlan::Rename {
+            renaming,
+            schema,
+            input,
+        } => {
+            // Output column j holds the input column whose renamed image is
+            // the j-th output attribute.
+            let source = input.schema();
+            let mut image_to_source = vec![usize::MAX; schema.arity()];
+            for (i, a) in source.attributes().iter().enumerate() {
+                let target = renaming.apply(a);
+                let j = schema
+                    .position(&target)
+                    .expect("validated renaming maps the input schema onto the output schema");
+                image_to_source[j] = i;
+            }
+            PhysOp::Permute {
+                input: Box::new(compile(input)),
+                perm: image_to_source,
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            schema,
+        } => {
+            let shared = left.schema().intersection(right.schema());
+            let builds_left = LogicalPlan::join_builds_left(left, right);
+            let (build, probe) = if builds_left {
+                (left, right)
+            } else {
+                (right, left)
+            };
+            let key_positions = |side: &LogicalPlan| {
+                shared
+                    .attributes()
+                    .iter()
+                    .map(|a| {
+                        side.schema()
+                            .position(a)
+                            .expect("join keys exist on both inputs")
+                    })
+                    .collect::<Vec<usize>>()
+            };
+            let output = schema
+                .attributes()
+                .iter()
+                .map(|a| match build.schema().position(a) {
+                    Some(i) => ColSource::Build(i),
+                    None => ColSource::Probe(
+                        probe
+                            .schema()
+                            .position(a)
+                            .expect("every join output attribute comes from an input"),
+                    ),
+                })
+                .collect();
+            PhysOp::HashJoin {
+                build_keys: key_positions(build),
+                probe_keys: key_positions(probe),
+                build: Box::new(compile(build).collapsed()),
+                probe: Box::new(compile(probe).collapsed()),
+                output,
+                swapped: !builds_left,
+            }
+        }
+    }
+}
+
+/// Streams the `(row, annotation)` pairs produced by an operator.
+///
+/// # Panics
+/// Panics if a scanned relation is missing from `source` or its schema
+/// differs from the one the plan was built against — both indicate the plan
+/// is being executed against a source inconsistent with its catalog.
+fn stream<'a, K, S>(op: &'a PhysOp, source: &'a S) -> Box<dyn Iterator<Item = (Row, K)> + 'a>
+where
+    K: Semiring + 'a,
+    S: RelationSource<K>,
+{
+    match op {
+        PhysOp::Scan { name, schema } => {
+            let relation = source
+                .relation(name)
+                .unwrap_or_else(|| panic!("relation {name} missing from the execution source"));
+            assert_eq!(
+                relation.schema(),
+                schema,
+                "relation {name} changed schema between planning and execution"
+            );
+            Box::new(relation.iter().map(|(tuple, k)| {
+                // Tuple fields iterate in sorted attribute order, which is
+                // exactly the positional column order.
+                let row: Row = tuple.values().cloned().collect();
+                (row, k.clone())
+            }))
+        }
+        PhysOp::Empty => Box::new(std::iter::empty()),
+        PhysOp::Select { input, predicate } => {
+            Box::new(stream(input, source).filter(move |(row, _)| predicate.eval(row)))
+        }
+        PhysOp::Project { input, keep } => Box::new(stream(input, source).map(move |(row, k)| {
+            let out: Row = keep.iter().map(|&i| row[i].clone()).collect();
+            (out, k)
+        })),
+        PhysOp::Permute { input, perm } => Box::new(stream(input, source).map(move |(row, k)| {
+            let out: Row = perm.iter().map(|&i| row[i].clone()).collect();
+            (out, k)
+        })),
+        PhysOp::Union { left, right } => {
+            Box::new(stream(left, source).chain(stream(right, source)))
+        }
+        PhysOp::Aggregate { input } => {
+            let mut groups: HashMap<Row, K> = HashMap::new();
+            for (row, k) in stream(input, source) {
+                match groups.get_mut(&row) {
+                    Some(existing) => existing.plus_assign(&k),
+                    None => {
+                        groups.insert(row, k);
+                    }
+                }
+            }
+            // Zero-summed rows are dropped: they cannot contribute to any
+            // downstream product or materialization.
+            Box::new(groups.into_iter().filter(|(_, k)| !k.is_zero()))
+        }
+        PhysOp::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            output,
+            swapped,
+        } => {
+            let mut index: HashMap<Row, Vec<(Row, K)>> = HashMap::new();
+            for (row, k) in stream(build, source) {
+                let key: Row = build_keys.iter().map(|&i| row[i].clone()).collect();
+                index.entry(key).or_default().push((row, k));
+            }
+            let probe_rows = stream(probe, source);
+            Box::new(probe_rows.flat_map(move |(prow, pk)| {
+                let key: Row = probe_keys.iter().map(|&i| prow[i].clone()).collect();
+                let mut matches = Vec::new();
+                if let Some(entries) = index.get(&key) {
+                    matches.reserve(entries.len());
+                    for (brow, bk) in entries {
+                        let row: Row = output
+                            .iter()
+                            .map(|src| match src {
+                                ColSource::Build(i) => brow[*i].clone(),
+                                ColSource::Probe(i) => prow[*i].clone(),
+                            })
+                            .collect();
+                        let k = if *swapped {
+                            pk.times(bk)
+                        } else {
+                            bk.times(&pk)
+                        };
+                        matches.push((row, k));
+                    }
+                }
+                matches
+            }))
+        }
+    }
+}
+
+/// Runs a physical plan to completion, materializing the result relation
+/// (summing the annotations of duplicate rows, per Definition 3.2).
+pub(crate) fn execute<K, S>(op: &PhysOp, schema: &Schema, source: &S) -> KRelation<K>
+where
+    K: Semiring,
+    S: RelationSource<K>,
+{
+    let mut result = KRelation::empty(schema.clone());
+    for (row, k) in stream(op, source) {
+        let tuple = Tuple::from_schema_row(schema, row);
+        result.insert_same_schema(tuple, k);
+    }
+    result
+}

@@ -9,6 +9,7 @@
 use crate::schema::Attribute;
 use crate::tuple::Tuple;
 use crate::value::Value;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// A selection predicate `P : U-Tup → {0, 1}`.
@@ -74,6 +75,49 @@ impl Predicate {
             },
             Predicate::And(p, q) => p.eval(tuple) && q.eval(tuple),
             Predicate::Or(p, q) => p.eval(tuple) || q.eval(tuple),
+        }
+    }
+
+    /// The attributes the predicate mentions — what the planner needs to
+    /// decide whether a selection can move below a projection, renaming or
+    /// join input.
+    pub fn referenced_attributes(&self) -> BTreeSet<Attribute> {
+        fn collect(p: &Predicate, out: &mut BTreeSet<Attribute>) {
+            match p {
+                Predicate::True | Predicate::False => {}
+                Predicate::AttrEqValue(a, _) | Predicate::AttrNeValue(a, _) => {
+                    out.insert(a.clone());
+                }
+                Predicate::AttrEqAttr(a, b) => {
+                    out.insert(a.clone());
+                    out.insert(b.clone());
+                }
+                Predicate::And(p, q) | Predicate::Or(p, q) => {
+                    collect(p, out);
+                    collect(q, out);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        collect(self, &mut out);
+        out
+    }
+
+    /// Rewrites every attribute reference through `f` — used by the planner
+    /// to push selections below renamings.
+    pub fn map_attributes(&self, f: &impl Fn(&Attribute) -> Attribute) -> Predicate {
+        match self {
+            Predicate::True => Predicate::True,
+            Predicate::False => Predicate::False,
+            Predicate::AttrEqValue(a, v) => Predicate::AttrEqValue(f(a), v.clone()),
+            Predicate::AttrNeValue(a, v) => Predicate::AttrNeValue(f(a), v.clone()),
+            Predicate::AttrEqAttr(a, b) => Predicate::AttrEqAttr(f(a), f(b)),
+            Predicate::And(p, q) => {
+                Predicate::And(Box::new(p.map_attributes(f)), Box::new(q.map_attributes(f)))
+            }
+            Predicate::Or(p, q) => {
+                Predicate::Or(Box::new(p.map_attributes(f)), Box::new(q.map_attributes(f)))
+            }
         }
     }
 

@@ -30,16 +30,18 @@ pub struct Tagged<K> {
     pub id_index: Vec<(Variable, String, Tuple)>,
 }
 
-/// Abstractly tags a single relation, generating ids `prefix_0, prefix_1, …`
-/// for its support tuples (in tuple order, so ids are deterministic).
-pub fn tag_relation<K: Semiring>(
-    name: &str,
-    relation: &KRelation<K>,
-) -> (
+/// What tagging a single relation produces: the ℕ\[X\]-annotated relation,
+/// the valuation sending the fresh ids back to the original annotations,
+/// and the id → `(relation, tuple)` index.
+pub type TaggedRelation<K> = (
     KRelation<ProvenancePolynomial>,
     Valuation<K>,
     Vec<(Variable, String, Tuple)>,
-) {
+);
+
+/// Abstractly tags a single relation, generating ids `prefix_0, prefix_1, …`
+/// for its support tuples (in tuple order, so ids are deterministic).
+pub fn tag_relation<K: Semiring>(name: &str, relation: &KRelation<K>) -> TaggedRelation<K> {
     let mut tagged = KRelation::empty(relation.schema().clone());
     let mut valuation = Valuation::new();
     let mut index = Vec::new();
@@ -111,7 +113,8 @@ pub fn specialize<K: CommutativeSemiring>(
 
 /// Runs a query with provenance: evaluates `q` over the abstractly tagged
 /// database, returning the ℕ\[X\]-annotated result (the "how-provenance" of
-/// every output tuple).
+/// every output tuple). Evaluation goes through the planned engine
+/// ([`crate::plan`]), like every `RaExpr::eval`.
 pub fn provenance_of_query<K: Semiring>(
     query: &RaExpr,
     db: &Database<K>,
@@ -129,9 +132,15 @@ pub fn factorization_holds<K: CommutativeSemiring>(
     query: &RaExpr,
     db: &Database<K>,
 ) -> Result<bool, EvalError> {
-    let direct = query.eval(db)?;
-    let (prov, valuation) = provenance_of_query(query, db)?;
-    Ok(specialize(&prov, &valuation) == direct)
+    // Plans are semiring-independent, so one plan serves both sides of the
+    // theorem: the direct K evaluation and the ℕ[X] provenance evaluation
+    // (the tagged database has the same schemas and supports as `db`).
+    use crate::plan::{Plan, RelationSource};
+    let plan = Plan::new(query, &db.catalog())?;
+    let direct = plan.execute(db);
+    let tagged = tag_database(db);
+    let prov = plan.execute(&tagged.database);
+    Ok(specialize(&prov, &tagged.valuation) == direct)
 }
 
 /// The total size (number of monomials summed over all output tuples) of a

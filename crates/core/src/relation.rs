@@ -38,9 +38,7 @@ impl<K: Semiring> KRelation<K> {
         I: IntoIterator<Item = (Tuple, K)>,
     {
         let mut rel = KRelation::empty(schema);
-        for (t, k) in pairs {
-            rel.insert(t, k);
-        }
+        rel.extend(pairs);
         rel
     }
 
@@ -92,6 +90,63 @@ impl<K: Semiring> KRelation<K> {
             None => {
                 self.tuples.insert(tuple, annotation);
             }
+        }
+    }
+
+    /// Like [`KRelation::insert`] but trusts the caller that the tuple is
+    /// over this relation's schema (checked only in debug builds). The hot
+    /// path of the physical engine's root materialization, where building a
+    /// `Schema` per row just to assert it away would dominate.
+    pub(crate) fn insert_same_schema(&mut self, tuple: Tuple, annotation: K) {
+        debug_assert_eq!(
+            tuple.schema(),
+            self.schema,
+            "tuple schema must match relation schema"
+        );
+        if annotation.is_zero() {
+            return;
+        }
+        match self.tuples.get_mut(&tuple) {
+            Some(existing) => {
+                existing.plus_assign(&annotation);
+                if existing.is_zero() {
+                    self.tuples.remove(&tuple);
+                }
+            }
+            None => {
+                self.tuples.insert(tuple, annotation);
+            }
+        }
+    }
+
+    /// In-place union (semiring `+` per tuple): adds every annotation of
+    /// `other` to this relation without cloning it wholesale — the
+    /// allocation-free form of [`KRelation::union`].
+    ///
+    /// # Panics
+    /// Panics if the two relations have different schemas.
+    pub fn union_into(&mut self, other: &KRelation<K>) {
+        assert_eq!(
+            self.schema(),
+            other.schema(),
+            "union requires identical schemas"
+        );
+        for (t, k) in other.iter() {
+            self.insert_same_schema(t.clone(), k.clone());
+        }
+    }
+
+    /// Adds a batch of owned `(tuple, annotation)` pairs (semiring `+` per
+    /// tuple), maintaining the support invariant.
+    ///
+    /// # Panics
+    /// Panics if a tuple's schema differs from the relation's schema.
+    pub fn extend<I>(&mut self, pairs: I)
+    where
+        I: IntoIterator<Item = (Tuple, K)>,
+    {
+        for (t, k) in pairs {
+            self.insert(t, k);
         }
     }
 

@@ -85,6 +85,12 @@ impl Schema {
         self.attributes.binary_search(attr).is_ok()
     }
 
+    /// The column position of an attribute in the sorted attribute order —
+    /// how the physical plan layer resolves names to indices at plan time.
+    pub fn position(&self, attr: &Attribute) -> Option<usize> {
+        self.attributes.binary_search(attr).ok()
+    }
+
     /// Is `other` a subset of this schema (`V ⊆ U`, the precondition of
     /// projection)?
     pub fn contains_all(&self, other: &Schema) -> bool {

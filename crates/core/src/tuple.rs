@@ -52,6 +52,22 @@ impl Tuple {
         }
     }
 
+    /// Builds a tuple from a positional row whose columns follow `schema`'s
+    /// sorted attribute order — the physical plan layer's boundary
+    /// conversion back into the named perspective. Unlike
+    /// [`Tuple::from_values`] this is infallible by construction (the
+    /// planner guarantees the arity).
+    pub(crate) fn from_schema_row<I>(schema: &Schema, values: I) -> Self
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        let tuple = Tuple {
+            fields: schema.attributes().iter().cloned().zip(values).collect(),
+        };
+        debug_assert_eq!(tuple.arity(), schema.arity(), "row arity matches schema");
+        tuple
+    }
+
     /// The schema this tuple is over.
     pub fn schema(&self) -> Schema {
         Schema::new(self.fields.keys().cloned())

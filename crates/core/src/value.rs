@@ -104,7 +104,7 @@ mod tests {
         assert_eq!(Value::from("a"), Value::str("a"));
         assert_ne!(Value::from("a"), Value::from("b"));
         assert_ne!(Value::from("1"), Value::from(1i64));
-        let mut vs = vec![
+        let mut vs = [
             Value::str("b"),
             Value::str("a"),
             Value::int(3),

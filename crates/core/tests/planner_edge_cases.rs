@@ -1,0 +1,186 @@
+//! Planner edge cases: empty relations, zero-arity schemas, self-joins,
+//! rename chains that collide and un-collide, and selections referencing
+//! renamed attributes. Every case checks the planned engine against the
+//! tree-walking interpreter (and, where the result is small enough to spell
+//! out, against the expected relation).
+
+use provsem_core::plan::Plan;
+use provsem_core::prelude::*;
+use provsem_semiring::Natural;
+
+fn nat(n: u64) -> Natural {
+    Natural::from(n)
+}
+
+fn db() -> Database<Natural> {
+    let r = KRelation::from_tuples(
+        Schema::new(["a", "b"]),
+        [
+            (Tuple::new([("a", "x"), ("b", "y")]), nat(2)),
+            (Tuple::new([("a", "y"), ("b", "y")]), nat(3)),
+        ],
+    );
+    let empty: KRelation<Natural> = KRelation::empty(Schema::new(["a", "b"]));
+    // A zero-arity relation containing the empty tuple with annotation 7.
+    let unit = KRelation::from_tuples(Schema::empty(), [(Tuple::empty(), nat(7))]);
+    Database::new()
+        .with("R", r)
+        .with("Nothing", empty)
+        .with("Unit", unit)
+}
+
+fn agree(query: &RaExpr) -> KRelation<Natural> {
+    let db = db();
+    let planned = query.eval(&db);
+    let interpreted = query.eval_interpreted(&db);
+    assert_eq!(planned, interpreted, "disagreement on {query:?}");
+    planned.expect("edge-case queries are valid")
+}
+
+#[test]
+fn joins_and_unions_with_stored_empty_relations() {
+    let out = agree(&RaExpr::relation("R").join(RaExpr::relation("Nothing")));
+    assert!(out.is_empty());
+    let out = agree(&RaExpr::relation("R").union(RaExpr::relation("Nothing")));
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn zero_arity_relations_and_projections() {
+    // π_∅(R) sums every annotation into the empty tuple.
+    let out = agree(&RaExpr::Project(
+        Schema::empty(),
+        Box::new(RaExpr::relation("R")),
+    ));
+    assert_eq!(out.annotation(&Tuple::empty()), nat(5));
+
+    // Joining with a 0-ary relation scales every annotation (it is the
+    // paper's scalar multiplication: 0-ary relations are semiring elements).
+    let out = agree(&RaExpr::relation("R").join(RaExpr::relation("Unit")));
+    assert_eq!(
+        out.annotation(&Tuple::new([("a", "x"), ("b", "y")])),
+        nat(14)
+    );
+
+    // 0-ary self-join squares the scalar.
+    let out = agree(&RaExpr::relation("Unit").join(RaExpr::relation("Unit")));
+    assert_eq!(out.annotation(&Tuple::empty()), nat(49));
+
+    // An empty 0-ary relation stays empty through union with itself.
+    let e = RaExpr::Empty(Schema::empty());
+    let out = agree(&e.clone().union(e));
+    assert!(out.is_empty());
+}
+
+#[test]
+fn self_join_squares_annotations() {
+    // R ⋈ R over identical schemas: every shared attribute is a join key,
+    // so each tuple pairs with itself and annotations square.
+    let out = agree(&RaExpr::relation("R").join(RaExpr::relation("R")));
+    assert_eq!(out.len(), 2);
+    assert_eq!(
+        out.annotation(&Tuple::new([("a", "x"), ("b", "y")])),
+        nat(4)
+    );
+    assert_eq!(
+        out.annotation(&Tuple::new([("a", "y"), ("b", "y")])),
+        nat(9)
+    );
+}
+
+#[test]
+fn rename_chain_collides_then_uncollides() {
+    // a→tmp, then b→a, then tmp→b: a net swap of a and b. Each step is
+    // injective even though a naive "rename a to b first" would collide.
+    // Rename fusion must compose the chain into the single swap.
+    let query = RaExpr::relation("R")
+        .rename(Renaming::new([("a", "tmp")]))
+        .rename(Renaming::new([("b", "a")]))
+        .rename(Renaming::new([("tmp", "b")]));
+    let out = agree(&query);
+    assert_eq!(out.schema(), &Schema::new(["a", "b"]));
+    assert_eq!(
+        out.annotation(&Tuple::new([("a", "y"), ("b", "x")])),
+        nat(2)
+    );
+
+    let plan = Plan::new(&query, &db().catalog()).unwrap();
+    assert_eq!(plan.explain(), "ρ a→b, b→a\n└─ scan R {a, b}\n");
+}
+
+#[test]
+fn colliding_rename_is_rejected_identically() {
+    let query = RaExpr::relation("R").rename(Renaming::new([("a", "b")]));
+    let database = db();
+    assert_eq!(query.eval(&database), query.eval_interpreted(&database),);
+    assert!(matches!(
+        query.eval(&database),
+        Err(EvalError::InvalidRenaming(_))
+    ));
+}
+
+#[test]
+fn selection_referencing_renamed_attributes() {
+    // The selection references the *new* names; pushdown through the rename
+    // must rewrite them back through the inverse.
+    let query = RaExpr::relation("R")
+        .rename(Renaming::new([("a", "x"), ("b", "y")]))
+        .select(Predicate::eq_attrs("x", "y").or(Predicate::eq_value("y", "y")));
+    let out = agree(&query);
+    assert_eq!(out.len(), 2);
+    assert_eq!(
+        out.annotation(&Tuple::new([("x", "y"), ("y", "y")])),
+        nat(3)
+    );
+}
+
+#[test]
+fn selection_referencing_pre_rename_attribute_stays_missing() {
+    // After ρ_{a→x}, attribute `a` no longer exists; a selection on it must
+    // select nothing — and crucially must NOT be pushed below the rename,
+    // where `a` would suddenly exist again.
+    let query = RaExpr::relation("R")
+        .rename(Renaming::new([("a", "x")]))
+        .select(Predicate::eq_value("a", "x"));
+    let out = agree(&query);
+    assert!(out.is_empty());
+
+    // In a disjunction the missing attribute disables only its disjunct.
+    let query = RaExpr::relation("R")
+        .rename(Renaming::new([("a", "x")]))
+        .select(Predicate::eq_value("a", "x").or(Predicate::eq_value("x", "y")));
+    let out = agree(&query);
+    assert_eq!(out.len(), 1);
+}
+
+#[test]
+fn empty_input_relation_through_full_pipeline() {
+    // The whole operator zoo over an *empty* stored relation.
+    let query = RaExpr::relation("Nothing")
+        .select(Predicate::eq_value("a", "x"))
+        .rename(Renaming::new([("b", "c")]))
+        .project(["c"])
+        .join(
+            RaExpr::relation("R")
+                .project(["b"])
+                .rename(Renaming::new([("b", "c")])),
+        );
+    let out = agree(&query);
+    assert!(out.is_empty());
+    assert_eq!(out.schema(), &Schema::new(["c"]));
+}
+
+#[test]
+fn projection_collapse_keeps_summation() {
+    // π_a(π_ab(R)) = π_a(R); the collapse must not change how duplicates
+    // are summed.
+    let query = RaExpr::Project(
+        Schema::new(["b"]),
+        Box::new(RaExpr::Project(
+            Schema::new(["a", "b"]),
+            Box::new(RaExpr::relation("R")),
+        )),
+    );
+    let out = agree(&query);
+    assert_eq!(out.annotation(&Tuple::new([("b", "y")])), nat(5));
+}

@@ -327,8 +327,12 @@ pub struct FactIndex {
     /// For a registered `(predicate, columns)` mask, facts keyed by their
     /// values at those columns. Nested so probes can look up with borrowed
     /// `&str` / `&[usize]` keys, keeping the hot join loop allocation-free.
-    masks: HashMap<String, HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<usize>>>>,
+    masks: HashMap<String, MaskIndex>,
 }
+
+/// Per-predicate bound-column indexes: for each registered column mask, the
+/// arena indices of the facts keyed by their values at those columns.
+type MaskIndex = HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<usize>>>;
 
 impl FactIndex {
     /// An empty index.

@@ -13,8 +13,7 @@ use common::{arb_edb, arb_program, build_edb, build_program};
 use proptest::prelude::*;
 use provsem_datalog::prelude::*;
 use provsem_semiring::{
-    Bool, NatInf, NatInfToBool, Natural, NaturalToBool, NaturalToNatInf, Semiring,
-    SemiringHomomorphism,
+    NatInf, NatInfToBool, Natural, NaturalToBool, NaturalToNatInf, Semiring, SemiringHomomorphism,
 };
 
 const CASES: u32 = 120;

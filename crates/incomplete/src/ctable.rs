@@ -11,7 +11,7 @@
 //! `K = PosBool`.
 
 use crate::worlds::PossibleWorlds;
-use provsem_core::{Database, KRelation, RaExpr, Schema, Tuple};
+use provsem_core::{KRelation, NamedRelation, Plan, RaExpr, RelationSource, Schema, Tuple};
 use provsem_semiring::{PosBool, Semiring, Valuation, Variable};
 use std::collections::BTreeSet;
 
@@ -100,13 +100,18 @@ impl CTable {
     /// producing the answer c-table. This is exactly Definition 3.2 at
     /// `K = PosBool(B)` — the computation of Figure 2(a), with the canonical
     /// form performing the simplification to Figure 2(b).
+    ///
+    /// Evaluation goes through the planned engine of
+    /// [`provsem_core::plan`]; the c-table is exposed to it as a borrowed
+    /// [`NamedRelation`] source, so no copy of the relation is made.
     pub fn answer_query(
         &self,
         name: &str,
         query: &RaExpr,
     ) -> Result<CTable, provsem_core::EvalError> {
-        let db = Database::new().with(name, self.relation.clone());
-        Ok(CTable::new(query.eval(&db)?))
+        let source = NamedRelation::new(name, &self.relation);
+        let plan = Plan::new(query, &source.catalog())?;
+        Ok(CTable::new(plan.execute(&source)))
     }
 
     /// Substitutes conditions for variables (e.g. to compose c-tables or to

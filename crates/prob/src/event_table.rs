@@ -8,7 +8,7 @@
 //! Probabilities of output tuples are obtained by summing world
 //! probabilities over the output events.
 
-use provsem_core::{Database, EvalError, KRelation, RaExpr, Schema, Tuple};
+use provsem_core::{Catalog, Database, EvalError, KRelation, Plan, RaExpr, Schema, Tuple};
 use provsem_semiring::{Event, PosBool, Valuation, Variable};
 use std::collections::BTreeMap;
 
@@ -115,9 +115,20 @@ impl TupleIndependentDb {
     /// Answers an RA⁺ query, returning for every output tuple its event and
     /// its exact probability (sum of the probabilities of the worlds in the
     /// event).
+    ///
+    /// Evaluation goes through the planned engine of
+    /// [`provsem_core::plan`]. Plans only need schemas, so the query is
+    /// validated and optimized *before* the (exponential in `n`) event
+    /// table is constructed — an invalid query fails fast.
     pub fn answer_query(&self, query: &RaExpr) -> Result<Vec<(Tuple, Event, f64)>, EvalError> {
+        let mut catalog = Catalog::new();
+        for (name, schema) in &self.schemas {
+            let cardinality = self.tuples.iter().filter(|(n, _, _)| n == name).count();
+            catalog.add(name.clone(), schema.clone(), cardinality);
+        }
+        let plan = Plan::new(query, &catalog)?;
         let db = self.to_event_database();
-        let out = query.eval(&db)?;
+        let out = plan.execute(&db);
         let probs = self.world_probabilities();
         Ok(out
             .iter()

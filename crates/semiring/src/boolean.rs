@@ -145,8 +145,8 @@ mod tests {
 
     #[test]
     fn conversion_round_trip() {
-        assert_eq!(bool::from(Bool::from(true)), true);
-        assert_eq!(bool::from(Bool::from(false)), false);
-        assert_eq!(Bool::from(true).value(), true);
+        assert!(bool::from(Bool::from(true)));
+        assert!(!bool::from(Bool::from(false)));
+        assert!(Bool::from(true).value());
     }
 }

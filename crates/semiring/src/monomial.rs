@@ -243,7 +243,7 @@ mod tests {
         let a = Monomial::var("x");
         let b = Monomial::var("y");
         let ab = a.multiply(&b);
-        let mut ms = vec![ab.clone(), b.clone(), Monomial::unit(), a.clone()];
+        let mut ms = [ab.clone(), b.clone(), Monomial::unit(), a.clone()];
         ms.sort();
         assert_eq!(ms[0], Monomial::unit());
         // The exact order of the rest only needs to be deterministic.

@@ -285,7 +285,7 @@ mod tests {
 
     #[test]
     fn sum_and_product_over_iterators() {
-        let xs = vec![
+        let xs = [
             Natural::from(1u64),
             Natural::from(2u64),
             Natural::from(3u64),

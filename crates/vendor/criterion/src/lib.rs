@@ -321,9 +321,10 @@ mod tests {
     use super::*;
 
     fn forced_test_mode() -> Criterion {
-        let mut c = Criterion::default();
-        c.test_mode = true;
-        c
+        Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        }
     }
 
     #[test]
