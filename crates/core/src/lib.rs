@@ -53,8 +53,10 @@ pub mod prelude {
     pub use crate::plan::{Catalog, NamedRelation, Plan, RelationSource};
     pub use crate::predicate::Predicate;
     pub use crate::provenance::{
-        factorization_holds, poly, provenance_of_query, provenance_size, specialize, tag_database,
-        tag_database_with_names, tag_relation, Tagged,
+        circuit_factorization_holds, circuit_provenance_of_query, circuit_provenance_size,
+        factorization_holds, poly, provenance_of_query, provenance_size, specialize,
+        specialize_circuit, tag_database, tag_database_circuit, tag_database_with_names,
+        tag_relation, CircuitTagged, Tagged,
     };
     pub use crate::relation::KRelation;
     pub use crate::schema::{Attribute, Renaming, Schema};

@@ -32,7 +32,7 @@ use crate::expr::{EvalError, RaExpr};
 use crate::plan::Catalog;
 use crate::predicate::Predicate;
 use crate::schema::{Attribute, Renaming, Schema};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A validated, schema-annotated RA⁺ plan node.
 #[derive(Clone, PartialEq, Debug)]
@@ -279,6 +279,197 @@ impl LogicalPlan {
                 &format!("{child_prefix}{branch}"),
                 &format!("{child_prefix}{extension}"),
             );
+        }
+    }
+}
+
+/// What the planner knows about the rows a (sub)plan emits, used to decide
+/// where the physical compiler must insert pre-join aggregations.
+///
+/// `groups` records attribute classes known **pairwise equal on every
+/// emitted row** (from `a=b` selection conjuncts below); a group with
+/// `pinned = true` is additionally equal to one constant (from `a=v`
+/// conjuncts). These facts come only from selections *below* the operator,
+/// so they hold on every row the operator streams.
+pub(crate) struct RowFacts {
+    /// Can the operator emit the same row more than once?
+    pub(crate) may_duplicate: bool,
+    groups: Vec<(BTreeSet<Attribute>, bool)>,
+}
+
+impl RowFacts {
+    fn distinct() -> RowFacts {
+        RowFacts {
+            may_duplicate: false,
+            groups: Vec::new(),
+        }
+    }
+
+    fn duplicating() -> RowFacts {
+        RowFacts {
+            may_duplicate: true,
+            groups: Vec::new(),
+        }
+    }
+
+    fn group_of(&self, attr: &Attribute) -> Option<usize> {
+        self.groups.iter().position(|(g, _)| g.contains(attr))
+    }
+
+    /// Records `attr = constant` on every row.
+    fn pin(&mut self, attr: &Attribute) {
+        match self.group_of(attr) {
+            Some(i) => self.groups[i].1 = true,
+            None => self.groups.push((BTreeSet::from([attr.clone()]), true)),
+        }
+    }
+
+    /// Records `a = b` on every row.
+    fn equate(&mut self, a: &Attribute, b: &Attribute) {
+        if a == b {
+            return;
+        }
+        match (self.group_of(a), self.group_of(b)) {
+            (Some(i), Some(j)) if i == j => {}
+            (Some(i), Some(j)) => {
+                let (merged, pinned) = self.groups.remove(j.max(i));
+                let keep = &mut self.groups[j.min(i)];
+                keep.0.extend(merged);
+                keep.1 |= pinned;
+            }
+            (Some(i), None) => {
+                self.groups[i].0.insert(b.clone());
+            }
+            (None, Some(j)) => {
+                self.groups[j].0.insert(a.clone());
+            }
+            (None, None) => self
+                .groups
+                .push((BTreeSet::from([a.clone(), b.clone()]), false)),
+        }
+    }
+
+    /// Is `attr`'s value on every row determined by the attributes of
+    /// `kept` (directly, via an equality chain, or by being constant)?
+    fn determined_by(&self, attr: &Attribute, kept: &Schema) -> bool {
+        self.group_of(attr)
+            .map(|i| {
+                let (group, pinned) = &self.groups[i];
+                *pinned || group.iter().any(|a| kept.contains(a))
+            })
+            .unwrap_or(false)
+    }
+
+    /// Keeps only facts about the attributes of `kept` (after a projection).
+    fn restrict(&mut self, kept: &Schema) {
+        for (group, _) in &mut self.groups {
+            group.retain(|a| kept.contains(a));
+        }
+        self.groups
+            .retain(|(group, pinned)| group.len() >= 2 || (*pinned && !group.is_empty()));
+    }
+
+    /// Relabels the facts through a renaming.
+    fn rename(&mut self, renaming: &Renaming) {
+        for (group, _) in &mut self.groups {
+            *group = group.iter().map(|a| renaming.apply(a)).collect();
+        }
+    }
+
+    /// Merges another operator's facts in (for joins: both hold on the
+    /// combined row).
+    fn absorb(&mut self, other: RowFacts) {
+        for (group, pinned) in other.groups {
+            let mut members = group.into_iter();
+            let Some(first) = members.next() else {
+                continue;
+            };
+            for member in members {
+                self.equate(&first, &member);
+            }
+            if pinned {
+                self.pin(&first);
+            }
+        }
+    }
+}
+
+/// Collects per-row equality facts from the top-level conjuncts of a
+/// selection predicate. Only conjuncts whose attributes all exist in
+/// `schema` are recorded: a comparison against a missing attribute is
+/// constant-`false` (no rows at all), which yields no usable fact.
+fn collect_predicate_facts(predicate: &Predicate, schema: &Schema, facts: &mut RowFacts) {
+    match predicate {
+        Predicate::And(p, q) => {
+            collect_predicate_facts(p, schema, facts);
+            collect_predicate_facts(q, schema, facts);
+        }
+        Predicate::AttrEqValue(a, _) if schema.contains(a) => facts.pin(a),
+        Predicate::AttrEqAttr(a, b) if schema.contains(a) && schema.contains(b) => {
+            facts.equate(a, b)
+        }
+        _ => {}
+    }
+}
+
+impl LogicalPlan {
+    /// Can this operator stream the same row more than once? Drives the
+    /// physical compiler's pre-join aggregation decision.
+    ///
+    /// Scans emit distinct rows; selections and renamings preserve
+    /// distinctness; joins emit distinct rows because the compiler
+    /// aggregates any duplicate-streaming join input; unions duplicate. A
+    /// **projection** duplicates only if it actually loses information:
+    /// dropping an attribute that is *determined* by the kept ones — pinned
+    /// to a constant by a selection below (`σ_{c=v}` then `π` dropping `c`,
+    /// the shape column pruning produces constantly) or chained by `a=b`
+    /// equalities to a kept attribute — preserves distinctness, and such
+    /// rename-like projections stay pipelined.
+    ///
+    /// The analysis is conservative in the safe direction: a false
+    /// `may_duplicate` answer can only ever cost an avoidable aggregation,
+    /// never correctness (duplicate rows through a join are still summed at
+    /// the next materialization point).
+    pub(crate) fn may_produce_duplicate_rows(&self) -> bool {
+        self.row_facts().may_duplicate
+    }
+
+    fn row_facts(&self) -> RowFacts {
+        match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::Empty { .. } => RowFacts::distinct(),
+            LogicalPlan::Union { .. } => RowFacts::duplicating(),
+            LogicalPlan::Select { predicate, input } => {
+                let mut facts = input.row_facts();
+                collect_predicate_facts(predicate, input.schema(), &mut facts);
+                facts
+            }
+            LogicalPlan::Rename {
+                renaming, input, ..
+            } => {
+                let mut facts = input.row_facts();
+                facts.rename(renaming);
+                facts
+            }
+            LogicalPlan::Project { schema, input } => {
+                let mut facts = input.row_facts();
+                let drops_information = input
+                    .schema()
+                    .attributes()
+                    .iter()
+                    .any(|a| !schema.contains(a) && !facts.determined_by(a, schema));
+                facts.may_duplicate |= drops_information;
+                facts.restrict(schema);
+                facts
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                // The compiler aggregates duplicate-streaming join inputs,
+                // so the join sees distinct sides — and a join of distinct
+                // inputs is distinct (the output row determines the pair).
+                let mut facts = left.row_facts();
+                facts.absorb(right.row_facts());
+                facts.may_duplicate = false;
+                facts
+            }
         }
     }
 }

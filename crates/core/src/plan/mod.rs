@@ -176,6 +176,15 @@ impl Plan {
         self.logical.render()
     }
 
+    /// Renders the compiled *physical* operator tree. Unlike
+    /// [`Plan::explain`] this shows the materialization points — `agg`
+    /// nodes (pre-join aggregations inserted for duplicate-streaming join
+    /// inputs) and hash-join build sides with their key columns — which is
+    /// what the pre-join aggregation tests pin down.
+    pub fn explain_physical(&self) -> String {
+        self.physical.render()
+    }
+
     /// Executes the plan against a source.
     ///
     /// # Panics

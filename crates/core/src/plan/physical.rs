@@ -10,11 +10,15 @@
 //! (a column permutation) and union stream rows without materializing
 //! anything. Materialization happens in exactly three places: the **build
 //! side of a hash join** (an index from key columns to rows), a
-//! **pre-join aggregation** on any join input whose subtree contains a
-//! pipelined projection or union (so joins always see distinct,
-//! annotation-summed rows — see [`PhysOp::Aggregate`]), and the **plan
-//! root** (the output [`KRelation`], which performs the final `Σ` of
-//! duplicate rows).
+//! **pre-join aggregation** on any join input that could stream duplicate
+//! rows per [`LogicalPlan::may_produce_duplicate_rows`] (so joins always
+//! see distinct, annotation-summed rows — see [`PhysOp::Aggregate`];
+//! rename-like projections that only drop constant-pinned or
+//! equality-determined columns stay pipelined), and the **plan root** (the
+//! output [`KRelation`], which performs the final `Σ` of duplicate rows).
+//! Annotations are borrowed from the scans ([`Cow`]) until an operator
+//! actually combines them, so filtered-out and passthrough rows never clone
+//! a (possibly expensive) annotation.
 
 use crate::plan::RelationSource;
 use crate::predicate::Predicate;
@@ -23,12 +27,20 @@ use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use provsem_semiring::Semiring;
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 use super::logical::LogicalPlan;
 
 /// A positional row: one value per output column of the producing operator.
 pub(crate) type Row = Box<[Value]>;
+
+/// An annotation flowing through the pipeline. Scans lend their annotations
+/// (`Cow::Borrowed`) so that rows a selection filters out — or that only
+/// pass through to the root — never pay a clone of a potentially expensive
+/// annotation (an expanded ℕ\[X\] polynomial, say); ownership materializes
+/// only where an operator actually combines annotations.
+type Ann<'a, K> = Cow<'a, K>;
 
 /// Where a hash join output column comes from.
 #[derive(Clone, Debug)]
@@ -151,10 +163,12 @@ pub(crate) enum PhysOp {
     },
     /// Hash aggregation: materializes the input, summing the annotations of
     /// duplicate rows (the `Σ` of Definition 3.2's projection). Inserted
-    /// below join inputs whose subtree contains a duplicate-producing
-    /// operator (projection or union), so joins always see distinct rows —
-    /// without this, pipelined projections would feed every un-collapsed
-    /// duplicate into the join and the output blows up multiplicatively.
+    /// below join inputs that could stream duplicate rows (per the logical
+    /// [`LogicalPlan::may_produce_duplicate_rows`] analysis: unions, and
+    /// projections that drop a column not determined by the kept ones), so
+    /// joins always see distinct rows — without this, pipelined projections
+    /// would feed every un-collapsed duplicate into the join and the output
+    /// blows up multiplicatively.
     Aggregate {
         /// Input operator.
         input: Box<PhysOp>,
@@ -180,32 +194,82 @@ pub(crate) enum PhysOp {
 }
 
 impl PhysOp {
-    /// Can this operator emit the same row more than once? Scans produce
-    /// distinct rows; selection and permutation preserve distinctness; a
-    /// join of distinct inputs is distinct (the output row determines the
-    /// build/probe pair); projections and unions are the duplicate sources.
-    fn may_produce_duplicates(&self) -> bool {
-        match self {
-            PhysOp::Scan { .. } | PhysOp::Empty | PhysOp::Aggregate { .. } => false,
-            PhysOp::Project { .. } | PhysOp::Union { .. } => true,
-            PhysOp::Select { input, .. } | PhysOp::Permute { input, .. } => {
-                input.may_produce_duplicates()
-            }
-            PhysOp::HashJoin { build, probe, .. } => {
-                build.may_produce_duplicates() || probe.may_produce_duplicates()
-            }
-        }
-    }
-
-    /// Wraps a join input in an [`PhysOp::Aggregate`] when it could stream
-    /// duplicate rows.
-    fn collapsed(self) -> PhysOp {
-        if self.may_produce_duplicates() {
+    /// Wraps a join input in an [`PhysOp::Aggregate`] when the logical
+    /// analysis ([`LogicalPlan::may_produce_duplicate_rows`]) says it could
+    /// stream duplicate rows. The analysis lives on the logical plan
+    /// because it needs schemas and selection predicates — it keeps
+    /// rename-like projections (dropping only constant-pinned or
+    /// equality-determined columns) pipelined.
+    fn collapsed_if(self, may_duplicate: bool) -> PhysOp {
+        if may_duplicate {
             PhysOp::Aggregate {
                 input: Box::new(self),
             }
         } else {
             self
+        }
+    }
+
+    /// Renders the physical operator tree — the body of
+    /// [`Plan::explain_physical`](crate::plan::Plan::explain_physical).
+    /// Unlike the logical `explain`, this shows the materialization points:
+    /// `agg` nodes (pre-join aggregations) and hash-join build sides.
+    pub(crate) fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(&mut out, "", "");
+        out
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            PhysOp::Scan { name, schema } => format!("scan {name} {schema:?}"),
+            PhysOp::Empty => "∅".to_string(),
+            PhysOp::Select { .. } => "σ".to_string(),
+            PhysOp::Project { keep, .. } => format!("π cols{keep:?}"),
+            PhysOp::Permute { perm, .. } => format!("permute{perm:?}"),
+            PhysOp::Union { .. } => "∪".to_string(),
+            PhysOp::Aggregate { .. } => "agg".to_string(),
+            PhysOp::HashJoin {
+                build_keys,
+                probe_keys,
+                swapped,
+                ..
+            } => {
+                let side = if *swapped { "right" } else { "left" };
+                format!("hash-join build={side} keys{build_keys:?}/{probe_keys:?}")
+            }
+        }
+    }
+
+    fn children(&self) -> Vec<&PhysOp> {
+        match self {
+            PhysOp::Scan { .. } | PhysOp::Empty => Vec::new(),
+            PhysOp::Select { input, .. }
+            | PhysOp::Project { input, .. }
+            | PhysOp::Permute { input, .. }
+            | PhysOp::Aggregate { input } => vec![input],
+            PhysOp::Union { left, right } => vec![left, right],
+            PhysOp::HashJoin { build, probe, .. } => vec![build, probe],
+        }
+    }
+
+    fn render_node(&self, out: &mut String, prefix: &str, child_prefix: &str) {
+        out.push_str(prefix);
+        out.push_str(&self.describe());
+        out.push('\n');
+        let children = self.children();
+        for (i, child) in children.iter().enumerate() {
+            let last = i + 1 == children.len();
+            let (branch, extension) = if last {
+                ("└─ ", "   ")
+            } else {
+                ("├─ ", "│  ")
+            };
+            child.render_node(
+                out,
+                &format!("{child_prefix}{branch}"),
+                &format!("{child_prefix}{extension}"),
+            );
         }
     }
 }
@@ -302,8 +366,8 @@ pub(crate) fn compile(plan: &LogicalPlan) -> PhysOp {
             PhysOp::HashJoin {
                 build_keys: key_positions(build),
                 probe_keys: key_positions(probe),
-                build: Box::new(compile(build).collapsed()),
-                probe: Box::new(compile(probe).collapsed()),
+                build: Box::new(compile(build).collapsed_if(build.may_produce_duplicate_rows())),
+                probe: Box::new(compile(probe).collapsed_if(probe.may_produce_duplicate_rows())),
                 output,
                 swapped: !builds_left,
             }
@@ -312,31 +376,31 @@ pub(crate) fn compile(plan: &LogicalPlan) -> PhysOp {
 }
 
 /// Streams the `(row, annotation)` pairs produced by an operator.
+/// Annotations are [`Cow`]s borrowed from the scanned relations until an
+/// operator combines them (see [`Ann`]).
 ///
 /// # Panics
 /// Panics if a scanned relation is missing from `source` or its schema
 /// differs from the one the plan was built against — both indicate the plan
 /// is being executed against a source inconsistent with its catalog.
-fn stream<'a, K, S>(op: &'a PhysOp, source: &'a S) -> Box<dyn Iterator<Item = (Row, K)> + 'a>
+fn stream<'a, K, S>(
+    op: &'a PhysOp,
+    source: &'a S,
+) -> Box<dyn Iterator<Item = (Row, Ann<'a, K>)> + 'a>
 where
     K: Semiring + 'a,
     S: RelationSource<K>,
 {
     match op {
         PhysOp::Scan { name, schema } => {
-            let relation = source
-                .relation(name)
-                .unwrap_or_else(|| panic!("relation {name} missing from the execution source"));
-            assert_eq!(
-                relation.schema(),
-                schema,
-                "relation {name} changed schema between planning and execution"
-            );
+            let relation = scan_relation(name, schema, source);
             Box::new(relation.iter().map(|(tuple, k)| {
                 // Tuple fields iterate in sorted attribute order, which is
-                // exactly the positional column order.
+                // exactly the positional column order. The annotation is
+                // lent, not cloned: ownership materializes only where an
+                // operator combines annotations.
                 let row: Row = tuple.values().cloned().collect();
-                (row, k.clone())
+                (row, Cow::Borrowed(k))
             }))
         }
         PhysOp::Empty => Box::new(std::iter::empty()),
@@ -358,15 +422,20 @@ where
             let mut groups: HashMap<Row, K> = HashMap::new();
             for (row, k) in stream(input, source) {
                 match groups.get_mut(&row) {
-                    Some(existing) => existing.plus_assign(&k),
+                    Some(existing) => existing.plus_assign(k.as_ref()),
                     None => {
-                        groups.insert(row, k);
+                        groups.insert(row, k.into_owned());
                     }
                 }
             }
             // Zero-summed rows are dropped: they cannot contribute to any
             // downstream product or materialization.
-            Box::new(groups.into_iter().filter(|(_, k)| !k.is_zero()))
+            Box::new(
+                groups
+                    .into_iter()
+                    .filter(|(_, k)| !k.is_zero())
+                    .map(|(row, k)| (row, Cow::Owned(k))),
+            )
         }
         PhysOp::HashJoin {
             build,
@@ -379,13 +448,18 @@ where
             let mut index: HashMap<Row, Vec<(Row, K)>> = HashMap::new();
             for (row, k) in stream(build, source) {
                 let key: Row = build_keys.iter().map(|&i| row[i].clone()).collect();
-                index.entry(key).or_default().push((row, k));
+                index.entry(key).or_default().push((row, k.into_owned()));
             }
             let probe_rows = stream(probe, source);
+            // The probe key is assembled in a scratch buffer reused across
+            // probe rows; the index is queried through `Borrow<[Value]>`,
+            // so no per-row key allocation happens.
+            let mut key_buf: Vec<Value> = Vec::with_capacity(probe_keys.len());
             Box::new(probe_rows.flat_map(move |(prow, pk)| {
-                let key: Row = probe_keys.iter().map(|&i| prow[i].clone()).collect();
+                key_buf.clear();
+                key_buf.extend(probe_keys.iter().map(|&i| prow[i].clone()));
                 let mut matches = Vec::new();
-                if let Some(entries) = index.get(&key) {
+                if let Some(entries) = index.get(key_buf.as_slice()) {
                     matches.reserve(entries.len());
                     for (brow, bk) in entries {
                         let row: Row = output
@@ -396,17 +470,35 @@ where
                             })
                             .collect();
                         let k = if *swapped {
-                            pk.times(bk)
+                            pk.as_ref().times(bk)
                         } else {
-                            bk.times(&pk)
+                            bk.times(pk.as_ref())
                         };
-                        matches.push((row, k));
+                        matches.push((row, Cow::Owned(k)));
                     }
                 }
                 matches
             }))
         }
     }
+}
+
+/// Resolves a scanned relation against the execution source, with the
+/// consistency panics shared by [`stream`] and the [`execute`] fast path.
+fn scan_relation<'a, K, S>(name: &str, schema: &Schema, source: &'a S) -> &'a KRelation<K>
+where
+    K: Semiring,
+    S: RelationSource<K>,
+{
+    let relation = source
+        .relation(name)
+        .unwrap_or_else(|| panic!("relation {name} missing from the execution source"));
+    assert_eq!(
+        relation.schema(),
+        schema,
+        "relation {name} changed schema between planning and execution"
+    );
+    relation
 }
 
 /// Runs a physical plan to completion, materializing the result relation
@@ -416,10 +508,16 @@ where
     K: Semiring,
     S: RelationSource<K>,
 {
+    // A plan that optimized down to a bare scan is the whole base relation:
+    // skip the row round-trip (named tuple → positional row → named tuple)
+    // entirely and clone the relation wholesale.
+    if let PhysOp::Scan { name, schema: s } = op {
+        return scan_relation(name, s, source).clone();
+    }
     let mut result = KRelation::empty(schema.clone());
     for (row, k) in stream(op, source) {
         let tuple = Tuple::from_schema_row(schema, row);
-        result.insert_same_schema(tuple, k);
+        result.insert_same_schema(tuple, k.into_owned());
     }
     result
 }

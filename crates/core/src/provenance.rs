@@ -13,8 +13,8 @@ use crate::expr::{EvalError, RaExpr};
 use crate::relation::KRelation;
 use crate::tuple::Tuple;
 use provsem_semiring::{
-    CommutativeSemiring, Monomial, Natural, Polynomial, ProvenancePolynomial, Semiring, Valuation,
-    Variable,
+    Circuit, CircuitEval, CommutativeSemiring, Monomial, Natural, Polynomial, ProvenancePolynomial,
+    Semiring, Valuation, Variable,
 };
 
 /// The result of abstractly tagging a K-relation or database: the
@@ -148,6 +148,101 @@ pub fn factorization_holds<K: CommutativeSemiring>(
 /// the benchmarks.
 pub fn provenance_size(relation: &KRelation<ProvenancePolynomial>) -> usize {
     relation.iter().map(|(_, p)| p.num_terms()).sum()
+}
+
+/// The result of abstractly tagging a database in **circuit form**: each
+/// base tuple is annotated with a hash-consed [`Circuit`] variable instead
+/// of an expanded ℕ\[X\] polynomial. Same theorem (4.3), shared
+/// representation: query evaluation interns `Plus`/`Times` nodes in O(1)
+/// and specialization is one memoized bottom-up pass over the DAG.
+///
+/// Variable names match [`tag_database`] exactly, so the two routes are
+/// interchangeable (and differentially comparable) valuation-for-valuation.
+/// Handles live in the thread-local circuit arena; call
+/// `provsem_semiring::circuit::reset()` between independent queries to
+/// reclaim it (which invalidates earlier `CircuitTagged` results).
+#[derive(Clone, Debug)]
+pub struct CircuitTagged<K> {
+    /// The abstractly tagged instance `R̄`, annotated with circuit handles.
+    pub database: Database<Circuit>,
+    /// The valuation sending tuple ids to the original K annotations.
+    pub valuation: Valuation<K>,
+    /// For reporting: which tuple each id refers to (`(relation, tuple)`).
+    pub id_index: Vec<(Variable, String, Tuple)>,
+}
+
+/// Abstractly tags every relation of a database with circuit variables —
+/// the circuit-form counterpart of [`tag_database`].
+pub fn tag_database_circuit<K: Semiring>(db: &Database<K>) -> CircuitTagged<K> {
+    let mut database = Database::new();
+    let mut valuation = Valuation::new();
+    let mut id_index = Vec::new();
+    for (name, relation) in db.iter() {
+        let mut tagged = KRelation::empty(relation.schema().clone());
+        for (i, (tuple, annotation)) in relation.iter().enumerate() {
+            let id = Variable::indexed(name, i);
+            tagged.insert(tuple.clone(), Circuit::var(id.clone()));
+            valuation.assign(id.clone(), annotation.clone());
+            id_index.push((id, name.clone(), tuple.clone()));
+        }
+        database.insert(name.clone(), tagged);
+    }
+    CircuitTagged {
+        database,
+        valuation,
+        id_index,
+    }
+}
+
+/// Evaluates a circuit-annotated relation into `K` — tuple-wise `Eval_v`
+/// with **one shared memo across all tuples**: a subcircuit reused by many
+/// output tuples is evaluated once (this is where the circuit route beats
+/// specializing expanded polynomials tuple by tuple).
+pub fn specialize_circuit<K: CommutativeSemiring>(
+    relation: &KRelation<Circuit>,
+    valuation: &Valuation<K>,
+) -> KRelation<K> {
+    let mut eval = CircuitEval::new(valuation);
+    let mut out = KRelation::empty(relation.schema().clone());
+    for (tuple, circuit) in relation.iter() {
+        out.insert(tuple.clone(), eval.eval(*circuit));
+    }
+    out
+}
+
+/// Runs a query with circuit provenance: evaluates `q` over the
+/// circuit-tagged database — the circuit-form counterpart of
+/// [`provenance_of_query`].
+pub fn circuit_provenance_of_query<K: Semiring>(
+    query: &RaExpr,
+    db: &Database<K>,
+) -> Result<(KRelation<Circuit>, Valuation<K>), EvalError> {
+    let tagged = tag_database_circuit(db);
+    let result = query.eval(&tagged.database)?;
+    Ok((result, tagged.valuation))
+}
+
+/// Checks Theorem 4.3 along the circuit route: evaluating directly in K
+/// agrees with evaluating over circuits and specializing via the memoized
+/// `Eval_v`. One plan serves both evaluations, like
+/// [`factorization_holds`].
+pub fn circuit_factorization_holds<K: CommutativeSemiring>(
+    query: &RaExpr,
+    db: &Database<K>,
+) -> Result<bool, EvalError> {
+    use crate::plan::{Plan, RelationSource};
+    let plan = Plan::new(query, &db.catalog())?;
+    let direct = plan.execute(db);
+    let tagged = tag_database_circuit(db);
+    let prov = plan.execute(&tagged.database);
+    Ok(specialize_circuit(&prov, &tagged.valuation) == direct)
+}
+
+/// The total number of distinct circuit nodes reachable from a
+/// circuit-annotated result — the *with-sharing* counterpart of
+/// [`provenance_size`] (which counts expanded monomials).
+pub fn circuit_provenance_size(relation: &KRelation<Circuit>) -> usize {
+    provsem_semiring::circuit::shared_node_count(relation.iter().map(|(_, c)| *c))
 }
 
 /// Builds a provenance polynomial from an explicit list of
@@ -347,5 +442,56 @@ mod tests {
         let (prov, _) = provenance_of_query(&paper_example_query("R"), &db).unwrap();
         // 1 + 1 + 1 + 2 + 2 monomials across the five output tuples.
         assert_eq!(provenance_size(&prov), 7);
+    }
+
+    #[test]
+    fn circuit_route_agrees_with_polynomial_route_on_figure5() {
+        let db = figure5_db();
+        let q = paper_example_query("R");
+        let (poly_prov, poly_val) = provenance_of_query(&q, &db).unwrap();
+        let (circ_prov, circ_val) = circuit_provenance_of_query(&q, &db).unwrap();
+        // Same support, and tuple-wise the circuit lowers to the exact same
+        // ℕ[X] polynomial (the tagging uses identical variable names).
+        assert_eq!(circ_prov.len(), poly_prov.len());
+        for (tuple, circuit) in circ_prov.iter() {
+            assert_eq!(
+                circuit.to_polynomial(),
+                poly_prov.annotation(tuple),
+                "{tuple}"
+            );
+        }
+        // And both specializations reproduce the direct bag result.
+        let via_poly = specialize(&poly_prov, &poly_val);
+        let via_circ = specialize_circuit(&circ_prov, &circ_val);
+        assert_eq!(via_poly, via_circ);
+        assert!(circuit_factorization_holds(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn circuit_tagging_matches_polynomial_tagging_ids() {
+        let db = figure5_db();
+        let tagged = tag_database(&db);
+        let circ = tag_database_circuit(&db);
+        let poly_ids: Vec<_> = tagged.id_index.iter().map(|(v, r, t)| (v, r, t)).collect();
+        let circ_ids: Vec<_> = circ.id_index.iter().map(|(v, r, t)| (v, r, t)).collect();
+        assert_eq!(poly_ids, circ_ids);
+        for (id, _, _) in &circ.id_index {
+            assert_eq!(circ.valuation.get(id), tagged.valuation.get(id));
+        }
+    }
+
+    #[test]
+    fn circuit_provenance_size_measures_sharing() {
+        let db = figure5_db();
+        let (prov, _) = circuit_provenance_of_query(&paper_example_query("R"), &db).unwrap();
+        // A handful of shared nodes over the three tuple variables — far
+        // fewer than one expansion per output tuple, and bounded by the
+        // arena (which holds every node of both sides of each Plus/Times).
+        let nodes = circuit_provenance_size(&prov);
+        assert!(nodes >= 3, "at least the three variables: {nodes}");
+        assert!(
+            nodes <= provsem_semiring::circuit::arena_node_count(),
+            "reachable nodes are a subset of the arena"
+        );
     }
 }

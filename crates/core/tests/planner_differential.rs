@@ -260,3 +260,99 @@ fn explain_golden_empty_propagation() {
     let plan = Plan::new(&query, &db.catalog()).unwrap();
     assert_eq!(plan.explain(), "scan R {a, b, c}\n");
 }
+
+/// A projection that drops only a constant-pinned column (the shape column
+/// pruning produces around every `σ_{attr=const}`) cannot introduce
+/// duplicate rows, so the join input stays pipelined: **no `agg` node**.
+/// Before the tightened duplicate analysis this projection forced a
+/// pre-join aggregation.
+#[test]
+fn explain_physical_golden_pinned_projection_stays_pipelined() {
+    let db = paper::figure3_bag();
+    let catalog = db.catalog().with("S", Schema::new(["b", "d"]), 3);
+    let query = RaExpr::relation("R")
+        .select(Predicate::eq_value("c", "v0"))
+        .project(["a", "b"])
+        .join(RaExpr::relation("S"));
+    let plan = Plan::new(&query, &catalog).unwrap();
+    let expected = "\
+hash-join build=left keys[1]/[0]
+├─ π cols[0, 1]
+│  └─ σ
+│     └─ scan R {a, b, c}
+└─ scan S {b, d}
+";
+    assert_eq!(
+        plan.explain_physical(),
+        expected,
+        "got:\n{}",
+        plan.explain_physical()
+    );
+    assert!(!plan.explain_physical().contains("agg"));
+    // The differential guard: planned equals interpreted on data.
+    let mut dbs = db.clone();
+    dbs.insert(
+        "S",
+        KRelation::from_tuples(
+            Schema::new(["b", "d"]),
+            [
+                (Tuple::new([("b", "b"), ("d", "x")]), Natural::from(2u64)),
+                (Tuple::new([("b", "g"), ("d", "y")]), Natural::from(3u64)),
+                (Tuple::new([("b", "q"), ("d", "z")]), Natural::from(1u64)),
+            ],
+        ),
+    );
+    assert_eq!(
+        query.eval(&dbs).unwrap(),
+        query.eval_interpreted(&dbs).unwrap()
+    );
+}
+
+/// The contrast case: dropping a column that is *not* determined by the
+/// kept ones can merge distinct rows, so the join input is aggregated
+/// (`agg` below the join) exactly as before.
+#[test]
+fn explain_physical_golden_duplicating_projection_is_aggregated() {
+    let db = paper::figure3_bag();
+    let catalog = db.catalog().with("S", Schema::new(["b", "d"]), 3);
+    let query = RaExpr::relation("R")
+        .project(["a", "b"])
+        .join(RaExpr::relation("S"));
+    let plan = Plan::new(&query, &catalog).unwrap();
+    let expected = "\
+hash-join build=left keys[1]/[0]
+├─ agg
+│  └─ π cols[0, 1]
+│     └─ scan R {a, b, c}
+└─ scan S {b, d}
+";
+    assert_eq!(
+        plan.explain_physical(),
+        expected,
+        "got:\n{}",
+        plan.explain_physical()
+    );
+}
+
+/// An attribute-equality selection (`a=c`) determines the dropped column
+/// through the kept one, so the rename-like projection stays pipelined too.
+#[test]
+fn explain_physical_equality_determined_projection_stays_pipelined() {
+    let db = paper::figure3_bag();
+    let catalog = db.catalog().with("S", Schema::new(["b", "d"]), 3);
+    let query = RaExpr::relation("R")
+        .select(Predicate::eq_attrs("a", "c"))
+        .project(["a", "b"])
+        .join(RaExpr::relation("S"));
+    let plan = Plan::new(&query, &catalog).unwrap();
+    let physical = plan.explain_physical();
+    assert!(!physical.contains("agg"), "got:\n{physical}");
+    // Dropping the *kept-side* of the pair keeps working symmetrically.
+    let query = RaExpr::relation("R")
+        .select(Predicate::eq_attrs("a", "c"))
+        .project(["b", "c"])
+        .join(RaExpr::relation("S"));
+    let plan = Plan::new(&query, &catalog).unwrap();
+    let physical = plan.explain_physical();
+    assert!(!physical.contains("agg"), "got:\n{physical}");
+}

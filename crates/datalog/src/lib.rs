@@ -71,8 +71,9 @@ pub mod prelude {
     };
     pub use crate::parser::{parse_program, parse_rule, ParseError};
     pub use crate::provenance::{
-        classify_series, datalog_provenance, nonrecursive_provenance_is_polynomial,
-        DatalogProvenance, SeriesClass,
+        classify_series, datalog_provenance, datalog_provenance_circuit,
+        nonrecursive_provenance_is_polynomial, CircuitDatalogProvenance, DatalogProvenance,
+        SeriesClass,
     };
     pub use crate::seminaive::{
         evaluate, evaluate_with_bound, seminaive_idempotent, seminaive_iterate, EvalStrategy,

@@ -95,6 +95,23 @@ pub fn kleene_iterate_grounded<K: Semiring>(
     edb: &FactStore<K>,
     max_iterations: usize,
 ) -> FixpointResult<K> {
+    kleene_iterate_grounded_by(program, ground, edb, max_iterations, |next, current| {
+        next == current
+    })
+}
+
+/// The shared Kleene driver, parameterized by the fixpoint test so callers
+/// with expensive semantic equality can substitute a cheaper sound check —
+/// the circuit provenance evaluation compares node ids
+/// (`crate::provenance::datalog_provenance_circuit`) instead of `==`, which
+/// for circuits would expand polynomials.
+pub(crate) fn kleene_iterate_grounded_by<K: Semiring>(
+    program: &Program,
+    ground: &[GroundRule],
+    edb: &FactStore<K>,
+    max_iterations: usize,
+    reached_fixpoint: impl Fn(&FactStore<K>, &FactStore<K>) -> bool,
+) -> FixpointResult<K> {
     let idb_predicates = program.idb_predicates();
     // When no rule consumes an idb fact, `T` is a constant function: one
     // application reaches the fixpoint, and re-applying it (as the loop
@@ -118,7 +135,7 @@ pub fn kleene_iterate_grounded<K: Semiring>(
             converged = true;
             break;
         }
-        if next == current {
+        if reached_fixpoint(&next, &current) {
             converged = true;
             break;
         }

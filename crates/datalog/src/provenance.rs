@@ -12,12 +12,17 @@
 //! | `NInfPoly` | finitely many monomials, some coefficient ∞           |
 //! | `NInfSeries` | infinitely many monomials and some coefficient ∞    |
 
-use crate::all_trees::{all_trees_with_variables, AllTreesResult, TreeProvenance};
+use crate::all_trees::{
+    all_trees_with_variables, default_edb_variables, AllTreesResult, TreeProvenance,
+};
 use crate::ast::Program;
 use crate::exact::facts_with_infinitely_many_derivations;
 use crate::fact::{Fact, FactStore};
 use crate::grounding::{derivable_facts, instantiate_over, DependencyGraph};
-use provsem_semiring::{OmegaContinuous, ProvenancePolynomial, Semiring, Valuation, Variable};
+use provsem_semiring::{
+    Circuit, CircuitEval, CommutativeSemiring, OmegaContinuous, ProvenancePolynomial, Semiring,
+    Valuation, Variable,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Which fragment of ℕ∞\[\[X\]\] a tuple's provenance series lies in.
@@ -177,6 +182,122 @@ impl<K: OmegaContinuous> DatalogProvenance<K> {
     }
 }
 
+/// Datalog provenance in **circuit form**: the idb annotated with
+/// hash-consed [`Circuit`] handles over one variable per edb fact, plus the
+/// valuation mapping those variables back to the original K annotations.
+///
+/// This is the representation for the workloads where the expanded ℕ\[X\]
+/// (or All-Trees) route blows up combinatorially: on a transitive closure
+/// whose path count doubles per layer, the polynomial for the far endpoint
+/// has `2ⁿ` monomials while the circuit reuses each intermediate
+/// reachability annotation and stays **linear** in the instance size. See
+/// [`datalog_provenance_circuit`].
+#[derive(Clone, Debug)]
+pub struct CircuitDatalogProvenance<K> {
+    /// Circuit annotations of the derivable idb facts after the last round.
+    pub facts: FactStore<Circuit>,
+    /// The valuation mapping each edb variable to its K annotation.
+    pub valuation: Valuation<K>,
+    /// The edb fact → variable tagging (same scheme as
+    /// [`datalog_provenance`], i.e. [`default_edb_variables`]).
+    pub edb_variables: BTreeMap<Fact, Variable>,
+    /// Number of immediate-consequence rounds performed.
+    pub iterations: usize,
+    /// Whether a fixpoint was observed within the round bound. Detection is
+    /// *structural* (node-id equality): sound, and complete one round after
+    /// the annotations stabilize, because the deterministic recomputation
+    /// of stable inputs re-interns identical nodes.
+    pub converged: bool,
+}
+
+impl<K: Semiring> CircuitDatalogProvenance<K> {
+    /// The circuit annotation of one fact (`None` if not derivable).
+    pub fn circuit(&self, fact: &Fact) -> Option<Circuit> {
+        self.facts
+            .contains(fact)
+            .then(|| self.facts.annotation(fact))
+    }
+}
+
+impl<K: CommutativeSemiring> CircuitDatalogProvenance<K> {
+    /// Specializes the circuit provenance into K with **one memoized
+    /// bottom-up pass shared by every fact** (Theorem 6.4's `Eval_v`, at
+    /// circuit speed): each node of the shared DAG is evaluated once, no
+    /// matter how many idb facts reach it.
+    pub fn specialize(&self) -> FactStore<K> {
+        let mut eval = CircuitEval::new(&self.valuation);
+        let mut out = FactStore::new();
+        for (fact, circuit) in self.facts.facts() {
+            out.set(fact, eval.eval(*circuit));
+        }
+        out
+    }
+}
+
+/// Structural (node-id) equality of two circuit-annotated stores — O(n) and
+/// independent of circuit size, unlike semantic circuit equality, which
+/// lowers to the expanded polynomial.
+fn same_structure(a: &FactStore<Circuit>, b: &FactStore<Circuit>) -> bool {
+    a.len() == b.len()
+        && a.facts()
+            .all(|(fact, c)| b.contains(&fact) && c.same_node(&b.annotation(&fact)))
+}
+
+/// Evaluates a datalog program over the **circuit** provenance semiring:
+/// tags each edb fact with a variable, runs the bounded Kleene iteration of
+/// Definition 5.5 with circuit annotations (`+`/`·` intern DAG nodes in
+/// O(1) instead of merging monomial maps), and returns the circuit-annotated
+/// idb with the valuation for later specialization.
+///
+/// Convergence is detected **structurally**: hash-consing is deterministic,
+/// so once a round leaves every annotation's node id unchanged the iteration
+/// has reached the (semantic) fixpoint — one extra round after
+/// stabilization, exactly like the naive evaluator's `next == current`
+/// check, but without ever expanding a polynomial. On instances whose ℕ\[X\]
+/// annotations never stabilize (cyclic ℕ∞\[\[X\]\] cases, Section 6) the
+/// iteration stops at `max_rounds` with `converged = false`, and the result
+/// equals the naive `Tᵐ(0)` round for round.
+///
+/// The returned circuits live in the thread-local arena of
+/// [`provsem_semiring::circuit`], which is append-only; call
+/// `provsem_semiring::circuit::reset()` between independent evaluations to
+/// reclaim it — doing so invalidates any previously returned
+/// [`CircuitDatalogProvenance`], so specialize first.
+pub fn datalog_provenance_circuit<K: Semiring>(
+    program: &Program,
+    edb: &FactStore<K>,
+    max_rounds: usize,
+) -> CircuitDatalogProvenance<K> {
+    let edb_variables = default_edb_variables(edb);
+    let mut valuation = Valuation::new();
+    let mut edb_circuits: FactStore<Circuit> = FactStore::new();
+    for (fact, annotation) in edb.facts() {
+        let var = edb_variables[&fact].clone();
+        valuation.assign(var.clone(), annotation.clone());
+        edb_circuits.set(fact, Circuit::var(var));
+    }
+
+    let derivable = derivable_facts(program, &edb_circuits);
+    let ground = instantiate_over(program, &derivable);
+    // The naive Kleene driver, with the semantic `next == current` fixpoint
+    // test (which for circuits would expand polynomials) replaced by the
+    // O(n) structural node-id comparison.
+    let result = crate::naive::kleene_iterate_grounded_by(
+        program,
+        &ground,
+        &edb_circuits,
+        max_rounds,
+        same_structure,
+    );
+    CircuitDatalogProvenance {
+        facts: result.idb,
+        valuation,
+        edb_variables,
+        iterations: result.iterations,
+        converged: result.converged,
+    }
+}
+
 /// Sanity check for Proposition 6.2 / 5.3: for a **non-recursive** program,
 /// the datalog provenance of every answer is a polynomial.
 pub fn nonrecursive_provenance_is_polynomial<K: Semiring>(
@@ -313,6 +434,121 @@ mod tests {
         assert_eq!(out.annotation(&Fact::new("Q", ["a", "a"])), NatInf::Fin(4));
         assert_eq!(out.annotation(&Fact::new("Q", ["a", "b"])), NatInf::Fin(18));
         assert_eq!(out.annotation(&Fact::new("Q", ["b", "b"])), NatInf::Fin(16));
+    }
+
+    #[test]
+    fn circuit_datalog_matches_figure6_bag_multiplicities() {
+        // Same instance as `figure6_datalog_provenance_matches_bag_multiplicities`,
+        // through the circuit route: one non-recursive round, then one
+        // shared memoized specialization pass.
+        let program = Program::figure6_query();
+        let edb = edge_facts(
+            "R",
+            &[
+                ("a", "a", Natural::from(2u64)),
+                ("a", "b", Natural::from(3u64)),
+                ("b", "b", Natural::from(4u64)),
+            ],
+        );
+        let prov = datalog_provenance_circuit(&program, &edb, 16);
+        assert!(prov.converged);
+        assert_eq!(prov.iterations, 1, "non-recursive early exit");
+        let out = prov.specialize();
+        assert_eq!(
+            out.annotation(&Fact::new("Q", ["a", "a"])),
+            Natural::from(4u64)
+        );
+        assert_eq!(
+            out.annotation(&Fact::new("Q", ["a", "b"])),
+            Natural::from(18u64)
+        );
+        assert_eq!(
+            out.annotation(&Fact::new("Q", ["b", "b"])),
+            Natural::from(16u64)
+        );
+    }
+
+    #[test]
+    fn circuit_datalog_converges_structurally_on_acyclic_tc() {
+        // Linear TC on a chain: structural convergence must be observed and
+        // the specialization must equal the direct ℕ evaluation.
+        let program = Program::linear_transitive_closure("R", "Q");
+        let edb = edge_facts(
+            "R",
+            &[
+                ("a", "b", Natural::from(2u64)),
+                ("b", "c", Natural::from(3u64)),
+                ("c", "d", Natural::from(5u64)),
+            ],
+        );
+        let prov = datalog_provenance_circuit(&program, &edb, 64);
+        assert!(prov.converged);
+        let direct = crate::naive::kleene_iterate(&program, &edb, 64);
+        assert!(direct.converged);
+        assert_eq!(prov.specialize(), direct.idb);
+        // The circuit of the far endpoint is the expected path product.
+        let q_ad = prov.circuit(&Fact::new("Q", ["a", "d"])).unwrap();
+        assert_eq!(q_ad.eval(&prov.valuation), Natural::from(30u64));
+    }
+
+    #[test]
+    fn circuit_datalog_is_round_for_round_tm_on_nonconverging_instances() {
+        // Figure 7 over ℕ∞ never converges; specializing the circuit Tᵐ(0)
+        // must equal the naive Tᵐ(0) for every m (Eval_v commutes with T).
+        let program = Program::transitive_closure("R", "Q");
+        let edb = figure7_edb();
+        for rounds in 1..6 {
+            let prov = datalog_provenance_circuit(&program, &edb, rounds);
+            assert!(!prov.converged, "rounds={rounds}");
+            assert_eq!(prov.iterations, rounds);
+            let naive = crate::naive::kleene_iterate(&program, &edb, rounds);
+            assert_eq!(prov.specialize(), naive.idb, "rounds={rounds}");
+        }
+    }
+
+    #[test]
+    fn circuit_datalog_stays_small_where_expanded_polynomials_explode() {
+        // A doubling diamond chain: two parallel two-edge paths per layer,
+        // so the number of n₀ → nₖ paths is 2^k and the expanded ℕ[X]
+        // provenance of Q(n₀, nₖ) has 2^k monomials. The circuit reuses
+        // each layer's reachability annotation and stays polynomial.
+        provsem_semiring::circuit::reset();
+        const K: usize = 16;
+        let mut edges: Vec<(String, String, Natural)> = Vec::new();
+        for i in 0..K {
+            for way in ["u", "w"] {
+                edges.push((format!("n{i}"), format!("{way}{i}"), Natural::from(1u64)));
+                edges.push((
+                    format!("{way}{i}"),
+                    format!("n{}", i + 1),
+                    Natural::from(1u64),
+                ));
+            }
+        }
+        let edge_refs: Vec<(&str, &str, Natural)> = edges
+            .iter()
+            .map(|(a, b, k)| (a.as_str(), b.as_str(), *k))
+            .collect();
+        let edb = edge_facts("R", &edge_refs);
+        let program = Program::linear_transitive_closure("R", "Q");
+        let prov = datalog_provenance_circuit(&program, &edb, 256);
+        assert!(prov.converged);
+
+        // 2^K derivations recovered by the memoized evaluation...
+        let far = Fact::new("Q", ["n0".to_string(), format!("n{K}")]);
+        let circuit = prov.circuit(&far).expect("endpoint derivable");
+        assert_eq!(circuit.eval(&prov.valuation), Natural::from(1u64 << K));
+        // ...from a circuit that stays far below 2^K nodes.
+        let total =
+            provsem_semiring::circuit::shared_node_count(prov.facts.facts().map(|(_, c)| *c));
+        assert!(
+            total < 200 * K,
+            "whole idb provenance must stay polynomial: {total} nodes"
+        );
+        // And the whole specialization agrees with the direct ℕ evaluation.
+        let direct = crate::naive::kleene_iterate(&program, &edb, 256);
+        assert!(direct.converged);
+        assert_eq!(prov.specialize(), direct.idb);
     }
 
     #[test]

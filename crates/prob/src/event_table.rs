@@ -9,7 +9,7 @@
 //! probabilities over the output events.
 
 use provsem_core::{Catalog, Database, EvalError, KRelation, Plan, RaExpr, Schema, Tuple};
-use provsem_semiring::{Event, PosBool, Valuation, Variable};
+use provsem_semiring::{Circuit, CircuitEval, Event, PosBool, Valuation, Variable};
 use std::collections::BTreeMap;
 
 /// A probabilistic database in the *tuple-independent* model: each tuple is
@@ -73,23 +73,39 @@ impl TupleIndependentDb {
             .collect()
     }
 
-    /// The event-annotated database: tuple `i` is annotated with the event
-    /// "worlds whose bit `i` is set".
-    pub fn to_event_database(&self) -> Database<Event> {
+    /// The event of uncertain tuple `i`: "worlds whose bit `i` is set" —
+    /// the single place encoding the world-id bit convention.
+    fn tuple_event(&self, i: usize) -> Event {
         assert!(
             self.tuples.len() < 25,
             "event-table construction limited to < 25 uncertain tuples"
         );
         let n = self.num_worlds();
+        Event::of_worlds((0..n).filter(|w| w & (1 << i) != 0))
+    }
+
+    /// The planner's view of this database (schemas + per-relation
+    /// cardinalities), shared by every query-answering route.
+    fn catalog(&self) -> Catalog {
+        let mut catalog = Catalog::new();
+        for (name, schema) in &self.schemas {
+            let cardinality = self.tuples.iter().filter(|(n, _, _)| n == name).count();
+            catalog.add(name.clone(), schema.clone(), cardinality);
+        }
+        catalog
+    }
+
+    /// The event-annotated database: tuple `i` is annotated with the event
+    /// "worlds whose bit `i` is set".
+    pub fn to_event_database(&self) -> Database<Event> {
         let mut db = Database::new();
         for (name, schema) in &self.schemas {
             db.insert(name.clone(), KRelation::<Event>::empty(schema.clone()));
         }
         for (i, (name, tuple, _)) in self.tuples.iter().enumerate() {
-            let event = Event::of_worlds((0..n).filter(|w| w & (1 << i) != 0));
             db.get_mut(name)
                 .expect("relation created above")
-                .insert(tuple.clone(), event);
+                .insert(tuple.clone(), self.tuple_event(i));
         }
         db
     }
@@ -121,18 +137,65 @@ impl TupleIndependentDb {
     /// validated and optimized *before* the (exponential in `n`) event
     /// table is constructed — an invalid query fails fast.
     pub fn answer_query(&self, query: &RaExpr) -> Result<Vec<(Tuple, Event, f64)>, EvalError> {
-        let mut catalog = Catalog::new();
-        for (name, schema) in &self.schemas {
-            let cardinality = self.tuples.iter().filter(|(n, _, _)| n == name).count();
-            catalog.add(name.clone(), schema.clone(), cardinality);
-        }
-        let plan = Plan::new(query, &catalog)?;
+        let plan = Plan::new(query, &self.catalog())?;
         let db = self.to_event_database();
         let out = plan.execute(&db);
         let probs = self.world_probabilities();
         Ok(out
             .iter()
             .map(|(t, e)| (t.clone(), e.clone(), e.probability(&probs)))
+            .collect())
+    }
+
+    /// Like [`TupleIndependentDb::answer_query`], but the query runs over
+    /// **provenance circuits** (one hash-consed variable per uncertain
+    /// tuple) and the output events are produced by a single memoized
+    /// `Eval_v : ℕ\[X\] → P(Ω)` pass shared across all output tuples — event
+    /// subexpressions common to several answers (shared join subplans) are
+    /// intersected/unioned once instead of once per tuple.
+    ///
+    /// Exactly the factorization theorem run at `K = P(Ω)`: the answers are
+    /// identical to the direct event-table route (pinned by tests), but the
+    /// per-row algebra during evaluation is O(1) node interning instead of
+    /// world-set operations.
+    ///
+    /// The circuit nodes live in the thread-local arena of
+    /// [`provsem_semiring::circuit`], which is append-only: a long-lived
+    /// thread answering many structurally different queries should call
+    /// `provsem_semiring::circuit::reset()` between them to reclaim it
+    /// (resetting invalidates any circuit handles the caller still holds —
+    /// this method returns none, so calling it right before or after is
+    /// always safe).
+    pub fn answer_query_via_circuit(
+        &self,
+        query: &RaExpr,
+    ) -> Result<Vec<(Tuple, Event, f64)>, EvalError> {
+        // Plans only need schemas: validate/optimize before building
+        // anything per-world, so invalid queries fail fast.
+        let plan = Plan::new(query, &self.catalog())?;
+
+        let mut db = Database::new();
+        for (name, schema) in &self.schemas {
+            db.insert(name.clone(), KRelation::<Circuit>::empty(schema.clone()));
+        }
+        let mut valuation: Valuation<Event> = Valuation::new();
+        for (i, (name, tuple, _)) in self.tuples.iter().enumerate() {
+            let var = Variable::indexed("t", i);
+            valuation.assign(var.clone(), self.tuple_event(i));
+            db.get_mut(name)
+                .expect("relation created above")
+                .insert(tuple.clone(), Circuit::var(var));
+        }
+        let out = plan.execute(&db);
+        let probs = self.world_probabilities();
+        let mut eval = CircuitEval::new(&valuation);
+        Ok(out
+            .iter()
+            .map(|(t, c)| {
+                let event = eval.eval(*c);
+                let p = event.probability(&probs);
+                (t.clone(), event, p)
+            })
             .collect())
     }
 
@@ -226,6 +289,28 @@ mod tests {
         assert!(close(prob("d", "c"), 0.3));
         assert!(close(prob("d", "e"), 0.5));
         assert!(close(prob("f", "e"), 0.1));
+    }
+
+    #[test]
+    fn circuit_route_agrees_with_event_table_route() {
+        // The memoized circuit pass must produce the exact same events and
+        // probabilities as the direct P(Ω) evaluation, tuple for tuple.
+        let db = TupleIndependentDb::figure4();
+        let direct = db.answer_query(&section2_query()).unwrap();
+        let via_circuit = db.answer_query_via_circuit(&section2_query()).unwrap();
+        assert_eq!(direct.len(), via_circuit.len());
+        for ((t1, e1, p1), (t2, e2, p2)) in direct.iter().zip(via_circuit.iter()) {
+            assert_eq!(t1, t2);
+            assert_eq!(e1, e2, "{t1:?}");
+            assert!(close(*p1, *p2), "{t1:?}: {p1} vs {p2}");
+        }
+        // Invalid queries fail fast with the planner's error, like
+        // `answer_query`.
+        let bad = provsem_core::RaExpr::relation("Missing");
+        assert_eq!(
+            db.answer_query_via_circuit(&bad).unwrap_err(),
+            db.answer_query(&bad).unwrap_err()
+        );
     }
 
     #[test]

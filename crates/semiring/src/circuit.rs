@@ -1,0 +1,783 @@
+//! Hash-consed **provenance circuits**: ℕ\[X\] represented as a shared DAG.
+//!
+//! The expanded [`Polynomial`] representation of ℕ\[X\] is canonical but loses
+//! all sharing: a join output annotation `(x₁+y₁)·(x₂+y₂)·⋯·(xₙ+yₙ)`
+//! expands into `2ⁿ` monomials, and specializing every output tuple
+//! re-evaluates common subexpressions from scratch. This module keeps the
+//! *same* semiring elements in **circuit form**: interned DAG nodes
+//! (`0 | 1 | x | a + b | a · b`) behind a thread-local arena with structural
+//! hash-consing, handled through [`Circuit`] — a `Copy` node id that
+//! implements [`Semiring`]/[`CommutativeSemiring`] and therefore drops into
+//! every generic K-relation, planned-engine, and datalog entry point
+//! unchanged.
+//!
+//! The theory is exactly that of Section 4 of the paper: ℕ\[X\] is the free
+//! commutative semiring on X (Proposition 4.2), so *any* syntax tree over
+//! `{0, 1, +, ·} ∪ X` denotes a unique element of ℕ\[X\], and every valuation
+//! `v : X → K` extends to a unique homomorphism `Eval_v : ℕ\[X\] → K`. The
+//! factorization theorem (Theorem 4.3) — "compute the query once over ℕ\[X\],
+//! specialize everywhere" — does not care *how* the ℕ\[X\] element is
+//! represented. Circuits make the theorem cheap in practice:
+//!
+//! * `+`/`·` are O(1) hash-consing lookups instead of monomial-map merges;
+//! * [`CircuitEval`] memoizes `Eval_v` bottom-up over the shared DAG, so a
+//!   node reused by many output tuples is evaluated **once per valuation**;
+//! * [`Circuit::to_polynomial`] is the memoized lowering back to the
+//!   expanded canonical form (used for equality, display, and as the
+//!   differential-testing reference).
+//!
+//! Equality of handles is **semantic** (lowering both sides to the canonical
+//! polynomial), so the commutative-semiring laws hold on the nose; the cheap
+//! structural checks are reserved for [`Semiring::is_zero`] /
+//! [`Semiring::is_one`], which the smart constructors keep exact (`0` and
+//! `1` fold away, and ℕ\[X\] has no zero divisors and no non-trivial units).
+//!
+//! # Arena lifecycle
+//!
+//! The arena is thread-local and append-only; [`reset`] truncates it back to
+//! the constants in O(1) drops per node (no per-handle bookkeeping — handles
+//! are `Copy` and never own anything), retaining map capacity for reuse
+//! across queries. Resetting invalidates every outstanding [`Circuit`]
+//! handle and [`CircuitEval`] memo of the thread; callers must reset only
+//! between independent queries. Handles are deliberately `!Send`: a node id
+//! is meaningless in another thread's arena.
+
+use crate::polynomial::{Polynomial, ProvenancePolynomial};
+use crate::posbool::PosBool;
+use crate::traits::{CommutativeSemiring, PlusIdempotent, Semiring};
+use crate::variable::{Valuation, Variable};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::marker::PhantomData;
+
+const ZERO: u32 = 0;
+const ONE: u32 = 1;
+
+/// One interned circuit node. `Plus`/`Times` children are arena indices that
+/// are always smaller than the node's own index (children are interned
+/// first), so the arena order is a topological order of every DAG in it.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Node {
+    Zero,
+    One,
+    Var(Variable),
+    Plus(u32, u32),
+    Times(u32, u32),
+}
+
+/// The thread-local hash-consing arena.
+struct Arena {
+    nodes: Vec<Node>,
+    interned: HashMap<Node, u32>,
+}
+
+impl Arena {
+    fn new() -> Arena {
+        let mut arena = Arena {
+            nodes: Vec::new(),
+            interned: HashMap::new(),
+        };
+        arena.reset();
+        arena
+    }
+
+    /// Truncates back to the two constants, keeping allocated capacity.
+    fn reset(&mut self) {
+        self.nodes.clear();
+        self.interned.clear();
+        self.nodes.push(Node::Zero);
+        self.nodes.push(Node::One);
+        self.interned.insert(Node::Zero, ZERO);
+        self.interned.insert(Node::One, ONE);
+    }
+
+    fn intern(&mut self, node: Node) -> u32 {
+        if let Some(&id) = self.interned.get(&node) {
+            return id;
+        }
+        let id = u32::try_from(self.nodes.len()).expect("circuit arena exceeded u32 node ids");
+        self.nodes.push(node.clone());
+        self.interned.insert(node, id);
+        id
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<Arena> = RefCell::new(Arena::new());
+}
+
+/// Clones one node out of the arena. Borrowing is scoped to the lookup so
+/// that semiring operations of the *output* domain (which may themselves be
+/// circuits, e.g. circuit-to-circuit substitution) can re-enter the arena.
+fn node_of(id: u32) -> Node {
+    ARENA.with(|arena| arena.borrow().nodes[id as usize].clone())
+}
+
+fn intern(node: Node) -> u32 {
+    ARENA.with(|arena| arena.borrow_mut().intern(node))
+}
+
+/// Number of nodes currently interned in this thread's arena (including the
+/// two constants). A direct measure of total provenance size with sharing.
+pub fn arena_node_count() -> usize {
+    ARENA.with(|arena| arena.borrow().nodes.len())
+}
+
+/// Bulk-resets this thread's circuit arena back to the constants `0` and
+/// `1`, retaining allocated capacity for the next query.
+///
+/// Every outstanding [`Circuit`] handle and [`CircuitEval`] memo of this
+/// thread is invalidated; using one afterwards yields nodes of the *new*
+/// generation (or panics on an out-of-range id). Call only between
+/// independent provenance computations.
+pub fn reset() {
+    ARENA.with(|arena| arena.borrow_mut().reset());
+}
+
+/// A handle to a hash-consed provenance circuit: an element of ℕ\[X\] in
+/// shared-DAG form.
+///
+/// `Circuit` is a `Copy` arena node id, so cloning annotations — which the
+/// relational operators do per row — is free, and structurally identical
+/// subcircuits are built exactly once. See the [module docs](self) for the
+/// arena lifecycle and the equality semantics.
+#[derive(Clone, Copy)]
+pub struct Circuit {
+    id: u32,
+    /// Node ids are meaningless across threads (each thread has its own
+    /// arena), so the handle opts out of `Send`/`Sync`.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Circuit {
+    fn from_id(id: u32) -> Circuit {
+        Circuit {
+            id,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The circuit consisting of a single variable (a tuple id).
+    pub fn var(v: impl Into<Variable>) -> Circuit {
+        Circuit::from_id(intern(Node::Var(v.into())))
+    }
+
+    /// The constant circuit `n` (the canonical embedding ℕ → ℕ\[X\]), built
+    /// with double-and-add so it has O(log n) nodes.
+    pub fn constant(n: u64) -> Circuit {
+        Circuit::one().repeat(n)
+    }
+
+    /// Builds a circuit denoting the given expanded polynomial (sum of
+    /// coefficient-weighted monomial products). Inverse of
+    /// [`Circuit::to_polynomial`] up to representation.
+    pub fn from_polynomial(p: &ProvenancePolynomial) -> Circuit {
+        let mut acc = Circuit::zero();
+        for (monomial, coeff) in p.terms() {
+            let mut term = Circuit::constant(coeff.value());
+            for (var, exp) in monomial.powers() {
+                term.times_assign(&Circuit::var(var.clone()).pow(exp));
+            }
+            acc.plus_assign(&term);
+        }
+        acc
+    }
+
+    /// The raw arena node id. Stable for the lifetime of the current arena
+    /// generation; structural equality of ids implies semantic equality.
+    pub fn node_id(&self) -> usize {
+        self.id as usize
+    }
+
+    /// Are the two handles the *same interned node*? A cheap, sound (but
+    /// incomplete) equality: structurally identical circuits are always the
+    /// same node, semantically equal ones need not be.
+    pub fn same_node(&self, other: &Circuit) -> bool {
+        self.id == other.id
+    }
+
+    /// Number of distinct nodes reachable from this handle — the size of the
+    /// circuit *with* sharing. Compare with
+    /// [`Polynomial::num_terms`] of the lowering to see the blowup avoided.
+    pub fn node_count(&self) -> usize {
+        shared_node_count([*self])
+    }
+
+    /// Lowers the circuit to the expanded canonical [`ProvenancePolynomial`],
+    /// memoized over the DAG (each shared node is expanded once). This is
+    /// the compatibility bridge to the polynomial API — and inherently pays
+    /// the exponential expansion the circuit representation avoids, so use
+    /// it for tests and display, not on hot paths.
+    pub fn to_polynomial(&self) -> ProvenancePolynomial {
+        let mut memo: Vec<Option<ProvenancePolynomial>> = Vec::new();
+        fold_memo(*self, &mut memo, &mut LowerAlgebra)
+    }
+
+    /// One-off memoized evaluation `Eval_v` into any commutative semiring
+    /// (Proposition 4.2). To amortize the memo across *many* roots — the
+    /// whole point of sharing — use one [`CircuitEval`] for all of them.
+    pub fn eval<K: CommutativeSemiring>(&self, valuation: &Valuation<K>) -> K {
+        CircuitEval::new(valuation).eval(*self)
+    }
+}
+
+/// Total number of distinct nodes reachable from any of the given roots —
+/// the size of a whole provenance-annotated result with sharing.
+pub fn shared_node_count(roots: impl IntoIterator<Item = Circuit>) -> usize {
+    let mut seen: Vec<bool> = vec![false; arena_node_count()];
+    let mut stack: Vec<u32> = roots.into_iter().map(|c| c.id).collect();
+    let mut count = 0;
+    while let Some(id) = stack.pop() {
+        let slot = &mut seen[id as usize];
+        if *slot {
+            continue;
+        }
+        *slot = true;
+        count += 1;
+        match node_of(id) {
+            Node::Zero | Node::One | Node::Var(_) => {}
+            Node::Plus(a, b) | Node::Times(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+    }
+    count
+}
+
+/// How to interpret each node shape; drives the iterative memoized fold.
+trait NodeAlgebra {
+    type Out: Clone;
+    fn zero(&mut self) -> Self::Out;
+    fn one(&mut self) -> Self::Out;
+    fn var(&mut self, v: &Variable) -> Self::Out;
+    fn plus(&mut self, a: &Self::Out, b: &Self::Out) -> Self::Out;
+    fn times(&mut self, a: &Self::Out, b: &Self::Out) -> Self::Out;
+}
+
+/// Iterative (explicit-stack) bottom-up fold over the sub-DAG reachable from
+/// `root`, memoized in `memo` by node id. Reusing the same `memo` across
+/// roots is what amortizes shared nodes across all the tuples of a result.
+fn fold_memo<A: NodeAlgebra>(
+    root: Circuit,
+    memo: &mut Vec<Option<A::Out>>,
+    algebra: &mut A,
+) -> A::Out {
+    if memo.len() <= root.node_id() {
+        memo.resize_with(root.node_id() + 1, || None);
+    }
+    let mut stack: Vec<u32> = vec![root.id];
+    while let Some(&id) = stack.last() {
+        if memo[id as usize].is_some() {
+            stack.pop();
+            continue;
+        }
+        let node = node_of(id);
+        let value = match node {
+            Node::Zero => Some(algebra.zero()),
+            Node::One => Some(algebra.one()),
+            Node::Var(ref v) => Some(algebra.var(v)),
+            Node::Plus(a, b) | Node::Times(a, b) => {
+                // Children always have smaller ids, so the memo is already
+                // large enough for them.
+                match (&memo[a as usize], &memo[b as usize]) {
+                    (Some(x), Some(y)) => Some(if matches!(node, Node::Plus(_, _)) {
+                        algebra.plus(x, y)
+                    } else {
+                        algebra.times(x, y)
+                    }),
+                    (x, y) => {
+                        if x.is_none() {
+                            stack.push(a);
+                        }
+                        if y.is_none() {
+                            stack.push(b);
+                        }
+                        None
+                    }
+                }
+            }
+        };
+        if let Some(value) = value {
+            memo[id as usize] = Some(value);
+            stack.pop();
+        }
+    }
+    memo[root.node_id()]
+        .clone()
+        .expect("root was just computed")
+}
+
+struct LowerAlgebra;
+
+impl NodeAlgebra for LowerAlgebra {
+    type Out = ProvenancePolynomial;
+
+    fn zero(&mut self) -> ProvenancePolynomial {
+        Polynomial::zero()
+    }
+    fn one(&mut self) -> ProvenancePolynomial {
+        Polynomial::one()
+    }
+    fn var(&mut self, v: &Variable) -> ProvenancePolynomial {
+        Polynomial::var(v.clone())
+    }
+    fn plus(&mut self, a: &ProvenancePolynomial, b: &ProvenancePolynomial) -> ProvenancePolynomial {
+        a.plus(b)
+    }
+    fn times(
+        &mut self,
+        a: &ProvenancePolynomial,
+        b: &ProvenancePolynomial,
+    ) -> ProvenancePolynomial {
+        a.times(b)
+    }
+}
+
+struct EvalAlgebra<'v, K> {
+    valuation: &'v Valuation<K>,
+}
+
+impl<K: CommutativeSemiring> NodeAlgebra for EvalAlgebra<'_, K> {
+    type Out = K;
+
+    fn zero(&mut self) -> K {
+        K::zero()
+    }
+    fn one(&mut self) -> K {
+        K::one()
+    }
+    fn var(&mut self, v: &Variable) -> K {
+        // Unassigned variables evaluate to 0, matching
+        // `Polynomial::evaluate_with`.
+        self.valuation.get(v).cloned().unwrap_or_else(K::zero)
+    }
+    fn plus(&mut self, a: &K, b: &K) -> K {
+        a.plus(b)
+    }
+    fn times(&mut self, a: &K, b: &K) -> K {
+        a.times(b)
+    }
+}
+
+/// The memoized evaluation homomorphism `Eval_v : ℕ\[X\] → K` of Proposition
+/// 4.2, over circuits: each arena node reachable from any evaluated root is
+/// computed **once** for the lifetime of the evaluator, so specializing a
+/// whole K-relation of circuit annotations costs one bottom-up pass over the
+/// shared DAG instead of one expansion per tuple (Theorem 4.3 at circuit
+/// speed).
+///
+/// The memo is keyed by arena node id and is invalidated — like every
+/// handle — by [`reset`].
+pub struct CircuitEval<'v, K> {
+    algebra: EvalAlgebra<'v, K>,
+    memo: Vec<Option<K>>,
+}
+
+impl<'v, K: CommutativeSemiring> CircuitEval<'v, K> {
+    /// Creates the evaluator for one valuation.
+    pub fn new(valuation: &'v Valuation<K>) -> Self {
+        CircuitEval {
+            algebra: EvalAlgebra { valuation },
+            memo: Vec::new(),
+        }
+    }
+
+    /// Evaluates one root, reusing every previously memoized node.
+    pub fn eval(&mut self, circuit: Circuit) -> K {
+        fold_memo(circuit, &mut self.memo, &mut self.algebra)
+    }
+
+    /// How many distinct nodes have been evaluated so far — the real work
+    /// performed, regardless of how many roots shared them.
+    pub fn evaluated_nodes(&self) -> usize {
+        self.memo.iter().filter(|slot| slot.is_some()).count()
+    }
+}
+
+impl Semiring for Circuit {
+    fn zero() -> Self {
+        Circuit::from_id(ZERO)
+    }
+
+    fn one() -> Self {
+        Circuit::from_id(ONE)
+    }
+
+    /// O(1): folds the additive identity and interns a `Plus` node with
+    /// id-sorted operands (so `a + b` and `b + a` share one node).
+    fn plus(&self, other: &Self) -> Self {
+        if self.id == ZERO {
+            return *other;
+        }
+        if other.id == ZERO {
+            return *self;
+        }
+        let (a, b) = if self.id <= other.id {
+            (self.id, other.id)
+        } else {
+            (other.id, self.id)
+        };
+        Circuit::from_id(intern(Node::Plus(a, b)))
+    }
+
+    /// O(1): folds the multiplicative identities/annihilator and interns a
+    /// `Times` node with id-sorted operands.
+    fn times(&self, other: &Self) -> Self {
+        if self.id == ZERO || other.id == ZERO {
+            return Circuit::zero();
+        }
+        if self.id == ONE {
+            return *other;
+        }
+        if other.id == ONE {
+            return *self;
+        }
+        let (a, b) = if self.id <= other.id {
+            (self.id, other.id)
+        } else {
+            (other.id, self.id)
+        };
+        Circuit::from_id(intern(Node::Times(a, b)))
+    }
+
+    /// Exact *and* O(1): the smart constructors fold `0` away, and ℕ\[X\] has
+    /// no zero divisors, so only the interned `Zero` node denotes 0.
+    fn is_zero(&self) -> bool {
+        self.id == ZERO
+    }
+
+    /// Exact *and* O(1): `1` folds away, sums of two non-zero ℕ\[X\] elements
+    /// exceed 1 coefficient-wise, and 1 is the only unit of ℕ\[X\], so only
+    /// the interned `One` node denotes 1.
+    fn is_one(&self) -> bool {
+        self.id == ONE
+    }
+}
+
+impl CommutativeSemiring for Circuit {}
+
+impl PartialEq for Circuit {
+    /// Semantic equality in ℕ\[X\]: identical nodes fast-path to `true`,
+    /// otherwise both sides are lowered to the canonical expanded polynomial
+    /// (exponential in the worst case — fine for tests and assertions, which
+    /// is where circuit equality is used; the engines only call the O(1)
+    /// [`Semiring::is_zero`]).
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id || self.to_polynomial() == other.to_polynomial()
+    }
+}
+
+impl Eq for Circuit {}
+
+impl fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Small circuits print as their polynomial; big ones would blow up
+        // the expansion, so print a size summary instead.
+        let nodes = self.node_count();
+        if nodes <= 64 {
+            write!(f, "{:?}", self.to_polynomial())
+        } else {
+            write!(f, "circuit#{}⟨{} nodes⟩", self.id, nodes)
+        }
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The same hash-consed circuit read **modulo absorption**: a handle whose
+/// equality is taken in PosBool(X) (coefficients and exponents dropped, the
+/// canonical surjection ℕ\[X\] → PosBool(X) of Section 4) instead of ℕ\[X\].
+///
+/// Because the surjection is a semiring homomorphism, all commutative-
+/// semiring laws transfer, and `+` becomes **idempotent**: `a + a` interns a
+/// new node but denotes the same PosBool element, so `BoolCircuit` lawfully
+/// claims [`PlusIdempotent`]. This is the circuit form of boolean
+/// provenance: identical sharing, c-table semantics.
+#[derive(Clone, Copy)]
+pub struct BoolCircuit(Circuit);
+
+impl BoolCircuit {
+    /// The circuit consisting of a single boolean variable.
+    pub fn var(v: impl Into<Variable>) -> BoolCircuit {
+        BoolCircuit(Circuit::var(v))
+    }
+
+    /// The underlying ℕ\[X\]-circuit handle (same arena node).
+    pub fn circuit(&self) -> Circuit {
+        self.0
+    }
+
+    /// Lowers to the canonical [`PosBool`] normal form (exponential in the
+    /// worst case, like [`Circuit::to_polynomial`]).
+    pub fn to_posbool(&self) -> PosBool {
+        self.0.to_polynomial().to_posbool()
+    }
+}
+
+impl From<Circuit> for BoolCircuit {
+    fn from(circuit: Circuit) -> Self {
+        BoolCircuit(circuit)
+    }
+}
+
+impl Semiring for BoolCircuit {
+    fn zero() -> Self {
+        BoolCircuit(Circuit::zero())
+    }
+    fn one() -> Self {
+        BoolCircuit(Circuit::one())
+    }
+    fn plus(&self, other: &Self) -> Self {
+        BoolCircuit(self.0.plus(&other.0))
+    }
+    fn times(&self, other: &Self) -> Self {
+        BoolCircuit(self.0.times(&other.0))
+    }
+
+    /// Exact and O(1): a non-zero ℕ\[X\] element maps to a non-false PosBool
+    /// element (the surjection preserves having at least one monomial).
+    fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+    // `is_one` keeps the default semantic check: in PosBool, `x + 1 = 1`,
+    // so circuits other than the interned `One` node can denote true.
+}
+
+impl CommutativeSemiring for BoolCircuit {}
+impl PlusIdempotent for BoolCircuit {}
+
+impl PartialEq for BoolCircuit {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.same_node(&other.0) || self.to_posbool() == other.to_posbool()
+    }
+}
+
+impl Eq for BoolCircuit {}
+
+impl fmt::Debug for BoolCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nodes = self.0.node_count();
+        if nodes <= 64 {
+            write!(f, "{:?}", self.to_posbool())
+        } else {
+            write!(f, "bool-circuit#{}⟨{} nodes⟩", self.0.id, nodes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boolean::Bool;
+    use crate::monomial::Monomial;
+    use crate::natural::Natural;
+    use crate::properties::check_semiring_laws;
+    use crate::tropical::Tropical;
+
+    fn x(name: &str) -> Circuit {
+        Circuit::var(name)
+    }
+
+    fn nat(n: u64) -> Natural {
+        Natural::from(n)
+    }
+
+    #[test]
+    fn constants_and_identities_fold_structurally() {
+        let a = x("a");
+        assert!(Circuit::zero().is_zero());
+        assert!(Circuit::one().is_one());
+        assert!(a.plus(&Circuit::zero()).same_node(&a));
+        assert!(Circuit::zero().plus(&a).same_node(&a));
+        assert!(a.times(&Circuit::one()).same_node(&a));
+        assert!(a.times(&Circuit::zero()).is_zero());
+        assert!(!a.is_zero() && !a.is_one());
+    }
+
+    #[test]
+    fn hash_consing_shares_structurally_equal_nodes() {
+        let before = arena_node_count();
+        let e1 = x("p").times(&x("r")).plus(&x("s"));
+        let grown = arena_node_count();
+        let e2 = x("p").times(&x("r")).plus(&x("s"));
+        assert!(e1.same_node(&e2));
+        assert_eq!(arena_node_count(), grown, "rebuilding interned nothing new");
+        assert!(grown > before);
+        // Commutativity is shared structurally via operand sorting.
+        assert!(x("p").plus(&x("r")).same_node(&x("r").plus(&x("p"))));
+        assert!(x("p").times(&x("r")).same_node(&x("r").times(&x("p"))));
+    }
+
+    #[test]
+    fn lowering_matches_polynomial_arithmetic() {
+        // Figure 5(c) for (d,e): r·r + r·r + r·s = 2r² + rs.
+        let de = x("r")
+            .times(&x("r"))
+            .plus(&x("r").times(&x("r")))
+            .plus(&x("r").times(&x("s")));
+        let expected = Polynomial::from_terms([
+            (Monomial::from_powers([("r", 2u32)]), nat(2)),
+            (Monomial::from_bag(["r", "s"]), nat(1)),
+        ]);
+        assert_eq!(de.to_polynomial(), expected);
+    }
+
+    #[test]
+    fn semantic_equality_crosses_association() {
+        let l = x("a").plus(&x("b")).plus(&x("c"));
+        let r = x("a").plus(&x("b").plus(&x("c")));
+        assert!(!l.same_node(&r));
+        assert_eq!(l, r);
+        assert_ne!(l, x("a").plus(&x("b")));
+    }
+
+    #[test]
+    fn eval_agrees_with_polynomial_eval() {
+        let e = x("p")
+            .times(&x("p"))
+            .repeat(2)
+            .plus(&x("r").times(&x("s")))
+            .plus(&Circuit::constant(3));
+        let v = Valuation::from_pairs([("p", nat(2)), ("r", nat(5)), ("s", nat(1))]);
+        assert_eq!(e.eval(&v), e.to_polynomial().eval(&v));
+        let vt = Valuation::from_pairs([
+            ("p", Tropical::cost(2)),
+            ("r", Tropical::cost(5)),
+            ("s", Tropical::cost(1)),
+        ]);
+        assert_eq!(e.eval(&vt), e.to_polynomial().eval(&vt));
+        // Unassigned variables evaluate to zero, like the polynomial path.
+        let partial = Valuation::from_pairs([("p", nat(2))]);
+        assert_eq!(x("q").eval(&partial), Natural::zero());
+    }
+
+    #[test]
+    fn iterated_squaring_stays_linear_in_circuit_form() {
+        // (a + b)^(2^k) has 2^k + 1 expanded terms but O(k) circuit nodes;
+        // memoized evaluation recovers the closed form 2^(2^k) at a = b = 1.
+        let mut square = x("a").plus(&x("b"));
+        const K: u32 = 5;
+        for _ in 0..K {
+            square = square.times(&square);
+        }
+        assert!(square.node_count() <= 4 + K as usize);
+        let ones = Valuation::from_pairs([("a", nat(1)), ("b", nat(1))]);
+        assert_eq!(square.eval(&ones), nat(2u64.pow(2u32.pow(K))));
+    }
+
+    #[test]
+    fn product_of_sums_is_exponential_expanded_but_linear_shared() {
+        // Π (xᵢ + yᵢ) for 40 factors: 2^40 expanded monomials — far beyond
+        // materializing — but ~4 nodes per factor in circuit form.
+        let mut product = Circuit::one();
+        for i in 0..40 {
+            product
+                .times_assign(&Circuit::var(format!("x{i}")).plus(&Circuit::var(format!("y{i}"))));
+        }
+        assert!(product.node_count() <= 1 + 4 * 40);
+        let all_ones = Valuation::from_pairs(
+            (0..40).flat_map(|i| [(format!("x{i}"), nat(1)), (format!("y{i}"), nat(1))]),
+        );
+        assert_eq!(product.eval(&all_ones), nat(1u64 << 40));
+    }
+
+    #[test]
+    fn circuit_eval_memo_is_shared_across_roots() {
+        let shared = x("a").plus(&x("b")).times(&x("c"));
+        let r1 = shared.times(&x("d"));
+        let r2 = shared.times(&x("e"));
+        let v = Valuation::from_pairs([
+            ("a", nat(1)),
+            ("b", nat(2)),
+            ("c", nat(3)),
+            ("d", nat(4)),
+            ("e", nat(5)),
+        ]);
+        let mut eval = CircuitEval::new(&v);
+        assert_eq!(eval.eval(r1), nat(36));
+        let after_first = eval.evaluated_nodes();
+        assert_eq!(eval.eval(r2), nat(45));
+        // The second root only added its two fresh nodes (e, shared·e).
+        assert_eq!(eval.evaluated_nodes(), after_first + 2);
+    }
+
+    #[test]
+    fn from_polynomial_round_trips() {
+        let p = Polynomial::from_terms([
+            (Monomial::from_powers([("r", 2u32)]), nat(2)),
+            (Monomial::from_bag(["r", "s"]), nat(1)),
+            (Monomial::unit(), nat(7)),
+        ]);
+        assert_eq!(Circuit::from_polynomial(&p).to_polynomial(), p);
+        assert!(Circuit::from_polynomial(&Polynomial::zero()).is_zero());
+        assert!(Circuit::from_polynomial(&Polynomial::one()).is_one());
+    }
+
+    #[test]
+    fn reference_harness_accepts_circuit_samples() {
+        let samples = vec![
+            Circuit::zero(),
+            Circuit::one(),
+            x("p"),
+            x("r"),
+            x("p").plus(&x("r")),
+            x("p").times(&x("r")).plus(&Circuit::constant(2)),
+        ];
+        check_semiring_laws(&samples).expect("circuit semiring laws");
+    }
+
+    #[test]
+    fn reset_truncates_the_arena() {
+        let before = arena_node_count();
+        let _ = x("tmp1").times(&x("tmp2"));
+        assert!(arena_node_count() > before);
+        reset();
+        assert_eq!(arena_node_count(), 2);
+        // The arena is usable again immediately.
+        assert_eq!(
+            x("tmp1").eval(&Valuation::from_pairs([("tmp1", nat(9))])),
+            nat(9)
+        );
+    }
+
+    #[test]
+    fn shared_node_count_over_several_roots() {
+        reset();
+        let a = x("a");
+        let b = x("b");
+        let ab = a.times(&b);
+        // Roots {ab, a} reach {0?, no — just a, b, ab}: 3 nodes.
+        assert_eq!(shared_node_count([ab, a]), 3);
+        assert_eq!(shared_node_count([Circuit::zero()]), 1);
+        assert_eq!(shared_node_count(Vec::new()), 0);
+    }
+
+    #[test]
+    fn bool_circuit_is_plus_idempotent_and_absorptive() {
+        let p = BoolCircuit::var("p");
+        let r = BoolCircuit::var("r");
+        assert_eq!(p.plus(&p), p);
+        assert_eq!(p.times(&p), p);
+        // Absorption: p + p·r = p in PosBool.
+        assert_eq!(p.plus(&p.times(&r)), p);
+        assert_ne!(p.plus(&r), p);
+        // ℕ[X]-equality is finer: the same nodes are *not* equal as Circuit.
+        assert_ne!(p.circuit().plus(&p.circuit()), p.circuit());
+    }
+
+    #[test]
+    fn bool_circuit_eval_through_posbool() {
+        let e = BoolCircuit::var("p")
+            .times(&BoolCircuit::var("r"))
+            .plus(&BoolCircuit::var("p"));
+        assert_eq!(e.to_posbool(), PosBool::var("p"));
+        let v = Valuation::from_pairs([("p", Bool::from(true)), ("r", Bool::from(false))]);
+        assert_eq!(e.circuit().eval(&v), Bool::from(true));
+    }
+}

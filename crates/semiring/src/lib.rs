@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod boolean;
+pub mod circuit;
 pub mod events;
 pub mod fuzzy;
 pub mod homomorphism;
@@ -54,6 +55,7 @@ pub mod why;
 /// A convenience prelude re-exporting the most commonly used items.
 pub mod prelude {
     pub use crate::boolean::Bool;
+    pub use crate::circuit::{BoolCircuit, Circuit, CircuitEval};
     pub use crate::events::{Event, WorldId};
     pub use crate::fuzzy::{Fuzzy, Viterbi};
     pub use crate::homomorphism::{

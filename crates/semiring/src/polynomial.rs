@@ -129,11 +129,18 @@ impl<K: Semiring> Polynomial<K> {
     /// semiring homomorphism `K → K'` (for ℕ coefficients this is the
     /// canonical embedding `n ↦ 1 + ⋯ + 1`). Unassigned variables evaluate
     /// to `K'::zero()`.
+    ///
+    /// Each `v^e` a monomial needs is computed once per evaluation (by
+    /// square-and-multiply, [`Semiring::pow`]) and cached for the monomials
+    /// that reuse it, rather than being recomputed per occurrence.
     pub fn evaluate_with<K2, F>(&self, valuation: &Valuation<K2>, coeff_embed: F) -> K2
     where
         K2: CommutativeSemiring,
         F: Fn(&K) -> K2,
     {
+        // Keyed by borrowed variables: cache hits cost no clone at all.
+        let mut powers: std::collections::HashMap<(&Variable, u32), K2> =
+            std::collections::HashMap::new();
         let mut acc = K2::zero();
         for (monomial, coeff) in &self.terms {
             let mut term = coeff_embed(coeff);
@@ -141,8 +148,13 @@ impl<K: Semiring> Polynomial<K> {
                 continue;
             }
             for (var, exp) in monomial.powers() {
-                let value = valuation.get(var).cloned().unwrap_or_else(K2::zero);
-                term.times_assign(&value.pow(exp));
+                let power = powers.entry((var, exp)).or_insert_with(|| {
+                    valuation
+                        .get(var)
+                        .map(|value| value.pow(exp))
+                        .unwrap_or_else(K2::zero)
+                });
+                term.times_assign(power);
             }
             acc.plus_assign(&term);
         }
@@ -163,19 +175,28 @@ impl<K: Semiring> Polynomial<K> {
     /// by `valuation(x)` (variables without an assignment stay themselves).
     /// This is polynomial composition, used when solving algebraic systems
     /// symbolically.
+    ///
+    /// Like [`Polynomial::evaluate_with`], each replacement power
+    /// `p(x)^e` is computed once per substitution (square-and-multiply) and
+    /// cached across the monomials that share it — raising a replacement
+    /// polynomial to a power is by far the dominant cost here.
     pub fn substitute(&self, valuation: &Valuation<Polynomial<K>>) -> Polynomial<K>
     where
         K: CommutativeSemiring,
     {
+        let mut powers: std::collections::HashMap<(&Variable, u32), Polynomial<K>> =
+            std::collections::HashMap::new();
         let mut acc = Polynomial::new();
         for (monomial, coeff) in &self.terms {
             let mut term = Polynomial::constant(coeff.clone());
             for (var, exp) in monomial.powers() {
-                let replacement = valuation
-                    .get(var)
-                    .cloned()
-                    .unwrap_or_else(|| Polynomial::var(var.clone()));
-                term = term.times(&replacement.pow(exp));
+                let power = powers.entry((var, exp)).or_insert_with(|| {
+                    valuation
+                        .get(var)
+                        .map(|replacement| replacement.pow(exp))
+                        .unwrap_or_else(|| Polynomial::var(var.clone()).pow(exp))
+                });
+                term = term.times(power);
             }
             acc.plus_assign(&term);
         }

@@ -212,6 +212,28 @@ fn arb_natinf_polynomial() -> impl Strategy<Value = NatInfPolynomial> {
         .prop_map(NatInfPolynomial::from_terms)
 }
 
+/// Random hash-consed circuits: a random polynomial built into circuit form,
+/// multiplied and summed with further random polynomials so that the handles
+/// cover non-normalized shapes (`Plus`/`Times` nodes whose operands are
+/// whole subcircuits, not just monomials).
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (
+        arb_provenance_polynomial(),
+        arb_provenance_polynomial(),
+        arb_provenance_polynomial(),
+    )
+        .prop_map(|(p, q, r)| {
+            Circuit::from_polynomial(&p)
+                .times(&Circuit::from_polynomial(&q))
+                .plus(&Circuit::from_polynomial(&r))
+        })
+}
+
+/// The same circuits read modulo absorption (PosBool(X) equality).
+fn arb_bool_circuit() -> impl Strategy<Value = BoolCircuit> {
+    arb_circuit().prop_map(BoolCircuit::from)
+}
+
 // ---- the suite: every shipped semiring -------------------------------------
 
 semiring_laws!(natural_laws, Natural, arb_natural());
@@ -236,6 +258,11 @@ semiring_laws!(
     NatInfPolynomial,
     arb_natinf_polynomial()
 );
+// The hash-consed circuit handles: the ℕ[X] reading must satisfy the
+// commutative-semiring laws under semantic (lowered-polynomial) equality,
+// and the PosBool reading must additionally be +-idempotent.
+semiring_laws!(circuit_laws, Circuit, arb_circuit());
+semiring_laws!(bool_circuit_laws, BoolCircuit, arb_bool_circuit());
 
 plus_idempotence!(boolean_idempotence, Bool, arb_bool());
 plus_idempotence!(tropical_idempotence, Tropical, arb_tropical());
@@ -246,6 +273,7 @@ plus_idempotence!(posbool_idempotence, PosBool, arb_posbool());
 plus_idempotence!(whyset_idempotence, WhySet, arb_whyset());
 plus_idempotence!(witness_idempotence, Witness, arb_witness());
 plus_idempotence!(event_idempotence, Event, arb_event());
+plus_idempotence!(bool_circuit_idempotence, BoolCircuit, arb_bool_circuit());
 
 // ---- formal power series ----------------------------------------------------
 //
