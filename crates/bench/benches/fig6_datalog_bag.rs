@@ -10,6 +10,8 @@ mod common;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use provsem_bench::{random_dag_store, report_rows};
 use provsem_core::paper::figure6_expected;
+use provsem_core::plan::ExecContext;
+use provsem_datalog::seminaive::seminaive_iterate_with;
 use provsem_datalog::{edge_facts, evaluate_with_bound, EvalStrategy, Fact, Program};
 use provsem_semiring::Natural;
 
@@ -56,6 +58,10 @@ fn bench(c: &mut Criterion) {
     // Naive vs semi-naive on the fig6 workload, up to its largest size: the
     // naive body pays the full grounding plus a re-multiplication of every
     // ground rule per round, the semi-naive body joins each derivation once.
+    // The `seminaive_par4` body runs the same semi-naive rounds with their
+    // delta-rule application fanned out over 4 worker threads
+    // (round-for-round identical results, pinned by
+    // `datalog/tests/parallel_differential.rs`).
     let mut cmp = c.benchmark_group("fig6_naive_vs_seminaive");
     for width in [9usize, 12] {
         let edb = random_dag_store(42, 3, width);
@@ -67,8 +73,32 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| evaluate_with_bound(&program, edb, strategy, 4).idb.len())
             });
         }
+        let ctx = ExecContext::with_threads(4);
+        cmp.bench_with_input(BenchmarkId::new("seminaive_par4", width), &edb, |b, edb| {
+            b.iter(|| seminaive_iterate_with(&program, edb, 4, &ctx).idb.len())
+        });
     }
     cmp.finish();
+
+    // Parallel semi-naive transitive closure on a layered DAG big enough
+    // that each round's affected-head recomputation dominates coordination:
+    // the serial body is the `threads = 1` loop, the parallel bodies
+    // partition each round's work items and affected heads across scoped
+    // workers. On a multi-core machine the ratio is the datalog engine's
+    // scaling; on a single-core runner it measures the (small) coordination
+    // overhead.
+    let tc = Program::transitive_closure("R", "Q");
+    let mut par = c.benchmark_group("fig6_parallel_seminaive_tc");
+    let edb = random_dag_store(7, 6, 24);
+    for threads in [1usize, 2, 4] {
+        let ctx = ExecContext::with_threads(threads);
+        par.bench_with_input(
+            BenchmarkId::new("tc_layered_6x24", format!("threads{threads}")),
+            &edb,
+            |b, edb| b.iter(|| seminaive_iterate_with(&tc, edb, 16, &ctx).idb.len()),
+        );
+    }
+    par.finish();
 }
 
 criterion_group! { name = benches; config = common::short(); targets = bench }

@@ -37,6 +37,7 @@ pub mod algebra;
 pub mod database;
 pub mod expr;
 pub mod paper;
+pub mod par;
 pub mod plan;
 pub mod predicate;
 pub mod provenance;
@@ -50,13 +51,13 @@ pub mod prelude {
     pub use crate::database::Database;
     pub use crate::expr::{paper_example_query, EvalError, RaExpr};
     pub use crate::paper;
-    pub use crate::plan::{Catalog, NamedRelation, Plan, RelationSource};
+    pub use crate::plan::{Catalog, ExecContext, NamedRelation, Plan, RelationSource};
     pub use crate::predicate::Predicate;
     pub use crate::provenance::{
         circuit_factorization_holds, circuit_provenance_of_query, circuit_provenance_size,
         factorization_holds, poly, provenance_of_query, provenance_size, specialize,
-        specialize_circuit, tag_database, tag_database_circuit, tag_database_with_names,
-        tag_relation, CircuitTagged, Tagged,
+        specialize_circuit, specialize_circuit_with, specialize_with, tag_database,
+        tag_database_circuit, tag_database_with_names, tag_relation, CircuitTagged, Tagged,
     };
     pub use crate::relation::KRelation;
     pub use crate::schema::{Attribute, Renaming, Schema};

@@ -44,6 +44,65 @@ use std::collections::BTreeMap;
 
 pub use logical::LogicalPlan;
 
+/// How a plan executes: the thread budget of the morsel-driven parallel
+/// executor.
+///
+/// With `threads == 1` execution takes *exactly* the serial pipelined code
+/// path that predates the parallel executor. With more threads, scans are
+/// split into contiguous morsels, hash joins and pre-join aggregations
+/// hash-partition their inputs on the key (one worker per partition), and
+/// partitions are merged in deterministic partition order — so the result
+/// `KRelation` is identical to serial execution at every thread count (see
+/// the README's "Parallel execution" section for the exact guarantee).
+///
+/// The default context reads the `PROVSEM_THREADS` environment variable
+/// (cached on first use) and falls back to
+/// [`std::thread::available_parallelism`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecContext {
+    /// Number of worker threads (and hash partitions); at least 1.
+    pub threads: usize,
+}
+
+impl ExecContext {
+    /// One thread: the serial code path, bit-for-bit today's behavior.
+    pub fn serial() -> ExecContext {
+        ExecContext { threads: 1 }
+    }
+
+    /// An explicit thread budget (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> ExecContext {
+        ExecContext {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The process-wide default: `PROVSEM_THREADS` if set to a positive
+    /// integer, otherwise [`std::thread::available_parallelism`]. The
+    /// environment is read once and cached.
+    pub fn from_env() -> ExecContext {
+        static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let threads = *THREADS.get_or_init(|| {
+            std::env::var("PROVSEM_THREADS")
+                .ok()
+                .and_then(|value| value.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                })
+        });
+        ExecContext { threads }
+    }
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext::from_env()
+    }
+}
+
 /// The planner's view of a database: relation names mapped to schemas and
 /// cardinalities. Plans are built against a catalog, never against the data
 /// itself, which keeps them independent of the annotation semiring.
@@ -180,18 +239,46 @@ impl Plan {
     /// [`Plan::explain`] this shows the materialization points — `agg`
     /// nodes (pre-join aggregations inserted for duplicate-streaming join
     /// inputs) and hash-join build sides with their key columns — which is
-    /// what the pre-join aggregation tests pin down.
+    /// what the pre-join aggregation tests pin down. Rendered for the
+    /// default [`ExecContext`], so with more than one thread the parallel
+    /// operators also show their morsel/partition counts; for a
+    /// snapshot-stable rendering pass an explicit context to
+    /// [`Plan::explain_physical_with`].
     pub fn explain_physical(&self) -> String {
-        self.physical.render()
+        self.explain_physical_with(&ExecContext::default())
     }
 
-    /// Executes the plan against a source.
+    /// Renders the physical operator tree for the given context: with
+    /// `threads == 1` exactly the serial tree, otherwise each scan is
+    /// annotated with the context's morsel budget and each hash join /
+    /// pre-join aggregation with its hash-partition count. The counts are
+    /// the *budget*, not runtime cardinalities: a scan smaller than the
+    /// budget splits into fewer morsels at execution time.
+    pub fn explain_physical_with(&self, ctx: &ExecContext) -> String {
+        self.physical.render(ctx.threads)
+    }
+
+    /// Executes the plan against a source under the default [`ExecContext`]
+    /// (`PROVSEM_THREADS`, or all available cores; semirings that cannot
+    /// cross threads run serially regardless).
     ///
     /// # Panics
     /// Panics if `source` is inconsistent with the catalog the plan was
     /// built against (a scanned relation missing or with a changed schema).
     pub fn execute<K: Semiring>(&self, source: &impl RelationSource<K>) -> KRelation<K> {
-        physical::execute(&self.physical, &self.schema, source)
+        self.execute_with(source, &ExecContext::default())
+    }
+
+    /// Executes the plan with an explicit thread budget. `threads == 1`
+    /// reproduces the serial pipelined path exactly; any other budget
+    /// produces the identical `KRelation` via the morsel-driven executor
+    /// (deterministic partitioning and merge — see [`ExecContext`]).
+    pub fn execute_with<K: Semiring>(
+        &self,
+        source: &impl RelationSource<K>,
+        ctx: &ExecContext,
+    ) -> KRelation<K> {
+        physical::execute(&self.physical, &self.schema, source, ctx)
     }
 }
 

@@ -111,6 +111,40 @@ pub fn specialize<K: CommutativeSemiring>(
     relation.map_annotations(|p| p.eval(valuation))
 }
 
+/// [`specialize`] with a thread budget: the output tuples are split into
+/// contiguous chunks and each chunk's polynomials are evaluated by its own
+/// scoped worker (tuple-wise `Eval_v` is embarrassingly parallel — every
+/// annotation is specialized independently). Results are reassembled in
+/// tuple order, so the output is identical to the serial call at every
+/// thread count.
+pub fn specialize_with<K>(
+    relation: &KRelation<ProvenancePolynomial>,
+    valuation: &Valuation<K>,
+    ctx: &crate::plan::ExecContext,
+) -> KRelation<K>
+where
+    K: CommutativeSemiring + Send + Sync,
+{
+    if ctx.threads <= 1 {
+        return specialize(relation, valuation);
+    }
+    let pairs: Vec<(&Tuple, &ProvenancePolynomial)> = relation.iter().collect();
+    let chunks = crate::par::chunked(pairs, ctx.threads);
+    let specialized = crate::par::par_map_chunks(chunks, |_, chunk| {
+        chunk
+            .into_iter()
+            .map(|(tuple, p)| (tuple.clone(), p.eval(valuation)))
+            .collect::<Vec<_>>()
+    });
+    let mut out = KRelation::empty(relation.schema().clone());
+    for chunk in specialized {
+        for (tuple, k) in chunk {
+            out.insert(tuple, k);
+        }
+    }
+    out
+}
+
 /// Runs a query with provenance: evaluates `q` over the abstractly tagged
 /// database, returning the ℕ\[X\]-annotated result (the "how-provenance" of
 /// every output tuple). Evaluation goes through the planned engine
@@ -206,6 +240,51 @@ pub fn specialize_circuit<K: CommutativeSemiring>(
     let mut out = KRelation::empty(relation.schema().clone());
     for (tuple, circuit) in relation.iter() {
         out.insert(tuple.clone(), eval.eval(*circuit));
+    }
+    out
+}
+
+/// [`specialize_circuit`] with a thread budget. Circuit handles live in the
+/// calling thread's arena, so each chunk of root circuits is exported to an
+/// arena-independent batch, re-interned into its worker's own arena, and
+/// evaluated there with a per-worker memoized [`CircuitEval`]; the `K`
+/// results (plain data) come back and are reassembled in tuple order —
+/// identical output to the serial call.
+///
+/// Trade-off: a subcircuit shared by tuples of *different* chunks is
+/// evaluated once per worker instead of once overall, buying wall-clock
+/// parallelism with bounded duplicated work (at most one evaluation of the
+/// shared core per worker).
+pub fn specialize_circuit_with<K>(
+    relation: &KRelation<Circuit>,
+    valuation: &Valuation<K>,
+    ctx: &crate::plan::ExecContext,
+) -> KRelation<K>
+where
+    K: CommutativeSemiring + Send + Sync,
+{
+    if ctx.threads <= 1 || relation.len() < crate::par::SPAWN_THRESHOLD {
+        return specialize_circuit(relation, valuation);
+    }
+    let roots: Vec<Circuit> = relation.iter().map(|(_, c)| *c).collect();
+    // Seal each chunk on the coordinator (handles are meaningless in the
+    // workers' arenas), one portable token per worker.
+    let sealed: Vec<provsem_semiring::Portable> = crate::par::chunked(roots, ctx.threads)
+        .into_iter()
+        .map(Circuit::to_portable)
+        .collect();
+    let evaluated: Vec<Vec<K>> = crate::par::spawn_map(sealed, |token| {
+        let circuits = Circuit::from_portable(token);
+        let mut eval = CircuitEval::new(valuation);
+        circuits.into_iter().map(|c| eval.eval(c)).collect()
+    });
+    let mut out = KRelation::empty(relation.schema().clone());
+    for (tuple, k) in relation
+        .iter()
+        .map(|(tuple, _)| tuple)
+        .zip(evaluated.into_iter().flatten())
+    {
+        out.insert(tuple.clone(), k);
     }
     out
 }

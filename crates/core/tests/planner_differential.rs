@@ -14,7 +14,7 @@
 //! `Plan::explain` snapshots at the bottom of this file.
 
 use proptest::prelude::*;
-use provsem_core::plan::Plan;
+use provsem_core::plan::{ExecContext, Plan};
 use provsem_core::prelude::*;
 use provsem_semiring::{Bool, Natural, PosBool, Semiring, Tropical, WhySet};
 
@@ -283,12 +283,14 @@ hash-join build=left keys[1]/[0]
 └─ scan S {b, d}
 ";
     assert_eq!(
-        plan.explain_physical(),
+        plan.explain_physical_with(&ExecContext::serial()),
         expected,
         "got:\n{}",
-        plan.explain_physical()
+        plan.explain_physical_with(&ExecContext::serial())
     );
-    assert!(!plan.explain_physical().contains("agg"));
+    assert!(!plan
+        .explain_physical_with(&ExecContext::serial())
+        .contains("agg"));
     // The differential guard: planned equals interpreted on data.
     let mut dbs = db.clone();
     dbs.insert(
@@ -327,11 +329,39 @@ hash-join build=left keys[1]/[0]
 └─ scan S {b, d}
 ";
     assert_eq!(
-        plan.explain_physical(),
+        plan.explain_physical_with(&ExecContext::serial()),
         expected,
         "got:\n{}",
-        plan.explain_physical()
+        plan.explain_physical_with(&ExecContext::serial())
     );
+}
+
+/// Under a multi-threaded [`ExecContext`] the physical rendering shows how
+/// execution fans out: scans are split into morsels and hash joins /
+/// pre-join aggregations into key partitions, one worker each. The counts
+/// are a function of the context alone, so this snapshot is pinned at 4
+/// threads regardless of `PROVSEM_THREADS`.
+#[test]
+fn explain_physical_golden_renders_morsel_and_partition_counts() {
+    let db = paper::figure3_bag();
+    let catalog = db.catalog().with("S", Schema::new(["b", "d"]), 3);
+    let query = RaExpr::relation("R")
+        .project(["a", "b"])
+        .join(RaExpr::relation("S"));
+    let plan = Plan::new(&query, &catalog).unwrap();
+    let expected = "\
+hash-join build=left keys[1]/[0] [partitions=4]
+├─ agg [partitions=4]
+│  └─ π cols[0, 1]
+│     └─ scan R {a, b, c} [morsels=4]
+└─ scan S {b, d} [morsels=4]
+";
+    let rendered = plan.explain_physical_with(&ExecContext::with_threads(4));
+    assert_eq!(rendered, expected, "got:\n{rendered}");
+    // The serial rendering stays count-free (and snapshot-compatible).
+    assert!(!plan
+        .explain_physical_with(&ExecContext::serial())
+        .contains("partitions"));
 }
 
 /// An attribute-equality selection (`a=c`) determines the dropped column
@@ -345,7 +375,7 @@ fn explain_physical_equality_determined_projection_stays_pipelined() {
         .project(["a", "b"])
         .join(RaExpr::relation("S"));
     let plan = Plan::new(&query, &catalog).unwrap();
-    let physical = plan.explain_physical();
+    let physical = plan.explain_physical_with(&ExecContext::serial());
     assert!(!physical.contains("agg"), "got:\n{physical}");
     // Dropping the *kept-side* of the pair keeps working symmetrically.
     let query = RaExpr::relation("R")
@@ -353,6 +383,6 @@ fn explain_physical_equality_determined_projection_stays_pipelined() {
         .project(["b", "c"])
         .join(RaExpr::relation("S"));
     let plan = Plan::new(&query, &catalog).unwrap();
-    let physical = plan.explain_physical();
+    let physical = plan.explain_physical_with(&ExecContext::serial());
     assert!(!physical.contains("agg"), "got:\n{physical}");
 }

@@ -3,8 +3,9 @@
 
 use crate::ast::Atom;
 use provsem_core::{Database, KRelation, Schema, Tuple, Value};
+use provsem_semiring::fxhash::{FxHashMap, FxHashSet};
 use provsem_semiring::Semiring;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A ground fact: a predicate name plus a vector of constant values.
@@ -321,18 +322,18 @@ pub struct FactIndex {
     /// Arena of distinct facts; all maps store indices into it.
     facts: Vec<Fact>,
     /// Dedup / membership set.
-    seen: HashSet<Fact>,
+    seen: FxHashSet<Fact>,
     /// All facts of a given predicate.
-    by_predicate: HashMap<String, Vec<usize>>,
+    by_predicate: FxHashMap<String, Vec<usize>>,
     /// For a registered `(predicate, columns)` mask, facts keyed by their
     /// values at those columns. Nested so probes can look up with borrowed
     /// `&str` / `&[usize]` keys, keeping the hot join loop allocation-free.
-    masks: HashMap<String, MaskIndex>,
+    masks: FxHashMap<String, MaskIndex>,
 }
 
 /// Per-predicate bound-column indexes: for each registered column mask, the
 /// arena indices of the facts keyed by their values at those columns.
-type MaskIndex = HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<usize>>>;
+type MaskIndex = FxHashMap<Vec<usize>, FxHashMap<Vec<Value>, Vec<usize>>>;
 
 impl FactIndex {
     /// An empty index.
@@ -407,7 +408,7 @@ impl FactIndex {
         if pred_masks.contains_key(columns) {
             return;
         }
-        let mut buckets: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        let mut buckets: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
         if let Some(indices) = self.by_predicate.get(predicate) {
             for &idx in indices {
                 let fact = &self.facts[idx];

@@ -20,8 +20,9 @@
 use crate::ast::{Atom, DlVar, Program, Term};
 use crate::fact::{Fact, FactIndex, FactStore};
 use provsem_core::Value;
+use provsem_semiring::fxhash::FxHashMap;
 use provsem_semiring::Semiring;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A ground rule: an instantiation of a program rule where every variable
 /// has been substituted by a constant.
@@ -218,7 +219,7 @@ pub fn derivable_facts<K: Semiring>(program: &Program, edb: &FactStore<K>) -> BT
     }
     let mut delta: Vec<Fact> = index.facts().cloned().collect();
     while !delta.is_empty() {
-        let mut by_pred: HashMap<&str, Vec<&Fact>> = HashMap::new();
+        let mut by_pred: FxHashMap<&str, Vec<&Fact>> = FxHashMap::default();
         for fact in &delta {
             by_pred
                 .entry(fact.predicate.as_str())

@@ -76,7 +76,8 @@ pub mod prelude {
         SeriesClass,
     };
     pub use crate::seminaive::{
-        evaluate, evaluate_with_bound, seminaive_idempotent, seminaive_iterate, EvalStrategy,
+        evaluate, evaluate_with_bound, evaluate_with_context, seminaive_idempotent,
+        seminaive_idempotent_with, seminaive_iterate, seminaive_iterate_with, EvalStrategy,
         DEFAULT_FALLBACK_BOUND,
     };
 }

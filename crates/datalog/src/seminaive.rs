@@ -65,11 +65,14 @@
 //! assert_eq!(out.annotation(&Fact::new("Q", ["b", "b"])), Natural::from(16u64));
 //! ```
 
-use crate::ast::{Program, Rule, Term};
+use crate::ast::{Atom, Program, Rule, Term};
 use crate::fact::{Fact, FactIndex, FactStore};
 use crate::grounding::{ground_atom, match_atom, Binding, JoinPlan};
+use provsem_core::par;
+use provsem_core::plan::ExecContext;
+use provsem_semiring::fxhash::FxHashMap;
 use provsem_semiring::{PlusIdempotent, Semiring};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 pub use crate::naive::FixpointResult;
 
@@ -129,6 +132,28 @@ pub fn evaluate_with_bound<K: Semiring>(
     match strategy {
         EvalStrategy::Naive => crate::naive::kleene_iterate(program, edb, max_rounds),
         EvalStrategy::SemiNaive => seminaive_iterate(program, edb, max_rounds),
+    }
+}
+
+/// Like [`evaluate_with_bound`], but with an explicit
+/// [`ExecContext`] thread budget: the semi-naive strategy runs its
+/// delta-rule application data-parallel ([`seminaive_iterate_with`]), round
+/// for round identical to the serial loop. The naive ablation baseline
+/// stays serial by design (it exists to measure the unoptimized cost).
+/// `ctx.threads == 1` is exactly [`evaluate_with_bound`].
+pub fn evaluate_with_context<K>(
+    program: &Program,
+    edb: &FactStore<K>,
+    strategy: EvalStrategy,
+    max_rounds: usize,
+    ctx: &ExecContext,
+) -> FixpointResult<K>
+where
+    K: Semiring + Send + Sync,
+{
+    match strategy {
+        EvalStrategy::Naive => crate::naive::kleene_iterate(program, edb, max_rounds),
+        EvalStrategy::SemiNaive => seminaive_iterate_with(program, edb, max_rounds, ctx),
     }
 }
 
@@ -284,8 +309,8 @@ impl<K: Semiring> DeltaState<K> {
     }
 
     /// Groups the delta facts by predicate for the differential joins.
-    fn delta_by_pred(&self) -> HashMap<&str, Vec<&Fact>> {
-        let mut by_pred: HashMap<&str, Vec<&Fact>> = HashMap::new();
+    fn delta_by_pred(&self) -> FxHashMap<&str, Vec<&Fact>> {
+        let mut by_pred: FxHashMap<&str, Vec<&Fact>> = FxHashMap::default();
         for fact in &self.delta {
             by_pred
                 .entry(fact.predicate.as_str())
@@ -326,14 +351,20 @@ fn unevaluated<K: Semiring>() -> FixpointResult<K> {
     }
 }
 
-/// Runs every differential form whose delta atom matches a changed fact,
-/// calling `emit` with the owning form and each complete body binding.
-fn join_deltas<'a, 'f>(
+/// One unit of differential work: a rule form whose delta atom matched a
+/// changed fact. The flat work-item list is what both the serial loops and
+/// the parallel rounds iterate — contiguous chunks of it partition the
+/// round's work across worker threads while preserving the serial emission
+/// order (chunks are concatenated back in order).
+type DeltaItem<'f, 'a, 'd> = (&'f RuleForms<'a>, &'f JoinPlan<'a>, &'a Atom, &'d Fact);
+
+/// Flattens the (form × delta form × changed fact) nest into work items, in
+/// the deterministic order the serial loop visits them.
+fn delta_work_items<'f, 'a, 'd>(
     forms: &'f [RuleForms<'a>],
-    delta_by_pred: &HashMap<&str, Vec<&Fact>>,
-    index: &FactIndex,
-    emit: &mut dyn FnMut(&'f RuleForms<'a>, Binding),
-) {
+    delta_by_pred: &FxHashMap<&str, Vec<&'d Fact>>,
+) -> Vec<DeltaItem<'f, 'a, 'd>> {
+    let mut items = Vec::new();
     for form in forms {
         for (pos, plan) in &form.delta_forms {
             let atom = &form.rule.body[*pos];
@@ -341,13 +372,80 @@ fn join_deltas<'a, 'f>(
                 continue;
             };
             for fact in changed {
-                let Some(seed) = match_atom(atom, fact, &Binding::new()) else {
-                    continue;
-                };
-                plan.join(index, seed, &mut |binding| emit(form, binding));
+                items.push((form, plan, atom, *fact));
             }
         }
     }
+    items
+}
+
+/// Runs one differential work item, calling `emit` with the owning form and
+/// each complete body binding.
+fn join_delta_item<'a, 'f>(
+    (form, plan, atom, fact): DeltaItem<'f, 'a, '_>,
+    index: &FactIndex,
+    emit: &mut dyn FnMut(&'f RuleForms<'a>, Binding),
+) {
+    let Some(seed) = match_atom(atom, fact, &Binding::new()) else {
+        return;
+    };
+    plan.join(index, seed, &mut |binding| emit(form, binding));
+}
+
+/// Runs every differential form whose delta atom matches a changed fact,
+/// calling `emit` with the owning form and each complete body binding.
+fn join_deltas<'a, 'f>(
+    forms: &'f [RuleForms<'a>],
+    delta_by_pred: &FxHashMap<&str, Vec<&Fact>>,
+    index: &FactIndex,
+    emit: &mut dyn FnMut(&'f RuleForms<'a>, Binding),
+) {
+    for item in delta_work_items(forms, delta_by_pred) {
+        join_delta_item(item, index, emit);
+    }
+}
+
+/// Recomputes one affected head from scratch over the index — phase 2 of
+/// the general (non-idempotent-safe) semi-naive round, shared by the serial
+/// and parallel loops.
+fn recompute_head<K: Semiring>(
+    head: &Fact,
+    by_head: &FxHashMap<&str, Vec<&RuleForms<'_>>>,
+    idb_predicates: &BTreeSet<String>,
+    edb: &FactStore<K>,
+    current: &FactStore<K>,
+    index: &FactIndex,
+) -> K {
+    let mut total = K::zero();
+    for form in by_head.get(head.predicate.as_str()).into_iter().flatten() {
+        if form.rule.body.is_empty() {
+            if ground_atom(&form.rule.head, &Binding::new()).as_ref() == Some(head) {
+                total.plus_assign(&K::one());
+            }
+            continue;
+        }
+        let Some(seed) = match_atom(&form.rule.head, head, &Binding::new()) else {
+            continue;
+        };
+        form.head_seeded.join(index, seed, &mut |binding| {
+            if let Some(product) = body_product(form.rule, &binding, idb_predicates, edb, current) {
+                total.plus_assign(&product);
+            }
+        });
+    }
+    total
+}
+
+/// Groups the rule forms by head predicate (phase-2 lookup structure).
+fn forms_by_head<'f, 'a>(forms: &'f [RuleForms<'a>]) -> FxHashMap<&'f str, Vec<&'f RuleForms<'a>>> {
+    let mut by_head: FxHashMap<&str, Vec<&RuleForms>> = FxHashMap::default();
+    for form in forms {
+        by_head
+            .entry(form.rule.head.predicate.as_str())
+            .or_default()
+            .push(form);
+    }
+    by_head
 }
 
 /// Semi-naive evaluation for **general** semirings: deltas (the facts whose
@@ -366,13 +464,7 @@ pub fn seminaive_iterate<K: Semiring>(
     }
     let idb_predicates = program.idb_predicates();
     let (forms, mut state) = DeltaState::initial(program, &idb_predicates, edb);
-    let mut by_head: HashMap<&str, Vec<&RuleForms>> = HashMap::new();
-    for form in &forms {
-        by_head
-            .entry(form.rule.head.predicate.as_str())
-            .or_default()
-            .push(form);
-    }
+    let by_head = forms_by_head(&forms);
 
     let mut iterations = 1;
     while iterations < max_rounds {
@@ -399,29 +491,105 @@ pub fn seminaive_iterate<K: Semiring>(
         //    difference tracking: the new value replaces the old one).
         let mut changes: Vec<(Fact, K)> = Vec::new();
         for head in &affected {
-            let mut total = K::zero();
-            for form in by_head.get(head.predicate.as_str()).into_iter().flatten() {
-                if form.rule.body.is_empty() {
-                    if ground_atom(&form.rule.head, &Binding::new()).as_ref() == Some(head) {
-                        total.plus_assign(&K::one());
-                    }
-                    continue;
-                }
-                let Some(seed) = match_atom(&form.rule.head, head, &Binding::new()) else {
-                    continue;
-                };
-                form.head_seeded.join(&state.index, seed, &mut |binding| {
-                    if let Some(product) =
-                        body_product(form.rule, &binding, &idb_predicates, edb, &state.current)
-                    {
-                        total.plus_assign(&product);
-                    }
-                });
-            }
+            let total = recompute_head(
+                head,
+                &by_head,
+                &idb_predicates,
+                edb,
+                &state.current,
+                &state.index,
+            );
             if total != state.current.annotation(head) {
                 changes.push((head.clone(), total));
             }
         }
+
+        // 3. Apply: the changed facts are the next round's delta.
+        state.apply_changes(changes);
+    }
+    state.finish(iterations)
+}
+
+/// [`seminaive_iterate`] with a thread budget: both phases of every round
+/// run data-parallel over scoped worker threads — affected-head discovery
+/// over contiguous chunks of the differential work items, and head
+/// recomputation over contiguous chunks of the (sorted) affected set.
+///
+/// Results are identical to the serial loop at every thread count: affected
+/// heads are a set union (order-insensitive), recomputation is a pure
+/// function of the previous round's state (`current`/`index` are only read
+/// during a round), and the per-round change list is concatenated in chunk
+/// order, which *is* the serial head order. Requires `K: Send + Sync`
+/// because the workers share the fact stores by reference; non-`Sync`
+/// annotations (circuit handles) use the serial [`seminaive_iterate`].
+pub fn seminaive_iterate_with<K>(
+    program: &Program,
+    edb: &FactStore<K>,
+    max_rounds: usize,
+    ctx: &ExecContext,
+) -> FixpointResult<K>
+where
+    K: Semiring + Send + Sync,
+{
+    if ctx.threads <= 1 {
+        return seminaive_iterate(program, edb, max_rounds);
+    }
+    if max_rounds == 0 {
+        return unevaluated();
+    }
+    let idb_predicates = program.idb_predicates();
+    let (forms, mut state) = DeltaState::initial(program, &idb_predicates, edb);
+    let by_head = forms_by_head(&forms);
+
+    let mut iterations = 1;
+    while iterations < max_rounds {
+        if state.delta.is_empty() {
+            break;
+        }
+        iterations += 1;
+
+        // 1. Affected heads, in parallel over the differential work items;
+        //    the per-worker head sets union into one BTreeSet (the same set
+        //    the serial loop builds, whatever the interleaving).
+        let delta_by_pred = state.delta_by_pred();
+        let items = delta_work_items(&forms, &delta_by_pred);
+        let index = &state.index;
+        let affected: BTreeSet<Fact> =
+            par::par_map_chunks(par::chunked(items, ctx.threads), |_, chunk| {
+                let mut heads = BTreeSet::new();
+                for item in chunk {
+                    let form = item.0;
+                    join_delta_item(item, index, &mut |_, binding| {
+                        if let Some(head) = ground_atom(&form.rule.head, &binding) {
+                            heads.insert(head);
+                        }
+                    });
+                }
+                heads
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+
+        // 2. Recompute affected heads in parallel; chunks are contiguous in
+        //    the sorted head order and concatenated back in order, so the
+        //    change list equals the serial one element for element.
+        let current = &state.current;
+        let affected: Vec<Fact> = affected.into_iter().collect();
+        let changes: Vec<(Fact, K)> =
+            par::par_map_chunks(par::chunked(affected, ctx.threads), |_, chunk| {
+                chunk
+                    .into_iter()
+                    .filter_map(|head| {
+                        let total =
+                            recompute_head(&head, &by_head, &idb_predicates, edb, current, index);
+                        (total != current.annotation(&head)).then_some((head, total))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
 
         // 3. Apply: the changed facts are the next round's delta.
         state.apply_changes(changes);
@@ -477,6 +645,76 @@ where
                 }
             },
         );
+
+        // Merge: only the facts whose annotation actually moved become the
+        // next delta (idempotent `+` absorbs everything else).
+        let mut changes: Vec<(Fact, K)> = Vec::new();
+        for (fact, increment) in produced.facts() {
+            let merged = state.current.annotation(&fact).plus(increment);
+            if merged != state.current.annotation(&fact) {
+                changes.push((fact, merged));
+            }
+        }
+        state.apply_changes(changes);
+    }
+    state.finish(iterations)
+}
+
+/// [`seminaive_idempotent`] with a thread budget: each round's increments
+/// are produced in parallel over contiguous chunks of the differential work
+/// items and merged on the coordinator **in work-item order** — the exact
+/// emission order of the serial loop — so the accumulated store (and the
+/// delta) match the serial round bit for bit.
+pub fn seminaive_idempotent_with<K>(
+    program: &Program,
+    edb: &FactStore<K>,
+    max_rounds: usize,
+    ctx: &ExecContext,
+) -> FixpointResult<K>
+where
+    K: Semiring + PlusIdempotent + Send + Sync,
+{
+    if ctx.threads <= 1 {
+        return seminaive_idempotent(program, edb, max_rounds);
+    }
+    if max_rounds == 0 {
+        return unevaluated();
+    }
+    let idb_predicates = program.idb_predicates();
+    let (forms, mut state) = DeltaState::initial(program, &idb_predicates, edb);
+
+    let mut iterations = 1;
+    while iterations < max_rounds {
+        if state.delta.is_empty() {
+            break;
+        }
+        iterations += 1;
+
+        let delta_by_pred = state.delta_by_pred();
+        let items = delta_work_items(&forms, &delta_by_pred);
+        let index = &state.index;
+        let current = &state.current;
+        let increments: Vec<Vec<(Fact, K)>> =
+            par::par_map_chunks(par::chunked(items, ctx.threads), |_, chunk| {
+                let mut out: Vec<(Fact, K)> = Vec::new();
+                for item in chunk {
+                    let form = item.0;
+                    join_delta_item(item, index, &mut |_, binding| {
+                        if let Some(product) =
+                            body_product(form.rule, &binding, &idb_predicates, edb, current)
+                        {
+                            if let Some(head) = ground_atom(&form.rule.head, &binding) {
+                                out.push((head, product));
+                            }
+                        }
+                    });
+                }
+                out
+            });
+        let mut produced: FactStore<K> = FactStore::new();
+        for (head, product) in increments.into_iter().flatten() {
+            produced.insert(head, product);
+        }
 
         // Merge: only the facts whose annotation actually moved become the
         // next delta (idempotent `+` absorbs everything else).

@@ -8,7 +8,10 @@
 //! Probabilities of output tuples are obtained by summing world
 //! probabilities over the output events.
 
-use provsem_core::{Catalog, Database, EvalError, KRelation, Plan, RaExpr, Schema, Tuple};
+use provsem_core::par;
+use provsem_core::{
+    Catalog, Database, EvalError, ExecContext, KRelation, Plan, RaExpr, Schema, Tuple,
+};
 use provsem_semiring::{Circuit, CircuitEval, Event, PosBool, Valuation, Variable};
 use std::collections::BTreeMap;
 
@@ -137,14 +140,31 @@ impl TupleIndependentDb {
     /// validated and optimized *before* the (exponential in `n`) event
     /// table is constructed — an invalid query fails fast.
     pub fn answer_query(&self, query: &RaExpr) -> Result<Vec<(Tuple, Event, f64)>, EvalError> {
+        self.answer_query_with(query, &ExecContext::default())
+    }
+
+    /// [`TupleIndependentDb::answer_query`] with an explicit thread budget:
+    /// the query itself runs on the morsel-driven parallel executor, and the
+    /// per-tuple event probabilities (a sum over the worlds of each event —
+    /// the expensive step once Ω is large) are computed by scoped workers
+    /// over contiguous chunks of the output, reassembled in tuple order.
+    pub fn answer_query_with(
+        &self,
+        query: &RaExpr,
+        ctx: &ExecContext,
+    ) -> Result<Vec<(Tuple, Event, f64)>, EvalError> {
         let plan = Plan::new(query, &self.catalog())?;
         let db = self.to_event_database();
-        let out = plan.execute(&db);
+        let out = plan.execute_with(&db, ctx);
         let probs = self.world_probabilities();
-        Ok(out
-            .iter()
-            .map(|(t, e)| (t.clone(), e.clone(), e.probability(&probs)))
-            .collect())
+        let pairs: Vec<(&Tuple, &Event)> = out.iter().collect();
+        let answers = par::par_map_chunks(par::chunked(pairs, ctx.threads), |_, chunk| {
+            chunk
+                .into_iter()
+                .map(|(t, e)| (t.clone(), e.clone(), e.probability(&probs)))
+                .collect::<Vec<_>>()
+        });
+        Ok(answers.into_iter().flatten().collect())
     }
 
     /// Like [`TupleIndependentDb::answer_query`], but the query runs over
@@ -170,6 +190,22 @@ impl TupleIndependentDb {
         &self,
         query: &RaExpr,
     ) -> Result<Vec<(Tuple, Event, f64)>, EvalError> {
+        self.answer_query_via_circuit_with(query, &ExecContext::default())
+    }
+
+    /// [`TupleIndependentDb::answer_query_via_circuit`] with an explicit
+    /// thread budget: the circuit query runs on the parallel executor
+    /// (worker arenas merged back deterministically), the ℕ\[X\] → P(Ω)
+    /// specialization fans out over chunks of the result tuples
+    /// ([`provsem_core::provenance::specialize_circuit_with`]), and the
+    /// probabilities are summed by the same workers as
+    /// [`TupleIndependentDb::answer_query_with`]. Answers are identical to
+    /// the serial route at every thread count.
+    pub fn answer_query_via_circuit_with(
+        &self,
+        query: &RaExpr,
+        ctx: &ExecContext,
+    ) -> Result<Vec<(Tuple, Event, f64)>, EvalError> {
         // Plans only need schemas: validate/optimize before building
         // anything per-world, so invalid queries fail fast.
         let plan = Plan::new(query, &self.catalog())?;
@@ -186,8 +222,26 @@ impl TupleIndependentDb {
                 .expect("relation created above")
                 .insert(tuple.clone(), Circuit::var(var));
         }
-        let out = plan.execute(&db);
+        let out = plan.execute_with(&db, ctx);
         let probs = self.world_probabilities();
+        if ctx.threads > 1 {
+            let events = provsem_core::specialize_circuit_with(&out, &valuation, ctx);
+            // Answers follow `out`'s tuples (a K-relation drops zero
+            // annotations, the answer list never does); an event that
+            // specialized to 0 reads back as `Event::never()`.
+            let pairs: Vec<(&Tuple, Event)> =
+                out.iter().map(|(t, _)| (t, events.annotation(t))).collect();
+            let answers = par::par_map_chunks(par::chunked(pairs, ctx.threads), |_, chunk| {
+                chunk
+                    .into_iter()
+                    .map(|(t, e)| {
+                        let p = e.probability(&probs);
+                        (t.clone(), e, p)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            return Ok(answers.into_iter().flatten().collect());
+        }
         let mut eval = CircuitEval::new(&valuation);
         Ok(out
             .iter()

@@ -51,6 +51,9 @@ impl fmt::Display for Bool {
 }
 
 impl Semiring for Bool {
+    // Plain `Send` data: batches cross threads as-is (parallel engines).
+    crate::traits::portable_by_send!();
+
     fn zero() -> Self {
         Bool(false)
     }

@@ -37,22 +37,46 @@
 //! The arena is thread-local and append-only; [`reset`] truncates it back to
 //! the constants in O(1) drops per node (no per-handle bookkeeping — handles
 //! are `Copy` and never own anything), retaining map capacity for reuse
-//! across queries. Resetting invalidates every outstanding [`Circuit`]
-//! handle and [`CircuitEval`] memo of the thread; callers must reset only
-//! between independent queries. Handles are deliberately `!Send`: a node id
-//! is meaningless in another thread's arena.
+//! across queries. Resetting bumps the arena **generation**, and every
+//! handle carries the generation it was interned under: using a handle after
+//! a reset panics with a "stale circuit handle" message instead of silently
+//! reading whatever node the new generation put at the same id. Prefer the
+//! scoped [`CircuitSession`] guard over calling [`reset`] by hand — it
+//! resets on entry and on drop, and [`reset`] refuses to run while a session
+//! is active, so a library deep in the call stack can't pull the arena out
+//! from under you.
+//!
+//! # Crossing threads
+//!
+//! Handles are deliberately `!Send`: a node id is meaningless in another
+//! thread's arena. What *can* cross threads is an exported batch:
+//! [`Semiring::to_portable`] re-encodes the sub-DAG reachable from a batch
+//! of handles into an arena-independent node list (children referenced by
+//! position), and [`Semiring::from_portable`] re-interns that list into the
+//! receiving thread's own arena — hash-consing deduplicates against whatever
+//! that arena already holds, and the smart constructors restore the
+//! id-sorted-operand invariant under the new numbering. This is how the
+//! morsel-driven parallel executor of `provsem-core` runs
+//! `tag_database_circuit → query → specialize_circuit` across worker
+//! threads: each worker builds nodes in its *own* arena and the coordinator
+//! merges the results back by id remapping, in deterministic partition
+//! order.
 
+use crate::fxhash::FxHashMap;
 use crate::polynomial::{Polynomial, ProvenancePolynomial};
 use crate::posbool::PosBool;
-use crate::traits::{CommutativeSemiring, PlusIdempotent, Semiring};
+use crate::traits::{CommutativeSemiring, PlusIdempotent, Portable, Semiring};
 use crate::variable::{Valuation, Variable};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::marker::PhantomData;
 
 const ZERO: u32 = 0;
 const ONE: u32 = 1;
+
+/// The generation stamp of the constant handles `0` and `1`, which survive
+/// every reset and are therefore valid in all generations.
+const GEN_CONST: u32 = u32::MAX;
 
 /// One interned circuit node. `Plus`/`Times` children are arena indices that
 /// are always smaller than the node's own index (children are interned
@@ -69,20 +93,29 @@ enum Node {
 /// The thread-local hash-consing arena.
 struct Arena {
     nodes: Vec<Node>,
-    interned: HashMap<Node, u32>,
+    interned: FxHashMap<Node, u32>,
+    /// Bumped by every reset; handles interned under an older generation are
+    /// stale and refuse to be used.
+    generation: u32,
+    /// Number of active [`CircuitSession`] guards (0 or 1 — sessions don't
+    /// nest); a bare [`reset`] while a session is active panics.
+    sessions: u32,
 }
 
 impl Arena {
     fn new() -> Arena {
         let mut arena = Arena {
             nodes: Vec::new(),
-            interned: HashMap::new(),
+            interned: FxHashMap::default(),
+            generation: 0,
+            sessions: 0,
         };
         arena.reset();
         arena
     }
 
-    /// Truncates back to the two constants, keeping allocated capacity.
+    /// Truncates back to the two constants, keeping allocated capacity, and
+    /// opens the next generation.
     fn reset(&mut self) {
         self.nodes.clear();
         self.interned.clear();
@@ -90,6 +123,10 @@ impl Arena {
         self.nodes.push(Node::One);
         self.interned.insert(Node::Zero, ZERO);
         self.interned.insert(Node::One, ONE);
+        self.generation = self
+            .generation
+            .checked_add(1)
+            .expect("circuit arena generation counter overflowed");
     }
 
     fn intern(&mut self, node: Node) -> u32 {
@@ -101,6 +138,30 @@ impl Arena {
         self.interned.insert(node, id);
         id
     }
+
+    /// Panics on a handle from an earlier generation — the loud failure mode
+    /// that replaces silently reading a reset arena.
+    fn check(&self, handle: &Circuit) {
+        assert!(
+            handle.id <= ONE || handle.gen == self.generation,
+            "stale circuit handle: the arena was reset (generation {} is gone, current is {}); \
+             scope handle lifetimes with CircuitSession",
+            handle.gen,
+            self.generation
+        );
+    }
+
+    fn handle(&self, id: u32) -> Circuit {
+        Circuit {
+            id,
+            gen: if id <= ONE {
+                GEN_CONST
+            } else {
+                self.generation
+            },
+            _not_send: PhantomData,
+        }
+    }
 }
 
 thread_local! {
@@ -110,12 +171,40 @@ thread_local! {
 /// Clones one node out of the arena. Borrowing is scoped to the lookup so
 /// that semiring operations of the *output* domain (which may themselves be
 /// circuits, e.g. circuit-to-circuit substitution) can re-enter the arena.
+/// Takes a raw id (already validated via a root handle's generation check):
+/// children of a live node are always live.
 fn node_of(id: u32) -> Node {
     ARENA.with(|arena| arena.borrow().nodes[id as usize].clone())
 }
 
-fn intern(node: Node) -> u32 {
-    ARENA.with(|arena| arena.borrow_mut().intern(node))
+/// Generation-checks a root handle against the current arena.
+fn check_handle(handle: &Circuit) {
+    ARENA.with(|arena| arena.borrow().check(handle));
+}
+
+fn intern(node: Node) -> Circuit {
+    ARENA.with(|arena| {
+        let mut arena = arena.borrow_mut();
+        let id = arena.intern(node);
+        arena.handle(id)
+    })
+}
+
+/// Generation-checks both operands and interns their combination in one
+/// arena borrow (the hot path of [`Semiring::plus`]/[`Semiring::times`]).
+fn intern_pair(a: &Circuit, b: &Circuit, make: impl FnOnce(u32, u32) -> Node) -> Circuit {
+    ARENA.with(|arena| {
+        let mut arena = arena.borrow_mut();
+        arena.check(a);
+        arena.check(b);
+        let (x, y) = if a.id <= b.id {
+            (a.id, b.id)
+        } else {
+            (b.id, a.id)
+        };
+        let id = arena.intern(make(x, y));
+        arena.handle(id)
+    })
 }
 
 /// Number of nodes currently interned in this thread's arena (including the
@@ -128,11 +217,94 @@ pub fn arena_node_count() -> usize {
 /// `1`, retaining allocated capacity for the next query.
 ///
 /// Every outstanding [`Circuit`] handle and [`CircuitEval`] memo of this
-/// thread is invalidated; using one afterwards yields nodes of the *new*
-/// generation (or panics on an out-of-range id). Call only between
-/// independent provenance computations.
+/// thread is invalidated; the reset opens a new arena *generation*, so using
+/// a stale handle afterwards **panics** instead of silently reading the new
+/// generation's nodes. Call only between independent provenance
+/// computations — or, better, scope the computation in a [`CircuitSession`],
+/// which resets on entry and exit and makes this function refuse to run
+/// underneath it.
+///
+/// # Panics
+/// Panics if a [`CircuitSession`] is active on this thread.
 pub fn reset() {
-    ARENA.with(|arena| arena.borrow_mut().reset());
+    ARENA.with(|arena| {
+        let mut arena = arena.borrow_mut();
+        assert!(
+            arena.sessions == 0,
+            "circuit::reset() called while a CircuitSession is active; drop the session instead"
+        );
+        arena.reset();
+    });
+}
+
+/// A scoped guard for the circuit-arena lifecycle: construction resets this
+/// thread's arena (opening a fresh generation), and dropping the guard
+/// resets it again, reclaiming every node the session interned.
+///
+/// The guard closes the classic footgun of the bare [`reset`] API — some
+/// library code calling `reset()` while the caller still holds handles,
+/// which before the generation stamps would *silently* re-read the new
+/// arena. While a session is active, [`reset`] panics instead of running;
+/// handles that escape the session panic on first use (their generation is
+/// gone). Sessions are per-thread and do not nest.
+///
+/// ```
+/// use provsem_semiring::circuit::{self, CircuitSession};
+/// use provsem_semiring::{Circuit, Semiring};
+///
+/// let leaked = CircuitSession::run(|| {
+///     let p = Circuit::var("p");
+///     assert!(!p.is_zero());
+///     p.node_id() // plain data may leave the session; handles should not
+/// });
+/// assert!(leaked >= 2);
+/// assert_eq!(circuit::arena_node_count(), 2); // session reclaimed its nodes
+/// ```
+pub struct CircuitSession {
+    /// Sessions guard a thread-local arena, so the guard itself must not
+    /// move to another thread.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl CircuitSession {
+    /// Resets this thread's arena and opens a session scoped to the returned
+    /// guard.
+    ///
+    /// # Panics
+    /// Panics if a session is already active on this thread.
+    pub fn begin() -> CircuitSession {
+        ARENA.with(|arena| {
+            let mut arena = arena.borrow_mut();
+            assert!(
+                arena.sessions == 0,
+                "CircuitSession::begin() while another session is active; sessions do not nest"
+            );
+            arena.reset();
+            arena.sessions = 1;
+        });
+        CircuitSession {
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Runs `f` inside a fresh session; the arena is reset before and after.
+    /// Returning a [`Circuit`] handle (or anything holding one) from `f` is
+    /// a bug — the handle's generation dies with the session, so any later
+    /// use panics.
+    pub fn run<R>(f: impl FnOnce() -> R) -> R {
+        let _session = CircuitSession::begin();
+        f()
+    }
+}
+
+impl Drop for CircuitSession {
+    fn drop(&mut self) {
+        ARENA.with(|arena| {
+            let mut arena = arena.borrow_mut();
+            arena.sessions = 0;
+            arena.reset();
+        });
+    }
 }
 
 /// A handle to a hash-consed provenance circuit: an element of ℕ\[X\] in
@@ -145,22 +317,21 @@ pub fn reset() {
 #[derive(Clone, Copy)]
 pub struct Circuit {
     id: u32,
+    /// The arena generation this handle was interned under; checked against
+    /// the arena on every use so a handle that outlives a [`reset`] fails
+    /// loudly instead of aliasing a node of the next query. The constants
+    /// `0`/`1` carry [`GEN_CONST`] and are valid in every generation.
+    gen: u32,
     /// Node ids are meaningless across threads (each thread has its own
-    /// arena), so the handle opts out of `Send`/`Sync`.
+    /// arena), so the handle opts out of `Send`/`Sync`. Batches of handles
+    /// cross threads through [`Semiring::to_portable`] instead.
     _not_send: PhantomData<*const ()>,
 }
 
 impl Circuit {
-    fn from_id(id: u32) -> Circuit {
-        Circuit {
-            id,
-            _not_send: PhantomData,
-        }
-    }
-
     /// The circuit consisting of a single variable (a tuple id).
     pub fn var(v: impl Into<Variable>) -> Circuit {
-        Circuit::from_id(intern(Node::Var(v.into())))
+        intern(Node::Var(v.into()))
     }
 
     /// The constant circuit `n` (the canonical embedding ℕ → ℕ\[X\]), built
@@ -190,11 +361,12 @@ impl Circuit {
         self.id as usize
     }
 
-    /// Are the two handles the *same interned node*? A cheap, sound (but
-    /// incomplete) equality: structurally identical circuits are always the
-    /// same node, semantically equal ones need not be.
+    /// Are the two handles the *same interned node* (of the same arena
+    /// generation)? A cheap, sound (but incomplete) equality: structurally
+    /// identical circuits are always the same node, semantically equal ones
+    /// need not be.
     pub fn same_node(&self, other: &Circuit) -> bool {
-        self.id == other.id
+        self.id == other.id && (self.id <= ONE || self.gen == other.gen)
     }
 
     /// Number of distinct nodes reachable from this handle — the size of the
@@ -226,7 +398,13 @@ impl Circuit {
 /// the size of a whole provenance-annotated result with sharing.
 pub fn shared_node_count(roots: impl IntoIterator<Item = Circuit>) -> usize {
     let mut seen: Vec<bool> = vec![false; arena_node_count()];
-    let mut stack: Vec<u32> = roots.into_iter().map(|c| c.id).collect();
+    let mut stack: Vec<u32> = roots
+        .into_iter()
+        .map(|c| {
+            check_handle(&c);
+            c.id
+        })
+        .collect();
     let mut count = 0;
     while let Some(id) = stack.pop() {
         let slot = &mut seen[id as usize];
@@ -264,6 +442,7 @@ fn fold_memo<A: NodeAlgebra>(
     memo: &mut Vec<Option<A::Out>>,
     algebra: &mut A,
 ) -> A::Out {
+    check_handle(&root);
     if memo.len() <= root.node_id() {
         memo.resize_with(root.node_id() + 1, || None);
     }
@@ -373,6 +552,16 @@ impl<K: CommutativeSemiring> NodeAlgebra for EvalAlgebra<'_, K> {
 pub struct CircuitEval<'v, K> {
     algebra: EvalAlgebra<'v, K>,
     memo: Vec<Option<K>>,
+    /// The arena generation the memo belongs to (set on first eval); an
+    /// evaluator reused across a [`reset`] panics instead of serving memo
+    /// entries for nodes that no longer exist.
+    generation: Option<u32>,
+    /// The memo is keyed by node ids of *this thread's* arena, and the
+    /// generation counter cannot tell two threads' arenas apart (every
+    /// fresh thread starts at generation 1) — so the evaluator, like the
+    /// handles it caches, must not cross threads. Parallel specialization
+    /// builds one evaluator per worker instead.
+    _not_send: PhantomData<*const ()>,
 }
 
 impl<'v, K: CommutativeSemiring> CircuitEval<'v, K> {
@@ -381,11 +570,21 @@ impl<'v, K: CommutativeSemiring> CircuitEval<'v, K> {
         CircuitEval {
             algebra: EvalAlgebra { valuation },
             memo: Vec::new(),
+            generation: None,
+            _not_send: PhantomData,
         }
     }
 
     /// Evaluates one root, reusing every previously memoized node.
     pub fn eval(&mut self, circuit: Circuit) -> K {
+        let current = ARENA.with(|arena| arena.borrow().generation);
+        match self.generation {
+            None => self.generation = Some(current),
+            Some(generation) => assert!(
+                generation == current,
+                "CircuitEval memo outlived a circuit::reset(); build a fresh evaluator"
+            ),
+        }
         fold_memo(circuit, &mut self.memo, &mut self.algebra)
     }
 
@@ -398,11 +597,19 @@ impl<'v, K: CommutativeSemiring> CircuitEval<'v, K> {
 
 impl Semiring for Circuit {
     fn zero() -> Self {
-        Circuit::from_id(ZERO)
+        Circuit {
+            id: ZERO,
+            gen: GEN_CONST,
+            _not_send: PhantomData,
+        }
     }
 
     fn one() -> Self {
-        Circuit::from_id(ONE)
+        Circuit {
+            id: ONE,
+            gen: GEN_CONST,
+            _not_send: PhantomData,
+        }
     }
 
     /// O(1): folds the additive identity and interns a `Plus` node with
@@ -414,12 +621,7 @@ impl Semiring for Circuit {
         if other.id == ZERO {
             return *self;
         }
-        let (a, b) = if self.id <= other.id {
-            (self.id, other.id)
-        } else {
-            (other.id, self.id)
-        };
-        Circuit::from_id(intern(Node::Plus(a, b)))
+        intern_pair(self, other, Node::Plus)
     }
 
     /// O(1): folds the multiplicative identities/annihilator and interns a
@@ -434,12 +636,7 @@ impl Semiring for Circuit {
         if other.id == ONE {
             return *self;
         }
-        let (a, b) = if self.id <= other.id {
-            (self.id, other.id)
-        } else {
-            (other.id, self.id)
-        };
-        Circuit::from_id(intern(Node::Times(a, b)))
+        intern_pair(self, other, Node::Times)
     }
 
     /// Exact *and* O(1): the smart constructors fold `0` away, and ℕ\[X\] has
@@ -454,6 +651,108 @@ impl Semiring for Circuit {
     fn is_one(&self) -> bool {
         self.id == ONE
     }
+
+    /// Circuits cross threads by re-encoding, not by copying ids: the
+    /// portable form is the reachable sub-DAG as a position-indexed node
+    /// list, and importing re-interns it into the receiving thread's
+    /// arena. See the module docs, "Crossing threads".
+    fn is_portable() -> bool {
+        true
+    }
+
+    fn to_portable(batch: Vec<Self>) -> Portable {
+        Portable::new(export_circuits(&batch))
+    }
+
+    fn from_portable(token: Portable) -> Vec<Self> {
+        import_circuits(token.unwrap::<PortableCircuits>())
+    }
+}
+
+/// The arena-independent encoding of a batch of circuits: the non-constant
+/// nodes reachable from the batch, renumbered densely in topological order.
+/// Position `k` of `nodes` has portable id `k + 2` (ids `0`/`1` are the
+/// constants of *every* arena); `Plus`/`Times` children are portable ids,
+/// always smaller than the node's own — so importing is a single in-order
+/// pass.
+struct PortableCircuits {
+    nodes: Vec<PortableNode>,
+    /// Portable id of each circuit in the exported batch, in batch order.
+    roots: Vec<u32>,
+}
+
+enum PortableNode {
+    Var(Variable),
+    Plus(u32, u32),
+    Times(u32, u32),
+}
+
+/// Encodes the sub-DAG reachable from `batch` (in this thread's arena) into
+/// portable form. Deterministic: nodes are emitted in ascending arena id
+/// order, which is a topological order because children are interned first.
+fn export_circuits(batch: &[Circuit]) -> PortableCircuits {
+    ARENA.with(|arena| {
+        let arena = arena.borrow();
+        let mut reachable = vec![false; arena.nodes.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for circuit in batch {
+            arena.check(circuit);
+            stack.push(circuit.id);
+        }
+        while let Some(id) = stack.pop() {
+            let slot = &mut reachable[id as usize];
+            if *slot {
+                continue;
+            }
+            *slot = true;
+            if let Node::Plus(a, b) | Node::Times(a, b) = &arena.nodes[id as usize] {
+                stack.push(*a);
+                stack.push(*b);
+            }
+        }
+        let mut remap = vec![0u32; arena.nodes.len()];
+        remap[ONE as usize] = ONE;
+        let mut nodes = Vec::new();
+        for id in 2..arena.nodes.len() {
+            if !reachable[id] {
+                continue;
+            }
+            remap[id] = u32::try_from(nodes.len() + 2).expect("portable circuit id overflow");
+            nodes.push(match &arena.nodes[id] {
+                Node::Var(v) => PortableNode::Var(v.clone()),
+                Node::Plus(a, b) => PortableNode::Plus(remap[*a as usize], remap[*b as usize]),
+                Node::Times(a, b) => PortableNode::Times(remap[*a as usize], remap[*b as usize]),
+                Node::Zero | Node::One => unreachable!("constants have the reserved ids 0 and 1"),
+            });
+        }
+        PortableCircuits {
+            nodes,
+            roots: batch.iter().map(|c| remap[c.id as usize]).collect(),
+        }
+    })
+}
+
+/// Re-interns a portable batch into the *current* thread's arena. Building
+/// through the smart constructors restores the id-sorted-operand invariant
+/// under this arena's numbering and lets hash-consing deduplicate against
+/// nodes the arena already holds, so repeated imports never balloon it.
+fn import_circuits(portable: PortableCircuits) -> Vec<Circuit> {
+    let mut handles: Vec<Circuit> = Vec::with_capacity(portable.nodes.len() + 2);
+    handles.push(Circuit::zero());
+    handles.push(Circuit::one());
+    for node in portable.nodes {
+        let handle = match node {
+            PortableNode::Var(v) => Circuit::var(v),
+            PortableNode::Plus(a, b) => handles[a as usize].plus(&handles[b as usize]),
+            PortableNode::Times(a, b) => handles[a as usize].times(&handles[b as usize]),
+        };
+        handles.push(handle);
+    }
+    portable
+        .roots
+        .into_iter()
+        .map(|r| handles[r as usize])
+        .collect()
 }
 
 impl CommutativeSemiring for Circuit {}
@@ -465,7 +764,7 @@ impl PartialEq for Circuit {
     /// is where circuit equality is used; the engines only call the O(1)
     /// [`Semiring::is_zero`]).
     fn eq(&self, other: &Self) -> bool {
-        self.id == other.id || self.to_polynomial() == other.to_polynomial()
+        self.same_node(other) || self.to_polynomial() == other.to_polynomial()
     }
 }
 
@@ -547,6 +846,22 @@ impl Semiring for BoolCircuit {
     }
     // `is_one` keeps the default semantic check: in PosBool, `x + 1 = 1`,
     // so circuits other than the interned `One` node can denote true.
+
+    /// Transported exactly like [`Circuit`] (same arena nodes).
+    fn is_portable() -> bool {
+        true
+    }
+
+    fn to_portable(batch: Vec<Self>) -> Portable {
+        Circuit::to_portable(batch.into_iter().map(|b| b.0).collect())
+    }
+
+    fn from_portable(token: Portable) -> Vec<Self> {
+        Circuit::from_portable(token)
+            .into_iter()
+            .map(BoolCircuit)
+            .collect()
+    }
 }
 
 impl CommutativeSemiring for BoolCircuit {}
@@ -769,6 +1084,103 @@ mod tests {
         assert_ne!(p.plus(&r), p);
         // ℕ[X]-equality is finer: the same nodes are *not* equal as Circuit.
         assert_ne!(p.circuit().plus(&p.circuit()), p.circuit());
+    }
+
+    #[test]
+    fn stale_handles_panic_instead_of_aliasing_the_new_generation() {
+        let old = x("victim").times(&x("witness"));
+        reset();
+        // The new generation interns something at the same ids.
+        let _ = x("other").times(&x("another"));
+        let err = std::panic::catch_unwind(|| old.to_polynomial())
+            .expect_err("stale handle must not read the reset arena");
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("stale circuit handle"), "{message}");
+        // Constants survive every reset.
+        assert!(Circuit::zero().is_zero());
+        assert!(Circuit::one().plus(&Circuit::zero()).is_one());
+    }
+
+    #[test]
+    fn circuit_eval_refuses_a_memo_across_reset() {
+        let v: Valuation<Natural> = Valuation::from_pairs([("a", nat(2))]);
+        let mut eval = CircuitEval::new(&v);
+        assert_eq!(eval.eval(x("a")), nat(2));
+        reset();
+        let fresh = x("a");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval.eval(fresh)))
+            .expect_err("memo must not survive a reset");
+        let message = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(message.contains("CircuitEval memo outlived"), "{message}");
+    }
+
+    #[test]
+    fn sessions_scope_the_arena_and_block_bare_resets() {
+        reset();
+        let outside = arena_node_count();
+        CircuitSession::run(|| {
+            let _ = x("inside").plus(&x("session"));
+            assert!(arena_node_count() > outside);
+            // A bare reset under a session is the footgun the guard closes.
+            let err = std::panic::catch_unwind(reset).expect_err("reset under session");
+            let message = err.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert!(message.contains("CircuitSession is active"), "{message}");
+        });
+        assert_eq!(arena_node_count(), 2, "session drop reclaimed its nodes");
+        // After the session, resets work again and the arena is usable.
+        reset();
+        assert!(!x("after").is_zero());
+    }
+
+    #[test]
+    fn portable_round_trip_preserves_semantics_and_sharing() {
+        reset();
+        let shared = x("a").plus(&x("b"));
+        let batch = vec![
+            Circuit::zero(),
+            Circuit::one(),
+            shared.times(&shared),
+            shared.times(&x("c")),
+            Circuit::constant(3),
+        ];
+        let expected: Vec<ProvenancePolynomial> =
+            batch.iter().map(Circuit::to_polynomial).collect();
+        let token = Circuit::to_portable(batch.clone());
+        // Same thread: importing dedups against the existing arena, so the
+        // round trip interns nothing new and returns the very same nodes.
+        let before = arena_node_count();
+        let back = Circuit::from_portable(token);
+        assert_eq!(arena_node_count(), before);
+        for (orig, round) in batch.iter().zip(&back) {
+            assert!(orig.same_node(round));
+        }
+        // Cross thread: the receiving arena is fresh; values must agree.
+        let token = Circuit::to_portable(batch);
+        let lowered = std::thread::scope(|s| {
+            s.spawn(move || {
+                let imported = Circuit::from_portable(token);
+                // The worker's arena holds only what the import reached.
+                assert!(arena_node_count() <= before);
+                imported
+                    .iter()
+                    .map(Circuit::to_polynomial)
+                    .collect::<Vec<_>>()
+            })
+            .join()
+            .expect("worker")
+        });
+        assert_eq!(lowered, expected);
+    }
+
+    #[test]
+    fn bool_circuit_portability_matches_circuit() {
+        assert!(BoolCircuit::is_portable() && Circuit::is_portable());
+        let batch = vec![BoolCircuit::var("p").plus(&BoolCircuit::var("r"))];
+        let expected = batch[0].to_posbool();
+        let token = BoolCircuit::to_portable(batch);
+        let back = BoolCircuit::from_portable(token);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].to_posbool(), expected);
     }
 
     #[test]

@@ -121,6 +121,9 @@ impl fmt::Debug for Event {
 }
 
 impl Semiring for Event {
+    // Plain `Send` data: batches cross threads as-is (parallel engines).
+    crate::traits::portable_by_send!();
+
     fn zero() -> Self {
         Event::never()
     }

@@ -56,6 +56,9 @@ impl fmt::Display for Fuzzy {
 }
 
 impl Semiring for Fuzzy {
+    // Plain `Send` data: batches cross threads as-is (parallel engines).
+    crate::traits::portable_by_send!();
+
     fn zero() -> Self {
         Fuzzy(0.0)
     }
@@ -121,6 +124,9 @@ impl fmt::Debug for Viterbi {
 }
 
 impl Semiring for Viterbi {
+    // Plain `Send` data: batches cross threads as-is (parallel engines).
+    crate::traits::portable_by_send!();
+
     fn zero() -> Self {
         Viterbi(0.0)
     }

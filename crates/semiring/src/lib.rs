@@ -38,6 +38,7 @@ pub mod boolean;
 pub mod circuit;
 pub mod events;
 pub mod fuzzy;
+pub mod fxhash;
 pub mod homomorphism;
 pub mod monomial;
 pub mod natural;
@@ -55,9 +56,10 @@ pub mod why;
 /// A convenience prelude re-exporting the most commonly used items.
 pub mod prelude {
     pub use crate::boolean::Bool;
-    pub use crate::circuit::{BoolCircuit, Circuit, CircuitEval};
+    pub use crate::circuit::{BoolCircuit, Circuit, CircuitEval, CircuitSession};
     pub use crate::events::{Event, WorldId};
     pub use crate::fuzzy::{Fuzzy, Viterbi};
+    pub use crate::fxhash::{FxHashMap, FxHashSet};
     pub use crate::homomorphism::{
         BoolToSemiring, Compose, DropCoefficients, MapCoefficients, NatInfToBool, NaturalToBool,
         NaturalToNatInf, ToPosBool, ToWhySet, ToWitnesses,
@@ -73,7 +75,7 @@ pub mod prelude {
     pub use crate::security::Clearance;
     pub use crate::traits::{
         CommutativeSemiring, DistributiveLattice, FiniteSemiring, FnHomomorphism, NaturallyOrdered,
-        OmegaContinuous, PlusIdempotent, Semiring, SemiringHomomorphism,
+        OmegaContinuous, PlusIdempotent, Portable, Semiring, SemiringHomomorphism,
     };
     pub use crate::tropical::Tropical;
     pub use crate::variable::{Valuation, Variable};

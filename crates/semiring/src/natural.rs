@@ -90,6 +90,9 @@ impl Mul for Natural {
 }
 
 impl Semiring for Natural {
+    // Plain `Send` data: batches cross threads as-is (parallel engines).
+    crate::traits::portable_by_send!();
+
     fn zero() -> Self {
         Natural(0)
     }

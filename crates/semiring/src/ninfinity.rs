@@ -96,6 +96,9 @@ impl Ord for NatInf {
 }
 
 impl Semiring for NatInf {
+    // Plain `Send` data: batches cross threads as-is (parallel engines).
+    crate::traits::portable_by_send!();
+
     fn zero() -> Self {
         NatInf::Fin(0)
     }

@@ -326,6 +326,43 @@ impl<K: Semiring> Semiring for Polynomial<K> {
                 .map(Semiring::is_one)
                 .unwrap_or(false)
     }
+
+    /// Polynomials cross threads whenever their coefficients do: the batch
+    /// is decomposed into monomial shapes (plain `Send` data) plus one flat
+    /// coefficient batch transported through `K`'s own encoding — so
+    /// ℕ\[X\] travels as-is while a hypothetical `Polynomial<Circuit>` would
+    /// inherit the circuit arena re-encoding.
+    fn is_portable() -> bool {
+        K::is_portable()
+    }
+
+    fn to_portable(batch: Vec<Self>) -> crate::traits::Portable {
+        let mut shapes: Vec<Vec<Monomial>> = Vec::with_capacity(batch.len());
+        let mut coeffs: Vec<K> = Vec::new();
+        for p in batch {
+            let mut shape = Vec::with_capacity(p.terms.len());
+            for (m, c) in p.terms {
+                shape.push(m);
+                coeffs.push(c);
+            }
+            shapes.push(shape);
+        }
+        crate::traits::Portable::new((shapes, K::to_portable(coeffs)))
+    }
+
+    fn from_portable(token: crate::traits::Portable) -> Vec<Self> {
+        let (shapes, inner): (Vec<Vec<Monomial>>, crate::traits::Portable) = token.unwrap();
+        let mut coeffs = K::from_portable(inner).into_iter();
+        shapes
+            .into_iter()
+            .map(|shape| Polynomial {
+                terms: shape
+                    .into_iter()
+                    .map(|m| (m, coeffs.next().expect("coefficient batch too short")))
+                    .collect(),
+            })
+            .collect()
+    }
 }
 
 impl<K: CommutativeSemiring> CommutativeSemiring for Polynomial<K> {}

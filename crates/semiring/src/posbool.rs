@@ -217,6 +217,9 @@ impl fmt::Debug for PosBool {
 }
 
 impl Semiring for PosBool {
+    // Plain `Send` data: batches cross threads as-is (parallel engines).
+    crate::traits::portable_by_send!();
+
     fn zero() -> Self {
         PosBool::ff()
     }

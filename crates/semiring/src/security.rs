@@ -66,6 +66,9 @@ impl fmt::Display for Clearance {
 }
 
 impl Semiring for Clearance {
+    // Plain `Send` data: batches cross threads as-is (parallel engines).
+    crate::traits::portable_by_send!();
+
     fn zero() -> Self {
         Clearance::Never
     }

@@ -9,7 +9,70 @@
 //! evaluation of Section 8 requires K to be a **finite distributive
 //! lattice**.
 
+use std::any::Any;
 use std::fmt::Debug;
+
+/// A type-erased, `Send` batch of annotations in transit between threads.
+///
+/// The parallel engines (the morsel-driven executor of `provsem-core` and
+/// the parallel semi-naive rounds of `provsem-datalog`) move batches of
+/// annotations across worker-thread boundaries. Most semirings are plain
+/// `Send` data and travel as-is; provenance circuits are *handles into a
+/// thread-local arena* and must be re-encoded (exported to an
+/// arena-independent node list, then re-interned on the receiving thread).
+/// `Portable` erases that difference: [`Semiring::to_portable`] seals a
+/// batch on the sending thread, [`Semiring::from_portable`] opens it on the
+/// receiving one.
+///
+/// The token is opaque by design — the only valid consumer is
+/// `from_portable` of the *same* semiring type.
+pub struct Portable(Box<dyn Any + Send>);
+
+impl Portable {
+    /// Wraps a `Send` payload.
+    pub fn new<T: Send + 'static>(payload: T) -> Portable {
+        Portable(Box::new(payload))
+    }
+
+    /// Recovers the payload.
+    ///
+    /// # Panics
+    /// Panics if the token was produced for a different payload type — which
+    /// indicates a semiring's `to_portable`/`from_portable` pair disagrees.
+    pub fn unwrap<T: 'static>(self) -> T {
+        *self
+            .0
+            .downcast::<T>()
+            .expect("Portable token opened as a different type than it was sealed as")
+    }
+}
+
+impl Debug for Portable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Portable(..)")
+    }
+}
+
+/// Implements the [`Semiring`] cross-thread transport hooks for a semiring
+/// whose values are ordinary `Send + 'static` data: the batch travels as-is.
+/// Invoke inside the `impl Semiring for …` block.
+macro_rules! portable_by_send {
+    () => {
+        fn is_portable() -> bool {
+            true
+        }
+
+        fn to_portable(batch: Vec<Self>) -> $crate::traits::Portable {
+            $crate::traits::Portable::new(batch)
+        }
+
+        fn from_portable(token: $crate::traits::Portable) -> Vec<Self> {
+            token.unwrap::<Vec<Self>>()
+        }
+    };
+}
+
+pub(crate) use portable_by_send;
 
 /// A semiring `(K, +, ·, 0, 1)`.
 ///
@@ -23,7 +86,10 @@ use std::fmt::Debug;
 ///
 /// Elements are passed by reference because several provenance semirings
 /// (polynomials, positive boolean expressions, power series) are not `Copy`.
-pub trait Semiring: Clone + PartialEq + Debug {
+/// The `'static` bound says annotations are self-contained values (they
+/// never borrow from the database), which is what lets the parallel engines
+/// move batches of them between threads through [`Portable`] tokens.
+pub trait Semiring: Clone + PartialEq + Debug + 'static {
     /// The additive identity, used to tag tuples that are *not* in a
     /// K-relation.
     fn zero() -> Self;
@@ -107,6 +173,34 @@ pub trait Semiring: Clone + PartialEq + Debug {
             }
         }
         result
+    }
+
+    /// Can batches of this semiring's values cross a thread boundary through
+    /// [`Semiring::to_portable`] / [`Semiring::from_portable`]?
+    ///
+    /// The default is `false`, in which case the parallel engines fall back
+    /// to their serial code path for this semiring (they never call the
+    /// transport hooks). Every semiring in this crate opts in: plain data
+    /// semirings travel as-is, and [`crate::circuit::Circuit`] re-encodes
+    /// its thread-local arena handles (see the `circuit` module docs).
+    fn is_portable() -> bool {
+        false
+    }
+
+    /// Seals a batch of values into a [`Portable`] token that can be moved
+    /// to another thread. Only called when [`Semiring::is_portable`] is
+    /// `true`; the pair `to_portable`/`from_portable` must round-trip the
+    /// batch exactly (same length, semantically equal values).
+    fn to_portable(batch: Vec<Self>) -> Portable {
+        let _ = batch;
+        unreachable!("to_portable called on a semiring with is_portable() == false")
+    }
+
+    /// Opens a [`Portable`] token sealed by [`Semiring::to_portable`] on
+    /// another thread, re-materializing the values in the current thread.
+    fn from_portable(token: Portable) -> Vec<Self> {
+        let _ = token;
+        unreachable!("from_portable called on a semiring with is_portable() == false")
     }
 
     /// `a^n`, the product of `n` copies of `a` (with `a^0 = 1`).

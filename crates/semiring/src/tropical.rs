@@ -57,6 +57,9 @@ impl fmt::Display for Tropical {
 }
 
 impl Semiring for Tropical {
+    // Plain `Send` data: batches cross threads as-is (parallel engines).
+    crate::traits::portable_by_send!();
+
     fn zero() -> Self {
         Tropical(NatInf::Inf)
     }

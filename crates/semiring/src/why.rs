@@ -92,6 +92,9 @@ impl fmt::Display for WhySet {
 }
 
 impl Semiring for WhySet {
+    // Plain `Send` data: batches cross threads as-is (parallel engines).
+    crate::traits::portable_by_send!();
+
     fn zero() -> Self {
         WhySet::empty()
     }
@@ -226,6 +229,9 @@ impl fmt::Debug for Witness {
 }
 
 impl Semiring for Witness {
+    // Plain `Send` data: batches cross threads as-is (parallel engines).
+    crate::traits::portable_by_send!();
+
     fn zero() -> Self {
         Witness::none()
     }
