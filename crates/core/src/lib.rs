@@ -51,7 +51,9 @@ pub mod prelude {
     pub use crate::database::Database;
     pub use crate::expr::{paper_example_query, EvalError, RaExpr};
     pub use crate::paper;
-    pub use crate::plan::{Catalog, ExecContext, NamedRelation, Plan, RelationSource};
+    pub use crate::plan::{
+        Catalog, DeltaBatch, ExecContext, MaterializedView, NamedRelation, Plan, RelationSource,
+    };
     pub use crate::predicate::Predicate;
     pub use crate::provenance::{
         circuit_factorization_holds, circuit_provenance_of_query, circuit_provenance_size,

@@ -1,0 +1,635 @@
+//! Incremental view maintenance over the positional physical operators.
+//!
+//! A [`MaterializedView`] is a plan's output [`KRelation`] plus the retained
+//! per-operator state needed to absorb changes without re-executing: every
+//! hash join keeps both of its sides indexed by the join key. Changes arrive
+//! as a [`DeltaBatch`] — per-relation K-relations of *signed* annotation
+//! deltas (`new = old + Δ`), so over a [`Ring`](provsem_semiring::ring::Ring)
+//! such as ℤ a deletion is just an insertion of `-k` — and propagate through
+//! the operator tree by the classic delta rules:
+//!
+//! | operator      | delta rule |
+//! |---------------|------------|
+//! | σ_P(R)        | `Δ = σ_P(ΔR)` |
+//! | π_U(R)        | `Δ = π_U(ΔR)` |
+//! | ρ_β(R)        | `Δ = ρ_β(ΔR)` |
+//! | R ∪ S         | `Δ = ΔR ∪ ΔS` |
+//! | Σ-aggregate   | `Δ = agg(ΔR)` (annotation sums are linear) |
+//! | R ⋈ S         | `Δ = ΔR ⋈ S ∪ R ⋈ ΔS ∪ ΔR ⋈ ΔS` |
+//!
+//! every rule is *linear* in the annotations (a consequence of Definition
+//! 3.2's semiring algebra: `+` distributes through each operator), so the
+//! propagated delta is exact — [`Plan::maintain`] leaves the view equal to
+//! re-executing the plan against the updated base, annotation-for-annotation.
+//! The join rule is evaluated in two passes to avoid the three-way product:
+//! `ΔB ⋈ P_old`, then (after folding `ΔB` into the retained build index)
+//! `B_new ⋈ ΔP`, which expands to exactly the three terms above.
+//!
+//! The work done per batch is proportional to |Δ| (and the fan-out it
+//! touches), never to |base| — the `fig_ivm_maintenance` bench group pins
+//! this.
+//!
+//! Determinism mirrors the executor's PR-5 guarantee: delta propagation
+//! visits rows in a canonical order (batch relations iterate sorted, all
+//! stateful updates run on the coordinator), and the only parallel pieces —
+//! the stateless σ/π/ρ transforms, split into contiguous morsels by
+//! [`crate::par::chunked`] and re-concatenated in chunk order — produce the
+//! byte-identical row sequence at every thread count. Hence
+//! [`Plan::maintain_with`] yields the same view (result *and* retained
+//! state) for every [`ExecContext`].
+
+use crate::database::Database;
+use crate::plan::physical::{
+    aggregate_chunk, par_map_chunks, scan_relation, Chunk, ColSource, PhysOp, Row,
+};
+use crate::plan::{ExecContext, Plan, RelationSource};
+use crate::relation::KRelation;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use provsem_semiring::fxhash::FxHashMap;
+use provsem_semiring::ring::Ring;
+use provsem_semiring::Semiring;
+use std::collections::BTreeMap;
+
+/// A batch of base-relation changes: for each named relation, a K-relation
+/// of annotation *deltas*. Applying the batch means `new = old + Δ`
+/// tuple-wise; inserting the same tuple twice sums the deltas, and a delta
+/// that sums to the annotation's inverse deletes the tuple (the K-relation
+/// zero-pruning drops it from the support).
+#[derive(Clone, Debug)]
+pub struct DeltaBatch<K: Semiring> {
+    relations: BTreeMap<String, KRelation<K>>,
+}
+
+impl<K: Semiring> Default for DeltaBatch<K> {
+    fn default() -> Self {
+        DeltaBatch {
+            relations: BTreeMap::new(),
+        }
+    }
+}
+
+impl<K: Semiring> DeltaBatch<K> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        DeltaBatch::default()
+    }
+
+    /// Adds `delta` to `tuple`'s annotation in `relation`. An insertion of a
+    /// new tuple is a delta from `0`; repeated inserts of the same tuple
+    /// accumulate.
+    ///
+    /// # Panics
+    /// Panics if `tuple`'s schema differs from earlier tuples recorded for
+    /// the same relation.
+    pub fn insert(&mut self, relation: impl Into<String>, tuple: Tuple, delta: K) {
+        if delta.is_zero() {
+            return;
+        }
+        let name = relation.into();
+        let rel = self
+            .relations
+            .entry(name)
+            .or_insert_with(|| KRelation::empty(tuple.schema()));
+        rel.insert(tuple, delta);
+    }
+
+    /// Records a deletion: subtracts `annotation` from `tuple` in
+    /// `relation`. Requires a [`Ring`], because a deletion is an insertion
+    /// of the additive inverse — this is the precise sense in which
+    /// ℤ-relations make deletions first-class.
+    pub fn delete(&mut self, relation: impl Into<String>, tuple: Tuple, annotation: K)
+    where
+        K: Ring,
+    {
+        self.insert(relation, tuple, annotation.neg());
+    }
+
+    /// Deletes one "copy" of `tuple` (subtracts `1`).
+    pub fn delete_one(&mut self, relation: impl Into<String>, tuple: Tuple)
+    where
+        K: Ring,
+    {
+        self.delete(relation, tuple, K::one());
+    }
+
+    /// The delta K-relation recorded for `name`, if any.
+    pub fn relation(&self, name: &str) -> Option<&KRelation<K>> {
+        self.relations.get(name)
+    }
+
+    /// Iterates the changed relations in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &KRelation<K>)> {
+        self.relations.iter()
+    }
+
+    /// Whether the batch records no changes.
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(KRelation::is_empty)
+    }
+
+    /// Total number of changed tuples across all relations.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(KRelation::len).sum()
+    }
+
+    /// Applies the batch to a database: `new = old + Δ` per tuple.
+    /// Relations unknown to the database are created. This is the
+    /// "re-execution" side of the maintenance contract: after
+    /// `batch.apply_to(&mut db)`, `plan.execute(&db)` equals the maintained
+    /// view.
+    pub fn apply_to(&self, db: &mut Database<K>) {
+        for (name, delta) in &self.relations {
+            match db.get_mut(name) {
+                Some(rel) => {
+                    for (tuple, k) in delta.iter() {
+                        rel.insert(tuple.clone(), k.clone());
+                    }
+                }
+                None => {
+                    db.insert(name.clone(), delta.clone());
+                }
+            }
+        }
+    }
+}
+
+/// A standing query result maintained under [`DeltaBatch`]es: the output
+/// [`KRelation`] plus the retained operator state (both sides of every hash
+/// join, indexed by join key). Built by [`Plan::materialize`], updated in
+/// place by [`Plan::maintain`]; a view must only ever be maintained through
+/// the plan that materialized it.
+#[derive(Clone, Debug)]
+pub struct MaterializedView<K: Semiring> {
+    result: KRelation<K>,
+    state: OpState<K>,
+}
+
+impl<K: Semiring> MaterializedView<K> {
+    /// The maintained result relation.
+    pub fn result(&self) -> &KRelation<K> {
+        &self.result
+    }
+
+    /// Consumes the view, returning the result relation.
+    pub fn into_result(self) -> KRelation<K> {
+        self.result
+    }
+}
+
+/// One hash-join side retained for maintenance: join key → the rows (and
+/// net annotations) currently on that side. Entry vectors keep first-insert
+/// order; a net-zero annotation removes its row, an emptied key its entry —
+/// so the index is exactly the support of the side's current output.
+type SideIndex<K> = FxHashMap<Row, Vec<(Row, K)>>;
+
+/// Retained state, mirroring the shape of the physical operator tree.
+/// Stateless operators (scan/σ/π/ρ/∪/aggregate) keep only their children's
+/// state; each hash join retains both input sides so either delta can be
+/// joined against the other side's current contents.
+#[derive(Clone, Debug)]
+enum OpState<K> {
+    /// A stateless operator's node: children states in operator order.
+    Stateless(Vec<OpState<K>>),
+    /// A hash join's retained sides.
+    Join {
+        build: Box<OpState<K>>,
+        probe: Box<OpState<K>>,
+        build_index: SideIndex<K>,
+        probe_index: SideIndex<K>,
+    },
+}
+
+fn state_mismatch() -> ! {
+    panic!("maintain: view state does not match the plan; a MaterializedView must only be maintained by the plan that materialized it")
+}
+
+/// Assembles a join output row from its build/probe sources.
+fn joined_row(output: &[ColSource], brow: &[Value], prow: &[Value]) -> Row {
+    output
+        .iter()
+        .map(|src| match src {
+            ColSource::Build(i) => brow[*i].clone(),
+            ColSource::Probe(i) => prow[*i].clone(),
+        })
+        .collect()
+}
+
+/// Extracts the join key of `row` at `keys`.
+fn key_of(row: &[Value], keys: &[usize]) -> Vec<Value> {
+    keys.iter().map(|&i| row[i].clone()).collect()
+}
+
+/// Folds one delta row into a retained side index, summing annotations of
+/// an existing row and pruning net-zero rows/keys so the index stays the
+/// exact support of the side. `Vec::remove` preserves the relative order of
+/// the surviving rows, keeping future probe output deterministic.
+fn upsert<K: Semiring>(index: &mut SideIndex<K>, keys: &[usize], row: Row, k: K) {
+    let key = key_of(&row, keys);
+    if let Some(entries) = index.get_mut(key.as_slice()) {
+        if let Some(pos) = entries.iter().position(|(r, _)| *r == row) {
+            entries[pos].1.plus_assign(&k);
+            if entries[pos].1.is_zero() {
+                entries.remove(pos);
+            }
+        } else if !k.is_zero() {
+            entries.push((row, k));
+        }
+        if entries.is_empty() {
+            index.remove(key.as_slice());
+        }
+    } else if !k.is_zero() {
+        index.insert(key.into_boxed_slice(), vec![(row, k)]);
+    }
+}
+
+/// Initial materialization: computes each operator's full output chunk (in
+/// the serial streaming order) and builds the retained join indexes from
+/// those chunks. Always serial — the chunks, and therefore the index entry
+/// orders, are identical to what the serial executor streams, which is what
+/// makes later maintenance deterministic at every thread count.
+fn init_op<K, S>(op: &PhysOp, source: &S) -> (Chunk<K>, OpState<K>)
+where
+    K: Semiring,
+    S: RelationSource<K>,
+{
+    match op {
+        PhysOp::Scan { name, schema } => {
+            let relation = scan_relation(name, schema, source);
+            let chunk = relation
+                .iter()
+                .map(|(tuple, k)| {
+                    let row: Row = tuple.values().cloned().collect();
+                    (row, k.clone())
+                })
+                .collect();
+            (chunk, OpState::Stateless(Vec::new()))
+        }
+        PhysOp::Empty => (Vec::new(), OpState::Stateless(Vec::new())),
+        PhysOp::Select { input, predicate } => {
+            let (chunk, state) = init_op(input, source);
+            let chunk = chunk
+                .into_iter()
+                .filter(|(row, _)| predicate.eval(row))
+                .collect();
+            (chunk, OpState::Stateless(vec![state]))
+        }
+        PhysOp::Project { input, keep } => {
+            let (chunk, state) = init_op(input, source);
+            let chunk = chunk
+                .into_iter()
+                .map(|(row, k)| (key_of(&row, keep).into_boxed_slice(), k))
+                .collect();
+            (chunk, OpState::Stateless(vec![state]))
+        }
+        PhysOp::Permute { input, perm } => {
+            let (chunk, state) = init_op(input, source);
+            let chunk = chunk
+                .into_iter()
+                .map(|(row, k)| (key_of(&row, perm).into_boxed_slice(), k))
+                .collect();
+            (chunk, OpState::Stateless(vec![state]))
+        }
+        PhysOp::Union { left, right } => {
+            let (mut chunk, lstate) = init_op(left, source);
+            let (rchunk, rstate) = init_op(right, source);
+            chunk.extend(rchunk);
+            (chunk, OpState::Stateless(vec![lstate, rstate]))
+        }
+        PhysOp::Aggregate { input } => {
+            let (chunk, state) = init_op(input, source);
+            (aggregate_chunk(chunk), OpState::Stateless(vec![state]))
+        }
+        PhysOp::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            output,
+            swapped,
+        } => {
+            let (bchunk, bstate) = init_op(build, source);
+            let (pchunk, pstate) = init_op(probe, source);
+            let mut build_index: SideIndex<K> = FxHashMap::default();
+            for (row, k) in bchunk {
+                upsert(&mut build_index, build_keys, row, k);
+            }
+            let mut probe_index: SideIndex<K> = FxHashMap::default();
+            let mut out: Chunk<K> = Vec::new();
+            for (prow, pk) in pchunk {
+                if let Some(entries) = build_index.get(key_of(&prow, probe_keys).as_slice()) {
+                    out.reserve(entries.len());
+                    for (brow, bk) in entries {
+                        let k = if *swapped {
+                            pk.times(bk)
+                        } else {
+                            bk.times(&pk)
+                        };
+                        out.push((joined_row(output, brow, &prow), k));
+                    }
+                }
+                upsert(&mut probe_index, probe_keys, prow, pk);
+            }
+            (
+                out,
+                OpState::Join {
+                    build: Box::new(bstate),
+                    probe: Box::new(pstate),
+                    build_index,
+                    probe_index,
+                },
+            )
+        }
+    }
+}
+
+/// Applies a stateless per-row transform to a delta chunk, fanning out to
+/// contiguous morsels when the context (and the semiring's portability)
+/// allows. Outputs are re-concatenated in morsel order, so the row sequence
+/// is byte-identical to the serial pass at every thread count.
+fn transform_chunk<K, F>(chunk: Chunk<K>, ctx: &ExecContext, f: F) -> Chunk<K>
+where
+    K: Semiring,
+    F: Fn(Row, K) -> Option<(Row, K)> + Sync,
+{
+    if ctx.threads > 1 && K::is_portable() && chunk.len() >= crate::par::SPAWN_THRESHOLD {
+        let parts = crate::par::chunked(chunk, ctx.threads);
+        par_map_chunks(parts, ctx.threads, |_, part: Chunk<K>| {
+            part.into_iter().filter_map(|(row, k)| f(row, k)).collect()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        chunk.into_iter().filter_map(|(row, k)| f(row, k)).collect()
+    }
+}
+
+/// Propagates a delta batch through one operator, updating retained state
+/// and returning the operator's output delta (rows with signed annotation
+/// changes; the same row may appear multiple times, summed by the caller's
+/// materialization point).
+fn delta_op<K: Semiring>(
+    op: &PhysOp,
+    state: &mut OpState<K>,
+    batch: &DeltaBatch<K>,
+    ctx: &ExecContext,
+) -> Chunk<K> {
+    match op {
+        PhysOp::Scan { name, schema } => {
+            let OpState::Stateless(children) = state else {
+                state_mismatch()
+            };
+            debug_assert!(children.is_empty());
+            match batch.relation(name) {
+                Some(delta) => {
+                    assert_eq!(
+                        delta.schema(),
+                        schema,
+                        "delta batch for {name} does not match the planned schema"
+                    );
+                    delta
+                        .iter()
+                        .map(|(tuple, k)| {
+                            let row: Row = tuple.values().cloned().collect();
+                            (row, k.clone())
+                        })
+                        .collect()
+                }
+                None => Vec::new(),
+            }
+        }
+        PhysOp::Empty => Vec::new(),
+        PhysOp::Select { input, predicate } => {
+            let OpState::Stateless(children) = state else {
+                state_mismatch()
+            };
+            let [child] = children.as_mut_slice() else {
+                state_mismatch()
+            };
+            let chunk = delta_op(input, child, batch, ctx);
+            transform_chunk(chunk, ctx, |row, k| {
+                predicate.eval(&row).then_some((row, k))
+            })
+        }
+        PhysOp::Project { input, keep } => {
+            let OpState::Stateless(children) = state else {
+                state_mismatch()
+            };
+            let [child] = children.as_mut_slice() else {
+                state_mismatch()
+            };
+            let chunk = delta_op(input, child, batch, ctx);
+            transform_chunk(chunk, ctx, |row, k| {
+                Some((key_of(&row, keep).into_boxed_slice(), k))
+            })
+        }
+        PhysOp::Permute { input, perm } => {
+            let OpState::Stateless(children) = state else {
+                state_mismatch()
+            };
+            let [child] = children.as_mut_slice() else {
+                state_mismatch()
+            };
+            let chunk = delta_op(input, child, batch, ctx);
+            transform_chunk(chunk, ctx, |row, k| {
+                Some((key_of(&row, perm).into_boxed_slice(), k))
+            })
+        }
+        PhysOp::Union { left, right } => {
+            let OpState::Stateless(children) = state else {
+                state_mismatch()
+            };
+            let [lstate, rstate] = children.as_mut_slice() else {
+                state_mismatch()
+            };
+            let mut chunk = delta_op(left, lstate, batch, ctx);
+            chunk.extend(delta_op(right, rstate, batch, ctx));
+            chunk
+        }
+        PhysOp::Aggregate { input } => {
+            let OpState::Stateless(children) = state else {
+                state_mismatch()
+            };
+            let [child] = children.as_mut_slice() else {
+                state_mismatch()
+            };
+            // Aggregation is linear in the annotations, so the delta of the
+            // aggregate is the aggregate of the delta — no retained groups
+            // needed. Zero-summed delta groups contribute nothing downstream
+            // and are dropped.
+            aggregate_chunk(delta_op(input, child, batch, ctx))
+        }
+        PhysOp::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            output,
+            swapped,
+        } => {
+            let OpState::Join {
+                build: bstate,
+                probe: pstate,
+                build_index,
+                probe_index,
+            } = state
+            else {
+                state_mismatch()
+            };
+            let delta_build = delta_op(build, bstate, batch, ctx);
+            let delta_probe = delta_op(probe, pstate, batch, ctx);
+            let mut out: Chunk<K> = Vec::new();
+            // Pass 1: ΔB ⋈ P_old (probe the retained probe-side index).
+            for (brow, bk) in &delta_build {
+                if let Some(entries) = probe_index.get(key_of(brow, build_keys).as_slice()) {
+                    out.reserve(entries.len());
+                    for (prow, pk) in entries {
+                        let k = if *swapped { pk.times(bk) } else { bk.times(pk) };
+                        out.push((joined_row(output, brow, prow), k));
+                    }
+                }
+            }
+            // Fold ΔB into the build side: the second pass then sees B_new.
+            for (row, k) in delta_build {
+                upsert(build_index, build_keys, row, k);
+            }
+            // Pass 2: B_new ⋈ ΔP. Together the passes expand to exactly
+            // ΔB⋈P + B⋈ΔP + ΔB⋈ΔP.
+            for (prow, pk) in &delta_probe {
+                if let Some(entries) = build_index.get(key_of(prow, probe_keys).as_slice()) {
+                    out.reserve(entries.len());
+                    for (brow, bk) in entries {
+                        let k = if *swapped { pk.times(bk) } else { bk.times(pk) };
+                        out.push((joined_row(output, brow, prow), k));
+                    }
+                }
+            }
+            for (row, k) in delta_probe {
+                upsert(probe_index, probe_keys, row, k);
+            }
+            out
+        }
+    }
+}
+
+impl Plan {
+    /// Executes the plan and retains the operator state needed to maintain
+    /// the result incrementally. The returned view's
+    /// [`result`](MaterializedView::result) equals [`Plan::execute`] on the
+    /// same source (materialization itself always runs serially; by the
+    /// executor's determinism guarantee that is the same relation every
+    /// execution mode produces).
+    pub fn materialize<K: Semiring>(&self, source: &impl RelationSource<K>) -> MaterializedView<K> {
+        let (chunk, state) = init_op(&self.physical, source);
+        let mut result = KRelation::empty(self.schema.clone());
+        for (row, k) in chunk {
+            result.insert_same_schema(Tuple::from_schema_row(&self.schema, row), k);
+        }
+        MaterializedView { result, state }
+    }
+
+    /// Absorbs a batch of base-relation changes into a materialized view
+    /// under the default [`ExecContext`].
+    ///
+    /// Contract (pinned by `core/tests/ivm_differential.rs`): after
+    /// `plan.maintain(&mut view, &batch)`, `view.result()` equals
+    /// `plan.execute(&db')` where `db'` is the base with `batch` applied
+    /// (`new = old + Δ` per tuple) — identical support and annotations.
+    /// Work is proportional to the batch size and its fan-out, not to the
+    /// base size.
+    ///
+    /// # Panics
+    /// Panics if `view` was materialized by a different plan, or if a delta
+    /// relation's schema differs from the planned schema.
+    pub fn maintain<K: Semiring>(&self, view: &mut MaterializedView<K>, batch: &DeltaBatch<K>) {
+        self.maintain_with(view, batch, &ExecContext::default());
+    }
+
+    /// [`Plan::maintain`] with an explicit thread budget. Exactly like
+    /// parallel execution, the result — and the retained state, hence all
+    /// future maintenance — is byte-identical at every thread count: delta
+    /// morsels are contiguous, stateless transforms merge in morsel order,
+    /// and every stateful update runs on the coordinator in canonical
+    /// order.
+    pub fn maintain_with<K: Semiring>(
+        &self,
+        view: &mut MaterializedView<K>,
+        batch: &DeltaBatch<K>,
+        ctx: &ExecContext,
+    ) {
+        let delta = delta_op(&self.physical, &mut view.state, batch, ctx);
+        for (row, k) in delta {
+            view.result
+                .insert_same_schema(Tuple::from_schema_row(&self.schema, row), k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{paper_example_query, RaExpr};
+    use crate::paper;
+    use provsem_semiring::ring::Integers;
+    use provsem_semiring::Natural;
+
+    fn z_db() -> Database<Integers> {
+        paper::figure3_bag().map_annotations(|n: &Natural| Integers::new(n.value() as i64))
+    }
+
+    #[test]
+    fn maintain_matches_reexecution_on_the_paper_query() {
+        let mut db = z_db();
+        let plan = Plan::new(&paper_example_query("R"), &db.catalog()).unwrap();
+        let mut view = plan.materialize(&db);
+        assert_eq!(view.result(), &plan.execute(&db));
+
+        let mut batch = DeltaBatch::new();
+        let r = db.get("R").unwrap().clone();
+        let (first, ann) = r.iter().next().unwrap();
+        batch.delete("R", first.clone(), *ann);
+        batch.insert(
+            "R",
+            Tuple::new([("a", "new"), ("b", "b"), ("c", "new")]),
+            Integers::new(3),
+        );
+
+        plan.maintain(&mut view, &batch);
+        batch.apply_to(&mut db);
+        assert_eq!(view.result(), &plan.execute(&db));
+    }
+
+    #[test]
+    fn delete_to_zero_empties_the_view() {
+        let mut db = z_db();
+        let q = RaExpr::relation("R").project(["a"]);
+        let plan = Plan::new(&q, &db.catalog()).unwrap();
+        let mut view = plan.materialize(&db);
+        let mut batch = DeltaBatch::new();
+        for (tuple, k) in db.get("R").unwrap().iter() {
+            batch.delete("R", tuple.clone(), *k);
+        }
+        plan.maintain(&mut view, &batch);
+        batch.apply_to(&mut db);
+        assert!(db.get("R").unwrap().is_empty());
+        assert!(view.result().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "maintained by the plan that materialized it")]
+    fn maintaining_with_the_wrong_plan_panics() {
+        let db = z_db();
+        let scan = RaExpr::relation("R");
+        let join_plan = Plan::new(&paper_example_query("R"), &db.catalog()).unwrap();
+        let scan_plan = Plan::new(&scan, &db.catalog()).unwrap();
+        let mut view = scan_plan.materialize(&db);
+        let mut batch = DeltaBatch::new();
+        batch.insert(
+            "R",
+            Tuple::new([("a", "x"), ("b", "y"), ("c", "z")]),
+            Integers::new(1),
+        );
+        join_plan.maintain(&mut view, &batch);
+    }
+}

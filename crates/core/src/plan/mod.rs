@@ -33,6 +33,7 @@
 //! ```
 
 pub mod logical;
+mod maintain;
 mod physical;
 
 use crate::database::Database;
@@ -43,6 +44,7 @@ use provsem_semiring::Semiring;
 use std::collections::BTreeMap;
 
 pub use logical::LogicalPlan;
+pub use maintain::{DeltaBatch, MaterializedView};
 
 /// How a plan executes: the thread budget of the morsel-driven parallel
 /// executor.

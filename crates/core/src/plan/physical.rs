@@ -512,7 +512,11 @@ where
 
 /// Resolves a scanned relation against the execution source, with the
 /// consistency panics shared by [`stream`] and the [`execute`] fast path.
-fn scan_relation<'a, K, S>(name: &str, schema: &Schema, source: &'a S) -> &'a KRelation<K>
+pub(crate) fn scan_relation<'a, K, S>(
+    name: &str,
+    schema: &Schema,
+    source: &'a S,
+) -> &'a KRelation<K>
 where
     K: Semiring,
     S: RelationSource<K>,
@@ -601,7 +605,7 @@ where
 
 /// A materialized slice of an operator's output: rows with owned
 /// annotations.
-type Chunk<K> = Vec<(Row, K)>;
+pub(crate) type Chunk<K> = Vec<(Row, K)>;
 
 /// What an exchange hash-partitions on.
 enum PartitionKey<'a> {
@@ -681,7 +685,7 @@ fn coalesce<K>(chunks: Vec<Chunk<K>>, parts: usize) -> Vec<Chunk<K>> {
 /// order. The annotation batches cross the thread boundary sealed
 /// ([`seal`]/[`open`]), so this compiles for *every* semiring; callers gate
 /// on [`Semiring::is_portable`].
-fn par_map_chunks<K, F>(chunks: Vec<Chunk<K>>, threads: usize, work: F) -> Vec<Chunk<K>>
+pub(crate) fn par_map_chunks<K, F>(chunks: Vec<Chunk<K>>, threads: usize, work: F) -> Vec<Chunk<K>>
 where
     K: Semiring,
     F: Fn(usize, Chunk<K>) -> Chunk<K> + Sync,
@@ -728,7 +732,7 @@ where
 /// Aggregates one partition: duplicates of a row were exchanged into the
 /// same partition, so a per-partition hash aggregation is globally exact.
 /// Output follows the deterministic FxHash map iteration order.
-fn aggregate_chunk<K: Semiring>(chunk: Chunk<K>) -> Chunk<K> {
+pub(crate) fn aggregate_chunk<K: Semiring>(chunk: Chunk<K>) -> Chunk<K> {
     let mut groups: FxHashMap<Row, K> = FxHashMap::default();
     for (row, k) in chunk {
         match groups.get_mut(&row) {

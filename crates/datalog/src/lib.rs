@@ -43,6 +43,7 @@ pub mod ast;
 pub mod exact;
 pub mod fact;
 pub mod grounding;
+pub mod maintain;
 pub mod monomial_coefficient;
 pub mod naive;
 pub mod parser;
@@ -63,6 +64,9 @@ pub mod prelude {
     pub use crate::fact::{edge_facts, Fact, FactIndex, FactStore};
     pub use crate::grounding::{
         derivable_facts, instantiate, instantiate_over, DependencyGraph, GroundRule,
+    };
+    pub use crate::maintain::{
+        maintain_fixpoint, maintain_fixpoint_with, materialize_fixpoint, FixpointView,
     };
     pub use crate::monomial_coefficient::monomial_coefficient;
     pub use crate::naive::{

@@ -159,7 +159,7 @@ where
 
 /// The differential forms and join plans of one rule, with all probe masks
 /// registered up front so joining needs only `&FactIndex`.
-struct RuleForms<'a> {
+pub(crate) struct RuleForms<'a> {
     rule: &'a Rule,
     /// One differential form per idb body atom: the delta is matched at that
     /// position, the remaining atoms bind via index probes.
@@ -173,7 +173,7 @@ struct RuleForms<'a> {
     has_idb_body: bool,
 }
 
-fn build_forms<'a>(
+pub(crate) fn build_forms<'a>(
     program: &'a Program,
     idb_predicates: &BTreeSet<String>,
     index: &mut FactIndex,
@@ -220,7 +220,7 @@ fn build_forms<'a>(
 
 /// Multiplies the annotations of a fully bound rule body, reading idb facts
 /// from `current` and edb facts from `edb`; `None` when some factor is zero.
-fn body_product<K: Semiring>(
+pub(crate) fn body_product<K: Semiring>(
     rule: &Rule,
     binding: &Binding,
     idb_predicates: &BTreeSet<String>,
@@ -408,7 +408,7 @@ fn join_deltas<'a, 'f>(
 /// Recomputes one affected head from scratch over the index — phase 2 of
 /// the general (non-idempotent-safe) semi-naive round, shared by the serial
 /// and parallel loops.
-fn recompute_head<K: Semiring>(
+pub(crate) fn recompute_head<K: Semiring>(
     head: &Fact,
     by_head: &FxHashMap<&str, Vec<&RuleForms<'_>>>,
     idb_predicates: &BTreeSet<String>,
@@ -437,7 +437,9 @@ fn recompute_head<K: Semiring>(
 }
 
 /// Groups the rule forms by head predicate (phase-2 lookup structure).
-fn forms_by_head<'f, 'a>(forms: &'f [RuleForms<'a>]) -> FxHashMap<&'f str, Vec<&'f RuleForms<'a>>> {
+pub(crate) fn forms_by_head<'f, 'a>(
+    forms: &'f [RuleForms<'a>],
+) -> FxHashMap<&'f str, Vec<&'f RuleForms<'a>>> {
     let mut by_head: FxHashMap<&str, Vec<&RuleForms>> = FxHashMap::default();
     for form in forms {
         by_head

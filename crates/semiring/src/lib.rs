@@ -47,6 +47,7 @@ pub mod polynomial;
 pub mod posbool;
 pub mod power_series;
 pub mod properties;
+pub mod ring;
 pub mod security;
 pub mod traits;
 pub mod tropical;
@@ -68,10 +69,13 @@ pub mod prelude {
     pub use crate::natural::Natural;
     pub use crate::ninfinity::NatInf;
     pub use crate::polynomial::{
-        BoolPolynomial, EvalHom, NatInfPolynomial, Polynomial, ProvenancePolynomial,
+        BoolPolynomial, EvalHom, NatInfPolynomial, Polynomial, ProvenancePolynomial, ZPolynomial,
     };
     pub use crate::posbool::{eval_posbool, PosBool};
     pub use crate::power_series::{solve_univariate, TruncatedSeries};
+    pub use crate::ring::{
+        CancellativePlus, DiffPair, Integers, LiftToDiff, Monus, NaturalToIntegers, Ring,
+    };
     pub use crate::security::Clearance;
     pub use crate::traits::{
         CommutativeSemiring, DistributiveLattice, FiniteSemiring, FnHomomorphism, NaturallyOrdered,

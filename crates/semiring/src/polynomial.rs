@@ -36,6 +36,12 @@ pub type NatInfPolynomial = Polynomial<NatInf>;
 /// keeps exponents).
 pub type BoolPolynomial = Polynomial<crate::boolean::Bool>;
 
+/// The ring ℤ\[X\] of provenance polynomials with signed integer
+/// coefficients — the free commutative ring on the tuple variables, and the
+/// most general annotation structure for incremental view maintenance of
+/// provenance (a deletion subtracts the deleted tuple's monomials).
+pub type ZPolynomial = Polynomial<crate::ring::Integers>;
+
 impl<K: Semiring> Polynomial<K> {
     /// The zero polynomial.
     pub fn new() -> Self {
@@ -366,6 +372,17 @@ impl<K: Semiring> Semiring for Polynomial<K> {
 }
 
 impl<K: CommutativeSemiring> CommutativeSemiring for Polynomial<K> {}
+
+// Addition of polynomials is coefficient-wise, so it is cancellative
+// exactly when coefficient addition is.
+impl<K: Semiring + crate::ring::CancellativePlus> crate::ring::CancellativePlus for Polynomial<K> {}
+
+impl<K: Semiring + crate::ring::Ring> crate::ring::Ring for Polynomial<K> {
+    fn neg(&self) -> Self {
+        // -(Σ cᵢ·mᵢ) = Σ (-cᵢ)·mᵢ.
+        self.map_coefficients(|c| c.neg())
+    }
+}
 
 impl<K> NaturallyOrdered for Polynomial<K>
 where

@@ -7,6 +7,7 @@
 //! ω-continuity axioms) on representative samples. The same functions are
 //! reused by property-based tests that feed randomly generated elements.
 
+use crate::ring::Ring;
 use crate::traits::{
     DistributiveLattice, NaturallyOrdered, OmegaContinuous, Semiring, SemiringHomomorphism,
 };
@@ -82,6 +83,36 @@ pub fn check_semiring_laws<K: Semiring>(samples: &[K]) -> LawCheck {
                 if b.plus(c).times(a) != b.times(a).plus(&c.times(a)) {
                     return fail("(b + c) · a = b·a + c·a", &[a, b, c]);
                 }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the ring laws on top of the semiring laws: `a + (-a) = 0`,
+/// involution `-(-a) = a`, additivity `-(a + b) = (-a) + (-b)`, the
+/// sign rule `(-a)·b = -(a·b)`, and consistency of the derived difference
+/// `a - b = a + (-b)`.
+pub fn check_ring_laws<K: Ring>(samples: &[K]) -> LawCheck {
+    check_semiring_laws(samples)?;
+    for a in samples {
+        if !a.plus(&a.neg()).is_zero() {
+            return fail("a + (-a) = 0", &[a]);
+        }
+        if a.neg().neg() != *a {
+            return fail("-(-a) = a", &[a]);
+        }
+    }
+    for a in samples {
+        for b in samples {
+            if a.plus(b).neg() != a.neg().plus(&b.neg()) {
+                return fail("-(a + b) = (-a) + (-b)", &[a, b]);
+            }
+            if a.neg().times(b) != a.times(b).neg() {
+                return fail("(-a) · b = -(a · b)", &[a, b]);
+            }
+            if a.minus(b) != a.plus(&b.neg()) {
+                return fail("a - b = a + (-b)", &[a, b]);
             }
         }
     }

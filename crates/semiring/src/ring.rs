@@ -1,0 +1,455 @@
+//! Rings of annotations — ℤ-relations and difference pairs.
+//!
+//! The paper's conclusion singles out *difference* as the natural next
+//! operation beyond RA⁺, and Green, Ives & Tannen's follow-up work on
+//! reconcilable differences develops it: moving from commutative semirings
+//! to commutative **rings** makes deletions first-class, because a deletion
+//! is just an insertion with an additively inverted annotation. The
+//! incremental view maintenance machinery in `provsem-core` and
+//! `provsem-datalog` is built on the structures defined here:
+//!
+//! * [`Ring`] — the extension of [`Semiring`] with additive inverses;
+//! * [`Integers`] — `(ℤ, +, ·, 0, 1)`, the ring of signed multiplicities
+//!   ("ℤ-relations");
+//! * [`ZPolynomial`](crate::polynomial::ZPolynomial) — ℤ\[X\], provenance
+//!   polynomials with integer coefficients (defined in
+//!   [`crate::polynomial`]);
+//! * [`DiffPair`] — the Grothendieck-style difference ring `K² / ~` that
+//!   lifts any semiring with cancellative addition to a ring.
+//!
+//! ## When is the lifting faithful?
+//!
+//! The embedding `k ↦ (k, 0)` of `K` into [`DiffPair<K>`] is injective
+//! exactly when `+` in `K` is *cancellative* (`a + c = b + c ⇒ a = b`);
+//! the same property is what makes the difference-pair equality
+//! `(a, b) ~ (c, d) ⇔ a + d = c + b` transitive. The marker trait
+//! [`CancellativePlus`] records which semirings qualify: ℕ and ℕ\[X\] do,
+//! while idempotent structures (𝔹, PosBool, Why, Tropical) and saturating
+//! ones (ℕ∞) do not — for those, deletions are genuinely lossy and no ring
+//! of differences exists.
+
+use crate::natural::Natural;
+use crate::traits::{
+    CommutativeSemiring, NaturallyOrdered, Portable, Semiring, SemiringHomomorphism,
+};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A (commutative) ring: a [`Semiring`] whose addition has inverses.
+///
+/// Law (checked by [`crate::properties::check_ring_laws`]):
+/// `a + (-a) = 0` for every `a`. Together with the semiring laws this gives
+/// the usual consequences `-(-a) = a`, `-(a + b) = (-a) + (-b)` and
+/// `(-a)·b = -(a·b)`, all of which the law harness also verifies.
+pub trait Ring: Semiring {
+    /// The additive inverse `-a`.
+    fn neg(&self) -> Self;
+
+    /// Difference `a - b = a + (-b)`.
+    fn minus(&self, other: &Self) -> Self {
+        self.plus(&other.neg())
+    }
+}
+
+/// Marker: addition in this semiring is cancellative
+/// (`a + c = b + c ⇒ a = b`).
+///
+/// This is the precise condition under which [`DiffPair<K>`]'s equality is
+/// transitive and the embedding `K → DiffPair<K>` is injective, i.e. under
+/// which `K` embeds into a ring of differences. ℕ and polynomial semirings
+/// over cancellative coefficients qualify; anything idempotent (`a + a = a`
+/// with `a ≠ 0`) or saturating does not.
+pub trait CancellativePlus: Semiring {}
+
+impl CancellativePlus for Natural {}
+
+/// An element of `(ℤ, +, ·, 0, 1)` — a signed tuple multiplicity.
+///
+/// ℤ-relations are the annotation structure of incremental view
+/// maintenance: an insert-batch tuple carries a positive count, a
+/// delete-batch tuple a negative one, and a maintained bag is exact as long
+/// as the final counts are the true (non-negative) multiplicities.
+/// Arithmetic is overflow-checked and panics, mirroring [`Natural`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Integers(pub i64);
+
+impl Integers {
+    /// Builds a signed multiplicity from an `i64`.
+    pub const fn new(n: i64) -> Self {
+        Integers(n)
+    }
+
+    /// The wrapped value.
+    pub const fn value(self) -> i64 {
+        self.0
+    }
+
+    /// Overflow-checked addition.
+    pub fn checked_plus(self, other: Self) -> Option<Self> {
+        self.0.checked_add(other.0).map(Integers)
+    }
+
+    /// Overflow-checked multiplication.
+    pub fn checked_times(self, other: Self) -> Option<Self> {
+        self.0.checked_mul(other.0).map(Integers)
+    }
+}
+
+impl From<i64> for Integers {
+    fn from(n: i64) -> Self {
+        Integers(n)
+    }
+}
+
+impl From<i32> for Integers {
+    fn from(n: i32) -> Self {
+        Integers(n as i64)
+    }
+}
+
+impl From<Natural> for Integers {
+    fn from(n: Natural) -> Self {
+        Integers(i64::try_from(n.value()).expect("multiplicity too large for ℤ (i64)"))
+    }
+}
+
+impl From<Integers> for i64 {
+    fn from(n: Integers) -> Self {
+        n.0
+    }
+}
+
+impl fmt::Debug for Integers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Integers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Add for Integers {
+    type Output = Integers;
+    fn add(self, rhs: Integers) -> Integers {
+        Integers(self.0 + rhs.0)
+    }
+}
+
+impl Mul for Integers {
+    type Output = Integers;
+    fn mul(self, rhs: Integers) -> Integers {
+        Integers(self.0 * rhs.0)
+    }
+}
+
+impl Sub for Integers {
+    type Output = Integers;
+    fn sub(self, rhs: Integers) -> Integers {
+        Integers(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Integers {
+    type Output = Integers;
+    fn neg(self) -> Integers {
+        Integers(-self.0)
+    }
+}
+
+impl Semiring for Integers {
+    // Plain `Send` data: batches cross threads as-is (parallel engines).
+    crate::traits::portable_by_send!();
+
+    fn zero() -> Self {
+        Integers(0)
+    }
+
+    fn one() -> Self {
+        Integers(1)
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        Integers(
+            self.0
+                .checked_add(other.0)
+                .expect("signed multiplicity overflow in ℤ"),
+        )
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        Integers(
+            self.0
+                .checked_mul(other.0)
+                .expect("signed multiplicity overflow in ℤ"),
+        )
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+
+    fn is_one(&self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl CommutativeSemiring for Integers {}
+impl CancellativePlus for Integers {}
+
+impl Ring for Integers {
+    fn neg(&self) -> Self {
+        Integers(
+            self.0
+                .checked_neg()
+                .expect("signed multiplicity overflow in ℤ"),
+        )
+    }
+}
+
+/// The inclusion ℕ → ℤ, a semiring homomorphism. Composing a bag database
+/// into the IVM pipeline goes through this map.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NaturalToIntegers;
+
+impl SemiringHomomorphism<Natural, Integers> for NaturalToIntegers {
+    fn apply(&self, a: &Natural) -> Integers {
+        Integers::from(*a)
+    }
+}
+
+/// A formal difference `pos - neg` of two `K` annotations — the
+/// Grothendieck-style lifting of a cancellative semiring to a ring.
+///
+/// Two pairs are equal when their cross sums agree:
+/// `(a, b) = (c, d) ⇔ a + d = c + b` in `K`. For cancellative `+` this is
+/// an equivalence relation and a congruence for the ring operations
+///
+/// ```text
+/// (a, b) + (c, d) = (a + c, b + d)
+/// (a, b) · (c, d) = (a·c + b·d, a·d + b·c)
+///        -(a, b)  = (b, a)
+/// ```
+///
+/// so `DiffPair<K>` is a commutative ring and `k ↦ (k, 0)`
+/// ([`DiffPair::from_positive`], packaged as the homomorphism
+/// [`LiftToDiff`]) embeds `K` into it. `DiffPair<Natural>` is isomorphic to
+/// ℤ; `DiffPair<ProvenancePolynomial>` is ℤ\[X\] presented as pairs. The
+/// representation is not normalized — `(5, 3)` and `(2, 0)` are equal but
+/// distinct pairs — which is exactly why the [`PartialEq`] impl is the
+/// quotient relation rather than the derived one.
+#[derive(Clone)]
+pub struct DiffPair<K> {
+    pos: K,
+    neg: K,
+}
+
+// Equality is the quotient relation below; it is a genuine equivalence
+// (transitivity is exactly cancellativity of +), so `Eq` is sound. No
+// `Hash`: equal pairs may have different representations.
+impl<K: Semiring + CancellativePlus> Eq for DiffPair<K> {}
+
+impl<K: Semiring + CancellativePlus> DiffPair<K> {
+    /// Builds the difference `pos - neg`.
+    pub fn new(pos: K, neg: K) -> Self {
+        DiffPair { pos, neg }
+    }
+
+    /// Embeds `k` as the positive difference `k - 0`.
+    pub fn from_positive(k: K) -> Self {
+        DiffPair {
+            pos: k,
+            neg: K::zero(),
+        }
+    }
+
+    /// Embeds `k` as the negative difference `0 - k`.
+    pub fn from_negative(k: K) -> Self {
+        DiffPair {
+            pos: K::zero(),
+            neg: k,
+        }
+    }
+
+    /// The positive component of this (unnormalized) pair.
+    pub fn positive(&self) -> &K {
+        &self.pos
+    }
+
+    /// The negative component of this (unnormalized) pair.
+    pub fn negative(&self) -> &K {
+        &self.neg
+    }
+
+    /// If the pair is equal to an embedded `K` element from the sample-free
+    /// fragment — i.e. if `pos = neg + k` for the *naturally ordered* case —
+    /// recovers that element. Only available when `K` reports its natural
+    /// order; returns `None` when the difference is "properly negative".
+    pub fn to_semiring(&self) -> Option<K>
+    where
+        K: NaturallyOrdered + Monus,
+    {
+        self.neg
+            .natural_leq(&self.pos)
+            .then(|| self.pos.monus(&self.neg))
+    }
+}
+
+/// Truncated subtraction for naturally ordered semirings: when `b ≤ a` in
+/// the natural order, `a ∸ b` is the witness of that inequality. Used by
+/// [`DiffPair::to_semiring`] to normalize a non-negative difference back
+/// into `K`.
+pub trait Monus: Semiring {
+    /// `a ∸ b`, the truncated difference.
+    fn monus(&self, other: &Self) -> Self;
+}
+
+impl Monus for Natural {
+    fn monus(&self, other: &Self) -> Self {
+        Natural::monus(*self, *other)
+    }
+}
+
+impl<K: Semiring + CancellativePlus> PartialEq for DiffPair<K> {
+    fn eq(&self, other: &Self) -> bool {
+        // The quotient relation: a - b = c - d ⇔ a + d = c + b. Transitive
+        // because + in K is cancellative (the CancellativePlus bound).
+        self.pos.plus(&other.neg) == other.pos.plus(&self.neg)
+    }
+}
+
+impl<K: Semiring + CancellativePlus> fmt::Debug for DiffPair<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?} - {:?})", self.pos, self.neg)
+    }
+}
+
+impl<K: Semiring + CancellativePlus> Semiring for DiffPair<K> {
+    fn zero() -> Self {
+        DiffPair {
+            pos: K::zero(),
+            neg: K::zero(),
+        }
+    }
+
+    fn one() -> Self {
+        DiffPair {
+            pos: K::one(),
+            neg: K::zero(),
+        }
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        DiffPair {
+            pos: self.pos.plus(&other.pos),
+            neg: self.neg.plus(&other.neg),
+        }
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        // (a - b)(c - d) = (ac + bd) - (ad + bc).
+        DiffPair {
+            pos: self.pos.times(&other.pos).plus(&self.neg.times(&other.neg)),
+            neg: self.pos.times(&other.neg).plus(&self.neg.times(&other.pos)),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.pos == self.neg
+    }
+
+    // Cross-thread transport: a pair batch is portable exactly when K is —
+    // seal the two component columns as K batches and zip them back up.
+    fn is_portable() -> bool {
+        K::is_portable()
+    }
+
+    fn to_portable(batch: Vec<Self>) -> Portable {
+        let (pos, neg): (Vec<K>, Vec<K>) = batch.into_iter().map(|d| (d.pos, d.neg)).unzip();
+        Portable::new((K::to_portable(pos), K::to_portable(neg)))
+    }
+
+    fn from_portable(token: Portable) -> Vec<Self> {
+        let (pos, neg) = token.unwrap::<(Portable, Portable)>();
+        K::from_portable(pos)
+            .into_iter()
+            .zip(K::from_portable(neg))
+            .map(|(pos, neg)| DiffPair { pos, neg })
+            .collect()
+    }
+}
+
+impl<K: CommutativeSemiring + CancellativePlus> CommutativeSemiring for DiffPair<K> {}
+
+impl<K: Semiring + CancellativePlus> Ring for DiffPair<K> {
+    fn neg(&self) -> Self {
+        DiffPair {
+            pos: self.neg.clone(),
+            neg: self.pos.clone(),
+        }
+    }
+}
+
+/// The canonical lifting homomorphism `K → DiffPair<K>`, `k ↦ k - 0`.
+///
+/// Injective (because `+` in `K` is cancellative), so a `K`-database can be
+/// moved into the difference ring, maintained incrementally under
+/// insert/delete batches there, and read back via
+/// [`DiffPair::to_semiring`] whenever the net annotations are non-negative.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LiftToDiff;
+
+impl<K: Semiring + CancellativePlus> SemiringHomomorphism<K, DiffPair<K>> for LiftToDiff {
+    fn apply(&self, a: &K) -> DiffPair<K> {
+        DiffPair::from_positive(a.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties::{check_ring_laws, check_semiring_laws};
+
+    #[test]
+    fn integers_are_a_ring() {
+        let samples: Vec<Integers> = vec![-7, -2, -1, 0, 1, 2, 3, 10]
+            .into_iter()
+            .map(Integers::from)
+            .collect();
+        check_semiring_laws(&samples).unwrap();
+        check_ring_laws(&samples).unwrap();
+    }
+
+    #[test]
+    fn diffpair_equality_is_the_quotient_relation() {
+        let a = DiffPair::new(Natural::from(5u64), Natural::from(3u64));
+        let b = DiffPair::new(Natural::from(2u64), Natural::from(0u64));
+        assert_eq!(a, b);
+        assert!(a.minus(&b).is_zero());
+        assert_ne!(a, DiffPair::from_positive(Natural::from(3u64)));
+    }
+
+    #[test]
+    fn diffpair_normalizes_non_negative_differences() {
+        let a = DiffPair::new(Natural::from(5u64), Natural::from(3u64));
+        assert_eq!(a.to_semiring(), Some(Natural::from(2u64)));
+        let b = DiffPair::new(Natural::from(3u64), Natural::from(5u64));
+        assert_eq!(b.to_semiring(), None);
+    }
+
+    #[test]
+    fn natural_to_integers_embeds() {
+        assert_eq!(
+            NaturalToIntegers.apply(&Natural::from(7u64)),
+            Integers::from(7i64)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn integer_overflow_panics() {
+        let _ = Integers(i64::MAX).plus(&Integers(1));
+    }
+}

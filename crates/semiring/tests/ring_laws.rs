@@ -1,0 +1,217 @@
+//! Property-based ring law suite.
+//!
+//! The incremental view maintenance machinery (`Plan::maintain`,
+//! `maintain_fixpoint`) trusts that its annotation structures are
+//! commutative **rings**: deletions are insertions with additively inverted
+//! annotations, and the delta rules cancel exactly because `a + (-a) = 0`.
+//! This suite proptest-checks, for every ring type shipped by the crate
+//! (`Integers` = ℤ, `ZPolynomial` = ℤ\[X\], and the difference-pair liftings
+//! `DiffPair<Natural>` / `DiffPair<ProvenancePolynomial>`), on randomly
+//! generated elements:
+//!
+//! * all the commutative-semiring laws (via the reference harness),
+//! * the additive-inverse law `a + (-a) = 0` and its consequences
+//!   (`-(-a) = a`, `-(a+b) = (-a)+(-b)`, `(-a)·b = -(a·b)`),
+//! * distributivity restated on signed elements,
+//! * consistency of the derived difference `a - b = a + (-b)`,
+//!
+//! plus the homomorphism laws for the semiring→`DiffPair` lifting
+//! (`LiftToDiff` preserves `0`, `1`, `+`, `·`) and the isomorphism
+//! `DiffPair<Natural> ≅ ℤ`.
+
+use proptest::prelude::*;
+use provsem_semiring::prelude::*;
+use provsem_semiring::properties::{check_homomorphism, check_ring_laws, check_semiring_laws};
+
+/// Cases per property; with six properties per ring every structure sees
+/// several hundred random elements.
+const CASES: u32 = 128;
+
+/// Checks the commutative-ring laws for one annotation type.
+///
+/// Usage: `ring_laws!(module_name, Type, strategy_expr)` where
+/// `strategy_expr` is a proptest strategy producing `Type`.
+macro_rules! ring_laws {
+    ($name:ident, $ty:ty, $strategy:expr) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+                #[test]
+                fn additive_inverse_law(a in $strategy) {
+                    prop_assert!(a.plus(&a.neg()).is_zero());
+                    prop_assert!(a.neg().plus(&a).is_zero());
+                    prop_assert!(a.minus(&a).is_zero());
+                }
+
+                #[test]
+                fn negation_is_an_involution(a in $strategy) {
+                    prop_assert_eq!(a.neg().neg(), a.clone());
+                }
+
+                #[test]
+                fn negation_distributes_over_plus_and_times(
+                    a in $strategy, b in $strategy
+                ) {
+                    prop_assert_eq!(a.plus(&b).neg(), a.neg().plus(&b.neg()));
+                    prop_assert_eq!(a.neg().times(&b), a.times(&b).neg());
+                    prop_assert_eq!(a.times(&b.neg()), a.times(&b).neg());
+                }
+
+                #[test]
+                fn times_distributes_over_minus(
+                    a in $strategy, b in $strategy, c in $strategy
+                ) {
+                    prop_assert_eq!(
+                        a.times(&b.minus(&c)),
+                        a.times(&b).minus(&a.times(&c))
+                    );
+                }
+
+                #[test]
+                fn minus_is_plus_of_negation(a in $strategy, b in $strategy) {
+                    prop_assert_eq!(a.minus(&b), a.plus(&b.neg()));
+                    prop_assert_eq!(<$ty>::zero().minus(&a), a.neg());
+                }
+
+                #[test]
+                fn random_samples_pass_the_reference_harnesses(
+                    xs in prop::collection::vec($strategy, 1..5)
+                ) {
+                    prop_assert_eq!(check_semiring_laws(&xs), Ok(()));
+                    prop_assert_eq!(check_ring_laws(&xs), Ok(()));
+                }
+            }
+        }
+    };
+}
+
+// ---- element generators ----------------------------------------------------
+
+fn arb_integers() -> impl Strategy<Value = Integers> {
+    (-60i64..60).prop_map(Integers::from)
+}
+
+fn arb_natural() -> impl Strategy<Value = Natural> {
+    (0u64..60).prop_map(Natural::from)
+}
+
+fn var_name(id: u8) -> String {
+    format!("x{id}")
+}
+
+fn arb_monomial() -> impl Strategy<Value = Monomial> {
+    prop::collection::vec((0u8..3, 1u32..3), 0..3)
+        .prop_map(|ps| Monomial::from_powers(ps.into_iter().map(|(v, e)| (var_name(v), e))))
+}
+
+fn arb_zpolynomial() -> impl Strategy<Value = ZPolynomial> {
+    prop::collection::vec((arb_monomial(), -4i64..4), 0..4).prop_map(|terms| {
+        ZPolynomial::from_terms(terms.into_iter().map(|(m, c)| (m, Integers::from(c))))
+    })
+}
+
+fn arb_provenance_polynomial() -> impl Strategy<Value = ProvenancePolynomial> {
+    prop::collection::vec((arb_monomial(), 0u64..4), 0..4).prop_map(|terms| {
+        ProvenancePolynomial::from_terms(terms.into_iter().map(|(m, c)| (m, Natural::from(c))))
+    })
+}
+
+/// Unnormalized difference pairs over ℕ: both components vary, so the
+/// quotient equality `(a, b) = (c, d) ⇔ a + d = c + b` is exercised on
+/// representations other than `(k, 0)` / `(0, k)`.
+fn arb_diff_natural() -> impl Strategy<Value = DiffPair<Natural>> {
+    (arb_natural(), arb_natural()).prop_map(|(p, n)| DiffPair::new(p, n))
+}
+
+fn arb_diff_polynomial() -> impl Strategy<Value = DiffPair<ProvenancePolynomial>> {
+    (arb_provenance_polynomial(), arb_provenance_polynomial())
+        .prop_map(|(p, n)| DiffPair::new(p, n))
+}
+
+// ---- the suite: every shipped ring -----------------------------------------
+
+ring_laws!(integers_ring_laws, Integers, arb_integers());
+ring_laws!(zpolynomial_ring_laws, ZPolynomial, arb_zpolynomial());
+ring_laws!(
+    diff_natural_ring_laws,
+    DiffPair<Natural>,
+    arb_diff_natural()
+);
+ring_laws!(
+    diff_polynomial_ring_laws,
+    DiffPair<ProvenancePolynomial>,
+    arb_diff_polynomial()
+);
+
+// ---- the semiring → DiffPair lifting ---------------------------------------
+
+mod lifting_homomorphism {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+        /// `LiftToDiff : K → DiffPair<K>` satisfies the homomorphism laws
+        /// (h(0) = 0, h(1) = 1, h respects + and ·) on random ℕ samples.
+        #[test]
+        fn lift_natural_is_a_homomorphism(
+            xs in prop::collection::vec(arb_natural(), 1..5)
+        ) {
+            prop_assert_eq!(
+                check_homomorphism::<Natural, DiffPair<Natural>, _>(&LiftToDiff, &xs),
+                Ok(())
+            );
+        }
+
+        /// The same on random ℕ\[X\] samples.
+        #[test]
+        fn lift_polynomial_is_a_homomorphism(
+            xs in prop::collection::vec(arb_provenance_polynomial(), 1..5)
+        ) {
+            prop_assert_eq!(
+                check_homomorphism::<ProvenancePolynomial, DiffPair<ProvenancePolynomial>, _>(
+                    &LiftToDiff,
+                    &xs
+                ),
+                Ok(())
+            );
+        }
+
+        /// The lifting is injective (cancellative +): embedded elements are
+        /// equal in the quotient iff they were equal in K.
+        #[test]
+        fn lift_is_injective(a in arb_natural(), b in arb_natural()) {
+            let (la, lb) = (LiftToDiff.apply(&a), LiftToDiff.apply(&b));
+            prop_assert_eq!(la == lb, a == b);
+        }
+
+        /// Round trip: a non-negative difference normalizes back to K, and
+        /// lifting that value returns to the same equivalence class.
+        #[test]
+        fn non_negative_differences_round_trip(a in arb_natural(), b in arb_natural()) {
+            let d = DiffPair::new(a, b);
+            match d.to_semiring() {
+                Some(k) => prop_assert_eq!(DiffPair::from_positive(k), d),
+                None => prop_assert_eq!(d.clone().neg().to_semiring().is_some(), true),
+            }
+        }
+
+        /// `DiffPair<Natural> ≅ ℤ`: the map (p, n) ↦ p - n is a ring
+        /// isomorphism onto `Integers`.
+        #[test]
+        fn diff_natural_is_isomorphic_to_z(
+            a in arb_diff_natural(), b in arb_diff_natural()
+        ) {
+            fn to_z(d: &DiffPair<Natural>) -> Integers {
+                Integers::from(*d.positive()).minus(&Integers::from(*d.negative()))
+            }
+            prop_assert_eq!(to_z(&a.plus(&b)), to_z(&a).plus(&to_z(&b)));
+            prop_assert_eq!(to_z(&a.times(&b)), to_z(&a).times(&to_z(&b)));
+            prop_assert_eq!(to_z(&a.neg()), to_z(&a).neg());
+            prop_assert_eq!(a == b, to_z(&a) == to_z(&b));
+        }
+    }
+}
