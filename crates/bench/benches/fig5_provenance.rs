@@ -64,14 +64,16 @@ fn bench(c: &mut Criterion) {
         // The same tag → query → specialize pipeline in circuit form: O(1)
         // node interning during evaluation and one memoized Eval_v pass
         // shared across all output tuples. Each iteration starts from a
-        // fresh arena (bulk reset), so the cost of building the DAG is
-        // measured, not amortized away.
+        // truly empty arena (vacuum truncates the shared store; a bare
+        // reset would only stale the handles and let re-interning hit the
+        // old nodes), so the cost of building the DAG is measured, not
+        // amortized away.
         group.bench_with_input(
             BenchmarkId::new("provenance_then_eval_circuit", size),
             &db,
             |b, db| {
                 b.iter(|| {
-                    circuit::reset();
+                    circuit::vacuum();
                     let (prov, valuation) =
                         circuit_provenance_of_query(&section2_query(), db).unwrap();
                     specialize_circuit(&prov, &valuation).len()
@@ -121,7 +123,7 @@ fn bench(c: &mut Criterion) {
             &db,
             |b, db| {
                 b.iter(|| {
-                    circuit::reset();
+                    circuit::vacuum();
                     let tagged = tag_database_circuit(db);
                     let prov = plan.execute_with(&tagged.database, &ctx);
                     specialize_circuit_with(&prov, &tagged.valuation, &ctx).len()

@@ -1,5 +1,16 @@
 //! Databases: named collections of K-relations (the instances that RA⁺
 //! expressions and datalog programs are evaluated against).
+//!
+//! Relations are stored behind [`Arc`]s, which makes `Database::clone` an
+//! O(#relations) pointer copy: this is the substrate of the snapshot layer
+//! (see [`crate::snapshot`]), where every commit clones the previous
+//! snapshot and copy-on-writes only the relations a [`DeltaBatch`] touches.
+//! Mutating accessors go through [`Arc::make_mut`], so a database that
+//! shares no relations behaves exactly as before, and one that does pays
+//! one relation clone at first write — never a torn read for concurrent
+//! holders of older snapshots.
+//!
+//! [`DeltaBatch`]: crate::plan::DeltaBatch
 
 use crate::relation::KRelation;
 use crate::schema::Schema;
@@ -7,11 +18,12 @@ use crate::tuple::Tuple;
 use provsem_semiring::Semiring;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A database instance: a mapping from relation names to K-relations.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Database<K> {
-    relations: BTreeMap<String, KRelation<K>>,
+    relations: BTreeMap<String, Arc<KRelation<K>>>,
 }
 
 impl<K: Semiring> Database<K> {
@@ -24,6 +36,18 @@ impl<K: Semiring> Database<K> {
 
     /// Adds (or replaces) a relation under the given name.
     pub fn insert(&mut self, name: impl Into<String>, relation: KRelation<K>) -> &mut Self {
+        self.relations.insert(name.into(), Arc::new(relation));
+        self
+    }
+
+    /// Adds (or replaces) a relation that is already shared — the snapshot
+    /// layer's entry point, which reuses `Arc`s across epochs for relations
+    /// a commit does not touch.
+    pub fn insert_shared(
+        &mut self,
+        name: impl Into<String>,
+        relation: Arc<KRelation<K>>,
+    ) -> &mut Self {
         self.relations.insert(name.into(), relation);
         self
     }
@@ -36,22 +60,31 @@ impl<K: Semiring> Database<K> {
 
     /// Looks up a relation by name.
     pub fn get(&self, name: &str) -> Option<&KRelation<K>> {
-        self.relations.get(name)
+        self.relations.get(name).map(Arc::as_ref)
     }
 
-    /// Mutable lookup.
+    /// Looks up the shared handle of a relation by name (an O(1) clone that
+    /// keeps the tuple data shared — what snapshot readers hold on to).
+    pub fn get_shared(&self, name: &str) -> Option<Arc<KRelation<K>>> {
+        self.relations.get(name).cloned()
+    }
+
+    /// Mutable lookup. If the relation is shared with other snapshots this
+    /// copy-on-writes it (one clone), leaving every other holder untouched.
     pub fn get_mut(&mut self, name: &str) -> Option<&mut KRelation<K>> {
-        self.relations.get_mut(name)
+        self.relations.get_mut(name).map(Arc::make_mut)
     }
 
     /// The schema of a named relation, if present.
     pub fn schema_of(&self, name: &str) -> Option<&Schema> {
-        self.relations.get(name).map(KRelation::schema)
+        self.relations.get(name).map(|rel| rel.schema())
     }
 
     /// Iterates over `(name, relation)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &KRelation<K>)> {
-        self.relations.iter()
+        self.relations
+            .iter()
+            .map(|(name, rel)| (name, rel.as_ref()))
     }
 
     /// Relation names in sorted order.
@@ -72,7 +105,7 @@ impl<K: Semiring> Database<K> {
     /// Total number of tuples across all relations (the size of the
     /// instance).
     pub fn total_tuples(&self) -> usize {
-        self.relations.values().map(KRelation::len).sum()
+        self.relations.values().map(|rel| rel.len()).sum()
     }
 
     /// Applies an annotation transformation to every relation (the database
@@ -89,12 +122,12 @@ impl<K: Semiring> Database<K> {
     /// relation (with the tuple's schema) if it does not exist yet.
     pub fn insert_tuple(&mut self, name: &str, tuple: Tuple, annotation: K) {
         match self.relations.get_mut(name) {
-            Some(rel) => rel.insert(tuple, annotation),
+            Some(rel) => Arc::make_mut(rel).insert(tuple, annotation),
             None => {
                 let schema = tuple.schema();
                 let mut rel = KRelation::empty(schema);
                 rel.insert(tuple, annotation);
-                self.relations.insert(name.to_string(), rel);
+                self.relations.insert(name.to_string(), Arc::new(rel));
             }
         }
     }
@@ -181,6 +214,34 @@ mod tests {
                 .annotation(&Tuple::new([("src", "a"), ("dst", "b")])),
             Natural::from(5u64)
         );
+    }
+
+    #[test]
+    fn clone_shares_until_first_write() {
+        let base = sample_db();
+        let mut branch = base.clone();
+        // The clone is a pointer copy: both databases hold the same Arcs.
+        assert!(Arc::ptr_eq(
+            &base.get_shared("R").unwrap(),
+            &branch.get_shared("R").unwrap()
+        ));
+        // First write copy-on-writes only the touched relation...
+        branch.insert_tuple(
+            "R",
+            Tuple::new([("x", "7"), ("y", "7")]),
+            Natural::from(1u64),
+        );
+        assert!(!Arc::ptr_eq(
+            &base.get_shared("R").unwrap(),
+            &branch.get_shared("R").unwrap()
+        ));
+        // ...leaving the untouched relation shared and the base unchanged.
+        assert!(Arc::ptr_eq(
+            &base.get_shared("S").unwrap(),
+            &branch.get_shared("S").unwrap()
+        ));
+        assert_eq!(base.total_tuples(), 3);
+        assert_eq!(branch.total_tuples(), 4);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod predicate;
 pub mod provenance;
 pub mod relation;
 pub mod schema;
+pub mod snapshot;
 pub mod tuple;
 pub mod value;
 
@@ -63,6 +64,7 @@ pub mod prelude {
     };
     pub use crate::relation::KRelation;
     pub use crate::schema::{Attribute, Renaming, Schema};
+    pub use crate::snapshot::{DbSnapshot, SharedDatabase};
     pub use crate::tuple::Tuple;
     pub use crate::value::Value;
 }

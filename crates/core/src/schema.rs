@@ -165,6 +165,12 @@ impl Renaming {
         }
     }
 
+    /// The explicit `(from, to)` pairs, in attribute order. Attributes not
+    /// listed map to themselves.
+    pub fn pairs(&self) -> impl Iterator<Item = (&Attribute, &Attribute)> {
+        self.mapping.iter()
+    }
+
     /// Renames one attribute.
     pub fn apply(&self, attr: &Attribute) -> Attribute {
         self.mapping

@@ -1,0 +1,352 @@
+//! Snapshot databases: epoch-stamped, immutable views of a shared,
+//! concurrently committed [`Database`].
+//!
+//! This is the concurrency substrate of the query service. A
+//! [`SharedDatabase`] holds the authoritative instance; readers take an
+//! O(#relations) [`DbSnapshot`] (an [`Arc`] per relation — no tuple data is
+//! copied) and keep it for as long as they like, while writers commit
+//! [`DeltaBatch`]es through a serialized commit path. The guarantees, pinned
+//! by `core/tests/snapshot_isolation.rs` and the concurrency differential
+//! suite:
+//!
+//! * **Snapshot isolation.** A commit builds the next database by cloning
+//!   the current one (pointer copies) and applying the batch copy-on-write,
+//!   then publishes it atomically. A reader's snapshot therefore observes
+//!   either all of a batch or none of it — never a torn batch — and stays
+//!   valid, immutable, and queryable forever after.
+//! * **Contiguous epochs.** Every commit bumps the **catalog epoch** by
+//!   exactly one (registering a standing view bumps it too: the queryable
+//!   catalog changed). Epoch `e` names one specific database state, which
+//!   makes the epoch the cache key of the server's plan cache.
+//! * **Maintained views advance with commits.** A standing view registered
+//!   with [`SharedDatabase::register_view`] is materialized once and then
+//!   absorbed incrementally ([`Plan::maintain_with`]) inside every commit,
+//!   before the new snapshot is published — so a snapshot's view results
+//!   are always exactly `recompute(snapshot)`. Views whose base relations a
+//!   batch does not touch are skipped, their published results shared by
+//!   `Arc` across epochs.
+//!
+//! Writers never block readers (the [`RwLock`] write section is a pointer
+//! swap); concurrent committers serialize on the writer mutex, so epochs
+//! form a single total commit order — the order the differential harness
+//! replays serially.
+
+use crate::database::Database;
+use crate::expr::{EvalError, RaExpr};
+use crate::plan::{Catalog, DeltaBatch, ExecContext, MaterializedView, Plan, RelationSource};
+use crate::relation::KRelation;
+use provsem_semiring::Semiring;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+
+/// An immutable, epoch-stamped view of a [`SharedDatabase`]: the database
+/// state plus every standing view's result as of one commit. Cloning is
+/// O(1) (two `Arc` bumps); the snapshot stays queryable regardless of how
+/// many commits happen after it was taken.
+#[derive(Clone)]
+pub struct DbSnapshot<K: Semiring> {
+    epoch: u64,
+    db: Arc<Database<K>>,
+    views: Arc<BTreeMap<String, Arc<KRelation<K>>>>,
+}
+
+impl<K: Semiring> DbSnapshot<K> {
+    /// The catalog epoch this snapshot was taken at. Epoch `e` names one
+    /// specific database state; two snapshots with equal epochs are
+    /// indistinguishable.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The database state at this snapshot's epoch.
+    pub fn database(&self) -> &Database<K> {
+        &self.db
+    }
+
+    /// The result of a standing view, maintained up to exactly this
+    /// snapshot's epoch.
+    pub fn view(&self, name: &str) -> Option<&KRelation<K>> {
+        self.views.get(name).map(Arc::as_ref)
+    }
+
+    /// The standing views visible in this snapshot, in name order.
+    pub fn view_names(&self) -> impl Iterator<Item = &String> {
+        self.views.keys()
+    }
+}
+
+impl<K: Semiring> RelationSource<K> for DbSnapshot<K> {
+    fn catalog(&self) -> Catalog {
+        self.db.catalog()
+    }
+
+    fn relation(&self, name: &str) -> Option<&KRelation<K>> {
+        self.db.get(name)
+    }
+}
+
+/// A standing view riding the commit path: the plan that defines it, the
+/// incrementally maintained state, and the set of base relations whose
+/// deltas can change it.
+struct StandingView<K: Semiring> {
+    plan: Plan,
+    view: MaterializedView<K>,
+    base_relations: BTreeSet<String>,
+}
+
+/// Commit-side state, serialized behind the writer mutex.
+struct WriterState<K: Semiring> {
+    views: BTreeMap<String, StandingView<K>>,
+}
+
+/// The authoritative, concurrently shared database: readers take immutable
+/// [`DbSnapshot`]s, writers commit [`DeltaBatch`]es. See the [module
+/// docs](self) for the isolation and epoch guarantees.
+pub struct SharedDatabase<K: Semiring> {
+    current: RwLock<DbSnapshot<K>>,
+    writer: Mutex<WriterState<K>>,
+}
+
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<K: Semiring> SharedDatabase<K> {
+    /// Wraps an initial database state as epoch 0.
+    pub fn new(db: Database<K>) -> Self {
+        SharedDatabase {
+            current: RwLock::new(DbSnapshot {
+                epoch: 0,
+                db: Arc::new(db),
+                views: Arc::new(BTreeMap::new()),
+            }),
+            writer: Mutex::new(WriterState {
+                views: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// The current snapshot — an O(#Arc-bumps) read that never blocks on
+    /// writers for longer than their publish pointer swap.
+    pub fn snapshot(&self) -> DbSnapshot<K> {
+        read_lock(&self.current).clone()
+    }
+
+    /// The current catalog epoch (the epoch of [`SharedDatabase::snapshot`]).
+    pub fn epoch(&self) -> u64 {
+        read_lock(&self.current).epoch
+    }
+
+    fn writer_lock(&self) -> MutexGuard<'_, WriterState<K>> {
+        self.writer.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Publishes `snapshot` as the new current state. Called with the writer
+    /// lock held; the write section is a pointer swap.
+    fn publish(&self, snapshot: DbSnapshot<K>) {
+        *self.current.write().unwrap_or_else(PoisonError::into_inner) = snapshot;
+    }
+
+    /// Commits a batch of base-relation changes under the default
+    /// [`ExecContext`], returning the new epoch. See
+    /// [`SharedDatabase::commit_with`].
+    pub fn commit(&self, batch: &DeltaBatch<K>) -> u64 {
+        self.commit_with(batch, &ExecContext::default())
+    }
+
+    /// Commits a batch with an explicit thread budget for view maintenance,
+    /// returning the (contiguous) new epoch.
+    ///
+    /// The commit path: clone the current database (pointer copies), apply
+    /// the batch copy-on-write (`new = old + Δ` per tuple — only touched
+    /// relations are deep-copied), maintain every standing view whose base
+    /// relations the batch touches, then publish the new snapshot
+    /// atomically. Readers holding older snapshots are unaffected; a reader
+    /// taking a snapshot concurrently gets either the old epoch or the new
+    /// one, never a mix. Concurrent committers serialize: epochs are a
+    /// total order, each exactly one above its predecessor.
+    pub fn commit_with(&self, batch: &DeltaBatch<K>, ctx: &ExecContext) -> u64 {
+        let mut writer = self.writer_lock();
+        let previous = self.snapshot();
+        let mut db = (*previous.db).clone();
+        batch.apply_to(&mut db);
+        let changed: BTreeSet<&String> = batch.iter().map(|(name, _)| name).collect();
+        let mut views = (*previous.views).clone();
+        for (name, standing) in writer.views.iter_mut() {
+            if standing
+                .base_relations
+                .iter()
+                .any(|base| changed.contains(base))
+            {
+                standing.plan.maintain_with(&mut standing.view, batch, ctx);
+                views.insert(name.clone(), Arc::new(standing.view.result().clone()));
+            }
+            // Untouched views keep sharing their previous Arc'd result.
+        }
+        let next = DbSnapshot {
+            epoch: previous.epoch + 1,
+            db: Arc::new(db),
+            views: Arc::new(views),
+        };
+        self.publish(next.clone());
+        drop(writer);
+        next.epoch
+    }
+
+    /// Registers a standing view: plans `expr` against the current catalog,
+    /// materializes it, and publishes a new snapshot (epoch bumped — the
+    /// queryable catalog changed) in which the view's result is visible.
+    /// From then on every commit maintains the view incrementally.
+    ///
+    /// Replacing an existing view name is allowed and re-materializes it.
+    pub fn register_view(&self, name: impl Into<String>, expr: &RaExpr) -> Result<u64, EvalError> {
+        let name = name.into();
+        let mut writer = self.writer_lock();
+        let previous = self.snapshot();
+        let plan = Plan::new(expr, &previous.db.catalog())?;
+        let view = plan.materialize(&*previous.db);
+        let mut views = (*previous.views).clone();
+        views.insert(name.clone(), Arc::new(view.result().clone()));
+        writer.views.insert(
+            name,
+            StandingView {
+                plan,
+                view,
+                base_relations: expr.base_relations().into_iter().collect(),
+            },
+        );
+        let next = DbSnapshot {
+            epoch: previous.epoch + 1,
+            db: Arc::clone(&previous.db),
+            views: Arc::new(views),
+        };
+        let epoch = next.epoch;
+        self.publish(next);
+        drop(writer);
+        Ok(epoch)
+    }
+
+    /// Drops a standing view (a no-op if it does not exist), publishing a
+    /// new snapshot without it. Returns the new epoch.
+    pub fn drop_view(&self, name: &str) -> u64 {
+        let mut writer = self.writer_lock();
+        let previous = self.snapshot();
+        writer.views.remove(name);
+        let mut views = (*previous.views).clone();
+        views.remove(name);
+        let next = DbSnapshot {
+            epoch: previous.epoch + 1,
+            db: Arc::clone(&previous.db),
+            views: Arc::new(views),
+        };
+        let epoch = next.epoch;
+        self.publish(next);
+        drop(writer);
+        epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::paper_example_query;
+    use crate::paper;
+    use crate::tuple::Tuple;
+    use provsem_semiring::ring::Integers;
+    use provsem_semiring::Natural;
+
+    fn z_db() -> Database<Integers> {
+        let mut db =
+            paper::figure3_bag().map_annotations(|n: &Natural| Integers::new(n.value() as i64));
+        db.insert_tuple("S", Tuple::new([("x", "1"), ("y", "2")]), Integers::new(2));
+        db
+    }
+
+    fn insert_batch() -> DeltaBatch<Integers> {
+        let mut batch = DeltaBatch::new();
+        batch.insert(
+            "R",
+            Tuple::new([("a", "new"), ("b", "b"), ("c", "new")]),
+            Integers::new(3),
+        );
+        batch
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_commits() {
+        let shared = SharedDatabase::new(z_db());
+        let before = shared.snapshot();
+        assert_eq!(before.epoch(), 0);
+        let epoch = shared.commit(&insert_batch());
+        assert_eq!(epoch, 1);
+        let after = shared.snapshot();
+        // The old snapshot still sees the old state; the new one the new.
+        assert_eq!(
+            before.database().total_tuples() + 1,
+            after.database().total_tuples()
+        );
+        // Untouched relations share storage across the epochs.
+        assert!(Arc::ptr_eq(
+            &before.database().get_shared("S").unwrap(),
+            &after.database().get_shared("S").unwrap()
+        ));
+        assert!(!Arc::ptr_eq(
+            &before.database().get_shared("R").unwrap(),
+            &after.database().get_shared("R").unwrap()
+        ));
+    }
+
+    #[test]
+    fn standing_views_advance_with_commits() {
+        let shared = SharedDatabase::new(z_db());
+        let query = paper_example_query("R");
+        shared.register_view("Q", &query).unwrap();
+        let plan = Plan::new(&query, &shared.snapshot().catalog()).unwrap();
+        // At registration the view equals recompute.
+        let snap = shared.snapshot();
+        assert_eq!(snap.view("Q").unwrap(), &plan.execute(&snap));
+        // After a commit it advances to the new state...
+        shared.commit(&insert_batch());
+        let snap2 = shared.snapshot();
+        assert_eq!(snap2.view("Q").unwrap(), &plan.execute(&snap2));
+        assert_ne!(snap2.view("Q").unwrap(), snap.view("Q").unwrap());
+        // ...while the old snapshot keeps the old result.
+        assert_eq!(snap.view("Q").unwrap(), &plan.execute(&snap));
+    }
+
+    #[test]
+    fn commits_skip_views_over_untouched_relations() {
+        let shared = SharedDatabase::new(z_db());
+        shared.register_view("SV", &RaExpr::relation("S")).unwrap();
+        let before = shared.snapshot();
+        shared.commit(&insert_batch()); // touches only R
+        let after = shared.snapshot();
+        let b = Arc::clone(before.views.get("SV").unwrap());
+        let a = Arc::clone(after.views.get("SV").unwrap());
+        assert!(Arc::ptr_eq(&b, &a), "untouched view result is shared");
+    }
+
+    #[test]
+    fn epochs_are_contiguous_and_catalog_changes_bump_them() {
+        let shared = SharedDatabase::new(z_db());
+        assert_eq!(shared.epoch(), 0);
+        assert_eq!(shared.commit(&insert_batch()), 1);
+        assert_eq!(
+            shared.register_view("Q", &RaExpr::relation("R")).unwrap(),
+            2
+        );
+        assert_eq!(shared.commit(&insert_batch()), 3);
+        assert_eq!(shared.drop_view("Q"), 4);
+        assert_eq!(shared.epoch(), 4);
+        assert!(shared.snapshot().view("Q").is_none());
+    }
+
+    #[test]
+    fn unknown_view_expressions_are_rejected() {
+        let shared = SharedDatabase::new(z_db());
+        let err = shared
+            .register_view("bad", &RaExpr::relation("NoSuch"))
+            .unwrap_err();
+        assert!(matches!(err, EvalError::UnknownRelation(_)));
+    }
+}

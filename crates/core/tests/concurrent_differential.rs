@@ -1,0 +1,265 @@
+//! Concurrency differential suite: concurrent == serial replay.
+//!
+//! Random interleavings of `execute` / `maintain` / `commit` run against
+//! one [`SharedDatabase`] from 2–8 threads. Every commit returns the epoch
+//! it published, every read records the epoch of the snapshot it ran
+//! against, so after the threads join the whole run can be **replayed
+//! single-file**: apply the logged batches in epoch order on a fresh copy
+//! of the seed database, capture the state at every epoch, and require each
+//! concurrent observation to equal the serial recomputation at its epoch —
+//! support *and* annotations, including standing views maintained inside
+//! the commit path.
+//!
+//! Any snapshot torn mid-batch, any view published ahead of or behind its
+//! epoch, and any nondeterminism in parallel plan execution shows up as an
+//! equality failure here. Run in CI under `PROVSEM_THREADS=1` and `=4`;
+//! commits and executions additionally pass explicit serial and 4-thread
+//! [`ExecContext`]s so both code paths are exercised regardless of the
+//! environment.
+
+use provsem_core::plan::{DeltaBatch, ExecContext, Plan};
+use provsem_core::prelude::*;
+use provsem_semiring::ring::Integers;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+const VALUES: [&str; 4] = ["v0", "v1", "v2", "v3"];
+const ITERATIONS_PER_THREAD: usize = 25;
+
+fn seed_db() -> Database<Integers> {
+    let mut db = Database::new()
+        .with("R", KRelation::empty(Schema::new(["a", "b", "c"])))
+        .with("S", KRelation::empty(Schema::new(["b", "c", "d"])));
+    for (i, (x, y, z)) in [(0, 1, 2), (1, 2, 3), (2, 3, 0), (3, 0, 1)]
+        .iter()
+        .enumerate()
+    {
+        db.insert_tuple(
+            "R",
+            Tuple::new([("a", VALUES[*x]), ("b", VALUES[*y]), ("c", VALUES[*z])]),
+            Integers::new(i as i64 + 1),
+        );
+        db.insert_tuple(
+            "S",
+            Tuple::new([("b", VALUES[*y]), ("c", VALUES[*z]), ("d", VALUES[*x])]),
+            Integers::new(2),
+        );
+    }
+    db
+}
+
+/// The fixed query pool read-threads draw from (all valid on the seed
+/// schema).
+fn queries() -> Vec<RaExpr> {
+    vec![
+        RaExpr::relation("R"),
+        RaExpr::relation("R").project(["a", "b"]),
+        RaExpr::relation("R").select(Predicate::ne_value("c", "v0")),
+        RaExpr::relation("R").join(RaExpr::relation("S")),
+        RaExpr::relation("R")
+            .project(["b", "c"])
+            .union(RaExpr::relation("S").project(["b", "c"])),
+    ]
+}
+
+/// The standing views registered before the concurrent phase (maintained
+/// inside every commit).
+fn views() -> Vec<(&'static str, RaExpr)> {
+    vec![
+        ("V_proj", RaExpr::relation("R").project(["a"])),
+        (
+            "V_join",
+            RaExpr::relation("R")
+                .join(RaExpr::relation("S"))
+                .project(["a", "d"]),
+        ),
+    ]
+}
+
+fn random_batch(rng: &mut StdRng) -> DeltaBatch<Integers> {
+    let mut batch = DeltaBatch::new();
+    for _ in 0..rng.gen_range(1usize..=4) {
+        let v = |rng: &mut StdRng| VALUES[rng.gen_range(0usize..VALUES.len())];
+        let count = [-2i64, -1, 1, 1, 2, 3][rng.gen_range(0usize..6)];
+        if rng.gen_bool(0.5) {
+            batch.insert(
+                "R",
+                Tuple::new([("a", v(rng)), ("b", v(rng)), ("c", v(rng))]),
+                Integers::new(count),
+            );
+        } else {
+            batch.insert(
+                "S",
+                Tuple::new([("b", v(rng)), ("c", v(rng)), ("d", v(rng))]),
+                Integers::new(count),
+            );
+        }
+    }
+    batch
+}
+
+/// What a thread saw: either a query result or a view result, stamped with
+/// the epoch of the snapshot it came from.
+enum Observation {
+    Query {
+        epoch: u64,
+        query: usize,
+        result: KRelation<Integers>,
+    },
+    View {
+        epoch: u64,
+        name: &'static str,
+        result: KRelation<Integers>,
+    },
+}
+
+/// One full round: `n_threads` threads interleave commits and reads under
+/// `ctx`, then the run is replayed serially and every observation checked.
+fn run_round(seed: u64, n_threads: usize, ctx: &ExecContext) {
+    let shared = SharedDatabase::new(seed_db());
+    let view_defs = views();
+    for (name, expr) in &view_defs {
+        shared.register_view(*name, expr).unwrap();
+    }
+    let base_epoch = shared.epoch();
+    let query_pool = queries();
+
+    let commits: Mutex<Vec<(u64, DeltaBatch<Integers>)>> = Mutex::new(Vec::new());
+    let observations: Mutex<Vec<Observation>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..n_threads {
+            let shared = &shared;
+            let query_pool = &query_pool;
+            let view_defs = &view_defs;
+            let commits = &commits;
+            let observations = &observations;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed * 101 + t as u64);
+                let mut local = Vec::new();
+                for _ in 0..ITERATIONS_PER_THREAD {
+                    match rng.gen_range(0usize..4) {
+                        // Commit: the only mutating op; logged with its epoch.
+                        0 => {
+                            let batch = random_batch(&mut rng);
+                            let epoch = shared.commit_with(&batch, ctx);
+                            commits.lock().unwrap().push((epoch, batch));
+                        }
+                        // Execute a plan against a snapshot.
+                        1 | 2 => {
+                            let snapshot = shared.snapshot();
+                            let query = rng.gen_range(0usize..query_pool.len());
+                            let plan = Plan::new(&query_pool[query], &snapshot.catalog()).unwrap();
+                            local.push(Observation::Query {
+                                epoch: snapshot.epoch(),
+                                query,
+                                result: plan.execute_with(&snapshot, ctx),
+                            });
+                        }
+                        // Read a maintained view off a snapshot.
+                        _ => {
+                            let snapshot = shared.snapshot();
+                            let (name, _) = view_defs[rng.gen_range(0usize..view_defs.len())];
+                            local.push(Observation::View {
+                                epoch: snapshot.epoch(),
+                                name,
+                                result: snapshot.view(name).unwrap().clone(),
+                            });
+                        }
+                    }
+                }
+                observations.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    // --- Serial replay: reconstruct the state at every epoch. ---
+    let mut commits = commits.into_inner().unwrap();
+    commits.sort_by_key(|(epoch, _)| *epoch);
+    for (i, (epoch, _)) in commits.iter().enumerate() {
+        assert_eq!(
+            *epoch,
+            base_epoch + i as u64 + 1,
+            "commit epochs must be contiguous"
+        );
+    }
+
+    let replay = SharedDatabase::new(seed_db());
+    for (name, expr) in &view_defs {
+        replay.register_view(*name, expr).unwrap();
+    }
+    let serial = ExecContext::serial();
+    let mut states = vec![replay.snapshot()]; // index: epoch - base_epoch
+    for (epoch, batch) in &commits {
+        assert_eq!(replay.commit_with(batch, &serial), *epoch);
+        states.push(replay.snapshot());
+    }
+
+    // --- Every concurrent observation equals the serial recomputation. ---
+    for observation in observations.into_inner().unwrap() {
+        match observation {
+            Observation::Query {
+                epoch,
+                query,
+                result,
+            } => {
+                let state = &states[(epoch - base_epoch) as usize];
+                let plan = Plan::new(&query_pool[query], &state.catalog()).unwrap();
+                assert_eq!(
+                    result,
+                    plan.execute_with(state, &serial),
+                    "query {query} diverged from serial replay at epoch {epoch} \
+                     (seed {seed}, {n_threads} threads)"
+                );
+            }
+            Observation::View {
+                epoch,
+                name,
+                result,
+            } => {
+                let state = &states[(epoch - base_epoch) as usize];
+                assert_eq!(
+                    &result,
+                    state.view(name).unwrap(),
+                    "view {name} diverged from serial replay at epoch {epoch} \
+                     (seed {seed}, {n_threads} threads)"
+                );
+                // And the published view equals recomputing its definition.
+                let (_, expr) = view_defs.iter().find(|(n, _)| *n == name).unwrap();
+                let plan = Plan::new(expr, &state.catalog()).unwrap();
+                assert_eq!(
+                    result,
+                    plan.execute_with(state, &serial),
+                    "view {name} != recompute at epoch {epoch}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_equals_serial_replay_across_thread_counts() {
+    // 2–8 threads, per-query execution serial: interleaving is the variable.
+    for n_threads in 2..=8 {
+        run_round(n_threads as u64, n_threads, &ExecContext::serial());
+    }
+}
+
+#[test]
+fn concurrent_equals_serial_replay_with_parallel_execution() {
+    // Intra-query parallelism on top of inter-session concurrency.
+    let four = ExecContext::with_threads(4);
+    for n_threads in [2, 4, 8] {
+        run_round(100 + n_threads as u64, n_threads, &four);
+    }
+}
+
+#[test]
+fn concurrent_equals_serial_replay_under_default_context() {
+    // The env-configured path (PROVSEM_THREADS in CI).
+    let ctx = ExecContext::default();
+    for seed in 0..3 {
+        run_round(200 + seed, 6, &ctx);
+    }
+}

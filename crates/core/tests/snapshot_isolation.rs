@@ -1,0 +1,143 @@
+//! Snapshot-isolation proptest: no reader ever observes a partial
+//! [`DeltaBatch`], and every view observed at epoch `e` equals recomputing
+//! its definition from the epoch-`e` snapshot.
+//!
+//! Each case draws a random sequence of signed delta batches. A writer
+//! thread commits them one by one against a [`SharedDatabase`] (with a
+//! standing join view registered) while reader threads grab snapshots as
+//! fast as they can. Afterwards the same batches are applied serially to a
+//! fresh copy, producing the reference state at every epoch; each observed
+//! snapshot must equal the reference state of its epoch **exactly** —
+//! database and views, support and annotations. A snapshot that showed half
+//! a batch, or a view result from a neighboring epoch, cannot pass.
+//!
+//! Run in CI under `PROVSEM_THREADS=1` and `=4` (commits go through the
+//! default [`ExecContext`], so the env budget steers view maintenance).
+
+use proptest::prelude::*;
+use provsem_core::plan::{DeltaBatch, ExecContext, Plan};
+use provsem_core::prelude::*;
+use provsem_semiring::ring::Integers;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+const VALUES: [&str; 4] = ["v0", "v1", "v2", "v3"];
+
+/// Raw draw for one delta row: `(relation, v1, v2, v3, signed weight)`.
+type RawDelta = (u8, u8, u8, u8, i64);
+
+fn fact_tuple(rel: u8, x: u8, y: u8, z: u8) -> (&'static str, Tuple) {
+    let v = |n: u8| VALUES[n as usize % VALUES.len()];
+    if rel % 2 == 0 {
+        ("R", Tuple::new([("a", v(x)), ("b", v(y)), ("c", v(z))]))
+    } else {
+        ("S", Tuple::new([("b", v(x)), ("c", v(y)), ("d", v(z))]))
+    }
+}
+
+fn seed_db() -> Database<Integers> {
+    let mut db = Database::new()
+        .with("R", KRelation::empty(Schema::new(["a", "b", "c"])))
+        .with("S", KRelation::empty(Schema::new(["b", "c", "d"])));
+    for (i, (rel, x, y, z)) in [
+        (0u8, 0u8, 1u8, 2u8),
+        (0, 1, 2, 3),
+        (1, 1, 2, 0),
+        (1, 2, 3, 1),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let (name, tuple) = fact_tuple(*rel, *x, *y, *z);
+        db.insert_tuple(name, tuple, Integers::new(i as i64 + 1));
+    }
+    db
+}
+
+fn build_batch(rows: &[RawDelta]) -> DeltaBatch<Integers> {
+    let mut batch = DeltaBatch::new();
+    for (rel, x, y, z, w) in rows {
+        let (name, tuple) = fact_tuple(*rel, *x, *y, *z);
+        batch.insert(name, tuple, Integers::new(*w));
+    }
+    batch
+}
+
+fn view_query() -> RaExpr {
+    RaExpr::relation("R")
+        .join(RaExpr::relation("S"))
+        .project(["a", "d"])
+}
+
+fn arb_batches() -> impl Strategy<Value = Vec<Vec<RawDelta>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u8..2, 0u8..4, 0u8..4, 0u8..4, -3i64..4), 1..6),
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn snapshots_are_atomic_and_views_match_their_epoch(raw in arb_batches()) {
+        let batches: Vec<DeltaBatch<Integers>> = raw.iter().map(|rows| build_batch(rows)).collect();
+
+        // --- Concurrent phase: one writer, two snapshot-grabbing readers. ---
+        let shared = SharedDatabase::new(seed_db());
+        let base_epoch = shared.register_view("Q", &view_query()).unwrap();
+        let done = AtomicBool::new(false);
+        let observed: Mutex<Vec<DbSnapshot<Integers>>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let shared = &shared;
+                let done = &done;
+                let observed = &observed;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    while !done.load(Ordering::Acquire) {
+                        local.push(shared.snapshot());
+                        std::thread::yield_now();
+                    }
+                    // One last look at the final state.
+                    local.push(shared.snapshot());
+                    observed.lock().unwrap().extend(local);
+                });
+            }
+            for batch in &batches {
+                shared.commit(batch);
+                std::thread::yield_now();
+            }
+            done.store(true, Ordering::Release);
+        });
+
+        // --- Reference states: the same batches applied single-file. ---
+        let replay = SharedDatabase::new(seed_db());
+        prop_assert_eq!(replay.register_view("Q", &view_query()).unwrap(), base_epoch);
+        let mut states = vec![replay.snapshot()];
+        let serial = ExecContext::serial();
+        for batch in &batches {
+            replay.commit_with(batch, &serial);
+            states.push(replay.snapshot());
+        }
+
+        // --- Every observed snapshot is exactly one reference state. ---
+        let plan = Plan::new(&view_query(), &states[0].catalog()).unwrap();
+        for snapshot in observed.into_inner().unwrap() {
+            let index = (snapshot.epoch() - base_epoch) as usize;
+            prop_assert!(index < states.len(), "epoch beyond the committed range");
+            let reference = &states[index];
+            // Atomicity: the database equals the serial state of its epoch —
+            // a half-applied batch cannot produce any of these states.
+            prop_assert_eq!(snapshot.database(), reference.database(),
+                "snapshot at epoch {} is not a serial state", snapshot.epoch());
+            // View consistency: the published view equals recomputing its
+            // definition from this very snapshot, and the reference's view.
+            let view = snapshot.view("Q").unwrap();
+            prop_assert_eq!(view, &plan.execute_with(&snapshot, &serial),
+                "view at epoch {} != recompute", snapshot.epoch());
+            prop_assert_eq!(view, reference.view("Q").unwrap());
+        }
+    }
+}

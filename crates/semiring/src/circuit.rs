@@ -5,8 +5,8 @@
 //! expands into `2ⁿ` monomials, and specializing every output tuple
 //! re-evaluates common subexpressions from scratch. This module keeps the
 //! *same* semiring elements in **circuit form**: interned DAG nodes
-//! (`0 | 1 | x | a + b | a · b`) behind a thread-local arena with structural
-//! hash-consing, handled through [`Circuit`] — a `Copy` node id that
+//! (`0 | 1 | x | a + b | a · b`) behind a process-wide sharded arena with
+//! structural hash-consing, handled through [`Circuit`] — a `Copy` node id that
 //! implements [`Semiring`]/[`CommutativeSemiring`] and therefore drops into
 //! every generic K-relation, planned-engine, and datalog entry point
 //! unchanged.
@@ -34,42 +34,53 @@
 //!
 //! # Arena lifecycle
 //!
-//! The arena is thread-local and append-only; [`reset`] truncates it back to
-//! the constants in O(1) drops per node (no per-handle bookkeeping — handles
-//! are `Copy` and never own anything), retaining map capacity for reuse
-//! across queries. Resetting bumps the arena **generation**, and every
-//! handle carries the generation it was interned under: using a handle after
-//! a reset panics with a "stale circuit handle" message instead of silently
-//! reading whatever node the new generation put at the same id. Prefer the
+//! Node storage is **process-wide and sharded**: every thread interns into
+//! the same store, partitioned into 16 FxHash-indexed shards so
+//! concurrent sessions contend only when they hash to the same shard, and
+//! structurally identical subcircuits built by *different* sessions are the
+//! same global node. Handle *validity*, by contrast, stays per-thread:
+//! every handle carries the **generation** of the thread that interned it,
+//! [`reset`] opens a new generation on the calling thread (O(1), no storage
+//! touched — other sessions may be reading those nodes), and using a handle
+//! from a dead generation panics with a "stale circuit handle" message
+//! instead of silently reading another computation's nodes. Prefer the
 //! scoped [`CircuitSession`] guard over calling [`reset`] by hand — it
-//! resets on entry and on drop, and [`reset`] refuses to run while a session
-//! is active, so a library deep in the call stack can't pull the arena out
-//! from under you.
+//! opens a generation on entry and on drop, [`reset`] refuses to run while
+//! a session is active on this thread, and any number of threads can each
+//! run their own session concurrently.
+//!
+//! Memory is reclaimed by the explicit, global [`vacuum`]: it truncates
+//! every shard back to the constants and advances a process-wide epoch so
+//! *all* threads' outstanding handles go stale (checked under the shard
+//! lock, so a racing traversal panics loudly rather than reading recycled
+//! slots). Vacuum only at quiescent points — between benchmark iterations,
+//! or in a serving system's maintenance window.
 //!
 //! # Crossing threads
 //!
-//! Handles are deliberately `!Send`: a node id is meaningless in another
-//! thread's arena. What *can* cross threads is an exported batch:
-//! [`Semiring::to_portable`] re-encodes the sub-DAG reachable from a batch
-//! of handles into an arena-independent node list (children referenced by
-//! position), and [`Semiring::from_portable`] re-interns that list into the
-//! receiving thread's own arena — hash-consing deduplicates against whatever
-//! that arena already holds, and the smart constructors restore the
-//! id-sorted-operand invariant under the new numbering. This is how the
+//! Handles are deliberately `!Send`: a handle's generation stamp is only
+//! meaningful against the generation counter of the thread that created it.
+//! What *can* cross threads is an exported batch: [`Semiring::to_portable`]
+//! re-encodes the sub-DAG reachable from a batch of handles into an
+//! arena-independent node list (children referenced by position), and
+//! [`Semiring::from_portable`] re-interns that list on the receiving
+//! thread — hash-consing deduplicates against whatever the shared store
+//! already holds (a same-process import is pure lookup), and the smart
+//! constructors restore the id-sorted-operand invariant. This is how the
 //! morsel-driven parallel executor of `provsem-core` runs
 //! `tag_database_circuit → query → specialize_circuit` across worker
-//! threads: each worker builds nodes in its *own* arena and the coordinator
-//! merges the results back by id remapping, in deterministic partition
-//! order.
+//! threads and merges the results back in deterministic partition order.
 
-use crate::fxhash::FxHashMap;
+use crate::fxhash::{fx_hash_one, FxHashMap};
 use crate::polynomial::{Polynomial, ProvenancePolynomial};
 use crate::posbool::PosBool;
 use crate::traits::{CommutativeSemiring, PlusIdempotent, Portable, Semiring};
 use crate::variable::{Valuation, Variable};
-use std::cell::RefCell;
+use std::cell::Cell;
 use std::fmt;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
 const ZERO: u32 = 0;
 const ONE: u32 = 1;
@@ -78,9 +89,17 @@ const ONE: u32 = 1;
 /// every reset and are therefore valid in all generations.
 const GEN_CONST: u32 = u32::MAX;
 
-/// One interned circuit node. `Plus`/`Times` children are arena indices that
-/// are always smaller than the node's own index (children are interned
-/// first), so the arena order is a topological order of every DAG in it.
+/// Number of interner shards. A power of two so the shard of an id is a
+/// mask; 16 is comfortably above any realistic worker-thread count for the
+/// morsel executor and the query service's session threads.
+const NUM_SHARDS: usize = 16;
+const SHARD_BITS: u32 = NUM_SHARDS.trailing_zeros();
+
+/// One interned circuit node. `Plus`/`Times` children are global node ids
+/// that are always interned before the node itself (the smart constructors
+/// build bottom-up), but — unlike the old thread-local arena — child ids are
+/// *not* numerically smaller than the parent's: ids interleave shard bits,
+/// so traversals use explicit reachability, never id order.
 #[derive(Clone, PartialEq, Eq, Hash)]
 enum Node {
     Zero,
@@ -90,163 +109,299 @@ enum Node {
     Times(u32, u32),
 }
 
-/// The thread-local hash-consing arena.
-struct Arena {
+/// One shard of the process-wide hash-consing interner.
+#[derive(Default)]
+struct ShardState {
     nodes: Vec<Node>,
     interned: FxHashMap<Node, u32>,
-    /// Bumped by every reset; handles interned under an older generation are
-    /// stale and refuse to be used.
-    generation: u32,
-    /// Number of active [`CircuitSession`] guards (0 or 1 — sessions don't
-    /// nest); a bare [`reset`] while a session is active panics.
-    sessions: u32,
 }
 
-impl Arena {
-    fn new() -> Arena {
-        let mut arena = Arena {
-            nodes: Vec::new(),
-            interned: FxHashMap::default(),
-            generation: 0,
-            sessions: 0,
-        };
-        arena.reset();
-        arena
-    }
+/// The process-wide sharded interner: every thread and session interns into
+/// the same node store, partitioned by FxHash of the node so concurrent
+/// sessions contend only when they intern into the same shard. Structural
+/// sharing therefore crosses sessions: two sessions building the same
+/// subcircuit get the *same* global node.
+fn shards() -> &'static [Mutex<ShardState>; NUM_SHARDS] {
+    static SHARDS: OnceLock<[Mutex<ShardState>; NUM_SHARDS]> = OnceLock::new();
+    SHARDS.get_or_init(|| std::array::from_fn(|_| Mutex::new(ShardState::default())))
+}
 
-    /// Truncates back to the two constants, keeping allocated capacity, and
-    /// opens the next generation.
-    fn reset(&mut self) {
-        self.nodes.clear();
-        self.interned.clear();
-        self.nodes.push(Node::Zero);
-        self.nodes.push(Node::One);
-        self.interned.insert(Node::Zero, ZERO);
-        self.interned.insert(Node::One, ONE);
-        self.generation = self
-            .generation
-            .checked_add(1)
-            .expect("circuit arena generation counter overflowed");
-    }
+/// Bumped by every [`vacuum`]; threads detect the bump on their next arena
+/// access and stale their outstanding handles (see [`sync_epoch`]).
+static VACUUM_EPOCH: AtomicU64 = AtomicU64::new(0);
 
-    fn intern(&mut self, node: Node) -> u32 {
-        if let Some(&id) = self.interned.get(&node) {
-            return id;
-        }
-        let id = u32::try_from(self.nodes.len()).expect("circuit arena exceeded u32 node ids");
-        self.nodes.push(node.clone());
-        self.interned.insert(node, id);
-        id
-    }
+/// Number of [`CircuitSession`] guards active across *all* threads; guards
+/// [`vacuum`], which must only run at quiescent points.
+static ACTIVE_SESSIONS: AtomicU64 = AtomicU64::new(0);
 
-    /// Panics on a handle from an earlier generation — the loud failure mode
-    /// that replaces silently reading a reset arena.
-    fn check(&self, handle: &Circuit) {
-        assert!(
-            handle.id <= ONE || handle.gen == self.generation,
-            "stale circuit handle: the arena was reset (generation {} is gone, current is {}); \
-             scope handle lifetimes with CircuitSession",
-            handle.gen,
-            self.generation
-        );
-    }
-
-    fn handle(&self, id: u32) -> Circuit {
-        Circuit {
-            id,
-            gen: if id <= ONE {
-                GEN_CONST
-            } else {
-                self.generation
-            },
-            _not_send: PhantomData,
-        }
-    }
+/// Per-thread lifecycle state. Nodes are shared process-wide; *validity* of
+/// handles is still scoped per thread: every handle carries the generation
+/// of the thread that created it, and [`reset`]/[`CircuitSession`] bump the
+/// thread's generation so stale handles panic loudly. (Handles are `!Send`,
+/// so a handle is only ever checked against its creating thread's
+/// generation.)
+#[derive(Clone, Copy)]
+struct Local {
+    generation: u32,
+    in_session: bool,
+    /// The [`VACUUM_EPOCH`] this thread last observed; a mismatch means a
+    /// vacuum happened since and the thread's handles must go stale.
+    synced_epoch: u64,
 }
 
 thread_local! {
-    static ARENA: RefCell<Arena> = RefCell::new(Arena::new());
+    static LOCAL: Cell<Local> = const {
+        Cell::new(Local {
+            generation: 1,
+            in_session: false,
+            synced_epoch: 0,
+        })
+    };
 }
 
-/// Clones one node out of the arena. Borrowing is scoped to the lookup so
-/// that semiring operations of the *output* domain (which may themselves be
-/// circuits, e.g. circuit-to-circuit substitution) can re-enter the arena.
-/// Takes a raw id (already validated via a root handle's generation check):
-/// children of a live node are always live.
+fn bump_generation(local: &mut Local) {
+    local.generation = local
+        .generation
+        .checked_add(1)
+        .expect("circuit arena generation counter overflowed");
+}
+
+/// Re-reads the global vacuum epoch; if it advanced since this thread's last
+/// arena access, bumps the thread's generation (staling every outstanding
+/// handle of this thread) and records the new epoch. Returns `true` iff the
+/// epoch advanced. Called under the shard lock by every arena access, which
+/// makes vacuuming sound: a node read either happens before the vacuum's
+/// truncation (old epoch observed, data intact) or observes the new epoch
+/// and refuses.
+fn sync_epoch() -> bool {
+    let epoch = VACUUM_EPOCH.load(Ordering::SeqCst);
+    LOCAL.with(|cell| {
+        let mut local = cell.get();
+        if local.synced_epoch == epoch {
+            return false;
+        }
+        bump_generation(&mut local);
+        local.synced_epoch = epoch;
+        cell.set(local);
+        true
+    })
+}
+
+fn lock_shard(index: usize) -> MutexGuard<'static, ShardState> {
+    shards()[index]
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Global id of slot `slot` in shard `shard`. Ids `0`/`1` are the constants
+/// of every arena; all interned nodes start at 2, with the shard index in
+/// the low bits.
+fn encode_id(shard: usize, slot: usize) -> u32 {
+    let slot = u32::try_from(slot).expect("circuit arena shard exceeded u32 slots");
+    assert!(
+        slot <= (u32::MAX - 2) >> SHARD_BITS,
+        "circuit arena exceeded u32 node ids"
+    );
+    ((slot << SHARD_BITS) | shard as u32) + 2
+}
+
+/// Inverse of [`encode_id`] for ids ≥ 2.
+fn decode_id(id: u32) -> (usize, usize) {
+    let raw = id - 2;
+    (
+        (raw & (NUM_SHARDS as u32 - 1)) as usize,
+        (raw >> SHARD_BITS) as usize,
+    )
+}
+
+fn shard_of_node(node: &Node) -> usize {
+    (fx_hash_one(node) as usize) & (NUM_SHARDS - 1)
+}
+
+/// The thread's current generation, after syncing with the vacuum epoch —
+/// what fresh handles are stamped with and stale checks compare against.
+fn current_generation() -> u32 {
+    sync_epoch();
+    LOCAL.with(|cell| cell.get().generation)
+}
+
+/// Clones one node out of the shared arena. Takes a raw id reached from an
+/// already generation-checked root handle; if a [`vacuum`] intervened since
+/// this thread's previous access, the traversal is torn and this panics
+/// loudly instead of reading truncated (or re-populated) slots.
 fn node_of(id: u32) -> Node {
-    ARENA.with(|arena| arena.borrow().nodes[id as usize].clone())
+    match id {
+        ZERO => return Node::Zero,
+        ONE => return Node::One,
+        _ => {}
+    }
+    let (shard, slot) = decode_id(id);
+    let guard = lock_shard(shard);
+    assert!(
+        !sync_epoch(),
+        "circuit arena vacuumed while a traversal was in flight; \
+         vacuum() must only run at quiescent points"
+    );
+    guard.nodes[slot].clone()
 }
 
-/// Generation-checks a root handle against the current arena.
+/// Generation-checks a root handle against this thread's current generation.
 fn check_handle(handle: &Circuit) {
-    ARENA.with(|arena| arena.borrow().check(handle));
+    let current = current_generation();
+    assert!(
+        handle.id <= ONE || handle.gen == current,
+        "stale circuit handle: the arena was reset (generation {} is gone, current is {}); \
+         scope handle lifetimes with CircuitSession",
+        handle.gen,
+        current
+    );
 }
 
-fn intern(node: Node) -> Circuit {
-    ARENA.with(|arena| {
-        let mut arena = arena.borrow_mut();
-        let id = arena.intern(node);
-        arena.handle(id)
-    })
-}
-
-/// Generation-checks both operands and interns their combination in one
-/// arena borrow (the hot path of [`Semiring::plus`]/[`Semiring::times`]).
-fn intern_pair(a: &Circuit, b: &Circuit, make: impl FnOnce(u32, u32) -> Node) -> Circuit {
-    ARENA.with(|arena| {
-        let mut arena = arena.borrow_mut();
-        arena.check(a);
-        arena.check(b);
-        let (x, y) = if a.id <= b.id {
-            (a.id, b.id)
+fn make_handle(id: u32) -> Circuit {
+    Circuit {
+        id,
+        gen: if id <= ONE {
+            GEN_CONST
         } else {
-            (b.id, a.id)
-        };
-        let id = arena.intern(make(x, y));
-        arena.handle(id)
-    })
+            LOCAL.with(|cell| cell.get().generation)
+        },
+        _not_send: PhantomData,
+    }
 }
 
-/// Number of nodes currently interned in this thread's arena (including the
-/// two constants). A direct measure of total provenance size with sharing.
+fn intern_in_shard(guard: &mut ShardState, shard: usize, node: Node) -> u32 {
+    if let Some(&id) = guard.interned.get(&node) {
+        return id;
+    }
+    let id = encode_id(shard, guard.nodes.len());
+    guard.nodes.push(node.clone());
+    guard.interned.insert(node, id);
+    id
+}
+
+/// Interns a leaf (or imported) node — one with no live-handle operands, so
+/// only the epoch sync is needed before touching the shard.
+fn intern(node: Node) -> Circuit {
+    let shard = shard_of_node(&node);
+    let mut guard = lock_shard(shard);
+    sync_epoch();
+    let id = intern_in_shard(&mut guard, shard, node);
+    drop(guard);
+    make_handle(id)
+}
+
+/// Generation-checks both operands *under the shard lock* (after syncing
+/// with the vacuum epoch, so operands staled by a concurrent vacuum are
+/// caught before their ids are baked into a new node) and interns the
+/// combination — the hot path of [`Semiring::plus`]/[`Semiring::times`].
+fn intern_pair(a: &Circuit, b: &Circuit, make: impl FnOnce(u32, u32) -> Node) -> Circuit {
+    let (x, y) = if a.id <= b.id {
+        (a.id, b.id)
+    } else {
+        (b.id, a.id)
+    };
+    let node = make(x, y);
+    let shard = shard_of_node(&node);
+    let mut guard = lock_shard(shard);
+    check_handle(a);
+    check_handle(b);
+    let id = intern_in_shard(&mut guard, shard, node);
+    drop(guard);
+    make_handle(id)
+}
+
+/// Number of nodes currently interned in the process-wide arena (including
+/// the two constants). A direct measure of total provenance size with
+/// sharing — shared across every thread and session.
 pub fn arena_node_count() -> usize {
-    ARENA.with(|arena| arena.borrow().nodes.len())
+    2 + (0..NUM_SHARDS)
+        .map(|shard| lock_shard(shard).nodes.len())
+        .sum::<usize>()
 }
 
-/// Bulk-resets this thread's circuit arena back to the constants `0` and
-/// `1`, retaining allocated capacity for the next query.
+/// An upper bound on every currently valid node id plus one — what
+/// id-indexed scratch tables (reachability marks, memo vectors) size
+/// themselves by. At least 2 (the constants); with sharding, ids are not
+/// dense, so this can exceed [`arena_node_count`].
+fn id_capacity() -> usize {
+    let max_slots = (0..NUM_SHARDS)
+        .map(|shard| lock_shard(shard).nodes.len())
+        .max()
+        .unwrap_or(0);
+    2 + max_slots * NUM_SHARDS
+}
+
+/// Invalidates every outstanding [`Circuit`] handle and [`CircuitEval`] memo
+/// of *this thread* by opening a new generation: using a stale handle
+/// afterwards **panics** instead of silently aliasing another computation's
+/// nodes. Call between independent provenance computations — or, better,
+/// scope the computation in a [`CircuitSession`].
 ///
-/// Every outstanding [`Circuit`] handle and [`CircuitEval`] memo of this
-/// thread is invalidated; the reset opens a new arena *generation*, so using
-/// a stale handle afterwards **panics** instead of silently reading the new
-/// generation's nodes. Call only between independent provenance
-/// computations — or, better, scope the computation in a [`CircuitSession`],
-/// which resets on entry and exit and makes this function refuse to run
-/// underneath it.
+/// Since the arena became a process-wide sharded interner, `reset` no longer
+/// truncates node storage (other sessions may be reading it); nodes are
+/// retained for cross-session structural sharing and are reclaimed only by
+/// [`vacuum`] at a globally quiescent point.
 ///
 /// # Panics
 /// Panics if a [`CircuitSession`] is active on this thread.
 pub fn reset() {
-    ARENA.with(|arena| {
-        let mut arena = arena.borrow_mut();
+    sync_epoch();
+    LOCAL.with(|cell| {
+        let mut local = cell.get();
         assert!(
-            arena.sessions == 0,
+            !local.in_session,
             "circuit::reset() called while a CircuitSession is active; drop the session instead"
         );
-        arena.reset();
+        bump_generation(&mut local);
+        cell.set(local);
     });
 }
 
-/// A scoped guard for the circuit-arena lifecycle: construction resets this
-/// thread's arena (opening a fresh generation), and dropping the guard
-/// resets it again, reclaiming every node the session interned.
+/// Truncates the process-wide sharded arena back to the constants `0` and
+/// `1`, reclaiming every interned node, and advances the global vacuum
+/// epoch so that **all** threads' outstanding handles go stale (each thread
+/// detects the epoch bump on its next arena access and panics on any
+/// pre-vacuum handle instead of aliasing re-populated slots).
+///
+/// This is the memory-reclamation point the per-thread [`reset`] gave up
+/// when the arena became shared: call it only when no session is running
+/// and no thread holds live circuits — between benchmark iterations, or in
+/// a serving system's maintenance window. A concurrent traversal that races
+/// a vacuum panics loudly ("vacuumed while a traversal was in flight"); it
+/// never reads aliased nodes.
+///
+/// # Panics
+/// Panics if any [`CircuitSession`] is active on any thread.
+pub fn vacuum() {
+    assert!(
+        ACTIVE_SESSIONS.load(Ordering::SeqCst) == 0,
+        "circuit::vacuum() called while a CircuitSession is active; vacuum only at quiescent points"
+    );
+    VACUUM_EPOCH.fetch_add(1, Ordering::SeqCst);
+    for shard in 0..NUM_SHARDS {
+        let mut guard = lock_shard(shard);
+        guard.nodes.clear();
+        guard.interned.clear();
+    }
+    // Sync the calling thread immediately: its next use of a pre-vacuum
+    // handle reports "stale circuit handle" rather than a torn traversal.
+    sync_epoch();
+}
+
+/// A scoped guard for the circuit-handle lifecycle: construction opens a
+/// fresh generation on this thread (staling whatever handles preceded it),
+/// and dropping the guard opens another, staling every handle the session
+/// created.
 ///
 /// The guard closes the classic footgun of the bare [`reset`] API — some
 /// library code calling `reset()` while the caller still holds handles,
-/// which before the generation stamps would *silently* re-read the new
-/// arena. While a session is active, [`reset`] panics instead of running;
-/// handles that escape the session panic on first use (their generation is
-/// gone). Sessions are per-thread and do not nest.
+/// which before the generation stamps would *silently* re-read the arena.
+/// While a session is active, [`reset`] panics instead of running (and
+/// [`vacuum`] refuses process-wide); handles that escape the session panic
+/// on first use (their generation is gone). Sessions are per-thread and do
+/// not nest — but any number of threads may each run their own session
+/// concurrently over the shared sharded arena, which is exactly how the
+/// query service scopes per-request provenance work.
 ///
 /// ```
 /// use provsem_semiring::circuit::{self, CircuitSession};
@@ -258,39 +413,41 @@ pub fn reset() {
 ///     p.node_id() // plain data may leave the session; handles should not
 /// });
 /// assert!(leaked >= 2);
-/// assert_eq!(circuit::arena_node_count(), 2); // session reclaimed its nodes
 /// ```
 pub struct CircuitSession {
-    /// Sessions guard a thread-local arena, so the guard itself must not
-    /// move to another thread.
+    /// Sessions guard this thread's generation counter, so the guard itself
+    /// must not move to another thread.
     _not_send: PhantomData<*const ()>,
 }
 
 impl CircuitSession {
-    /// Resets this thread's arena and opens a session scoped to the returned
-    /// guard.
+    /// Opens a fresh generation on this thread and a session scoped to the
+    /// returned guard.
     ///
     /// # Panics
     /// Panics if a session is already active on this thread.
     pub fn begin() -> CircuitSession {
-        ARENA.with(|arena| {
-            let mut arena = arena.borrow_mut();
+        sync_epoch();
+        LOCAL.with(|cell| {
+            let mut local = cell.get();
             assert!(
-                arena.sessions == 0,
+                !local.in_session,
                 "CircuitSession::begin() while another session is active; sessions do not nest"
             );
-            arena.reset();
-            arena.sessions = 1;
+            bump_generation(&mut local);
+            local.in_session = true;
+            cell.set(local);
         });
+        ACTIVE_SESSIONS.fetch_add(1, Ordering::SeqCst);
         CircuitSession {
             _not_send: PhantomData,
         }
     }
 
-    /// Runs `f` inside a fresh session; the arena is reset before and after.
-    /// Returning a [`Circuit`] handle (or anything holding one) from `f` is
-    /// a bug — the handle's generation dies with the session, so any later
-    /// use panics.
+    /// Runs `f` inside a fresh session; the thread's generation advances
+    /// before and after. Returning a [`Circuit`] handle (or anything holding
+    /// one) from `f` is a bug — the handle's generation dies with the
+    /// session, so any later use panics.
     pub fn run<R>(f: impl FnOnce() -> R) -> R {
         let _session = CircuitSession::begin();
         f()
@@ -299,11 +456,13 @@ impl CircuitSession {
 
 impl Drop for CircuitSession {
     fn drop(&mut self) {
-        ARENA.with(|arena| {
-            let mut arena = arena.borrow_mut();
-            arena.sessions = 0;
-            arena.reset();
+        LOCAL.with(|cell| {
+            let mut local = cell.get();
+            local.in_session = false;
+            bump_generation(&mut local);
+            cell.set(local);
         });
+        ACTIVE_SESSIONS.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -322,9 +481,10 @@ pub struct Circuit {
     /// loudly instead of aliasing a node of the next query. The constants
     /// `0`/`1` carry [`GEN_CONST`] and are valid in every generation.
     gen: u32,
-    /// Node ids are meaningless across threads (each thread has its own
-    /// arena), so the handle opts out of `Send`/`Sync`. Batches of handles
-    /// cross threads through [`Semiring::to_portable`] instead.
+    /// The generation stamp is only meaningful against the creating
+    /// thread's generation counter, so the handle opts out of
+    /// `Send`/`Sync`. Batches of handles cross threads through
+    /// [`Semiring::to_portable`] instead.
     _not_send: PhantomData<*const ()>,
 }
 
@@ -397,7 +557,7 @@ impl Circuit {
 /// Total number of distinct nodes reachable from any of the given roots —
 /// the size of a whole provenance-annotated result with sharing.
 pub fn shared_node_count(roots: impl IntoIterator<Item = Circuit>) -> usize {
-    let mut seen: Vec<bool> = vec![false; arena_node_count()];
+    let mut seen: Vec<bool> = vec![false; id_capacity()];
     let mut stack: Vec<u32> = roots
         .into_iter()
         .map(|c| {
@@ -443,9 +603,14 @@ fn fold_memo<A: NodeAlgebra>(
     algebra: &mut A,
 ) -> A::Out {
     check_handle(&root);
-    if memo.len() <= root.node_id() {
-        memo.resize_with(root.node_id() + 1, || None);
+    // Sharded ids interleave shard bits, so a child's id may exceed its
+    // parent's — grow the memo for whichever id shows up.
+    fn ensure<T>(memo: &mut Vec<Option<T>>, id: u32) {
+        if memo.len() <= id as usize {
+            memo.resize_with(id as usize + 1, || None);
+        }
     }
+    ensure(memo, root.id);
     let mut stack: Vec<u32> = vec![root.id];
     while let Some(&id) = stack.last() {
         if memo[id as usize].is_some() {
@@ -458,8 +623,7 @@ fn fold_memo<A: NodeAlgebra>(
             Node::One => Some(algebra.one()),
             Node::Var(ref v) => Some(algebra.var(v)),
             Node::Plus(a, b) | Node::Times(a, b) => {
-                // Children always have smaller ids, so the memo is already
-                // large enough for them.
+                ensure(memo, a.max(b));
                 match (&memo[a as usize], &memo[b as usize]) {
                     (Some(x), Some(y)) => Some(if matches!(node, Node::Plus(_, _)) {
                         algebra.plus(x, y)
@@ -556,11 +720,11 @@ pub struct CircuitEval<'v, K> {
     /// evaluator reused across a [`reset`] panics instead of serving memo
     /// entries for nodes that no longer exist.
     generation: Option<u32>,
-    /// The memo is keyed by node ids of *this thread's* arena, and the
-    /// generation counter cannot tell two threads' arenas apart (every
-    /// fresh thread starts at generation 1) — so the evaluator, like the
-    /// handles it caches, must not cross threads. Parallel specialization
-    /// builds one evaluator per worker instead.
+    /// The memo's validity is pinned to *this thread's* generation counter,
+    /// which cannot be checked from another thread (every fresh thread
+    /// starts at generation 1) — so the evaluator, like the handles it
+    /// caches, must not cross threads. Parallel specialization builds one
+    /// evaluator per worker instead.
     _not_send: PhantomData<*const ()>,
 }
 
@@ -577,7 +741,7 @@ impl<'v, K: CommutativeSemiring> CircuitEval<'v, K> {
 
     /// Evaluates one root, reusing every previously memoized node.
     pub fn eval(&mut self, circuit: Circuit) -> K {
-        let current = ARENA.with(|arena| arena.borrow().generation);
+        let current = current_generation();
         match self.generation {
             None => self.generation = Some(current),
             Some(generation) => assert!(
@@ -687,49 +851,61 @@ enum PortableNode {
     Times(u32, u32),
 }
 
-/// Encodes the sub-DAG reachable from `batch` (in this thread's arena) into
-/// portable form. Deterministic: nodes are emitted in ascending arena id
-/// order, which is a topological order because children are interned first.
+/// Encodes the sub-DAG reachable from `batch` into portable form.
+/// Deterministic for a given arena numbering: nodes are emitted in explicit
+/// depth-first postorder from the roots (children before parents — sharded
+/// ids interleave shard bits, so ascending id order is *not* topological).
 fn export_circuits(batch: &[Circuit]) -> PortableCircuits {
-    ARENA.with(|arena| {
-        let arena = arena.borrow();
-        let mut reachable = vec![false; arena.nodes.len()];
-        let mut stack: Vec<u32> = Vec::new();
-        for circuit in batch {
-            arena.check(circuit);
-            stack.push(circuit.id);
+    let mut remap: FxHashMap<u32, u32> = FxHashMap::default();
+    remap.insert(ZERO, ZERO);
+    remap.insert(ONE, ONE);
+    let mut nodes: Vec<PortableNode> = Vec::new();
+    // (id, node, expanded): a composite node is pushed back once its
+    // children are scheduled, and emitted when popped the second time.
+    let mut stack: Vec<(u32, Node, bool)> = Vec::new();
+    for circuit in batch.iter().rev() {
+        check_handle(circuit);
+        if !remap.contains_key(&circuit.id) {
+            stack.push((circuit.id, node_of(circuit.id), false));
         }
-        while let Some(id) = stack.pop() {
-            let slot = &mut reachable[id as usize];
-            if *slot {
-                continue;
+    }
+    while let Some((id, node, expanded)) = stack.pop() {
+        if remap.contains_key(&id) {
+            continue;
+        }
+        let emit = |nodes: &mut Vec<PortableNode>, node: PortableNode| {
+            let portable = u32::try_from(nodes.len() + 2).expect("portable circuit id overflow");
+            nodes.push(node);
+            portable
+        };
+        match node {
+            Node::Zero | Node::One => unreachable!("constants have the reserved ids 0 and 1"),
+            Node::Var(v) => {
+                let portable = emit(&mut nodes, PortableNode::Var(v));
+                remap.insert(id, portable);
             }
-            *slot = true;
-            if let Node::Plus(a, b) | Node::Times(a, b) = &arena.nodes[id as usize] {
-                stack.push(*a);
-                stack.push(*b);
+            Node::Plus(a, b) | Node::Times(a, b) if !expanded => {
+                stack.push((id, node, true));
+                for child in [a, b] {
+                    if !remap.contains_key(&child) {
+                        stack.push((child, node_of(child), false));
+                    }
+                }
+            }
+            Node::Plus(a, b) => {
+                let portable = emit(&mut nodes, PortableNode::Plus(remap[&a], remap[&b]));
+                remap.insert(id, portable);
+            }
+            Node::Times(a, b) => {
+                let portable = emit(&mut nodes, PortableNode::Times(remap[&a], remap[&b]));
+                remap.insert(id, portable);
             }
         }
-        let mut remap = vec![0u32; arena.nodes.len()];
-        remap[ONE as usize] = ONE;
-        let mut nodes = Vec::new();
-        for id in 2..arena.nodes.len() {
-            if !reachable[id] {
-                continue;
-            }
-            remap[id] = u32::try_from(nodes.len() + 2).expect("portable circuit id overflow");
-            nodes.push(match &arena.nodes[id] {
-                Node::Var(v) => PortableNode::Var(v.clone()),
-                Node::Plus(a, b) => PortableNode::Plus(remap[*a as usize], remap[*b as usize]),
-                Node::Times(a, b) => PortableNode::Times(remap[*a as usize], remap[*b as usize]),
-                Node::Zero | Node::One => unreachable!("constants have the reserved ids 0 and 1"),
-            });
-        }
-        PortableCircuits {
-            nodes,
-            roots: batch.iter().map(|c| remap[c.id as usize]).collect(),
-        }
-    })
+    }
+    PortableCircuits {
+        nodes,
+        roots: batch.iter().map(|c| remap[&c.id]).collect(),
+    }
 }
 
 /// Re-interns a portable batch into the *current* thread's arena. Building
@@ -917,16 +1093,23 @@ mod tests {
 
     #[test]
     fn hash_consing_shares_structurally_equal_nodes() {
-        let before = arena_node_count();
+        // (Global node counts are shared with concurrently running tests,
+        // so sharing is asserted through handle identity, not counts.)
         let e1 = x("p").times(&x("r")).plus(&x("s"));
-        let grown = arena_node_count();
         let e2 = x("p").times(&x("r")).plus(&x("s"));
         assert!(e1.same_node(&e2));
-        assert_eq!(arena_node_count(), grown, "rebuilding interned nothing new");
-        assert!(grown > before);
         // Commutativity is shared structurally via operand sorting.
         assert!(x("p").plus(&x("r")).same_node(&x("r").plus(&x("p"))));
         assert!(x("p").times(&x("r")).same_node(&x("r").times(&x("p"))));
+        // Sharing crosses threads: the sharded arena is process-wide, so a
+        // worker building the same subcircuit lands on the same node.
+        let here = x("p").times(&x("r")).node_id();
+        let there = std::thread::scope(|s| {
+            s.spawn(|| x("p").times(&x("r")).node_id())
+                .join()
+                .expect("worker")
+        });
+        assert_eq!(here, there);
     }
 
     #[test]
@@ -1048,12 +1231,15 @@ mod tests {
     }
 
     #[test]
-    fn reset_truncates_the_arena() {
-        let before = arena_node_count();
-        let _ = x("tmp1").times(&x("tmp2"));
-        assert!(arena_node_count() > before);
+    fn reset_stales_handles_without_truncating_shared_storage() {
+        let kept = x("tmp1").times(&x("tmp2"));
+        let grown = arena_node_count();
         reset();
-        assert_eq!(arena_node_count(), 2);
+        // Storage is shared with other sessions, so reset reclaims nothing
+        // (vacuum() does, at quiescent points — see tests/arena_lifecycle.rs);
+        // it only stales this thread's handles.
+        assert!(arena_node_count() >= grown);
+        assert!(std::panic::catch_unwind(|| kept.node_count()).is_err());
         // The arena is usable again immediately.
         assert_eq!(
             x("tmp1").eval(&Valuation::from_pairs([("tmp1", nat(9))])),
@@ -1090,7 +1276,8 @@ mod tests {
     fn stale_handles_panic_instead_of_aliasing_the_new_generation() {
         let old = x("victim").times(&x("witness"));
         reset();
-        // The new generation interns something at the same ids.
+        // The new generation keeps interning into the shared store; the old
+        // handle still refers to live nodes but its generation is gone.
         let _ = x("other").times(&x("another"));
         let err = std::panic::catch_unwind(|| old.to_polynomial())
             .expect_err("stale handle must not read the reset arena");
@@ -1115,26 +1302,31 @@ mod tests {
     }
 
     #[test]
-    fn sessions_scope_the_arena_and_block_bare_resets() {
+    fn sessions_scope_handle_lifetimes_and_block_bare_resets() {
         reset();
-        let outside = arena_node_count();
-        CircuitSession::run(|| {
-            let _ = x("inside").plus(&x("session"));
-            assert!(arena_node_count() > outside);
+        let escaped = CircuitSession::run(|| {
+            let inside = x("inside").plus(&x("session"));
             // A bare reset under a session is the footgun the guard closes.
             let err = std::panic::catch_unwind(reset).expect_err("reset under session");
             let message = err.downcast_ref::<&str>().copied().unwrap_or_default();
             assert!(message.contains("CircuitSession is active"), "{message}");
+            inside
         });
-        assert_eq!(arena_node_count(), 2, "session drop reclaimed its nodes");
-        // After the session, resets work again and the arena is usable.
+        // A handle that escapes its session is stale, not silently aliased.
+        assert!(std::panic::catch_unwind(|| escaped.node_count()).is_err());
+        // Sessions do not nest on one thread...
+        CircuitSession::run(|| {
+            assert!(std::panic::catch_unwind(CircuitSession::begin).is_err());
+        });
+        // ...but sequential sessions compose, and resets work again after.
+        CircuitSession::run(|| assert!(!x("s1").is_zero()));
+        CircuitSession::run(|| assert!(!x("s2").is_zero()));
         reset();
         assert!(!x("after").is_zero());
     }
 
     #[test]
     fn portable_round_trip_preserves_semantics_and_sharing() {
-        reset();
         let shared = x("a").plus(&x("b"));
         let batch = vec![
             Circuit::zero(),
@@ -1146,29 +1338,29 @@ mod tests {
         let expected: Vec<ProvenancePolynomial> =
             batch.iter().map(Circuit::to_polynomial).collect();
         let token = Circuit::to_portable(batch.clone());
-        // Same thread: importing dedups against the existing arena, so the
-        // round trip interns nothing new and returns the very same nodes.
-        let before = arena_node_count();
+        // Same thread: importing dedups against the shared store, so the
+        // round trip returns the very same nodes.
         let back = Circuit::from_portable(token);
-        assert_eq!(arena_node_count(), before);
         for (orig, round) in batch.iter().zip(&back) {
             assert!(orig.same_node(round));
         }
-        // Cross thread: the receiving arena is fresh; values must agree.
+        // Cross thread: node storage is shared, so the import is pure
+        // lookup and the handles land on the same global ids — but stamped
+        // with the *worker's* generation, so they are usable over there.
+        let ids: Vec<usize> = batch.iter().map(Circuit::node_id).collect();
         let token = Circuit::to_portable(batch);
-        let lowered = std::thread::scope(|s| {
+        let (imported_ids, lowered) = std::thread::scope(|s| {
             s.spawn(move || {
                 let imported = Circuit::from_portable(token);
-                // The worker's arena holds only what the import reached.
-                assert!(arena_node_count() <= before);
-                imported
-                    .iter()
-                    .map(Circuit::to_polynomial)
-                    .collect::<Vec<_>>()
+                let ids: Vec<usize> = imported.iter().map(Circuit::node_id).collect();
+                let lowered: Vec<ProvenancePolynomial> =
+                    imported.iter().map(Circuit::to_polynomial).collect();
+                (ids, lowered)
             })
             .join()
             .expect("worker")
         });
+        assert_eq!(imported_ids, ids);
         assert_eq!(lowered, expected);
     }
 

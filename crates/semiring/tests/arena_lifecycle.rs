@@ -1,0 +1,144 @@
+//! Lifecycle regression tests for the **sharded** circuit arena: stale
+//! handles crossing a session/generation boundary must panic (never silently
+//! alias another computation's nodes), `CircuitSession` guards must compose
+//! across threads, and [`circuit::vacuum`] must reclaim storage globally
+//! while refusing to run under any active session.
+//!
+//! These live in an integration binary (own process) because `vacuum`
+//! mutates process-wide state: it would stale handles held by unrelated lib
+//! tests running on sibling threads. Within this binary every test holds
+//! `ARENA_TEST_LOCK` for the same reason.
+
+use provsem_semiring::circuit::{self, shared_node_count, CircuitSession};
+use provsem_semiring::{Circuit, Natural, Semiring, Valuation};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+static ARENA_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    // A panicking test (several tests unwind on purpose) poisons the mutex;
+    // the lock only serializes, so poisoning carries no meaning here.
+    ARENA_TEST_LOCK
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default()
+}
+
+#[test]
+fn stale_handle_crossing_a_session_boundary_panics_not_aliases() {
+    let _serial = serial();
+    let escaped = CircuitSession::run(|| Circuit::var("esc").times(&Circuit::var("aped")));
+    // Rebuilding the same structure lands on the same *global* node (the
+    // sharded store is shared across generations)...
+    let rebuilt = Circuit::var("esc").times(&Circuit::var("aped"));
+    assert_eq!(rebuilt.node_id(), escaped.node_id());
+    // ...but the escaped handle's generation died with the session, so any
+    // use panics loudly instead of silently reading the live node.
+    let err = catch_unwind(|| escaped.to_polynomial()).expect_err("escaped handle must be stale");
+    let message = panic_message(err);
+    assert!(message.contains("stale circuit handle"), "{message}");
+    // The in-generation handle keeps working.
+    assert!(!rebuilt.is_zero());
+}
+
+#[test]
+fn sessions_compose_within_and_across_threads() {
+    let _serial = serial();
+    // Sequentially on one thread: each session gets a fresh generation.
+    let first = CircuitSession::run(|| Circuit::var("seq").node_id());
+    let second = CircuitSession::run(|| Circuit::var("seq").node_id());
+    assert_eq!(first, second, "hash-consing spans sessions");
+    // Concurrently across threads: every worker runs its own session over
+    // the shared store, and identical subcircuits are the same global node.
+    let ids: Vec<usize> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                s.spawn(move || {
+                    CircuitSession::run(|| {
+                        let e = Circuit::var("shared").plus(&Circuit::var("across"));
+                        // The session's handles are fully usable in-thread.
+                        let ones = Valuation::from_pairs([
+                            ("shared", Natural::from(w + 1u64)),
+                            ("across", Natural::from(1u64)),
+                        ]);
+                        assert_eq!(e.eval(&ones), Natural::from(w + 2));
+                        e.node_id()
+                    })
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("worker"))
+            .collect()
+    });
+    assert!(ids.windows(2).all(|p| p[0] == p[1]), "{ids:?}");
+}
+
+#[test]
+fn vacuum_truncates_globally_and_stales_other_threads_handles() {
+    let _serial = serial();
+    circuit::reset();
+    let (to_worker, from_main) = mpsc::channel::<()>();
+    let (to_main, from_worker) = mpsc::channel::<()>();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let held = Circuit::var("worker").times(&Circuit::var("held"));
+            assert_eq!(shared_node_count([held]), 3);
+            to_main.send(()).expect("signal built");
+            from_main.recv().expect("await vacuum");
+            // The worker's next arena access syncs with the vacuum epoch
+            // and finds its generation gone.
+            let err = catch_unwind(AssertUnwindSafe(|| held.node_count()))
+                .expect_err("pre-vacuum handle must be stale");
+            let message = panic_message(err);
+            assert!(message.contains("stale circuit handle"), "{message}");
+        });
+        from_worker.recv().expect("await worker build");
+        let mine = Circuit::var("main").plus(&Circuit::var("mine"));
+        assert!(circuit::arena_node_count() > 2);
+        circuit::vacuum();
+        assert_eq!(
+            circuit::arena_node_count(),
+            2,
+            "vacuum truncates every shard"
+        );
+        // The vacuuming thread's own pre-vacuum handles are stale too...
+        assert!(catch_unwind(AssertUnwindSafe(|| mine.node_count())).is_err());
+        // ...while the constants survive and the arena restocks on demand.
+        assert!(Circuit::zero().is_zero());
+        assert!(!Circuit::var("fresh").is_zero());
+        to_worker.send(()).expect("release worker");
+    });
+}
+
+#[test]
+fn vacuum_refuses_while_any_session_is_active() {
+    let _serial = serial();
+    let (to_worker, from_main) = mpsc::channel::<()>();
+    let (to_main, from_worker) = mpsc::channel::<()>();
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            let _session = CircuitSession::begin();
+            to_main.send(()).expect("signal session open");
+            from_main.recv().expect("await main");
+        });
+        from_worker.recv().expect("await session");
+        // The session lives on another thread; vacuum must still refuse.
+        let err = catch_unwind(circuit::vacuum).expect_err("vacuum under session");
+        let message = panic_message(err);
+        assert!(message.contains("CircuitSession is active"), "{message}");
+        to_worker.send(()).expect("release worker");
+    });
+    // Once the session is gone, vacuum succeeds.
+    circuit::vacuum();
+    assert_eq!(circuit::arena_node_count(), 2);
+}

@@ -1,0 +1,234 @@
+//! Load generator + differential replay: the acceptance harness for the
+//! concurrent query service.
+//!
+//! Phase 1 (concurrent): reader sessions fire a mixed query workload
+//! (`QUERY` / `READ` / `VIEW` / `DATALOG`) while writer sessions
+//! continuously commit delta batches and define/drop standing views against
+//! the same live [`Service`]. Every reply carries the epoch it was computed
+//! at; readers log `(epoch, request, rendered reply)`, writers log their
+//! catalog-changing ops the same way.
+//!
+//! Phase 2 (serial replay): a **fresh** service on the same seed database
+//! re-applies the writer ops in epoch order — epochs are contiguous, so the
+//! total commit order is fully determined — capturing a snapshot per epoch.
+//! Each logged read is then re-executed single-file, pinned to the snapshot
+//! of the epoch its concurrent reply reported. The rendered bytes must be
+//! **identical**: any interleaving artifact (torn batch, stale view, plan
+//! cached across a catalog change) shows up as a byte mismatch.
+//!
+//! Writes a machine-readable throughput record to `BENCH_service.json` (or
+//! the path given as the first argument) and exits non-zero on any
+//! mismatch.
+
+use provsem_core::prelude::{Database, DbSnapshot, KRelation, Schema, Tuple, Value};
+use provsem_semiring::ring::Integers;
+use provsem_server::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const N_READERS: usize = 6;
+const QUERIES_PER_READER: usize = 200;
+const N_WRITERS: usize = 2;
+const COMMITS_PER_WRITER: usize = 40;
+/// Node ids for the edge relation; edges only go from lower to higher ids,
+/// so datalog reachability always converges (the graph stays acyclic).
+const N_NODES: i64 = 7;
+
+/// One logged interaction: the epoch the reply reported, the request line,
+/// and the rendered reply.
+type LogEntry = (u64, String, String);
+
+fn seed_db() -> Database<Integers> {
+    let mut r = KRelation::empty(Schema::new(["a", "b"]));
+    for (a, b, k) in [(1, "x", 2), (2, "y", 1), (3, "z", 4)] {
+        r.insert(
+            Tuple::new([("a", Value::Int(a)), ("b", Value::from(b))]),
+            Integers::new(k),
+        );
+    }
+    let mut e = KRelation::empty(Schema::new(["s", "t"]));
+    for (s, t) in [(0, 1), (1, 2), (2, 3)] {
+        e.insert(
+            Tuple::new([("s", Value::Int(s)), ("t", Value::Int(t))]),
+            Integers::new(1),
+        );
+    }
+    Database::new().with("R", r).with("E", e)
+}
+
+fn reply_epoch(line: &str, response: &Response) -> u64 {
+    match response {
+        Response::Rows { epoch, .. }
+        | Response::Committed { epoch, .. }
+        | Response::Defined { epoch, .. }
+        | Response::Dropped { epoch, .. } => *epoch,
+        other => panic!("{line:?} unexpectedly failed: {}", other.render()),
+    }
+}
+
+fn run_logged(session: &mut Session<Integers>, line: String, log: &mut Vec<LogEntry>) {
+    let response = session.handle_line(&line);
+    let epoch = reply_epoch(&line, &response);
+    log.push((epoch, line, response.render()));
+}
+
+fn writer_workload(service: &Service<Integers>, writer: usize) -> Vec<LogEntry> {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE + writer as u64);
+    let mut session = service.session();
+    let mut log = Vec::new();
+    let mut view_defined = false;
+    for round in 0..COMMITS_PER_WRITER {
+        if round % 10 == 5 {
+            // Exercise catalog changes mid-flight: a per-writer standing
+            // view that readers never query, toggled on and off.
+            let line = if view_defined {
+                format!("DROP W{writer}")
+            } else {
+                format!("DEFINE W{writer} = select[a != 1] R")
+            };
+            view_defined = !view_defined;
+            run_logged(&mut session, line, &mut log);
+            continue;
+        }
+        let mut items = Vec::new();
+        let batch_size = rng.gen_range(1usize..=3);
+        for _ in 0..batch_size {
+            if rng.gen_bool(0.5) {
+                let a = rng.gen_range(1i64..=9);
+                let b = ["x", "y", "z", "w"][rng.gen_range(0usize..4)];
+                let count = [-2i64, -1, 1, 1, 2, 3][rng.gen_range(0usize..6)];
+                items.push(format!("R({a}, '{b}')={count}"));
+            } else {
+                let s = rng.gen_range(0i64..N_NODES - 1);
+                let t = rng.gen_range(s + 1..N_NODES);
+                let count = [-1i64, 1, 1, 2][rng.gen_range(0usize..4)];
+                items.push(format!("E({s}, {t})={count}"));
+            }
+        }
+        run_logged(
+            &mut session,
+            format!("COMMIT {}", items.join("; ")),
+            &mut log,
+        );
+    }
+    log
+}
+
+fn reader_workload(service: &Service<Integers>, reader: usize) -> Vec<LogEntry> {
+    let mut rng = StdRng::seed_from_u64(0xBEEF + reader as u64);
+    let mut session = service.session();
+    let mut log = Vec::new();
+    for _ in 0..QUERIES_PER_READER {
+        let line = match rng.gen_range(0usize..8) {
+            0 => "READ R".to_string(),
+            1 => "QUERY R".to_string(),
+            2 => "QUERY project[a] R".to_string(),
+            3 => format!("QUERY select[a != {}] R", rng.gen_range(1i64..=4)),
+            4 => "QUERY project[t] E join rename[t -> s] project[t] E".to_string(),
+            5 => "VIEW V".to_string(),
+            6 => "READ E".to_string(),
+            _ => "DATALOG path(x, y) :- E(x, y). path(x, z) :- path(x, y), E(y, z). ? path"
+                .to_string(),
+        };
+        run_logged(&mut session, line, &mut log);
+    }
+    log
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    // --- Phase 1: concurrent load against a live-committing database. ---
+    let service = Service::new(seed_db());
+    let mut setup_log = Vec::new();
+    run_logged(
+        &mut service.session(),
+        "DEFINE V = project[a] select[b != 'y'] R".to_string(),
+        &mut setup_log,
+    );
+
+    let started = Instant::now();
+    let (mut write_log, read_logs) = std::thread::scope(|scope| {
+        let service = &service;
+        let writers: Vec<_> = (0..N_WRITERS)
+            .map(|w| scope.spawn(move || writer_workload(service, w)))
+            .collect();
+        let readers: Vec<_> = (0..N_READERS)
+            .map(|r| scope.spawn(move || reader_workload(service, r)))
+            .collect();
+        let mut write_log = setup_log;
+        for handle in writers {
+            write_log.extend(handle.join().expect("writer panicked"));
+        }
+        let read_logs: Vec<Vec<LogEntry>> = readers
+            .into_iter()
+            .map(|handle| handle.join().expect("reader panicked"))
+            .collect();
+        (write_log, read_logs)
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let queries: usize = read_logs.iter().map(Vec::len).sum();
+    let commits = write_log.len();
+    let final_epoch = service.shared().epoch();
+    println!(
+        "concurrent phase: {queries} queries across {N_READERS} readers, \
+         {commits} catalog ops across {N_WRITERS} writers (+setup), \
+         {final_epoch} epochs, {elapsed:.3}s"
+    );
+
+    // --- Phase 2: single-file replay on a fresh service. ---
+    write_log.sort_by_key(|(epoch, _, _)| *epoch);
+    for (i, (epoch, line, _)) in write_log.iter().enumerate() {
+        assert_eq!(
+            *epoch,
+            i as u64 + 1,
+            "epochs must be contiguous, but op {line:?} published epoch {epoch}"
+        );
+    }
+
+    let replay = Service::new(seed_db());
+    let mut replay_writer = replay.session();
+    let mut snapshots: Vec<DbSnapshot<Integers>> = vec![replay.shared().snapshot()];
+    let mut mismatches = 0usize;
+    for (epoch, line, expected) in &write_log {
+        let rendered = replay_writer.handle_line(line).render();
+        if rendered != *expected {
+            mismatches += 1;
+            eprintln!("WRITE MISMATCH at epoch {epoch}: {line}\n  concurrent: {expected}\n  replay:     {rendered}");
+        }
+        let snapshot = replay.shared().snapshot();
+        assert_eq!(snapshot.epoch(), *epoch, "replay epoch drift at {line:?}");
+        snapshots.push(snapshot);
+    }
+
+    let mut replay_reader = replay.session();
+    for log in &read_logs {
+        for (epoch, line, expected) in log {
+            replay_reader.pin_to(snapshots[*epoch as usize].clone());
+            let rendered = replay_reader.handle_line(line).render();
+            if rendered != *expected {
+                mismatches += 1;
+                eprintln!("READ MISMATCH at epoch {epoch}: {line}\n  concurrent: {expected}\n  replay:     {rendered}");
+            }
+        }
+    }
+
+    let qps = queries as f64 / elapsed;
+    println!("replay phase: {mismatches} mismatches over {queries} queries + {commits} ops");
+    println!("throughput: {qps:.0} queries/s");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"concurrent_query_service\",\n  \"readers\": {N_READERS},\n  \"writers\": {N_WRITERS},\n  \"queries\": {queries},\n  \"catalog_ops\": {commits},\n  \"epochs\": {final_epoch},\n  \"elapsed_seconds\": {elapsed:.6},\n  \"queries_per_second\": {qps:.1},\n  \"replay_mismatches\": {mismatches}\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write benchmark record");
+    println!("wrote {out_path}");
+
+    assert_eq!(
+        mismatches, 0,
+        "concurrent execution diverged from serial replay"
+    );
+}

@@ -1,0 +1,152 @@
+//! Epoch-keyed plan cache.
+//!
+//! Plans are cached under `(catalog epoch, normalized query text)`. The
+//! epoch component is not an optimization knob — it is **semantically
+//! required**: the [`provsem_core::Catalog`] carries relation cardinalities
+//! that drive join ordering, so a plan built at epoch *e* may be the wrong
+//! plan (or reference a since-dropped relation) at epoch *e+1*. Keying by
+//! epoch makes every commit an implicit cache invalidation, with no
+//! invalidation protocol to get wrong.
+//!
+//! The normalized-text component (from [`crate::ra_parse::normalize`])
+//! makes the cache insensitive to client whitespace and redundant
+//! parentheses: syntactically different spellings of the same expression
+//! hit the same entry.
+
+use provsem_core::Plan;
+use provsem_semiring::fxhash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Hit/miss counters, readable while sessions run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A concurrent plan cache shared by every session of a service.
+///
+/// Entries from stale epochs are evicted lazily: whenever an insert observes
+/// a newer epoch than the cache has seen, all older-epoch entries are
+/// dropped (they can never be hit again — sessions always look up at their
+/// snapshot's epoch, and snapshots only move forward).
+#[derive(Default)]
+pub struct PlanCache {
+    plans: Mutex<FxHashMap<(u64, String), Arc<Plan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Looks up the plan for `normalized` at `epoch`, building and caching
+    /// it with `build` on a miss. Returns the plan and whether it was a hit.
+    /// `build` runs outside the cache lock; on races the first insert wins.
+    pub fn get_or_plan<E>(
+        &self,
+        epoch: u64,
+        normalized: &str,
+        build: impl FnOnce() -> Result<Plan, E>,
+    ) -> Result<(Arc<Plan>, bool), E> {
+        let key = (epoch, normalized.to_string());
+        if let Some(plan) = self.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(plan), true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(build()?);
+        let mut plans = self.lock();
+        if plans.keys().all(|(e, _)| *e < epoch) {
+            plans.retain(|(e, _), _| *e >= epoch);
+        }
+        let entry = plans.entry(key).or_insert_with(|| Arc::clone(&plan));
+        Ok((Arc::clone(entry), false))
+    }
+
+    /// Current counters and residency.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.lock().len(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FxHashMap<(u64, String), Arc<Plan>>> {
+        self.plans.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use provsem_core::{Catalog, RaExpr};
+
+    fn plan_r(catalog: &Catalog) -> Plan {
+        Plan::new(&RaExpr::Relation("R".to_string()), catalog).unwrap()
+    }
+
+    fn catalog_r() -> Catalog {
+        Catalog::new().with("R", provsem_core::Schema::new(["a", "b"]), 4)
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares_the_plan() {
+        let cache = PlanCache::new();
+        let catalog = catalog_r();
+        let (first, hit) = cache
+            .get_or_plan::<()>(0, "R", || Ok(plan_r(&catalog)))
+            .unwrap();
+        assert!(!hit);
+        let (second, hit) = cache
+            .get_or_plan::<()>(0, "R", || panic!("must not replan"))
+            .unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn epoch_bump_misses_and_evicts_stale_entries() {
+        let cache = PlanCache::new();
+        let catalog = catalog_r();
+        cache
+            .get_or_plan::<()>(0, "R", || Ok(plan_r(&catalog)))
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_plan::<()>(1, "R", || Ok(plan_r(&catalog)))
+            .unwrap();
+        assert!(!hit, "a commit must invalidate cached plans");
+        assert_eq!(cache.stats().entries, 1, "epoch-0 entry evicted");
+    }
+
+    #[test]
+    fn build_errors_are_not_cached() {
+        let cache = PlanCache::new();
+        let catalog = catalog_r();
+        assert_eq!(
+            cache.get_or_plan(0, "R", || Err("nope")).unwrap_err(),
+            "nope"
+        );
+        let (_, hit) = cache
+            .get_or_plan::<()>(0, "R", || Ok(plan_r(&catalog)))
+            .unwrap();
+        assert!(!hit);
+    }
+}

@@ -1,0 +1,478 @@
+//! Text syntax for RA⁺ expressions — the `QUERY`/`DEFINE` side of the line
+//! protocol.
+//!
+//! ```text
+//! expr   := term ('union' term)*
+//! term   := factor ('join' factor)*
+//! factor := 'project' '[' attr (',' attr)* ']' factor
+//!         | 'select' '[' pred ']' factor
+//!         | 'rename' '[' attr '->' attr (',' attr '->' attr)* ']' factor
+//!         | '(' expr ')'
+//!         | relation-name
+//! pred   := conj ('or' conj)*
+//! conj   := atom ('and' atom)*
+//! atom   := 'true' | 'false' | '(' pred ')'
+//!         | attr '==' attr        -- attribute equality
+//!         | attr '!=' value      -- attribute ≠ constant
+//!         | attr '=' value       -- attribute = constant
+//! ```
+//!
+//! Values follow [`crate::wire::parse_value`]: integers bare, strings as
+//! identifiers or `'quoted'`. Keywords are lowercase; relation and
+//! attribute names are case-sensitive identifiers.
+//!
+//! [`normalize`] renders a parsed expression back to a canonical text form
+//! (fixed spacing, explicit parentheses, quoted strings) — the **plan-cache
+//! key**: two query strings that parse to the same expression normalize
+//! identically, so they share one cached plan per epoch.
+
+use crate::wire::{parse_value, render_value};
+use provsem_core::Value;
+use provsem_core::{Predicate, RaExpr, Renaming, Schema};
+use std::fmt;
+
+/// A syntax error, with the byte offset it was detected at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaParseError {
+    /// Byte position in the input where parsing failed.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for RaParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for RaParseError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(String),
+    Quoted(String),
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    Arrow,
+    EqEq,
+    Ne,
+    Eq,
+}
+
+struct Lexer {
+    tokens: Vec<(usize, Tok)>,
+    end: usize,
+}
+
+fn lex(text: &str) -> Result<Lexer, RaParseError> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '[' => {
+                tokens.push((i, Tok::LBracket));
+                i += 1;
+            }
+            ']' => {
+                tokens.push((i, Tok::RBracket));
+                i += 1;
+            }
+            '(' => {
+                tokens.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((i, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                tokens.push((i, Tok::Comma));
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                tokens.push((i, Tok::Arrow));
+                i += 2;
+            }
+            '=' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push((i, Tok::EqEq));
+                i += 2;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push((i, Tok::Ne));
+                i += 2;
+            }
+            '=' => {
+                tokens.push((i, Tok::Eq));
+                i += 1;
+            }
+            '\'' => {
+                // Scan to the closing quote, honoring '' escapes.
+                let start = i;
+                let mut j = i + 1;
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(RaParseError {
+                                position: start,
+                                message: "unterminated string literal".to_string(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => j += 2,
+                        Some(b'\'') => break,
+                        Some(_) => j += 1,
+                    }
+                }
+                tokens.push((start, Tok::Quoted(text[start..=j].to_string())));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                tokens.push((start, Tok::Int(text[start..i].to_string())));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push((start, Tok::Ident(text[start..i].to_string())));
+            }
+            other => {
+                return Err(RaParseError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(Lexer {
+        tokens,
+        end: text.len(),
+    })
+}
+
+struct Parser {
+    lexer: Lexer,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.lexer.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.lexer
+            .tokens
+            .get(self.pos)
+            .map(|(at, _)| *at)
+            .unwrap_or(self.lexer.end)
+    }
+
+    fn error(&self, message: impl Into<String>) -> RaParseError {
+        RaParseError {
+            position: self.here(),
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let tok = self.lexer.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), RaParseError> {
+        if self.peek() == Some(&tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    /// Is the next token the given (lowercase) keyword?
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(id)) if id == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, RaParseError> {
+        match self.peek() {
+            Some(Tok::Ident(id)) => {
+                let id = id.clone();
+                self.pos += 1;
+                Ok(id)
+            }
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, RaParseError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::Ident(id)) => Ok(Value::from(id)),
+            Some(Tok::Int(digits)) => parse_value(&digits).map_err(|message| RaParseError {
+                position: at,
+                message,
+            }),
+            Some(Tok::Quoted(raw)) => parse_value(&raw).map_err(|message| RaParseError {
+                position: at,
+                message,
+            }),
+            _ => Err(RaParseError {
+                position: at,
+                message: "expected a value".to_string(),
+            }),
+        }
+    }
+
+    fn expr(&mut self) -> Result<RaExpr, RaParseError> {
+        let mut left = self.term()?;
+        while self.eat_keyword("union") {
+            let right = self.term()?;
+            left = RaExpr::Union(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> Result<RaExpr, RaParseError> {
+        let mut left = self.factor()?;
+        while self.eat_keyword("join") {
+            let right = self.factor()?;
+            left = RaExpr::Join(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<RaExpr, RaParseError> {
+        if self.eat_keyword("project") {
+            self.expect(Tok::LBracket, "'[' after project")?;
+            let mut attrs = vec![self.ident("attribute name")?];
+            while self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+                attrs.push(self.ident("attribute name")?);
+            }
+            self.expect(Tok::RBracket, "']' closing the projection list")?;
+            let input = self.factor()?;
+            return Ok(RaExpr::Project(Schema::new(attrs), Box::new(input)));
+        }
+        if self.eat_keyword("select") {
+            self.expect(Tok::LBracket, "'[' after select")?;
+            let pred = self.pred()?;
+            self.expect(Tok::RBracket, "']' closing the selection predicate")?;
+            let input = self.factor()?;
+            return Ok(RaExpr::Select(pred, Box::new(input)));
+        }
+        if self.eat_keyword("rename") {
+            self.expect(Tok::LBracket, "'[' after rename")?;
+            let mut pairs = Vec::new();
+            loop {
+                let from = self.ident("attribute name")?;
+                self.expect(Tok::Arrow, "'->' in renaming")?;
+                let to = self.ident("attribute name")?;
+                pairs.push((from, to));
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            self.expect(Tok::RBracket, "']' closing the renaming list")?;
+            let input = self.factor()?;
+            return Ok(RaExpr::Rename(Renaming::new(pairs), Box::new(input)));
+        }
+        if self.peek() == Some(&Tok::LParen) {
+            self.pos += 1;
+            let inner = self.expr()?;
+            self.expect(Tok::RParen, "')'")?;
+            return Ok(inner);
+        }
+        let name = self.ident("a relation name or operator")?;
+        for reserved in ["project", "select", "rename", "join", "union"] {
+            if name == reserved {
+                return Err(self.error(format!("misplaced keyword {reserved}")));
+            }
+        }
+        Ok(RaExpr::Relation(name))
+    }
+
+    fn pred(&mut self) -> Result<Predicate, RaParseError> {
+        let mut left = self.conj()?;
+        while self.eat_keyword("or") {
+            let right = self.conj()?;
+            left = Predicate::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn conj(&mut self) -> Result<Predicate, RaParseError> {
+        let mut left = self.atom()?;
+        while self.eat_keyword("and") {
+            let right = self.atom()?;
+            left = Predicate::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<Predicate, RaParseError> {
+        if self.eat_keyword("true") {
+            return Ok(Predicate::True);
+        }
+        if self.eat_keyword("false") {
+            return Ok(Predicate::False);
+        }
+        if self.peek() == Some(&Tok::LParen) {
+            self.pos += 1;
+            let inner = self.pred()?;
+            self.expect(Tok::RParen, "')'")?;
+            return Ok(inner);
+        }
+        let attr = self.ident("an attribute name")?;
+        match self.bump() {
+            Some(Tok::EqEq) => {
+                let other = self.ident("an attribute name after '=='")?;
+                Ok(Predicate::eq_attrs(attr, other))
+            }
+            Some(Tok::Eq) => Ok(Predicate::eq_value(attr, self.value()?)),
+            Some(Tok::Ne) => Ok(Predicate::ne_value(attr, self.value()?)),
+            _ => Err(self.error("expected '=', '!=' or '==' in predicate")),
+        }
+    }
+}
+
+/// Parses one RA⁺ expression; the whole input must be consumed.
+pub fn parse_ra(text: &str) -> Result<RaExpr, RaParseError> {
+    let mut parser = Parser {
+        lexer: lex(text)?,
+        pos: 0,
+    };
+    let expr = parser.expr()?;
+    if parser.peek().is_some() {
+        return Err(parser.error("trailing input after expression"));
+    }
+    Ok(expr)
+}
+
+/// Canonical text rendering of an expression: fixed spacing, explicit
+/// parentheses around every union/join, strings quoted. `normalize(parse_ra
+/// (s))` is a strict normal form — whitespace and redundant parentheses in
+/// `s` do not affect it — which is what makes it the plan-cache key.
+pub fn normalize(expr: &RaExpr) -> String {
+    match expr {
+        RaExpr::Relation(name) => name.clone(),
+        RaExpr::Empty(schema) => format!("empty[{}]", join_attrs(schema)),
+        RaExpr::Union(a, b) => format!("({} union {})", normalize(a), normalize(b)),
+        RaExpr::Join(a, b) => format!("({} join {})", normalize(a), normalize(b)),
+        RaExpr::Project(schema, input) => {
+            format!("project[{}] {}", join_attrs(schema), normalize(input))
+        }
+        RaExpr::Select(pred, input) => {
+            format!("select[{}] {}", render_pred(pred), normalize(input))
+        }
+        RaExpr::Rename(renaming, input) => {
+            let pairs: Vec<String> = renaming
+                .pairs()
+                .map(|(from, to)| format!("{}->{}", from.name(), to.name()))
+                .collect();
+            format!("rename[{}] {}", pairs.join(", "), normalize(input))
+        }
+    }
+}
+
+fn join_attrs(schema: &Schema) -> String {
+    schema
+        .attributes()
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn render_pred(pred: &Predicate) -> String {
+    match pred {
+        Predicate::True => "true".to_string(),
+        Predicate::False => "false".to_string(),
+        Predicate::AttrEqValue(a, v) => format!("{} = {}", a.name(), render_value(v)),
+        Predicate::AttrNeValue(a, v) => format!("{} != {}", a.name(), render_value(v)),
+        Predicate::AttrEqAttr(a, b) => format!("{} == {}", a.name(), b.name()),
+        Predicate::And(p, q) => format!("({} and {})", render_pred(p), render_pred(q)),
+        Predicate::Or(p, q) => format!("({} or {})", render_pred(p), render_pred(q)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_query_shape() {
+        let q = parse_ra(
+            "project[a, c] (project[a, b] R join project[b, c] R) \
+             union project[a, c] R join project[b, c] R",
+        )
+        .unwrap();
+        assert_eq!(q.base_relations(), vec!["R".to_string()]);
+    }
+
+    #[test]
+    fn normalization_is_whitespace_insensitive() {
+        let a = parse_ra("select[ x = 1 and y != 'v' ]  ( R join S )").unwrap();
+        let b = parse_ra("select[x=1 and y!='v'](R join S)").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(normalize(&a), normalize(&b));
+        // And normalization round-trips through the parser.
+        assert_eq!(parse_ra(&normalize(&a)).unwrap(), a);
+    }
+
+    #[test]
+    fn precedence_join_binds_tighter_than_union() {
+        let q = parse_ra("A union B join C").unwrap();
+        assert_eq!(normalize(&q), "(A union (B join C))");
+        let q = parse_ra("(A union B) join C").unwrap();
+        assert_eq!(normalize(&q), "((A union B) join C)");
+    }
+
+    #[test]
+    fn predicate_forms_round_trip() {
+        let q = parse_ra("select[(a = 1 or b == c) and d != 'x''y'] R").unwrap();
+        let normal = normalize(&q);
+        assert_eq!(parse_ra(&normal).unwrap(), q);
+        assert!(normal.contains("'x''y'"), "{normal}");
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_ra("project[a R").unwrap_err();
+        assert!(err.message.contains("']'"), "{err}");
+        assert!(err.position > 0);
+        assert!(parse_ra("R extra")
+            .unwrap_err()
+            .message
+            .contains("trailing"));
+        assert!(parse_ra("").is_err());
+        assert!(parse_ra("select[a ~ 1] R").is_err());
+    }
+}

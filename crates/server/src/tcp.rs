@@ -1,0 +1,136 @@
+//! TCP front-end: a thread-per-connection line server over [`Service`].
+//!
+//! Each connection gets its own [`crate::service::Session`] — its own pin
+//! state — while all connections share the snapshot store and plan cache.
+//! The protocol is strictly line-oriented: one request line in, one
+//! response line out, so any line client (`nc`, a shell loop, the
+//! [`Client`] helper) works.
+
+use crate::service::Service;
+use crate::wire::WireSemiring;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running server: the bound address plus a shutdown handle. Dropping the
+/// handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with `addr == "…:0"`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept loop. Connections
+    /// already established keep their sessions until the client hangs up.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); poke it with a connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves `service` until the
+/// returned handle is shut down. One thread per connection; sessions never
+/// panic on client input (failures are structured `err` replies).
+pub fn serve<K: WireSemiring + 'static>(
+    service: Service<K>,
+    addr: &str,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let service = service.clone();
+            std::thread::spawn(move || {
+                let _ = serve_connection(&service, stream);
+            });
+        }
+    });
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn serve_connection<K: WireSemiring>(service: &Service<K>, stream: TcpStream) -> io::Result<()> {
+    let mut session = service.session();
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let response = session.handle_line(&line);
+        writer.write_all(response.render().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if matches!(response, crate::protocol::Response::Bye) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// A minimal blocking client for tests and examples: send a line, read the
+/// reply line.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request line and reads the one response line.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+}

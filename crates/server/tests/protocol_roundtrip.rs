@@ -1,0 +1,255 @@
+//! Protocol round-trip tests: parse → plan → execute → render, the full
+//! error surface as structured replies, and plan-cache hit/invalidation
+//! (ISSUE satellite: the query service's conformance suite).
+
+use provsem_core::prelude::{Database, KRelation, Schema, Tuple, Value};
+use provsem_semiring::ring::Integers;
+use provsem_semiring::Natural;
+use provsem_server::prelude::*;
+
+/// R(a, b) = {(1,'x')@2, (2,'y')@1}, S(b, c) = {('x',10)@1}.
+fn z_db() -> Database<Integers> {
+    let r = KRelation::from_tuples(
+        Schema::new(["a", "b"]),
+        [
+            (
+                Tuple::new([("a", Value::Int(1)), ("b", Value::from("x"))]),
+                Integers::new(2),
+            ),
+            (
+                Tuple::new([("a", Value::Int(2)), ("b", Value::from("y"))]),
+                Integers::new(1),
+            ),
+        ],
+    );
+    let s = KRelation::from_tuples(
+        Schema::new(["b", "c"]),
+        [(
+            Tuple::new([("b", Value::from("x")), ("c", Value::Int(10))]),
+            Integers::new(1),
+        )],
+    );
+    Database::new().with("R", r).with("S", s)
+}
+
+#[test]
+fn query_round_trip_over_tcp() {
+    let handle = serve(Service::new(z_db()), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    assert_eq!(client.request("PING").unwrap(), "ok pong");
+    assert_eq!(client.request("EPOCH").unwrap(), "ok epoch 0");
+    assert_eq!(
+        client.request("QUERY R").unwrap(),
+        "ok rows epoch=0 [a, b] (1, 'x')@2; (2, 'y')@1"
+    );
+    assert_eq!(
+        client.request("QUERY project[a] R").unwrap(),
+        "ok rows epoch=0 [a] (1)@2; (2)@1"
+    );
+    assert_eq!(
+        client.request("QUERY R join S").unwrap(),
+        "ok rows epoch=0 [a, b, c] (1, 'x', 10)@2"
+    );
+    // Reads and queries agree byte-for-byte on base relations.
+    assert_eq!(
+        client.request("READ R").unwrap(),
+        client.request("QUERY R").unwrap()
+    );
+    // Commit over the wire, then observe the new epoch and data.
+    assert_eq!(
+        client.request("COMMIT R(3, 'z')=5").unwrap(),
+        "ok committed epoch=1 changes=1"
+    );
+    assert_eq!(
+        client.request("QUERY select[a != 2] R").unwrap(),
+        "ok rows epoch=1 [a, b] (1, 'x')@2; (3, 'z')@5"
+    );
+    // Ring semantics: a negative count retracts.
+    assert_eq!(
+        client.request("COMMIT R(3, 'z')=-5").unwrap(),
+        "ok committed epoch=2 changes=1"
+    );
+    assert_eq!(
+        client.request("QUERY R").unwrap(),
+        "ok rows epoch=2 [a, b] (1, 'x')@2; (2, 'y')@1"
+    );
+    assert_eq!(client.request("BYE").unwrap(), "ok bye");
+    handle.shutdown();
+}
+
+#[test]
+fn every_failure_is_a_structured_reply() {
+    let service = Service::new(z_db());
+    let mut session = service.session();
+    let cases: &[(&str, &str)] = &[
+        ("", "err protocol:"),
+        ("FROB R", "err protocol:"),
+        ("PING now", "err protocol:"),
+        ("QUERY", "err protocol:"),
+        ("QUERY select[#] R", "err parse:"),
+        ("QUERY NoSuch", "err unknown_relation:"),
+        ("QUERY R union S", "err schema:"),
+        ("QUERY project[zzz] R", "err projection:"),
+        ("QUERY rename[a -> b] R", "err renaming:"),
+        ("COMMIT", "err protocol:"),
+        ("COMMIT R 1", "err parse:"),
+        ("COMMIT R(1)=2", "err arity:"),
+        ("COMMIT T(1, 2)=1", "err unknown_relation:"),
+        ("DATALOG p(x) :- R(x, y) ? p", "err parse:"),
+        ("DATALOG p(x, z) :- R(x, y). ? p", "err unsafe:"),
+        ("DATALOG p(x) :- R(x, y). ? q", "err unknown_relation:"),
+        ("DEFINE v project[a] R", "err protocol:"),
+        ("DEFINE v = NoSuch", "err unknown_relation:"),
+        ("VIEW nope", "err unknown_view:"),
+        ("DROP nope", "err unknown_view:"),
+        ("READ nope", "err unknown_relation:"),
+    ];
+    for (request, prefix) in cases {
+        let rendered = session.handle_line(request).render();
+        assert!(
+            rendered.starts_with(prefix),
+            "{request:?} => {rendered:?}, expected prefix {prefix:?}"
+        );
+        // Errors never poison the session.
+        assert_eq!(session.handle_line("PING").render(), "ok pong");
+    }
+    // Nothing above committed anything.
+    assert_eq!(service.shared().epoch(), 0);
+}
+
+#[test]
+fn natural_sessions_reject_deletions_with_a_structured_error() {
+    let db: Database<Natural> = z_db().map_annotations(|k| Natural::from(k.0.unsigned_abs()));
+    let service = Service::new(db);
+    let mut session = service.session();
+    let rendered = session.handle_line("COMMIT R(1, 'x')=-1").render();
+    assert!(
+        rendered.starts_with("err annotation:") && rendered.contains("additive inverses"),
+        "{rendered:?}"
+    );
+    // Positive counts are fine in ℕ.
+    assert_eq!(
+        session.handle_line("COMMIT R(1, 'x')=3").render(),
+        "ok committed epoch=1 changes=1"
+    );
+}
+
+#[test]
+fn plan_cache_hits_until_a_commit_invalidates() {
+    let service = Service::new(z_db());
+    let mut session = service.session();
+    let cached_flag = |response: &Response| match response {
+        Response::Rows { cached, .. } => cached.expect("queries always report cache status"),
+        other => panic!("expected rows, got {other:?}"),
+    };
+
+    let first = session.handle_line("QUERY project[a] R");
+    assert!(!cached_flag(&first), "cold cache must miss");
+    // Different spelling, same normalized query: hits.
+    let second = session.handle_line("QUERY project[ a ] ( R )");
+    assert!(cached_flag(&second), "normalized respelling must hit");
+    assert_eq!(first.render(), second.render());
+    assert_eq!(
+        session.handle_line("STATS").render(),
+        "ok stats epoch=0 hits=1 misses=1 entries=1 views=0"
+    );
+
+    // A commit bumps the epoch; the same query must replan (the catalog —
+    // cardinalities included — changed), and stale entries are evicted.
+    session.handle_line("COMMIT R(9, 'q')=1");
+    let after = session.handle_line("QUERY project[a] R");
+    assert!(
+        !cached_flag(&after),
+        "commit must invalidate the plan cache"
+    );
+    assert_eq!(
+        session.handle_line("STATS").render(),
+        "ok stats epoch=1 hits=1 misses=2 entries=1 views=0"
+    );
+}
+
+#[test]
+fn pinned_sessions_get_repeatable_reads() {
+    let service = Service::new(z_db());
+    let mut reader = service.session();
+    let mut writer = service.session();
+
+    assert_eq!(reader.handle_line("PIN").render(), "ok pinned 0");
+    let before = reader.handle_line("READ R").render();
+    writer.handle_line("COMMIT R(7, 'w')=1");
+    // The pinned session still sees epoch 0...
+    assert_eq!(reader.handle_line("EPOCH").render(), "ok epoch 0");
+    assert_eq!(reader.handle_line("READ R").render(), before);
+    // ...but its writes land at the head.
+    assert_eq!(
+        reader.handle_line("COMMIT R(8, 'v')=1").render(),
+        "ok committed epoch=2 changes=1"
+    );
+    assert_eq!(reader.handle_line("READ R").render(), before);
+    // Unpinning catches up.
+    assert_eq!(reader.handle_line("UNPIN").render(), "ok unpinned 2");
+    assert!(reader.handle_line("READ R").render().contains("(8, 'v')@1"));
+}
+
+#[test]
+fn standing_views_over_the_wire() {
+    let handle = serve(Service::new(z_db()), "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    assert_eq!(
+        client
+            .request("DEFINE v = project[a] select[b != 'y'] R")
+            .unwrap(),
+        "ok defined v epoch=1"
+    );
+    assert_eq!(
+        client.request("VIEW v").unwrap(),
+        "ok rows epoch=1 [a] (1)@2"
+    );
+    // The view advances with commits...
+    client.request("COMMIT R(4, 'u')=3").unwrap();
+    assert_eq!(
+        client.request("VIEW v").unwrap(),
+        "ok rows epoch=2 [a] (1)@2; (4)@3"
+    );
+    // ...and always equals recomputing its definition.
+    let recomputed = client
+        .request("QUERY project[a] select[b != 'y'] R")
+        .unwrap();
+    assert_eq!(client.request("VIEW v").unwrap(), recomputed);
+    assert_eq!(client.request("DROP v").unwrap(), "ok dropped v epoch=3");
+    assert_eq!(
+        client.request("VIEW v").unwrap(),
+        "err unknown_view: no standing view v at epoch 3"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn datalog_round_trip_computes_the_fixpoint() {
+    // E(s, t): a path graph a -> b -> c, with multiplicities.
+    let e = KRelation::from_tuples(
+        Schema::new(["s", "t"]),
+        [
+            (Tuple::new([("s", "a"), ("t", "b")]), Integers::new(2)),
+            (Tuple::new([("s", "b"), ("t", "c")]), Integers::new(3)),
+        ],
+    );
+    let service = Service::new(Database::new().with("E", e));
+    let mut session = service.session();
+    let rendered = session
+        .handle_line("DATALOG path(x, y) :- E(x, y). path(x, z) :- path(x, y), E(y, z). ? path")
+        .render();
+    // Bag semantics: a->c has 2 * 3 = 6 derivations.
+    assert_eq!(
+        rendered,
+        "ok rows epoch=0 [c0, c1] ('a', 'b')@2; ('a', 'c')@6; ('b', 'c')@3"
+    );
+    // The goal sees the session snapshot: commits change the answer.
+    session.handle_line("COMMIT E('c', 'd')=1");
+    let rendered = session
+        .handle_line("DATALOG path(x, y) :- E(x, y). path(x, z) :- path(x, y), E(y, z). ? path")
+        .render();
+    assert!(rendered.contains("('a', 'd')@6"), "{rendered:?}");
+}

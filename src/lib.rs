@@ -12,6 +12,7 @@
 //! | [`incomplete`] | maybe-tables, c-tables, possible worlds, Imielinski–Lipski | 2, 8 |
 //! | [`prob`] | event tables, tuple-independent DBs, probabilistic datalog | 2, 8 |
 //! | [`containment`] | conjunctive-query containment, Theorem 9.2 | 9 |
+//! | [`server`] | concurrent query service: snapshot sessions, line protocol, epoch-keyed plan cache | — |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use provsem_datalog as datalog;
 pub use provsem_incomplete as incomplete;
 pub use provsem_prob as prob;
 pub use provsem_semiring as semiring;
+pub use provsem_server as server;
 
 /// One-stop prelude combining the preludes of every crate in the workspace.
 pub mod prelude {
@@ -50,4 +52,5 @@ pub mod prelude {
     pub use provsem_incomplete::prelude::*;
     pub use provsem_prob::prelude::*;
     pub use provsem_semiring::prelude::*;
+    pub use provsem_server::prelude::*;
 }
