@@ -1,0 +1,152 @@
+//! Row-vs-batch engine snapshot: the acceptance harness for columnar
+//! execution.
+//!
+//! Times the Figure 5 direct bag-evaluation workload (the Section 2 query
+//! over `random_ternary_bag` databases) and the Section 9 containment
+//! decision procedure on both engines — [`ExecMode::Row`] and
+//! [`ExecMode::Batch`] — under serial contexts, checks that the two
+//! engines produce identical results, and writes the medians to
+//! `BENCH_fig5.json` (or the path given as the first argument).
+//!
+//! Exits non-zero when the batch engine is not at least 3x faster than the
+//! row engine on `direct_bag/300` — the acceptance bar of the columnar
+//! execution change — or when the engines disagree.
+
+use provsem_bench::random_ternary_bag;
+use provsem_containment::ConjunctiveQuery;
+use provsem_core::paper::section2_query;
+use provsem_core::plan::{ExecContext, ExecMode, Plan, RelationSource};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Medians are stable at modest iteration counts because each body is
+/// itself thousands of tuple operations.
+const WARMUP: usize = 3;
+const ITERS: usize = 15;
+
+struct Sample {
+    median: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Times `body` (seconds per call): warmup, then the median/min/max of
+/// `ITERS` calls.
+fn time_it(mut body: impl FnMut()) -> Sample {
+    for _ in 0..WARMUP {
+        body();
+    }
+    let mut runs: Vec<f64> = (0..ITERS)
+        .map(|_| {
+            let t = Instant::now();
+            body();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Sample {
+        median: runs[runs.len() / 2],
+        min: runs[0],
+        max: runs[runs.len() - 1],
+    }
+}
+
+/// The k-step path query Q(x0, xk) :- R(x0,x1), ..., R(x{k-1},xk).
+fn path_query(k: usize) -> ConjunctiveQuery {
+    let body: Vec<String> = (0..k).map(|i| format!("R(x{i}, x{})", i + 1)).collect();
+    ConjunctiveQuery::parse(&format!("Q(x0, x{k}) :- {}.", body.join(", "))).unwrap()
+}
+
+/// Both containment directions of the k vs k+1 path queries, with the
+/// planned engine pinned to `ctx`.
+fn containment_pair(k: usize, ctx: &ExecContext) -> (bool, bool) {
+    let long = path_query(k + 1);
+    let short = path_query(k);
+    let decide = |q1: &ConjunctiveQuery, q2: &ConjunctiveQuery| {
+        let (canonical, frozen_head) = q1.canonical_database::<provsem_semiring::Bool>();
+        q2.evaluate_in(&canonical, ctx).contains(&frozen_head)
+    };
+    (decide(&long, &short), decide(&short, &long))
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fig5.json".to_string());
+    let row = ExecContext::serial().with_mode(ExecMode::Row);
+    let batch = ExecContext::serial().with_mode(ExecMode::Batch);
+
+    let mut results = String::new();
+    let mut speedups = String::new();
+    let mut ratio_300 = 0.0f64;
+
+    // --- Figure 5 direct bag evaluation: the Section 2 query. ---
+    for size in [100usize, 300] {
+        let db = random_ternary_bag(42, size, 10, 5);
+        let plan = Plan::new(&section2_query(), &db.catalog()).unwrap();
+        assert_eq!(
+            plan.execute_with(&db, &row),
+            plan.execute_with(&db, &batch),
+            "engines disagree on direct_bag/{size}"
+        );
+        let r = time_it(|| {
+            plan.execute_with(&db, &row);
+        });
+        let b = time_it(|| {
+            plan.execute_with(&db, &batch);
+        });
+        let ratio = r.median / b.median;
+        if size == 300 {
+            ratio_300 = ratio;
+        }
+        println!(
+            "direct_bag/{size}: row {:.3}ms batch {:.3}ms ({ratio:.2}x)",
+            r.median * 1e3,
+            b.median * 1e3
+        );
+        let _ = write!(
+            results,
+            "    \"direct_bag_row/{size}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }},\n    \"direct_bag_batch/{size}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }},\n",
+            r.median, r.min, r.max, b.median, b.min, b.max
+        );
+        let _ = writeln!(speedups, "    \"direct_bag/{size}\": {ratio:.2},");
+    }
+
+    // --- Section 9: the containment decision procedure at k = 6. ---
+    let k = 6usize;
+    assert_eq!(
+        containment_pair(k, &row),
+        containment_pair(k, &batch),
+        "engines disagree on sec9 containment"
+    );
+    let r = time_it(|| {
+        containment_pair(k, &row);
+    });
+    let b = time_it(|| {
+        containment_pair(k, &batch);
+    });
+    let sec9_ratio = r.median / b.median;
+    println!(
+        "sec9_containment/{k}: row {:.3}ms batch {:.3}ms ({sec9_ratio:.2}x)",
+        r.median * 1e3,
+        b.median * 1e3
+    );
+    let _ = write!(
+        results,
+        "    \"sec9_containment_row/{k}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }},\n    \"sec9_containment_batch/{k}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }}\n",
+        r.median, r.min, r.max, b.median, b.min, b.max
+    );
+    let _ = writeln!(speedups, "    \"sec9_containment/{k}\": {sec9_ratio:.2}");
+
+    let pass = ratio_300 >= 3.0;
+    let json = format!(
+        "{{\n  \"bench\": \"fig5_columnar_snapshot\",\n  \"description\": \"Row engine vs columnar batch engine on the Figure 5 direct bag-evaluation workload (Section 2 query over random_ternary_bag(seed 42, domain 10, weights <5)) and the Section 9 path-query containment decision (both directions, k=6). Serial ExecContext on both sides so the ratio measures the vectorized kernels, not thread fan-out. Medians of {ITERS} release-mode runs on the CI container; results checked identical across engines before timing.\",\n  \"unit\": \"seconds\",\n  \"results\": {{\n{results}  }},\n  \"speedup_batch_over_row\": {{\n{speedups}  }},\n  \"acceptance\": \"batch >= 3x faster than row on direct_bag/300: {} ({ratio_300:.2}x)\"\n}}\n",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark record");
+    println!("wrote {out_path}");
+    assert!(
+        pass,
+        "acceptance failed: batch engine only {ratio_300:.2}x faster than row on direct_bag/300"
+    );
+}

@@ -16,6 +16,14 @@
 /// serial path while every benchmark workload parallelizes.
 pub const SPAWN_THRESHOLD: usize = 128;
 
+/// The partition a hashed key belongs to under a `parts`-way exchange.
+/// Shared by the row engine's chunk exchange and the batch engine's
+/// batch-splitting exchange so both partition identically: equal keys land
+/// in equal partitions whichever representation is flowing.
+pub(crate) fn part_of(hash: u64, parts: usize) -> usize {
+    (hash % parts as u64) as usize
+}
+
 /// Splits `items` into at most `parts` contiguous chunks of near-equal
 /// length, preserving order. Returns fewer chunks when there are fewer
 /// items than parts; never returns an empty chunk.

@@ -1,0 +1,605 @@
+//! The columnar batch executor: the [`PhysOp`] tree evaluated over
+//! [`Batch`]es of typed column vectors instead of row-at-a-time streams.
+//!
+//! This is the `PROVSEM_EXEC=batch` (default) execution mode dispatched by
+//! [`super::physical::execute`]. The operator algebra is identical to the
+//! row engine — same physical tree, same materialization points — but the
+//! unit of work is a whole batch:
+//!
+//! * **σ** compiles to a per-column selection loop ([`eval_predicate_mask`])
+//!   producing a boolean mask that refines the batch's selection vector; on
+//!   a dictionary column an `AttrEqValue` resolves the constant to a code
+//!   *once per batch* and the loop compares `u32`s.
+//! * **π/ρ** permute the column *list* (`Arc` moves, no data copied).
+//! * **Pre-join aggregation** and the **root merge** group by content-hashed
+//!   key columns ([`group_batches`]): hashes are computed column-wise, and
+//!   the root builds each output [`Tuple`](crate::tuple::Tuple) once per
+//!   *distinct* row, however many duplicates the pipeline streamed.
+//! * **Hash join** builds a `hash → build-row refs` index over the build
+//!   batches and probes it with column-wise key hashes, assembling each
+//!   output batch column-by-column (typed gathers).
+//!
+//! In parallel mode the morsel exchange ships whole batches between
+//! workers: batches are split by key-hash partition ([`Batch::split_by`],
+//! same `hash % threads` assignment as the row engine via
+//! [`crate::par::part_of`]), column payloads cross threads as plain `Send`
+//! data, and annotation vectors travel sealed through the semiring's
+//! [`Portable`] encoding — exactly the transport discipline of the row
+//! engine's chunk exchange.
+//!
+//! Determinism: partitioning is by content hash (representation- and
+//! dictionary-independent), groups and join matches are emitted in
+//! first-occurrence stream order, and partition outputs merge in index
+//! order — so, with semiring `+` commutative (a property-tested law), the
+//! result `KRelation` is identical to the row engine's at every thread
+//! count. `core/tests/columnar_differential.rs` pins row-vs-batch equality
+//! across five semirings and thread counts.
+
+use super::column::{
+    column_values_equal, columns_rows_equal, group_batches, relation_to_batches, Batch, Column,
+};
+use super::physical::{scan_relation, ColSource, CompiledPredicate, PhysOp};
+use crate::plan::{ExecContext, RelationSource};
+use crate::relation::KRelation;
+use crate::schema::Schema;
+use crate::value::Value;
+use provsem_semiring::fxhash::FxHashMap;
+use provsem_semiring::{Portable, Semiring};
+use std::sync::Arc;
+
+// --- vectorized predicate evaluation ---------------------------------------
+
+/// Evaluates a compiled predicate over whole columns, producing one boolean
+/// per *physical* row. Constants against dictionary columns resolve to a
+/// code once per batch (absent constants short-circuit to a constant mask);
+/// cross-dictionary column equality builds a code-translation table once
+/// per batch instead of comparing strings per row.
+pub(crate) fn eval_predicate_mask(
+    pred: &CompiledPredicate,
+    cols: &[Column],
+    len: usize,
+) -> Vec<bool> {
+    match pred {
+        CompiledPredicate::Const(b) => vec![*b; len],
+        CompiledPredicate::ColEqValue(i, v) => col_eq_value_mask(&cols[*i], v, len),
+        CompiledPredicate::ColNeValue(i, v) => {
+            let mut mask = col_eq_value_mask(&cols[*i], v, len);
+            for m in &mut mask {
+                *m = !*m;
+            }
+            mask
+        }
+        CompiledPredicate::ColEqCol(i, j) => col_eq_col_mask(&cols[*i], &cols[*j], len),
+        CompiledPredicate::And(p, q) => {
+            let mut mask = eval_predicate_mask(p, cols, len);
+            let other = eval_predicate_mask(q, cols, len);
+            for (m, o) in mask.iter_mut().zip(other) {
+                *m = *m && o;
+            }
+            mask
+        }
+        CompiledPredicate::Or(p, q) => {
+            let mut mask = eval_predicate_mask(p, cols, len);
+            let other = eval_predicate_mask(q, cols, len);
+            for (m, o) in mask.iter_mut().zip(other) {
+                *m = *m || o;
+            }
+            mask
+        }
+    }
+}
+
+/// `column == constant`, one comparison kernel per column representation.
+fn col_eq_value_mask(col: &Column, v: &Value, len: usize) -> Vec<bool> {
+    match (col, v) {
+        (Column::I64(data), Value::Int(x)) => data.iter().map(|d| d == x).collect(),
+        (Column::I64(_), Value::Str(_)) | (Column::Str { .. }, Value::Int(_)) => {
+            vec![false; len]
+        }
+        (Column::Str { dict, codes }, Value::Str(s)) => match dict.code_of(s) {
+            // The constant resolves to a code once; the loop compares u32s.
+            Some(code) => codes.iter().map(|&c| c == code).collect(),
+            // The constant is not in the dictionary: no row can match.
+            None => vec![false; len],
+        },
+        (Column::Val(data), v) => data.iter().map(|d| d == v).collect(),
+    }
+}
+
+/// `column == column`, with typed fast paths: same-dictionary code loops,
+/// cross-dictionary code translation built once per batch, and a per-row
+/// value fallback only when a `Val` column is involved.
+fn col_eq_col_mask(a: &Column, b: &Column, len: usize) -> Vec<bool> {
+    match (a, b) {
+        (Column::I64(va), Column::I64(vb)) => {
+            va.iter().zip(vb.iter()).map(|(x, y)| x == y).collect()
+        }
+        (Column::I64(_), Column::Str { .. }) | (Column::Str { .. }, Column::I64(_)) => {
+            vec![false; len]
+        }
+        (
+            Column::Str {
+                dict: da,
+                codes: ca,
+            },
+            Column::Str {
+                dict: db,
+                codes: cb,
+            },
+        ) => {
+            if Arc::ptr_eq(da, db) {
+                ca.iter().zip(cb.iter()).map(|(x, y)| x == y).collect()
+            } else {
+                // Translate a's codes into b's dictionary once; rows whose
+                // string is absent from b's dictionary can never match.
+                let translate: Vec<Option<u32>> = (0..da.len() as u32)
+                    .map(|c| db.code_of(da.resolve(c)))
+                    .collect();
+                ca.iter()
+                    .zip(cb.iter())
+                    .map(|(&x, &y)| translate[x as usize] == Some(y))
+                    .collect()
+            }
+        }
+        (a, b) => (0..len as u32)
+            .map(|r| column_values_equal(a, r, b, r))
+            .collect(),
+    }
+}
+
+// --- batch transport (exchange between morsel workers) ---------------------
+
+/// A batch sealed for the thread boundary: column payloads are plain `Send`
+/// data, the annotation vector travels through the semiring's [`Portable`]
+/// encoding.
+type SealedBatch = (usize, Vec<Column>, Portable);
+
+fn seal_batch<K: Semiring>(batch: Batch<K>) -> SealedBatch {
+    let (len, columns, anns) = batch.materialize().into_parts();
+    (len, columns, K::to_portable(anns))
+}
+
+fn open_batch<K: Semiring>((len, columns, token): SealedBatch) -> Batch<K> {
+    Batch::new(len, columns, K::from_portable(token))
+}
+
+/// Maps `work` over per-partition batch lists — one scoped worker per
+/// partition when the input is large enough, inline otherwise — returning
+/// outputs in partition order.
+fn par_map_batches<K, F>(parts: Vec<Vec<Batch<K>>>, work: F) -> Vec<Vec<Batch<K>>>
+where
+    K: Semiring,
+    F: Fn(Vec<Batch<K>>) -> Vec<Batch<K>> + Sync,
+{
+    let total: usize = parts
+        .iter()
+        .flat_map(|p| p.iter())
+        .map(Batch::live_rows)
+        .sum();
+    if parts.len() <= 1 || total < crate::par::SPAWN_THRESHOLD {
+        return parts.into_iter().map(work).collect();
+    }
+    let sealed: Vec<Vec<SealedBatch>> = parts
+        .into_iter()
+        .map(|batches| batches.into_iter().map(seal_batch).collect())
+        .collect();
+    crate::par::spawn_map(sealed, |batches: Vec<SealedBatch>| {
+        let opened = batches.into_iter().map(open_batch).collect();
+        work(opened)
+            .into_iter()
+            .map(seal_batch)
+            .collect::<Vec<SealedBatch>>()
+    })
+    .into_iter()
+    .map(|batches| batches.into_iter().map(open_batch).collect())
+    .collect()
+}
+
+/// One (build, probe) batch-list pair per hash-join key partition.
+type PartitionPairs<K> = Vec<(Vec<Batch<K>>, Vec<Batch<K>>)>;
+
+/// [`par_map_batches`] for the partitioned hash join: one (build, probe)
+/// batch-list pair per key partition.
+fn par_map_batch_pairs<K, F>(pairs: PartitionPairs<K>, work: F) -> Vec<Vec<Batch<K>>>
+where
+    K: Semiring,
+    F: Fn(Vec<Batch<K>>, Vec<Batch<K>>) -> Vec<Batch<K>> + Sync,
+{
+    let total: usize = pairs
+        .iter()
+        .flat_map(|(b, p)| b.iter().chain(p))
+        .map(Batch::live_rows)
+        .sum();
+    if pairs.len() <= 1 || total < crate::par::SPAWN_THRESHOLD {
+        return pairs
+            .into_iter()
+            .map(|(build, probe)| work(build, probe))
+            .collect();
+    }
+    let sealed: Vec<(Vec<SealedBatch>, Vec<SealedBatch>)> = pairs
+        .into_iter()
+        .map(|(build, probe)| {
+            (
+                build.into_iter().map(seal_batch).collect(),
+                probe.into_iter().map(seal_batch).collect(),
+            )
+        })
+        .collect();
+    crate::par::spawn_map(sealed, |(build, probe)| {
+        let build = build.into_iter().map(open_batch).collect();
+        let probe = probe.into_iter().map(open_batch).collect();
+        work(build, probe)
+            .into_iter()
+            .map(seal_batch)
+            .collect::<Vec<SealedBatch>>()
+    })
+    .into_iter()
+    .map(|batches| batches.into_iter().map(open_batch).collect())
+    .collect()
+}
+
+/// Hash-partitions materialized batches into exactly `parts` per-partition
+/// batch lists by the content hash of the key columns — the batch engine's
+/// exchange. Equal keys land in the same partition (and in stream order
+/// within it); an empty key column list sends everything to partition 0.
+fn exchange_batches<K: Semiring>(
+    batches: Vec<Batch<K>>,
+    keys: &[usize],
+    parts: usize,
+) -> Vec<Vec<Batch<K>>> {
+    let mut out: Vec<Vec<Batch<K>>> = (0..parts).map(|_| Vec::new()).collect();
+    for batch in batches {
+        let batch = batch.materialize();
+        let hashes = batch.key_hashes(keys);
+        let assign: Vec<u32> = hashes
+            .iter()
+            .map(|&h| crate::par::part_of(h, parts) as u32)
+            .collect();
+        for (part, sub) in batch.split_by(&assign, parts).into_iter().enumerate() {
+            if sub.phys_rows() > 0 {
+                out[part].push(sub);
+            }
+        }
+    }
+    out
+}
+
+// --- operators --------------------------------------------------------------
+
+/// One step of a peeled unary σ/π/ρ chain, in columnar form.
+enum BatchStep<'a> {
+    /// Refine the selection vector by a predicate mask.
+    Filter(&'a CompiledPredicate),
+    /// Permute/subset the column list.
+    Gather(&'a [usize]),
+}
+
+/// Applies a unary chain (innermost step first) to a batch: masks refine
+/// the selection vector, gathers move `Arc`s — nothing copies row data.
+fn apply_batch_steps<K: Semiring>(mut batch: Batch<K>, steps: &[BatchStep<'_>]) -> Batch<K> {
+    for step in steps {
+        match step {
+            BatchStep::Filter(predicate) => {
+                let mask = eval_predicate_mask(predicate, batch.columns(), batch.phys_rows());
+                batch.refine(&mask);
+            }
+            BatchStep::Gather(cols) => batch.permute_columns(cols),
+        }
+    }
+    batch
+}
+
+/// Aggregates batches by their whole row (the pre-join duplicate
+/// aggregation): serial grouping below the spawn threshold, otherwise a
+/// whole-row-hash exchange and one grouping worker per partition.
+fn aggregate_batches<K: Semiring>(inputs: Vec<Batch<K>>, threads: usize) -> Vec<Batch<K>> {
+    let Some(first) = inputs.first() else {
+        return Vec::new();
+    };
+    let arity = first.columns().len();
+    let keys: Vec<usize> = (0..arity).collect();
+    let total: usize = inputs.iter().map(Batch::live_rows).sum();
+    if threads <= 1 || total < crate::par::SPAWN_THRESHOLD {
+        let out = group_batches(inputs, &keys).into_batch(arity);
+        return if out.phys_rows() == 0 {
+            Vec::new()
+        } else {
+            vec![out]
+        };
+    }
+    let parts = exchange_batches(inputs, &keys, threads);
+    par_map_batches(parts, |batches| {
+        if batches.is_empty() {
+            return Vec::new();
+        }
+        let out = group_batches(batches, &keys).into_batch(arity);
+        if out.phys_rows() == 0 {
+            Vec::new()
+        } else {
+            vec![out]
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Joins build and probe batch lists within one key partition (or the whole
+/// input in serial mode): a `hash → build-row refs` index over the
+/// materialized build batches, probed batch-by-batch with column-wise key
+/// hashes; each probe batch assembles one output batch column-by-column.
+fn join_batches<K: Semiring>(
+    build: Vec<Batch<K>>,
+    probe: Vec<Batch<K>>,
+    build_keys: &[usize],
+    probe_keys: &[usize],
+    output: &[ColSource],
+    swapped: bool,
+) -> Vec<Batch<K>> {
+    // Build side: materialized columns + annotations per batch, indexed by
+    // key hash. Candidate lists keep build stream order; matches verify the
+    // key columns exactly, so hash collisions are harmless.
+    let mut build_cols: Vec<Vec<Column>> = Vec::with_capacity(build.len());
+    let mut build_anns: Vec<Vec<K>> = Vec::with_capacity(build.len());
+    let mut index: FxHashMap<u64, Vec<(u32, u32)>> = FxHashMap::default();
+    for batch in build {
+        let batch = batch.materialize();
+        let hashes = batch.key_hashes(build_keys);
+        let (len, columns, anns) = batch.into_parts();
+        let bidx = build_cols.len() as u32;
+        index.reserve(len);
+        for (row, &h) in hashes.iter().enumerate().take(len) {
+            index.entry(h).or_default().push((bidx, row as u32));
+        }
+        build_cols.push(columns);
+        build_anns.push(anns);
+    }
+    let build_col_refs: Vec<&[Column]> = build_cols.iter().map(Vec::as_slice).collect();
+
+    let mut out: Vec<Batch<K>> = Vec::new();
+    for pbatch in probe {
+        let pbatch = pbatch.materialize();
+        let hashes = pbatch.key_hashes(probe_keys);
+        let (plen, pcols, panns) = pbatch.into_parts();
+        // Matches in probe-stream-major, build-stream-minor order — the
+        // same nesting as the row engine's probe loop.
+        let mut match_build: Vec<(u32, u32)> = Vec::new();
+        let mut match_probe: Vec<u32> = Vec::new();
+        let mut anns: Vec<K> = Vec::new();
+        for (prow, pk) in panns.iter().enumerate().take(plen) {
+            let Some(candidates) = index.get(&hashes[prow]) else {
+                continue;
+            };
+            for &(b, r) in candidates {
+                if columns_rows_equal(
+                    &pcols,
+                    prow as u32,
+                    probe_keys,
+                    &build_cols[b as usize],
+                    r,
+                    build_keys,
+                ) {
+                    let bk = &build_anns[b as usize][r as usize];
+                    anns.push(if swapped { pk.times(bk) } else { bk.times(pk) });
+                    match_build.push((b, r));
+                    match_probe.push(prow as u32);
+                }
+            }
+        }
+        if anns.is_empty() {
+            continue;
+        }
+        let columns: Vec<Column> = output
+            .iter()
+            .map(|src| match src {
+                ColSource::Build(i) => {
+                    super::column::gather_multi(&build_col_refs, *i, &match_build)
+                }
+                ColSource::Probe(i) => pcols[*i].gather(&match_probe),
+            })
+            .collect();
+        out.push(Batch::new(anns.len(), columns, anns));
+    }
+    out
+}
+
+/// Per-execution cache of scan conversions, keyed by the scanned
+/// relation's address: a plan that scans the same relation several times
+/// (self-joins — the Section 2 query scans `R` four times) columnarizes it
+/// once. Reuses share the typed columns by `Arc` and the *same* string
+/// dictionaries, so downstream equality kernels between the scans compare
+/// dictionary codes instead of strings. Only the annotation vectors are
+/// cloned per use — exactly the clones the row engine pays per scan.
+type ScanCache<K> = FxHashMap<usize, Vec<Batch<K>>>;
+
+/// Recursively executes an operator into batches, peeling unary σ/π/ρ
+/// chains off the top and applying them as mask/permutation kernels —
+/// mirroring the row engine's fused [`RowStep`](super::physical) chains.
+/// `threads > 1` only when the semiring is portable.
+fn exec_batches<K, S>(
+    op: &PhysOp,
+    source: &S,
+    threads: usize,
+    cache: &mut ScanCache<K>,
+) -> Vec<Batch<K>>
+where
+    K: Semiring,
+    S: RelationSource<K>,
+{
+    let mut steps: Vec<BatchStep<'_>> = Vec::new();
+    let mut op = op;
+    loop {
+        match op {
+            PhysOp::Select { input, predicate } => {
+                steps.push(BatchStep::Filter(predicate));
+                op = input;
+            }
+            PhysOp::Project { input, keep } => {
+                steps.push(BatchStep::Gather(keep));
+                op = input;
+            }
+            PhysOp::Permute { input, perm } => {
+                steps.push(BatchStep::Gather(perm));
+                op = input;
+            }
+            _ => break,
+        }
+    }
+    steps.reverse();
+
+    let inputs: Vec<Batch<K>> = match op {
+        PhysOp::Scan { name, schema } => {
+            let relation = scan_relation(name, schema, source);
+            cache
+                .entry(relation as *const KRelation<K> as usize)
+                .or_insert_with(|| relation_to_batches(relation, threads))
+                .clone()
+        }
+        PhysOp::Empty => Vec::new(),
+        PhysOp::Union { left, right } => {
+            let mut batches = exec_batches(left, source, threads, cache);
+            batches.extend(exec_batches(right, source, threads, cache));
+            batches
+        }
+        PhysOp::Aggregate { input } => {
+            aggregate_batches(exec_batches(input, source, threads, cache), threads)
+        }
+        PhysOp::HashJoin {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            output,
+            swapped,
+        } => {
+            let build_in = exec_batches(build, source, threads, cache);
+            let probe_in = exec_batches(probe, source, threads, cache);
+            let total: usize = build_in.iter().chain(&probe_in).map(Batch::live_rows).sum();
+            if threads <= 1 || total < crate::par::SPAWN_THRESHOLD {
+                join_batches(build_in, probe_in, build_keys, probe_keys, output, *swapped)
+            } else {
+                let pairs: Vec<_> = exchange_batches(build_in, build_keys, threads)
+                    .into_iter()
+                    .zip(exchange_batches(probe_in, probe_keys, threads))
+                    .collect();
+                par_map_batch_pairs(pairs, |bpart, ppart| {
+                    join_batches(bpart, ppart, build_keys, probe_keys, output, *swapped)
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            }
+        }
+        PhysOp::Select { .. } | PhysOp::Project { .. } | PhysOp::Permute { .. } => {
+            unreachable!("unary operators were peeled above")
+        }
+    };
+    if steps.is_empty() {
+        inputs
+    } else {
+        inputs
+            .into_iter()
+            .map(|batch| apply_batch_steps(batch, &steps))
+            .collect()
+    }
+}
+
+/// Runs a physical plan to completion through the columnar kernels,
+/// materializing the result relation. The root merge groups the output
+/// batches by *all* columns — the final `Σ` of duplicate rows — and builds
+/// each distinct tuple exactly once.
+pub(crate) fn execute<K, S>(
+    op: &PhysOp,
+    schema: &Schema,
+    source: &S,
+    ctx: &ExecContext,
+) -> KRelation<K>
+where
+    K: Semiring,
+    S: RelationSource<K>,
+{
+    let threads = if ctx.threads > 1 && K::is_portable() {
+        ctx.threads
+    } else {
+        1
+    };
+    let batches = exec_batches(op, source, threads, &mut ScanCache::default());
+    let keys: Vec<usize> = (0..schema.arity()).collect();
+    group_batches(batches, &keys).into_relation(schema)
+}
+
+#[cfg(test)]
+mod profiling {
+    use super::*;
+    use crate::database::Database;
+    use crate::paper::section2_query;
+    use crate::plan::Plan;
+    use crate::tuple::Tuple;
+    use provsem_semiring::Natural;
+    use std::time::Instant;
+
+    fn db300() -> Database<Natural> {
+        let mut x = 42u64;
+        let mut next = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) % 10
+        };
+        let mut rel = KRelation::empty(Schema::new(["a", "b", "c"]));
+        for _ in 0..300 {
+            rel.insert(
+                Tuple::new([
+                    ("a", format!("v{}", next())),
+                    ("b", format!("v{}", next())),
+                    ("c", format!("v{}", next())),
+                ]),
+                Natural::from(1 + next() % 5),
+            );
+        }
+        Database::new().with("R", rel)
+    }
+
+    fn time_it(label: &str, iters: usize, mut body: impl FnMut()) {
+        for _ in 0..iters / 10 {
+            body();
+        }
+        let t = Instant::now();
+        for _ in 0..iters {
+            body();
+        }
+        println!(
+            "{label}: {:.1}us",
+            t.elapsed().as_secs_f64() * 1e6 / iters as f64
+        );
+    }
+
+    #[test]
+    #[ignore]
+    fn profile_direct_bag() {
+        let db = db300();
+        let plan = Plan::new(&section2_query(), &db.catalog()).unwrap();
+        let rel = db.get("R").unwrap();
+        time_it("relation_to_batches(R)", 2000, || {
+            let _ = relation_to_batches(rel, 1);
+        });
+        time_it("exec_batches(full tree)", 2000, || {
+            let _: Vec<Batch<Natural>> =
+                exec_batches(&plan.physical, &db, 1, &mut ScanCache::default());
+        });
+        time_it("execute(full, incl root)", 2000, || {
+            let _ = super::execute::<Natural, _>(
+                &plan.physical,
+                &plan.schema,
+                &db,
+                &ExecContext::serial(),
+            );
+        });
+        let batches: Vec<Batch<Natural>> =
+            exec_batches(&plan.physical, &db, 1, &mut ScanCache::default());
+        let keys: Vec<usize> = (0..plan.schema.arity()).collect();
+        time_it("root group+into_relation", 2000, || {
+            let _ = group_batches(batches.clone(), &keys).into_relation(&plan.schema);
+        });
+    }
+}

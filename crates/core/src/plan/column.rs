@@ -1,0 +1,731 @@
+//! Columnar batches: typed column vectors with dictionary-encoded strings
+//! and a parallel annotation column.
+//!
+//! This is the data layer of the batch executor (`plan::batch`). A
+//! [`Batch`] holds one [`Column`] per output attribute (in the operator's
+//! sorted schema order), a parallel `Vec<K>` of annotations — the
+//! K-relation annotation is "just one more column" riding next to the data
+//! — and an optional *selection vector* of surviving row indices. The
+//! domain has no NULLs, so the layout is dense and validity-free.
+//!
+//! Columns are typed by their content, decided per scan (or per rebuilt
+//! batch) at conversion time:
+//!
+//! * [`Column::I64`] — every value is an integer; stored as a flat `i64`
+//!   vector.
+//! * [`Column::Str`] — every value is a string; stored as `u32` codes into
+//!   a per-scan [`StrDict`]. Equality against a constant becomes a single
+//!   dictionary probe plus a code-comparison loop; equality between two
+//!   columns of the *same* dictionary is a code loop, and across
+//!   dictionaries a code-translation table built once per batch.
+//! * [`Column::Val`] — the fallback for mixed-type columns and for
+//!   dictionaries that overflow [`DICT_MAX`] distinct strings: plain
+//!   [`Value`]s, compared and hashed row-at-a-time like the row engine.
+//!
+//! Column payloads are behind [`Arc`], so the projection/renaming kernels
+//! (a permutation of the column *list*) and batch transport between morsel
+//! workers never copy data; selections only refine the selection vector.
+//! Data is gathered (copied) only at pipeline breakers — hash-join
+//! build/probe, pre-join aggregation, exchanges, and the root conversion
+//! back to a [`KRelation`] — exactly the places the row engine already
+//! materializes.
+//!
+//! Hashing is content-based ([`Value::content_hash`]), not representation-based: an
+//! integer hashes the same in an `I64` and a `Val` column, a string the
+//! same under any dictionary (dictionaries precompute one hash per code at
+//! interning time, so the per-row kernel is a table lookup). Grouping and
+//! join matching verify candidates with exact typed comparisons
+//! ([`columns_rows_equal`]), so hash collisions are harmless.
+
+use crate::relation::KRelation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::{int_content_hash, str_content_hash, Value};
+use provsem_semiring::fxhash::FxHashMap;
+use provsem_semiring::Semiring;
+use std::sync::Arc;
+
+/// Row budget per scan batch: scans larger than this split into multiple
+/// batches (sharing their per-scan dictionaries), which is also the unit
+/// the morsel executor ships between workers.
+pub(crate) const BATCH_ROWS: usize = 4096;
+
+/// Distinct-string budget of a [`StrDict`]. A scan column with more
+/// distinct strings than this stops paying for dictionary encoding (the
+/// code array no longer stays hot and the dictionary itself rivals the
+/// data); it degrades to a plain [`Column::Val`].
+pub(crate) const DICT_MAX: usize = 1 << 16;
+
+/// A string dictionary: distinct strings mapped to dense `u32` codes, with
+/// the content hash of every entry precomputed so the hash kernels are a
+/// table lookup per row. Built once per scan column (shared by all of the
+/// scan's batches), immutable behind an [`Arc`] afterwards.
+#[derive(Debug)]
+pub(crate) struct StrDict {
+    strings: Vec<Arc<str>>,
+    hashes: Vec<u64>,
+    index: FxHashMap<Arc<str>, u32>,
+}
+
+impl StrDict {
+    fn new() -> StrDict {
+        StrDict {
+            strings: Vec::new(),
+            hashes: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// Number of distinct strings.
+    pub(crate) fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Interns a string, returning its code — or `None` when the dictionary
+    /// is at [`DICT_MAX`] and the string is new (the overflow signal that
+    /// degrades the column to plain values).
+    fn intern(&mut self, s: &Arc<str>) -> Option<u32> {
+        if let Some(&code) = self.index.get(s) {
+            return Some(code);
+        }
+        if self.strings.len() >= DICT_MAX {
+            return None;
+        }
+        let code = self.strings.len() as u32;
+        self.strings.push(s.clone());
+        self.hashes.push(str_content_hash(s));
+        self.index.insert(s.clone(), code);
+        Some(code)
+    }
+
+    /// The code of a string already in the dictionary — `None` means no row
+    /// of any column using this dictionary holds the string, which is what
+    /// lets `σ_{col=const}` on a dictionary column short-circuit to
+    /// all-false once per batch.
+    pub(crate) fn code_of(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// The string behind a code.
+    pub(crate) fn resolve(&self, code: u32) -> &Arc<str> {
+        &self.strings[code as usize]
+    }
+}
+
+/// A typed column vector. Payloads are `Arc`-shared: cloning a column (the
+/// projection/permutation kernels, batch transport) is O(1).
+#[derive(Clone, Debug)]
+pub(crate) enum Column {
+    /// All-integer column.
+    I64(Arc<Vec<i64>>),
+    /// All-string column, dictionary-encoded.
+    Str {
+        /// The (per-scan or per-rebuild) dictionary.
+        dict: Arc<StrDict>,
+        /// One code per row.
+        codes: Arc<Vec<u32>>,
+    },
+    /// Mixed-type or dictionary-overflow fallback: plain values.
+    Val(Arc<Vec<Value>>),
+}
+
+impl Column {
+    /// Number of (physical) rows.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Column::I64(v) => v.len(),
+            Column::Str { codes, .. } => codes.len(),
+            Column::Val(v) => v.len(),
+        }
+    }
+
+    /// A short encoding tag for explain output.
+    pub(crate) fn encoding(&self) -> String {
+        match self {
+            Column::I64(_) => "i64".to_string(),
+            Column::Str { dict, .. } => format!("dict({})", dict.len()),
+            Column::Val(_) => "val".to_string(),
+        }
+    }
+
+    /// The value at a physical row, cloned out (an `Arc` bump for strings).
+    pub(crate) fn value_at(&self, row: u32) -> Value {
+        match self {
+            Column::I64(v) => Value::Int(v[row as usize]),
+            Column::Str { dict, codes } => Value::Str(dict.resolve(codes[row as usize]).clone()),
+            Column::Val(v) => v[row as usize].clone(),
+        }
+    }
+
+    /// Does the value at `row` equal `v`? Typed fast paths: on a
+    /// dictionary column the constant is resolved to a code by the caller
+    /// (see [`eval_predicate_mask`]); this helper is the per-row fallback.
+    fn value_eq_at(&self, row: u32, v: &Value) -> bool {
+        match (self, v) {
+            (Column::I64(col), Value::Int(x)) => col[row as usize] == *x,
+            (Column::I64(_), Value::Str(_)) => false,
+            (Column::Str { dict, codes }, Value::Str(s)) => {
+                dict.resolve(codes[row as usize]).as_ref() == s.as_ref()
+            }
+            (Column::Str { .. }, Value::Int(_)) => false,
+            (Column::Val(col), v) => col[row as usize] == *v,
+        }
+    }
+
+    /// Combines this column's per-row content hashes into the running row
+    /// hashes — the hash kernel. Content-based and representation-
+    /// independent (dictionary columns read the per-code table precomputed
+    /// at interning time); the representation is dispatched once per
+    /// column, so the row loop is tight.
+    fn hash_into(&self, hashes: &mut [u64]) {
+        match self {
+            Column::I64(v) => {
+                for (h, x) in hashes.iter_mut().zip(v.iter()) {
+                    *h = hash_combine(*h, int_content_hash(*x));
+                }
+            }
+            Column::Str { dict, codes } => {
+                for (h, &c) in hashes.iter_mut().zip(codes.iter()) {
+                    *h = hash_combine(*h, dict.hashes[c as usize]);
+                }
+            }
+            Column::Val(v) => {
+                for (h, val) in hashes.iter_mut().zip(v.iter()) {
+                    *h = hash_combine(*h, val.content_hash());
+                }
+            }
+        }
+    }
+
+    /// Gathers the rows at `rows` (physical indices, repetitions allowed)
+    /// into a new column of the same type (same dictionary for strings).
+    pub(crate) fn gather(&self, rows: &[u32]) -> Column {
+        match self {
+            Column::I64(v) => Column::I64(Arc::new(
+                rows.iter().map(|&r| v[r as usize]).collect::<Vec<_>>(),
+            )),
+            Column::Str { dict, codes } => Column::Str {
+                dict: dict.clone(),
+                codes: Arc::new(rows.iter().map(|&r| codes[r as usize]).collect::<Vec<_>>()),
+            },
+            Column::Val(v) => Column::Val(Arc::new(
+                rows.iter()
+                    .map(|&r| v[r as usize].clone())
+                    .collect::<Vec<_>>(),
+            )),
+        }
+    }
+}
+
+/// Are the values at `(a, ra)` and `(b, rb)` equal? Typed fast paths:
+/// integer columns compare `i64`s, string columns of the *same* dictionary
+/// compare codes, different dictionaries compare the resolved strings, and
+/// the mixed fallback compares values.
+pub(crate) fn column_values_equal(a: &Column, ra: u32, b: &Column, rb: u32) -> bool {
+    match (a, b) {
+        (Column::I64(va), Column::I64(vb)) => va[ra as usize] == vb[rb as usize],
+        (
+            Column::Str {
+                dict: da,
+                codes: ca,
+            },
+            Column::Str {
+                dict: db,
+                codes: cb,
+            },
+        ) => {
+            if Arc::ptr_eq(da, db) {
+                ca[ra as usize] == cb[rb as usize]
+            } else {
+                da.resolve(ca[ra as usize]) == db.resolve(cb[rb as usize])
+            }
+        }
+        (Column::I64(_), Column::Str { .. }) | (Column::Str { .. }, Column::I64(_)) => false,
+        (Column::Val(va), b) => b.value_eq_at(rb, &va[ra as usize]),
+        (a, Column::Val(vb)) => a.value_eq_at(ra, &vb[rb as usize]),
+    }
+}
+
+/// Do two rows agree on their key columns? `akeys`/`bkeys` pair up
+/// positionally (the join key columns of the two sides, or the full column
+/// lists for whole-row grouping).
+pub(crate) fn columns_rows_equal(
+    acols: &[Column],
+    ra: u32,
+    akeys: &[usize],
+    bcols: &[Column],
+    rb: u32,
+    bkeys: &[usize],
+) -> bool {
+    debug_assert_eq!(akeys.len(), bkeys.len());
+    akeys
+        .iter()
+        .zip(bkeys)
+        .all(|(&i, &j)| column_values_equal(&acols[i], ra, &bcols[j], rb))
+}
+
+// --- content hashing -------------------------------------------------------
+
+/// Combines a per-column value hash into a running row hash (an FxHash-style
+/// mix; column order matters, mirroring the row engine's positional key
+/// hashing).
+pub(crate) fn hash_combine(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+}
+
+/// Seed of an empty row hash (zero key columns hash every row equal, which
+/// is what makes zero-arity grouping collapse to a single group).
+pub(crate) const HASH_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+// --- column building -------------------------------------------------------
+
+/// Builds one column from a stream of values, starting typed and degrading
+/// to [`Column::Val`] on the first type mix or dictionary overflow.
+pub(crate) enum ColBuilder {
+    /// No rows yet: the first value decides the type.
+    Start,
+    /// All integers so far.
+    I64(Vec<i64>),
+    /// All strings so far, dictionary-encoded.
+    Str { dict: StrDict, codes: Vec<u32> },
+    /// Mixed types or overflowed dictionary: plain values.
+    Val(Vec<Value>),
+}
+
+impl ColBuilder {
+    pub(crate) fn new() -> ColBuilder {
+        ColBuilder::Start
+    }
+
+    /// Appends a value, degrading the representation if needed.
+    pub(crate) fn push(&mut self, v: Value) {
+        match (&mut *self, v) {
+            (ColBuilder::Start, Value::Int(x)) => *self = ColBuilder::I64(vec![x]),
+            (ColBuilder::Start, Value::Str(s)) => {
+                let mut dict = StrDict::new();
+                let code = dict.intern(&s).expect("fresh dictionary has room");
+                *self = ColBuilder::Str {
+                    dict,
+                    codes: vec![code],
+                };
+            }
+            (ColBuilder::I64(col), Value::Int(x)) => col.push(x),
+            (ColBuilder::I64(col), v @ Value::Str(_)) => {
+                let mut values: Vec<Value> = col.drain(..).map(Value::Int).collect();
+                values.push(v);
+                *self = ColBuilder::Val(values);
+            }
+            (ColBuilder::Str { dict, codes }, Value::Str(s)) => match dict.intern(&s) {
+                Some(code) => codes.push(code),
+                None => {
+                    // Dictionary overflow: degrade to plain strings.
+                    let mut values: Vec<Value> = codes
+                        .drain(..)
+                        .map(|c| Value::Str(dict.resolve(c).clone()))
+                        .collect();
+                    values.push(Value::Str(s));
+                    *self = ColBuilder::Val(values);
+                }
+            },
+            (ColBuilder::Str { dict, codes }, v @ Value::Int(_)) => {
+                let mut values: Vec<Value> = codes
+                    .drain(..)
+                    .map(|c| Value::Str(dict.resolve(c).clone()))
+                    .collect();
+                values.push(v);
+                *self = ColBuilder::Val(values);
+            }
+            (ColBuilder::Val(col), v) => col.push(v),
+        }
+    }
+
+    /// Finishes the column. An empty builder yields an empty `Val` column.
+    pub(crate) fn finish(self) -> Column {
+        match self {
+            ColBuilder::Start => Column::Val(Arc::new(Vec::new())),
+            ColBuilder::I64(col) => Column::I64(Arc::new(col)),
+            ColBuilder::Str { dict, codes } => Column::Str {
+                dict: Arc::new(dict),
+                codes: Arc::new(codes),
+            },
+            ColBuilder::Val(col) => Column::Val(Arc::new(col)),
+        }
+    }
+}
+
+/// Gathers column `col` of possibly many source batches at `refs`
+/// (`(batch, row)` pairs). Stays typed when every source agrees — all
+/// integer, or all string under the *same* dictionary — and otherwise
+/// rebuilds through a [`ColBuilder`] (minting a fresh per-batch dictionary,
+/// which is how unions of differently-dictionaried scans re-normalize).
+pub(crate) fn gather_multi(sources: &[&[Column]], col: usize, refs: &[(u32, u32)]) -> Column {
+    let all_i64 = sources.iter().all(|s| matches!(s[col], Column::I64(_)));
+    if all_i64 {
+        let out: Vec<i64> = refs
+            .iter()
+            .map(|&(b, r)| match &sources[b as usize][col] {
+                Column::I64(v) => v[r as usize],
+                _ => unreachable!(),
+            })
+            .collect();
+        return Column::I64(Arc::new(out));
+    }
+    let shared_dict = sources.first().and_then(|s| match &s[col] {
+        Column::Str { dict, .. } => sources
+            .iter()
+            .all(|s| matches!(&s[col], Column::Str { dict: d, .. } if Arc::ptr_eq(d, dict)))
+            .then(|| dict.clone()),
+        _ => None,
+    });
+    if let Some(dict) = shared_dict {
+        let out: Vec<u32> = refs
+            .iter()
+            .map(|&(b, r)| match &sources[b as usize][col] {
+                Column::Str { codes, .. } => codes[r as usize],
+                _ => unreachable!(),
+            })
+            .collect();
+        return Column::Str {
+            dict,
+            codes: Arc::new(out),
+        };
+    }
+    let mut builder = ColBuilder::new();
+    for &(b, r) in refs {
+        builder.push(sources[b as usize][col].value_at(r));
+    }
+    builder.finish()
+}
+
+// --- batches ---------------------------------------------------------------
+
+/// A columnar batch: typed columns (one per output attribute, in sorted
+/// schema order), a parallel annotation column, and an optional selection
+/// vector. `sel` holds the *logical* view: when present, only the listed
+/// physical rows (strictly increasing — selections only ever filter in
+/// stream order) are alive; columns and annotations are untouched until a
+/// pipeline breaker materializes the view.
+#[derive(Clone, Debug)]
+pub(crate) struct Batch<K> {
+    len: usize,
+    columns: Vec<Column>,
+    anns: Vec<K>,
+    sel: Option<Vec<u32>>,
+}
+
+impl<K: Semiring> Batch<K> {
+    /// A batch from freshly built full columns (no selection).
+    pub(crate) fn new(len: usize, columns: Vec<Column>, anns: Vec<K>) -> Batch<K> {
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        debug_assert_eq!(anns.len(), len);
+        Batch {
+            len,
+            columns,
+            anns,
+            sel: None,
+        }
+    }
+
+    /// Number of live (logical) rows.
+    pub(crate) fn live_rows(&self) -> usize {
+        match &self.sel {
+            Some(sel) => sel.len(),
+            None => self.len,
+        }
+    }
+
+    /// Number of physical rows (the length of the column vectors; dead rows
+    /// filtered by `sel` included). Predicate masks are indexed by physical
+    /// row.
+    pub(crate) fn phys_rows(&self) -> usize {
+        self.len
+    }
+
+    /// The columns (physical; apply `sel` for the logical view).
+    pub(crate) fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Applies a predicate mask (indexed by physical row) to the selection
+    /// vector — the σ kernel's final step. No column or annotation data
+    /// moves.
+    pub(crate) fn refine(&mut self, mask: &[bool]) {
+        debug_assert_eq!(mask.len(), self.len);
+        self.sel = Some(match self.sel.take() {
+            Some(sel) => sel.into_iter().filter(|&r| mask[r as usize]).collect(),
+            None => (0..self.len as u32).filter(|&r| mask[r as usize]).collect(),
+        });
+    }
+
+    /// Replaces the column list with a permutation/subset of itself — the
+    /// π/ρ kernel. Pure `Arc` moves; no data is copied.
+    pub(crate) fn permute_columns(&mut self, perm: &[usize]) {
+        self.columns = perm.iter().map(|&i| self.columns[i].clone()).collect();
+    }
+
+    /// Materializes the logical view: gathers columns and annotations down
+    /// to the selected rows and drops the selection vector. Annotations of
+    /// surviving rows are *moved*, not cloned (the selection vector is
+    /// strictly increasing). No-op when nothing is filtered.
+    pub(crate) fn materialize(self) -> Batch<K> {
+        let Some(sel) = self.sel else { return self };
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| c.gather(&sel))
+            .collect::<Vec<_>>();
+        let mut keep = sel.iter().copied().peekable();
+        let anns = self
+            .anns
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, k)| {
+                if keep.peek() == Some(&(i as u32)) {
+                    keep.next();
+                    Some(k)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Batch {
+            len: sel.len(),
+            columns,
+            anns,
+            sel: None,
+        }
+    }
+
+    /// Content hashes of the key columns, one per physical row of a
+    /// materialized batch — the column-wise join/group hash kernel (columns
+    /// iterate outer, rows inner).
+    ///
+    /// # Panics
+    /// Debug-panics on an unmaterialized batch.
+    pub(crate) fn key_hashes(&self, keys: &[usize]) -> Vec<u64> {
+        debug_assert!(
+            self.sel.is_none(),
+            "hash kernels run on materialized batches"
+        );
+        let mut hashes = vec![HASH_SEED; self.len];
+        for &key in keys {
+            self.columns[key].hash_into(&mut hashes);
+        }
+        hashes
+    }
+
+    /// Splits a materialized batch into `parts` sub-batches by an
+    /// assignment vector (`assign[row] < parts`), preserving relative row
+    /// order within each part — the exchange kernel. Annotations move;
+    /// column data is gathered once.
+    pub(crate) fn split_by(self, assign: &[u32], parts: usize) -> Vec<Batch<K>> {
+        debug_assert!(self.sel.is_none());
+        debug_assert_eq!(assign.len(), self.len);
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); parts];
+        for (row, &p) in assign.iter().enumerate() {
+            rows[p as usize].push(row as u32);
+        }
+        let mut anns: Vec<Vec<K>> = (0..parts).map(|_| Vec::new()).collect();
+        for (row, k) in self.anns.into_iter().enumerate() {
+            anns[assign[row] as usize].push(k);
+        }
+        rows.into_iter()
+            .zip(anns)
+            .map(|(rows, anns)| {
+                let columns = self.columns.iter().map(|c| c.gather(&rows)).collect();
+                Batch::new(rows.len(), columns, anns)
+            })
+            .collect()
+    }
+
+    /// Decomposes a materialized batch.
+    pub(crate) fn into_parts(self) -> (usize, Vec<Column>, Vec<K>) {
+        debug_assert!(self.sel.is_none());
+        (self.len, self.columns, self.anns)
+    }
+
+    /// Converts the live rows back to positional rows with owned
+    /// annotations — the boundary back into the row world (used by the
+    /// batch-mode IVM delta kernels).
+    pub(crate) fn into_rows(self) -> Vec<(Box<[Value]>, K)> {
+        let batch = self.materialize();
+        let row_of = |cols: &[Column], r: u32| -> Box<[Value]> {
+            cols.iter().map(|c| c.value_at(r)).collect()
+        };
+        let (len, columns, anns) = batch.into_parts();
+        anns.into_iter()
+            .enumerate()
+            .map(|(r, k)| {
+                debug_assert!(r < len);
+                (row_of(&columns, r as u32), k)
+            })
+            .collect()
+    }
+
+    /// Builds a batch from positional rows (the IVM delta boundary: delta
+    /// chunks enter the columnar kernels through here).
+    pub(crate) fn from_rows(arity: usize, rows: Vec<(Box<[Value]>, K)>) -> Batch<K> {
+        let mut builders: Vec<ColBuilder> = (0..arity).map(|_| ColBuilder::new()).collect();
+        let mut anns = Vec::with_capacity(rows.len());
+        let mut len = 0usize;
+        for (row, k) in rows {
+            debug_assert_eq!(row.len(), arity);
+            for (builder, v) in builders.iter_mut().zip(row.into_vec()) {
+                builder.push(v);
+            }
+            anns.push(k);
+            len += 1;
+        }
+        Batch::new(
+            len,
+            builders.into_iter().map(ColBuilder::finish).collect(),
+            anns,
+        )
+    }
+}
+
+/// Converts a scanned [`KRelation`] into batches — the row→column boundary,
+/// run once per scan. Columns are typed over the *whole* scan (one
+/// dictionary per string column, shared by every batch of the scan), then
+/// split into at least `min_parts` batches of at most [`BATCH_ROWS`] rows.
+/// Annotations are cloned out of the relation exactly once.
+pub(crate) fn relation_to_batches<K: Semiring>(
+    relation: &KRelation<K>,
+    min_parts: usize,
+) -> Vec<Batch<K>> {
+    let arity = relation.schema().arity();
+    let mut builders: Vec<ColBuilder> = (0..arity).map(|_| ColBuilder::new()).collect();
+    let mut anns: Vec<K> = Vec::with_capacity(relation.len());
+    for (tuple, k) in relation.iter() {
+        for (builder, v) in builders.iter_mut().zip(tuple.values()) {
+            builder.push(v.clone());
+        }
+        anns.push(k.clone());
+    }
+    let len = anns.len();
+    let columns: Vec<Column> = builders.into_iter().map(ColBuilder::finish).collect();
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = len.div_ceil(BATCH_ROWS).max(min_parts.max(1)).min(len);
+    if parts == 1 {
+        return vec![Batch::new(len, columns, anns)];
+    }
+    // Contiguous near-equal split, mirroring `par::chunked`. Annotations
+    // move into their chunk; column data is gathered once per chunk.
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut anns_iter = anns.into_iter();
+    let mut lo = 0usize;
+    for i in 0..parts {
+        let take = base + usize::from(i < extra);
+        let hi = lo + take;
+        let rows: Vec<u32> = (lo as u32..hi as u32).collect();
+        let chunk_cols: Vec<Column> = columns.iter().map(|c| c.gather(&rows)).collect();
+        let chunk_anns: Vec<K> = anns_iter.by_ref().take(take).collect();
+        out.push(Batch::new(take, chunk_cols, chunk_anns));
+        lo = hi;
+    }
+    out
+}
+
+// --- grouping --------------------------------------------------------------
+
+/// A hash-grouping of the live rows of many batches by key columns: groups
+/// appear in first-occurrence (stream) order, keyed by content hash with
+/// exact verification — the shared kernel under pre-join duplicate
+/// aggregation, the root merge, and the hash-join build side.
+pub(crate) struct Grouped<K> {
+    /// Per-batch materialized columns (sources for gathering).
+    pub(crate) sources: Vec<Vec<Column>>,
+    /// One representative `(batch, row)` ref per group, in first-occurrence
+    /// order.
+    pub(crate) reps: Vec<(u32, u32)>,
+    /// Summed annotation per group (stream order within each group).
+    pub(crate) anns: Vec<K>,
+}
+
+/// Groups the live rows of `batches` by the given key columns, summing
+/// annotations of equal-key rows in stream order. With `keys` spanning the
+/// whole row this is exactly the row engine's duplicate aggregation.
+pub(crate) fn group_batches<K: Semiring>(batches: Vec<Batch<K>>, keys: &[usize]) -> Grouped<K> {
+    let mut sources: Vec<Vec<Column>> = Vec::with_capacity(batches.len());
+    let mut reps: Vec<(u32, u32)> = Vec::new();
+    let mut anns: Vec<K> = Vec::new();
+    // hash → group ids with that hash (collisions verified exactly).
+    let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    for batch in batches {
+        let batch = batch.materialize();
+        let hashes = batch.key_hashes(keys);
+        let (len, columns, batch_anns) = batch.into_parts();
+        debug_assert_eq!(len, batch_anns.len());
+        let bidx = sources.len() as u32;
+        table.reserve(len);
+        for (row, k) in batch_anns.into_iter().enumerate() {
+            let h = hashes[row];
+            let candidates = table.entry(h).or_default();
+            let found = candidates.iter().copied().find(|&g| {
+                let (rb, rr) = reps[g as usize];
+                let rep_cols: &[Column] = if rb == bidx {
+                    &columns
+                } else {
+                    &sources[rb as usize]
+                };
+                columns_rows_equal(&columns, row as u32, keys, rep_cols, rr, keys)
+            });
+            match found {
+                Some(g) => anns[g as usize].plus_assign(&k),
+                None => {
+                    let g = reps.len() as u32;
+                    reps.push((bidx, row as u32));
+                    anns.push(k);
+                    candidates.push(g);
+                }
+            }
+        }
+        sources.push(columns);
+    }
+    Grouped {
+        sources,
+        reps,
+        anns,
+    }
+}
+
+impl<K: Semiring> Grouped<K> {
+    /// Emits the groups as one batch (first-occurrence order), dropping
+    /// zero-summed groups — the aggregation kernel's output. `arity` is the
+    /// column count (needed when there are no source batches).
+    pub(crate) fn into_batch(self, arity: usize) -> Batch<K> {
+        let live: Vec<(u32, u32)> = self
+            .reps
+            .iter()
+            .zip(&self.anns)
+            .filter(|(_, k)| !k.is_zero())
+            .map(|(&r, _)| r)
+            .collect();
+        let anns: Vec<K> = self.anns.into_iter().filter(|k| !k.is_zero()).collect();
+        let source_refs: Vec<&[Column]> = self.sources.iter().map(Vec::as_slice).collect();
+        let columns = (0..arity)
+            .map(|c| gather_multi(&source_refs, c, &live))
+            .collect();
+        Batch::new(anns.len(), columns, anns)
+    }
+
+    /// Converts the groups straight into a [`KRelation`] — the column→row
+    /// boundary at the plan root. Each distinct row builds its [`Tuple`]
+    /// exactly once, however many duplicates the pipeline streamed.
+    pub(crate) fn into_relation(self, schema: &Schema) -> KRelation<K> {
+        let mut result = KRelation::empty(schema.clone());
+        for ((b, r), k) in self.reps.into_iter().zip(self.anns) {
+            if k.is_zero() {
+                continue;
+            }
+            let cols = &self.sources[b as usize];
+            let tuple = Tuple::from_schema_row(schema, cols.iter().map(|c| c.value_at(r)));
+            result.insert_same_schema(tuple, k);
+        }
+        result
+    }
+}

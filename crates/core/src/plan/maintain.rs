@@ -39,10 +39,13 @@
 //! state) for every [`ExecContext`].
 
 use crate::database::Database;
+use crate::plan::batch::eval_predicate_mask;
+use crate::plan::column::Batch;
 use crate::plan::physical::{
-    aggregate_chunk, par_map_chunks, scan_relation, Chunk, ColSource, PhysOp, Row,
+    aggregate_chunk, par_map_chunks, scan_relation, Chunk, ColSource, CompiledPredicate, PhysOp,
+    Row,
 };
-use crate::plan::{ExecContext, Plan, RelationSource};
+use crate::plan::{ExecContext, ExecMode, Plan, RelationSource};
 use crate::relation::KRelation;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -343,15 +346,48 @@ where
     }
 }
 
-/// Applies a stateless per-row transform to a delta chunk, fanning out to
-/// contiguous morsels when the context (and the semiring's portability)
-/// allows. Outputs are re-concatenated in morsel order, so the row sequence
-/// is byte-identical to the serial pass at every thread count.
-fn transform_chunk<K, F>(chunk: Chunk<K>, ctx: &ExecContext, f: F) -> Chunk<K>
+/// A stateless per-row delta transform: the σ (filter) and π/ρ (column
+/// gather) delta rules, shared between the row and batch engines.
+enum DeltaTransform<'a> {
+    /// Keep the delta row iff the predicate holds.
+    Filter(&'a CompiledPredicate),
+    /// Rebuild the delta row from the given input column indices.
+    Gather(&'a [usize]),
+}
+
+/// Applies a stateless transform to a delta chunk.
+///
+/// Under [`ExecMode::Batch`] the chunk takes a round trip through the
+/// columnar kernels — [`Batch::from_rows`], a predicate mask / column
+/// permutation, [`Batch::into_rows`] — all of which preserve row order
+/// exactly, so the output sequence is byte-identical to the row path.
+/// Under [`ExecMode::Row`] the transform fans out to contiguous morsels
+/// when the context (and the semiring's portability) allows; outputs are
+/// re-concatenated in morsel order. Either way the row sequence is the
+/// same at every thread count and in both engines.
+fn transform_chunk<K>(chunk: Chunk<K>, ctx: &ExecContext, transform: DeltaTransform<'_>) -> Chunk<K>
 where
     K: Semiring,
-    F: Fn(Row, K) -> Option<(Row, K)> + Sync,
 {
+    if chunk.is_empty() {
+        return chunk;
+    }
+    if ctx.mode == ExecMode::Batch {
+        let arity = chunk[0].0.len();
+        let mut batch = Batch::from_rows(arity, chunk);
+        match transform {
+            DeltaTransform::Filter(predicate) => {
+                let mask = eval_predicate_mask(predicate, batch.columns(), batch.phys_rows());
+                batch.refine(&mask);
+            }
+            DeltaTransform::Gather(cols) => batch.permute_columns(cols),
+        }
+        return batch.into_rows();
+    }
+    let f = |row: Row, k: K| match transform {
+        DeltaTransform::Filter(predicate) => predicate.eval(&row).then_some((row, k)),
+        DeltaTransform::Gather(cols) => Some((key_of(&row, cols).into_boxed_slice(), k)),
+    };
     if ctx.threads > 1 && K::is_portable() && chunk.len() >= crate::par::SPAWN_THRESHOLD {
         let parts = crate::par::chunked(chunk, ctx.threads);
         par_map_chunks(parts, ctx.threads, |_, part: Chunk<K>| {
@@ -408,9 +444,7 @@ fn delta_op<K: Semiring>(
                 state_mismatch()
             };
             let chunk = delta_op(input, child, batch, ctx);
-            transform_chunk(chunk, ctx, |row, k| {
-                predicate.eval(&row).then_some((row, k))
-            })
+            transform_chunk(chunk, ctx, DeltaTransform::Filter(predicate))
         }
         PhysOp::Project { input, keep } => {
             let OpState::Stateless(children) = state else {
@@ -420,9 +454,7 @@ fn delta_op<K: Semiring>(
                 state_mismatch()
             };
             let chunk = delta_op(input, child, batch, ctx);
-            transform_chunk(chunk, ctx, |row, k| {
-                Some((key_of(&row, keep).into_boxed_slice(), k))
-            })
+            transform_chunk(chunk, ctx, DeltaTransform::Gather(keep))
         }
         PhysOp::Permute { input, perm } => {
             let OpState::Stateless(children) = state else {
@@ -432,9 +464,7 @@ fn delta_op<K: Semiring>(
                 state_mismatch()
             };
             let chunk = delta_op(input, child, batch, ctx);
-            transform_chunk(chunk, ctx, |row, k| {
-                Some((key_of(&row, perm).into_boxed_slice(), k))
-            })
+            transform_chunk(chunk, ctx, DeltaTransform::Gather(perm))
         }
         PhysOp::Union { left, right } => {
             let OpState::Stateless(children) = state else {

@@ -32,6 +32,8 @@
 //! assert_eq!(out.len(), 5);
 //! ```
 
+mod batch;
+mod column;
 pub mod logical;
 mod maintain;
 mod physical;
@@ -46,11 +48,46 @@ use std::collections::BTreeMap;
 pub use logical::LogicalPlan;
 pub use maintain::{DeltaBatch, MaterializedView};
 
-/// How a plan executes: the thread budget of the morsel-driven parallel
-/// executor.
+/// Which physical engine executes a plan.
 ///
-/// With `threads == 1` execution takes *exactly* the serial pipelined code
-/// path that predates the parallel executor. With more threads, scans are
+/// Both engines run the identical physical operator tree and produce the
+/// identical result `KRelation` (pinned by
+/// `core/tests/columnar_differential.rs` across semirings and thread
+/// counts); they differ only in the unit of work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Row-at-a-time: pipelined `Box<[Value]>` streams with borrowed-`Cow`
+    /// annotations — the engine that predates columnar execution.
+    Row,
+    /// Columnar batches: typed column vectors (dictionary-encoded strings),
+    /// vectorized selection/hash kernels, annotations as a parallel column.
+    /// The default.
+    Batch,
+}
+
+impl ExecMode {
+    /// The process-wide default: `PROVSEM_EXEC=row` selects the
+    /// row-at-a-time engine, anything else (including unset) the columnar
+    /// batch engine. The environment is read once and cached.
+    pub fn from_env() -> ExecMode {
+        static MODE: std::sync::OnceLock<ExecMode> = std::sync::OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("PROVSEM_EXEC") {
+            Ok(value) if value.trim().eq_ignore_ascii_case("row") => ExecMode::Row,
+            _ => ExecMode::Batch,
+        })
+    }
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        ExecMode::from_env()
+    }
+}
+
+/// How a plan executes: the thread budget of the morsel-driven parallel
+/// executor, and which engine ([`ExecMode`]) runs the operators.
+///
+/// With `threads == 1` execution is serial. With more threads, scans are
 /// split into contiguous morsels, hash joins and pre-join aggregations
 /// hash-partition their inputs on the key (one worker per partition), and
 /// partitions are merged in deterministic partition order — so the result
@@ -59,24 +96,39 @@ pub use maintain::{DeltaBatch, MaterializedView};
 ///
 /// The default context reads the `PROVSEM_THREADS` environment variable
 /// (cached on first use) and falls back to
-/// [`std::thread::available_parallelism`].
+/// [`std::thread::available_parallelism`]; the engine reads `PROVSEM_EXEC`
+/// (see [`ExecMode::from_env`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExecContext {
     /// Number of worker threads (and hash partitions); at least 1.
     pub threads: usize,
+    /// Which engine runs the physical operators.
+    pub mode: ExecMode,
 }
 
 impl ExecContext {
-    /// One thread: the serial code path, bit-for-bit today's behavior.
+    /// One thread: the serial code path (engine per `PROVSEM_EXEC`).
     pub fn serial() -> ExecContext {
-        ExecContext { threads: 1 }
+        ExecContext {
+            threads: 1,
+            mode: ExecMode::from_env(),
+        }
     }
 
-    /// An explicit thread budget (clamped to at least 1).
+    /// An explicit thread budget (clamped to at least 1; engine per
+    /// `PROVSEM_EXEC`).
     pub fn with_threads(threads: usize) -> ExecContext {
         ExecContext {
             threads: threads.max(1),
+            mode: ExecMode::from_env(),
         }
+    }
+
+    /// Builder-style engine override (environment-independent — what the
+    /// differential suites use to pin row-vs-batch agreement).
+    pub fn with_mode(mut self, mode: ExecMode) -> ExecContext {
+        self.mode = mode;
+        self
     }
 
     /// The process-wide default: `PROVSEM_THREADS` if set to a positive
@@ -95,7 +147,10 @@ impl ExecContext {
                         .unwrap_or(1)
                 })
         });
-        ExecContext { threads }
+        ExecContext {
+            threads,
+            mode: ExecMode::from_env(),
+        }
     }
 }
 
@@ -255,9 +310,25 @@ impl Plan {
     /// annotated with the context's morsel budget and each hash join /
     /// pre-join aggregation with its hash-partition count. The counts are
     /// the *budget*, not runtime cardinalities: a scan smaller than the
-    /// budget splits into fewer morsels at execution time.
+    /// budget splits into fewer morsels at execution time. Under
+    /// [`ExecMode::Batch`] each scan additionally shows the batch row
+    /// budget (`[batch=4096]`).
     pub fn explain_physical_with(&self, ctx: &ExecContext) -> String {
-        self.physical.render(ctx.threads)
+        let batch_rows = (ctx.mode == ExecMode::Batch).then_some(column::BATCH_ROWS);
+        self.physical.render(ctx.threads, batch_rows)
+    }
+
+    /// Describes, per scan of the physical plan, how the batch engine will
+    /// lay the relation out against a concrete source: row count, number of
+    /// batches, and the per-column encodings — `i64` (typed integers),
+    /// `dict(n)` (dictionary-encoded strings with `n` distinct entries), or
+    /// `val` (the mixed-type / dictionary-overflow fallback).
+    ///
+    /// # Panics
+    /// Panics under the same source/catalog-mismatch conditions as
+    /// [`Plan::execute`].
+    pub fn explain_batches<K: Semiring>(&self, source: &impl RelationSource<K>) -> String {
+        physical::describe_scan_batches(&self.physical, source)
     }
 
     /// Executes the plan against a source under the default [`ExecContext`]

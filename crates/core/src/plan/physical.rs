@@ -29,6 +29,20 @@
 //! scoped worker per partition — producing the identical `KRelation` at
 //! every thread count (deterministic partitioning and in-order merges; see
 //! the comment block above [`exec_partitions`]).
+//!
+//! Everything above describes the row-at-a-time engine
+//! ([`ExecMode::Row`](crate::plan::ExecMode)). The default engine is its
+//! **columnar twin** (`super::batch`, `PROVSEM_EXEC=batch`): the same
+//! physical tree executed over batches of typed column vectors
+//! (`super::column`), where *a morsel is a batch* — scans split into
+//! contiguous batches of at most `BATCH_ROWS` rows sharing per-scan string
+//! dictionaries, the parallel exchanges ship whole batches between workers
+//! (column payloads as `Send` data, annotation vectors sealed through
+//! [`Portable`]), and the unary chains fuse into selection-vector and
+//! column-permutation kernels instead of per-row loops. Both engines share
+//! this module's [`PhysOp`] tree, [`CompiledPredicate`]s, partition
+//! assignment ([`crate::par::part_of`]) and determinism contract; `execute`
+//! dispatches on [`ExecContext::mode`](crate::plan::ExecContext).
 
 use crate::plan::{ExecContext, RelationSource};
 use crate::predicate::Predicate;
@@ -227,14 +241,15 @@ impl PhysOp {
     /// `agg` nodes (pre-join aggregations) and hash-join build sides. With
     /// `threads > 1` the parallel operators additionally show how execution
     /// fans out: scans their morsel count, hash joins and aggregations
-    /// their hash-partition count.
-    pub(crate) fn render(&self, threads: usize) -> String {
+    /// their hash-partition count. Under the batch engine (`batch_rows` set)
+    /// scans also show the batch row budget.
+    pub(crate) fn render(&self, threads: usize, batch_rows: Option<usize>) -> String {
         let mut out = String::new();
-        self.render_node(&mut out, "", "", threads);
+        self.render_node(&mut out, "", "", threads, batch_rows);
         out
     }
 
-    fn describe(&self, threads: usize) -> String {
+    fn describe(&self, threads: usize, batch_rows: Option<usize>) -> String {
         let fanout = |label: &str| {
             if threads > 1 {
                 format!(" [{label}={threads}]")
@@ -244,7 +259,11 @@ impl PhysOp {
         };
         match self {
             PhysOp::Scan { name, schema } => {
-                format!("scan {name} {schema:?}{}", fanout("morsels"))
+                let batch = match batch_rows {
+                    Some(n) => format!(" [batch={n}]"),
+                    None => String::new(),
+                };
+                format!("scan {name} {schema:?}{batch}{}", fanout("morsels"))
             }
             PhysOp::Empty => "∅".to_string(),
             PhysOp::Select { .. } => "σ".to_string(),
@@ -279,9 +298,16 @@ impl PhysOp {
         }
     }
 
-    fn render_node(&self, out: &mut String, prefix: &str, child_prefix: &str, threads: usize) {
+    fn render_node(
+        &self,
+        out: &mut String,
+        prefix: &str,
+        child_prefix: &str,
+        threads: usize,
+        batch_rows: Option<usize>,
+    ) {
         out.push_str(prefix);
-        out.push_str(&self.describe(threads));
+        out.push_str(&self.describe(threads, batch_rows));
         out.push('\n');
         let children = self.children();
         for (i, child) in children.iter().enumerate() {
@@ -296,9 +322,56 @@ impl PhysOp {
                 &format!("{child_prefix}{branch}"),
                 &format!("{child_prefix}{extension}"),
                 threads,
+                batch_rows,
             );
         }
     }
+}
+
+/// Walks the physical tree and describes, per scan, the columnar layout the
+/// batch engine will build against `source`: row count, batch count, and
+/// each column's encoding — the body of
+/// [`Plan::explain_batches`](crate::plan::Plan::explain_batches).
+pub(crate) fn describe_scan_batches<K, S>(op: &PhysOp, source: &S) -> String
+where
+    K: Semiring,
+    S: RelationSource<K>,
+{
+    fn walk<K, S>(op: &PhysOp, source: &S, out: &mut String)
+    where
+        K: Semiring,
+        S: RelationSource<K>,
+    {
+        if let PhysOp::Scan { name, schema } = op {
+            let relation = scan_relation(name, schema, source);
+            let batches = super::column::relation_to_batches(relation, 1);
+            let encodings: Vec<String> = match batches.first() {
+                Some(batch) => schema
+                    .attributes()
+                    .iter()
+                    .zip(batch.columns())
+                    .map(|(attr, col)| format!("{attr:?}={}", col.encoding()))
+                    .collect(),
+                None => schema
+                    .attributes()
+                    .iter()
+                    .map(|attr| format!("{attr:?}=empty"))
+                    .collect(),
+            };
+            out.push_str(&format!(
+                "scan {name}: rows={} batches={} cols[{}]\n",
+                relation.len(),
+                batches.len(),
+                encodings.join(", ")
+            ));
+        }
+        for child in op.children() {
+            walk(child, source, out);
+        }
+    }
+    let mut out = String::new();
+    walk(op, source, &mut out);
+    out
 }
 
 /// Compiles an optimized logical plan into a physical operator tree.
@@ -557,6 +630,9 @@ where
     if let PhysOp::Scan { name, schema: s } = op {
         return scan_relation(name, s, source).clone();
     }
+    if ctx.mode == crate::plan::ExecMode::Batch {
+        return super::batch::execute(op, schema, source, ctx);
+    }
     let mut result = KRelation::empty(schema.clone());
     if ctx.threads > 1 && K::is_portable() {
         for chunk in exec_partitions(op, source, ctx.threads) {
@@ -642,7 +718,7 @@ fn exchange<K>(chunks: Vec<Chunk<K>>, partitions: usize, key: PartitionKey<'_>) 
                 }
                 PartitionKey::WholeRow => fx_hash_one(&row),
             };
-            out[(h % partitions as u64) as usize].push((row, k));
+            out[crate::par::part_of(h, partitions)].push((row, k));
         }
     }
     out

@@ -95,7 +95,9 @@ impl<K: Semiring> KRelation<K> {
 
     /// Like [`KRelation::insert`] but trusts the caller that the tuple is
     /// over this relation's schema (checked only in debug builds). The hot
-    /// path of the physical engine's root materialization, where building a
+    /// path of the physical engine's root materialization — both engines:
+    /// the row engine inserts once per output row, the batch engine once
+    /// per distinct row after columnar grouping — where building a
     /// `Schema` per row just to assert it away would dominate.
     pub(crate) fn insert_same_schema(&mut self, tuple: Tuple, annotation: K) {
         debug_assert_eq!(

@@ -54,9 +54,10 @@ impl Tuple {
 
     /// Builds a tuple from a positional row whose columns follow `schema`'s
     /// sorted attribute order — the physical plan layer's boundary
-    /// conversion back into the named perspective. Unlike
-    /// [`Tuple::from_values`] this is infallible by construction (the
-    /// planner guarantees the arity).
+    /// conversion back into the named perspective (the row engine's root
+    /// merge, and the batch engine's root grouping, which calls this once
+    /// per *distinct* output row). Unlike [`Tuple::from_values`] this is
+    /// infallible by construction (the planner guarantees the arity).
     pub(crate) fn from_schema_row<I>(schema: &Schema, values: I) -> Self
     where
         I: IntoIterator<Item = Value>,

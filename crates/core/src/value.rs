@@ -6,7 +6,9 @@
 //! so that tuples can key hash maps and be sorted deterministically for
 //! display and testing.
 
+use provsem_semiring::fxhash::FxHasher;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// A value of the domain `D`.
@@ -44,6 +46,38 @@ impl Value {
             Value::Int(i) => Some(*i),
         }
     }
+
+    /// Content hash of the value, independent of how a column stores it:
+    /// equal to [`int_content_hash`] for integers and [`str_content_hash`]
+    /// for strings, which is what lets the columnar kernels
+    /// (`plan::column`) hash typed, dictionary-encoded, and plain-value
+    /// columns interchangeably. Type-tagged so `1` and `"1"` do not collide
+    /// structurally.
+    pub(crate) fn content_hash(&self) -> u64 {
+        match self {
+            Value::Int(x) => int_content_hash(*x),
+            Value::Str(s) => str_content_hash(s),
+        }
+    }
+}
+
+/// The content hash an integer value contributes to row hashing, whether it
+/// sits in a typed `i64` column or a plain [`Value`] column.
+pub(crate) fn int_content_hash(x: i64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u8(0);
+    h.write_i64(x);
+    h.finish()
+}
+
+/// The content hash a string value contributes to row hashing, whether it
+/// sits dictionary-encoded (hashed once per distinct string at interning
+/// time) or in a plain [`Value`] column.
+pub(crate) fn str_content_hash(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u8(1);
+    s.hash(&mut h);
+    h.finish()
 }
 
 impl fmt::Debug for Value {

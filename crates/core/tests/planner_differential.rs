@@ -14,9 +14,16 @@
 //! `Plan::explain` snapshots at the bottom of this file.
 
 use proptest::prelude::*;
-use provsem_core::plan::{ExecContext, Plan};
+use provsem_core::plan::{ExecContext, ExecMode, Plan};
 use provsem_core::prelude::*;
 use provsem_semiring::{Bool, Natural, PosBool, Semiring, Tropical, WhySet};
+
+/// A serial context pinned to the row engine: the physical-tree goldens
+/// below snapshot the engine-independent operator structure, so they must
+/// not pick up the ambient `PROVSEM_EXEC` mode.
+fn serial_row() -> ExecContext {
+    ExecContext::serial().with_mode(ExecMode::Row)
+}
 
 const CASES: u32 = 120;
 
@@ -283,14 +290,12 @@ hash-join build=left keys[1]/[0]
 └─ scan S {b, d}
 ";
     assert_eq!(
-        plan.explain_physical_with(&ExecContext::serial()),
+        plan.explain_physical_with(&serial_row()),
         expected,
         "got:\n{}",
-        plan.explain_physical_with(&ExecContext::serial())
+        plan.explain_physical_with(&serial_row())
     );
-    assert!(!plan
-        .explain_physical_with(&ExecContext::serial())
-        .contains("agg"));
+    assert!(!plan.explain_physical_with(&serial_row()).contains("agg"));
     // The differential guard: planned equals interpreted on data.
     let mut dbs = db.clone();
     dbs.insert(
@@ -329,10 +334,10 @@ hash-join build=left keys[1]/[0]
 └─ scan S {b, d}
 ";
     assert_eq!(
-        plan.explain_physical_with(&ExecContext::serial()),
+        plan.explain_physical_with(&serial_row()),
         expected,
         "got:\n{}",
-        plan.explain_physical_with(&ExecContext::serial())
+        plan.explain_physical_with(&serial_row())
     );
 }
 
@@ -356,12 +361,48 @@ hash-join build=left keys[1]/[0] [partitions=4]
 │     └─ scan R {a, b, c} [morsels=4]
 └─ scan S {b, d} [morsels=4]
 ";
-    let rendered = plan.explain_physical_with(&ExecContext::with_threads(4));
+    let rendered =
+        plan.explain_physical_with(&ExecContext::with_threads(4).with_mode(ExecMode::Row));
     assert_eq!(rendered, expected, "got:\n{rendered}");
     // The serial rendering stays count-free (and snapshot-compatible).
     assert!(!plan
-        .explain_physical_with(&ExecContext::serial())
+        .explain_physical_with(&serial_row())
         .contains("partitions"));
+}
+
+/// Under the batch engine each scan additionally shows its batch row
+/// budget; the operator tree itself is identical — both engines execute the
+/// same physical plan.
+#[test]
+fn explain_physical_golden_batch_mode_renders_batch_budget() {
+    let db = paper::figure3_bag();
+    let catalog = db.catalog().with("S", Schema::new(["b", "d"]), 3);
+    let query = RaExpr::relation("R")
+        .project(["a", "b"])
+        .join(RaExpr::relation("S"));
+    let plan = Plan::new(&query, &catalog).unwrap();
+    let expected = "\
+hash-join build=left keys[1]/[0]
+├─ agg
+│  └─ π cols[0, 1]
+│     └─ scan R {a, b, c} [batch=4096]
+└─ scan S {b, d} [batch=4096]
+";
+    let ctx = ExecContext::serial().with_mode(ExecMode::Batch);
+    let rendered = plan.explain_physical_with(&ctx);
+    assert_eq!(rendered, expected, "got:\n{rendered}");
+}
+
+/// `Plan::explain_batches` reports the columnar layout per scan against a
+/// concrete source: row and batch counts plus each column's encoding —
+/// string columns dictionary-encoded with their distinct-string counts.
+#[test]
+fn explain_batches_golden_reports_dictionary_columns() {
+    let db = paper::figure3_bag();
+    let plan = Plan::new(&RaExpr::relation("R").project(["a", "b"]), &db.catalog()).unwrap();
+    let expected = "scan R: rows=3 batches=1 cols[a=dict(3), b=dict(2), c=dict(2)]\n";
+    let rendered = plan.explain_batches(&db);
+    assert_eq!(rendered, expected, "got:\n{rendered}");
 }
 
 /// An attribute-equality selection (`a=c`) determines the dropped column
