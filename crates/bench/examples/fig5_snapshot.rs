@@ -11,6 +11,12 @@
 //! Exits non-zero when the batch engine is not at least 3x faster than the
 //! row engine on `direct_bag/300` — the acceptance bar of the columnar
 //! execution change — or when the engines disagree.
+//!
+//! Also times [`ExecMode::Auto`] on both workloads: plan-time engine
+//! selection must pick batch on the large direct-bag inputs (keeping the
+//! 3x) and row on the tiny Section 9 canonical databases, recovering
+//! row-engine performance where forced batch mode used to pay conversion
+//! overhead for nothing.
 
 use provsem_bench::random_ternary_bag;
 use provsem_containment::ConjunctiveQuery;
@@ -75,10 +81,12 @@ fn main() {
         .unwrap_or_else(|| "BENCH_fig5.json".to_string());
     let row = ExecContext::serial().with_mode(ExecMode::Row);
     let batch = ExecContext::serial().with_mode(ExecMode::Batch);
+    let auto = ExecContext::serial().with_mode(ExecMode::Auto);
 
     let mut results = String::new();
     let mut speedups = String::new();
     let mut ratio_300 = 0.0f64;
+    let mut auto_300 = 0.0f64;
 
     // --- Figure 5 direct bag evaluation: the Section 2 query. ---
     for size in [100usize, 300] {
@@ -89,27 +97,41 @@ fn main() {
             plan.execute_with(&db, &batch),
             "engines disagree on direct_bag/{size}"
         );
+        assert_eq!(
+            plan.execute_with(&db, &row),
+            plan.execute_with(&db, &auto),
+            "auto disagrees on direct_bag/{size}"
+        );
         let r = time_it(|| {
             plan.execute_with(&db, &row);
         });
         let b = time_it(|| {
             plan.execute_with(&db, &batch);
         });
+        let a = time_it(|| {
+            plan.execute_with(&db, &auto);
+        });
         let ratio = r.median / b.median;
+        let auto_ratio = r.median / a.median;
         if size == 300 {
             ratio_300 = ratio;
+            auto_300 = auto_ratio;
         }
         println!(
-            "direct_bag/{size}: row {:.3}ms batch {:.3}ms ({ratio:.2}x)",
+            "direct_bag/{size}: row {:.3}ms batch {:.3}ms ({ratio:.2}x) auto {:.3}ms ({auto_ratio:.2}x)",
             r.median * 1e3,
-            b.median * 1e3
+            b.median * 1e3,
+            a.median * 1e3
         );
         let _ = write!(
             results,
-            "    \"direct_bag_row/{size}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }},\n    \"direct_bag_batch/{size}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }},\n",
-            r.median, r.min, r.max, b.median, b.min, b.max
+            "    \"direct_bag_row/{size}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }},\n    \"direct_bag_batch/{size}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }},\n    \"direct_bag_auto/{size}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }},\n",
+            r.median, r.min, r.max, b.median, b.min, b.max, a.median, a.min, a.max
         );
-        let _ = writeln!(speedups, "    \"direct_bag/{size}\": {ratio:.2},");
+        let _ = writeln!(
+            speedups,
+            "    \"direct_bag/{size}\": {ratio:.2},\n    \"direct_bag_auto/{size}\": {auto_ratio:.2},"
+        );
     }
 
     // --- Section 9: the containment decision procedure at k = 6. ---
@@ -119,34 +141,57 @@ fn main() {
         containment_pair(k, &batch),
         "engines disagree on sec9 containment"
     );
+    assert_eq!(
+        containment_pair(k, &row),
+        containment_pair(k, &auto),
+        "auto disagrees on sec9 containment"
+    );
     let r = time_it(|| {
         containment_pair(k, &row);
     });
     let b = time_it(|| {
         containment_pair(k, &batch);
     });
+    let a = time_it(|| {
+        containment_pair(k, &auto);
+    });
     let sec9_ratio = r.median / b.median;
+    let sec9_auto = r.median / a.median;
     println!(
-        "sec9_containment/{k}: row {:.3}ms batch {:.3}ms ({sec9_ratio:.2}x)",
+        "sec9_containment/{k}: row {:.3}ms batch {:.3}ms ({sec9_ratio:.2}x) auto {:.3}ms ({sec9_auto:.2}x)",
         r.median * 1e3,
-        b.median * 1e3
+        b.median * 1e3,
+        a.median * 1e3
     );
     let _ = write!(
         results,
-        "    \"sec9_containment_row/{k}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }},\n    \"sec9_containment_batch/{k}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }}\n",
-        r.median, r.min, r.max, b.median, b.min, b.max
+        "    \"sec9_containment_row/{k}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }},\n    \"sec9_containment_batch/{k}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }},\n    \"sec9_containment_auto/{k}\": {{ \"median\": {:.3e}, \"min\": {:.3e}, \"max\": {:.3e} }}\n",
+        r.median, r.min, r.max, b.median, b.min, b.max, a.median, a.min, a.max
     );
-    let _ = writeln!(speedups, "    \"sec9_containment/{k}\": {sec9_ratio:.2}");
+    let _ = writeln!(
+        speedups,
+        "    \"sec9_containment/{k}\": {sec9_ratio:.2},\n    \"sec9_containment_auto/{k}\": {sec9_auto:.2}"
+    );
 
     let pass = ratio_300 >= 3.0;
+    // Auto must not give back what forced-batch won on the big inputs, and
+    // must recover row-engine performance on the tiny sec9 canonical
+    // databases (15% timing-noise tolerance on both sides).
+    let auto_pass = auto_300 >= ratio_300 * 0.85 && sec9_auto >= 0.85;
     let json = format!(
-        "{{\n  \"bench\": \"fig5_columnar_snapshot\",\n  \"description\": \"Row engine vs columnar batch engine on the Figure 5 direct bag-evaluation workload (Section 2 query over random_ternary_bag(seed 42, domain 10, weights <5)) and the Section 9 path-query containment decision (both directions, k=6). Serial ExecContext on both sides so the ratio measures the vectorized kernels, not thread fan-out. Medians of {ITERS} release-mode runs on the CI container; results checked identical across engines before timing.\",\n  \"unit\": \"seconds\",\n  \"results\": {{\n{results}  }},\n  \"speedup_batch_over_row\": {{\n{speedups}  }},\n  \"acceptance\": \"batch >= 3x faster than row on direct_bag/300: {} ({ratio_300:.2}x)\"\n}}\n",
-        if pass { "PASS" } else { "FAIL" }
+        "{{\n  \"bench\": \"fig5_columnar_snapshot\",\n  \"description\": \"Row engine vs columnar batch engine on the Figure 5 direct bag-evaluation workload (Section 2 query over random_ternary_bag(seed 42, domain 10, weights <5)) and the Section 9 path-query containment decision (both directions, k=6). Serial ExecContext on both sides so the ratio measures the vectorized kernels, not thread fan-out. Auto mode is timed alongside: plan-time selection picks batch on direct_bag and row on the tiny sec9 canonical databases. Medians of {ITERS} release-mode runs on the CI container; results checked identical across engines before timing.\",\n  \"unit\": \"seconds\",\n  \"results\": {{\n{results}  }},\n  \"speedup_batch_over_row\": {{\n{speedups}  }},\n  \"acceptance\": \"batch >= 3x faster than row on direct_bag/300: {} ({ratio_300:.2}x); auto keeps the direct_bag win and recovers row perf on sec9: {} (direct_bag {auto_300:.2}x, sec9 {sec9_auto:.2}x vs row)\"\n}}\n",
+        if pass { "PASS" } else { "FAIL" },
+        if auto_pass { "PASS" } else { "FAIL" }
     );
     std::fs::write(&out_path, &json).expect("write benchmark record");
     println!("wrote {out_path}");
     assert!(
         pass,
         "acceptance failed: batch engine only {ratio_300:.2}x faster than row on direct_bag/300"
+    );
+    assert!(
+        auto_pass,
+        "acceptance failed: auto selection lost performance \
+         (direct_bag/300 {auto_300:.2}x vs forced batch {ratio_300:.2}x, sec9 {sec9_auto:.2}x vs row)"
     );
 }

@@ -1,41 +1,43 @@
 //! Columnar batches: typed column vectors with dictionary-encoded strings
-//! and a parallel annotation column.
+//! and a parallel annotation column — the system's storage representation.
 //!
-//! This is the data layer of the batch executor (`plan::batch`). A
-//! [`Batch`] holds one [`Column`] per output attribute (in the operator's
-//! sorted schema order), a parallel `Vec<K>` of annotations — the
-//! K-relation annotation is "just one more column" riding next to the data
-//! — and an optional *selection vector* of surviving row indices. The
-//! domain has no NULLs, so the layout is dense and validity-free.
+//! This is the data layer under the batch executor (`plan::batch`), the
+//! columnar IVM state (`plan::maintain`), and the snapshot-resident
+//! [`BatchCache`]. A `Batch` holds one `Column` per output attribute
+//! (in the operator's sorted schema order), a parallel `Vec<K>` of
+//! annotations — the K-relation annotation is "just one more column"
+//! riding next to the data — and an optional *selection vector* of
+//! surviving row indices. The domain has no NULLs, so the layout is dense
+//! and validity-free.
 //!
 //! Columns are typed by their content, decided per scan (or per rebuilt
 //! batch) at conversion time:
 //!
-//! * [`Column::I64`] — every value is an integer; stored as a flat `i64`
+//! * `Column::I64` — every value is an integer; stored as a flat `i64`
 //!   vector.
-//! * [`Column::Str`] — every value is a string; stored as `u32` codes into
-//!   a per-scan [`StrDict`]. Equality against a constant becomes a single
+//! * `Column::Str` — every value is a string; stored as `u32` codes into
+//!   a per-scan `StrDict`. Equality against a constant becomes a single
 //!   dictionary probe plus a code-comparison loop; equality between two
 //!   columns of the *same* dictionary is a code loop, and across
 //!   dictionaries a code-translation table built once per batch.
-//! * [`Column::Val`] — the fallback for mixed-type columns and for
-//!   dictionaries that overflow [`DICT_MAX`] distinct strings: plain
-//!   [`Value`]s, compared and hashed row-at-a-time like the row engine.
+//! * `Column::Val` — the fallback for mixed-type columns and for
+//!   dictionaries that overflow `DICT_MAX` distinct strings: plain
+//!   `Value`s, compared and hashed row-at-a-time like the row engine.
 //!
-//! Column payloads are behind [`Arc`], so the projection/renaming kernels
+//! Column payloads are behind `Arc`, so the projection/renaming kernels
 //! (a permutation of the column *list*) and batch transport between morsel
 //! workers never copy data; selections only refine the selection vector.
 //! Data is gathered (copied) only at pipeline breakers — hash-join
 //! build/probe, pre-join aggregation, exchanges, and the root conversion
-//! back to a [`KRelation`] — exactly the places the row engine already
+//! back to a `KRelation` — exactly the places the row engine already
 //! materializes.
 //!
-//! Hashing is content-based ([`Value::content_hash`]), not representation-based: an
+//! Hashing is content-based (`Value::content_hash`), not representation-based: an
 //! integer hashes the same in an `I64` and a `Val` column, a string the
 //! same under any dictionary (dictionaries precompute one hash per code at
 //! interning time, so the per-row kernel is a table lookup). Grouping and
 //! join matching verify candidates with exact typed comparisons
-//! ([`columns_rows_equal`]), so hash collisions are harmless.
+//! (`columns_rows_equal`), so hash collisions are harmless.
 
 use crate::relation::KRelation;
 use crate::schema::Schema;
@@ -43,7 +45,8 @@ use crate::tuple::Tuple;
 use crate::value::{int_content_hash, str_content_hash, Value};
 use provsem_semiring::fxhash::FxHashMap;
 use provsem_semiring::Semiring;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
 
 /// Row budget per scan batch: scans larger than this split into multiple
 /// batches (sharing their per-scan dictionaries), which is also the unit
@@ -60,7 +63,7 @@ pub(crate) const DICT_MAX: usize = 1 << 16;
 /// the content hash of every entry precomputed so the hash kernels are a
 /// table lookup per row. Built once per scan column (shared by all of the
 /// scan's batches), immutable behind an [`Arc`] afterwards.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct StrDict {
     strings: Vec<Arc<str>>,
     hashes: Vec<u64>,
@@ -280,7 +283,11 @@ pub(crate) const HASH_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
 // --- column building -------------------------------------------------------
 
 /// Builds one column from a stream of values, starting typed and degrading
-/// to [`Column::Val`] on the first type mix or dictionary overflow.
+/// to [`Column::Val`] on the first type mix or dictionary overflow. Also
+/// the *retained* columnar representation of IVM join-side state
+/// (`plan::maintain`), which keeps appending across delta batches — hence
+/// the random-access and hashing accessors below.
+#[derive(Clone, Debug)]
 pub(crate) enum ColBuilder {
     /// No rows yet: the first value decides the type.
     Start,
@@ -336,6 +343,32 @@ impl ColBuilder {
                 *self = ColBuilder::Val(values);
             }
             (ColBuilder::Val(col), v) => col.push(v),
+        }
+    }
+
+    /// The value at a row, cloned out (an `Arc` bump for strings).
+    pub(crate) fn value_at(&self, row: u32) -> Value {
+        match self {
+            ColBuilder::Start => unreachable!("value_at on an empty column"),
+            ColBuilder::I64(col) => Value::Int(col[row as usize]),
+            ColBuilder::Str { dict, codes } => {
+                Value::Str(dict.resolve(codes[row as usize]).clone())
+            }
+            ColBuilder::Val(col) => col[row as usize].clone(),
+        }
+    }
+
+    /// Does the value at `row` equal `v`?
+    pub(crate) fn value_eq_at(&self, row: u32, v: &Value) -> bool {
+        match (self, v) {
+            (ColBuilder::Start, _) => false,
+            (ColBuilder::I64(col), Value::Int(x)) => col[row as usize] == *x,
+            (ColBuilder::I64(_), Value::Str(_)) => false,
+            (ColBuilder::Str { dict, codes }, Value::Str(s)) => {
+                dict.resolve(codes[row as usize]).as_ref() == s.as_ref()
+            }
+            (ColBuilder::Str { .. }, Value::Int(_)) => false,
+            (ColBuilder::Val(col), v) => col[row as usize] == *v,
         }
     }
 
@@ -584,15 +617,14 @@ impl<K: Semiring> Batch<K> {
     }
 }
 
-/// Converts a scanned [`KRelation`] into batches — the row→column boundary,
-/// run once per scan. Columns are typed over the *whole* scan (one
-/// dictionary per string column, shared by every batch of the scan), then
-/// split into at least `min_parts` batches of at most [`BATCH_ROWS`] rows.
-/// Annotations are cloned out of the relation exactly once.
-pub(crate) fn relation_to_batches<K: Semiring>(
-    relation: &KRelation<K>,
-    min_parts: usize,
-) -> Vec<Batch<K>> {
+/// Converts a scanned [`KRelation`] into batches — the row→column boundary.
+/// Columns are typed over the *whole* scan (one dictionary per string
+/// column, shared by every batch of the scan), then split into batches of
+/// at most [`BATCH_ROWS`] rows. Annotations are cloned out of the relation
+/// exactly once. The split depends only on the relation — never on the
+/// execution context — so the result is shareable across every execution
+/// and thread count, which is what lets the [`BatchCache`] memoize it.
+pub(crate) fn relation_to_batches<K: Semiring>(relation: &KRelation<K>) -> Vec<Batch<K>> {
     let arity = relation.schema().arity();
     let mut builders: Vec<ColBuilder> = (0..arity).map(|_| ColBuilder::new()).collect();
     let mut anns: Vec<K> = Vec::with_capacity(relation.len());
@@ -607,7 +639,7 @@ pub(crate) fn relation_to_batches<K: Semiring>(
     if len == 0 {
         return Vec::new();
     }
-    let parts = len.div_ceil(BATCH_ROWS).max(min_parts.max(1)).min(len);
+    let parts = len.div_ceil(BATCH_ROWS);
     if parts == 1 {
         return vec![Batch::new(len, columns, anns)];
     }
@@ -628,6 +660,203 @@ pub(crate) fn relation_to_batches<K: Semiring>(
         lo = hi;
     }
     out
+}
+
+// --- the snapshot-resident batch cache -------------------------------------
+
+/// Where a scan's batches came from, as reported by
+/// [`Plan::explain_batches`](crate::plan::Plan::explain_batches): freshly
+/// converted this execution, served from the [`BatchCache`] as converted,
+/// or served from the cache after one or more commit patches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BatchProvenance {
+    /// No cache entry — the scan columnarizes the relation itself.
+    Converted,
+    /// A cache entry built by an earlier execution, unpatched.
+    Cached,
+    /// A cache entry carried across this many commits by delta patching.
+    Patched(u64),
+}
+
+struct CacheEntry<K> {
+    /// The source relation. A `Weak` both signals staleness (dead once
+    /// every snapshot holding the relation is gone) and — because a weak
+    /// reference pins the allocation — guarantees the pointer key below is
+    /// never reused while the entry lives, so identity checks are exact.
+    source: Weak<KRelation<K>>,
+    batches: Arc<Vec<Batch<K>>>,
+    /// Epoch the entry was converted (or last patched) at.
+    epoch: u64,
+    /// Rows of the original conversion.
+    base_rows: usize,
+    /// Rows appended by commit patches since — once these outgrow
+    /// `base_rows`, re-converting is cheaper than carrying the deltas and
+    /// the entry is evicted.
+    patch_rows: usize,
+    /// Number of commit patches absorbed.
+    patched: u64,
+}
+
+/// The storage-layer columnar cache: memoizes `relation_to_batches` per
+/// relation *version*, shared by every execution against the owning
+/// [`SharedDatabase`](crate::snapshot::SharedDatabase)'s snapshots.
+///
+/// Entries are keyed by the identity of the relation's `Arc` (a relation
+/// version never mutates — commits copy-on-write), so readers at different
+/// epochs hit independent entries and a patched entry can never serve a
+/// stale relation. On commit, instead of invalidating, the writer *patches*
+/// the touched entries: the delta's own batches are appended to the cached
+/// ones, which is exact for any commutative semiring — duplicate tuples
+/// re-sum and delete-to-zero rows cancel at the next grouping point
+/// (aggregation or the plan root), the same places the executor already
+/// merges duplicates.
+///
+/// Counters (see [`BatchCacheStats`]) are served by the `STATS` verb of the
+/// query service.
+#[derive(Debug)]
+pub struct BatchCache<K> {
+    entries: Mutex<FxHashMap<usize, CacheEntry<K>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    patches: AtomicU64,
+}
+
+impl<K: Semiring> Default for BatchCache<K> {
+    fn default() -> Self {
+        BatchCache::new()
+    }
+}
+
+impl<K> std::fmt::Debug for CacheEntry<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheEntry")
+            .field("epoch", &self.epoch)
+            .field("base_rows", &self.base_rows)
+            .field("patch_rows", &self.patch_rows)
+            .field("patched", &self.patched)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A point-in-time read of the [`BatchCache`] counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchCacheStats {
+    /// Scans served from a cached (possibly patched) conversion.
+    pub hits: u64,
+    /// Scans that had to columnarize their relation.
+    pub misses: u64,
+    /// Commit deltas absorbed by patching a cached conversion.
+    pub patches: u64,
+    /// Live entries.
+    pub entries: usize,
+}
+
+fn entry_key<K>(relation: &Arc<KRelation<K>>) -> usize {
+    Arc::as_ptr(relation) as usize
+}
+
+impl<K: Semiring> BatchCache<K> {
+    /// An empty cache.
+    pub fn new() -> BatchCache<K> {
+        BatchCache {
+            entries: Mutex::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FxHashMap<usize, CacheEntry<K>>> {
+        self.entries.lock().expect("batch cache poisoned")
+    }
+
+    /// The batches of `relation`, converting and memoizing on first use.
+    /// The conversion runs outside the lock; on a race the first insert
+    /// wins (both conversions are identical, so either result is fine).
+    pub(crate) fn get_or_convert(
+        &self,
+        epoch: u64,
+        relation: &Arc<KRelation<K>>,
+    ) -> Arc<Vec<Batch<K>>> {
+        let key = entry_key(relation);
+        if let Some(entry) = self.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return entry.batches.clone();
+        }
+        let batches = Arc::new(relation_to_batches(relation.as_ref()));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.lock();
+        entries.retain(|_, e| e.source.strong_count() > 0);
+        let entry = entries.entry(key).or_insert_with(|| CacheEntry {
+            source: Arc::downgrade(relation),
+            batches,
+            epoch,
+            base_rows: relation.len(),
+            patch_rows: 0,
+            patched: 0,
+        });
+        entry.batches.clone()
+    }
+
+    /// A non-counting read for explain output: the cached batches and
+    /// their provenance, if `relation` has an entry.
+    pub(crate) fn peek(
+        &self,
+        relation: &Arc<KRelation<K>>,
+    ) -> Option<(Arc<Vec<Batch<K>>>, BatchProvenance)> {
+        let entries = self.lock();
+        let entry = entries.get(&entry_key(relation))?;
+        let provenance = match entry.patched {
+            0 => BatchProvenance::Cached,
+            n => BatchProvenance::Patched(n),
+        };
+        Some((entry.batches.clone(), provenance))
+    }
+
+    /// Carries `old`'s cache entry (if any) forward to `new` = `old` +
+    /// `delta` by appending the delta's own batches — called by the commit
+    /// path under the writer lock. Once the accumulated patch rows outgrow
+    /// the base conversion the entry is dropped instead (the next scan
+    /// re-converts, which also compacts cancelled deletions away).
+    pub(crate) fn patch(
+        &self,
+        old: &Arc<KRelation<K>>,
+        new: &Arc<KRelation<K>>,
+        delta: &KRelation<K>,
+        epoch: u64,
+    ) {
+        let mut entries = self.lock();
+        let Some(entry) = entries.remove(&entry_key(old)) else {
+            return;
+        };
+        if entry.patch_rows + delta.len() > entry.base_rows.max(BATCH_ROWS) {
+            return;
+        }
+        let mut batches = entry.batches.as_ref().clone();
+        batches.extend(relation_to_batches(delta));
+        self.patches.fetch_add(1, Ordering::Relaxed);
+        entries.insert(
+            entry_key(new),
+            CacheEntry {
+                source: Arc::downgrade(new),
+                batches: Arc::new(batches),
+                epoch,
+                base_rows: entry.base_rows,
+                patch_rows: entry.patch_rows + delta.len(),
+                patched: entry.patched + 1,
+            },
+        );
+    }
+
+    /// A point-in-time read of the counters.
+    pub fn stats(&self) -> BatchCacheStats {
+        BatchCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            patches: self.patches.load(Ordering::Relaxed),
+            entries: self.lock().len(),
+        }
+    }
 }
 
 // --- grouping --------------------------------------------------------------

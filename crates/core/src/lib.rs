@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod algebra;
+pub mod column;
 pub mod database;
 pub mod expr;
 pub mod paper;

@@ -35,10 +35,10 @@
 //! count. `core/tests/columnar_differential.rs` pins row-vs-batch equality
 //! across five semirings and thread counts.
 
-use super::column::{
+use super::physical::{scan_relation, ColSource, CompiledPredicate, PhysOp};
+use crate::column::{
     column_values_equal, columns_rows_equal, group_batches, relation_to_batches, Batch, Column,
 };
-use super::physical::{scan_relation, ColSource, CompiledPredicate, PhysOp};
 use crate::plan::{ExecContext, RelationSource};
 use crate::relation::KRelation;
 use crate::schema::Schema;
@@ -393,7 +393,7 @@ fn join_batches<K: Semiring>(
             .iter()
             .map(|src| match src {
                 ColSource::Build(i) => {
-                    super::column::gather_multi(&build_col_refs, *i, &match_build)
+                    crate::column::gather_multi(&build_col_refs, *i, &match_build)
                 }
                 ColSource::Probe(i) => pcols[*i].gather(&match_probe),
             })
@@ -403,14 +403,19 @@ fn join_batches<K: Semiring>(
     out
 }
 
-/// Per-execution cache of scan conversions, keyed by the scanned
-/// relation's address: a plan that scans the same relation several times
-/// (self-joins — the Section 2 query scans `R` four times) columnarizes it
-/// once. Reuses share the typed columns by `Arc` and the *same* string
-/// dictionaries, so downstream equality kernels between the scans compare
-/// dictionary codes instead of strings. Only the annotation vectors are
-/// cloned per use — exactly the clones the row engine pays per scan.
-type ScanCache<K> = FxHashMap<usize, Vec<Batch<K>>>;
+/// Per-execution view of scan conversions, keyed by the scanned relation's
+/// address: a plan that scans the same relation several times (self-joins —
+/// the Section 2 query scans `R` four times) resolves it once. The batches
+/// themselves come from the storage layer when the source carries a
+/// [`BatchCache`](crate::column::BatchCache) (snapshots of a
+/// `SharedDatabase` do — repeated *executions* then skip conversion too,
+/// and commits patch the cached batches instead of invalidating them);
+/// otherwise the scan converts here, once per execution. Reuses share the
+/// typed columns by `Arc` and the *same* string dictionaries, so downstream
+/// equality kernels between the scans compare dictionary codes instead of
+/// strings. Only the annotation vectors are cloned per use — exactly the
+/// clones the row engine pays per scan.
+type ScanCache<K> = FxHashMap<usize, Arc<Vec<Batch<K>>>>;
 
 /// Recursively executes an operator into batches, peeling unary σ/π/ρ
 /// chains off the top and applying them as mask/permutation kernels —
@@ -450,10 +455,21 @@ where
     let inputs: Vec<Batch<K>> = match op {
         PhysOp::Scan { name, schema } => {
             let relation = scan_relation(name, schema, source);
-            cache
-                .entry(relation as *const KRelation<K> as usize)
-                .or_insert_with(|| relation_to_batches(relation, threads))
-                .clone()
+            let key = relation as *const KRelation<K> as usize;
+            match cache.get(&key) {
+                Some(batches) => batches.as_ref().clone(),
+                None => {
+                    let batches = match (source.batch_cache(), source.relation_shared(name)) {
+                        (Some((store, epoch)), Some(shared)) => {
+                            store.get_or_convert(epoch, &shared)
+                        }
+                        _ => Arc::new(relation_to_batches(relation)),
+                    };
+                    let out = batches.as_ref().clone();
+                    cache.insert(key, batches);
+                    out
+                }
+            }
         }
         PhysOp::Empty => Vec::new(),
         PhysOp::Union { left, right } => {
@@ -581,7 +597,7 @@ mod profiling {
         let plan = Plan::new(&section2_query(), &db.catalog()).unwrap();
         let rel = db.get("R").unwrap();
         time_it("relation_to_batches(R)", 2000, || {
-            let _ = relation_to_batches(rel, 1);
+            let _ = relation_to_batches(rel);
         });
         time_it("exec_batches(full tree)", 2000, || {
             let _: Vec<Batch<Natural>> =

@@ -1,51 +1,59 @@
-//! Incremental view maintenance over the positional physical operators.
+//! Incremental view maintenance over the positional physical operators,
+//! with **columnar retained state**: the maintained side of every hash join
+//! lives in the same typed, dictionary-encoded column representation the
+//! batch executor scans ([`crate::column`]), and deltas flow through the
+//! operator tree as [`Batch`]es driven by the columnar kernels.
 //!
 //! A [`MaterializedView`] is a plan's output [`KRelation`] plus the retained
 //! per-operator state needed to absorb changes without re-executing: every
-//! hash join keeps both of its sides indexed by the join key. Changes arrive
-//! as a [`DeltaBatch`] — per-relation K-relations of *signed* annotation
-//! deltas (`new = old + Δ`), so over a [`Ring`](provsem_semiring::ring::Ring)
-//! such as ℤ a deletion is just an insertion of `-k` — and propagate through
-//! the operator tree by the classic delta rules:
+//! hash join keeps both of its sides as a [`JoinSide`] — append-only
+//! [`ColBuilder`] columns, a parallel net-annotation column, and a content-
+//! hash index from join key to stored row ids. Changes arrive as a
+//! [`DeltaBatch`] — per-relation K-relations of *signed* annotation deltas
+//! (`new = old + Δ`), so over a [`Ring`](provsem_semiring::ring::Ring) such
+//! as ℤ a deletion is just an insertion of `-k` — and propagate through the
+//! operator tree by the classic delta rules:
 //!
-//! | operator      | delta rule |
-//! |---------------|------------|
-//! | σ_P(R)        | `Δ = σ_P(ΔR)` |
-//! | π_U(R)        | `Δ = π_U(ΔR)` |
-//! | ρ_β(R)        | `Δ = ρ_β(ΔR)` |
-//! | R ∪ S         | `Δ = ΔR ∪ ΔS` |
-//! | Σ-aggregate   | `Δ = agg(ΔR)` (annotation sums are linear) |
-//! | R ⋈ S         | `Δ = ΔR ⋈ S ∪ R ⋈ ΔS ∪ ΔR ⋈ ΔS` |
+//! | operator      | delta rule | kernel |
+//! |---------------|------------|--------|
+//! | σ_P(R)        | `Δ = σ_P(ΔR)` | predicate mask + selection refine |
+//! | π_U(R)        | `Δ = π_U(ΔR)` | column-list permutation |
+//! | ρ_β(R)        | `Δ = ρ_β(ΔR)` | column-list permutation |
+//! | R ∪ S         | `Δ = ΔR ∪ ΔS` | batch concatenation |
+//! | Σ-aggregate   | `Δ = agg(ΔR)` | whole-row [`group_batches`] |
+//! | R ⋈ S         | `Δ = ΔR ⋈ S ∪ R ⋈ ΔS ∪ ΔR ⋈ ΔS` | hash probe of the retained sides |
 //!
 //! every rule is *linear* in the annotations (a consequence of Definition
 //! 3.2's semiring algebra: `+` distributes through each operator), so the
 //! propagated delta is exact — [`Plan::maintain`] leaves the view equal to
 //! re-executing the plan against the updated base, annotation-for-annotation.
 //! The join rule is evaluated in two passes to avoid the three-way product:
-//! `ΔB ⋈ P_old`, then (after folding `ΔB` into the retained build index)
-//! `B_new ⋈ ΔP`, which expands to exactly the three terms above.
+//! `ΔB ⋈ P_old`, then (after folding `ΔB` into the retained build side)
+//! `B_new ⋈ ΔP`, which expands to exactly the three terms above. A deletion
+//! that nets a stored row's annotation to zero leaves a tombstone: the row
+//! keeps its slot (columns are append-only) but drops out of the probe
+//! support until a later delta revives it.
 //!
 //! The work done per batch is proportional to |Δ| (and the fan-out it
 //! touches), never to |base| — the `fig_ivm_maintenance` bench group pins
-//! this.
+//! this. Initial materialization scans through the source's
+//! [`BatchCache`](crate::column::BatchCache) when it carries one (snapshots
+//! of a [`SharedDatabase`](crate::snapshot::SharedDatabase) do), so
+//! registering a view against a warm snapshot skips columnarization.
 //!
-//! Determinism mirrors the executor's PR-5 guarantee: delta propagation
-//! visits rows in a canonical order (batch relations iterate sorted, all
-//! stateful updates run on the coordinator), and the only parallel pieces —
-//! the stateless σ/π/ρ transforms, split into contiguous morsels by
-//! [`crate::par::chunked`] and re-concatenated in chunk order — produce the
-//! byte-identical row sequence at every thread count. Hence
-//! [`Plan::maintain_with`] yields the same view (result *and* retained
-//! state) for every [`ExecContext`].
+//! Maintenance runs serially on the coordinator regardless of the
+//! [`ExecContext`]: deltas are small by contract, and a serial pass over
+//! columnar state is byte-identical at every thread count *by construction*
+//! — there is no merge order to canonicalize. Hence [`Plan::maintain_with`]
+//! yields the same view (result *and* retained state) for every context.
 
+use crate::column::{
+    group_batches, hash_combine, relation_to_batches, Batch, ColBuilder, HASH_SEED,
+};
 use crate::database::Database;
 use crate::plan::batch::eval_predicate_mask;
-use crate::plan::column::Batch;
-use crate::plan::physical::{
-    aggregate_chunk, par_map_chunks, scan_relation, Chunk, ColSource, CompiledPredicate, PhysOp,
-    Row,
-};
-use crate::plan::{ExecContext, ExecMode, Plan, RelationSource};
+use crate::plan::physical::{scan_relation, ColSource, CompiledPredicate, PhysOp};
+use crate::plan::{ExecContext, Plan, RelationSource};
 use crate::relation::KRelation;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -159,9 +167,9 @@ impl<K: Semiring> DeltaBatch<K> {
 
 /// A standing query result maintained under [`DeltaBatch`]es: the output
 /// [`KRelation`] plus the retained operator state (both sides of every hash
-/// join, indexed by join key). Built by [`Plan::materialize`], updated in
-/// place by [`Plan::maintain`]; a view must only ever be maintained through
-/// the plan that materialized it.
+/// join, held columnarly). Built by [`Plan::materialize`], updated in place
+/// by [`Plan::maintain`]; a view must only ever be maintained through the
+/// plan that materialized it.
 #[derive(Clone, Debug)]
 pub struct MaterializedView<K: Semiring> {
     result: KRelation<K>,
@@ -180,16 +188,118 @@ impl<K: Semiring> MaterializedView<K> {
     }
 }
 
-/// One hash-join side retained for maintenance: join key → the rows (and
-/// net annotations) currently on that side. Entry vectors keep first-insert
-/// order; a net-zero annotation removes its row, an emptied key its entry —
-/// so the index is exactly the support of the side's current output.
-type SideIndex<K> = FxHashMap<Row, Vec<(Row, K)>>;
+/// One hash-join side retained columnarly for maintenance: append-only
+/// typed columns (one [`ColBuilder`] per attribute — the same
+/// representation streamed batches use, degrading on type mixes or
+/// dictionary overflow), a parallel net-annotation column, and a content-
+/// hash index from join key to the stored row ids under it. A row whose
+/// net annotation reaches zero becomes a *tombstone*: it keeps its slot
+/// but is skipped by probes, and a later delta on the same row revives it
+/// in place — so the probe support is exactly the side's current output.
+#[derive(Clone, Debug)]
+struct JoinSide<K> {
+    /// Stored rows, column-major. Empty until the first row fixes arity.
+    cols: Vec<ColBuilder>,
+    /// Net annotation per stored row; zero marks a tombstone.
+    anns: Vec<K>,
+    /// Join-key content hash → stored row ids (live and tombstoned).
+    by_key: FxHashMap<u64, Vec<u32>>,
+    /// Full-row content hash → stored row ids: the upsert index. Join keys
+    /// can be heavily skewed (a handful of distinct values over thousands
+    /// of rows), so locating a delta row through `by_key` would scan whole
+    /// key buckets; the full-row hash keeps upserts O(1) expected.
+    by_row: FxHashMap<u64, Vec<u32>>,
+    /// This side's join key columns.
+    key_cols: Vec<usize>,
+}
+
+/// The content hash of `row`'s values at `keys`, in key order — the same
+/// per-value hashes and combiner the columnar kernels use, so a delta row
+/// hashed here finds the stored rows hashed by [`JoinSide::upsert`].
+fn row_key_hash(keys: &[usize], row: &[Value]) -> u64 {
+    keys.iter()
+        .fold(HASH_SEED, |h, &c| hash_combine(h, row[c].content_hash()))
+}
+
+impl<K: Semiring> JoinSide<K> {
+    fn new(key_cols: &[usize]) -> JoinSide<K> {
+        JoinSide {
+            cols: Vec::new(),
+            anns: Vec::new(),
+            by_key: FxHashMap::default(),
+            by_row: FxHashMap::default(),
+            key_cols: key_cols.to_vec(),
+        }
+    }
+
+    /// The stored rows matching `row`'s join key, where `row`'s key sits at
+    /// `other_keys` (the opposite side's key columns, paired positionally
+    /// with this side's). Hash candidates are verified exactly; tombstones
+    /// are skipped.
+    fn matches(&self, hash: u64, other_keys: &[usize], row: &[Value]) -> Vec<u32> {
+        let Some(ids) = self.by_key.get(&hash) else {
+            return Vec::new();
+        };
+        ids.iter()
+            .copied()
+            .filter(|&id| {
+                !self.anns[id as usize].is_zero()
+                    && self
+                        .key_cols
+                        .iter()
+                        .zip(other_keys)
+                        .all(|(&sc, &oc)| self.cols[sc].value_eq_at(id, &row[oc]))
+            })
+            .collect()
+    }
+
+    fn value_at(&self, id: u32, col: usize) -> Value {
+        self.cols[col].value_at(id)
+    }
+
+    fn ann(&self, id: u32) -> &K {
+        &self.anns[id as usize]
+    }
+
+    /// Folds one delta row into the side: sums the annotation of an
+    /// existing row (possibly tombstoning it, or reviving a tombstone) or
+    /// appends a new row to the columns and the key index.
+    fn upsert(&mut self, row: &[Value], k: K) {
+        if k.is_zero() {
+            return;
+        }
+        if self.cols.is_empty() {
+            self.cols = row.iter().map(|_| ColBuilder::new()).collect();
+        }
+        let row_hash = row
+            .iter()
+            .fold(HASH_SEED, |h, v| hash_combine(h, v.content_hash()));
+        let row_ids = self.by_row.entry(row_hash).or_default();
+        for &id in row_ids.iter() {
+            if row
+                .iter()
+                .enumerate()
+                .all(|(c, v)| self.cols[c].value_eq_at(id, v))
+            {
+                self.anns[id as usize].plus_assign(&k);
+                return;
+            }
+        }
+        let id = self.anns.len() as u32;
+        for (col, v) in self.cols.iter_mut().zip(row.iter()) {
+            col.push(v.clone());
+        }
+        self.anns.push(k);
+        row_ids.push(id);
+        let key_hash = row_key_hash(&self.key_cols, row);
+        self.by_key.entry(key_hash).or_default().push(id);
+    }
+}
 
 /// Retained state, mirroring the shape of the physical operator tree.
 /// Stateless operators (scan/σ/π/ρ/∪/aggregate) keep only their children's
-/// state; each hash join retains both input sides so either delta can be
-/// joined against the other side's current contents.
+/// state; each hash join retains both input sides columnarly so either
+/// delta can be joined against the other side's current contents.
 #[derive(Clone, Debug)]
 enum OpState<K> {
     /// A stateless operator's node: children states in operator order.
@@ -198,8 +308,8 @@ enum OpState<K> {
     Join {
         build: Box<OpState<K>>,
         probe: Box<OpState<K>>,
-        build_index: SideIndex<K>,
-        probe_index: SideIndex<K>,
+        build_side: Box<JoinSide<K>>,
+        probe_side: Box<JoinSide<K>>,
     },
 }
 
@@ -207,51 +317,80 @@ fn state_mismatch() -> ! {
     panic!("maintain: view state does not match the plan; a MaterializedView must only be maintained by the plan that materialized it")
 }
 
-/// Assembles a join output row from its build/probe sources.
-fn joined_row(output: &[ColSource], brow: &[Value], prow: &[Value]) -> Row {
+/// Assembles a join output row from its build/probe value sources.
+fn assemble_row(
+    output: &[ColSource],
+    brow: impl Fn(usize) -> Value,
+    prow: impl Fn(usize) -> Value,
+) -> Box<[Value]> {
     output
         .iter()
         .map(|src| match src {
-            ColSource::Build(i) => brow[*i].clone(),
-            ColSource::Probe(i) => prow[*i].clone(),
+            ColSource::Build(i) => brow(*i),
+            ColSource::Probe(i) => prow(*i),
         })
         .collect()
 }
 
-/// Extracts the join key of `row` at `keys`.
-fn key_of(row: &[Value], keys: &[usize]) -> Vec<Value> {
-    keys.iter().map(|&i| row[i].clone()).collect()
+/// The σ delta/init rule: mask each batch against the predicate and refine
+/// its selection vector. Fully filtered batches are dropped.
+fn filter_batches<K: Semiring>(
+    batches: Vec<Batch<K>>,
+    predicate: &CompiledPredicate,
+) -> Vec<Batch<K>> {
+    batches
+        .into_iter()
+        .filter_map(|mut batch| {
+            let mask = eval_predicate_mask(predicate, batch.columns(), batch.phys_rows());
+            batch.refine(&mask);
+            (batch.live_rows() > 0).then_some(batch)
+        })
+        .collect()
 }
 
-/// Folds one delta row into a retained side index, summing annotations of
-/// an existing row and pruning net-zero rows/keys so the index stays the
-/// exact support of the side. `Vec::remove` preserves the relative order of
-/// the surviving rows, keeping future probe output deterministic.
-fn upsert<K: Semiring>(index: &mut SideIndex<K>, keys: &[usize], row: Row, k: K) {
-    let key = key_of(&row, keys);
-    if let Some(entries) = index.get_mut(key.as_slice()) {
-        if let Some(pos) = entries.iter().position(|(r, _)| *r == row) {
-            entries[pos].1.plus_assign(&k);
-            if entries[pos].1.is_zero() {
-                entries.remove(pos);
-            }
-        } else if !k.is_zero() {
-            entries.push((row, k));
-        }
-        if entries.is_empty() {
-            index.remove(key.as_slice());
-        }
-    } else if !k.is_zero() {
-        index.insert(key.into_boxed_slice(), vec![(row, k)]);
+/// The π/ρ delta/init rule: permute each batch's column list (`Arc` moves).
+fn permute_batches<K: Semiring>(mut batches: Vec<Batch<K>>, perm: &[usize]) -> Vec<Batch<K>> {
+    for batch in &mut batches {
+        batch.permute_columns(perm);
+    }
+    batches
+}
+
+/// The aggregate delta/init rule: whole-row grouping, summing equal rows
+/// and dropping zero-summed groups (they contribute nothing downstream —
+/// annotation sums are linear, so the delta of the aggregate is the
+/// aggregate of the delta and no retained groups are needed).
+fn aggregate_batches<K: Semiring>(batches: Vec<Batch<K>>) -> Vec<Batch<K>> {
+    let Some(arity) = batches.first().map(|b| b.columns().len()) else {
+        return Vec::new();
+    };
+    let keys: Vec<usize> = (0..arity).collect();
+    let out = group_batches(batches, &keys).into_batch(arity);
+    if out.live_rows() == 0 {
+        Vec::new()
+    } else {
+        vec![out]
     }
 }
 
-/// Initial materialization: computes each operator's full output chunk (in
-/// the serial streaming order) and builds the retained join indexes from
-/// those chunks. Always serial — the chunks, and therefore the index entry
-/// orders, are identical to what the serial executor streams, which is what
-/// makes later maintenance deterministic at every thread count.
-fn init_op<K, S>(op: &PhysOp, source: &S) -> (Chunk<K>, OpState<K>)
+/// Wraps loose join-output rows back into a batch (dropping the empty
+/// case), re-entering the columnar representation.
+fn rows_to_batches<K: Semiring>(arity: usize, rows: Vec<(Box<[Value]>, K)>) -> Vec<Batch<K>> {
+    if rows.is_empty() {
+        Vec::new()
+    } else {
+        vec![Batch::from_rows(arity, rows)]
+    }
+}
+
+/// Initial materialization: computes each operator's full output as
+/// columnar batches and builds the retained join sides from them. Scans go
+/// through the source's [`BatchCache`](crate::column::BatchCache) when it
+/// carries one, so materializing against a warm snapshot reuses the cached
+/// conversion. Always serial — stored row ids and index orders depend only
+/// on the source contents, which is what makes later maintenance
+/// deterministic at every thread count.
+fn init_op<K, S>(op: &PhysOp, source: &S) -> (Vec<Batch<K>>, OpState<K>)
 where
     K: Semiring,
     S: RelationSource<K>,
@@ -259,49 +398,45 @@ where
     match op {
         PhysOp::Scan { name, schema } => {
             let relation = scan_relation(name, schema, source);
-            let chunk = relation
-                .iter()
-                .map(|(tuple, k)| {
-                    let row: Row = tuple.values().cloned().collect();
-                    (row, k.clone())
-                })
-                .collect();
-            (chunk, OpState::Stateless(Vec::new()))
+            let batches = match (source.batch_cache(), source.relation_shared(name)) {
+                (Some((store, epoch)), Some(shared)) => {
+                    store.get_or_convert(epoch, &shared).as_ref().clone()
+                }
+                _ => relation_to_batches(relation),
+            };
+            (batches, OpState::Stateless(Vec::new()))
         }
         PhysOp::Empty => (Vec::new(), OpState::Stateless(Vec::new())),
         PhysOp::Select { input, predicate } => {
-            let (chunk, state) = init_op(input, source);
-            let chunk = chunk
-                .into_iter()
-                .filter(|(row, _)| predicate.eval(row))
-                .collect();
-            (chunk, OpState::Stateless(vec![state]))
+            let (batches, state) = init_op(input, source);
+            (
+                filter_batches(batches, predicate),
+                OpState::Stateless(vec![state]),
+            )
         }
         PhysOp::Project { input, keep } => {
-            let (chunk, state) = init_op(input, source);
-            let chunk = chunk
-                .into_iter()
-                .map(|(row, k)| (key_of(&row, keep).into_boxed_slice(), k))
-                .collect();
-            (chunk, OpState::Stateless(vec![state]))
+            let (batches, state) = init_op(input, source);
+            (
+                permute_batches(batches, keep),
+                OpState::Stateless(vec![state]),
+            )
         }
         PhysOp::Permute { input, perm } => {
-            let (chunk, state) = init_op(input, source);
-            let chunk = chunk
-                .into_iter()
-                .map(|(row, k)| (key_of(&row, perm).into_boxed_slice(), k))
-                .collect();
-            (chunk, OpState::Stateless(vec![state]))
+            let (batches, state) = init_op(input, source);
+            (
+                permute_batches(batches, perm),
+                OpState::Stateless(vec![state]),
+            )
         }
         PhysOp::Union { left, right } => {
-            let (mut chunk, lstate) = init_op(left, source);
-            let (rchunk, rstate) = init_op(right, source);
-            chunk.extend(rchunk);
-            (chunk, OpState::Stateless(vec![lstate, rstate]))
+            let (mut batches, lstate) = init_op(left, source);
+            let (rbatches, rstate) = init_op(right, source);
+            batches.extend(rbatches);
+            (batches, OpState::Stateless(vec![lstate, rstate]))
         }
         PhysOp::Aggregate { input } => {
-            let (chunk, state) = init_op(input, source);
-            (aggregate_chunk(chunk), OpState::Stateless(vec![state]))
+            let (batches, state) = init_op(input, source);
+            (aggregate_batches(batches), OpState::Stateless(vec![state]))
         }
         PhysOp::HashJoin {
             build,
@@ -311,106 +446,60 @@ where
             output,
             swapped,
         } => {
-            let (bchunk, bstate) = init_op(build, source);
-            let (pchunk, pstate) = init_op(probe, source);
-            let mut build_index: SideIndex<K> = FxHashMap::default();
-            for (row, k) in bchunk {
-                upsert(&mut build_index, build_keys, row, k);
+            let (bbatches, bstate) = init_op(build, source);
+            let (pbatches, pstate) = init_op(probe, source);
+            let mut build_side: JoinSide<K> = JoinSide::new(build_keys);
+            let mut probe_side: JoinSide<K> = JoinSide::new(probe_keys);
+            for batch in bbatches {
+                for (row, k) in batch.into_rows() {
+                    build_side.upsert(&row, k);
+                }
             }
-            let mut probe_index: SideIndex<K> = FxHashMap::default();
-            let mut out: Chunk<K> = Vec::new();
-            for (prow, pk) in pchunk {
-                if let Some(entries) = build_index.get(key_of(&prow, probe_keys).as_slice()) {
-                    out.reserve(entries.len());
-                    for (brow, bk) in entries {
+            let mut out: Vec<(Box<[Value]>, K)> = Vec::new();
+            for batch in pbatches {
+                for (prow, pk) in batch.into_rows() {
+                    let hash = row_key_hash(probe_keys, &prow);
+                    for id in build_side.matches(hash, probe_keys, &prow) {
+                        let bk = build_side.ann(id);
                         let k = if *swapped {
                             pk.times(bk)
                         } else {
                             bk.times(&pk)
                         };
-                        out.push((joined_row(output, brow, &prow), k));
+                        out.push((
+                            assemble_row(
+                                output,
+                                |i| build_side.value_at(id, i),
+                                |i| prow[i].clone(),
+                            ),
+                            k,
+                        ));
                     }
+                    probe_side.upsert(&prow, pk);
                 }
-                upsert(&mut probe_index, probe_keys, prow, pk);
             }
             (
-                out,
+                rows_to_batches(output.len(), out),
                 OpState::Join {
                     build: Box::new(bstate),
                     probe: Box::new(pstate),
-                    build_index,
-                    probe_index,
+                    build_side: Box::new(build_side),
+                    probe_side: Box::new(probe_side),
                 },
             )
         }
     }
 }
 
-/// A stateless per-row delta transform: the σ (filter) and π/ρ (column
-/// gather) delta rules, shared between the row and batch engines.
-enum DeltaTransform<'a> {
-    /// Keep the delta row iff the predicate holds.
-    Filter(&'a CompiledPredicate),
-    /// Rebuild the delta row from the given input column indices.
-    Gather(&'a [usize]),
-}
-
-/// Applies a stateless transform to a delta chunk.
-///
-/// Under [`ExecMode::Batch`] the chunk takes a round trip through the
-/// columnar kernels — [`Batch::from_rows`], a predicate mask / column
-/// permutation, [`Batch::into_rows`] — all of which preserve row order
-/// exactly, so the output sequence is byte-identical to the row path.
-/// Under [`ExecMode::Row`] the transform fans out to contiguous morsels
-/// when the context (and the semiring's portability) allows; outputs are
-/// re-concatenated in morsel order. Either way the row sequence is the
-/// same at every thread count and in both engines.
-fn transform_chunk<K>(chunk: Chunk<K>, ctx: &ExecContext, transform: DeltaTransform<'_>) -> Chunk<K>
-where
-    K: Semiring,
-{
-    if chunk.is_empty() {
-        return chunk;
-    }
-    if ctx.mode == ExecMode::Batch {
-        let arity = chunk[0].0.len();
-        let mut batch = Batch::from_rows(arity, chunk);
-        match transform {
-            DeltaTransform::Filter(predicate) => {
-                let mask = eval_predicate_mask(predicate, batch.columns(), batch.phys_rows());
-                batch.refine(&mask);
-            }
-            DeltaTransform::Gather(cols) => batch.permute_columns(cols),
-        }
-        return batch.into_rows();
-    }
-    let f = |row: Row, k: K| match transform {
-        DeltaTransform::Filter(predicate) => predicate.eval(&row).then_some((row, k)),
-        DeltaTransform::Gather(cols) => Some((key_of(&row, cols).into_boxed_slice(), k)),
-    };
-    if ctx.threads > 1 && K::is_portable() && chunk.len() >= crate::par::SPAWN_THRESHOLD {
-        let parts = crate::par::chunked(chunk, ctx.threads);
-        par_map_chunks(parts, ctx.threads, |_, part: Chunk<K>| {
-            part.into_iter().filter_map(|(row, k)| f(row, k)).collect()
-        })
-        .into_iter()
-        .flatten()
-        .collect()
-    } else {
-        chunk.into_iter().filter_map(|(row, k)| f(row, k)).collect()
-    }
-}
-
 /// Propagates a delta batch through one operator, updating retained state
-/// and returning the operator's output delta (rows with signed annotation
-/// changes; the same row may appear multiple times, summed by the caller's
-/// materialization point).
+/// and returning the operator's output delta as columnar batches (the same
+/// logical row may appear in several batches or rows; the caller's
+/// materialization point sums them).
 fn delta_op<K: Semiring>(
     op: &PhysOp,
     state: &mut OpState<K>,
     batch: &DeltaBatch<K>,
-    ctx: &ExecContext,
-) -> Chunk<K> {
+) -> Vec<Batch<K>> {
     match op {
         PhysOp::Scan { name, schema } => {
             let OpState::Stateless(children) = state else {
@@ -424,13 +513,7 @@ fn delta_op<K: Semiring>(
                         schema,
                         "delta batch for {name} does not match the planned schema"
                     );
-                    delta
-                        .iter()
-                        .map(|(tuple, k)| {
-                            let row: Row = tuple.values().cloned().collect();
-                            (row, k.clone())
-                        })
-                        .collect()
+                    relation_to_batches(delta)
                 }
                 None => Vec::new(),
             }
@@ -443,8 +526,7 @@ fn delta_op<K: Semiring>(
             let [child] = children.as_mut_slice() else {
                 state_mismatch()
             };
-            let chunk = delta_op(input, child, batch, ctx);
-            transform_chunk(chunk, ctx, DeltaTransform::Filter(predicate))
+            filter_batches(delta_op(input, child, batch), predicate)
         }
         PhysOp::Project { input, keep } => {
             let OpState::Stateless(children) = state else {
@@ -453,8 +535,7 @@ fn delta_op<K: Semiring>(
             let [child] = children.as_mut_slice() else {
                 state_mismatch()
             };
-            let chunk = delta_op(input, child, batch, ctx);
-            transform_chunk(chunk, ctx, DeltaTransform::Gather(keep))
+            permute_batches(delta_op(input, child, batch), keep)
         }
         PhysOp::Permute { input, perm } => {
             let OpState::Stateless(children) = state else {
@@ -463,8 +544,7 @@ fn delta_op<K: Semiring>(
             let [child] = children.as_mut_slice() else {
                 state_mismatch()
             };
-            let chunk = delta_op(input, child, batch, ctx);
-            transform_chunk(chunk, ctx, DeltaTransform::Gather(perm))
+            permute_batches(delta_op(input, child, batch), perm)
         }
         PhysOp::Union { left, right } => {
             let OpState::Stateless(children) = state else {
@@ -473,9 +553,9 @@ fn delta_op<K: Semiring>(
             let [lstate, rstate] = children.as_mut_slice() else {
                 state_mismatch()
             };
-            let mut chunk = delta_op(left, lstate, batch, ctx);
-            chunk.extend(delta_op(right, rstate, batch, ctx));
-            chunk
+            let mut batches = delta_op(left, lstate, batch);
+            batches.extend(delta_op(right, rstate, batch));
+            batches
         }
         PhysOp::Aggregate { input } => {
             let OpState::Stateless(children) = state else {
@@ -484,11 +564,7 @@ fn delta_op<K: Semiring>(
             let [child] = children.as_mut_slice() else {
                 state_mismatch()
             };
-            // Aggregation is linear in the annotations, so the delta of the
-            // aggregate is the aggregate of the delta — no retained groups
-            // needed. Zero-summed delta groups contribute nothing downstream
-            // and are dropped.
-            aggregate_chunk(delta_op(input, child, batch, ctx))
+            aggregate_batches(delta_op(input, child, batch))
         }
         PhysOp::HashJoin {
             build,
@@ -501,60 +577,73 @@ fn delta_op<K: Semiring>(
             let OpState::Join {
                 build: bstate,
                 probe: pstate,
-                build_index,
-                probe_index,
+                build_side,
+                probe_side,
             } = state
             else {
                 state_mismatch()
             };
-            let delta_build = delta_op(build, bstate, batch, ctx);
-            let delta_probe = delta_op(probe, pstate, batch, ctx);
-            let mut out: Chunk<K> = Vec::new();
-            // Pass 1: ΔB ⋈ P_old (probe the retained probe-side index).
+            let delta_build: Vec<(Box<[Value]>, K)> = delta_op(build, bstate, batch)
+                .into_iter()
+                .flat_map(Batch::into_rows)
+                .collect();
+            let delta_probe: Vec<(Box<[Value]>, K)> = delta_op(probe, pstate, batch)
+                .into_iter()
+                .flat_map(Batch::into_rows)
+                .collect();
+            let mut out: Vec<(Box<[Value]>, K)> = Vec::new();
+            // Pass 1: ΔB ⋈ P_old (probe the retained probe side).
             for (brow, bk) in &delta_build {
-                if let Some(entries) = probe_index.get(key_of(brow, build_keys).as_slice()) {
-                    out.reserve(entries.len());
-                    for (prow, pk) in entries {
-                        let k = if *swapped { pk.times(bk) } else { bk.times(pk) };
-                        out.push((joined_row(output, brow, prow), k));
-                    }
+                let hash = row_key_hash(build_keys, brow);
+                for id in probe_side.matches(hash, build_keys, brow) {
+                    let pk = probe_side.ann(id);
+                    let k = if *swapped { pk.times(bk) } else { bk.times(pk) };
+                    out.push((
+                        assemble_row(output, |i| brow[i].clone(), |i| probe_side.value_at(id, i)),
+                        k,
+                    ));
                 }
             }
             // Fold ΔB into the build side: the second pass then sees B_new.
             for (row, k) in delta_build {
-                upsert(build_index, build_keys, row, k);
+                build_side.upsert(&row, k);
             }
             // Pass 2: B_new ⋈ ΔP. Together the passes expand to exactly
             // ΔB⋈P + B⋈ΔP + ΔB⋈ΔP.
             for (prow, pk) in &delta_probe {
-                if let Some(entries) = build_index.get(key_of(prow, probe_keys).as_slice()) {
-                    out.reserve(entries.len());
-                    for (brow, bk) in entries {
-                        let k = if *swapped { pk.times(bk) } else { bk.times(pk) };
-                        out.push((joined_row(output, brow, prow), k));
-                    }
+                let hash = row_key_hash(probe_keys, prow);
+                for id in build_side.matches(hash, probe_keys, prow) {
+                    let bk = build_side.ann(id);
+                    let k = if *swapped { pk.times(bk) } else { bk.times(pk) };
+                    out.push((
+                        assemble_row(output, |i| build_side.value_at(id, i), |i| prow[i].clone()),
+                        k,
+                    ));
                 }
             }
             for (row, k) in delta_probe {
-                upsert(probe_index, probe_keys, row, k);
+                probe_side.upsert(&row, k);
             }
-            out
+            rows_to_batches(output.len(), out)
         }
     }
 }
 
 impl Plan {
-    /// Executes the plan and retains the operator state needed to maintain
-    /// the result incrementally. The returned view's
+    /// Executes the plan and retains the columnar operator state needed to
+    /// maintain the result incrementally. The returned view's
     /// [`result`](MaterializedView::result) equals [`Plan::execute`] on the
     /// same source (materialization itself always runs serially; by the
     /// executor's determinism guarantee that is the same relation every
-    /// execution mode produces).
+    /// execution mode produces). Scans reuse the source's cached batches
+    /// when it carries a [`BatchCache`](crate::column::BatchCache).
     pub fn materialize<K: Semiring>(&self, source: &impl RelationSource<K>) -> MaterializedView<K> {
-        let (chunk, state) = init_op(&self.physical, source);
+        let (batches, state) = init_op(&self.physical, source);
         let mut result = KRelation::empty(self.schema.clone());
-        for (row, k) in chunk {
-            result.insert_same_schema(Tuple::from_schema_row(&self.schema, row), k);
+        for batch in batches {
+            for (row, k) in batch.into_rows() {
+                result.insert_same_schema(Tuple::from_schema_row(&self.schema, row), k);
+            }
         }
         MaterializedView { result, state }
     }
@@ -576,22 +665,24 @@ impl Plan {
         self.maintain_with(view, batch, &ExecContext::default());
     }
 
-    /// [`Plan::maintain`] with an explicit thread budget. Exactly like
-    /// parallel execution, the result — and the retained state, hence all
-    /// future maintenance — is byte-identical at every thread count: delta
-    /// morsels are contiguous, stateless transforms merge in morsel order,
-    /// and every stateful update runs on the coordinator in canonical
-    /// order.
+    /// [`Plan::maintain`] with an explicit [`ExecContext`]. Maintenance is
+    /// serial and batch-native regardless of the context's engine or thread
+    /// budget — deltas are small by contract, and a serial pass over the
+    /// columnar retained state is byte-identical at every thread count and
+    /// in both engines *by construction*. The context is accepted for
+    /// symmetry with [`Plan::execute_with`] on the commit path.
     pub fn maintain_with<K: Semiring>(
         &self,
         view: &mut MaterializedView<K>,
         batch: &DeltaBatch<K>,
-        ctx: &ExecContext,
+        _ctx: &ExecContext,
     ) {
-        let delta = delta_op(&self.physical, &mut view.state, batch, ctx);
-        for (row, k) in delta {
-            view.result
-                .insert_same_schema(Tuple::from_schema_row(&self.schema, row), k);
+        let delta = delta_op(&self.physical, &mut view.state, batch);
+        for batch in delta {
+            for (row, k) in batch.into_rows() {
+                view.result
+                    .insert_same_schema(Tuple::from_schema_row(&self.schema, row), k);
+            }
         }
     }
 }
@@ -644,6 +735,29 @@ mod tests {
         batch.apply_to(&mut db);
         assert!(db.get("R").unwrap().is_empty());
         assert!(view.result().is_empty());
+    }
+
+    #[test]
+    fn delete_then_reinsert_revives_a_tombstoned_join_row() {
+        let mut db = z_db();
+        let plan = Plan::new(&paper_example_query("R"), &db.catalog()).unwrap();
+        let mut view = plan.materialize(&db);
+        let (first, ann) = {
+            let r = db.get("R").unwrap();
+            let (t, k) = r.iter().next().unwrap();
+            (t.clone(), *k)
+        };
+        // Delete a row to a zero net annotation, then bring it back.
+        let mut del = DeltaBatch::new();
+        del.delete("R", first.clone(), ann);
+        plan.maintain(&mut view, &del);
+        del.apply_to(&mut db);
+        assert_eq!(view.result(), &plan.execute(&db));
+        let mut ins = DeltaBatch::new();
+        ins.insert("R", first, ann);
+        plan.maintain(&mut view, &ins);
+        ins.apply_to(&mut db);
+        assert_eq!(view.result(), &plan.execute(&db));
     }
 
     #[test]

@@ -33,10 +33,11 @@
 //! ```
 
 mod batch;
-mod column;
 pub mod logical;
 mod maintain;
 mod physical;
+
+use crate::column;
 
 use crate::database::Database;
 use crate::expr::{EvalError, RaExpr};
@@ -61,19 +62,25 @@ pub enum ExecMode {
     Row,
     /// Columnar batches: typed column vectors (dictionary-encoded strings),
     /// vectorized selection/hash kernels, annotations as a parallel column.
-    /// The default.
     Batch,
+    /// Decide per plan at execution time: plans whose catalog estimates
+    /// read at least [`Plan::AUTO_BATCH_MIN_ROWS`] total scan rows run on
+    /// the batch engine, smaller ones on the row engine (whose lack of a
+    /// row→column conversion wins on tiny inputs). The default.
+    Auto,
 }
 
 impl ExecMode {
-    /// The process-wide default: `PROVSEM_EXEC=row` selects the
-    /// row-at-a-time engine, anything else (including unset) the columnar
-    /// batch engine. The environment is read once and cached.
+    /// The process-wide default: `PROVSEM_EXEC=row` forces the
+    /// row-at-a-time engine, `PROVSEM_EXEC=batch` forces the columnar
+    /// batch engine, anything else (including unset) selects
+    /// [`ExecMode::Auto`]. The environment is read once and cached.
     pub fn from_env() -> ExecMode {
         static MODE: std::sync::OnceLock<ExecMode> = std::sync::OnceLock::new();
         *MODE.get_or_init(|| match std::env::var("PROVSEM_EXEC") {
             Ok(value) if value.trim().eq_ignore_ascii_case("row") => ExecMode::Row,
-            _ => ExecMode::Batch,
+            Ok(value) if value.trim().eq_ignore_ascii_case("batch") => ExecMode::Batch,
+            _ => ExecMode::Auto,
         })
     }
 }
@@ -204,6 +211,23 @@ pub trait RelationSource<K> {
 
     /// Resolves a base relation by name.
     fn relation(&self, name: &str) -> Option<&KRelation<K>>;
+
+    /// The shared handle of a base relation, for sources that store
+    /// relations behind `Arc`s (snapshots do). `None` — the default — means
+    /// the source only hands out borrows, and scans columnarize per
+    /// execution.
+    fn relation_shared(&self, _name: &str) -> Option<std::sync::Arc<KRelation<K>>> {
+        None
+    }
+
+    /// The storage-layer [`BatchCache`](crate::column::BatchCache) attached
+    /// to this source, plus the epoch new entries should record, if the
+    /// source has one ([`DbSnapshot`](crate::snapshot::DbSnapshot) does).
+    /// When present, the batch engine's scans are served from (and memoized
+    /// into) the cache instead of converting per execution.
+    fn batch_cache(&self) -> Option<(&column::BatchCache<K>, u64)> {
+        None
+    }
 }
 
 impl<K: Semiring> RelationSource<K> for Database<K> {
@@ -257,9 +281,20 @@ pub struct Plan {
     logical: LogicalPlan,
     physical: physical::PhysOp,
     schema: Schema,
+    /// Total catalog-estimated rows read by the plan's scans — the input
+    /// to the [`ExecMode::Auto`] engine pick, frozen at plan time.
+    scan_rows: usize,
 }
 
 impl Plan {
+    /// Scan-row threshold of the [`ExecMode::Auto`] engine pick: plans
+    /// whose scans read at least this many rows (by catalog estimate, at
+    /// plan time) run on the batch engine; smaller plans — e.g. the
+    /// Section 9 canonical databases of under ten facts — stay on the row
+    /// engine, where the row→column conversion they cannot amortize never
+    /// happens.
+    pub const AUTO_BATCH_MIN_ROWS: usize = 64;
+
     /// Validates `expr` against `catalog`, optimizes it, and compiles the
     /// physical operators. Errors are exactly those `RaExpr::eval` would
     /// report.
@@ -268,11 +303,29 @@ impl Plan {
         let optimized = logical::optimize(validated);
         let physical = physical::compile(&optimized);
         let schema = optimized.schema().clone();
+        let scan_rows = optimized.scan_rows();
         Ok(Plan {
             logical: optimized,
             physical,
             schema,
+            scan_rows,
         })
+    }
+
+    /// The engine `ctx` resolves to for this plan: [`ExecMode::Auto`]
+    /// picks per the scan-row estimate (see [`Plan::AUTO_BATCH_MIN_ROWS`]);
+    /// explicit modes pass through.
+    pub fn resolved_mode(&self, ctx: &ExecContext) -> ExecMode {
+        match ctx.mode {
+            ExecMode::Auto => {
+                if self.scan_rows >= Plan::AUTO_BATCH_MIN_ROWS {
+                    ExecMode::Batch
+                } else {
+                    ExecMode::Row
+                }
+            }
+            mode => mode,
+        }
     }
 
     /// The plan's output schema.
@@ -310,19 +363,41 @@ impl Plan {
     /// annotated with the context's morsel budget and each hash join /
     /// pre-join aggregation with its hash-partition count. The counts are
     /// the *budget*, not runtime cardinalities: a scan smaller than the
-    /// budget splits into fewer morsels at execution time. Under
-    /// [`ExecMode::Batch`] each scan additionally shows the batch row
-    /// budget (`[batch=4096]`).
+    /// budget splits into fewer morsels at execution time. The first line
+    /// states the engine decision — which engine runs and whether it was
+    /// forced or picked by [`ExecMode::Auto`] from the scan-row estimate —
+    /// and under the batch engine each scan additionally shows the batch
+    /// row budget (`[batch=4096]`).
     pub fn explain_physical_with(&self, ctx: &ExecContext) -> String {
-        let batch_rows = (ctx.mode == ExecMode::Batch).then_some(column::BATCH_ROWS);
-        self.physical.render(ctx.threads, batch_rows)
+        let mode = self.resolved_mode(ctx);
+        let decision = match (ctx.mode, mode) {
+            (ExecMode::Auto, ExecMode::Batch) => format!(
+                "engine: batch (auto: ~{} scan rows ≥ {})",
+                self.scan_rows,
+                Plan::AUTO_BATCH_MIN_ROWS
+            ),
+            (ExecMode::Auto, ExecMode::Row) => format!(
+                "engine: row (auto: ~{} scan rows < {})",
+                self.scan_rows,
+                Plan::AUTO_BATCH_MIN_ROWS
+            ),
+            (_, ExecMode::Row) => "engine: row (forced)".to_string(),
+            _ => "engine: batch (forced)".to_string(),
+        };
+        let batch_rows = (mode == ExecMode::Batch).then_some(column::BATCH_ROWS);
+        format!(
+            "{decision}\n{}",
+            self.physical.render(ctx.threads, batch_rows)
+        )
     }
 
     /// Describes, per scan of the physical plan, how the batch engine will
     /// lay the relation out against a concrete source: row count, number of
-    /// batches, and the per-column encodings — `i64` (typed integers),
+    /// batches, the per-column encodings — `i64` (typed integers),
     /// `dict(n)` (dictionary-encoded strings with `n` distinct entries), or
-    /// `val` (the mixed-type / dictionary-overflow fallback).
+    /// `val` (the mixed-type / dictionary-overflow fallback) — and, when
+    /// the source carries a storage-layer batch cache, where the batches
+    /// come from (`converted`, `cached`, or `patched(n)`).
     ///
     /// # Panics
     /// Panics under the same source/catalog-mismatch conditions as
@@ -351,7 +426,8 @@ impl Plan {
         source: &impl RelationSource<K>,
         ctx: &ExecContext,
     ) -> KRelation<K> {
-        physical::execute(&self.physical, &self.schema, source, ctx)
+        let ctx = ctx.with_mode(self.resolved_mode(ctx));
+        physical::execute(&self.physical, &self.schema, source, &ctx)
     }
 }
 

@@ -31,18 +31,21 @@
 //! the comment block above [`exec_partitions`]).
 //!
 //! Everything above describes the row-at-a-time engine
-//! ([`ExecMode::Row`](crate::plan::ExecMode)). The default engine is its
-//! **columnar twin** (`super::batch`, `PROVSEM_EXEC=batch`): the same
-//! physical tree executed over batches of typed column vectors
-//! (`super::column`), where *a morsel is a batch* — scans split into
-//! contiguous batches of at most `BATCH_ROWS` rows sharing per-scan string
-//! dictionaries, the parallel exchanges ship whole batches between workers
-//! (column payloads as `Send` data, annotation vectors sealed through
-//! [`Portable`]), and the unary chains fuse into selection-vector and
-//! column-permutation kernels instead of per-row loops. Both engines share
-//! this module's [`PhysOp`] tree, [`CompiledPredicate`]s, partition
-//! assignment ([`crate::par::part_of`]) and determinism contract; `execute`
-//! dispatches on [`ExecContext::mode`](crate::plan::ExecContext).
+//! ([`ExecMode::Row`](crate::plan::ExecMode)). Its **columnar twin**
+//! (`super::batch`, `PROVSEM_EXEC=batch`) executes the same physical tree
+//! over batches of typed column vectors ([`crate::column`]), where *a
+//! morsel is a batch* — scans resolve against the storage layer (served
+//! from the snapshot-resident [`crate::column::BatchCache`] when the source
+//! has one, converted per execution otherwise), the parallel exchanges ship
+//! whole batches between workers (column payloads as `Send` data,
+//! annotation vectors sealed through [`Portable`]), and the unary chains
+//! fuse into selection-vector and column-permutation kernels instead of
+//! per-row loops. Both engines share this module's [`PhysOp`] tree,
+//! [`CompiledPredicate`]s, partition assignment ([`crate::par::part_of`])
+//! and determinism contract; `execute` dispatches on
+//! [`ExecContext::mode`](crate::plan::ExecContext), which the planner
+//! resolves per plan under the default `PROVSEM_EXEC=auto` (small scans
+//! run row-at-a-time, everything else columnar).
 
 use crate::plan::{ExecContext, RelationSource};
 use crate::predicate::Predicate;
@@ -343,8 +346,25 @@ where
         S: RelationSource<K>,
     {
         if let PhysOp::Scan { name, schema } = op {
+            use crate::column::BatchProvenance;
             let relation = scan_relation(name, schema, source);
-            let batches = super::column::relation_to_batches(relation, 1);
+            let cached = source.batch_cache().and_then(|(cache, _)| {
+                source
+                    .relation_shared(name)
+                    .and_then(|shared| cache.peek(&shared))
+            });
+            let (batches, provenance) = match cached {
+                Some((batches, provenance)) => (batches, provenance),
+                None => (
+                    std::sync::Arc::new(crate::column::relation_to_batches(relation)),
+                    BatchProvenance::Converted,
+                ),
+            };
+            let provenance = match provenance {
+                BatchProvenance::Converted => "converted".to_string(),
+                BatchProvenance::Cached => "cached".to_string(),
+                BatchProvenance::Patched(n) => format!("patched({n})"),
+            };
             let encodings: Vec<String> = match batches.first() {
                 Some(batch) => schema
                     .attributes()
@@ -359,7 +379,7 @@ where
                     .collect(),
             };
             out.push_str(&format!(
-                "scan {name}: rows={} batches={} cols[{}]\n",
+                "scan {name}: rows={} batches={} cols[{}] source={provenance}\n",
                 relation.len(),
                 batches.len(),
                 encodings.join(", ")

@@ -31,6 +31,7 @@
 //! form a single total commit order — the order the differential harness
 //! replays serially.
 
+use crate::column::{BatchCache, BatchCacheStats};
 use crate::database::Database;
 use crate::expr::{EvalError, RaExpr};
 use crate::plan::{Catalog, DeltaBatch, ExecContext, MaterializedView, Plan, RelationSource};
@@ -41,13 +42,19 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
 
 /// An immutable, epoch-stamped view of a [`SharedDatabase`]: the database
 /// state plus every standing view's result as of one commit. Cloning is
-/// O(1) (two `Arc` bumps); the snapshot stays queryable regardless of how
+/// O(1) (a few `Arc` bumps); the snapshot stays queryable regardless of how
 /// many commits happen after it was taken.
+///
+/// Snapshots also carry their `SharedDatabase`'s [`BatchCache`]: the batch
+/// executor's scans resolve through it, so the first execution against any
+/// relation version columnarizes it for every later execution — across
+/// sessions, threads, and (via commit patching) epochs.
 #[derive(Clone)]
 pub struct DbSnapshot<K: Semiring> {
     epoch: u64,
     db: Arc<Database<K>>,
     views: Arc<BTreeMap<String, Arc<KRelation<K>>>>,
+    batch_cache: Arc<BatchCache<K>>,
 }
 
 impl<K: Semiring> DbSnapshot<K> {
@@ -73,6 +80,13 @@ impl<K: Semiring> DbSnapshot<K> {
     pub fn view_names(&self) -> impl Iterator<Item = &String> {
         self.views.keys()
     }
+
+    /// A point-in-time read of the owning [`SharedDatabase`]'s columnar
+    /// batch-cache counters (the cache is shared across snapshots, so this
+    /// reflects every reader and commit, not just this snapshot).
+    pub fn batch_cache_stats(&self) -> BatchCacheStats {
+        self.batch_cache.stats()
+    }
 }
 
 impl<K: Semiring> RelationSource<K> for DbSnapshot<K> {
@@ -82,6 +96,14 @@ impl<K: Semiring> RelationSource<K> for DbSnapshot<K> {
 
     fn relation(&self, name: &str) -> Option<&KRelation<K>> {
         self.db.get(name)
+    }
+
+    fn relation_shared(&self, name: &str) -> Option<Arc<KRelation<K>>> {
+        self.db.get_shared(name)
+    }
+
+    fn batch_cache(&self) -> Option<(&BatchCache<K>, u64)> {
+        Some((self.batch_cache.as_ref(), self.epoch))
     }
 }
 
@@ -119,6 +141,7 @@ impl<K: Semiring> SharedDatabase<K> {
                 epoch: 0,
                 db: Arc::new(db),
                 views: Arc::new(BTreeMap::new()),
+                batch_cache: Arc::new(BatchCache::new()),
             }),
             writer: Mutex::new(WriterState {
                 views: BTreeMap::new(),
@@ -165,6 +188,11 @@ impl<K: Semiring> SharedDatabase<K> {
     /// taking a snapshot concurrently gets either the old epoch or the new
     /// one, never a mix. Concurrent committers serialize: epochs are a
     /// total order, each exactly one above its predecessor.
+    ///
+    /// Touched relations that have a cached columnar conversion get it
+    /// *patched* forward (`BatchCache::patch`) instead of invalidated:
+    /// the delta's own batches are appended under the new relation version,
+    /// so the next batch-engine scan at the new epoch still hits.
     pub fn commit_with(&self, batch: &DeltaBatch<K>, ctx: &ExecContext) -> u64 {
         let mut writer = self.writer_lock();
         let previous = self.snapshot();
@@ -183,10 +211,21 @@ impl<K: Semiring> SharedDatabase<K> {
             }
             // Untouched views keep sharing their previous Arc'd result.
         }
+        let db = Arc::new(db);
+        for (name, delta) in batch.iter() {
+            if let (Some(old), Some(new)) = (previous.db.get_shared(name), db.get_shared(name)) {
+                if !Arc::ptr_eq(&old, &new) {
+                    previous
+                        .batch_cache
+                        .patch(&old, &new, delta, previous.epoch + 1);
+                }
+            }
+        }
         let next = DbSnapshot {
             epoch: previous.epoch + 1,
-            db: Arc::new(db),
+            db,
             views: Arc::new(views),
+            batch_cache: Arc::clone(&previous.batch_cache),
         };
         self.publish(next.clone());
         drop(writer);
@@ -204,7 +243,7 @@ impl<K: Semiring> SharedDatabase<K> {
         let mut writer = self.writer_lock();
         let previous = self.snapshot();
         let plan = Plan::new(expr, &previous.db.catalog())?;
-        let view = plan.materialize(&*previous.db);
+        let view = plan.materialize(&previous);
         let mut views = (*previous.views).clone();
         views.insert(name.clone(), Arc::new(view.result().clone()));
         writer.views.insert(
@@ -219,6 +258,7 @@ impl<K: Semiring> SharedDatabase<K> {
             epoch: previous.epoch + 1,
             db: Arc::clone(&previous.db),
             views: Arc::new(views),
+            batch_cache: Arc::clone(&previous.batch_cache),
         };
         let epoch = next.epoch;
         self.publish(next);
@@ -238,6 +278,7 @@ impl<K: Semiring> SharedDatabase<K> {
             epoch: previous.epoch + 1,
             db: Arc::clone(&previous.db),
             views: Arc::new(views),
+            batch_cache: Arc::clone(&previous.batch_cache),
         };
         let epoch = next.epoch;
         self.publish(next);
@@ -339,6 +380,30 @@ mod tests {
         assert_eq!(shared.drop_view("Q"), 4);
         assert_eq!(shared.epoch(), 4);
         assert!(shared.snapshot().view("Q").is_none());
+    }
+
+    #[test]
+    fn commits_patch_cached_batch_conversions() {
+        use crate::column::BatchProvenance;
+        let shared = SharedDatabase::new(z_db());
+        let before = shared.snapshot();
+        let r = before.database().get_shared("R").unwrap();
+        // First conversion populates the cache (a miss)...
+        before.batch_cache.get_or_convert(before.epoch(), &r);
+        assert_eq!(before.batch_cache_stats().misses, 1);
+        // ...and a commit carries the entry to the new relation version by
+        // appending the delta's batches instead of invalidating.
+        shared.commit(&insert_batch());
+        let after = shared.snapshot();
+        let r2 = after.database().get_shared("R").unwrap();
+        let (batches, provenance) = after.batch_cache.peek(&r2).unwrap();
+        assert_eq!(provenance, BatchProvenance::Patched(1));
+        let rows: usize = batches.iter().map(|b| b.live_rows()).sum();
+        assert_eq!(rows, r.len() + 1, "base rows plus the appended delta row");
+        let stats = after.batch_cache_stats();
+        assert_eq!((stats.patches, stats.entries), (1, 1));
+        // The old version's entry is gone; a fresh scan of it re-converts.
+        assert!(before.batch_cache.peek(&r).is_none());
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Differential test: the snapshot-resident batch cache is invisible to
+//! results.
+//!
+//! Random interleavings of commits, executions, and view maintenance run
+//! against a [`SharedDatabase`], whose snapshots carry the storage-layer
+//! [`BatchCache`]: the first batch-engine execution columnarizes each
+//! scanned relation, later executions hit the cache, and commits *patch*
+//! cached conversions forward by appending the delta's batches. The
+//! contract, pinned exactly (support *and* annotations) at every step:
+//!
+//! ```text
+//! batch(cached/patched, 1 thread) == batch(cached/patched, 4 threads)
+//!   == batch(fresh conversion)    == row engine == auto
+//! ```
+//!
+//! Old snapshots are held across commits and re-executed — their cache
+//! entries are keyed by relation *version*, so a patched entry must never
+//! leak newer data into an older epoch's results. A standing view and a
+//! hand-maintained [`MaterializedView`] ride along, checked against
+//! recomputation after every commit. Run under `PROVSEM_EXEC=row|batch|auto`
+//! × `PROVSEM_THREADS=1|4` in CI so the default-context paths cross the
+//! cache too.
+
+use proptest::prelude::*;
+use provsem_core::plan::{DeltaBatch, ExecContext, ExecMode, Plan};
+use provsem_core::prelude::*;
+use provsem_semiring::ring::Integers;
+
+const CASES: u32 = 40;
+
+const VALUES: [&str; 6] = ["v0", "v1", "v2", "v3", "v4", "v5"];
+
+/// Raw draw for one base fact / delta row over the fixed R/S/T catalog.
+type RawFact = (u8, u8, u8, u8, i64);
+
+/// The relation name and tuple a raw fact denotes: `R(a, b, c)`,
+/// `S(b, c, d)` or `T(d)`.
+fn fact_tuple(rel: u8, x: u8, y: u8, z: u8) -> (&'static str, Tuple) {
+    let v = |n: u8| VALUES[n as usize % VALUES.len()];
+    match rel % 3 {
+        0 => ("R", Tuple::new([("a", v(x)), ("b", v(y)), ("c", v(z))])),
+        1 => ("S", Tuple::new([("b", v(x)), ("c", v(y)), ("d", v(z))])),
+        _ => ("T", Tuple::new([("d", v(x))])),
+    }
+}
+
+fn build_db(facts: &[RawFact]) -> Database<Integers> {
+    let mut db = Database::new()
+        .with("R", KRelation::empty(Schema::new(["a", "b", "c"])))
+        .with("S", KRelation::empty(Schema::new(["b", "c", "d"])))
+        .with("T", KRelation::empty(Schema::new(["d"])));
+    for (rel, x, y, z, w) in facts {
+        let (name, tuple) = fact_tuple(*rel, *x, *y, *z);
+        db.insert_tuple(name, tuple, Integers::new(*w));
+    }
+    db
+}
+
+fn build_batch(deltas: &[RawFact]) -> DeltaBatch<Integers> {
+    let mut batch = DeltaBatch::new();
+    for (rel, x, y, z, w) in deltas {
+        let (name, tuple) = fact_tuple(*rel, *x, *y, *z);
+        batch.insert(name, tuple, Integers::new(*w));
+    }
+    batch
+}
+
+/// The query pool: scans, pipelined unaries, self-joins (the same relation
+/// scanned twice shares one cache entry per execution), and a three-way
+/// join — enough operator shapes to route cached batches through every
+/// kernel.
+fn queries() -> Vec<RaExpr> {
+    vec![
+        RaExpr::relation("R"),
+        RaExpr::relation("R").project(["a", "b"]),
+        RaExpr::relation("R")
+            .select(Predicate::eq_value("b", "v1"))
+            .union(RaExpr::relation("R")),
+        RaExpr::relation("R").join(RaExpr::relation("S")),
+        RaExpr::relation("R").join(RaExpr::relation("R")),
+        RaExpr::relation("R")
+            .join(RaExpr::relation("S"))
+            .join(RaExpr::relation("T"))
+            .project(["a", "d"]),
+    ]
+}
+
+/// Executes `query` against `snapshot` through every engine/thread/cache
+/// combination and pins byte-identity across all of them. The cache-free
+/// reference runs against the snapshot's bare [`Database`], which carries
+/// no [`BatchCache`] — every scan re-converts.
+fn check_execution_agreement(query: &RaExpr, snapshot: &DbSnapshot<Integers>) {
+    let plan = Plan::new(query, &snapshot.catalog()).expect("pool queries are valid");
+    let row = plan.execute_with(snapshot, &ExecContext::serial().with_mode(ExecMode::Row));
+    let fresh = plan.execute_with(
+        snapshot.database(),
+        &ExecContext::serial().with_mode(ExecMode::Batch),
+    );
+    let cached1 = plan.execute_with(snapshot, &ExecContext::serial().with_mode(ExecMode::Batch));
+    let cached4 = plan.execute_with(
+        snapshot,
+        &ExecContext::with_threads(4).with_mode(ExecMode::Batch),
+    );
+    let auto = plan.execute_with(snapshot, &ExecContext::serial().with_mode(ExecMode::Auto));
+    assert_eq!(row, fresh, "row != fresh batch on {query:?}");
+    assert_eq!(row, cached1, "row != cached batch (serial) on {query:?}");
+    assert_eq!(row, cached4, "row != cached batch (4 threads) on {query:?}");
+    assert_eq!(row, auto, "row != auto on {query:?}");
+}
+
+fn arb_facts() -> impl Strategy<Value = Vec<RawFact>> {
+    prop::collection::vec((0u8..3, 0u8..6, 0u8..6, 0u8..6, 1i64..4), 0..16)
+}
+
+/// Interleaving script: each byte picks an operation, follow-up bytes its
+/// operands (relation, values, signed weight — negatives are deletions).
+fn arb_script() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=255, 12..72)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn next(&mut self) -> u8 {
+        if self.bytes.is_empty() {
+            return 0;
+        }
+        let b = self.bytes[self.pos % self.bytes.len()];
+        self.pos += 1;
+        b
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+}
+
+/// One differential case: seed a [`SharedDatabase`], register a standing
+/// view, hand-materialize another, then replay a random script of commits
+/// (patching cached conversions), executions (current *and* held old
+/// snapshots), and maintenance checks.
+fn run_script(facts: &[RawFact], script: &[u8]) {
+    let pool = queries();
+    let shared = SharedDatabase::new(build_db(facts));
+    shared
+        .register_view("V", &pool[3])
+        .expect("join view is valid");
+    let snap0 = shared.snapshot();
+    let view_plan = Plan::new(&pool[5], &snap0.catalog()).expect("pool queries are valid");
+    let mut hand_view = view_plan.materialize(&snap0);
+    let mut held: Vec<DbSnapshot<Integers>> = vec![snap0];
+    let mut cursor = Cursor::new(script);
+    while !cursor.done() {
+        match cursor.next() % 4 {
+            // Commit a small signed batch: touched relations get their
+            // cached conversions patched (or entries dropped) under the
+            // writer lock; the standing view advances.
+            0 => {
+                let rows = 1 + cursor.next() % 4;
+                let raw: Vec<RawFact> = (0..rows)
+                    .map(|_| {
+                        let rel = cursor.next();
+                        let (x, y, z) = (cursor.next(), cursor.next(), cursor.next());
+                        let w = (cursor.next() as i64 % 7) - 3;
+                        (rel, x, y, z, w)
+                    })
+                    .collect();
+                let batch = build_batch(&raw);
+                shared.commit(&batch);
+                view_plan.maintain(&mut hand_view, &batch);
+            }
+            // Hold the current snapshot for later re-execution (old cache
+            // entries must stay correct across patches of newer versions).
+            1 => {
+                held.push(shared.snapshot());
+                if held.len() > 3 {
+                    held.remove(0);
+                }
+            }
+            // Execute a pool query against the live snapshot.
+            2 => {
+                let query = &pool[cursor.next() as usize % pool.len()];
+                check_execution_agreement(query, &shared.snapshot());
+            }
+            // Re-execute against a held (old) snapshot and audit the
+            // maintained views against recomputation.
+            _ => {
+                let query = &pool[cursor.next() as usize % pool.len()];
+                let old = &held[cursor.next() as usize % held.len()];
+                check_execution_agreement(query, old);
+                let live = shared.snapshot();
+                let standing_plan =
+                    Plan::new(&pool[3], &live.catalog()).expect("pool queries are valid");
+                assert_eq!(
+                    live.view("V").expect("view is registered"),
+                    &standing_plan.execute(&live),
+                    "standing view != recompute"
+                );
+                let hand_plan =
+                    Plan::new(&pool[5], &live.catalog()).expect("pool queries are valid");
+                assert_eq!(
+                    hand_view.result(),
+                    &hand_plan.execute(&live),
+                    "maintained view != recompute"
+                );
+            }
+        }
+    }
+    // Final audit: every held snapshot still answers correctly.
+    for snapshot in &held {
+        for query in &pool {
+            check_execution_agreement(query, snapshot);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn cached_and_patched_batches_agree_with_fresh_and_row(
+        facts in arb_facts(),
+        script in arb_script(),
+    ) {
+        run_script(&facts, &script);
+    }
+}
+
+/// A directed worst case for patching: every commit deletes one previously
+/// inserted row down to annotation zero, so patched cache entries carry
+/// cancelling pairs that must vanish at the grouping points of every plan
+/// shape in the pool.
+#[test]
+fn delete_to_zero_commits_keep_patched_caches_exact() {
+    let facts: Vec<RawFact> = (0..12u8)
+        .map(|i| (i % 3, i % 6, (i / 2) % 6, (i / 3) % 6, 2))
+        .collect();
+    let shared = SharedDatabase::new(build_db(&facts));
+    let pool = queries();
+    // Warm the cache at epoch 0.
+    for query in &pool {
+        check_execution_agreement(query, &shared.snapshot());
+    }
+    for (rel, x, y, z, w) in facts {
+        let (name, tuple) = fact_tuple(rel, x, y, z);
+        let mut batch = DeltaBatch::new();
+        batch.delete(name, tuple, Integers::new(w));
+        shared.commit(&batch);
+        for query in &pool {
+            check_execution_agreement(query, &shared.snapshot());
+        }
+    }
+    let last = shared.snapshot();
+    assert!(last.database().get("R").unwrap().is_empty());
+    assert!(last.database().get("S").unwrap().is_empty());
+    assert!(last.database().get("T").unwrap().is_empty());
+}

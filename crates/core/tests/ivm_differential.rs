@@ -409,3 +409,102 @@ fn parallel_maintain_is_byte_identical_on_large_deltas() {
         }
     }
 }
+
+/// Dictionary overflow in retained join state: a maintained join whose
+/// build side accumulates more than `DICT_MAX` (2^16) distinct strings
+/// forces the retained key column to degrade from dictionary codes to
+/// plain values *mid-maintenance*. The delta rules must stay exact across
+/// the representation change — including delete-to-zero batches aimed at
+/// the overflowed columnar state afterwards.
+#[test]
+fn dictionary_overflow_deltas_keep_columnar_join_state_exact() {
+    const OVERFLOW: u64 = (1 << 16) + 500;
+    let keys = ["p", "q", "r"];
+    let uniq: Vec<String> = (0..OVERFLOW).map(|i| format!("x{i:06}")).collect();
+
+    let mut r = KRelation::empty(Schema::new(["a", "b"]));
+    for i in 0..8u64 {
+        r.insert(
+            Tuple::new([
+                ("a", uniq[i as usize].as_str()),
+                ("b", keys[(i % 3) as usize]),
+            ]),
+            Integers::new(1),
+        );
+    }
+    let mut s = KRelation::empty(Schema::new(["b", "c"]));
+    for (i, key) in keys.iter().enumerate() {
+        s.insert(
+            Tuple::new([("b", *key), ("c", VALUES[i % VALUES.len()])]),
+            Integers::new(1 + i as i64),
+        );
+    }
+    let mut db = Database::new().with("R", r).with("S", s);
+    let query = RaExpr::relation("R").join(RaExpr::relation("S"));
+    let plan = Plan::new(&query, &db.catalog()).unwrap();
+    let mut view = plan.materialize(&db);
+    let serial = ExecContext::serial();
+
+    // Batch 1: push every remaining distinct string through ΔR. The join
+    // side's `a` column crosses DICT_MAX partway through this batch.
+    let mut grow = DeltaBatch::new();
+    for i in 8..OVERFLOW {
+        grow.insert(
+            "R",
+            Tuple::new([
+                ("a", uniq[i as usize].as_str()),
+                ("b", keys[(i % 3) as usize]),
+            ]),
+            Integers::new(1),
+        );
+    }
+    plan.maintain(&mut view, &grow);
+    grow.apply_to(&mut db);
+    assert_eq!(
+        view.result(),
+        &plan.execute_with(&db, &serial),
+        "overflowing batch diverged from recompute"
+    );
+
+    // Batch 2: delete half of the inserted rows down to annotation zero
+    // (against the now-overflowed build side) and insert a few fresh
+    // strings through the post-overflow Val representation.
+    let mut shrink = DeltaBatch::new();
+    for i in 0..OVERFLOW / 2 {
+        shrink.delete(
+            "R",
+            Tuple::new([
+                ("a", uniq[i as usize].as_str()),
+                ("b", keys[(i % 3) as usize]),
+            ]),
+            Integers::new(1),
+        );
+    }
+    let fresh: Vec<String> = (0..4).map(|i| format!("y{i}")).collect();
+    for (i, a) in fresh.iter().enumerate() {
+        shrink.insert(
+            "R",
+            Tuple::new([("a", a.as_str()), ("b", keys[i % 3])]),
+            Integers::new(2),
+        );
+    }
+    plan.maintain(&mut view, &shrink);
+    shrink.apply_to(&mut db);
+    let recomputed = plan.execute_with(&db, &serial);
+    assert_eq!(
+        view.result(),
+        &recomputed,
+        "delete-to-zero against overflowed state diverged from recompute"
+    );
+    // The deleted strings are gone from the view; the fresh ones joined.
+    let gone = Value::from(uniq[0].as_str());
+    assert!(view
+        .result()
+        .iter()
+        .all(|(t, _)| t.values().all(|v| *v != gone)));
+    let kept = Value::from(fresh[0].as_str());
+    assert!(view
+        .result()
+        .iter()
+        .any(|(t, _)| t.values().any(|v| *v == kept)));
+}

@@ -283,6 +283,7 @@ fn explain_physical_golden_pinned_projection_stays_pipelined() {
         .join(RaExpr::relation("S"));
     let plan = Plan::new(&query, &catalog).unwrap();
     let expected = "\
+engine: row (forced)
 hash-join build=left keys[1]/[0]
 ├─ π cols[0, 1]
 │  └─ σ
@@ -327,6 +328,7 @@ fn explain_physical_golden_duplicating_projection_is_aggregated() {
         .join(RaExpr::relation("S"));
     let plan = Plan::new(&query, &catalog).unwrap();
     let expected = "\
+engine: row (forced)
 hash-join build=left keys[1]/[0]
 ├─ agg
 │  └─ π cols[0, 1]
@@ -355,6 +357,7 @@ fn explain_physical_golden_renders_morsel_and_partition_counts() {
         .join(RaExpr::relation("S"));
     let plan = Plan::new(&query, &catalog).unwrap();
     let expected = "\
+engine: row (forced)
 hash-join build=left keys[1]/[0] [partitions=4]
 ├─ agg [partitions=4]
 │  └─ π cols[0, 1]
@@ -382,6 +385,7 @@ fn explain_physical_golden_batch_mode_renders_batch_budget() {
         .join(RaExpr::relation("S"));
     let plan = Plan::new(&query, &catalog).unwrap();
     let expected = "\
+engine: batch (forced)
 hash-join build=left keys[1]/[0]
 ├─ agg
 │  └─ π cols[0, 1]
@@ -393,6 +397,57 @@ hash-join build=left keys[1]/[0]
     assert_eq!(rendered, expected, "got:\n{rendered}");
 }
 
+/// Under [`ExecMode::Auto`] (the default) the engine is picked at plan
+/// time from the catalog's scan-row estimates: paper-sized inputs — the
+/// Section 9 canonical databases have a handful of facts — stay on the row
+/// engine (columnarization overhead dominates tiny scans), while inputs at
+/// or past [`Plan::AUTO_BATCH_MIN_ROWS`] total scan rows take the batch
+/// engine. Both decisions are pinned here, and both engines produce the
+/// identical relation.
+#[test]
+fn auto_engine_selection_follows_the_scan_row_estimate() {
+    let db = paper::figure3_bag();
+    let auto = ExecContext::serial().with_mode(ExecMode::Auto);
+    let query = RaExpr::relation("R")
+        .project(["a", "b"])
+        .join(RaExpr::relation("S"));
+    // Section-9-sized catalog: 3 + 3 = 6 estimated scan rows → row engine.
+    let small = db.catalog().with("S", Schema::new(["b", "d"]), 3);
+    let plan = Plan::new(&query, &small).unwrap();
+    assert!(
+        plan.explain_physical_with(&auto)
+            .starts_with("engine: row (auto: ~6 scan rows < 64)"),
+        "got:\n{}",
+        plan.explain_physical_with(&auto)
+    );
+    // The same query over a catalog advertising a large S flips to batch.
+    let large = db.catalog().with("S", Schema::new(["b", "d"]), 500);
+    let plan = Plan::new(&query, &large).unwrap();
+    assert!(
+        plan.explain_physical_with(&auto)
+            .starts_with("engine: batch (auto: ~503 scan rows ≥ 64)"),
+        "got:\n{}",
+        plan.explain_physical_with(&auto)
+    );
+    // The decision never changes the result: all three modes agree.
+    let mut dbs = db.clone();
+    dbs.insert(
+        "S",
+        KRelation::from_tuples(
+            Schema::new(["b", "d"]),
+            [
+                (Tuple::new([("b", "b"), ("d", "x")]), Natural::from(2u64)),
+                (Tuple::new([("b", "g"), ("d", "y")]), Natural::from(3u64)),
+            ],
+        ),
+    );
+    let row = plan.execute_with(&dbs, &ExecContext::serial().with_mode(ExecMode::Row));
+    let batch = plan.execute_with(&dbs, &ExecContext::serial().with_mode(ExecMode::Batch));
+    let picked = plan.execute_with(&dbs, &auto);
+    assert_eq!(row, batch);
+    assert_eq!(row, picked);
+}
+
 /// `Plan::explain_batches` reports the columnar layout per scan against a
 /// concrete source: row and batch counts plus each column's encoding —
 /// string columns dictionary-encoded with their distinct-string counts.
@@ -400,7 +455,8 @@ hash-join build=left keys[1]/[0]
 fn explain_batches_golden_reports_dictionary_columns() {
     let db = paper::figure3_bag();
     let plan = Plan::new(&RaExpr::relation("R").project(["a", "b"]), &db.catalog()).unwrap();
-    let expected = "scan R: rows=3 batches=1 cols[a=dict(3), b=dict(2), c=dict(2)]\n";
+    let expected =
+        "scan R: rows=3 batches=1 cols[a=dict(3), b=dict(2), c=dict(2)] source=converted\n";
     let rendered = plan.explain_batches(&db);
     assert_eq!(rendered, expected, "got:\n{rendered}");
 }

@@ -34,6 +34,12 @@ const COMMITS_PER_WRITER: usize = 40;
 /// Node ids for the edge relation; edges only go from lower to higher ids,
 /// so datalog reachability always converges (the graph stays acyclic).
 const N_NODES: i64 = 7;
+/// Rows in the fact relation `F` — comfortably past the planner's
+/// auto-batch threshold, so reads of `F` run on the batch engine against
+/// the snapshot-resident columnar cache (and commits into `F` patch it).
+const N_FACTS: i64 = 320;
+/// Distinct `v` strings in `F`: selective predicates return ~8 rows.
+const N_TAGS: i64 = 40;
 
 /// One logged interaction: the epoch the reply reported, the request line,
 /// and the rendered reply.
@@ -54,7 +60,17 @@ fn seed_db() -> Database<Integers> {
             Integers::new(1),
         );
     }
-    Database::new().with("R", r).with("E", e)
+    let mut f = KRelation::empty(Schema::new(["g", "v"]));
+    for i in 0..N_FACTS {
+        f.insert(
+            Tuple::new([
+                ("g", Value::Int(i)),
+                ("v", Value::from(format!("w{}", i % N_TAGS).as_str())),
+            ]),
+            Integers::new(1 + i % 3),
+        );
+    }
+    Database::new().with("R", r).with("E", e).with("F", f)
 }
 
 fn reply_epoch(line: &str, response: &Response) -> u64 {
@@ -94,16 +110,27 @@ fn writer_workload(service: &Service<Integers>, writer: usize) -> Vec<LogEntry> 
         let mut items = Vec::new();
         let batch_size = rng.gen_range(1usize..=3);
         for _ in 0..batch_size {
-            if rng.gen_bool(0.5) {
-                let a = rng.gen_range(1i64..=9);
-                let b = ["x", "y", "z", "w"][rng.gen_range(0usize..4)];
-                let count = [-2i64, -1, 1, 1, 2, 3][rng.gen_range(0usize..6)];
-                items.push(format!("R({a}, '{b}')={count}"));
-            } else {
-                let s = rng.gen_range(0i64..N_NODES - 1);
-                let t = rng.gen_range(s + 1..N_NODES);
-                let count = [-1i64, 1, 1, 2][rng.gen_range(0usize..4)];
-                items.push(format!("E({s}, {t})={count}"));
+            match rng.gen_range(0usize..3) {
+                0 => {
+                    let a = rng.gen_range(1i64..=9);
+                    let b = ["x", "y", "z", "w"][rng.gen_range(0usize..4)];
+                    let count = [-2i64, -1, 1, 1, 2, 3][rng.gen_range(0usize..6)];
+                    items.push(format!("R({a}, '{b}')={count}"));
+                }
+                1 => {
+                    let s = rng.gen_range(0i64..N_NODES - 1);
+                    let t = rng.gen_range(s + 1..N_NODES);
+                    let count = [-1i64, 1, 1, 2][rng.gen_range(0usize..4)];
+                    items.push(format!("E({s}, {t})={count}"));
+                }
+                // Commits into the batch-resident relation: each one
+                // *patches* F's cached columnar conversion forward.
+                _ => {
+                    let g = rng.gen_range(0i64..N_FACTS);
+                    let tag = rng.gen_range(0i64..N_TAGS);
+                    let count = [-1i64, 1, 1, 2][rng.gen_range(0usize..4)];
+                    items.push(format!("F({g}, 'w{tag}')={count}"));
+                }
             }
         }
         run_logged(
@@ -120,7 +147,7 @@ fn reader_workload(service: &Service<Integers>, reader: usize) -> Vec<LogEntry> 
     let mut session = service.session();
     let mut log = Vec::new();
     for _ in 0..QUERIES_PER_READER {
-        let line = match rng.gen_range(0usize..8) {
+        let line = match rng.gen_range(0usize..12) {
             0 => "READ R".to_string(),
             1 => "QUERY R".to_string(),
             2 => "QUERY project[a] R".to_string(),
@@ -128,8 +155,18 @@ fn reader_workload(service: &Service<Integers>, reader: usize) -> Vec<LogEntry> 
             4 => "QUERY project[t] E join rename[t -> s] project[t] E".to_string(),
             5 => "VIEW V".to_string(),
             6 => "READ E".to_string(),
-            _ => "DATALOG path(x, y) :- E(x, y). path(x, z) :- path(x, y), E(y, z). ? path"
+            7 => "DATALOG path(x, y) :- E(x, y). path(x, z) :- path(x, y), E(y, z). ? path"
                 .to_string(),
+            // Batch-engine traffic: F is past the auto threshold, so these
+            // scans serve from the snapshot's columnar cache (hit after
+            // the first conversion per relation version, patched across
+            // commits rather than invalidated).
+            8 | 9 => format!("QUERY select[v = 'w{}'] F", rng.gen_range(0i64..N_TAGS)),
+            10 => format!(
+                "QUERY project[g] select[v = 'w{}'] F",
+                rng.gen_range(0i64..N_TAGS)
+            ),
+            _ => format!("QUERY select[g = {}] F", rng.gen_range(0i64..N_FACTS)),
         };
         run_logged(&mut session, line, &mut log);
     }
@@ -174,10 +211,19 @@ fn main() {
     let queries: usize = read_logs.iter().map(Vec::len).sum();
     let commits = write_log.len();
     let final_epoch = service.shared().epoch();
+    let batch = service.shared().snapshot().batch_cache_stats();
     println!(
         "concurrent phase: {queries} queries across {N_READERS} readers, \
          {commits} catalog ops across {N_WRITERS} writers (+setup), \
          {final_epoch} epochs, {elapsed:.3}s"
+    );
+    println!(
+        "batch cache: {} hits, {} misses, {} patches, {} live entries",
+        batch.hits, batch.misses, batch.patches, batch.entries
+    );
+    assert!(
+        batch.hits > batch.misses + batch.patches,
+        "batch-cache hits must dominate: {batch:?}"
     );
 
     // --- Phase 2: single-file replay on a fresh service. ---
@@ -222,7 +268,8 @@ fn main() {
     println!("throughput: {qps:.0} queries/s");
 
     let json = format!(
-        "{{\n  \"benchmark\": \"concurrent_query_service\",\n  \"readers\": {N_READERS},\n  \"writers\": {N_WRITERS},\n  \"queries\": {queries},\n  \"catalog_ops\": {commits},\n  \"epochs\": {final_epoch},\n  \"elapsed_seconds\": {elapsed:.6},\n  \"queries_per_second\": {qps:.1},\n  \"replay_mismatches\": {mismatches}\n}}\n"
+        "{{\n  \"benchmark\": \"concurrent_query_service\",\n  \"readers\": {N_READERS},\n  \"writers\": {N_WRITERS},\n  \"queries\": {queries},\n  \"catalog_ops\": {commits},\n  \"epochs\": {final_epoch},\n  \"elapsed_seconds\": {elapsed:.6},\n  \"queries_per_second\": {qps:.1},\n  \"batch_cache_hits\": {},\n  \"batch_cache_misses\": {},\n  \"batch_cache_patches\": {},\n  \"replay_mismatches\": {mismatches}\n}}\n",
+        batch.hits, batch.misses, batch.patches
     );
     std::fs::write(&out_path, json).expect("write benchmark record");
     println!("wrote {out_path}");

@@ -182,6 +182,14 @@ pub enum Response {
         entries: usize,
         /// Standing views currently registered.
         views: usize,
+        /// Storage-layer batch-cache hits (batch-engine scans served from a
+        /// cached columnar conversion).
+        batch_hits: u64,
+        /// Batch-cache misses (scans that columnarized their relation).
+        batch_misses: u64,
+        /// Commit deltas absorbed by patching a cached conversion forward
+        /// instead of invalidating it.
+        batch_patches: u64,
     },
     /// Session closed.
     Bye,
@@ -242,8 +250,12 @@ impl Response {
                 misses,
                 entries,
                 views,
+                batch_hits,
+                batch_misses,
+                batch_patches,
             } => format!(
-                "ok stats epoch={epoch} hits={hits} misses={misses} entries={entries} views={views}"
+                "ok stats epoch={epoch} hits={hits} misses={misses} entries={entries} views={views} \
+                 batch_hits={batch_hits} batch_misses={batch_misses} batch_patches={batch_patches}"
             ),
             Response::Bye => "ok bye".to_string(),
             Response::Error { kind, message } => {

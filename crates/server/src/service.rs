@@ -31,7 +31,6 @@ use provsem_core::prelude::{
 use provsem_datalog::{
     evaluate_with_context, parse_program, EvalStrategy, FactStore, Program, DEFAULT_FALLBACK_BOUND,
 };
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A query service over one shared database: hands out [`Session`]s that
@@ -140,12 +139,16 @@ impl<K: WireSemiring> Session<K> {
             Request::Stats => {
                 let snapshot = self.snapshot();
                 let stats = self.service.cache.stats();
+                let batch = snapshot.batch_cache_stats();
                 Response::Stats {
                     epoch: snapshot.epoch(),
                     hits: stats.hits,
                     misses: stats.misses,
                     entries: stats.entries,
                     views: snapshot.view_names().count(),
+                    batch_hits: batch.hits,
+                    batch_misses: batch.misses,
+                    batch_patches: batch.patches,
                 }
             }
             Request::Query(text) => self.query(&text),
@@ -290,8 +293,21 @@ impl<K: WireSemiring> Session<K> {
             );
         };
         let snapshot = self.snapshot();
+        // Import only the relations the program actually reads — a datalog
+        // goal over a small edge relation must not pay to copy every other
+        // (possibly large) relation in the database.
         let mut edb = FactStore::<K>::new();
-        edb.import_database(snapshot.database(), &BTreeMap::new());
+        for name in program.edb_predicates() {
+            if let Some(relation) = snapshot.database().get(&name) {
+                let order: Vec<&str> = relation
+                    .schema()
+                    .attributes()
+                    .iter()
+                    .map(|a| a.name())
+                    .collect();
+                edb.import_relation(&name, relation, &order);
+            }
+        }
         let result = evaluate_with_context(
             &program,
             &edb,
