@@ -51,20 +51,20 @@ use std::sync::{Arc, Mutex, Weak};
 /// Row budget per scan batch: scans larger than this split into multiple
 /// batches (sharing their per-scan dictionaries), which is also the unit
 /// the morsel executor ships between workers.
-pub(crate) const BATCH_ROWS: usize = 4096;
+pub const BATCH_ROWS: usize = 4096;
 
 /// Distinct-string budget of a [`StrDict`]. A scan column with more
 /// distinct strings than this stops paying for dictionary encoding (the
 /// code array no longer stays hot and the dictionary itself rivals the
 /// data); it degrades to a plain [`Column::Val`].
-pub(crate) const DICT_MAX: usize = 1 << 16;
+pub const DICT_MAX: usize = 1 << 16;
 
 /// A string dictionary: distinct strings mapped to dense `u32` codes, with
 /// the content hash of every entry precomputed so the hash kernels are a
 /// table lookup per row. Built once per scan column (shared by all of the
 /// scan's batches), immutable behind an [`Arc`] afterwards.
 #[derive(Clone, Debug)]
-pub(crate) struct StrDict {
+pub struct StrDict {
     strings: Vec<Arc<str>>,
     hashes: Vec<u64>,
     index: FxHashMap<Arc<str>, u32>,
@@ -80,8 +80,13 @@ impl StrDict {
     }
 
     /// Number of distinct strings.
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.strings.len()
+    }
+
+    /// Whether the dictionary holds no strings yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
     }
 
     /// Interns a string, returning its code — or `None` when the dictionary
@@ -105,12 +110,12 @@ impl StrDict {
     /// of any column using this dictionary holds the string, which is what
     /// lets `σ_{col=const}` on a dictionary column short-circuit to
     /// all-false once per batch.
-    pub(crate) fn code_of(&self, s: &str) -> Option<u32> {
+    pub fn code_of(&self, s: &str) -> Option<u32> {
         self.index.get(s).copied()
     }
 
     /// The string behind a code.
-    pub(crate) fn resolve(&self, code: u32) -> &Arc<str> {
+    pub fn resolve(&self, code: u32) -> &Arc<str> {
         &self.strings[code as usize]
     }
 }
@@ -118,7 +123,7 @@ impl StrDict {
 /// A typed column vector. Payloads are `Arc`-shared: cloning a column (the
 /// projection/permutation kernels, batch transport) is O(1).
 #[derive(Clone, Debug)]
-pub(crate) enum Column {
+pub enum Column {
     /// All-integer column.
     I64(Arc<Vec<i64>>),
     /// All-string column, dictionary-encoded.
@@ -134,7 +139,7 @@ pub(crate) enum Column {
 
 impl Column {
     /// Number of (physical) rows.
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         match self {
             Column::I64(v) => v.len(),
             Column::Str { codes, .. } => codes.len(),
@@ -142,8 +147,13 @@ impl Column {
         }
     }
 
+    /// Whether the column holds no physical rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// A short encoding tag for explain output.
-    pub(crate) fn encoding(&self) -> String {
+    pub fn encoding(&self) -> String {
         match self {
             Column::I64(_) => "i64".to_string(),
             Column::Str { dict, .. } => format!("dict({})", dict.len()),
@@ -152,7 +162,7 @@ impl Column {
     }
 
     /// The value at a physical row, cloned out (an `Arc` bump for strings).
-    pub(crate) fn value_at(&self, row: u32) -> Value {
+    pub fn value_at(&self, row: u32) -> Value {
         match self {
             Column::I64(v) => Value::Int(v[row as usize]),
             Column::Str { dict, codes } => Value::Str(dict.resolve(codes[row as usize]).clone()),
@@ -162,8 +172,10 @@ impl Column {
 
     /// Does the value at `row` equal `v`? Typed fast paths: on a
     /// dictionary column the constant is resolved to a code by the caller
-    /// (see [`eval_predicate_mask`]); this helper is the per-row fallback.
-    fn value_eq_at(&self, row: u32, v: &Value) -> bool {
+    /// (the predicate-mask kernel does); this method is the per-row
+    /// fallback, also used by the datalog batch engine to validate probe
+    /// candidates.
+    pub fn value_eq_at(&self, row: u32, v: &Value) -> bool {
         match (self, v) {
             (Column::I64(col), Value::Int(x)) => col[row as usize] == *x,
             (Column::I64(_), Value::Str(_)) => false,
@@ -202,7 +214,7 @@ impl Column {
 
     /// Gathers the rows at `rows` (physical indices, repetitions allowed)
     /// into a new column of the same type (same dictionary for strings).
-    pub(crate) fn gather(&self, rows: &[u32]) -> Column {
+    pub fn gather(&self, rows: &[u32]) -> Column {
         match self {
             Column::I64(v) => Column::I64(Arc::new(
                 rows.iter().map(|&r| v[r as usize]).collect::<Vec<_>>(),
@@ -224,7 +236,7 @@ impl Column {
 /// integer columns compare `i64`s, string columns of the *same* dictionary
 /// compare codes, different dictionaries compare the resolved strings, and
 /// the mixed fallback compares values.
-pub(crate) fn column_values_equal(a: &Column, ra: u32, b: &Column, rb: u32) -> bool {
+pub fn column_values_equal(a: &Column, ra: u32, b: &Column, rb: u32) -> bool {
     match (a, b) {
         (Column::I64(va), Column::I64(vb)) => va[ra as usize] == vb[rb as usize],
         (
@@ -252,7 +264,7 @@ pub(crate) fn column_values_equal(a: &Column, ra: u32, b: &Column, rb: u32) -> b
 /// Do two rows agree on their key columns? `akeys`/`bkeys` pair up
 /// positionally (the join key columns of the two sides, or the full column
 /// lists for whole-row grouping).
-pub(crate) fn columns_rows_equal(
+pub fn columns_rows_equal(
     acols: &[Column],
     ra: u32,
     akeys: &[usize],
@@ -272,13 +284,13 @@ pub(crate) fn columns_rows_equal(
 /// Combines a per-column value hash into a running row hash (an FxHash-style
 /// mix; column order matters, mirroring the row engine's positional key
 /// hashing).
-pub(crate) fn hash_combine(h: u64, v: u64) -> u64 {
+pub fn hash_combine(h: u64, v: u64) -> u64 {
     (h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
 }
 
 /// Seed of an empty row hash (zero key columns hash every row equal, which
 /// is what makes zero-arity grouping collapse to a single group).
-pub(crate) const HASH_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+pub const HASH_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
 
 // --- column building -------------------------------------------------------
 
@@ -288,24 +300,75 @@ pub(crate) const HASH_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
 /// (`plan::maintain`), which keeps appending across delta batches — hence
 /// the random-access and hashing accessors below.
 #[derive(Clone, Debug)]
-pub(crate) enum ColBuilder {
+pub enum ColBuilder {
     /// No rows yet: the first value decides the type.
     Start,
     /// All integers so far.
     I64(Vec<i64>),
     /// All strings so far, dictionary-encoded.
-    Str { dict: StrDict, codes: Vec<u32> },
+    Str {
+        /// The growing dictionary.
+        dict: StrDict,
+        /// One code per row.
+        codes: Vec<u32>,
+    },
     /// Mixed types or overflowed dictionary: plain values.
     Val(Vec<Value>),
 }
 
+impl Default for ColBuilder {
+    fn default() -> Self {
+        ColBuilder::new()
+    }
+}
+
 impl ColBuilder {
-    pub(crate) fn new() -> ColBuilder {
+    /// An empty column.
+    pub fn new() -> ColBuilder {
         ColBuilder::Start
     }
 
+    /// Number of rows appended so far.
+    pub fn len(&self) -> usize {
+        match self {
+            ColBuilder::Start => 0,
+            ColBuilder::I64(col) => col.len(),
+            ColBuilder::Str { codes, .. } => codes.len(),
+            ColBuilder::Val(col) => col.len(),
+        }
+    }
+
+    /// Is the column empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A short encoding tag for explain output (see [`Column::encoding`]).
+    pub fn encoding(&self) -> String {
+        match self {
+            ColBuilder::Start => "val".to_string(),
+            ColBuilder::I64(_) => "i64".to_string(),
+            ColBuilder::Str { dict, .. } => format!("dict({})", dict.len()),
+            ColBuilder::Val(_) => "val".to_string(),
+        }
+    }
+
+    /// The content hash of the value at `row` — the same hash the
+    /// `Column` hash kernel computes, so probes built from retained
+    /// builder columns agree with batch-side key hashes. Dictionary
+    /// columns read the per-code hash table precomputed at interning
+    /// time.
+    pub fn content_hash_at(&self, row: u32) -> u64 {
+        match self {
+            ColBuilder::Start => unreachable!("content_hash_at on an empty column"),
+            ColBuilder::I64(col) => int_content_hash(col[row as usize]),
+            ColBuilder::Str { dict, codes } => dict.hashes[codes[row as usize] as usize],
+            ColBuilder::Val(col) => col[row as usize].content_hash(),
+        }
+    }
+
     /// Appends a value, degrading the representation if needed.
-    pub(crate) fn push(&mut self, v: Value) {
+    pub fn push(&mut self, v: Value) {
         match (&mut *self, v) {
             (ColBuilder::Start, Value::Int(x)) => *self = ColBuilder::I64(vec![x]),
             (ColBuilder::Start, Value::Str(s)) => {
@@ -347,7 +410,7 @@ impl ColBuilder {
     }
 
     /// The value at a row, cloned out (an `Arc` bump for strings).
-    pub(crate) fn value_at(&self, row: u32) -> Value {
+    pub fn value_at(&self, row: u32) -> Value {
         match self {
             ColBuilder::Start => unreachable!("value_at on an empty column"),
             ColBuilder::I64(col) => Value::Int(col[row as usize]),
@@ -359,7 +422,7 @@ impl ColBuilder {
     }
 
     /// Does the value at `row` equal `v`?
-    pub(crate) fn value_eq_at(&self, row: u32, v: &Value) -> bool {
+    pub fn value_eq_at(&self, row: u32, v: &Value) -> bool {
         match (self, v) {
             (ColBuilder::Start, _) => false,
             (ColBuilder::I64(col), Value::Int(x)) => col[row as usize] == *x,
@@ -373,7 +436,7 @@ impl ColBuilder {
     }
 
     /// Finishes the column. An empty builder yields an empty `Val` column.
-    pub(crate) fn finish(self) -> Column {
+    pub fn finish(self) -> Column {
         match self {
             ColBuilder::Start => Column::Val(Arc::new(Vec::new())),
             ColBuilder::I64(col) => Column::I64(Arc::new(col)),
@@ -391,7 +454,7 @@ impl ColBuilder {
 /// integer, or all string under the *same* dictionary — and otherwise
 /// rebuilds through a [`ColBuilder`] (minting a fresh per-batch dictionary,
 /// which is how unions of differently-dictionaried scans re-normalize).
-pub(crate) fn gather_multi(sources: &[&[Column]], col: usize, refs: &[(u32, u32)]) -> Column {
+pub fn gather_multi(sources: &[&[Column]], col: usize, refs: &[(u32, u32)]) -> Column {
     let all_i64 = sources.iter().all(|s| matches!(s[col], Column::I64(_)));
     if all_i64 {
         let out: Vec<i64> = refs
@@ -439,7 +502,7 @@ pub(crate) fn gather_multi(sources: &[&[Column]], col: usize, refs: &[(u32, u32)
 /// stream order) are alive; columns and annotations are untouched until a
 /// pipeline breaker materializes the view.
 #[derive(Clone, Debug)]
-pub(crate) struct Batch<K> {
+pub struct Batch<K> {
     len: usize,
     columns: Vec<Column>,
     anns: Vec<K>,
@@ -448,7 +511,7 @@ pub(crate) struct Batch<K> {
 
 impl<K: Semiring> Batch<K> {
     /// A batch from freshly built full columns (no selection).
-    pub(crate) fn new(len: usize, columns: Vec<Column>, anns: Vec<K>) -> Batch<K> {
+    pub fn new(len: usize, columns: Vec<Column>, anns: Vec<K>) -> Batch<K> {
         debug_assert!(columns.iter().all(|c| c.len() == len));
         debug_assert_eq!(anns.len(), len);
         Batch {
@@ -460,7 +523,7 @@ impl<K: Semiring> Batch<K> {
     }
 
     /// Number of live (logical) rows.
-    pub(crate) fn live_rows(&self) -> usize {
+    pub fn live_rows(&self) -> usize {
         match &self.sel {
             Some(sel) => sel.len(),
             None => self.len,
@@ -470,19 +533,24 @@ impl<K: Semiring> Batch<K> {
     /// Number of physical rows (the length of the column vectors; dead rows
     /// filtered by `sel` included). Predicate masks are indexed by physical
     /// row.
-    pub(crate) fn phys_rows(&self) -> usize {
+    pub fn phys_rows(&self) -> usize {
         self.len
     }
 
     /// The columns (physical; apply `sel` for the logical view).
-    pub(crate) fn columns(&self) -> &[Column] {
+    pub fn columns(&self) -> &[Column] {
         &self.columns
+    }
+
+    /// The annotation column (physical; parallel to the data columns).
+    pub fn anns(&self) -> &[K] {
+        &self.anns
     }
 
     /// Applies a predicate mask (indexed by physical row) to the selection
     /// vector — the σ kernel's final step. No column or annotation data
     /// moves.
-    pub(crate) fn refine(&mut self, mask: &[bool]) {
+    pub fn refine(&mut self, mask: &[bool]) {
         debug_assert_eq!(mask.len(), self.len);
         self.sel = Some(match self.sel.take() {
             Some(sel) => sel.into_iter().filter(|&r| mask[r as usize]).collect(),
@@ -492,7 +560,7 @@ impl<K: Semiring> Batch<K> {
 
     /// Replaces the column list with a permutation/subset of itself — the
     /// π/ρ kernel. Pure `Arc` moves; no data is copied.
-    pub(crate) fn permute_columns(&mut self, perm: &[usize]) {
+    pub fn permute_columns(&mut self, perm: &[usize]) {
         self.columns = perm.iter().map(|&i| self.columns[i].clone()).collect();
     }
 
@@ -500,7 +568,7 @@ impl<K: Semiring> Batch<K> {
     /// to the selected rows and drops the selection vector. Annotations of
     /// surviving rows are *moved*, not cloned (the selection vector is
     /// strictly increasing). No-op when nothing is filtered.
-    pub(crate) fn materialize(self) -> Batch<K> {
+    pub fn materialize(self) -> Batch<K> {
         let Some(sel) = self.sel else { return self };
         let columns = self
             .columns
@@ -535,7 +603,7 @@ impl<K: Semiring> Batch<K> {
     ///
     /// # Panics
     /// Debug-panics on an unmaterialized batch.
-    pub(crate) fn key_hashes(&self, keys: &[usize]) -> Vec<u64> {
+    pub fn key_hashes(&self, keys: &[usize]) -> Vec<u64> {
         debug_assert!(
             self.sel.is_none(),
             "hash kernels run on materialized batches"
@@ -551,7 +619,7 @@ impl<K: Semiring> Batch<K> {
     /// assignment vector (`assign[row] < parts`), preserving relative row
     /// order within each part — the exchange kernel. Annotations move;
     /// column data is gathered once.
-    pub(crate) fn split_by(self, assign: &[u32], parts: usize) -> Vec<Batch<K>> {
+    pub fn split_by(self, assign: &[u32], parts: usize) -> Vec<Batch<K>> {
         debug_assert!(self.sel.is_none());
         debug_assert_eq!(assign.len(), self.len);
         let mut rows: Vec<Vec<u32>> = vec![Vec::new(); parts];
@@ -572,7 +640,7 @@ impl<K: Semiring> Batch<K> {
     }
 
     /// Decomposes a materialized batch.
-    pub(crate) fn into_parts(self) -> (usize, Vec<Column>, Vec<K>) {
+    pub fn into_parts(self) -> (usize, Vec<Column>, Vec<K>) {
         debug_assert!(self.sel.is_none());
         (self.len, self.columns, self.anns)
     }
@@ -580,7 +648,7 @@ impl<K: Semiring> Batch<K> {
     /// Converts the live rows back to positional rows with owned
     /// annotations — the boundary back into the row world (used by the
     /// batch-mode IVM delta kernels).
-    pub(crate) fn into_rows(self) -> Vec<(Box<[Value]>, K)> {
+    pub fn into_rows(self) -> Vec<(Box<[Value]>, K)> {
         let batch = self.materialize();
         let row_of = |cols: &[Column], r: u32| -> Box<[Value]> {
             cols.iter().map(|c| c.value_at(r)).collect()
@@ -597,7 +665,7 @@ impl<K: Semiring> Batch<K> {
 
     /// Builds a batch from positional rows (the IVM delta boundary: delta
     /// chunks enter the columnar kernels through here).
-    pub(crate) fn from_rows(arity: usize, rows: Vec<(Box<[Value]>, K)>) -> Batch<K> {
+    pub fn from_rows(arity: usize, rows: Vec<(Box<[Value]>, K)>) -> Batch<K> {
         let mut builders: Vec<ColBuilder> = (0..arity).map(|_| ColBuilder::new()).collect();
         let mut anns = Vec::with_capacity(rows.len());
         let mut len = 0usize;
@@ -624,7 +692,7 @@ impl<K: Semiring> Batch<K> {
 /// exactly once. The split depends only on the relation — never on the
 /// execution context — so the result is shareable across every execution
 /// and thread count, which is what lets the [`BatchCache`] memoize it.
-pub(crate) fn relation_to_batches<K: Semiring>(relation: &KRelation<K>) -> Vec<Batch<K>> {
+pub fn relation_to_batches<K: Semiring>(relation: &KRelation<K>) -> Vec<Batch<K>> {
     let arity = relation.schema().arity();
     let mut builders: Vec<ColBuilder> = (0..arity).map(|_| ColBuilder::new()).collect();
     let mut anns: Vec<K> = Vec::with_capacity(relation.len());
@@ -669,7 +737,7 @@ pub(crate) fn relation_to_batches<K: Semiring>(relation: &KRelation<K>) -> Vec<B
 /// converted this execution, served from the [`BatchCache`] as converted,
 /// or served from the cache after one or more commit patches.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum BatchProvenance {
+pub enum BatchProvenance {
     /// No cache entry — the scan columnarizes the relation itself.
     Converted,
     /// A cache entry built by an earlier execution, unpatched.
@@ -773,11 +841,7 @@ impl<K: Semiring> BatchCache<K> {
     /// The batches of `relation`, converting and memoizing on first use.
     /// The conversion runs outside the lock; on a race the first insert
     /// wins (both conversions are identical, so either result is fine).
-    pub(crate) fn get_or_convert(
-        &self,
-        epoch: u64,
-        relation: &Arc<KRelation<K>>,
-    ) -> Arc<Vec<Batch<K>>> {
+    pub fn get_or_convert(&self, epoch: u64, relation: &Arc<KRelation<K>>) -> Arc<Vec<Batch<K>>> {
         let key = entry_key(relation);
         if let Some(entry) = self.lock().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -800,7 +864,7 @@ impl<K: Semiring> BatchCache<K> {
 
     /// A non-counting read for explain output: the cached batches and
     /// their provenance, if `relation` has an entry.
-    pub(crate) fn peek(
+    pub fn peek(
         &self,
         relation: &Arc<KRelation<K>>,
     ) -> Option<(Arc<Vec<Batch<K>>>, BatchProvenance)> {
@@ -818,7 +882,7 @@ impl<K: Semiring> BatchCache<K> {
     /// path under the writer lock. Once the accumulated patch rows outgrow
     /// the base conversion the entry is dropped instead (the next scan
     /// re-converts, which also compacts cancelled deletions away).
-    pub(crate) fn patch(
+    pub fn patch(
         &self,
         old: &Arc<KRelation<K>>,
         new: &Arc<KRelation<K>>,
@@ -865,20 +929,20 @@ impl<K: Semiring> BatchCache<K> {
 /// appear in first-occurrence (stream) order, keyed by content hash with
 /// exact verification — the shared kernel under pre-join duplicate
 /// aggregation, the root merge, and the hash-join build side.
-pub(crate) struct Grouped<K> {
+pub struct Grouped<K> {
     /// Per-batch materialized columns (sources for gathering).
-    pub(crate) sources: Vec<Vec<Column>>,
+    pub sources: Vec<Vec<Column>>,
     /// One representative `(batch, row)` ref per group, in first-occurrence
     /// order.
-    pub(crate) reps: Vec<(u32, u32)>,
+    pub reps: Vec<(u32, u32)>,
     /// Summed annotation per group (stream order within each group).
-    pub(crate) anns: Vec<K>,
+    pub anns: Vec<K>,
 }
 
 /// Groups the live rows of `batches` by the given key columns, summing
 /// annotations of equal-key rows in stream order. With `keys` spanning the
 /// whole row this is exactly the row engine's duplicate aggregation.
-pub(crate) fn group_batches<K: Semiring>(batches: Vec<Batch<K>>, keys: &[usize]) -> Grouped<K> {
+pub fn group_batches<K: Semiring>(batches: Vec<Batch<K>>, keys: &[usize]) -> Grouped<K> {
     let mut sources: Vec<Vec<Column>> = Vec::with_capacity(batches.len());
     let mut reps: Vec<(u32, u32)> = Vec::new();
     let mut anns: Vec<K> = Vec::new();
@@ -926,7 +990,7 @@ impl<K: Semiring> Grouped<K> {
     /// Emits the groups as one batch (first-occurrence order), dropping
     /// zero-summed groups — the aggregation kernel's output. `arity` is the
     /// column count (needed when there are no source batches).
-    pub(crate) fn into_batch(self, arity: usize) -> Batch<K> {
+    pub fn into_batch(self, arity: usize) -> Batch<K> {
         let live: Vec<(u32, u32)> = self
             .reps
             .iter()
@@ -945,7 +1009,7 @@ impl<K: Semiring> Grouped<K> {
     /// Converts the groups straight into a [`KRelation`] — the column→row
     /// boundary at the plan root. Each distinct row builds its [`Tuple`]
     /// exactly once, however many duplicates the pipeline streamed.
-    pub(crate) fn into_relation(self, schema: &Schema) -> KRelation<K> {
+    pub fn into_relation(self, schema: &Schema) -> KRelation<K> {
         let mut result = KRelation::empty(schema.clone());
         for ((b, r), k) in self.reps.into_iter().zip(self.anns) {
             if k.is_zero() {

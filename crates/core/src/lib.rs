@@ -37,6 +37,7 @@ pub mod algebra;
 pub mod column;
 pub mod database;
 pub mod expr;
+pub mod kernels;
 pub mod paper;
 pub mod par;
 pub mod plan;

@@ -328,7 +328,13 @@ fn aggregate_batches<K: Semiring>(inputs: Vec<Batch<K>>, threads: usize) -> Vec<
 /// input in serial mode): a `hash → build-row refs` index over the
 /// materialized build batches, probed batch-by-batch with column-wise key
 /// hashes; each probe batch assembles one output batch column-by-column.
-fn join_batches<K: Semiring>(
+///
+/// Exported through [`crate::kernels`] for callers outside the planner
+/// (the datalog bench bodies use it directly). The semi-naive fixpoint
+/// itself does *not* call this per round — it probes its retained,
+/// append-only fact-index columns instead, because rebuilding the build
+/// hash table every round would swamp the delta-sized probes.
+pub fn join_batches<K: Semiring>(
     build: Vec<Batch<K>>,
     probe: Vec<Batch<K>>,
     build_keys: &[usize],

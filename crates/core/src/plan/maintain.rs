@@ -685,6 +685,32 @@ impl Plan {
             }
         }
     }
+
+    /// [`Plan::maintain_with`] that additionally returns the **view-output
+    /// delta** — the net change to the view's result, as a relation over
+    /// the plan's schema (annotations summed per tuple, zero changes
+    /// dropped). `view.result()` before + the returned delta = `view.
+    /// result()` after, per tuple. The commit path uses this to patch a
+    /// cached columnar conversion of the view's result forward
+    /// ([`BatchCache::patch`](crate::column::BatchCache::patch)) instead of
+    /// re-converting the whole view after every commit.
+    pub fn maintain_returning<K: Semiring>(
+        &self,
+        view: &mut MaterializedView<K>,
+        batch: &DeltaBatch<K>,
+        _ctx: &ExecContext,
+    ) -> KRelation<K> {
+        let mut output_delta = KRelation::empty(self.schema.clone());
+        let delta = delta_op(&self.physical, &mut view.state, batch);
+        for batch in delta {
+            for (row, k) in batch.into_rows() {
+                let tuple = Tuple::from_schema_row(&self.schema, row);
+                view.result.insert_same_schema(tuple.clone(), k.clone());
+                output_delta.insert_same_schema(tuple, k);
+            }
+        }
+        output_delta
+    }
 }
 
 #[cfg(test)]

@@ -32,10 +32,10 @@
 //! assert_eq!(out.len(), 5);
 //! ```
 
-mod batch;
+pub(crate) mod batch;
 pub mod logical;
 mod maintain;
-mod physical;
+pub(crate) mod physical;
 
 use crate::column;
 

@@ -72,7 +72,7 @@ type Ann<'a, K> = Cow<'a, K>;
 
 /// Where a hash join output column comes from.
 #[derive(Clone, Debug)]
-pub(crate) enum ColSource {
+pub enum ColSource {
     /// Column index into the build-side row.
     Build(usize),
     /// Column index into the probe-side row.

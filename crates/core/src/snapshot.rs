@@ -76,6 +76,13 @@ impl<K: Semiring> DbSnapshot<K> {
         self.views.get(name).map(Arc::as_ref)
     }
 
+    /// Like [`DbSnapshot::view`] but shares the result's `Arc` — the handle
+    /// readers need to resolve the view through the snapshot's
+    /// [`BatchCache`] (entries are keyed by relation-version pointer).
+    pub fn view_shared(&self, name: &str) -> Option<Arc<KRelation<K>>> {
+        self.views.get(name).cloned()
+    }
+
     /// The standing views visible in this snapshot, in name order.
     pub fn view_names(&self) -> impl Iterator<Item = &String> {
         self.views.keys()
@@ -206,8 +213,23 @@ impl<K: Semiring> SharedDatabase<K> {
                 .iter()
                 .any(|base| changed.contains(base))
             {
-                standing.plan.maintain_with(&mut standing.view, batch, ctx);
-                views.insert(name.clone(), Arc::new(standing.view.result().clone()));
+                // The maintenance pass reports the view-output delta, so a
+                // cached columnar conversion of the view's result is
+                // patched forward by exactly that delta — the view is never
+                // re-converted wholesale on the commit path.
+                let output_delta = standing
+                    .plan
+                    .maintain_returning(&mut standing.view, batch, ctx);
+                let new_result = Arc::new(standing.view.result().clone());
+                if let Some(old_result) = views.get(name) {
+                    previous.batch_cache.patch(
+                        old_result,
+                        &new_result,
+                        &output_delta,
+                        previous.epoch + 1,
+                    );
+                }
+                views.insert(name.clone(), new_result);
             }
             // Untouched views keep sharing their previous Arc'd result.
         }
@@ -244,8 +266,15 @@ impl<K: Semiring> SharedDatabase<K> {
         let previous = self.snapshot();
         let plan = Plan::new(expr, &previous.db.catalog())?;
         let view = plan.materialize(&previous);
+        let result = Arc::new(view.result().clone());
+        // Seed the batch cache with the view's result so the first columnar
+        // read of the view is already a hit, and commits can patch the
+        // entry forward with the view's own maintenance delta.
+        previous
+            .batch_cache
+            .get_or_convert(previous.epoch + 1, &result);
         let mut views = (*previous.views).clone();
-        views.insert(name.clone(), Arc::new(view.result().clone()));
+        views.insert(name.clone(), result);
         writer.views.insert(
             name,
             StandingView {
@@ -404,6 +433,39 @@ mod tests {
         assert_eq!((stats.patches, stats.entries), (1, 1));
         // The old version's entry is gone; a fresh scan of it re-converts.
         assert!(before.batch_cache.peek(&r).is_none());
+    }
+
+    #[test]
+    fn standing_view_results_ride_the_batch_cache() {
+        use crate::column::BatchProvenance;
+        let shared = SharedDatabase::new(z_db());
+        let query = paper_example_query("R");
+        shared.register_view("Q", &query).unwrap();
+        let snap = shared.snapshot();
+        let q = snap.view_shared("Q").unwrap();
+        // Registration seeded the cache: the entry exists before any read.
+        let (_, provenance) = snap.batch_cache.peek(&q).unwrap();
+        assert_eq!(provenance, BatchProvenance::Cached);
+        // A commit touching R patches the entry with the view's own
+        // maintenance output delta — no re-conversion.
+        let patches_before = snap.batch_cache_stats().patches;
+        shared.commit(&insert_batch());
+        let snap2 = shared.snapshot();
+        let q2 = snap2.view_shared("Q").unwrap();
+        let (batches, provenance) = snap2.batch_cache.peek(&q2).unwrap();
+        assert_eq!(provenance, BatchProvenance::Patched(1));
+        assert!(snap2.batch_cache_stats().patches > patches_before);
+        // Folding the patched batches reproduces the view result exactly.
+        let mut folded = KRelation::empty(q2.schema().clone());
+        for batch in batches.iter().cloned() {
+            for (row, k) in batch.into_rows() {
+                folded
+                    .insert_same_schema(crate::tuple::Tuple::from_schema_row(q2.schema(), row), k);
+            }
+        }
+        assert_eq!(&folded, q2.as_ref());
+        // The old version's entry moved forward; the old Arc misses.
+        assert!(snap.batch_cache.peek(&q).is_none());
     }
 
     #[test]

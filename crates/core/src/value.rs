@@ -48,12 +48,13 @@ impl Value {
     }
 
     /// Content hash of the value, independent of how a column stores it:
-    /// equal to [`int_content_hash`] for integers and [`str_content_hash`]
+    /// equal to `int_content_hash` for integers and `str_content_hash`
     /// for strings, which is what lets the columnar kernels
     /// (`plan::column`) hash typed, dictionary-encoded, and plain-value
-    /// columns interchangeably. Type-tagged so `1` and `"1"` do not collide
+    /// columns interchangeably — and what the datalog fact index keys its
+    /// hash buckets by. Type-tagged so `1` and `"1"` do not collide
     /// structurally.
-    pub(crate) fn content_hash(&self) -> u64 {
+    pub fn content_hash(&self) -> u64 {
         match self {
             Value::Int(x) => int_content_hash(*x),
             Value::Str(s) => str_content_hash(s),

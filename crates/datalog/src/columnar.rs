@@ -1,0 +1,1151 @@
+//! Batch-native semi-naive evaluation: the datalog fixpoint vectorized on
+//! the core columnar kernels ([`provsem_core::kernels`]).
+//!
+//! The row loops of [`crate::seminaive`] walk one binding at a time: every
+//! probe clones a `Binding` (a `BTreeMap`), every body factor is looked up
+//! in a `BTreeMap`-backed [`FactStore`], and every head is grounded through
+//! a fresh `Fact` allocation. This module runs the *same* differential
+//! algorithm over flat columns instead:
+//!
+//! * the [`FactIndex`] already keeps per-predicate append-only typed
+//!   columns and hash-keyed probe buckets (the identical
+//!   `hash_combine`-based scheme the batch executor's kernels use);
+//! * each rule form's `JoinPlan` is compiled once into a `BatchPlan`
+//!   of probe steps over those buckets, with candidate verification done
+//!   by typed column comparisons;
+//! * the per-round frontier of partial bindings is a set of slot-major
+//!   value columns (`Frontier`) extended breadth-first, annotations ride
+//!   along as one more column, and per-round deltas are [`Batch`]es built
+//!   straight from the change list;
+//! * idempotent increments are merged with the core grouping kernel
+//!   ([`group_batches`]) — the same duplicate-aggregation kernel the RA
+//!   batch executor uses — before touching the accumulator store.
+//!
+//! # Byte-identity with the row loops
+//!
+//! Every decision the row loops make is replayed exactly: the same probe
+//! masks hit the same buckets, delta/affected sets are `BTreeSet`-ordered,
+//! change lists are filtered in sorted-head order, and zero-annotation
+//! factors prune a candidate exactly where `body_product` returns `None`.
+//! Per-head sums may accumulate factor products in a different (breadth-
+//! first) interleaving than the row loops' depth-first one, which is
+//! invisible because semiring `+` and `×` are exactly associative and
+//! commutative for every semiring in this workspace (the law suite pins
+//! that down). The differential tests assert full [`FixpointResult`]
+//! equality — annotations, iteration counts, and convergence flags — across
+//! engines, semirings, and thread counts.
+//!
+//! Engine selection happens in [`crate::seminaive::seminaive_iterate_with`]
+//! and [`crate::seminaive::seminaive_idempotent_with`], gated on
+//! [`ExecMode`] exactly like the RA planner: `PROVSEM_EXEC=row|batch`
+//! forces an engine, `auto` (the default) picks batch when the EDB has at
+//! least [`Plan::AUTO_BATCH_MIN_ROWS`] facts.
+
+use crate::ast::{Atom, DlVar, Program, Rule, Term};
+use crate::fact::{Fact, FactIndex, FactStore};
+use crate::grounding::{ground_atom, Binding, JoinPlan};
+use crate::naive::FixpointResult;
+use crate::seminaive::{build_forms, unevaluated, RuleForms};
+use provsem_core::kernels::{group_batches, hash_combine, Batch, ColBuilder, HASH_SEED};
+use provsem_core::par;
+use provsem_core::plan::{ExecContext, ExecMode, Plan};
+use provsem_core::Value;
+use provsem_semiring::fxhash::FxHashMap;
+use provsem_semiring::{PlusIdempotent, Semiring};
+use std::collections::BTreeSet;
+
+/// Should the semi-naive fixpoint run on the batch engine? Mirrors the RA
+/// planner's auto rule with the EDB size as the scan estimate: the batch
+/// engine's setup (compiled plans, dense annotation tables) only pays off
+/// when the joins touch enough rows.
+pub(crate) fn use_batch<K: Semiring>(ctx: &ExecContext, edb: &FactStore<K>) -> bool {
+    match ctx.mode {
+        ExecMode::Row => false,
+        ExecMode::Batch => true,
+        ExecMode::Auto => edb.len() >= Plan::AUTO_BATCH_MIN_ROWS,
+    }
+}
+
+/// One bound column of a probe step: where the probe key value comes from.
+enum ProbeKey {
+    /// A constant in the atom, with its content hash precomputed at compile
+    /// time so the per-row hash fold never re-hashes it.
+    Const(Value, u64),
+    /// A frontier slot holding a variable bound by the seed or an earlier
+    /// step.
+    Slot(usize),
+}
+
+/// One probe step of a compiled plan: probe `atom`'s predicate with the
+/// plan's bound-column mask, verify candidates by typed column comparison,
+/// and bind the atom's new variables into fresh frontier slots.
+struct BatchStep<'f> {
+    atom: &'f Atom,
+    /// The registered bound-column mask (shared with the row path, so both
+    /// engines hit the same buckets).
+    cols: &'f [usize],
+    /// Per mask column, where its probe value comes from.
+    keys: Vec<ProbeKey>,
+    /// Repeated new variables within the atom: `(first_pos, repeat_pos)`
+    /// pairs whose candidate values must agree.
+    intra: Vec<(usize, usize)>,
+    /// First-occurrence positions of the atom's new variables, in slot
+    /// assignment order.
+    news: Vec<usize>,
+}
+
+/// Where a head argument comes from when a completed frontier row is
+/// grounded into a head fact.
+enum Emit {
+    Const(Value),
+    Slot(usize),
+}
+
+/// A [`JoinPlan`] compiled for batch execution: probe steps plus the head
+/// emission recipe. `emit` is `None` when some head variable is bound by no
+/// atom — such a form can never ground its head, exactly the case where the
+/// row path's `ground_atom` fails on every binding.
+struct BatchPlan<'f> {
+    steps: Vec<BatchStep<'f>>,
+    emit: Option<Vec<Emit>>,
+    /// Total slot count after the last step (seed slots included).
+    nslots: usize,
+}
+
+/// How a seed atom (a delta body atom, or the rule head for recompute)
+/// filters candidate facts and maps them to the seed slots.
+struct SeedSpec {
+    arity: usize,
+    /// Constant positions that must match.
+    consts: Vec<(usize, Value)>,
+    /// Repeated-variable positions that must agree: `(first, repeat)`.
+    dups: Vec<(usize, usize)>,
+    /// First-occurrence position of each seed slot's variable, in slot
+    /// order.
+    slots: Vec<usize>,
+}
+
+/// The seed atom's variables in first-occurrence order — the slot order
+/// every plan compiled against this seed uses.
+fn seed_vars(atom: &Atom) -> Vec<&DlVar> {
+    let mut seen: Vec<&DlVar> = Vec::new();
+    for term in &atom.terms {
+        if let Term::Var(x) = term {
+            if !seen.contains(&x) {
+                seen.push(x);
+            }
+        }
+    }
+    seen
+}
+
+fn seed_spec(atom: &Atom) -> SeedSpec {
+    let mut first: FxHashMap<&DlVar, usize> = FxHashMap::default();
+    let mut spec = SeedSpec {
+        arity: atom.terms.len(),
+        consts: Vec::new(),
+        dups: Vec::new(),
+        slots: Vec::new(),
+    };
+    for (pos, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(v) => spec.consts.push((pos, v.clone())),
+            Term::Var(x) => match first.get(x) {
+                Some(&p0) => spec.dups.push((p0, pos)),
+                None => {
+                    first.insert(x, pos);
+                    spec.slots.push(pos);
+                }
+            },
+        }
+    }
+    spec
+}
+
+/// Compiles a join plan into probe steps. `seed` must bind exactly the
+/// plan's seed variables (in slot order); the steps reuse the plan's own
+/// bound-column masks, so batch probes hit the buckets the row path
+/// registered.
+fn compile_plan<'f>(plan: &'f JoinPlan<'_>, seed: &[&'f DlVar], head: &'f Atom) -> BatchPlan<'f> {
+    let mut slot_of: FxHashMap<&DlVar, usize> = FxHashMap::default();
+    for (slot, x) in seed.iter().enumerate() {
+        slot_of.insert(*x, slot);
+    }
+    let mut nslots = seed.len();
+    let mut steps = Vec::new();
+    for (atom, cols) in plan.atoms().iter().zip(plan.bound()) {
+        let keys = cols
+            .iter()
+            .map(|&c| match &atom.terms[c] {
+                Term::Const(v) => ProbeKey::Const(v.clone(), v.content_hash()),
+                Term::Var(x) => ProbeKey::Slot(slot_of[x]),
+            })
+            .collect();
+        let mut intra = Vec::new();
+        let mut news = Vec::new();
+        let mut first_here: FxHashMap<&DlVar, usize> = FxHashMap::default();
+        for (pos, term) in atom.terms.iter().enumerate() {
+            if cols.contains(&pos) {
+                continue;
+            }
+            // Unbound positions are variables: the mask covers every
+            // constant and every position of an already-bound variable.
+            let Term::Var(x) = term else { unreachable!() };
+            match first_here.get(x) {
+                Some(&p0) => intra.push((p0, pos)),
+                None => {
+                    first_here.insert(x, pos);
+                    news.push(pos);
+                }
+            }
+        }
+        for &pos in &news {
+            let Term::Var(x) = &atom.terms[pos] else {
+                unreachable!()
+            };
+            slot_of.insert(x, nslots);
+            nslots += 1;
+        }
+        steps.push(BatchStep {
+            atom,
+            cols,
+            keys,
+            intra,
+            news,
+        });
+    }
+    let emit = head
+        .terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(v) => Some(Emit::Const(v.clone())),
+            Term::Var(x) => slot_of.get(x).map(|&s| Emit::Slot(s)),
+        })
+        .collect::<Option<Vec<Emit>>>();
+    BatchPlan {
+        steps,
+        emit,
+        nslots,
+    }
+}
+
+/// The batch counterpart of [`RuleForms`]: the same differential forms,
+/// compiled.
+struct BatchForm<'f> {
+    rule: &'f Rule,
+    empty_body: bool,
+    /// For an empty-body rule, the ground head it derives (`None` when the
+    /// head has variables — such a rule never fires).
+    head_ground: Option<Fact>,
+    /// One per idb body atom: the delta atom's predicate and seed spec, and
+    /// the compiled suffix plan over the remaining atoms.
+    delta: Vec<(&'f str, SeedSpec, BatchPlan<'f>)>,
+    /// Seed spec of the head atom (recompute path).
+    head_spec: SeedSpec,
+    head_seeded: BatchPlan<'f>,
+    full: BatchPlan<'f>,
+    has_idb_body: bool,
+}
+
+fn compile_forms<'f>(forms: &'f [RuleForms<'_>]) -> Vec<BatchForm<'f>> {
+    forms
+        .iter()
+        .map(|form| {
+            let rule = form.rule;
+            let delta = form
+                .delta_forms
+                .iter()
+                .map(|(pos, plan)| {
+                    let atom = &rule.body[*pos];
+                    let vars = seed_vars(atom);
+                    (
+                        atom.predicate.as_str(),
+                        seed_spec(atom),
+                        compile_plan(plan, &vars, &rule.head),
+                    )
+                })
+                .collect();
+            let head_vars = seed_vars(&rule.head);
+            BatchForm {
+                rule,
+                empty_body: rule.body.is_empty(),
+                head_ground: rule
+                    .body
+                    .is_empty()
+                    .then(|| ground_atom(&rule.head, &Binding::new()))
+                    .flatten(),
+                delta,
+                head_spec: seed_spec(&rule.head),
+                head_seeded: compile_plan(&form.head_seeded, &head_vars, &rule.head),
+                full: compile_plan(&form.full, &[], &rule.head),
+                has_idb_body: form.has_idb_body,
+            }
+        })
+        .collect()
+}
+
+/// [`crate::seminaive::forms_by_head`] over compiled forms, as indices.
+fn forms_by_head_idx<'f>(bforms: &[BatchForm<'f>]) -> FxHashMap<&'f str, Vec<usize>> {
+    let mut by_head: FxHashMap<&str, Vec<usize>> = FxHashMap::default();
+    for (i, bf) in bforms.iter().enumerate() {
+        by_head
+            .entry(bf.rule.head.predicate.as_str())
+            .or_default()
+            .push(i);
+    }
+    by_head
+}
+
+/// Dense per-predicate annotation columns, parallel to the [`FactIndex`]'s
+/// pred-local rows: `anns[pred][local_row]` is the fact's current
+/// annotation (from the accumulator for idb predicates, from the EDB
+/// otherwise). This replaces the row path's per-factor `BTreeMap` lookups
+/// with direct indexing.
+pub(crate) type AnnTable<K> = FxHashMap<String, Vec<K>>;
+
+/// Annotated rows grouped under their `(predicate, arity)` key — the shape
+/// both round-end accumulators collect into before building delta batches.
+type GroupedRows<K> = Vec<((String, usize), Vec<(Box<[Value]>, K)>)>;
+
+/// Builds the annotation table for an index whose facts are already final
+/// (the IVM recompute path); the fixpoint loops maintain theirs
+/// incrementally instead.
+pub(crate) fn build_ann_table<K: Semiring>(
+    index: &FactIndex,
+    idb_predicates: &BTreeSet<String>,
+    edb: &FactStore<K>,
+    current: &FactStore<K>,
+) -> AnnTable<K> {
+    let mut table: AnnTable<K> = FxHashMap::default();
+    for fact in index.facts() {
+        let ann = if idb_predicates.contains(&fact.predicate) {
+            current.annotation(fact)
+        } else {
+            edb.annotation(fact)
+        };
+        table.entry(fact.predicate.clone()).or_default().push(ann);
+    }
+    table
+}
+
+/// A set of partial bindings, slot-major: `slots[s][r]` is row `r`'s value
+/// for slot `s`. In product mode `anns[r]` carries the running body
+/// product; `seeds[r]` remembers which seed row `r` descends from (the
+/// recompute path sums per-seed totals from it).
+struct Frontier<K> {
+    rows: usize,
+    slots: Vec<Vec<Value>>,
+    anns: Vec<K>,
+    seeds: Vec<u32>,
+}
+
+impl<K: Semiring> Frontier<K> {
+    /// The empty-binding seed for a full-body plan: one row, no slots.
+    fn unit() -> Frontier<K> {
+        Frontier {
+            rows: 1,
+            slots: Vec::new(),
+            anns: vec![K::one()],
+            seeds: vec![0],
+        }
+    }
+
+    /// Splits off the first `n` rows (for row-balanced work partitioning).
+    fn split_off_front(&mut self, n: usize) -> Frontier<K> {
+        let tail = Frontier {
+            rows: self.rows - n,
+            slots: self.slots.iter_mut().map(|c| c.split_off(n)).collect(),
+            anns: if self.anns.is_empty() {
+                Vec::new()
+            } else {
+                self.anns.split_off(n)
+            },
+            seeds: self.seeds.split_off(n),
+        };
+        let mut head = std::mem::replace(self, tail);
+        head.rows = n;
+        head
+    }
+}
+
+/// Seeds a frontier from a delta batch through the delta atom's spec. With
+/// `track` the batch's annotation column becomes the seed products
+/// (zero-annotated rows are dropped, where the row path's `body_product`
+/// would return `None`).
+fn seed_from_batch<K: Semiring>(spec: &SeedSpec, batch: &Batch<K>, track: bool) -> Frontier<K> {
+    let cols = batch.columns();
+    let mut fr = Frontier {
+        rows: 0,
+        slots: vec![Vec::new(); spec.slots.len()],
+        anns: Vec::new(),
+        seeds: Vec::new(),
+    };
+    if cols.len() != spec.arity {
+        return fr;
+    }
+    'row: for r in 0..batch.phys_rows() as u32 {
+        for (pos, v) in &spec.consts {
+            if !cols[*pos].value_eq_at(r, v) {
+                continue 'row;
+            }
+        }
+        for &(p0, p1) in &spec.dups {
+            if cols[p0].value_at(r) != cols[p1].value_at(r) {
+                continue 'row;
+            }
+        }
+        if track {
+            let ann = &batch.anns()[r as usize];
+            if ann.is_zero() {
+                continue;
+            }
+            fr.anns.push(ann.clone());
+        }
+        for (slot, &pos) in spec.slots.iter().enumerate() {
+            fr.slots[slot].push(cols[pos].value_at(r));
+        }
+        fr.seeds.push(r);
+        fr.rows += 1;
+    }
+    fr
+}
+
+/// Seeds a frontier from affected head facts through the head atom's spec,
+/// with seed id `i` and annotation `1` per matching head (the recompute
+/// path's per-head sum starts at `1 × body product`).
+fn seed_from_heads<'h, K: Semiring>(
+    spec: &SeedSpec,
+    heads: impl Iterator<Item = (u32, &'h Fact)>,
+) -> Frontier<K> {
+    let mut fr = Frontier {
+        rows: 0,
+        slots: vec![Vec::new(); spec.slots.len()],
+        anns: Vec::new(),
+        seeds: Vec::new(),
+    };
+    'head: for (id, fact) in heads {
+        if fact.values.len() != spec.arity {
+            continue;
+        }
+        for (pos, v) in &spec.consts {
+            if &fact.values[*pos] != v {
+                continue 'head;
+            }
+        }
+        for &(p0, p1) in &spec.dups {
+            if fact.values[p0] != fact.values[p1] {
+                continue 'head;
+            }
+        }
+        for (slot, &pos) in spec.slots.iter().enumerate() {
+            fr.slots[slot].push(fact.values[pos].clone());
+        }
+        fr.anns.push(K::one());
+        fr.seeds.push(id);
+        fr.rows += 1;
+    }
+    fr
+}
+
+/// Runs one probe step over every frontier row: hash the bound columns,
+/// fetch the index bucket, verify each candidate with typed column
+/// comparisons (falling back to the fact arena for arity-poisoned
+/// predicates), and gather the surviving extensions into the next frontier.
+/// In product mode (`anns` given) a zero-annotated candidate is pruned and
+/// survivors multiply their annotation into the running product.
+fn extend<K: Semiring>(
+    step: &BatchStep<'_>,
+    index: &FactIndex,
+    anns: Option<&AnnTable<K>>,
+    fr: Frontier<K>,
+) -> Frontier<K> {
+    let pred = step.atom.predicate.as_str();
+    let cols = index.predicate_columns(pred);
+    let arity = step.atom.terms.len();
+    let pred_anns: Option<&[K]> = anns.map(|t| t.get(pred).map(Vec::as_slice).unwrap_or(&[]));
+    let mut parents: Vec<u32> = Vec::new();
+    let mut locals: Vec<u32> = Vec::new();
+    let mut arena: Vec<usize> = Vec::new();
+    let mut out_anns: Vec<K> = Vec::new();
+    let mut out_seeds: Vec<u32> = Vec::new();
+    for r in 0..fr.rows {
+        let candidates = if step.cols.is_empty() {
+            index.predicate_rows(pred)
+        } else {
+            let mut h = HASH_SEED;
+            for key in &step.keys {
+                h = hash_combine(
+                    h,
+                    match key {
+                        ProbeKey::Const(_, ch) => *ch,
+                        ProbeKey::Slot(s) => fr.slots[*s][r].content_hash(),
+                    },
+                );
+            }
+            index.candidates_hashed(pred, step.cols, h)
+        };
+        'cand: for &g in candidates {
+            let local = index.local_row(g);
+            match cols {
+                Some(cb) => {
+                    if cb.len() != arity {
+                        continue;
+                    }
+                    for (key, &c) in step.keys.iter().zip(step.cols) {
+                        let ok = match key {
+                            ProbeKey::Const(v, _) => cb[c].value_eq_at(local, v),
+                            ProbeKey::Slot(s) => cb[c].value_eq_at(local, &fr.slots[*s][r]),
+                        };
+                        if !ok {
+                            continue 'cand;
+                        }
+                    }
+                    for &(p0, p1) in &step.intra {
+                        if cb[p0].value_at(local) != cb[p1].value_at(local) {
+                            continue 'cand;
+                        }
+                    }
+                }
+                None => {
+                    let fact = index.fact(g);
+                    if fact.values.len() != arity {
+                        continue;
+                    }
+                    for (key, &c) in step.keys.iter().zip(step.cols) {
+                        let ok = match key {
+                            ProbeKey::Const(v, _) => &fact.values[c] == v,
+                            ProbeKey::Slot(s) => fact.values[c] == fr.slots[*s][r],
+                        };
+                        if !ok {
+                            continue 'cand;
+                        }
+                    }
+                    for &(p0, p1) in &step.intra {
+                        if fact.values[p0] != fact.values[p1] {
+                            continue 'cand;
+                        }
+                    }
+                }
+            }
+            if let Some(pa) = pred_anns {
+                let ann = &pa[local as usize];
+                if ann.is_zero() {
+                    continue;
+                }
+                out_anns.push(fr.anns[r].times(ann));
+            }
+            parents.push(r as u32);
+            locals.push(local);
+            arena.push(g);
+            out_seeds.push(fr.seeds[r]);
+        }
+    }
+    let mut slots: Vec<Vec<Value>> = fr
+        .slots
+        .iter()
+        .map(|col| parents.iter().map(|&p| col[p as usize].clone()).collect())
+        .collect();
+    for &pos in &step.news {
+        let col: Vec<Value> = match cols {
+            Some(cb) => locals.iter().map(|&lr| cb[pos].value_at(lr)).collect(),
+            None => arena
+                .iter()
+                .map(|&g| index.fact(g).values[pos].clone())
+                .collect(),
+        };
+        slots.push(col);
+    }
+    Frontier {
+        rows: parents.len(),
+        slots,
+        anns: out_anns,
+        seeds: out_seeds,
+    }
+}
+
+fn run_plan<K: Semiring>(
+    plan: &BatchPlan<'_>,
+    index: &FactIndex,
+    anns: Option<&AnnTable<K>>,
+    mut fr: Frontier<K>,
+) -> Frontier<K> {
+    for step in &plan.steps {
+        if fr.rows == 0 {
+            break;
+        }
+        fr = extend(step, index, anns, fr);
+    }
+    debug_assert!(fr.rows == 0 || fr.slots.len() == plan.nslots);
+    fr
+}
+
+/// Grounds the head of a completed frontier row.
+fn emit_head<K: Semiring>(emit: &[Emit], fr: &Frontier<K>, r: usize, predicate: &str) -> Fact {
+    Fact {
+        predicate: predicate.to_string(),
+        values: emit
+            .iter()
+            .map(|e| match e {
+                Emit::Const(v) => v.clone(),
+                Emit::Slot(s) => fr.slots[*s][r].clone(),
+            })
+            .collect(),
+    }
+}
+
+/// The batch loops' round-to-round state: the column-backed index, the
+/// accumulator store, the dense annotation table mirroring it, and the
+/// per-predicate delta batches.
+struct BatchState<K> {
+    index: FactIndex,
+    current: FactStore<K>,
+    anns: AnnTable<K>,
+    /// Last round's changed facts as batches, one per `(predicate, arity)`
+    /// pair (facts of one predicate almost always agree on arity; mixed
+    /// arities get one batch each).
+    delta: FxHashMap<String, Vec<Batch<K>>>,
+    delta_rows: usize,
+}
+
+impl<K: Semiring> BatchState<K> {
+    /// Round-1 setup, mirroring the row path's `DeltaState::initial`: index
+    /// the EDB, build and register the forms, apply `T` once through the
+    /// compiled full plans, and seed the delta — cleared immediately for
+    /// syntactically non-recursive programs, keeping `converged` aligned.
+    fn initial<'a>(
+        program: &'a Program,
+        idb_predicates: &BTreeSet<String>,
+        edb: &FactStore<K>,
+    ) -> (Vec<RuleForms<'a>>, Self) {
+        let mut index = edb.join_index();
+        let forms = build_forms(program, idb_predicates, &mut index);
+        let mut anns: AnnTable<K> = FxHashMap::default();
+        for fact in index.facts() {
+            let ann = if idb_predicates.contains(&fact.predicate) {
+                K::zero()
+            } else {
+                edb.annotation(fact)
+            };
+            anns.entry(fact.predicate.clone()).or_default().push(ann);
+        }
+        let mut state = BatchState {
+            index,
+            current: FactStore::new(),
+            anns,
+            delta: FxHashMap::default(),
+            delta_rows: 0,
+        };
+        let bforms = compile_forms(&forms);
+        let mut produced: FactStore<K> = FactStore::new();
+        for bf in bforms.iter().filter(|f| !f.has_idb_body) {
+            if bf.empty_body {
+                if let Some(head) = &bf.head_ground {
+                    produced.insert(head.clone(), K::one());
+                }
+                continue;
+            }
+            let Some(emit) = &bf.full.emit else { continue };
+            let fr = run_plan(&bf.full, &state.index, Some(&state.anns), Frontier::unit());
+            for r in 0..fr.rows {
+                produced.insert(
+                    emit_head(emit, &fr, r, &bf.rule.head.predicate),
+                    fr.anns[r].clone(),
+                );
+            }
+        }
+        drop(bforms);
+        state.apply_changes(produced.facts().map(|(f, k)| (f, k.clone())).collect());
+        if forms.iter().all(|f| f.delta_forms.is_empty()) {
+            state.delta.clear();
+            state.delta_rows = 0;
+        }
+        (forms, state)
+    }
+
+    /// Ends a round: changed facts join the index and overwrite their
+    /// annotation in both the store and the dense table, and the change
+    /// list becomes the next delta batches.
+    fn apply_changes(&mut self, changes: Vec<(Fact, K)>) {
+        self.delta.clear();
+        self.delta_rows = changes.len();
+        let mut rows: GroupedRows<K> = Vec::new();
+        for (fact, ann) in changes {
+            if self.index.add_fact(fact.clone()) {
+                self.anns
+                    .entry(fact.predicate.clone())
+                    .or_default()
+                    .push(ann.clone());
+            } else {
+                let g = self.index.position(&fact).expect("fact is indexed");
+                let local = self.index.local_row(g) as usize;
+                self.anns.get_mut(&fact.predicate).expect("predicate known")[local] = ann.clone();
+            }
+            self.current.set(fact.clone(), ann.clone());
+            let key = (fact.predicate, fact.values.len());
+            let row = (fact.values.into_boxed_slice(), ann);
+            match rows.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, list)) => list.push(row),
+                None => rows.push((key, vec![row])),
+            }
+        }
+        for ((pred, arity), list) in rows {
+            self.delta
+                .entry(pred)
+                .or_default()
+                .push(Batch::from_rows(arity, list));
+        }
+    }
+
+    fn finish(self, iterations: usize) -> FixpointResult<K> {
+        let converged = self.delta_rows == 0;
+        FixpointResult {
+            idb: self.current,
+            iterations,
+            converged,
+        }
+    }
+}
+
+/// One unit of per-round delta work: a compiled delta form (`bforms[form]`'s
+/// `delta[dform]`) with its seeded frontier.
+type Unit<K> = (usize, usize, Frontier<K>);
+
+/// Builds the round's work units, form-major like the row path's
+/// `delta_work_items`. Units whose plan can never ground a head are
+/// dropped (the row path grounds per binding and fails every time).
+fn delta_units<K: Semiring>(
+    bforms: &[BatchForm<'_>],
+    delta: &FxHashMap<String, Vec<Batch<K>>>,
+    track: bool,
+) -> Vec<Unit<K>> {
+    let mut units = Vec::new();
+    for (fi, bf) in bforms.iter().enumerate() {
+        for (di, (pred, spec, plan)) in bf.delta.iter().enumerate() {
+            if plan.emit.is_none() {
+                continue;
+            }
+            for batch in delta.get(*pred).map(Vec::as_slice).unwrap_or(&[]) {
+                let fr = seed_from_batch(spec, batch, track);
+                if fr.rows > 0 {
+                    units.push((fi, di, fr));
+                }
+            }
+        }
+    }
+    units
+}
+
+/// Partitions work units into at most `parts` groups of near-equal total
+/// row count, splitting a unit's frontier when a boundary falls inside it.
+/// Order-preserving, so in-order concatenation of the groups' outputs
+/// equals the serial pass.
+fn split_units<K: Semiring>(units: Vec<Unit<K>>, parts: usize) -> Vec<Vec<Unit<K>>> {
+    let total: usize = units.iter().map(|u| u.2.rows).sum();
+    if parts <= 1 || total == 0 {
+        return vec![units];
+    }
+    let target = total.div_ceil(parts);
+    let mut groups = Vec::new();
+    let mut group: Vec<Unit<K>> = Vec::new();
+    let mut filled = 0;
+    for (fi, di, mut fr) in units {
+        loop {
+            let room = target - filled;
+            if fr.rows <= room {
+                filled += fr.rows;
+                group.push((fi, di, fr));
+                if filled == target {
+                    groups.push(std::mem::take(&mut group));
+                    filled = 0;
+                }
+                break;
+            }
+            let head = fr.split_off_front(room);
+            group.push((fi, di, head));
+            groups.push(std::mem::take(&mut group));
+            filled = 0;
+        }
+    }
+    if !group.is_empty() {
+        groups.push(group);
+    }
+    groups
+}
+
+/// Phase 1 of the general round: every head one differential form away
+/// from a delta fact, discovered by batch joins (annotation-blind, exactly
+/// like the row path's discovery joins over the index).
+fn discover_affected<K>(
+    bforms: &[BatchForm<'_>],
+    state: &BatchState<K>,
+    threads: usize,
+) -> BTreeSet<Fact>
+where
+    K: Semiring + Send + Sync,
+{
+    let units = delta_units(bforms, &state.delta, false);
+    let total: usize = units.iter().map(|u| u.2.rows).sum();
+    let index = &state.index;
+    let run = |units: Vec<Unit<K>>| {
+        let mut heads = BTreeSet::new();
+        for (fi, di, fr) in units {
+            let bf = &bforms[fi];
+            let (_, _, plan) = &bf.delta[di];
+            let emit = plan.emit.as_ref().expect("emitting unit");
+            let out = run_plan(plan, index, None, fr);
+            for r in 0..out.rows {
+                heads.insert(emit_head(emit, &out, r, &bf.rule.head.predicate));
+            }
+        }
+        heads
+    };
+    if threads <= 1 || total < par::SPAWN_THRESHOLD {
+        return run(units);
+    }
+    par::spawn_map(split_units(units, threads), run)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Phase 2 of the general round: from-scratch totals of `heads`, sharing
+/// the row path's summation structure (forms of the head's predicate in
+/// program order; per form, the head-seeded plan over the index with the
+/// dense annotation table supplying the factors).
+fn recompute_totals<K: Semiring>(
+    heads: &[Fact],
+    bforms: &[BatchForm<'_>],
+    by_head: &FxHashMap<&str, Vec<usize>>,
+    index: &FactIndex,
+    anns: &AnnTable<K>,
+) -> Vec<K> {
+    let mut totals = vec![K::zero(); heads.len()];
+    let mut by_pred: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
+    for (i, head) in heads.iter().enumerate() {
+        by_pred
+            .entry(head.predicate.as_str())
+            .or_default()
+            .push(i as u32);
+    }
+    for (pred, ids) in &by_pred {
+        let Some(form_ids) = by_head.get(pred) else {
+            continue;
+        };
+        for &fi in form_ids {
+            let bf = &bforms[fi];
+            if bf.empty_body {
+                if let Some(ground) = &bf.head_ground {
+                    for &i in ids {
+                        if &heads[i as usize] == ground {
+                            totals[i as usize].plus_assign(&K::one());
+                        }
+                    }
+                }
+                continue;
+            }
+            let fr = seed_from_heads(&bf.head_spec, ids.iter().map(|&i| (i, &heads[i as usize])));
+            let out = run_plan(&bf.head_seeded, index, Some(anns), fr);
+            for r in 0..out.rows {
+                totals[out.seeds[r] as usize].plus_assign(&out.anns[r]);
+            }
+        }
+    }
+    totals
+}
+
+/// Compiled batch recomputation machinery for the IVM rederive passes
+/// ([`crate::maintain::maintain_fixpoint_with`]): the forms compiled once
+/// per maintenance call, with [`BatchRecompute::totals`] mapping one
+/// from-scratch sweep over a slice of affected heads — the batch
+/// counterpart of `recompute_head` over each.
+pub(crate) struct BatchRecompute<'f> {
+    bforms: Vec<BatchForm<'f>>,
+    by_head: FxHashMap<&'f str, Vec<usize>>,
+}
+
+impl<'f> BatchRecompute<'f> {
+    pub(crate) fn new(forms: &'f [RuleForms<'_>]) -> Self {
+        let bforms = compile_forms(forms);
+        let by_head = forms_by_head_idx(&bforms);
+        BatchRecompute { bforms, by_head }
+    }
+
+    /// From-scratch totals of `heads` over `index`, with `anns` supplying
+    /// every body factor (build it with [`build_ann_table`] against the
+    /// pass-start stores).
+    pub(crate) fn totals<K: Semiring>(
+        &self,
+        heads: &[Fact],
+        index: &FactIndex,
+        anns: &AnnTable<K>,
+    ) -> Vec<K> {
+        recompute_totals(heads, &self.bforms, &self.by_head, index, anns)
+    }
+}
+
+/// [`crate::seminaive::seminaive_iterate`] on the batch engine: identical
+/// rounds (delta-driven affected-head discovery, from-scratch recompute of
+/// each affected head), executed as batch probes over the column-backed
+/// index. Sound for every semiring; `FixpointResult`-identical to the row
+/// loops at any `threads`.
+pub fn seminaive_iterate_batch<K>(
+    program: &Program,
+    edb: &FactStore<K>,
+    max_rounds: usize,
+    threads: usize,
+) -> FixpointResult<K>
+where
+    K: Semiring + Send + Sync,
+{
+    if max_rounds == 0 {
+        return unevaluated();
+    }
+    let idb_predicates = program.idb_predicates();
+    let (forms, mut state) = BatchState::initial(program, &idb_predicates, edb);
+    let bforms = compile_forms(&forms);
+    let by_head = forms_by_head_idx(&bforms);
+
+    let mut iterations = 1;
+    while iterations < max_rounds {
+        if state.delta_rows == 0 {
+            break;
+        }
+        iterations += 1;
+
+        let affected: Vec<Fact> = discover_affected(&bforms, &state, threads)
+            .into_iter()
+            .collect();
+
+        let changes: Vec<(Fact, K)> = {
+            let (index, anns, current) = (&state.index, &state.anns, &state.current);
+            let collect = |chunk: &[Fact]| -> Vec<(Fact, K)> {
+                let totals = recompute_totals(chunk, &bforms, &by_head, index, anns);
+                chunk
+                    .iter()
+                    .zip(totals)
+                    .filter(|(head, total)| *total != current.annotation(head))
+                    .map(|(head, total)| (head.clone(), total))
+                    .collect()
+            };
+            if threads <= 1 || affected.len() < par::SPAWN_THRESHOLD {
+                collect(&affected)
+            } else {
+                par::par_map_chunks(par::chunked(affected, threads), |_, chunk| collect(&chunk))
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            }
+        };
+        state.apply_changes(changes);
+    }
+    state.finish(iterations)
+}
+
+/// [`crate::seminaive::seminaive_idempotent`] on the batch engine: the
+/// classical delta rewrite with increments produced by batch joins and
+/// merged through the core grouping kernel before touching the
+/// accumulator. Requires `+`-idempotence like the row loop.
+pub fn seminaive_idempotent_batch<K>(
+    program: &Program,
+    edb: &FactStore<K>,
+    max_rounds: usize,
+    threads: usize,
+) -> FixpointResult<K>
+where
+    K: Semiring + PlusIdempotent + Send + Sync,
+{
+    if max_rounds == 0 {
+        return unevaluated();
+    }
+    let idb_predicates = program.idb_predicates();
+    let (forms, mut state) = BatchState::initial(program, &idb_predicates, edb);
+    let bforms = compile_forms(&forms);
+
+    let mut iterations = 1;
+    while iterations < max_rounds {
+        if state.delta_rows == 0 {
+            break;
+        }
+        iterations += 1;
+
+        // Increments: run every seeded delta form in product mode and
+        // collect raw head contributions per (predicate, arity).
+        let units = delta_units(&bforms, &state.delta, true);
+        let total: usize = units.iter().map(|u| u.2.rows).sum();
+        let index = &state.index;
+        let anns = &state.anns;
+        type Contribs<K> = Vec<(String, usize, Vec<(Box<[Value]>, K)>)>;
+        let run = |units: Vec<Unit<K>>| -> Contribs<K> {
+            let mut out: Contribs<K> = Vec::new();
+            for (fi, di, fr) in units {
+                let bf = &bforms[fi];
+                let (_, _, plan) = &bf.delta[di];
+                let emit = plan.emit.as_ref().expect("emitting unit");
+                let done = run_plan(plan, index, Some(anns), fr);
+                if done.rows == 0 {
+                    continue;
+                }
+                let rows: Vec<(Box<[Value]>, K)> = (0..done.rows)
+                    .map(|r| {
+                        let fact = emit_head(emit, &done, r, &bf.rule.head.predicate);
+                        (fact.values.into_boxed_slice(), done.anns[r].clone())
+                    })
+                    .collect();
+                out.push((
+                    bf.rule.head.predicate.clone(),
+                    bf.rule.head.terms.len(),
+                    rows,
+                ));
+            }
+            out
+        };
+        let contribs: Contribs<K> = if threads <= 1 || total < par::SPAWN_THRESHOLD {
+            run(units)
+        } else {
+            par::spawn_map(split_units(units, threads), run)
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+
+        // Merge equal heads with the core grouping kernel (stream-order
+        // annotation sums, zero groups dropped — exactly the accumulation
+        // `FactStore::insert` performs on the row path).
+        let mut grouped: GroupedRows<K> = Vec::new();
+        for (pred, arity, rows) in contribs {
+            let key = (pred, arity);
+            match grouped.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, list)) => list.extend(rows),
+                None => grouped.push((key, rows)),
+            }
+        }
+        let mut produced: FactStore<K> = FactStore::new();
+        for ((pred, arity), rows) in grouped {
+            if arity == 0 {
+                // Propositional heads: nothing to group on; fold directly.
+                let mut sum = K::zero();
+                for (_, k) in rows {
+                    sum.plus_assign(&k);
+                }
+                produced.insert(Fact::new(pred, Vec::<Value>::new()), sum);
+                continue;
+            }
+            let keys: Vec<usize> = (0..arity).collect();
+            let merged = group_batches(vec![Batch::from_rows(arity, rows)], &keys)
+                .into_batch(arity)
+                .into_rows();
+            for (values, k) in merged {
+                produced.insert(
+                    Fact {
+                        predicate: pred.clone(),
+                        values: values.into_vec(),
+                    },
+                    k,
+                );
+            }
+        }
+
+        let mut changes: Vec<(Fact, K)> = Vec::new();
+        for (fact, increment) in produced.facts() {
+            let merged = state.current.annotation(&fact).plus(increment);
+            if merged != state.current.annotation(&fact) {
+                changes.push((fact, merged));
+            }
+        }
+        state.apply_changes(changes);
+    }
+    state.finish(iterations)
+}
+
+/// Renders a [`JoinPlan`]'s probe order: each atom in join order with the
+/// bound-column mask its index probe uses (`scan` when nothing is bound —
+/// the probe degenerates to the predicate listing).
+fn render_plan(plan: &JoinPlan<'_>) -> String {
+    if plan.atoms().is_empty() {
+        return "∅ (ground body)".to_string();
+    }
+    plan.atoms()
+        .iter()
+        .zip(plan.bound())
+        .map(|(atom, cols)| {
+            if cols.is_empty() {
+                format!("scan {atom}")
+            } else {
+                let cs: Vec<String> = cols.iter().map(usize::to_string).collect();
+                format!("probe {atom}[{}]", cs.join(","))
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+/// Describes how the semi-naive fixpoint will evaluate `program` over
+/// `edb` under `ctx`, mirroring the RA planner's
+/// [`Plan::explain_physical_with`](provsem_core::plan::Plan::explain_physical_with):
+///
+/// * the first line states the engine decision — which engine runs and
+///   whether it was forced or picked by [`ExecMode::Auto`] from the EDB
+///   size;
+/// * per rule, the join orders actually executed: the left-to-right
+///   `full` plan (round 1 / edb-only rules), the head-seeded `recompute`
+///   plan (general-semiring rederivation), and one `Δ` form per idb body
+///   atom (the differential probe order when the delta sits at that atom),
+///   each atom annotated with its bound-column probe mask;
+/// * per EDB predicate, the index's column encodings — `i64` (typed
+///   integers), `dict(n)` (dictionary-encoded strings, `n` distinct
+///   entries), or `val` (mixed types or dictionary overflow past
+///   `DICT_MAX`) — or `arena (mixed arity)` when a predicate's facts
+///   disagree on arity and columnar storage is poisoned.
+///
+/// Purely introspective: nothing is evaluated, and the rendering is
+/// deterministic for a given `(program, edb, ctx)`.
+pub fn explain_fixpoint<K: Semiring>(
+    program: &Program,
+    edb: &FactStore<K>,
+    ctx: &ExecContext,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = match (ctx.mode, use_batch(ctx, edb)) {
+        (ExecMode::Auto, true) => format!(
+            "engine: batch (auto: {} edb rows ≥ {})",
+            edb.len(),
+            Plan::AUTO_BATCH_MIN_ROWS
+        ),
+        (ExecMode::Auto, false) => format!(
+            "engine: row (auto: {} edb rows < {})",
+            edb.len(),
+            Plan::AUTO_BATCH_MIN_ROWS
+        ),
+        (_, false) => "engine: row (forced)".to_string(),
+        _ => "engine: batch (forced)".to_string(),
+    };
+    out.push('\n');
+    let idb_predicates = program.idb_predicates();
+    let mut index = edb.join_index();
+    let forms = build_forms(program, &idb_predicates, &mut index);
+    for (i, form) in forms.iter().enumerate() {
+        writeln!(out, "rule {i}: {}", form.rule).unwrap();
+        writeln!(out, "  full: {}", render_plan(&form.full)).unwrap();
+        writeln!(out, "  recompute: {}", render_plan(&form.head_seeded)).unwrap();
+        for (pos, plan) in &form.delta_forms {
+            writeln!(out, "  Δ {}: {}", form.rule.body[*pos], render_plan(plan)).unwrap();
+        }
+    }
+    out.push_str("columns:\n");
+    for pred in edb.predicates() {
+        match index.predicate_columns(pred) {
+            Some(cols) => {
+                let encodings: Vec<String> = cols.iter().map(ColBuilder::encoding).collect();
+                writeln!(
+                    out,
+                    "  {pred}: [{}] ({} rows)",
+                    encodings.join(", "),
+                    index.predicate_rows(pred).len()
+                )
+                .unwrap();
+            }
+            None => writeln!(out, "  {pred}: arena (mixed arity)").unwrap(),
+        }
+    }
+    out
+}

@@ -2,8 +2,9 @@
 //! perspective used for datalog in Section 5 of the paper).
 
 use crate::ast::Atom;
+use provsem_core::kernels::{hash_combine, Batch, ColBuilder, HASH_SEED};
 use provsem_core::{Database, KRelation, Schema, Tuple, Value};
-use provsem_semiring::fxhash::{FxHashMap, FxHashSet};
+use provsem_semiring::fxhash::FxHashMap;
 use provsem_semiring::Semiring;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -250,6 +251,33 @@ impl<K: Semiring> FactStore<K> {
         }
     }
 
+    /// Imports one predicate straight from columnar [`Batch`]es — the form
+    /// the snapshot-resident `BatchCache` serves. Column order is the
+    /// batch's physical order (schema attribute order for converted
+    /// relations), which matches what
+    /// [`import_relation`](FactStore::import_relation) produces for the
+    /// same relation. Annotations merge additively, so a patched cache
+    /// entry (base conversion plus appended commit deltas, including
+    /// deletions) folds to exactly the relation's current state.
+    pub fn import_batches(&mut self, predicate: &str, batches: &[Batch<K>]) {
+        for source in batches {
+            let materialized;
+            let batch = if source.live_rows() == source.phys_rows() {
+                source
+            } else {
+                materialized = source.clone().materialize();
+                &materialized
+            };
+            for row in 0..batch.phys_rows() as u32 {
+                let values: Vec<Value> = batch.columns().iter().map(|c| c.value_at(row)).collect();
+                self.insert(
+                    Fact::new(predicate, values),
+                    batch.anns()[row as usize].clone(),
+                );
+            }
+        }
+    }
+
     /// Imports every relation of a core [`Database`] using the given
     /// positional attribute order per relation name.
     pub fn import_database(&mut self, db: &Database<K>, orders: &BTreeMap<String, Vec<String>>) {
@@ -317,23 +345,53 @@ impl<K: Semiring + fmt::Debug> fmt::Debug for FactStore<K> {
 /// take `&self`; probing an unregistered mask degrades gracefully to "all
 /// facts of the predicate" (callers always validate candidates with a full
 /// match, so the index is a pure accelerator and never affects results).
+///
+/// The index is *column-backed*: besides the fact arena, each predicate
+/// keeps append-only [`ColBuilder`] columns (the same typed, dictionary-
+/// encoded storage the core batch kernels use), and mask buckets are keyed
+/// by the content *hash* of the bound-column values — the identical
+/// `hash_combine` scheme the batch executor's join/group kernels hash rows
+/// with. Buckets may therefore contain hash collisions; every caller
+/// narrows candidates by exact matching (the row path via `match_atom`,
+/// the batch path via typed column comparisons), so collisions never
+/// affect results. A predicate whose facts disagree on arity degrades to
+/// arena-only storage (columns dropped, masks and probing unaffected).
 #[derive(Clone, Debug, Default)]
 pub struct FactIndex {
     /// Arena of distinct facts; all maps store indices into it.
     facts: Vec<Fact>,
-    /// Dedup / membership set.
-    seen: FxHashSet<Fact>,
-    /// All facts of a given predicate.
+    /// Dedup / membership map: fact → arena index.
+    seen: FxHashMap<Fact, usize>,
+    /// All facts of a given predicate, in insertion order — the arena index
+    /// at position `r` is the fact stored at pred-local row `r` of the
+    /// predicate's columns.
     by_predicate: FxHashMap<String, Vec<usize>>,
-    /// For a registered `(predicate, columns)` mask, facts keyed by their
-    /// values at those columns. Nested so probes can look up with borrowed
-    /// `&str` / `&[usize]` keys, keeping the hot join loop allocation-free.
+    /// Arena index → pred-local row (the inverse of `by_predicate`).
+    local: Vec<u32>,
+    /// Per-predicate append-only typed columns; `None` once a predicate is
+    /// poisoned by mixed arities (the arena remains authoritative).
+    columns: FxHashMap<String, Option<Vec<ColBuilder>>>,
+    /// For a registered `(predicate, columns)` mask, facts keyed by the
+    /// content hash of their values at those columns. Nested so probes can
+    /// look up with borrowed `&str` / `&[usize]` keys, keeping the hot join
+    /// loop allocation-free.
     masks: FxHashMap<String, MaskIndex>,
 }
 
 /// Per-predicate bound-column indexes: for each registered column mask, the
-/// arena indices of the facts keyed by their values at those columns.
-type MaskIndex = FxHashMap<Vec<usize>, FxHashMap<Vec<Value>, Vec<usize>>>;
+/// arena indices of the facts keyed by the content hash of their values at
+/// those columns.
+type MaskIndex = FxHashMap<Vec<usize>, FxHashMap<u64, Vec<usize>>>;
+
+/// Folds the content hashes of a key's values into one bucket key — the
+/// same combine the batch kernels use for row hashing, so probes built
+/// from retained index columns ([`ColBuilder::content_hash_at`]) and from
+/// plain values agree.
+pub(crate) fn mask_key_hash<'a>(values: impl IntoIterator<Item = &'a Value>) -> u64 {
+    values
+        .into_iter()
+        .fold(HASH_SEED, |h, v| hash_combine(h, v.content_hash()))
+}
 
 impl FactIndex {
     /// An empty index.
@@ -362,7 +420,13 @@ impl FactIndex {
 
     /// Is the fact present?
     pub fn contains(&self, fact: &Fact) -> bool {
-        self.seen.contains(fact)
+        self.seen.contains_key(fact)
+    }
+
+    /// The arena index of a fact, if present (the batch fixpoint uses this
+    /// to find the pred-local row whose annotation a change overwrites).
+    pub fn position(&self, fact: &Fact) -> Option<usize> {
+        self.seen.get(fact).copied()
     }
 
     /// The fact stored at an index returned by [`FactIndex::candidates`].
@@ -375,21 +439,41 @@ impl FactIndex {
         self.facts.iter()
     }
 
-    /// Adds a fact, updating the predicate listing and every registered mask
-    /// for its predicate. Returns `false` if the fact was already present.
+    /// Adds a fact, updating the predicate listing, the predicate's typed
+    /// columns, and every registered mask for its predicate. Returns `false`
+    /// if the fact was already present.
     pub fn add_fact(&mut self, fact: Fact) -> bool {
-        if !self.seen.insert(fact.clone()) {
+        if self.seen.contains_key(&fact) {
             return false;
         }
         let idx = self.facts.len();
-        self.by_predicate
+        self.seen.insert(fact.clone(), idx);
+        let rows = self.by_predicate.entry(fact.predicate.clone()).or_default();
+        self.local.push(rows.len() as u32);
+        rows.push(idx);
+        let cols = self
+            .columns
             .entry(fact.predicate.clone())
-            .or_default()
-            .push(idx);
+            .or_insert_with(|| Some((0..fact.arity()).map(|_| ColBuilder::new()).collect()));
+        match cols {
+            Some(builders) if builders.len() == fact.arity() => {
+                for (builder, v) in builders.iter_mut().zip(&fact.values) {
+                    builder.push(v.clone());
+                }
+            }
+            // Mixed arity within one predicate: columnar storage no longer
+            // lines up; degrade to the arena for this predicate.
+            cols => *cols = None,
+        }
         if let Some(pred_masks) = self.masks.get_mut(&fact.predicate) {
             for (columns, buckets) in pred_masks.iter_mut() {
-                let key: Vec<Value> = columns.iter().map(|c| fact.values[*c].clone()).collect();
-                buckets.entry(key).or_default().push(idx);
+                // Mixed arity: a fact that does not cover the mask's columns
+                // can never match a probe over them, so it joins no bucket.
+                if columns.iter().any(|&c| c >= fact.arity()) {
+                    continue;
+                }
+                let h = mask_key_hash(columns.iter().map(|&c| &fact.values[c]));
+                buckets.entry(h).or_default().push(idx);
             }
         }
         self.facts.push(fact);
@@ -408,12 +492,15 @@ impl FactIndex {
         if pred_masks.contains_key(columns) {
             return;
         }
-        let mut buckets: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
+        let mut buckets: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
         if let Some(indices) = self.by_predicate.get(predicate) {
             for &idx in indices {
                 let fact = &self.facts[idx];
-                let key: Vec<Value> = columns.iter().map(|c| fact.values[*c].clone()).collect();
-                buckets.entry(key).or_default().push(idx);
+                if columns.iter().any(|&c| c >= fact.arity()) {
+                    continue;
+                }
+                let h = mask_key_hash(columns.iter().map(|&c| &fact.values[c]));
+                buckets.entry(h).or_default().push(idx);
             }
         }
         pred_masks.insert(columns.to_vec(), buckets);
@@ -421,19 +508,49 @@ impl FactIndex {
 
     /// The candidate facts of `predicate` whose values at `columns` equal
     /// `key`, as indices into the arena. With an empty mask (or one that was
-    /// never registered) this is every fact of the predicate — a superset the
-    /// caller narrows by matching, so results never depend on which masks are
-    /// registered.
+    /// never registered) this is every fact of the predicate; with a
+    /// registered mask it is the hash bucket of the key — a superset (up to
+    /// hash collisions) the caller narrows by matching, so results never
+    /// depend on which masks are registered.
     pub fn candidates(&self, predicate: &str, columns: &[usize], key: &[Value]) -> &[usize] {
+        if columns.is_empty() {
+            return self.predicate_rows(predicate);
+        }
+        self.candidates_hashed(predicate, columns, mask_key_hash(key))
+    }
+
+    /// [`FactIndex::candidates`] with the bucket hash precomputed by the
+    /// caller (the batch probe path hashes straight out of its frontier
+    /// columns, never materializing the key values).
+    pub fn candidates_hashed(&self, predicate: &str, columns: &[usize], hash: u64) -> &[usize] {
         if !columns.is_empty() {
             if let Some(buckets) = self.masks.get(predicate).and_then(|m| m.get(columns)) {
-                return buckets.get(key).map(Vec::as_slice).unwrap_or(&[]);
+                return buckets.get(&hash).map(Vec::as_slice).unwrap_or(&[]);
             }
         }
+        self.predicate_rows(predicate)
+    }
+
+    /// Every fact of a predicate, as arena indices in pred-local row order.
+    pub fn predicate_rows(&self, predicate: &str) -> &[usize] {
         self.by_predicate
             .get(predicate)
             .map(Vec::as_slice)
             .unwrap_or(&[])
+    }
+
+    /// The typed, append-only columns of a predicate — one [`ColBuilder`]
+    /// per argument position, with pred-local row `r` holding the fact at
+    /// `predicate_rows(predicate)[r]`. `None` when the predicate has no
+    /// facts or was poisoned by mixed arities (read the arena instead).
+    pub fn predicate_columns(&self, predicate: &str) -> Option<&[ColBuilder]> {
+        self.columns.get(predicate).and_then(|c| c.as_deref())
+    }
+
+    /// The pred-local row of an arena index (the row of that fact within
+    /// its predicate's columns).
+    pub fn local_row(&self, idx: usize) -> u32 {
+        self.local[idx]
     }
 }
 

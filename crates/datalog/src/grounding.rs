@@ -19,6 +19,7 @@
 
 use crate::ast::{Atom, DlVar, Program, Term};
 use crate::fact::{Fact, FactIndex, FactStore};
+use provsem_core::kernels::{hash_combine, HASH_SEED};
 use provsem_core::Value;
 use provsem_semiring::fxhash::FxHashMap;
 use provsem_semiring::Semiring;
@@ -154,15 +155,23 @@ impl<'a> JoinPlan<'a> {
         }
     }
 
+    /// The atoms in join order (shared with the batch compiler, which
+    /// builds its probe steps from exactly these atoms and masks so that
+    /// both engines hit the same index buckets).
+    pub(crate) fn atoms(&self) -> &[&'a Atom] {
+        &self.atoms
+    }
+
+    /// Per-atom bound argument positions, parallel to [`JoinPlan::atoms`].
+    pub(crate) fn bound(&self) -> &[Vec<usize>] {
+        &self.bound
+    }
+
     /// Enumerates all satisfying valuations of the planned atoms over the
     /// indexed facts, extending `binding` and calling `emit` for each
     /// complete one.
     pub(crate) fn join(&self, index: &FactIndex, binding: Binding, emit: &mut dyn FnMut(Binding)) {
-        // One probe-key buffer for the whole join: each depth only needs its
-        // key for the duration of the `candidates` call, so the recursion can
-        // reuse a single allocation.
-        let mut key: Vec<Value> = Vec::new();
-        self.join_from(0, index, binding, &mut key, emit);
+        self.join_from(0, index, binding, emit);
     }
 
     fn join_from(
@@ -170,24 +179,33 @@ impl<'a> JoinPlan<'a> {
         depth: usize,
         index: &FactIndex,
         binding: Binding,
-        key: &mut Vec<Value>,
         emit: &mut dyn FnMut(Binding),
     ) {
         let Some(atom) = self.atoms.get(depth) else {
             emit(binding);
             return;
         };
+        // The probe key is folded straight into the bucket hash — no key
+        // vector is materialized. Candidates are validated by `match_atom`,
+        // which also screens out hash collisions.
         let cols = &self.bound[depth];
-        key.clear();
-        for &c in cols {
-            key.push(match &atom.terms[c] {
-                Term::Const(v) => v.clone(),
-                Term::Var(x) => binding[x].clone(),
+        let candidates = if cols.is_empty() {
+            index.predicate_rows(&atom.predicate)
+        } else {
+            let hash = cols.iter().fold(HASH_SEED, |h, &c| {
+                hash_combine(
+                    h,
+                    match &atom.terms[c] {
+                        Term::Const(v) => v.content_hash(),
+                        Term::Var(x) => binding[x].content_hash(),
+                    },
+                )
             });
-        }
-        for &fi in index.candidates(&atom.predicate, cols, key) {
+            index.candidates_hashed(&atom.predicate, cols, hash)
+        };
+        for &fi in candidates {
             if let Some(extended) = match_atom(atom, index.fact(fi), &binding) {
-                self.join_from(depth + 1, index, extended, key, emit);
+                self.join_from(depth + 1, index, extended, emit);
             }
         }
     }

@@ -40,6 +40,7 @@
 pub mod algebraic_system;
 pub mod all_trees;
 pub mod ast;
+pub mod columnar;
 pub mod exact;
 pub mod fact;
 pub mod grounding;
@@ -58,6 +59,9 @@ pub mod prelude {
         minimal_trees, AllTreesResult, DerivationChild, DerivationTree, TreeProvenance,
     };
     pub use crate::ast::{Atom, DlVar, Program, Rule, Term};
+    pub use crate::columnar::{
+        explain_fixpoint, seminaive_idempotent_batch, seminaive_iterate_batch,
+    };
     pub use crate::exact::{
         evaluate_lattice, evaluate_natinf, facts_with_infinitely_many_derivations,
     };

@@ -60,6 +60,7 @@
 //! ```
 
 use crate::ast::{Atom, Program, Rule};
+use crate::columnar::{self, BatchRecompute};
 use crate::fact::{Fact, FactIndex, FactStore};
 use crate::grounding::{ground_atom, match_atom, Binding, JoinPlan};
 use crate::seminaive::{build_forms, forms_by_head, recompute_head, seminaive_iterate, RuleForms};
@@ -303,10 +304,15 @@ pub fn maintain_fixpoint<K: Semiring>(view: &mut FixpointView<K>, delta: &FactSt
     });
 }
 
-/// [`maintain_fixpoint`] with a thread budget: each rederivation sweep runs
-/// data-parallel over contiguous chunks of the (sorted) affected facts,
-/// concatenated back in chunk order — the exact serial change list, so the
-/// maintained view is byte-identical at every thread count. The closure
+/// [`maintain_fixpoint`] with an execution context: `ctx.mode` picks the
+/// rederivation engine like the fixpoint loops — `PROVSEM_EXEC=batch` (or
+/// `auto` with a large enough EDB) recomputes affected heads through the
+/// compiled batch plans of [`crate::columnar`], reading body factors from a
+/// dense annotation table rebuilt at the start of each sweep — and
+/// `ctx.threads` is the thread budget: each sweep runs data-parallel over
+/// contiguous chunks of the (sorted) affected facts, concatenated back in
+/// chunk order — the exact serial change list, so the maintained view is
+/// byte-identical at every thread count and on either engine. The closure
 /// phase mutates the index and stays on the coordinator.
 pub fn maintain_fixpoint_with<K>(
     view: &mut FixpointView<K>,
@@ -315,7 +321,8 @@ pub fn maintain_fixpoint_with<K>(
 ) where
     K: Semiring + Send + Sync,
 {
-    if ctx.threads <= 1 {
+    let batch = columnar::use_batch(ctx, &view.edb);
+    if ctx.threads <= 1 && !batch {
         return maintain_fixpoint(view, delta);
     }
     let idb_predicates = view.program.idb_predicates();
@@ -328,15 +335,41 @@ pub fn maintain_fixpoint_with<K>(
     }
     let rule_forms = build_forms(&program, &idb_predicates, &mut view.index);
     let by_head = forms_by_head(&rule_forms);
+    let recompute = batch.then(|| BatchRecompute::new(&rule_forms));
 
     let affected = affected_closure(&forms, view, changed);
     rederive(view, affected, |view, affected| {
-        par::par_map_chunks(par::chunked(affected.to_vec(), ctx.threads), |_, chunk| {
-            recompute_pass(view, &chunk, &by_head, &idb_predicates)
-        })
-        .into_iter()
-        .flatten()
-        .collect()
+        let chunks = if ctx.threads > 1 {
+            par::chunked(affected.to_vec(), ctx.threads)
+        } else {
+            vec![affected.to_vec()]
+        };
+        match &recompute {
+            Some(recompute) => {
+                // Each sweep is a pure function of the pass-start stores, so
+                // one dense annotation table serves every chunk.
+                let anns =
+                    columnar::build_ann_table(&view.index, &idb_predicates, &view.edb, &view.idb);
+                par::par_map_chunks(chunks, |_, chunk| {
+                    recompute
+                        .totals(&chunk, &view.index, &anns)
+                        .into_iter()
+                        .zip(&chunk)
+                        .filter(|(total, head)| *total != view.idb.annotation(head))
+                        .map(|(total, head)| (head.clone(), total))
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            }
+            None => par::par_map_chunks(chunks, |_, chunk| {
+                recompute_pass(view, &chunk, &by_head, &idb_predicates)
+            })
+            .into_iter()
+            .flatten()
+            .collect(),
+        }
     });
 }
 

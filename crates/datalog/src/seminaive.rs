@@ -160,17 +160,17 @@ where
 /// The differential forms and join plans of one rule, with all probe masks
 /// registered up front so joining needs only `&FactIndex`.
 pub(crate) struct RuleForms<'a> {
-    rule: &'a Rule,
+    pub(crate) rule: &'a Rule,
     /// One differential form per idb body atom: the delta is matched at that
     /// position, the remaining atoms bind via index probes.
-    delta_forms: Vec<(usize, JoinPlan<'a>)>,
+    pub(crate) delta_forms: Vec<(usize, JoinPlan<'a>)>,
     /// Full-body plan seeded with the head variables, used to recompute one
     /// head fact from scratch (general-semiring path).
-    head_seeded: JoinPlan<'a>,
+    pub(crate) head_seeded: JoinPlan<'a>,
     /// Left-to-right full-body plan (round 1, edb-only rules).
-    full: JoinPlan<'a>,
+    pub(crate) full: JoinPlan<'a>,
     /// Does the body mention any idb predicate?
-    has_idb_body: bool,
+    pub(crate) has_idb_body: bool,
 }
 
 pub(crate) fn build_forms<'a>(
@@ -343,7 +343,7 @@ impl<K: Semiring> DeltaState<K> {
 }
 
 /// The all-zero result both paths return for a round bound of 0.
-fn unevaluated<K: Semiring>() -> FixpointResult<K> {
+pub(crate) fn unevaluated<K: Semiring>() -> FixpointResult<K> {
     FixpointResult {
         idb: FactStore::new(),
         iterations: 0,
@@ -512,18 +512,25 @@ pub fn seminaive_iterate<K: Semiring>(
     state.finish(iterations)
 }
 
-/// [`seminaive_iterate`] with a thread budget: both phases of every round
-/// run data-parallel over scoped worker threads — affected-head discovery
-/// over contiguous chunks of the differential work items, and head
-/// recomputation over contiguous chunks of the (sorted) affected set.
+/// [`seminaive_iterate`] with an execution context: `ctx.mode` picks the
+/// engine exactly like the RA planner — `PROVSEM_EXEC=row|batch` forces
+/// one, `auto` (the default) takes the batch engine
+/// ([`crate::columnar::seminaive_iterate_batch`]) when the EDB has at least
+/// [`provsem_core::plan::Plan::AUTO_BATCH_MIN_ROWS`] facts — and
+/// `ctx.threads` is the thread budget. On the row engine, both phases of
+/// every round run data-parallel over scoped worker threads —
+/// affected-head discovery over contiguous chunks of the differential work
+/// items, and head recomputation over contiguous chunks of the (sorted)
+/// affected set.
 ///
-/// Results are identical to the serial loop at every thread count: affected
-/// heads are a set union (order-insensitive), recomputation is a pure
-/// function of the previous round's state (`current`/`index` are only read
-/// during a round), and the per-round change list is concatenated in chunk
-/// order, which *is* the serial head order. Requires `K: Send + Sync`
-/// because the workers share the fact stores by reference; non-`Sync`
-/// annotations (circuit handles) use the serial [`seminaive_iterate`].
+/// Results are identical to the serial loop at every thread count and on
+/// either engine: affected heads are a set union (order-insensitive),
+/// recomputation is a pure function of the previous round's state
+/// (`current`/`index` are only read during a round), and the per-round
+/// change list is concatenated in chunk order, which *is* the serial head
+/// order. Requires `K: Send + Sync` because the workers share the fact
+/// stores by reference; non-`Sync` annotations (circuit handles) use the
+/// serial [`seminaive_iterate`].
 pub fn seminaive_iterate_with<K>(
     program: &Program,
     edb: &FactStore<K>,
@@ -533,6 +540,9 @@ pub fn seminaive_iterate_with<K>(
 where
     K: Semiring + Send + Sync,
 {
+    if crate::columnar::use_batch(ctx, edb) {
+        return crate::columnar::seminaive_iterate_batch(program, edb, max_rounds, ctx.threads);
+    }
     if ctx.threads <= 1 {
         return seminaive_iterate(program, edb, max_rounds);
     }
@@ -662,11 +672,13 @@ where
     state.finish(iterations)
 }
 
-/// [`seminaive_idempotent`] with a thread budget: each round's increments
-/// are produced in parallel over contiguous chunks of the differential work
-/// items and merged on the coordinator **in work-item order** — the exact
-/// emission order of the serial loop — so the accumulated store (and the
-/// delta) match the serial round bit for bit.
+/// [`seminaive_idempotent`] with an execution context: `ctx.mode` picks the
+/// engine like [`seminaive_iterate_with`] (the batch engine is
+/// [`crate::columnar::seminaive_idempotent_batch`]). On the row engine,
+/// each round's increments are produced in parallel over contiguous chunks
+/// of the differential work items and merged on the coordinator **in
+/// work-item order** — the exact emission order of the serial loop — so the
+/// accumulated store (and the delta) match the serial round bit for bit.
 pub fn seminaive_idempotent_with<K>(
     program: &Program,
     edb: &FactStore<K>,
@@ -676,6 +688,9 @@ pub fn seminaive_idempotent_with<K>(
 where
     K: Semiring + PlusIdempotent + Send + Sync,
 {
+    if crate::columnar::use_batch(ctx, edb) {
+        return crate::columnar::seminaive_idempotent_batch(program, edb, max_rounds, ctx.threads);
+    }
     if ctx.threads <= 1 {
         return seminaive_idempotent(program, edb, max_rounds);
     }

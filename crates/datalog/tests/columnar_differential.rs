@@ -1,0 +1,212 @@
+//! Differential test: the batch (columnar) semi-naive engine agrees with
+//! the serial row loops **exactly** — same idb annotations, same iteration
+//! counts, same convergence flags, round for round — across random
+//! linear and nonlinear programs, five semirings (𝔹, ℕ, tropical, Why(X),
+//! ℤ), and thread counts {1, 4}. Targeted cases cover the engine's
+//! degradation paths: dictionary overflow (> 2¹⁶ distinct strings per
+//! column) and mixed-arity predicates (arena fallback), plus the batch
+//! rederivation path of `maintain_fixpoint_with`.
+
+mod common;
+
+use common::{arb_edb, arb_program, build_edb, build_program};
+use proptest::prelude::*;
+use provsem_core::plan::{ExecContext, ExecMode};
+use provsem_datalog::columnar::{seminaive_idempotent_batch, seminaive_iterate_batch};
+use provsem_datalog::prelude::*;
+use provsem_datalog::seminaive::{
+    seminaive_idempotent, seminaive_idempotent_with, seminaive_iterate, seminaive_iterate_with,
+};
+use provsem_semiring::{
+    Bool, Integers, NatInf, Natural, PlusIdempotent, PosBool, Ring, Semiring, Tropical, WhySet,
+};
+
+const THREADS: [usize; 2] = [1, 4];
+
+/// General path: the batch engine equals the serial row loop for every
+/// semiring, converged or not (checked at several round bounds), at every
+/// thread count — both called directly and dispatched through
+/// `seminaive_iterate_with` with the mode forced to `Batch`. The round
+/// bounds are a parameter because exact ℕ/ℤ multiplicities grow doubly
+/// exponentially under nonlinear recursion and overflow past ~2 rounds;
+/// the saturating semirings run the deep bounds.
+fn check_general<K: Semiring + Send + Sync>(
+    program: &Program,
+    edb: &FactStore<K>,
+    round_bounds: &[usize],
+) {
+    for &rounds in round_bounds {
+        let row = seminaive_iterate(program, edb, rounds);
+        for threads in THREADS {
+            let batch = seminaive_iterate_batch(program, edb, rounds, threads);
+            assert_eq!(row.idb, batch.idb, "threads={threads} rounds={rounds}");
+            assert_eq!(row.iterations, batch.iterations);
+            assert_eq!(row.converged, batch.converged);
+            let ctx = ExecContext::with_threads(threads).with_mode(ExecMode::Batch);
+            let dispatched = seminaive_iterate_with(program, edb, rounds, &ctx);
+            assert_eq!(row.idb, dispatched.idb, "dispatch threads={threads}");
+            assert_eq!(row.iterations, dispatched.iterations);
+            assert_eq!(row.converged, dispatched.converged);
+        }
+    }
+}
+
+/// Idempotent fast path: same agreement for `+`-idempotent semirings.
+fn check_idempotent<K: Semiring + PlusIdempotent + Send + Sync>(
+    program: &Program,
+    edb: &FactStore<K>,
+) {
+    for rounds in [2, 8, 64] {
+        let row = seminaive_idempotent(program, edb, rounds);
+        for threads in THREADS {
+            let batch = seminaive_idempotent_batch(program, edb, rounds, threads);
+            assert_eq!(row.idb, batch.idb, "threads={threads} rounds={rounds}");
+            assert_eq!(row.iterations, batch.iterations);
+            assert_eq!(row.converged, batch.converged);
+            let ctx = ExecContext::with_threads(threads).with_mode(ExecMode::Batch);
+            let dispatched = seminaive_idempotent_with(program, edb, rounds, &ctx);
+            assert_eq!(row.idb, dispatched.idb, "dispatch threads={threads}");
+            assert_eq!(row.converged, dispatched.converged);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batch_equals_row_on_random_programs(raw_program in arb_program(), raw_edb in arb_edb()) {
+        let program = build_program(&raw_program);
+        const DEEP: &[usize] = &[1, 2, 3, 8];
+        const SHALLOW: &[usize] = &[1, 2]; // exact ℕ/ℤ overflow past this
+        check_general(&program, &build_edb(&raw_edb, |_, w| Natural::from(w)), SHALLOW);
+        check_general(&program, &build_edb(&raw_edb, |_, w| Integers::new(w as i64)), SHALLOW);
+        check_general(&program, &build_edb(&raw_edb, |_, w| NatInf::Fin(w)), DEEP);
+        check_general(&program, &build_edb(&raw_edb, |_, _| Bool::from(true)), DEEP);
+        check_general(&program, &build_edb(&raw_edb, |_, w| Tropical::cost(w)), DEEP);
+        check_general(&program, &build_edb(&raw_edb, |i, _| WhySet::var(format!("t{i}"))), DEEP);
+        check_idempotent(&program, &build_edb(&raw_edb, |_, _| Bool::from(true)));
+        check_idempotent(&program, &build_edb(&raw_edb, |_, w| Tropical::cost(w)));
+        check_idempotent(&program, &build_edb(&raw_edb, |i, _| PosBool::var(format!("t{i}"))));
+    }
+}
+
+/// Deleting through mixed ℤ deltas: the batch rederivation path of
+/// `maintain_fixpoint_with` matches the row path and the from-scratch
+/// fixpoint on the updated edb, at both thread counts.
+#[test]
+fn maintain_batch_rederivation_matches_row_and_from_scratch() {
+    let program = Program::linear_transitive_closure("R", "Q");
+    let edges: Vec<(String, String)> = (0..20)
+        .flat_map(|i| {
+            [
+                (format!("n{i}"), format!("n{}", (i + 1) % 20)),
+                (format!("n{i}"), format!("n{}", (i + 7) % 20)),
+            ]
+        })
+        .collect();
+    let mut edb: FactStore<Integers> = FactStore::new();
+    for (s, d) in &edges {
+        edb.insert(Fact::new("R", [s.clone(), d.clone()]), Integers::new(1));
+    }
+    // A mixed insert/delete batch: drop two edges, add a shortcut.
+    let mut delta: FactStore<Integers> = FactStore::new();
+    delta.insert(Fact::new("R", ["n0", "n1"]), Integers::new(1).neg());
+    delta.insert(Fact::new("R", ["n3", "n10"]), Integers::new(1).neg());
+    delta.insert(Fact::new("R", ["n0", "n15"]), Integers::new(1));
+
+    let bound = 8; // cyclic ℤ closure: keep the counts bounded
+    let mut row_view = materialize_fixpoint(&program, &edb, bound);
+    maintain_fixpoint(&mut row_view, &delta);
+    for threads in THREADS {
+        let mut batch_view = materialize_fixpoint(&program, &edb, bound);
+        let ctx = ExecContext::with_threads(threads).with_mode(ExecMode::Batch);
+        maintain_fixpoint_with(&mut batch_view, &delta, &ctx);
+        assert_eq!(batch_view.converged(), row_view.converged());
+        assert_eq!(batch_view.result(), row_view.result(), "threads={threads}");
+    }
+    if row_view.converged() {
+        let scratch = seminaive_iterate(&program, row_view.edb(), bound);
+        assert_eq!(row_view.result(), &scratch.idb);
+    }
+}
+
+/// More than 2¹⁶ distinct strings per column: the index's dictionary
+/// columns overflow and degrade to plain value vectors mid-build; results
+/// must not move. A chain a little longer than `DICT_MAX` exercises the
+/// overflow without blowing up the closure size.
+#[test]
+fn dictionary_overflow_degrades_without_changing_results() {
+    const NODES: usize = (1 << 16) + 64;
+    let program = Program::figure6_query(); // Q(x,y) :- R(x,z), R(z,y)
+    let mut edb: FactStore<Bool> = FactStore::new();
+    for i in 0..NODES - 1 {
+        edb.insert(
+            Fact::new("R", [format!("s{i}"), format!("s{}", i + 1)]),
+            Bool::from(true),
+        );
+    }
+    let row = seminaive_iterate(&program, &edb, 4);
+    let batch = seminaive_iterate_batch(&program, &edb, 4, 1);
+    assert!(row.converged && batch.converged);
+    assert_eq!(row.idb.len(), NODES - 2);
+    assert_eq!(row.idb, batch.idb);
+}
+
+/// A predicate used at two arities poisons its typed columns; the batch
+/// engine must fall back to the fact arena and still agree with the row
+/// path. Constants and repeated variables in bodies and heads ride along.
+#[test]
+fn mixed_arity_predicates_fall_back_to_the_arena() {
+    let program = parse_program(
+        "P(x, y) :- M(x, y), M(x).\n\
+         Q(x, 'k', x) :- M(x).\n\
+         P(x, z) :- P(x, y), P(y, z).",
+    )
+    .unwrap();
+    let mut edb: FactStore<Natural> = FactStore::new();
+    edb.insert(Fact::new("M", ["a"]), Natural::from(2u64));
+    edb.insert(Fact::new("M", ["b"]), Natural::from(3u64));
+    edb.insert(Fact::new("M", ["a", "b"]), Natural::from(5u64));
+    edb.insert(Fact::new("M", ["b", "c"]), Natural::from(7u64));
+    for rounds in [1, 2, 3, 8] {
+        let row = seminaive_iterate(&program, &edb, rounds);
+        for threads in THREADS {
+            let batch = seminaive_iterate_batch(&program, &edb, rounds, threads);
+            assert_eq!(row.idb, batch.idb, "threads={threads} rounds={rounds}");
+            assert_eq!(row.converged, batch.converged);
+        }
+    }
+    let out = seminaive_iterate_batch(&program, &edb, 16, 1);
+    // P(a,b) = M(a,b)·M(a) = 5·2; Q(a,k,a) = M(a) = 2.
+    assert_eq!(
+        out.idb.annotation(&Fact::new("P", ["a", "b"])),
+        Natural::from(10u64)
+    );
+    assert_eq!(
+        out.idb.annotation(&Fact::new("Q", ["a", "k", "a"])),
+        Natural::from(2u64)
+    );
+}
+
+/// The `Auto` mode picks the row engine below the EDB-size threshold and
+/// the batch engine above it; both sides of the threshold agree with the
+/// serial reference (the gate must be invisible in results).
+#[test]
+fn auto_mode_agrees_on_both_sides_of_the_threshold() {
+    let program = Program::transitive_closure("R", "Q");
+    for nodes in [10usize, 100] {
+        let mut edb: FactStore<Tropical> = FactStore::new();
+        for i in 0..nodes {
+            edb.insert(
+                Fact::new("R", [format!("n{i}"), format!("n{}", (i + 1) % nodes)]),
+                Tropical::cost(1),
+            );
+        }
+        let serial = seminaive_idempotent(&program, &edb, 256);
+        let ctx = ExecContext::with_threads(1).with_mode(ExecMode::Auto);
+        let auto = seminaive_idempotent_with(&program, &edb, 256, &ctx);
+        assert_eq!(serial.idb, auto.idb, "nodes={nodes}");
+        assert_eq!(serial.converged, auto.converged);
+    }
+}

@@ -1,0 +1,115 @@
+//! Golden tests for [`explain_fixpoint`]: the engine-decision line, the
+//! per-rule join orders (full / recompute / Δ forms with their probe
+//! masks), and the per-predicate column encodings are pinned verbatim in
+//! row and batch modes. These strings are contract: the batch compiler
+//! builds its probe steps from exactly the rendered plans, so a change
+//! here means the engines' bucket usage diverged.
+
+use provsem_core::plan::{ExecContext, ExecMode};
+use provsem_core::Value;
+use provsem_datalog::prelude::*;
+use provsem_semiring::Natural;
+
+fn tc_edb() -> FactStore<Natural> {
+    edge_facts(
+        "R",
+        &[
+            ("a", "b", Natural::from(2u64)),
+            ("b", "c", Natural::from(3u64)),
+        ],
+    )
+}
+
+#[test]
+fn transitive_closure_row_mode_golden() {
+    let program = Program::transitive_closure("R", "Q");
+    let explained = explain_fixpoint(&program, &tc_edb(), &ExecContext::with_threads(1));
+    assert_eq!(
+        explained,
+        "engine: row (auto: 2 edb rows < 64)\n\
+         rule 0: Q(x, y) :- R(x, y).\n\
+         \x20 full: scan R(x, y)\n\
+         \x20 recompute: probe R(x, y)[0,1]\n\
+         rule 1: Q(x, y) :- Q(x, z), Q(z, y).\n\
+         \x20 full: scan Q(x, z) → probe Q(z, y)[0]\n\
+         \x20 recompute: probe Q(x, z)[0] → probe Q(z, y)[0,1]\n\
+         \x20 Δ Q(x, z): probe Q(z, y)[0]\n\
+         \x20 Δ Q(z, y): probe Q(x, z)[1]\n\
+         columns:\n\
+         \x20 R: [dict(2), dict(2)] (2 rows)\n"
+    );
+}
+
+#[test]
+fn transitive_closure_batch_mode_golden() {
+    let program = Program::transitive_closure("R", "Q");
+    let ctx = ExecContext::with_threads(1).with_mode(ExecMode::Batch);
+    let explained = explain_fixpoint(&program, &tc_edb(), &ctx);
+    // Identical join orders — only the engine decision line changes.
+    assert!(explained.starts_with("engine: batch (forced)\n"));
+    let row = explain_fixpoint(&program, &tc_edb(), &ExecContext::with_threads(1));
+    assert_eq!(
+        explained.lines().skip(1).collect::<Vec<_>>(),
+        row.lines().skip(1).collect::<Vec<_>>()
+    );
+    // Forcing row reads back as forced row.
+    let forced_row = ExecContext::with_threads(1).with_mode(ExecMode::Row);
+    assert!(
+        explain_fixpoint(&program, &tc_edb(), &forced_row).starts_with("engine: row (forced)\n")
+    );
+}
+
+#[test]
+fn auto_flips_to_batch_at_the_edb_threshold() {
+    let program = Program::linear_transitive_closure("R", "Q");
+    let mut edb: FactStore<Natural> = FactStore::new();
+    for i in 0..64 {
+        edb.insert(
+            Fact::new("R", [format!("n{i}"), format!("n{}", i + 1)]),
+            Natural::from(1u64),
+        );
+    }
+    let explained = explain_fixpoint(&program, &edb, &ExecContext::with_threads(1));
+    assert!(
+        explained.starts_with("engine: batch (auto: 64 edb rows ≥ 64)\n"),
+        "{explained}"
+    );
+}
+
+#[test]
+fn column_encodings_cover_i64_val_and_arena() {
+    let program = parse_program("Q(x) :- N(x, y), M(x), V(x, y).").unwrap();
+    let mut edb: FactStore<Natural> = FactStore::new();
+    // N: both columns typed integers.
+    edb.insert(
+        Fact::new("N", [Value::Int(1), Value::Int(10)]),
+        Natural::from(1u64),
+    );
+    edb.insert(
+        Fact::new("N", [Value::Int(2), Value::Int(20)]),
+        Natural::from(1u64),
+    );
+    // V: second column mixes types → val fallback.
+    edb.insert(
+        Fact::new("V", [Value::Int(1), Value::from("a")]),
+        Natural::from(1u64),
+    );
+    edb.insert(
+        Fact::new("V", [Value::Int(2), Value::Int(2)]),
+        Natural::from(1u64),
+    );
+    // M: mixed arity → columnar storage poisoned, arena fallback.
+    edb.insert(Fact::new("M", [Value::Int(1)]), Natural::from(1u64));
+    edb.insert(
+        Fact::new("M", [Value::Int(1), Value::Int(2)]),
+        Natural::from(1u64),
+    );
+    let explained = explain_fixpoint(&program, &edb, &ExecContext::with_threads(1));
+    let columns = explained.split("columns:\n").nth(1).unwrap();
+    assert_eq!(
+        columns,
+        "  M: arena (mixed arity)\n\
+         \x20 N: [i64, i64] (2 rows)\n\
+         \x20 V: [i64, val] (2 rows)\n"
+    );
+}

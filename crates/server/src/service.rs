@@ -24,13 +24,16 @@ use crate::cache::PlanCache;
 use crate::protocol::{CommitItem, ErrorKind, Request, Response};
 use crate::ra_parse::{normalize, parse_ra};
 use crate::wire::WireSemiring;
+use provsem_core::kernels::Batch;
 use provsem_core::prelude::{
     Database, DbSnapshot, DeltaBatch, EvalError, ExecContext, KRelation, Plan, RelationSource,
-    SharedDatabase, Tuple,
+    Schema, SharedDatabase, Tuple, Value,
 };
 use provsem_datalog::{
     evaluate_with_context, parse_program, EvalStrategy, FactStore, Program, DEFAULT_FALLBACK_BOUND,
 };
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A query service over one shared database: hands out [`Session`]s that
@@ -195,12 +198,24 @@ impl<K: WireSemiring> Session<K> {
 
     fn view(&self, name: &str) -> Response {
         let snapshot = self.snapshot();
-        match snapshot.view(name) {
-            Some(result) => rows_response(snapshot.epoch(), None, result),
-            None => Response::error(
+        let Some(result) = snapshot.view_shared(name) else {
+            return Response::error(
                 ErrorKind::UnknownView,
                 format!("no standing view {name} at epoch {}", snapshot.epoch()),
+            );
+        };
+        // Standing views live in the snapshot's batch cache: registration
+        // seeds the entry and every commit patches it forward with the
+        // view's own maintenance delta, so this read is a cache hit (never
+        // a re-conversion) no matter how many commits have advanced the
+        // view since registration.
+        match snapshot.batch_cache() {
+            Some((cache, epoch)) => batch_rows_response(
+                snapshot.epoch(),
+                result.schema(),
+                &cache.get_or_convert(epoch, &result),
             ),
+            None => rows_response(snapshot.epoch(), None, &result),
         }
     }
 
@@ -295,17 +310,30 @@ impl<K: WireSemiring> Session<K> {
         let snapshot = self.snapshot();
         // Import only the relations the program actually reads — a datalog
         // goal over a small edge relation must not pay to copy every other
-        // (possibly large) relation in the database.
+        // (possibly large) relation in the database. Each relation is read
+        // through the snapshot's columnar batch cache: the first datalog
+        // (or batch-engine RA) scan of a relation version columnarizes it
+        // for every later scan, and commits patch the entry forward instead
+        // of invalidating it — so repeated DATALOG requests share the
+        // conversion across sessions and epochs (visible in STATS).
         let mut edb = FactStore::<K>::new();
         for name in program.edb_predicates() {
-            if let Some(relation) = snapshot.database().get(&name) {
-                let order: Vec<&str> = relation
-                    .schema()
-                    .attributes()
-                    .iter()
-                    .map(|a| a.name())
-                    .collect();
-                edb.import_relation(&name, relation, &order);
+            let Some(shared) = snapshot.database().get_shared(&name) else {
+                continue;
+            };
+            match snapshot.batch_cache() {
+                Some((cache, epoch)) => {
+                    edb.import_batches(&name, &cache.get_or_convert(epoch, &shared));
+                }
+                None => {
+                    let order: Vec<&str> = shared
+                        .schema()
+                        .attributes()
+                        .iter()
+                        .map(|a| a.name())
+                        .collect();
+                    edb.import_relation(&name, &shared, &order);
+                }
             }
         }
         let result = evaluate_with_context(
@@ -366,6 +394,52 @@ fn rows_response<K: WireSemiring>(
         rows: relation
             .iter()
             .map(|(tuple, k)| (tuple.values().cloned().collect(), k.render_annotation()))
+            .collect(),
+    }
+}
+
+/// Renders rows from a view's cached columnar batches. A patched cache
+/// entry is the base conversion plus appended commit deltas, so one tuple
+/// may occur in several batches (deletions as inverse annotations): fold
+/// with semiring `+`, drop zero sums, and render in sorted tuple order —
+/// byte-identical to rendering the view relation itself.
+fn batch_rows_response<K: WireSemiring>(
+    epoch: u64,
+    schema: &Schema,
+    batches: &[Batch<K>],
+) -> Response {
+    let mut merged: BTreeMap<Vec<Value>, K> = BTreeMap::new();
+    for source in batches {
+        let materialized;
+        let batch = if source.live_rows() == source.phys_rows() {
+            source
+        } else {
+            materialized = source.clone().materialize();
+            &materialized
+        };
+        for row in 0..batch.phys_rows() as u32 {
+            let values: Vec<Value> = batch.columns().iter().map(|c| c.value_at(row)).collect();
+            let k = batch.anns()[row as usize].clone();
+            match merged.entry(values) {
+                Entry::Occupied(mut e) => e.get_mut().plus_assign(&k),
+                Entry::Vacant(e) => {
+                    e.insert(k);
+                }
+            }
+        }
+    }
+    Response::Rows {
+        epoch,
+        cached: None,
+        schema: schema
+            .attributes()
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect(),
+        rows: merged
+            .into_iter()
+            .filter(|(_, k)| !k.is_zero())
+            .map(|(values, k)| (values, k.render_annotation()))
             .collect(),
     }
 }

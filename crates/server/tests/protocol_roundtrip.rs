@@ -284,3 +284,66 @@ fn datalog_round_trip_computes_the_fixpoint() {
         .render();
     assert!(rendered.contains("('a', 'd')@6"), "{rendered:?}");
 }
+
+/// Standing-view results live in the batch cache: DEFINE seeds the entry,
+/// VIEW reads hit it, and a commit patches it forward with the view's own
+/// maintenance output delta — a post-commit read is served by the patched
+/// entry, never by re-converting the view.
+#[test]
+fn view_reads_hit_the_batch_cache_and_commits_patch_it() {
+    let service = Service::new(z_db());
+    let mut session = service.session();
+    session.handle_line("DEFINE v = project[a] select[b != 'y'] R");
+    let stats = session.handle_line("STATS").render();
+    // Two conversions at DEFINE: the materializing scan of R, and the seeded
+    // entry for the view's own result.
+    assert!(
+        stats.ends_with("batch_hits=0 batch_misses=2 batch_patches=0"),
+        "registration seeds the view's entry: {stats:?}"
+    );
+    assert_eq!(
+        session.handle_line("VIEW v").render(),
+        "ok rows epoch=1 [a] (1)@2"
+    );
+    session.handle_line("COMMIT R(4, 'u')=3");
+    assert_eq!(
+        session.handle_line("VIEW v").render(),
+        "ok rows epoch=2 [a] (1)@2; (4)@3"
+    );
+    let stats = session.handle_line("STATS").render();
+    // Both view reads hit; the commit patched both entries (R and the
+    // view's result) forward — nothing was re-converted.
+    assert!(
+        stats.ends_with("batch_hits=2 batch_misses=2 batch_patches=2"),
+        "both reads hit; the commit patched, not re-converted: {stats:?}"
+    );
+}
+
+/// DATALOG reads its EDB through the snapshot batch cache: the first goal
+/// against a relation version columnarizes it (a miss), repeats hit, and a
+/// commit patches the conversion forward so post-commit goals still hit.
+#[test]
+fn datalog_reads_the_edb_through_the_batch_cache() {
+    let service = Service::new(z_db());
+    let mut session = service.session();
+    assert_eq!(
+        session.handle_line("DATALOG q(x) :- R(x, y). ? q").render(),
+        "ok rows epoch=0 [c0] (1)@2; (2)@1"
+    );
+    session.handle_line("DATALOG q(x) :- R(x, y). ? q");
+    let stats = session.handle_line("STATS").render();
+    assert!(
+        stats.ends_with("batch_hits=1 batch_misses=1 batch_patches=0"),
+        "{stats:?}"
+    );
+    session.handle_line("COMMIT R(7, 'w')=1");
+    assert_eq!(
+        session.handle_line("DATALOG q(x) :- R(x, y). ? q").render(),
+        "ok rows epoch=1 [c0] (1)@2; (2)@1; (7)@1"
+    );
+    let stats = session.handle_line("STATS").render();
+    assert!(
+        stats.ends_with("batch_hits=2 batch_misses=1 batch_patches=1"),
+        "{stats:?}"
+    );
+}
